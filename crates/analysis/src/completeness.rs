@@ -1,0 +1,89 @@
+//! Measured k-completeness of executions.
+//!
+//! §3.2 remarks that a reliable a-priori `k` is hard to guarantee, but
+//! that "it might be possible to obtain an estimate of this value by
+//! considering known characteristics of the message system together with
+//! the expected rate of transaction processing". Experiment E10 does
+//! exactly that: run the simulator under a delay/partition model and
+//! *measure* the distribution of `k` — which then instantiates all the
+//! conditional cost bounds.
+
+use crate::stats::Summary;
+use shard_core::conditions::missed_count;
+use shard_core::{Application, Execution, TxnIndex};
+
+/// The number of missed predecessors for every transaction.
+pub fn missed_counts<A: Application>(exec: &Execution<A>) -> Vec<usize> {
+    (0..exec.len()).map(|i| missed_count(exec, i)).collect()
+}
+
+/// Summary of the missed-predecessor distribution.
+pub fn missed_summary<A: Application>(exec: &Execution<A>) -> Summary {
+    let counts: Vec<u64> = missed_counts(exec).into_iter().map(|c| c as u64).collect();
+    Summary::of(&counts)
+}
+
+/// The missed counts restricted to transactions selected by `pred` —
+/// the refined theorems only constrain particular kinds (e.g. only
+/// MOVE-UPs matter for the overbooking bound).
+pub fn missed_counts_where<A: Application>(
+    exec: &Execution<A>,
+    mut pred: impl FnMut(TxnIndex, &A::Decision) -> bool,
+) -> Vec<usize> {
+    (0..exec.len())
+        .filter(|&i| pred(i, &exec.record(i).decision))
+        .map(|i| missed_count(exec, i))
+        .collect()
+}
+
+/// The smallest `k` such that every transaction selected by `pred` is
+/// k-complete (0 if none selected).
+pub fn max_missed_where<A: Application>(
+    exec: &Execution<A>,
+    pred: impl FnMut(TxnIndex, &A::Decision) -> bool,
+) -> usize {
+    missed_counts_where(exec, pred).into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shard_apps::airline::{AirlineTxn, FlyByNight};
+    use shard_apps::Person;
+    use shard_core::ExecutionBuilder;
+
+    fn sample_exec() -> (FlyByNight, Execution<FlyByNight>) {
+        let app = FlyByNight::new(2);
+        let mut b = ExecutionBuilder::new(&app);
+        b.push_complete(AirlineTxn::Request(Person(1))).unwrap(); // missed 0
+        b.push(AirlineTxn::Request(Person(2)), vec![]).unwrap(); // missed 1
+        b.push(AirlineTxn::MoveUp, vec![0]).unwrap(); // missed 1
+        b.push(AirlineTxn::MoveUp, vec![0, 1, 2]).unwrap(); // missed 0
+        let e = b.finish();
+        (app, e)
+    }
+
+    #[test]
+    fn missed_counts_per_txn() {
+        let (_, e) = sample_exec();
+        assert_eq!(missed_counts(&e), vec![0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn summary_reflects_distribution() {
+        let (_, e) = sample_exec();
+        let s = missed_summary(&e);
+        assert_eq!(s.n, 4);
+        assert_eq!(s.max, 1);
+        assert!((s.mean - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn filtered_counts_select_move_ups() {
+        let (_, e) = sample_exec();
+        let counts = missed_counts_where(&e, |_, d| matches!(d, AirlineTxn::MoveUp));
+        assert_eq!(counts, vec![1, 0]);
+        assert_eq!(max_missed_where(&e, |_, d| matches!(d, AirlineTxn::MoveUp)), 1);
+        assert_eq!(max_missed_where(&e, |_, d| matches!(d, AirlineTxn::MoveDown)), 0);
+    }
+}

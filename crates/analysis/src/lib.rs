@@ -1,0 +1,42 @@
+//! # shard-analysis — measuring executions against the paper's claims
+//!
+//! The theorems of Lynch/Blaustein/Siegel 1986 are conditional: *if* the
+//! system ran the transactions with certain prefix properties, *then*
+//! costs and priorities obey certain bounds. This crate measures both
+//! sides on concrete executions (hand-built or emitted by `shard-sim`):
+//!
+//! * [`stats`] — summary statistics used by every experiment table;
+//! * [`table`] — plain-text / markdown tables for the harness output;
+//! * [`trace`] — cost traces over the reachable (actual) states;
+//! * [`completeness`] — the measured `k` of each transaction (how many
+//!   predecessors it missed), closing the probabilistic loop §1.3 leaves
+//!   open;
+//! * [`compensation`] — atomic compensating suffixes (Corollary 2 /
+//!   Lemma 12 machinery);
+//! * [`claims`] — the theorem checkers: each returns a [`ClaimCheck`]
+//!   with instance and violation counts;
+//! * [`airline`] — airline-specific accounting: witness misses for the
+//!   refined bounds (Thm 20/21), priority inversions (§5.5) and the
+//!   notification-churn ("thrashing") metric (§3.1);
+//! * [`exhaustive`] — small-scope model checking: enumerate *every*
+//!   execution of a short decision sequence and verify a theorem on all
+//!   of them;
+//! * [`probabilistic`] — the §1.3 combination: conditional bounds ×
+//!   measured k-distributions = "with probability p, cost ≤ c".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod airline;
+pub mod claims;
+pub mod compensation;
+pub mod exhaustive;
+pub mod probabilistic;
+pub mod completeness;
+pub mod stats;
+pub mod table;
+pub mod trace;
+
+pub use claims::ClaimCheck;
+pub use stats::Summary;
+pub use table::Table;

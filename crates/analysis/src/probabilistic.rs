@@ -1,0 +1,138 @@
+//! Combining the conditional bounds with measured k-distributions —
+//! the step §1.3 describes but leaves out of the paper.
+//!
+//! §1.3: results should take the form "With probability p, the cost
+//! remains at most c", proved in two parts: (1) conditional claims
+//! "if each transaction sees all but at most k …, the cost remains at
+//! most c(k)" — the theorems — and (2) "probability distribution
+//! information describing the probability that the conditions hold",
+//! from delay characteristics and transaction rates. "It should be
+//! relatively easy to combine the information in (1) and (2) to get
+//! probabilistic statements of the kind we want."
+//!
+//! This module performs the combination: given an empirical sample of
+//! per-transaction `k` values (from simulator runs under a concrete
+//! delay/rate model) and a bound function `f`, it produces the
+//! probabilistic cost statements.
+
+use shard_core::costs::BoundFn;
+use shard_core::Cost;
+
+/// One row of a probabilistic cost table: with probability at least
+/// `probability`, a transaction runs with `k ≤ k_bound`, so (by the
+/// conditional theorem with bound `f`) the cost it can be responsible
+/// for is at most `cost_bound = f(k_bound)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProbabilisticBound {
+    /// Empirical probability that a transaction's `k` is within
+    /// `k_bound`.
+    pub probability: f64,
+    /// The k-quantile.
+    pub k_bound: usize,
+    /// `f(k_bound)` — the §1.3 cost statement's `c`.
+    pub cost_bound: Cost,
+}
+
+/// Combines an empirical k-sample with a conditional bound `f`,
+/// producing "with probability p, cost ≤ c" rows at the requested
+/// probability levels (e.g. `[0.5, 0.9, 0.99, 1.0]`).
+///
+/// Returns an empty vector for an empty sample.
+///
+/// # Panics
+///
+/// Panics if a probability level is outside `[0, 1]`.
+pub fn probabilistic_bounds(
+    k_samples: &[usize],
+    f: &BoundFn,
+    levels: &[f64],
+) -> Vec<ProbabilisticBound> {
+    if k_samples.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted = k_samples.to_vec();
+    sorted.sort_unstable();
+    levels
+        .iter()
+        .map(|&p| {
+            assert!((0.0..=1.0).contains(&p), "probability level {p} outside [0,1]");
+            let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
+            let k = sorted[idx];
+            ProbabilisticBound { probability: p, k_bound: k, cost_bound: f.at(k) }
+        })
+        .collect()
+}
+
+/// The empirical probability that `k ≤ threshold` in the sample
+/// (1.0 for an empty sample — the condition holds vacuously).
+pub fn probability_k_at_most(k_samples: &[usize], threshold: usize) -> f64 {
+    if k_samples.is_empty() {
+        return 1.0;
+    }
+    k_samples.iter().filter(|&&k| k <= threshold).count() as f64 / k_samples.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_translate_to_cost_statements() {
+        // 100 samples: k = 0..100 uniform-ish.
+        let ks: Vec<usize> = (0..100).collect();
+        let f = BoundFn::linear(900);
+        let rows = probabilistic_bounds(&ks, &f, &[0.5, 0.9, 1.0]);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].k_bound, 49);
+        assert_eq!(rows[0].cost_bound, 49 * 900);
+        assert_eq!(rows[1].k_bound, 89);
+        assert_eq!(rows[2].k_bound, 99);
+        assert!((rows[0].probability - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_sample_gives_constant_bounds() {
+        let ks = vec![3usize; 50];
+        let f = BoundFn::linear(300);
+        let rows = probabilistic_bounds(&ks, &f, &[0.1, 0.99]);
+        assert!(rows.iter().all(|r| r.k_bound == 3 && r.cost_bound == 900));
+    }
+
+    #[test]
+    fn empty_sample_yields_nothing() {
+        let f = BoundFn::linear(900);
+        assert!(probabilistic_bounds(&[], &f, &[0.9]).is_empty());
+        assert!((probability_k_at_most(&[], 5) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probability_at_most_counts_correctly() {
+        let ks = [0usize, 1, 2, 3, 4, 5, 6, 7, 8, 9];
+        assert!((probability_k_at_most(&ks, 4) - 0.5).abs() < 1e-9);
+        assert!((probability_k_at_most(&ks, 9) - 1.0).abs() < 1e-9);
+        assert!((probability_k_at_most(&ks, 100) - 1.0).abs() < 1e-9);
+        assert!(probability_k_at_most(&ks, 0) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn bad_level_panics() {
+        let f = BoundFn::linear(900);
+        let _ = probabilistic_bounds(&[1, 2], &f, &[1.5]);
+    }
+
+    /// The consistency link between the two APIs: the bound at level p
+    /// is the smallest k with empirical `P(k ≤ k̂) ≥ p`.
+    #[test]
+    fn quantile_and_cdf_agree() {
+        let ks = [0usize, 0, 1, 1, 2, 5, 5, 9, 14, 30];
+        let f = BoundFn::linear(1);
+        for level in [0.1, 0.3, 0.5, 0.8, 0.95, 1.0] {
+            let row = probabilistic_bounds(&ks, &f, &[level])[0];
+            assert!(probability_k_at_most(&ks, row.k_bound) >= level - 1e-9);
+            if row.k_bound > 0 {
+                assert!(probability_k_at_most(&ks, row.k_bound - 1) < level + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Summary statistics for experiment tables.
+
+/// Five-number-plus summary of a sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: u64,
+    /// Median (lower interpolation).
+    pub p50: u64,
+    /// 95th percentile (lower interpolation).
+    pub p95: u64,
+    /// 99th percentile (lower interpolation).
+    pub p99: u64,
+    /// Maximum.
+    pub max: u64,
+}
+
+impl Summary {
+    /// Summarizes a sample. Returns the zero summary for empty input.
+    pub fn of(values: &[u64]) -> Summary {
+        if values.is_empty() {
+            return Summary { n: 0, mean: 0.0, min: 0, p50: 0, p95: 0, p99: 0, max: 0 };
+        }
+        let mut v = values.to_vec();
+        v.sort_unstable();
+        let pct = |p: f64| -> u64 {
+            let idx = ((v.len() as f64 - 1.0) * p).floor() as usize;
+            v[idx]
+        };
+        Summary {
+            n: v.len(),
+            mean: v.iter().sum::<u64>() as f64 / v.len() as f64,
+            min: v[0],
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+            max: *v.last().expect("non-empty"),
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1} min={} p50={} p95={} p99={} max={}",
+            self.n, self.mean, self.min, self.p50, self.p95, self.p99, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.max, 0);
+    }
+
+    #[test]
+    fn single_value() {
+        let s = Summary::of(&[42]);
+        assert_eq!(s.n, 1);
+        assert_eq!(s.min, 42);
+        assert_eq!(s.p50, 42);
+        assert_eq!(s.max, 42);
+        assert!((s.mean - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_on_known_data() {
+        let values: Vec<u64> = (1..=100).collect();
+        let s = Summary::of(&values);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p95, 95);
+        assert_eq!(s.p99, 99);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unsorted_input_is_fine() {
+        let s = Summary::of(&[5, 1, 9, 3]);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 9);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = Summary::of(&[1, 2, 3]);
+        let text = s.to_string();
+        assert!(text.contains("n=3"));
+        assert!(text.contains("max=3"));
+    }
+}

@@ -1,0 +1,103 @@
+//! Cost traces over the reachable states of an execution.
+//!
+//! The paper's invariant bounds quantify over "any state reachable in
+//! e" — the actual states `s₀ … sₙ`. These helpers evaluate the cost
+//! functions along that trajectory.
+
+use shard_core::{Application, Cost, Execution};
+
+/// `cost(sᵢ, constraint)` for every reachable state (`s₀` first).
+pub fn cost_trace<A: Application>(
+    app: &A,
+    exec: &Execution<A>,
+    constraint: usize,
+) -> Vec<Cost> {
+    exec.actual_states(app).iter().map(|s| app.cost(s, constraint)).collect()
+}
+
+/// Maximum of [`cost_trace`] — the worst violation over the whole run.
+pub fn max_cost<A: Application>(app: &A, exec: &Execution<A>, constraint: usize) -> Cost {
+    cost_trace(app, exec, constraint).into_iter().max().unwrap_or(0)
+}
+
+/// `Σᵢ cost(s, i)` traced over reachable states.
+pub fn total_cost_trace<A: Application>(app: &A, exec: &Execution<A>) -> Vec<Cost> {
+    exec.actual_states(app).iter().map(|s| app.total_cost(s)).collect()
+}
+
+/// Maximum total cost over reachable states.
+pub fn max_total_cost<A: Application>(app: &A, exec: &Execution<A>) -> Cost {
+    total_cost_trace(app, exec).into_iter().max().unwrap_or(0)
+}
+
+/// Costs at a selected set of reachable states (e.g. the *normal*
+/// states of a grouping — indices are positions in the
+/// `actual_states` vector, i.e. `0` is the initial state and `i + 1`
+/// is the state after transaction `i`).
+///
+/// # Panics
+///
+/// Panics if an index exceeds `exec.len()`.
+pub fn costs_at<A: Application>(
+    app: &A,
+    exec: &Execution<A>,
+    constraint: usize,
+    state_indices: &[usize],
+) -> Vec<Cost> {
+    let states = exec.actual_states(app);
+    state_indices.iter().map(|&i| app.cost(&states[i], constraint)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shard_apps::airline::{AirlineTxn, FlyByNight, OVERBOOKING, UNDERBOOKING};
+    use shard_apps::Person;
+    use shard_core::ExecutionBuilder;
+
+    fn overbooked_exec(app: &FlyByNight) -> Execution<FlyByNight> {
+        let mut b = ExecutionBuilder::new(app);
+        let r1 = b.push_complete(AirlineTxn::Request(Person(1))).unwrap();
+        let r2 = b.push_complete(AirlineTxn::Request(Person(2))).unwrap();
+        b.push(AirlineTxn::MoveUp, vec![r1]).unwrap();
+        b.push(AirlineTxn::MoveUp, vec![r2]).unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn traces_follow_the_story() {
+        let app = FlyByNight::new(1);
+        let e = overbooked_exec(&app);
+        let over = cost_trace(&app, &e, OVERBOOKING);
+        // s0, after R1, after R2, after first MoveUp, after second.
+        assert_eq!(over, vec![0, 0, 0, 0, 900]);
+        let under = cost_trace(&app, &e, UNDERBOOKING);
+        assert_eq!(under, vec![0, 300, 300, 0, 0]);
+        assert_eq!(max_cost(&app, &e, OVERBOOKING), 900);
+        assert_eq!(max_cost(&app, &e, UNDERBOOKING), 300);
+    }
+
+    #[test]
+    fn total_cost_trace_sums() {
+        let app = FlyByNight::new(1);
+        let e = overbooked_exec(&app);
+        let totals = total_cost_trace(&app, &e);
+        assert_eq!(totals, vec![0, 300, 300, 0, 900]);
+        assert_eq!(max_total_cost(&app, &e), 900);
+    }
+
+    #[test]
+    fn costs_at_selected_states() {
+        let app = FlyByNight::new(1);
+        let e = overbooked_exec(&app);
+        assert_eq!(costs_at(&app, &e, OVERBOOKING, &[0, 4]), vec![0, 900]);
+    }
+
+    #[test]
+    fn empty_execution_has_zero_max() {
+        let app = FlyByNight::new(1);
+        let e: Execution<FlyByNight> = Execution::new();
+        assert_eq!(max_cost(&app, &e, OVERBOOKING), 0);
+        assert_eq!(cost_trace(&app, &e, OVERBOOKING), vec![0]);
+    }
+}

@@ -1,0 +1,346 @@
+//! The update-sequence lemmas of §5.3, as executable statements.
+//!
+//! Lemmas 14–19 relate the state `s` produced by a full update sequence
+//! `𝒜` to the state `t` produced by a subsequence `𝒮 ⊆ 𝒜`. They are the
+//! engine room of the refined Theorems 20–21: each says that if `𝒮`
+//! contains certain critical updates, then `t` agrees with `s` about a
+//! particular person. Each lemma here is a function returning whether
+//! the implication held on a concrete `(𝒜, 𝒮, P)` instance; the test
+//! suite checks them exhaustively over small update universes — which is
+//! how the Lemma 16 erratum (see below) was found.
+
+use super::witness::{UpdateHistory, WaitingWitness};
+use super::{AirlineState, AirlineUpdate, FlyByNight};
+use crate::person::Person;
+use shard_core::Application;
+
+/// The pair of states `(s, t)` a lemma instance compares: `s` from the
+/// full sequence, `t` from the kept subsequence.
+pub fn states_of<'a>(
+    app: &FlyByNight,
+    seq: &[AirlineUpdate],
+    kept: impl Iterator<Item = &'a AirlineUpdate>,
+) -> (AirlineState, AirlineState) {
+    let mut s = app.initial_state();
+    for u in seq {
+        s = app.apply(&s, u);
+    }
+    let mut t = app.initial_state();
+    for u in kept {
+        t = app.apply(&t, u);
+    }
+    (s, t)
+}
+
+fn restrict(seq: &[AirlineUpdate], kept: &[usize]) -> Vec<AirlineUpdate> {
+    kept.iter().map(|&i| seq[i]).collect()
+}
+
+/// **Lemma 15.** If `P ∈ ASSIGNED-LIST(s)` and `(A, B)` is an assignment
+/// witness for `P` in `𝒜` with both `A, B ∈ 𝒮`, then
+/// `P ∈ ASSIGNED-LIST(t)`. Returns `None` when the hypothesis is unmet,
+/// `Some(conclusion)` otherwise.
+pub fn lemma15(
+    app: &FlyByNight,
+    seq: &[AirlineUpdate],
+    kept: &[usize],
+    p: Person,
+) -> Option<bool> {
+    let (s, t) = states_of(app, seq, restrict(seq, kept).iter());
+    if !s.is_assigned(p) {
+        return None;
+    }
+    let h = UpdateHistory::new(seq);
+    h.assignment_witness_within(p, |i| kept.contains(&i))?;
+    Some(t.is_assigned(p))
+}
+
+/// **Lemma 16 (corrected).** If `P ∈ WAIT-LIST(s)` and `𝒮` contains a
+/// waiting witness for `P` (corrected semantics — see the erratum on
+/// [`UpdateHistory::waiting_witness`]), then `P ∈ WAIT-LIST(t)`.
+///
+/// With the **paper's literal form-(1)** hypothesis instead — "a
+/// request(P) in `𝒮` with no cancel(P) or move-up(P) after it *in 𝒜*" —
+/// the implication fails: take `𝒜 = [request(P), move-up(P), cancel(P),
+/// request(P)]` and `𝒮` keeping everything but the cancel. `P` waits in
+/// `s` and the second request satisfies form (1), but in `t` the
+/// un-cancelled move-up leaves `P` assigned. [`lemma16_literal`] exposes
+/// that reading so the tests can exhibit the counterexample.
+pub fn lemma16(
+    app: &FlyByNight,
+    seq: &[AirlineUpdate],
+    kept: &[usize],
+    p: Person,
+) -> Option<bool> {
+    let (s, t) = states_of(app, seq, restrict(seq, kept).iter());
+    if !s.is_waiting(p) {
+        return None;
+    }
+    // Corrected witness, required to lie inside 𝒮 with its defining
+    // conditions evaluated in 𝒜: conditions from the full history,
+    // membership from the kept set.
+    let h = UpdateHistory::new(seq);
+    let witness = h.waiting_witness(p)?;
+    let in_kept = |i: usize| kept.contains(&i);
+    let included = match witness {
+        WaitingWitness::Pending(a) => in_kept(a),
+        WaitingWitness::Demoted(a, d) => in_kept(a) && in_kept(d),
+    };
+    // The corrected reading additionally requires 𝒮 to keep the last
+    // cancel(P) and last move-up(P) (Lemmas 17/19's conditions), which
+    // is what makes the transfer sound.
+    let negatives_kept = h.last_cancel(p).is_none_or(in_kept)
+        && h.last_move_up(p).is_none_or(in_kept);
+    if !included || !negatives_kept {
+        return None;
+    }
+    Some(t.is_waiting(p))
+}
+
+/// The paper's **literal Lemma 16 form (1)** hypothesis: some
+/// `request(P)` in `𝒮` with no `cancel(P)` or `move-up(P)` after it in
+/// `𝒜`. Returns `Some(t-waiting?)` when that hypothesis holds — the
+/// tests show this implication is falsifiable (the erratum).
+pub fn lemma16_literal(
+    app: &FlyByNight,
+    seq: &[AirlineUpdate],
+    kept: &[usize],
+    p: Person,
+) -> Option<bool> {
+    let (s, t) = states_of(app, seq, restrict(seq, kept).iter());
+    if !s.is_waiting(p) {
+        return None;
+    }
+    let h = UpdateHistory::new(seq);
+    let cancel_bar = h.last_cancel(p).map_or(0, |c| c + 1);
+    let up_bar = h.last_move_up(p).map_or(0, |u| u + 1);
+    let bar = cancel_bar.max(up_bar);
+    let hypothesis = kept
+        .iter()
+        .any(|&i| i >= bar && seq[i] == AirlineUpdate::Request(p));
+    if !hypothesis {
+        return None;
+    }
+    Some(t.is_waiting(p))
+}
+
+/// **Lemma 17.** If `𝒮` contains the last `cancel(P)` (if any) of `𝒜`
+/// and `P` is known in `t`, then `P` is known in `s`.
+pub fn lemma17(
+    app: &FlyByNight,
+    seq: &[AirlineUpdate],
+    kept: &[usize],
+    p: Person,
+) -> Option<bool> {
+    let (s, t) = states_of(app, seq, restrict(seq, kept).iter());
+    let h = UpdateHistory::new(seq);
+    if !h.last_cancel(p).is_none_or(|c| kept.contains(&c)) || !t.is_known(p) {
+        return None;
+    }
+    Some(s.is_known(p))
+}
+
+/// **Lemma 18.** If `𝒮` contains the last `move-down(P)` and the last
+/// `cancel(P)` (if any) of `𝒜`, and `P ∈ ASSIGNED-LIST(t)`, then
+/// `P ∈ ASSIGNED-LIST(s)`.
+pub fn lemma18(
+    app: &FlyByNight,
+    seq: &[AirlineUpdate],
+    kept: &[usize],
+    p: Person,
+) -> Option<bool> {
+    let (s, t) = states_of(app, seq, restrict(seq, kept).iter());
+    let h = UpdateHistory::new(seq);
+    let negatives = h.last_move_down(p).is_none_or(|d| kept.contains(&d))
+        && h.last_cancel(p).is_none_or(|c| kept.contains(&c));
+    if !negatives || !t.is_assigned(p) {
+        return None;
+    }
+    Some(s.is_assigned(p))
+}
+
+/// **Lemma 19 (corrected).** If `𝒮` contains the last `move-up(P)`, the
+/// last `cancel(P)`, **and the first `request(P)` after the last
+/// cancel** (each if it exists), and `P ∈ WAIT-LIST(t)`, then
+/// `P ∈ WAIT-LIST(s)`.
+///
+/// # Erratum (mechanization finding)
+///
+/// The paper states the hypothesis with only the two "last" updates
+/// ("Assume that 𝒮 contains the last move-up(P)… the last cancel(P)…",
+/// proof "analogous"). The exhaustive sweep below falsifies that
+/// reading — the same duplicate-request corner as Lemma 16: with
+/// `𝒜 = [request(P), move-up(P), request(P)]` and `𝒮 = {move-up,
+/// second request}`, both "lasts" are kept and `P` waits in `t` (the
+/// move-up replays as a no-op before the request), yet `P` is assigned
+/// in `s`. Keeping the *establishing* request closes the gap:
+/// [`lemma19_literal`] exposes the paper's reading for the tests.
+pub fn lemma19(
+    app: &FlyByNight,
+    seq: &[AirlineUpdate],
+    kept: &[usize],
+    p: Person,
+) -> Option<bool> {
+    let (s, t) = states_of(app, seq, restrict(seq, kept).iter());
+    let h = UpdateHistory::new(seq);
+    let cancel_bar = h.last_cancel(p).map_or(0, |c| c + 1);
+    let establishing = seq
+        .iter()
+        .enumerate()
+        .position(|(i, u)| i >= cancel_bar && *u == AirlineUpdate::Request(p));
+    let negatives = h.last_move_up(p).is_none_or(|u| kept.contains(&u))
+        && h.last_cancel(p).is_none_or(|c| kept.contains(&c))
+        && establishing.is_none_or(|r| kept.contains(&r));
+    if !negatives || !t.is_waiting(p) {
+        return None;
+    }
+    Some(s.is_waiting(p))
+}
+
+/// The paper's **literal Lemma 19** hypothesis (last move-up and last
+/// cancel only). Falsifiable — see the erratum on [`lemma19`].
+pub fn lemma19_literal(
+    app: &FlyByNight,
+    seq: &[AirlineUpdate],
+    kept: &[usize],
+    p: Person,
+) -> Option<bool> {
+    let (s, t) = states_of(app, seq, restrict(seq, kept).iter());
+    let h = UpdateHistory::new(seq);
+    let negatives = h.last_move_up(p).is_none_or(|u| kept.contains(&u))
+        && h.last_cancel(p).is_none_or(|c| kept.contains(&c));
+    if !negatives || !t.is_waiting(p) {
+        return None;
+    }
+    Some(s.is_waiting(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shard_core::costs::for_each_subsequence_missing_at_most;
+
+    fn p(n: u32) -> Person {
+        Person(n)
+    }
+
+    /// Exhaustively check a lemma over all update sequences of length
+    /// ≤ `max_len` drawn from a two-person universe and all their
+    /// subsequences. Returns (instances where the hypothesis held,
+    /// violations of the conclusion).
+    fn sweep(
+        max_len: usize,
+        lemma: impl Fn(&FlyByNight, &[AirlineUpdate], &[usize], Person) -> Option<bool>,
+    ) -> (u64, u64) {
+        use AirlineUpdate::*;
+        let app = FlyByNight::new(1);
+        let universe = [
+            Request(p(1)),
+            Cancel(p(1)),
+            MoveUp(p(1)),
+            MoveDown(p(1)),
+            Request(p(2)),
+            MoveUp(p(2)),
+        ];
+        let mut instances = 0;
+        let mut violations = 0;
+        let mut stack: Vec<Vec<AirlineUpdate>> = vec![vec![]];
+        while let Some(seq) = stack.pop() {
+            for_each_subsequence_missing_at_most(seq.len(), seq.len(), |kept| {
+                for person in [p(1), p(2)] {
+                    if let Some(conclusion) = lemma(&app, &seq, kept, person) {
+                        instances += 1;
+                        if !conclusion {
+                            violations += 1;
+                        }
+                    }
+                }
+            });
+            if seq.len() < max_len {
+                for u in universe {
+                    let mut next = seq.clone();
+                    next.push(u);
+                    stack.push(next);
+                }
+            }
+        }
+        (instances, violations)
+    }
+
+    #[test]
+    fn lemma15_verified_exhaustively() {
+        let (instances, violations) = sweep(4, lemma15);
+        assert!(instances > 500, "non-trivial scope: {instances}");
+        assert_eq!(violations, 0);
+    }
+
+    #[test]
+    fn lemma16_corrected_verified_exhaustively() {
+        let (instances, violations) = sweep(4, lemma16);
+        assert!(instances > 200, "non-trivial scope: {instances}");
+        assert_eq!(violations, 0);
+    }
+
+    /// The erratum, demonstrated: the paper's literal form-(1) reading
+    /// of Lemma 16 has counterexamples within the same scope.
+    #[test]
+    fn lemma16_literal_reading_is_falsifiable() {
+        let (instances, violations) = sweep(4, lemma16_literal);
+        assert!(instances > 200);
+        assert!(violations > 0, "the literal reading should fail somewhere");
+        // The concrete counterexample from the module docs.
+        use AirlineUpdate::*;
+        let app = FlyByNight::new(1);
+        let seq = [Request(p(1)), MoveUp(p(1)), Cancel(p(1)), Request(p(1))];
+        let kept = [0usize, 1, 3]; // drop the cancel
+        assert_eq!(lemma16_literal(&app, &seq, &kept, p(1)), Some(false));
+    }
+
+    #[test]
+    fn lemma17_verified_exhaustively() {
+        let (instances, violations) = sweep(4, lemma17);
+        assert!(instances > 500);
+        assert_eq!(violations, 0);
+    }
+
+    #[test]
+    fn lemma18_verified_exhaustively() {
+        let (instances, violations) = sweep(4, lemma18);
+        assert!(instances > 500);
+        assert_eq!(violations, 0);
+    }
+
+    #[test]
+    fn lemma19_corrected_verified_exhaustively() {
+        let (instances, violations) = sweep(4, lemma19);
+        assert!(instances > 400, "non-trivial scope: {instances}");
+        assert_eq!(violations, 0);
+    }
+
+    /// The second erratum, demonstrated: the paper's literal Lemma 19
+    /// hypothesis admits counterexamples.
+    #[test]
+    fn lemma19_literal_reading_is_falsifiable() {
+        let (instances, violations) = sweep(4, lemma19_literal);
+        assert!(instances > 400);
+        assert!(violations > 0, "the literal reading should fail somewhere");
+        use AirlineUpdate::*;
+        let app = FlyByNight::new(1);
+        let seq = [Request(p(1)), MoveUp(p(1)), Request(p(1))];
+        let kept = [1usize, 2]; // both "lasts" kept, establishing request dropped
+        assert_eq!(lemma19_literal(&app, &seq, &kept, p(1)), Some(false));
+        // The corrected hypothesis excludes this instance.
+        assert_eq!(lemma19(&app, &seq, &kept, p(1)), None);
+    }
+
+    #[test]
+    fn states_of_computes_both_sides() {
+        use AirlineUpdate::*;
+        let app = FlyByNight::new(1);
+        let seq = [Request(p(1)), MoveUp(p(1))];
+        let kept = restrict(&seq, &[0]);
+        let (s, t) = states_of(&app, &seq, kept.iter());
+        assert!(s.is_assigned(p(1)));
+        assert!(t.is_waiting(p(1)));
+    }
+}

@@ -1,0 +1,222 @@
+//! Database states of the Fly-by-Night airline reservation system (§2.1).
+//!
+//! A state consists of two finite ordered lists of people:
+//! `ASSIGNED-LIST` (notified they have seats) and `WAIT-LIST`
+//! (requested but not assigned). The fundamental well-formedness
+//! condition is that the two lists contain disjoint sets of people;
+//! we additionally require each list to be duplicate-free, which the
+//! paper's list-of-people reading implies.
+
+use crate::person::Person;
+use std::fmt;
+
+/// One Fly-by-Night database state: the assigned list and the wait list.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct AirlineState {
+    assigned: Vec<Person>,
+    waiting: Vec<Person>,
+}
+
+impl AirlineState {
+    /// The initial state: both lists empty.
+    pub fn new() -> Self {
+        AirlineState::default()
+    }
+
+    /// Builds a state directly from list contents (used by tests and the
+    /// exhaustive state space). No well-formedness check is performed —
+    /// ill-formed states are representable so the checkers can reject
+    /// them.
+    pub fn from_lists(assigned: Vec<Person>, waiting: Vec<Person>) -> Self {
+        AirlineState { assigned, waiting }
+    }
+
+    /// The assigned list, in priority order.
+    pub fn assigned(&self) -> &[Person] {
+        &self.assigned
+    }
+
+    /// The wait list, in priority order.
+    pub fn waiting(&self) -> &[Person] {
+        &self.waiting
+    }
+
+    /// `AL(s)` — the number of people on the assigned list.
+    pub fn al(&self) -> u64 {
+        self.assigned.len() as u64
+    }
+
+    /// `WL(s)` — the number of people on the wait list.
+    pub fn wl(&self) -> u64 {
+        self.waiting.len() as u64
+    }
+
+    /// Whether `p` is *known* in this state (§4.2): on either list.
+    pub fn is_known(&self, p: Person) -> bool {
+        self.is_assigned(p) || self.is_waiting(p)
+    }
+
+    /// Whether `p` is on the assigned list.
+    pub fn is_assigned(&self, p: Person) -> bool {
+        self.assigned.contains(&p)
+    }
+
+    /// Whether `p` is on the wait list.
+    pub fn is_waiting(&self, p: Person) -> bool {
+        self.waiting.contains(&p)
+    }
+
+    /// The fundamental consistency condition: the lists are disjoint
+    /// (and duplicate-free).
+    pub fn lists_disjoint(&self) -> bool {
+        let dup_free = |v: &[Person]| {
+            let mut seen = v.to_vec();
+            seen.sort_unstable();
+            seen.windows(2).all(|w| w[0] != w[1])
+        };
+        dup_free(&self.assigned)
+            && dup_free(&self.waiting)
+            && !self.assigned.iter().any(|p| self.waiting.contains(p))
+    }
+
+    /// Appends `p` to the end of the wait list (REQUEST update body).
+    /// No-op if `p` is already known — the §5.1 policy: a duplicate
+    /// request does not change the original priority.
+    pub(crate) fn request(&mut self, p: Person) {
+        if !self.is_known(p) {
+            self.waiting.push(p);
+        }
+    }
+
+    /// Removes `p` from whichever list it is on (CANCEL update body).
+    pub(crate) fn cancel(&mut self, p: Person) {
+        self.assigned.retain(|x| *x != p);
+        self.waiting.retain(|x| *x != p);
+    }
+
+    /// Moves `p` from the wait list to the end of the assigned list
+    /// (move-up(P) update body). No-op if `p` is not waiting — the §5.1
+    /// policy: re-assigning an already assigned person does not alter
+    /// their priority.
+    pub(crate) fn move_up(&mut self, p: Person) {
+        if let Some(pos) = self.waiting.iter().position(|x| *x == p) {
+            self.waiting.remove(pos);
+            self.assigned.push(p);
+        }
+    }
+
+    /// Moves `p` from the assigned list to the **head** of the wait list
+    /// (move-down(P) update body). No-op if `p` is not assigned.
+    ///
+    /// The §2.3 program text reads "add P to end of WAIT-LIST", but the
+    /// §5.5 worked example states explicitly that a moved-down person is
+    /// "put at the head of the WAIT-LIST", and §4.2's claim that all four
+    /// transactions preserve priority *requires* head insertion (a person
+    /// moved down from the assigned list previously preceded every
+    /// waiter, so they must continue to precede every waiter). We follow
+    /// §4.2/§5.5; DESIGN.md records the discrepancy.
+    pub(crate) fn move_down(&mut self, p: Person) {
+        if let Some(pos) = self.assigned.iter().position(|x| *x == p) {
+            self.assigned.remove(pos);
+            self.waiting.insert(0, p);
+        }
+    }
+}
+
+impl fmt::Display for AirlineState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "assigned=[")?;
+        for (i, p) in self.assigned.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "] waiting=[")?;
+        for (i, p) in self.waiting.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(n: u32) -> Person {
+        Person(n)
+    }
+
+    #[test]
+    fn initial_state_is_empty() {
+        let s = AirlineState::new();
+        assert_eq!(s.al(), 0);
+        assert_eq!(s.wl(), 0);
+        assert!(s.lists_disjoint());
+    }
+
+    #[test]
+    fn request_appends_once() {
+        let mut s = AirlineState::new();
+        s.request(p(1));
+        s.request(p(2));
+        s.request(p(1)); // duplicate keeps original position (§5.1)
+        assert_eq!(s.waiting(), &[p(1), p(2)]);
+    }
+
+    #[test]
+    fn request_is_noop_for_assigned_person() {
+        let mut s = AirlineState::from_lists(vec![p(1)], vec![]);
+        s.request(p(1));
+        assert_eq!(s.wl(), 0);
+    }
+
+    #[test]
+    fn cancel_removes_from_either_list() {
+        let mut s = AirlineState::from_lists(vec![p(1)], vec![p(2)]);
+        s.cancel(p(1));
+        s.cancel(p(2));
+        s.cancel(p(3)); // unknown: no-op
+        assert_eq!(s.al(), 0);
+        assert_eq!(s.wl(), 0);
+    }
+
+    #[test]
+    fn move_up_appends_to_assigned() {
+        let mut s = AirlineState::from_lists(vec![p(1)], vec![p(2), p(3)]);
+        s.move_up(p(3));
+        assert_eq!(s.assigned(), &[p(1), p(3)]);
+        assert_eq!(s.waiting(), &[p(2)]);
+        // Moving up someone already assigned (§5.1 policy): no-op.
+        s.move_up(p(1));
+        assert_eq!(s.assigned(), &[p(1), p(3)]);
+    }
+
+    #[test]
+    fn move_down_inserts_at_head_of_wait_list() {
+        let mut s = AirlineState::from_lists(vec![p(1), p(2)], vec![p(3)]);
+        s.move_down(p(2));
+        assert_eq!(s.assigned(), &[p(1)]);
+        assert_eq!(s.waiting(), &[p(2), p(3)]); // head, per §5.5
+        s.move_down(p(9)); // not assigned: no-op
+        assert_eq!(s.waiting(), &[p(2), p(3)]);
+    }
+
+    #[test]
+    fn disjointness_detects_overlap_and_duplicates() {
+        assert!(!AirlineState::from_lists(vec![p(1)], vec![p(1)]).lists_disjoint());
+        assert!(!AirlineState::from_lists(vec![p(1), p(1)], vec![]).lists_disjoint());
+        assert!(!AirlineState::from_lists(vec![], vec![p(2), p(2)]).lists_disjoint());
+        assert!(AirlineState::from_lists(vec![p(1)], vec![p(2)]).lists_disjoint());
+    }
+
+    #[test]
+    fn display_shows_both_lists() {
+        let s = AirlineState::from_lists(vec![p(1)], vec![p(2)]);
+        assert_eq!(s.to_string(), "assigned=[P1] waiting=[P2]");
+    }
+}

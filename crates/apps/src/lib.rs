@@ -1,0 +1,42 @@
+//! # shard-apps — applications for the SHARD correctness-conditions model
+//!
+//! Concrete [`shard_core::Application`]s used throughout the
+//! reproduction of Lynch/Blaustein/Siegel 1986:
+//!
+//! * [`airline`] — the **Fly-by-Night airline reservation system** of
+//!   §2.1–§2.3: `REQUEST`, `CANCEL`, `MOVE-UP`, `MOVE-DOWN`; the
+//!   overbooking ($900·excess) and unnecessary-underbooking
+//!   ($300·min(free seats, waiting)) cost measures; the priority model of
+//!   §4.2; and the assignment / waiting **witnesses** of §5.3.
+//! * [`airline_ts`] — the timestamp-ordered redesign sketched at the end
+//!   of §5.5, which keeps both lists sorted by request timestamp so that
+//!   relative priority always respects original request order.
+//! * [`banking`] — a bank with deposits, guarded withdrawals, transfers,
+//!   a compensating overdraft reconciliation and an audit transaction
+//!   (§1.1's motivating application; §3.2's audit-with-complete-prefix).
+//! * [`inventory`] — inventory control with quantity orders, restocks,
+//!   backorders and compensating promote/unship transactions — the
+//!   "other resource allocation systems" the paper claims its techniques
+//!   extend to (§2.3, §6).
+//! * [`dictionary`] — a highly available replicated dictionary in the
+//!   style of Fischer–Michael, the non-resource-allocation example the
+//!   paper's conclusion points at ([FM], §6).
+//! * [`nameserver`] — a Grapevine-style name server with per-group
+//!   referential-integrity costs and a scavenging compensator — the
+//!   other §6 suggestion ("name servers such as Grapevine [B] have
+//!   interesting but nonserializable behavior").
+//! * [`person`] — the competing entities of the airline example.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod airline;
+pub mod airline_ts;
+pub mod banking;
+pub mod dictionary;
+pub mod inventory;
+pub mod nameserver;
+pub mod person;
+
+pub use airline::{AirlineState, AirlineTxn, AirlineUpdate, FlyByNight};
+pub use person::Person;

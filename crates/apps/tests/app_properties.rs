@@ -1,0 +1,233 @@
+//! Property-based tests of the applications: witness characterizations
+//! against the per-person automaton, list invariants, and conservation
+//! laws, on randomized inputs far longer than the exhaustive unit tests.
+
+use proptest::prelude::*;
+use shard_apps::airline::witness::UpdateHistory;
+use shard_apps::airline::{AirlineState, AirlineUpdate, FlyByNight};
+use shard_apps::airline_ts::{StampedPerson, TsFlyByNight, TsUpdate};
+use shard_apps::banking::{AccountId, Bank, BankTxn, BankUpdate};
+use shard_apps::inventory::{InvUpdate, ItemId, Order, OrderId, Warehouse};
+use shard_apps::Person;
+use shard_core::{Application, PriorityModel};
+
+fn airline_update_strategy() -> impl Strategy<Value = AirlineUpdate> {
+    prop_oneof![
+        (1u32..6).prop_map(|p| AirlineUpdate::Request(Person(p))),
+        (1u32..6).prop_map(|p| AirlineUpdate::Cancel(Person(p))),
+        (1u32..6).prop_map(|p| AirlineUpdate::MoveUp(Person(p))),
+        (1u32..6).prop_map(|p| AirlineUpdate::MoveDown(Person(p))),
+        Just(AirlineUpdate::Noop),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Lemma 14 (corrected): witness existence coincides with list
+    /// membership on random sequences up to length 40 (the unit tests
+    /// cover all sequences up to length 4 exhaustively).
+    #[test]
+    fn witness_characterization_on_long_sequences(
+        seq in proptest::collection::vec(airline_update_strategy(), 0..40)
+    ) {
+        let app = FlyByNight::new(2);
+        let mut s = app.initial_state();
+        for u in &seq {
+            s = app.apply(&s, u);
+        }
+        let h = UpdateHistory::new(&seq);
+        for p in (1..6).map(Person) {
+            prop_assert_eq!(s.is_assigned(p), h.assignment_witness(p).is_some());
+            prop_assert_eq!(s.is_waiting(p), h.waiting_witness(p).is_some());
+            prop_assert_eq!(s.is_known(p), h.known_by_history(p));
+        }
+    }
+
+    /// Every reachable airline state is well-formed and the lists
+    /// partition the known people.
+    #[test]
+    fn airline_states_stay_well_formed(
+        seq in proptest::collection::vec(airline_update_strategy(), 0..60)
+    ) {
+        let app = FlyByNight::new(3);
+        let mut s = app.initial_state();
+        for u in &seq {
+            s = app.apply(&s, u);
+            prop_assert!(app.is_well_formed(&s));
+            prop_assert_eq!(s.al() + s.wl(), app.known(&s).len() as u64);
+        }
+    }
+
+    /// Priority is a strict total order on the known people of any
+    /// reachable state (irreflexive, antisymmetric, total, transitive).
+    #[test]
+    fn airline_priority_is_a_strict_total_order(
+        seq in proptest::collection::vec(airline_update_strategy(), 0..40)
+    ) {
+        let app = FlyByNight::new(2);
+        let mut s = app.initial_state();
+        for u in &seq {
+            s = app.apply(&s, u);
+        }
+        let known = app.known(&s);
+        for p in &known {
+            prop_assert!(!app.precedes(&s, p, p));
+            for q in &known {
+                if p != q {
+                    prop_assert!(app.precedes(&s, p, q) != app.precedes(&s, q, p));
+                }
+                for r in &known {
+                    if app.precedes(&s, p, q) && app.precedes(&s, q, r) {
+                        prop_assert!(app.precedes(&s, p, r));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The timestamp-ordered redesign keeps both lists sorted by stamp
+    /// in every reachable state.
+    #[test]
+    fn ts_airline_lists_stay_sorted(
+        ops in proptest::collection::vec((0u8..4, 1u32..6, 0u64..50), 0..50)
+    ) {
+        let app = TsFlyByNight::new(2);
+        let mut s = app.initial_state();
+        for (kind, p, stamp) in ops {
+            let u = match kind {
+                0 => TsUpdate::Request(StampedPerson { person: Person(p), stamp }),
+                1 => TsUpdate::Cancel(Person(p)),
+                2 => TsUpdate::MoveUp(Person(p)),
+                _ => TsUpdate::MoveDown(Person(p)),
+            };
+            s = app.apply(&s, &u);
+            prop_assert!(app.is_well_formed(&s), "unsorted or duplicated: {s:?}");
+        }
+    }
+
+    /// Banking: transfers conserve total balance; deposits/withdrawals
+    /// change it by exactly their amounts.
+    #[test]
+    fn bank_totals_are_conserved(
+        ops in proptest::collection::vec((0u8..3, 1u32..4, 1u32..100), 0..60)
+    ) {
+        let app = Bank::new(3, 1000);
+        let mut s = app.initial_state();
+        let mut expected_total: i64 = 0;
+        for (kind, acct, amt) in ops {
+            let a = AccountId(acct);
+            match kind {
+                0 => {
+                    s = app.apply(&s, &BankUpdate::Credit(a, amt));
+                    expected_total += amt as i64;
+                }
+                1 => {
+                    s = app.apply(&s, &BankUpdate::Debit(a, amt));
+                    expected_total -= amt as i64;
+                }
+                _ => {
+                    let b = AccountId(acct % 3 + 1);
+                    s = app.apply(&s, &BankUpdate::Move(a, b, amt));
+                }
+            }
+            prop_assert_eq!(s.total(), expected_total);
+        }
+    }
+
+    /// The bank's guarded decisions never choose an overdrawing update:
+    /// T(s, s) keeps the touched account's constraint cost at zero.
+    #[test]
+    fn guarded_withdrawals_never_overdraw_on_purpose(
+        balance in -200i64..500,
+        amt in 1u32..300,
+    ) {
+        let app = Bank::new(1, 250);
+        let a = AccountId(1);
+        let s = shard_apps::banking::BankState::with_balances(&[(a, balance)]);
+        let after = app.run(&BankTxn::Withdraw(a, amt), &s, &s);
+        // Never worse than before:
+        prop_assert!(after.balance(a) >= s.balance(a).min(0).min(after.balance(a)));
+        if s.balance(a) >= 0 {
+            prop_assert!(after.balance(a) >= 0, "solvent account stays solvent");
+        }
+    }
+
+    /// Inventory: order ids never duplicate across the two queues, and
+    /// committed units never go negative.
+    #[test]
+    fn inventory_states_stay_well_formed(
+        ops in proptest::collection::vec((0u8..6, 1u32..8, 1u64..5), 0..60)
+    ) {
+        let app = Warehouse::new(1, 10, 40, 15);
+        let item = ItemId(0);
+        let mut s = app.initial_state();
+        for (kind, id, qty) in ops {
+            let u = match kind {
+                0 => InvUpdate::Commit(item, Order { id: OrderId(id), qty }),
+                1 => InvUpdate::Backlog(item, Order { id: OrderId(id), qty }),
+                2 => InvUpdate::Remove(item, OrderId(id)),
+                3 => InvUpdate::Promote(item, OrderId(id)),
+                4 => InvUpdate::Demote(item, OrderId(id)),
+                _ => InvUpdate::AddStock(item, qty),
+            };
+            s = app.apply(&s, &u);
+            prop_assert!(app.is_well_formed(&s));
+        }
+        // The FIFO-prefix cost never exceeds total backlog units.
+        let it = s.item(item);
+        let backlog_units: u64 = it.backlog.iter().map(|o| o.qty).sum();
+        prop_assert!(it.fittable_backlog_units() <= backlog_units);
+        prop_assert!(it.fittable_backlog_units() <= it.available());
+    }
+
+    /// Airline updates are idempotent where the §5.1 policies say so:
+    /// re-applying a request or move-up for an already-settled person is
+    /// a no-op.
+    #[test]
+    fn duplicate_policy_idempotence(
+        seq in proptest::collection::vec(airline_update_strategy(), 0..30),
+        p in 1u32..6,
+    ) {
+        let app = FlyByNight::new(2);
+        let mut s = app.initial_state();
+        for u in &seq {
+            s = app.apply(&s, u);
+        }
+        let p = Person(p);
+        if s.is_known(p) {
+            prop_assert_eq!(app.apply(&s, &AirlineUpdate::Request(p)), s.clone());
+        }
+        if s.is_assigned(p) {
+            prop_assert_eq!(app.apply(&s, &AirlineUpdate::MoveUp(p)), s.clone());
+        }
+        if !s.is_assigned(p) {
+            prop_assert_eq!(app.apply(&s, &AirlineUpdate::MoveDown(p)), s.clone());
+        }
+        if !s.is_waiting(p) {
+            prop_assert_eq!(app.apply(&s, &AirlineUpdate::MoveUp(p)), s);
+        }
+    }
+}
+
+/// Deterministic regression: the corrected waiting-witness classification
+/// shapes (Pending vs Demoted) on a nontrivial history.
+#[test]
+fn waiting_witness_shapes() {
+    use shard_apps::airline::witness::WaitingWitness;
+    use AirlineUpdate::*;
+    let p = Person(1);
+    let seq = [Request(p), MoveUp(p), MoveDown(p), MoveUp(p), MoveDown(p)];
+    let h = UpdateHistory::new(&seq);
+    assert_eq!(h.waiting_witness(p), Some(WaitingWitness::Demoted(0, 4)));
+    let seq = [Request(p), Cancel(p), Request(p)];
+    let h = UpdateHistory::new(&seq);
+    assert_eq!(h.waiting_witness(p), Some(WaitingWitness::Pending(2)));
+}
+
+/// State display sanity for the docs.
+#[test]
+fn airline_state_display_roundtrip() {
+    let s = AirlineState::from_lists(vec![Person(1)], vec![Person(2), Person(3)]);
+    assert_eq!(s.to_string(), "assigned=[P1] waiting=[P2,P3]");
+}

@@ -1,0 +1,55 @@
+//! Application-level microbenchmarks: decision parts, update
+//! application, cost functions and witness queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shard_apps::airline::witness::UpdateHistory;
+use shard_apps::airline::{AirlineState, AirlineTxn, AirlineUpdate, FlyByNight, OVERBOOKING};
+use shard_apps::Person;
+use shard_core::Application;
+use std::hint::black_box;
+
+fn full_plane(app: &FlyByNight) -> AirlineState {
+    let mut s = app.initial_state();
+    for i in 1..=120u32 {
+        s = app.apply(&s, &AirlineUpdate::Request(Person(i)));
+        if i <= 100 {
+            s = app.apply(&s, &AirlineUpdate::MoveUp(Person(i)));
+        }
+    }
+    s
+}
+
+fn bench_decide_and_apply(c: &mut Criterion) {
+    let app = FlyByNight::default();
+    let s = full_plane(&app);
+    c.bench_function("airline/decide_move_up", |b| {
+        b.iter(|| black_box(app.decide(&AirlineTxn::MoveUp, &s)))
+    });
+    c.bench_function("airline/apply_request", |b| {
+        b.iter(|| black_box(app.apply(&s, &AirlineUpdate::Request(Person(500)))))
+    });
+    c.bench_function("airline/apply_move_up", |b| {
+        b.iter(|| black_box(app.apply(&s, &AirlineUpdate::MoveUp(Person(101)))))
+    });
+    c.bench_function("airline/cost_both", |b| {
+        b.iter(|| black_box(app.cost(&s, OVERBOOKING) + app.total_cost(&s)))
+    });
+}
+
+fn bench_witness_queries(c: &mut Criterion) {
+    let seq: Vec<AirlineUpdate> = (1..=500u32)
+        .flat_map(|i| {
+            [AirlineUpdate::Request(Person(i)), AirlineUpdate::MoveUp(Person(i))]
+        })
+        .collect();
+    let h = UpdateHistory::new(&seq);
+    c.bench_function("airline/assignment_witness_1000updates", |b| {
+        b.iter(|| black_box(h.assignment_witness(Person(250))))
+    });
+    c.bench_function("airline/waiting_witness_1000updates", |b| {
+        b.iter(|| black_box(h.waiting_witness(Person(250))))
+    });
+}
+
+criterion_group!(benches, bench_decide_and_apply, bench_witness_queries);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Baseline-vs-SHARD wall-clock comparison: simulating the same workload
+//! through the serializable primary-copy system and the SHARD cluster.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shard_apps::airline::workload::AirlineMix;
+use shard_apps::airline::FlyByNight;
+use shard_baseline::{BaselineConfig, PrimaryCopy};
+use shard_bench::workloads::{airline_invocations, Routing};
+use shard_sim::{Cluster, ClusterConfig, DelayModel};
+use std::hint::black_box;
+
+fn bench_same_workload(c: &mut Criterion) {
+    let app = FlyByNight::new(40);
+    let invs = airline_invocations(13, 500, 5, 6, AirlineMix::default(), Routing::Random);
+    let mut group = c.benchmark_group("baseline_vs_shard/500_txns");
+    group.sample_size(20);
+    group.bench_function("primary_copy", |b| {
+        b.iter(|| {
+            let sys = PrimaryCopy::new(
+                &app,
+                BaselineConfig {
+                    nodes: 5,
+                    seed: 13,
+                    delay: DelayModel::Exponential { mean: 20 },
+                    ..Default::default()
+                },
+            );
+            black_box(sys.run(invs.clone()).availability())
+        })
+    });
+    group.bench_function("shard_cluster", |b| {
+        b.iter(|| {
+            let cluster = Cluster::new(
+                &app,
+                ClusterConfig {
+                    nodes: 5,
+                    seed: 13,
+                    delay: DelayModel::Exponential { mean: 20 },
+                    ..Default::default()
+                },
+            );
+            black_box(cluster.run(invs.clone()).transactions.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_same_workload);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Scaling of the formal-model checkers: execution verification,
+//! transitivity, and apparent-state replay.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shard_apps::airline::workload::AirlineMix;
+use shard_apps::airline::FlyByNight;
+use shard_bench::workloads::airline_execution_with_k;
+use shard_core::conditions;
+use std::hint::black_box;
+
+fn bench_verify(c: &mut Criterion) {
+    let app = FlyByNight::new(40);
+    let mut group = c.benchmark_group("execution/verify");
+    group.sample_size(10);
+    for n in [200usize, 800, 2000] {
+        let e = airline_execution_with_k(&app, 3, n, 4, AirlineMix::default());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &e, |b, e| {
+            b.iter(|| black_box(e.verify(&app).is_ok()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_transitivity(c: &mut Criterion) {
+    let app = FlyByNight::new(40);
+    let mut group = c.benchmark_group("execution/is_transitive");
+    group.sample_size(10);
+    for n in [500usize, 2000, 5000] {
+        let e = airline_execution_with_k(&app, 5, n, 4, AirlineMix::default());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &e, |b, e| {
+            b.iter(|| black_box(conditions::is_transitive(e)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_actual_states(c: &mut Criterion) {
+    let app = FlyByNight::new(40);
+    let e = airline_execution_with_k(&app, 1, 2000, 4, AirlineMix::default());
+    c.bench_function("execution/actual_states_2000", |b| {
+        b.iter(|| black_box(e.actual_states(&app).len()))
+    });
+}
+
+criterion_group!(benches, bench_verify, bench_transitivity, bench_actual_states);
+criterion_main!(benches);

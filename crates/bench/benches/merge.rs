@@ -1,0 +1,82 @@
+//! Microbenchmarks of the undo/redo merge engine ([BK]/[SKS], §1.2):
+//! in-order appends vs out-of-order inserts, and the checkpoint-interval
+//! trade-off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shard_apps::airline::{AirlineUpdate, FlyByNight};
+use shard_apps::Person;
+use shard_sim::{MergeLog, NodeId, Timestamp};
+use std::hint::black_box;
+
+fn ts(l: u64) -> Timestamp {
+    Timestamp { lamport: l, node: NodeId(0) }
+}
+
+fn updates(n: u64) -> Vec<AirlineUpdate> {
+    (0..n)
+        .map(|i| {
+            if i % 2 == 0 {
+                AirlineUpdate::Request(Person((i / 2 + 1) as u32))
+            } else {
+                AirlineUpdate::MoveUp(Person((i / 2 + 1) as u32))
+            }
+        })
+        .collect()
+}
+
+fn bench_in_order(c: &mut Criterion) {
+    let app = FlyByNight::default();
+    let ups = updates(1000);
+    c.bench_function("merge/in_order_1000", |b| {
+        b.iter(|| {
+            let mut log = MergeLog::new(&app, 32);
+            for (i, u) in ups.iter().enumerate() {
+                log.merge(&app, ts(i as u64 + 1), *u);
+            }
+            black_box(log.len())
+        })
+    });
+}
+
+fn bench_out_of_order(c: &mut Criterion) {
+    let app = FlyByNight::default();
+    let ups = updates(1000);
+    // Pair-swapped arrival order: every other update arrives late.
+    let mut order: Vec<u64> = (1..=1000).collect();
+    for chunk in order.chunks_mut(2) {
+        chunk.reverse();
+    }
+    c.bench_function("merge/pair_swapped_1000", |b| {
+        b.iter(|| {
+            let mut log = MergeLog::new(&app, 32);
+            for (&l, u) in order.iter().zip(&ups) {
+                log.merge(&app, ts(l), *u);
+            }
+            black_box(log.metrics().replayed)
+        })
+    });
+}
+
+fn bench_checkpoint_interval(c: &mut Criterion) {
+    let app = FlyByNight::default();
+    let ups = updates(600);
+    // Adversarial: a late straggler lands near the front, once.
+    let mut group = c.benchmark_group("merge/straggler_by_checkpoint");
+    for interval in [1usize, 16, 128, 100_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(interval), &interval, |b, &iv| {
+            b.iter(|| {
+                let mut log = MergeLog::new(&app, iv);
+                for (i, u) in ups.iter().enumerate() {
+                    log.merge(&app, ts(2 * (i as u64 + 1)), *u);
+                }
+                // The straggler with a mid-sequence timestamp.
+                log.merge(&app, ts(601), AirlineUpdate::Cancel(Person(1)));
+                black_box(log.metrics().replayed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_in_order, bench_out_of_order, bench_checkpoint_interval);
+criterion_main!(benches);

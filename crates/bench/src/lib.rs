@@ -1,0 +1,66 @@
+//! Shared infrastructure for the experiment binaries (`src/bin/exp_*`).
+//!
+//! Every binary regenerates one of the paper's claims; see DESIGN.md §4
+//! for the experiment index and EXPERIMENTS.md for recorded results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod workloads;
+
+use shard_analysis::ClaimCheck;
+
+/// Prints a claim check and returns whether it held (experiment binaries
+/// exit non-zero on violated claims so CI catches regressions).
+pub fn report_claim(check: &ClaimCheck) -> bool {
+    println!("  {check}");
+    check.holds()
+}
+
+/// Exits with an error if any claim failed.
+pub fn finish(all_hold: bool) {
+    if all_hold {
+        println!("\nALL CLAIMS HOLD");
+    } else {
+        println!("\nCLAIM VIOLATIONS FOUND");
+        std::process::exit(1);
+    }
+}
+
+/// Standard seeds for multi-trial experiments.
+pub const TRIAL_SEEDS: [u64; 5] = [11, 42, 1986, 3640, 77];
+
+/// If the `EXP_CSV_DIR` environment variable is set, writes the table as
+/// CSV into that directory (named after a slug of its title) so the
+/// series can feed plots; otherwise does nothing. Errors are reported on
+/// stderr, never fatal.
+pub fn maybe_dump_csv(table: &shard_analysis::Table) {
+    let Ok(dir) = std::env::var("EXP_CSV_DIR") else {
+        return;
+    };
+    let slug: String = table
+        .title()
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .collect();
+    let path = std::path::Path::new(&dir).join(format!("{slug}.csv"));
+    if let Err(e) =
+        std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, table.render_csv()))
+    {
+        eprintln!("warning: failed to write {}: {e}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_claim_passes_through_holds() {
+        let mut c = ClaimCheck::new("x");
+        c.record(None);
+        assert!(report_claim(&c));
+        c.record(Some("bad".into()));
+        assert!(!report_claim(&c));
+    }
+}

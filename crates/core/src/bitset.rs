@@ -1,0 +1,200 @@
+//! A small dense bit set.
+//!
+//! The execution property checkers in [`crate::conditions`] reason about
+//! prefix subsequences of up to tens of thousands of transactions; a
+//! dense `u64`-backed bit set keeps the O(n²) transitivity check inside
+//! the CPU cache without pulling in an external dependency.
+
+/// A fixed-capacity set of `usize` values backed by a `Vec<u64>`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set able to hold values in `0..len`.
+    pub fn new(len: usize) -> Self {
+        BitSet { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// The capacity (exclusive upper bound on storable values).
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Inserts `i` into the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.capacity()`.
+    pub fn insert(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Removes `i` from the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.capacity()`.
+    pub fn remove(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Whether `i` is in the set. Out-of-range values are never members.
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.len && self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Whether every member of `self` is also a member of `other`.
+    pub fn is_subset_of(&self, other: &BitSet) -> bool {
+        let pad = vec![0u64; other.words.len().saturating_sub(self.words.len())];
+        self.words
+            .iter()
+            .zip(other.words.iter().chain(pad.iter()))
+            .all(|(a, b)| a & !b == 0)
+            && self
+                .words
+                .iter()
+                .skip(other.words.len())
+                .all(|w| *w == 0)
+    }
+
+    /// Unions `other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` has a larger capacity and contains values beyond
+    /// `self.capacity()`.
+    pub fn union_with(&mut self, other: &BitSet) {
+        for (i, w) in other.words.iter().enumerate() {
+            if i < self.words.len() {
+                self.words[i] |= w;
+            } else {
+                assert_eq!(*w, 0, "union would overflow capacity {}", self.len);
+            }
+        }
+    }
+
+    /// The number of members.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    /// Iterates over members in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, w)| {
+            let w = *w;
+            (0..64).filter(move |b| w & (1u64 << b) != 0).map(move |b| wi * 64 + b)
+        })
+    }
+
+    /// Builds a set from a slice of members.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any member is `>= len`.
+    pub fn from_members(len: usize, members: &[usize]) -> Self {
+        let mut s = BitSet::new(len);
+        for &m in members {
+            s.insert(m);
+        }
+        s
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let members: Vec<usize> = iter.into_iter().collect();
+        let len = members.iter().max().map_or(0, |m| m + 1);
+        BitSet::from_members(len, &members)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(!s.contains(0));
+        s.insert(0);
+        s.insert(64);
+        s.insert(129);
+        assert!(s.contains(0));
+        assert!(s.contains(64));
+        assert!(s.contains(129));
+        assert!(!s.contains(1));
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    fn out_of_range_contains_is_false() {
+        let s = BitSet::new(10);
+        assert!(!s.contains(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_insert_panics() {
+        let mut s = BitSet::new(10);
+        s.insert(10);
+    }
+
+    #[test]
+    fn subset() {
+        let a = BitSet::from_members(100, &[1, 5, 99]);
+        let b = BitSet::from_members(100, &[0, 1, 5, 70, 99]);
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        let empty = BitSet::new(100);
+        assert!(empty.is_subset_of(&a));
+    }
+
+    #[test]
+    fn subset_across_capacities() {
+        let small = BitSet::from_members(10, &[3]);
+        let big = BitSet::from_members(200, &[3, 150]);
+        assert!(small.is_subset_of(&big));
+        assert!(!big.is_subset_of(&small));
+    }
+
+    #[test]
+    fn union() {
+        let mut a = BitSet::from_members(100, &[1, 2]);
+        let b = BitSet::from_members(100, &[2, 3]);
+        a.union_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let s = BitSet::from_members(200, &[150, 3, 64, 0]);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 3, 64, 150]);
+    }
+
+    #[test]
+    fn from_iterator_sizes_to_max() {
+        let s: BitSet = vec![7usize, 2].into_iter().collect();
+        assert_eq!(s.capacity(), 8);
+        assert!(s.contains(7));
+        assert!(s.contains(2));
+    }
+
+    #[test]
+    fn empty_checks() {
+        let s = BitSet::new(64);
+        assert!(s.is_empty());
+        assert_eq!(s.count(), 0);
+    }
+}

@@ -1,0 +1,366 @@
+//! Conditions guaranteed by the system (§3): refinements of the prefix
+//! subsequence condition.
+//!
+//! The bare prefix-subsequence guarantee is too weak on its own — it is
+//! satisfied even if every transaction sees the empty prefix. The paper
+//! therefore defines refinements the system may additionally guarantee,
+//! each trading availability for correctness (§3.2):
+//!
+//! * **transitivity** — if `T` is in the prefix of `T'` and `T'` in the
+//!   prefix of `T''`, then `T` is in the prefix of `T''`;
+//! * **k-completeness** — a transaction sees all but at most `k` of its
+//!   preceding transactions;
+//! * **centralization** of a group `G` — each member of `G` sees all
+//!   earlier members of `G` (as if a single "agent" ran them);
+//! * **atomicity** of a consecutive run — the run executes without new
+//!   information intervening;
+//! * **timed executions** with **t-bounded delay** — every transaction
+//!   sees all predecessors initiated at least `t` earlier.
+
+use crate::app::Application;
+use crate::bitset::BitSet;
+use crate::execution::{Execution, TxnIndex};
+use std::ops::Range;
+
+/// Builds, for each transaction, the set of prefix indices as a [`BitSet`]
+/// over the execution's indices.
+fn prefix_sets<A: Application>(exec: &Execution<A>) -> Vec<BitSet> {
+    let n = exec.len();
+    exec.records()
+        .iter()
+        .map(|r| BitSet::from_members(n.max(1), &r.prefix))
+        .collect()
+}
+
+/// The number of preceding transactions that transaction `i` does **not**
+/// see: `i − |𝒫ᵢ|`. Transaction `i` is *k-complete* iff this is ≤ `k`.
+///
+/// # Panics
+///
+/// Panics if `i >= exec.len()`.
+pub fn missed_count<A: Application>(exec: &Execution<A>, i: TxnIndex) -> usize {
+    i - exec.record(i).prefix.len()
+}
+
+/// Whether transaction `i` is k-complete in `exec` (§3.2): it sees the
+/// results of all but at most `k` of the preceding transactions.
+///
+/// # Panics
+///
+/// Panics if `i >= exec.len()`.
+pub fn is_k_complete<A: Application>(exec: &Execution<A>, i: TxnIndex, k: usize) -> bool {
+    missed_count(exec, i) <= k
+}
+
+/// The largest number of missed predecessors over all transactions — the
+/// smallest `k` such that *every* transaction is k-complete.
+pub fn max_missed<A: Application>(exec: &Execution<A>) -> usize {
+    (0..exec.len()).map(|i| missed_count(exec, i)).max().unwrap_or(0)
+}
+
+/// Whether the execution is **transitive** (§3.2): for all `T, T', T''`,
+/// if `T ∈ 𝒫(T')` and `T' ∈ 𝒫(T'')` then `T ∈ 𝒫(T'')`.
+///
+/// Runs in O(n² / 64) using dense bit sets.
+pub fn is_transitive<A: Application>(exec: &Execution<A>) -> bool {
+    let sets = prefix_sets(exec);
+    for (i, set) in sets.iter().enumerate() {
+        for j in exec.record(i).prefix.iter().copied() {
+            if !sets[j].is_subset_of(set) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Returns the first transitivity violation as `(t, t_mid, t_top)` where
+/// `t ∈ 𝒫(t_mid)`, `t_mid ∈ 𝒫(t_top)`, but `t ∉ 𝒫(t_top)` — or `None` if
+/// the execution is transitive. Useful in tests and diagnostics.
+pub fn transitivity_violation<A: Application>(
+    exec: &Execution<A>,
+) -> Option<(TxnIndex, TxnIndex, TxnIndex)> {
+    let sets = prefix_sets(exec);
+    for (top, set) in sets.iter().enumerate() {
+        for mid in exec.record(top).prefix.iter().copied() {
+            for low in exec.record(mid).prefix.iter().copied() {
+                if !set.contains(low) {
+                    return Some((low, mid, top));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Whether the group of transactions `group` (indices into `exec`, any
+/// order) is **centralized** in `exec` (§3.2): each member's prefix
+/// subsequence includes every other member that precedes it in the
+/// complete prefix. Conceptually, a single "agent" runs the group.
+pub fn is_centralized<A: Application>(exec: &Execution<A>, group: &[TxnIndex]) -> bool {
+    let n = exec.len();
+    let mut sorted: Vec<TxnIndex> = group.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let sets = prefix_sets(exec);
+    for (pos, &g) in sorted.iter().enumerate() {
+        assert!(g < n, "group index {g} out of range");
+        for &earlier in &sorted[..pos] {
+            if !sets[g].contains(earlier) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Whether the consecutive index range `range` is **atomic** in `exec`
+/// (§3.1): (a) each transaction in the range includes every earlier
+/// transaction of the range in its prefix subsequence, and (b) all
+/// transactions in the range see the same subset of the transactions with
+/// indices below the range.
+///
+/// # Panics
+///
+/// Panics if the range extends past the end of the execution.
+pub fn is_atomic<A: Application>(exec: &Execution<A>, range: Range<TxnIndex>) -> bool {
+    assert!(range.end <= exec.len(), "range out of bounds");
+    if range.is_empty() {
+        return true;
+    }
+    let base: Vec<TxnIndex> = exec
+        .record(range.start)
+        .prefix
+        .iter()
+        .copied()
+        .filter(|&p| p < range.start)
+        .collect();
+    for j in range.clone() {
+        let rec = exec.record(j);
+        let below: Vec<TxnIndex> =
+            rec.prefix.iter().copied().filter(|&p| p < range.start).collect();
+        if below != base {
+            return false;
+        }
+        for earlier in range.start..j {
+            if !rec.prefix.contains(&earlier) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// A timed execution (§3.2): an execution together with a real initiation
+/// time for each transaction. The serial (timestamp) order need not agree
+/// with the real-time order; when it does, the timed execution is
+/// *orderly*.
+#[derive(Clone, Debug)]
+pub struct TimedExecution<A: Application> {
+    /// The underlying execution.
+    pub execution: Execution<A>,
+    /// Real initiation time of each transaction, indexed like the
+    /// execution. Units are whatever the workload used (the simulator
+    /// uses integer microticks).
+    pub times: Vec<u64>,
+}
+
+impl<A: Application> TimedExecution<A> {
+    /// Pairs an execution with transaction initiation times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `times.len() != execution.len()`.
+    pub fn new(execution: Execution<A>, times: Vec<u64>) -> Self {
+        assert_eq!(execution.len(), times.len(), "one time per transaction");
+        TimedExecution { execution, times }
+    }
+
+    /// Whether real times are monotone along the serial order (§3.2's
+    /// *orderly* condition).
+    pub fn is_orderly(&self) -> bool {
+        self.times.windows(2).all(|w| w[0] <= w[1])
+    }
+
+    /// Whether the execution has **t-bounded delay**: the prefix
+    /// subsequence of each transaction `T` includes every preceding
+    /// transaction whose real time is at least `t` smaller than `T`'s.
+    pub fn has_t_bounded_delay(&self, t: u64) -> bool {
+        self.delay_bound_violation(t).is_none()
+    }
+
+    /// Returns the first `(seer, missed)` pair violating t-bounded delay,
+    /// or `None` if the bound holds.
+    pub fn delay_bound_violation(&self, t: u64) -> Option<(TxnIndex, TxnIndex)> {
+        for i in 0..self.execution.len() {
+            let rec = self.execution.record(i);
+            let seen = BitSet::from_members(self.execution.len().max(1), &rec.prefix);
+            for j in 0..i {
+                if self.times[j] + t <= self.times[i] && !seen.contains(j) {
+                    return Some((i, j));
+                }
+            }
+        }
+        None
+    }
+
+    /// The smallest `t` for which the execution has t-bounded delay
+    /// (`0` for empty executions). Computed exactly in O(n²).
+    pub fn min_delay_bound(&self) -> u64 {
+        let mut bound = 0u64;
+        for i in 0..self.execution.len() {
+            let rec = self.execution.record(i);
+            let seen = BitSet::from_members(self.execution.len().max(1), &rec.prefix);
+            for j in 0..i {
+                if !seen.contains(j) {
+                    // Missing j is tolerable only for t > times[i] - times[j].
+                    let gap = self.times[i].saturating_sub(self.times[j]);
+                    bound = bound.max(gap + 1);
+                }
+            }
+        }
+        bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::DecisionOutcome;
+    use crate::execution::ExecutionBuilder;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Nop;
+
+    struct Trivial;
+    impl Application for Trivial {
+        type State = ();
+        type Update = Nop;
+        type Decision = ();
+        fn initial_state(&self) {}
+        fn is_well_formed(&self, _: &()) -> bool {
+            true
+        }
+        fn apply(&self, _: &(), _: &Nop) {}
+        fn decide(&self, _: &(), _: &()) -> DecisionOutcome<Nop> {
+            DecisionOutcome::update_only(Nop)
+        }
+        fn constraint_count(&self) -> usize {
+            0
+        }
+        fn constraint_name(&self, _: usize) -> &str {
+            unreachable!()
+        }
+        fn cost(&self, _: &(), _: usize) -> u64 {
+            0
+        }
+    }
+
+    fn exec_with_prefixes(prefixes: &[&[usize]]) -> Execution<Trivial> {
+        let app = Trivial;
+        let mut b = ExecutionBuilder::new(&app);
+        for p in prefixes {
+            b.push((), p.to_vec()).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn missed_and_k_complete() {
+        let e = exec_with_prefixes(&[&[], &[0], &[0]]);
+        assert_eq!(missed_count(&e, 0), 0);
+        assert_eq!(missed_count(&e, 1), 0);
+        assert_eq!(missed_count(&e, 2), 1);
+        assert!(is_k_complete(&e, 2, 1));
+        assert!(!is_k_complete(&e, 2, 0));
+        assert_eq!(max_missed(&e), 1);
+    }
+
+    #[test]
+    fn transitive_execution() {
+        // 2 sees 1, 1 sees 0, 2 sees 0 as well: transitive.
+        let e = exec_with_prefixes(&[&[], &[0], &[0, 1]]);
+        assert!(is_transitive(&e));
+        assert_eq!(transitivity_violation(&e), None);
+    }
+
+    #[test]
+    fn intransitive_execution() {
+        // 2 sees 1, 1 sees 0, but 2 does not see 0.
+        let e = exec_with_prefixes(&[&[], &[0], &[1]]);
+        assert!(!is_transitive(&e));
+        assert_eq!(transitivity_violation(&e), Some((0, 1, 2)));
+    }
+
+    #[test]
+    fn empty_and_singleton_are_transitive() {
+        let e = exec_with_prefixes(&[]);
+        assert!(is_transitive(&e));
+        let e = exec_with_prefixes(&[&[]]);
+        assert!(is_transitive(&e));
+    }
+
+    #[test]
+    fn centralization() {
+        // Group {0, 2, 4}: 2 sees 0, 4 sees 0 and 2.
+        let e = exec_with_prefixes(&[&[], &[], &[0], &[], &[0, 2]]);
+        assert!(is_centralized(&e, &[0, 2, 4]));
+        assert!(is_centralized(&e, &[4, 2, 0])); // order-insensitive
+        // Group {1, 3}: 3 does not see 1.
+        assert!(!is_centralized(&e, &[1, 3]));
+        // Singleton and empty groups are trivially centralized.
+        assert!(is_centralized(&e, &[3]));
+        assert!(is_centralized(&e, &[]));
+    }
+
+    #[test]
+    fn atomicity() {
+        // Transactions 1..3 form an atomic block on top of base prefix {0}.
+        let e = exec_with_prefixes(&[&[], &[0], &[0, 1], &[0, 1, 2]]);
+        assert!(is_atomic(&e, 1..4));
+        assert!(is_atomic(&e, 2..2)); // empty range
+        assert!(is_atomic(&e, 2..3)); // singleton
+
+        // Base prefixes differ: 2 sees {0}, 3 sees {} below index 2.
+        let e = exec_with_prefixes(&[&[], &[], &[0, 1], &[1, 2]]);
+        assert!(!is_atomic(&e, 2..4));
+
+        // Later member does not see earlier member of the block.
+        let e = exec_with_prefixes(&[&[], &[0], &[0]]);
+        assert!(!is_atomic(&e, 1..3));
+    }
+
+    #[test]
+    fn timed_execution_orderly_and_bounded() {
+        let e = exec_with_prefixes(&[&[], &[0], &[1]]);
+        let te = TimedExecution::new(e, vec![0, 10, 20]);
+        assert!(te.is_orderly());
+        // Txn 2 misses txn 0 which ran 20 earlier: bound must exceed 20.
+        assert!(!te.has_t_bounded_delay(20));
+        assert!(te.has_t_bounded_delay(21));
+        assert_eq!(te.min_delay_bound(), 21);
+        assert_eq!(te.delay_bound_violation(5), Some((2, 0)));
+    }
+
+    #[test]
+    fn unorderly_times_detected() {
+        let e = exec_with_prefixes(&[&[], &[]]);
+        let te = TimedExecution::new(e, vec![5, 1]);
+        assert!(!te.is_orderly());
+    }
+
+    #[test]
+    fn complete_prefixes_have_zero_delay_bound() {
+        let e = exec_with_prefixes(&[&[], &[0], &[0, 1]]);
+        let te = TimedExecution::new(e, vec![0, 1, 2]);
+        assert!(te.has_t_bounded_delay(0));
+        assert_eq!(te.min_delay_bound(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one time per transaction")]
+    fn timed_execution_length_mismatch_panics() {
+        let e = exec_with_prefixes(&[&[]]);
+        let _ = TimedExecution::new(e, vec![]);
+    }
+}

@@ -1,0 +1,55 @@
+//! Object-structured databases (§2.1, §6).
+//!
+//! §2.1: "There might be some additional structure on the database; for
+//! example, it might be composed of a collection of *objects*, where a
+//! state would consist of a value for each object." The paper's §6
+//! generalization — partial replication — relies on exactly this
+//! structure: "judicious assignment of data and transactions to nodes …
+//! in such a way that each transaction will have copies of all the data
+//! it requires."
+//!
+//! [`ObjectModel`] makes the structure explicit: which objects exist,
+//! which an update writes, which a decision reads, and a canonical
+//! per-object projection of states (so replicas holding an object can be
+//! compared). The partially replicated cluster in `shard-sim` consumes
+//! this trait.
+
+use crate::app::Application;
+use std::fmt;
+
+/// Identifier of a data object (an account, a key bucket, a flight…).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectId(pub u32);
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj{}", self.0)
+    }
+}
+
+/// Object structure of an application (see the module docs).
+pub trait ObjectModel: Application {
+    /// All objects of this application instance.
+    fn objects(&self) -> Vec<ObjectId>;
+
+    /// The objects an update writes.
+    fn update_objects(&self, update: &Self::Update) -> Vec<ObjectId>;
+
+    /// The objects a decision part reads.
+    fn decision_objects(&self, decision: &Self::Decision) -> Vec<ObjectId>;
+
+    /// A canonical rendering of object `o`'s value in `state`, for
+    /// comparing replicas that hold `o`.
+    fn project(&self, state: &Self::State, o: ObjectId) -> String;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_id_display_and_order() {
+        assert_eq!(ObjectId(3).to_string(), "obj3");
+        assert!(ObjectId(1) < ObjectId(2));
+    }
+}

@@ -1,0 +1,737 @@
+//! The simulated SHARD cluster (§1.2, §3.3).
+//!
+//! A [`Cluster`] runs a schedule of client [`Invocation`]s against `n`
+//! fully replicated nodes:
+//!
+//! 1. the origin node assigns a Lamport timestamp, runs the **decision
+//!    part once** against its local merged state, performs the external
+//!    actions, and merges its own update;
+//! 2. the update (never the decision) is broadcast to every peer,
+//!    arriving after partition holds plus network delay;
+//! 3. receiving nodes merge it by timestamp, undoing and redoing as
+//!    needed ([`crate::merge`]).
+//!
+//! The run produces a [`ClusterReport`] whose centrepiece is a formal
+//! [`TimedExecution`]: the global timestamp order of the transactions,
+//! each with the prefix subsequence its origin node actually knew at
+//! decision time. [`shard_core::Execution::verify`] re-checks that the
+//! simulator behaved exactly as the paper's model prescribes, and
+//! [`ClusterReport::mutually_consistent`] checks that, once every message
+//! has drained, all node copies agree — the mutual-consistency guarantee
+//! of §1.2.
+
+use crate::broadcast::{delivery_time, UpdateMsg};
+use crate::clock::{LamportClock, NodeId, Timestamp};
+use crate::crash::CrashSchedule;
+use crate::delay::DelayModel;
+use crate::events::{EventQueue, SimTime};
+use crate::merge::{MergeLog, MergeMetrics};
+use crate::partition::PartitionSchedule;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use shard_core::{Application, ExternalAction, Execution, TimedExecution, TxnRecord};
+use std::collections::BTreeMap;
+
+/// Configuration of a simulated cluster.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of replica nodes.
+    pub nodes: u16,
+    /// RNG seed for delay sampling (runs are deterministic per seed).
+    pub seed: u64,
+    /// Message delay model.
+    pub delay: DelayModel,
+    /// Partition schedule.
+    pub partitions: PartitionSchedule,
+    /// Merge-log checkpoint interval (see [`MergeLog::new`]).
+    pub checkpoint_every: usize,
+    /// Piggyback the origin's full log on every message, guaranteeing
+    /// transitive executions (§3.3).
+    pub piggyback: bool,
+    /// Node outage schedule: a crashed node rejects client transactions
+    /// and receives no messages until it recovers.
+    pub crashes: CrashSchedule,
+}
+
+impl Default for ClusterConfig {
+    /// Five nodes, 20-tick mean exponential delays, no partitions.
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: 5,
+            seed: 0,
+            delay: DelayModel::Exponential { mean: 20 },
+            partitions: PartitionSchedule::none(),
+            checkpoint_every: 32,
+            piggyback: false,
+            crashes: CrashSchedule::none(),
+        }
+    }
+}
+
+/// One client transaction submission: at `time`, at `node`.
+#[derive(Clone, Debug)]
+pub struct Invocation<D> {
+    /// Simulated submission time.
+    pub time: SimTime,
+    /// The node the client is attached to (the transaction's origin).
+    pub node: NodeId,
+    /// The transaction.
+    pub decision: D,
+}
+
+impl<D> Invocation<D> {
+    /// Convenience constructor.
+    pub fn new(time: SimTime, node: NodeId, decision: D) -> Self {
+        Invocation { time, node, decision }
+    }
+}
+
+/// A transaction as the simulator executed it.
+#[derive(Clone, Debug)]
+pub struct ExecutedTxn<A: Application> {
+    /// Its globally unique timestamp (position in the serial order).
+    pub ts: Timestamp,
+    /// Real (simulated) initiation time.
+    pub time: SimTime,
+    /// Origin node.
+    pub node: NodeId,
+    /// The submitted transaction.
+    pub decision: A::Decision,
+    /// The update its decision part chose.
+    pub update: A::Update,
+    /// External actions performed at the origin.
+    pub external_actions: Vec<ExternalAction>,
+    /// Timestamps of every update the origin knew at decision time.
+    pub known: Vec<Timestamp>,
+}
+
+/// Everything a cluster run produces.
+#[derive(Clone, Debug)]
+pub struct ClusterReport<A: Application> {
+    /// Executed transactions sorted by timestamp (the serial order).
+    pub transactions: Vec<ExecutedTxn<A>>,
+    /// Per-node undo/redo metrics.
+    pub node_metrics: Vec<MergeMetrics>,
+    /// All external actions in real-time order: `(time, node, action)`.
+    pub external_actions: Vec<(SimTime, NodeId, ExternalAction)>,
+    /// Each node's final merged state after every message drained.
+    pub final_states: Vec<A::State>,
+    /// For every *critical* transaction run through the §3.3 barrier
+    /// protocol (see [`Cluster::run_with_critical`]): the delay between
+    /// submission and execution — the availability price of (near-)
+    /// complete prefixes. Empty for ordinary runs.
+    pub barrier_latencies: Vec<SimTime>,
+    /// Client transactions rejected because their node was crashed at
+    /// submission time: `(time, node)`. These never entered the system.
+    pub rejected: Vec<(SimTime, NodeId)>,
+    /// Point-to-point update messages sent (flooding sends `nodes − 1`
+    /// per transaction; compare [`crate::partial`] and [`crate::gossip`]).
+    pub messages_sent: u64,
+}
+
+impl<A: Application> ClusterReport<A> {
+    /// Whether all node copies agree (mutual consistency, §1.2). Holds
+    /// whenever every broadcast drained, i.e. always at the end of a run.
+    pub fn mutually_consistent(&self) -> bool {
+        self.final_states.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// The formal timed execution: transactions in timestamp order, each
+    /// seeing the prefix subsequence its origin knew.
+    pub fn timed_execution(&self) -> TimedExecution<A> {
+        let index_of: BTreeMap<Timestamp, usize> =
+            self.transactions.iter().enumerate().map(|(i, t)| (t.ts, i)).collect();
+        let mut exec = Execution::new();
+        let mut times = Vec::with_capacity(self.transactions.len());
+        for t in &self.transactions {
+            let mut prefix: Vec<usize> = t.known.iter().map(|ts| index_of[ts]).collect();
+            prefix.sort_unstable();
+            exec.push_record(TxnRecord {
+                decision: t.decision.clone(),
+                prefix,
+                update: t.update.clone(),
+                external_actions: t.external_actions.clone(),
+            });
+            times.push(t.time);
+        }
+        TimedExecution::new(exec, times)
+    }
+
+    /// Total undo/redo replay work across all nodes.
+    pub fn total_replayed(&self) -> u64 {
+        self.node_metrics.iter().map(|m| m.replayed).sum()
+    }
+}
+
+enum Event<A: Application> {
+    Invoke { node: NodeId, decision: A::Decision },
+    Deliver { to: NodeId, msg: UpdateMsg<A> },
+    /// Barrier protocol (§3.3): a critical transaction at `from` asks
+    /// every peer to promise its current initiation count.
+    Probe { to: NodeId, from: NodeId, id: usize },
+    /// A peer's reply: it has initiated `sent` transactions so far.
+    Promise { to: NodeId, from: NodeId, id: usize, sent: u64 },
+}
+
+struct NodeState<A: Application> {
+    clock: LamportClock,
+    log: MergeLog<A>,
+    /// Number of transactions this node has initiated (for promises).
+    own_sent: u64,
+}
+
+/// A critical transaction waiting for its barrier to clear.
+struct PendingCritical<A: Application> {
+    node: NodeId,
+    decision: A::Decision,
+    submitted: SimTime,
+    /// Promise per node id (own entry stays `None` and is ignored).
+    promises: Vec<Option<u64>>,
+    done: bool,
+}
+
+/// A simulated SHARD cluster.
+///
+/// # Examples
+///
+/// ```
+/// use shard_apps::airline::{AirlineTxn, FlyByNight};
+/// use shard_apps::Person;
+/// use shard_sim::{Cluster, ClusterConfig, Invocation, NodeId};
+///
+/// let app = FlyByNight::new(3);
+/// let cluster = Cluster::new(&app, ClusterConfig::default());
+/// let report = cluster.run(vec![
+///     Invocation::new(0, NodeId(0), AirlineTxn::Request(Person(1))),
+///     Invocation::new(9, NodeId(4), AirlineTxn::MoveUp),
+/// ]);
+/// assert!(report.mutually_consistent());
+/// report.timed_execution().execution.verify(&app).unwrap();
+/// ```
+pub struct Cluster<'a, A: Application> {
+    app: &'a A,
+    config: ClusterConfig,
+}
+
+impl<'a, A: Application> Cluster<'a, A> {
+    /// Creates a cluster of `config.nodes` replicas of `app`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero nodes.
+    pub fn new(app: &'a A, config: ClusterConfig) -> Self {
+        assert!(config.nodes > 0, "a cluster needs at least one node");
+        Cluster { app, config }
+    }
+
+    /// Runs the invocation schedule to completion (all broadcasts
+    /// drained) and reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an invocation names a node outside the cluster.
+    pub fn run(&self, invocations: Vec<Invocation<A::Decision>>) -> ClusterReport<A> {
+        self.run_with_critical(invocations, |_| false)
+    }
+
+    /// Like [`Cluster::run`], but transactions selected by `is_critical`
+    /// run through the **barrier protocol** §3.3 sketches for
+    /// centralization and complete prefixes: the origin probes every
+    /// peer; each peer promises the count of transactions it has
+    /// initiated so far; the critical decision executes only once the
+    /// origin has received *every promised update*. The critical
+    /// transaction therefore sees every transaction initiated anywhere
+    /// before its probe was answered — audits get (near-)complete
+    /// prefixes, at the price of waiting out partitions
+    /// ([`ClusterReport::barrier_latencies`] measures exactly the
+    /// availability loss §3.3 warns about).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an invocation names a node outside the cluster.
+    pub fn run_with_critical(
+        &self,
+        invocations: Vec<Invocation<A::Decision>>,
+        is_critical: impl Fn(&A::Decision) -> bool,
+    ) -> ClusterReport<A> {
+        let app = self.app;
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut nodes: Vec<NodeState<A>> = (0..cfg.nodes)
+            .map(|i| NodeState {
+                clock: LamportClock::new(NodeId(i)),
+                log: MergeLog::new(app, cfg.checkpoint_every),
+                own_sent: 0,
+            })
+            .collect();
+        let mut queue: EventQueue<Event<A>> = EventQueue::new();
+        for inv in invocations {
+            assert!(
+                (inv.node.0 as usize) < nodes.len(),
+                "invocation at unknown node {}",
+                inv.node
+            );
+            queue.schedule(inv.time, Event::Invoke { node: inv.node, decision: inv.decision });
+        }
+
+        let mut transactions: Vec<ExecutedTxn<A>> = Vec::new();
+        let mut external_actions: Vec<(SimTime, NodeId, ExternalAction)> = Vec::new();
+        let mut pending: Vec<PendingCritical<A>> = Vec::new();
+        let mut barrier_latencies: Vec<SimTime> = Vec::new();
+        let mut rejected: Vec<(SimTime, NodeId)> = Vec::new();
+        let mut messages_sent = 0u64;
+
+        while let Some((now, event)) = queue.pop() {
+            match event {
+                Event::Invoke { node, decision } => {
+                    if cfg.crashes.is_down(now, node) {
+                        rejected.push((now, node));
+                        continue;
+                    }
+                    if is_critical(&decision) && cfg.nodes > 1 {
+                        let id = pending.len();
+                        pending.push(PendingCritical {
+                            node,
+                            decision,
+                            submitted: now,
+                            promises: vec![None; cfg.nodes as usize],
+                            done: false,
+                        });
+                        for peer in 0..cfg.nodes {
+                            let to = NodeId(peer);
+                            if to == node {
+                                continue;
+                            }
+                            let at = delivery_time(
+                                &cfg.partitions,
+                                &cfg.delay,
+                                &mut rng,
+                                now,
+                                node,
+                                to,
+                            );
+                            queue.schedule(at, Event::Probe { to, from: node, id });
+                        }
+                    } else {
+                        messages_sent += Self::execute_txn(
+                            app,
+                            cfg,
+                            &mut rng,
+                            &mut queue,
+                            &mut nodes,
+                            &mut transactions,
+                            &mut external_actions,
+                            now,
+                            node,
+                            decision,
+                        );
+                    }
+                }
+                Event::Deliver { to, msg } => {
+                    if cfg.crashes.is_down(now, to) {
+                        // The transport holds the message until recovery.
+                        let up = cfg.crashes.next_up(now, to);
+                        queue.schedule(up, Event::Deliver { to, msg });
+                        continue;
+                    }
+                    let n = &mut nodes[to.0 as usize];
+                    for (ts, update) in &msg.piggyback {
+                        n.clock.observe(*ts);
+                        n.log.merge(app, *ts, update.clone());
+                    }
+                    n.clock.observe(msg.ts);
+                    n.log.merge(app, msg.ts, msg.update);
+                    messages_sent += Self::release_criticals(
+                        app,
+                        cfg,
+                        &mut rng,
+                        &mut queue,
+                        &mut nodes,
+                        &mut transactions,
+                        &mut external_actions,
+                        &mut pending,
+                        &mut barrier_latencies,
+                        now,
+                        to,
+                    );
+                }
+                Event::Probe { to, from, id } => {
+                    if cfg.crashes.is_down(now, to) {
+                        let up = cfg.crashes.next_up(now, to);
+                        queue.schedule(up, Event::Probe { to, from, id });
+                        continue;
+                    }
+                    let sent = nodes[to.0 as usize].own_sent;
+                    let at = delivery_time(&cfg.partitions, &cfg.delay, &mut rng, now, to, from);
+                    queue.schedule(at, Event::Promise { to: from, from: to, id, sent });
+                }
+                Event::Promise { to, from, id, sent } => {
+                    if cfg.crashes.is_down(now, to) {
+                        let up = cfg.crashes.next_up(now, to);
+                        queue.schedule(up, Event::Promise { to, from, id, sent });
+                        continue;
+                    }
+                    pending[id].promises[from.0 as usize] = Some(sent);
+                    messages_sent += Self::release_criticals(
+                        app,
+                        cfg,
+                        &mut rng,
+                        &mut queue,
+                        &mut nodes,
+                        &mut transactions,
+                        &mut external_actions,
+                        &mut pending,
+                        &mut barrier_latencies,
+                        now,
+                        to,
+                    );
+                }
+            }
+        }
+
+        debug_assert!(pending.iter().all(|p| p.done), "all barriers clear eventually");
+        transactions.sort_by_key(|t| t.ts);
+        ClusterReport {
+            node_metrics: nodes.iter().map(|n| n.log.metrics()).collect(),
+            final_states: nodes.iter().map(|n| n.log.state().clone()).collect(),
+            transactions,
+            external_actions,
+            barrier_latencies,
+            rejected,
+            messages_sent,
+        }
+    }
+
+    /// Executes one transaction at `node` now: ticks the clock, runs the
+    /// decision on the local merged state, performs external actions,
+    /// merges the own update and broadcasts it.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_txn(
+        app: &A,
+        cfg: &ClusterConfig,
+        rng: &mut StdRng,
+        queue: &mut EventQueue<Event<A>>,
+        nodes: &mut [NodeState<A>],
+        transactions: &mut Vec<ExecutedTxn<A>>,
+        external_actions: &mut Vec<(SimTime, NodeId, ExternalAction)>,
+        now: SimTime,
+        node: NodeId,
+        decision: A::Decision,
+    ) -> u64 {
+        let n = &mut nodes[node.0 as usize];
+        let ts = n.clock.tick();
+        n.own_sent += 1;
+        let known = n.log.known_timestamps();
+        let outcome = app.decide(&decision, n.log.state());
+        for a in &outcome.external_actions {
+            external_actions.push((now, node, a.clone()));
+        }
+        let fresh = n.log.merge(app, ts, outcome.update.clone());
+        debug_assert!(fresh, "own timestamp must be new");
+        let piggyback: Vec<(Timestamp, A::Update)> = if cfg.piggyback {
+            n.log.entries().iter().filter(|(t, _)| *t != ts).cloned().collect()
+        } else {
+            Vec::new()
+        };
+        transactions.push(ExecutedTxn {
+            ts,
+            time: now,
+            node,
+            decision,
+            update: outcome.update.clone(),
+            external_actions: outcome.external_actions,
+            known,
+        });
+        let mut sent = 0;
+        for peer in 0..cfg.nodes {
+            let to = NodeId(peer);
+            if to == node {
+                continue;
+            }
+            let at = delivery_time(&cfg.partitions, &cfg.delay, rng, now, node, to);
+            sent += 1;
+            queue.schedule(
+                at,
+                Event::Deliver {
+                    to,
+                    msg: UpdateMsg {
+                        ts,
+                        update: outcome.update.clone(),
+                        origin: node,
+                        piggyback: piggyback.clone(),
+                    },
+                },
+            );
+        }
+        sent
+    }
+
+    /// Executes every pending critical transaction at `node` whose
+    /// barrier has cleared: all peers promised and every promised update
+    /// has been received.
+    #[allow(clippy::too_many_arguments)]
+    fn release_criticals(
+        app: &A,
+        cfg: &ClusterConfig,
+        rng: &mut StdRng,
+        queue: &mut EventQueue<Event<A>>,
+        nodes: &mut [NodeState<A>],
+        transactions: &mut Vec<ExecutedTxn<A>>,
+        external_actions: &mut Vec<(SimTime, NodeId, ExternalAction)>,
+        pending: &mut [PendingCritical<A>],
+        barrier_latencies: &mut Vec<SimTime>,
+        now: SimTime,
+        node: NodeId,
+    ) -> u64 {
+        let mut sent = 0;
+        #[allow(clippy::needless_range_loop)]
+        for id in 0..pending.len() {
+            if pending[id].done || pending[id].node != node {
+                continue;
+            }
+            let cleared = (0..cfg.nodes).all(|peer| {
+                if NodeId(peer) == node {
+                    return true;
+                }
+                match pending[id].promises[peer as usize] {
+                    None => false,
+                    Some(promised) => {
+                        let received = nodes[node.0 as usize]
+                            .log
+                            .entries()
+                            .iter()
+                            .filter(|(ts, _)| ts.node == NodeId(peer))
+                            .count() as u64;
+                        received >= promised
+                    }
+                }
+            });
+            if cleared {
+                pending[id].done = true;
+                barrier_latencies.push(now - pending[id].submitted);
+                let decision = pending[id].decision.clone();
+                sent += Self::execute_txn(
+                    app,
+                    cfg,
+                    rng,
+                    queue,
+                    nodes,
+                    transactions,
+                    external_actions,
+                    now,
+                    node,
+                    decision,
+                );
+            }
+        }
+        sent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::PartitionWindow;
+    use shard_core::{conditions, DecisionOutcome};
+
+    /// Grow-only counter with a cap-aware decision, to make missing
+    /// information observable.
+    struct Counter;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum CUpd {
+        Inc,
+        Noop,
+    }
+
+    impl Application for Counter {
+        type State = i64;
+        type Update = CUpd;
+        type Decision = ();
+        fn initial_state(&self) -> i64 {
+            0
+        }
+        fn is_well_formed(&self, _: &i64) -> bool {
+            true
+        }
+        fn apply(&self, s: &i64, u: &CUpd) -> i64 {
+            match u {
+                CUpd::Inc => s + 1,
+                CUpd::Noop => *s,
+            }
+        }
+        fn decide(&self, _: &(), observed: &i64) -> DecisionOutcome<CUpd> {
+            if *observed < 3 {
+                DecisionOutcome::update_only(CUpd::Inc)
+            } else {
+                DecisionOutcome::update_only(CUpd::Noop)
+            }
+        }
+        fn constraint_count(&self) -> usize {
+            0
+        }
+        fn constraint_name(&self, _: usize) -> &str {
+            unreachable!()
+        }
+        fn cost(&self, _: &i64, _: usize) -> u64 {
+            0
+        }
+    }
+
+    fn spread_invocations(n: usize, nodes: u16, gap: SimTime) -> Vec<Invocation<()>> {
+        (0..n)
+            .map(|i| Invocation::new(i as SimTime * gap, NodeId((i % nodes as usize) as u16), ()))
+            .collect()
+    }
+
+    #[test]
+    fn single_node_behaves_serially() {
+        let app = Counter;
+        let cluster = Cluster::new(&app, ClusterConfig { nodes: 1, ..Default::default() });
+        let report = cluster.run(spread_invocations(10, 1, 5));
+        assert_eq!(report.final_states[0], 3, "cap respected with full info");
+        let te = report.timed_execution();
+        te.execution.verify(&app).unwrap();
+        assert_eq!(conditions::max_missed(&te.execution), 0);
+        assert!(te.is_orderly());
+    }
+
+    #[test]
+    fn replicas_converge_and_execution_verifies() {
+        let app = Counter;
+        let cluster = Cluster::new(
+            &app,
+            ClusterConfig { nodes: 4, seed: 7, ..Default::default() },
+        );
+        let report = cluster.run(spread_invocations(40, 4, 3));
+        assert!(report.mutually_consistent());
+        let te = report.timed_execution();
+        te.execution.verify(&app).unwrap();
+        assert_eq!(te.execution.len(), 40);
+        // The merged result equals the formal execution's final state.
+        assert_eq!(report.final_states[0], te.execution.final_state(&app));
+    }
+
+    #[test]
+    fn concurrent_invocations_overshoot_the_cap() {
+        // All 10 transactions fire at t=0 on different nodes: nobody has
+        // seen anybody, so all increment — exactly the availability
+        // penalty the paper studies.
+        let app = Counter;
+        let cluster = Cluster::new(
+            &app,
+            ClusterConfig { nodes: 5, seed: 1, ..Default::default() },
+        );
+        let invs: Vec<_> = (0..10).map(|i| Invocation::new(0, NodeId(i % 5), ())).collect();
+        let report = cluster.run(invs);
+        assert!(report.final_states[0] > 3);
+        let te = report.timed_execution();
+        te.execution.verify(&app).unwrap();
+        assert!(conditions::max_missed(&te.execution) > 0);
+    }
+
+    #[test]
+    fn partition_delays_information_but_heals() {
+        let app = Counter;
+        let partitions =
+            PartitionSchedule::new(vec![PartitionWindow::isolate(0, 1000, vec![NodeId(0)])]);
+        let cluster = Cluster::new(
+            &app,
+            ClusterConfig {
+                nodes: 3,
+                seed: 3,
+                delay: DelayModel::Fixed(5),
+                partitions,
+                ..Default::default()
+            },
+        );
+        // Node 0 is isolated; its transactions see only themselves.
+        let report = cluster.run(spread_invocations(12, 3, 10));
+        assert!(report.mutually_consistent(), "heals after the window");
+        let te = report.timed_execution();
+        te.execution.verify(&app).unwrap();
+        assert!(conditions::max_missed(&te.execution) > 0);
+    }
+
+    #[test]
+    fn piggybacking_yields_transitive_executions() {
+        let app = Counter;
+        for piggyback in [false, true] {
+            let cluster = Cluster::new(
+                &app,
+                ClusterConfig {
+                    nodes: 4,
+                    seed: 11,
+                    delay: DelayModel::Exponential { mean: 40 },
+                    piggyback,
+                    ..Default::default()
+                },
+            );
+            let report = cluster.run(spread_invocations(60, 4, 2));
+            let te = report.timed_execution();
+            te.execution.verify(&app).unwrap();
+            if piggyback {
+                assert!(conditions::is_transitive(&te.execution));
+            }
+        }
+    }
+
+    #[test]
+    fn same_node_transactions_are_centralized() {
+        // Transactions initiated at one node always see each other —
+        // the implementation of centralization suggested in §3.3.
+        let app = Counter;
+        let cluster = Cluster::new(
+            &app,
+            ClusterConfig { nodes: 3, seed: 5, ..Default::default() },
+        );
+        let mut invs = spread_invocations(30, 3, 4);
+        // Mark: transactions at node 0.
+        let report = cluster.run(std::mem::take(&mut invs));
+        let te = report.timed_execution();
+        let node0_group: Vec<usize> = report
+            .transactions
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.node == NodeId(0))
+            .map(|(i, _)| i)
+            .collect();
+        assert!(conditions::is_centralized(&te.execution, &node0_group));
+    }
+
+    #[test]
+    fn out_of_order_arrivals_cause_replays() {
+        let app = Counter;
+        let cluster = Cluster::new(
+            &app,
+            ClusterConfig {
+                nodes: 4,
+                seed: 2,
+                delay: DelayModel::Uniform { lo: 1, hi: 200 },
+                ..Default::default()
+            },
+        );
+        let report = cluster.run(spread_invocations(100, 4, 1));
+        assert!(report.total_replayed() > 0, "high-variance delays reorder messages");
+        assert!(report.mutually_consistent());
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let app = Counter;
+        let run = |seed| {
+            let cluster = Cluster::new(
+                &app,
+                ClusterConfig { nodes: 3, seed, ..Default::default() },
+            );
+            cluster.run(spread_invocations(25, 3, 2)).final_states
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let _ = Cluster::new(&Counter, ClusterConfig { nodes: 0, ..Default::default() });
+    }
+}

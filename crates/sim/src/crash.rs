@@ -1,0 +1,112 @@
+//! Node crash/recovery schedules.
+//!
+//! §1.2: "communication **and node failures** can cause significant
+//! delays". A crashed node processes nothing: client transactions
+//! submitted to it are rejected (the client must retry elsewhere —
+//! SHARD's availability is per-*reachable*-node), and messages addressed
+//! to it are held by the transport until it recovers. SHARD's state is
+//! durable (the update log), so recovery is just "resume from the log" —
+//! the merge engine needs no special repair path.
+
+use crate::clock::NodeId;
+use crate::events::SimTime;
+
+/// One crash window: `node` is down during `[start, end)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashWindow {
+    /// The crashed node.
+    pub node: NodeId,
+    /// First tick of the outage.
+    pub start: SimTime,
+    /// First tick after recovery.
+    pub end: SimTime,
+}
+
+impl CrashWindow {
+    /// Convenience constructor.
+    pub fn new(node: NodeId, start: SimTime, end: SimTime) -> Self {
+        CrashWindow { node, start, end }
+    }
+}
+
+/// A schedule of node outages.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CrashSchedule {
+    windows: Vec<CrashWindow>,
+}
+
+impl CrashSchedule {
+    /// No crashes.
+    pub fn none() -> Self {
+        CrashSchedule::default()
+    }
+
+    /// A schedule from explicit windows.
+    pub fn new(windows: Vec<CrashWindow>) -> Self {
+        CrashSchedule { windows }
+    }
+
+    /// Whether any crashes are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Whether `node` is down at time `t`.
+    pub fn is_down(&self, t: SimTime, node: NodeId) -> bool {
+        self.windows.iter().any(|w| w.node == node && w.start <= t && t < w.end)
+    }
+
+    /// The earliest time `≥ t` at which `node` is up.
+    pub fn next_up(&self, t: SimTime, node: NodeId) -> SimTime {
+        let mut t = t;
+        // Windows may chain back to back; iterate until stable.
+        loop {
+            match self
+                .windows
+                .iter()
+                .find(|w| w.node == node && w.start <= t && t < w.end)
+            {
+                Some(w) => t = w.end,
+                None => return t,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u16) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn empty_schedule_is_always_up() {
+        let s = CrashSchedule::none();
+        assert!(s.is_empty());
+        assert!(!s.is_down(100, n(0)));
+        assert_eq!(s.next_up(100, n(0)), 100);
+    }
+
+    #[test]
+    fn windows_bound_the_outage() {
+        let s = CrashSchedule::new(vec![CrashWindow::new(n(1), 10, 20)]);
+        assert!(!s.is_down(9, n(1)));
+        assert!(s.is_down(10, n(1)));
+        assert!(s.is_down(19, n(1)));
+        assert!(!s.is_down(20, n(1)));
+        assert!(!s.is_down(15, n(0)), "other nodes unaffected");
+        assert_eq!(s.next_up(15, n(1)), 20);
+        assert_eq!(s.next_up(5, n(1)), 5);
+    }
+
+    #[test]
+    fn chained_windows_resolve_transitively() {
+        let s = CrashSchedule::new(vec![
+            CrashWindow::new(n(0), 10, 20),
+            CrashWindow::new(n(0), 20, 35),
+        ]);
+        assert_eq!(s.next_up(12, n(0)), 35);
+    }
+}

@@ -1,0 +1,228 @@
+//! Anti-entropy gossip broadcast — the [GLBKSS]-style alternative to
+//! per-update flooding.
+//!
+//! §1.2 relies on a reliable broadcast that delivers "in as timely a
+//! manner as possible" but tolerates arbitrary delay. The flooding model
+//! in [`crate::cluster`] sends every update to every peer directly; real
+//! deployments (and the Grapevine lineage the paper cites) often use
+//! **anti-entropy**: each node periodically picks a partner and pushes
+//! everything it knows. Gossip gives eventual delivery with per-round
+//! (not per-update) message cost, at the price of higher propagation
+//! delay — i.e. larger `k`. Experiment E17 measures that trade.
+//!
+//! The [`GossipCluster`] is deliberately omniscient about *termination
+//! only*: rounds stop once every replica holds every update and no
+//! client invocations remain — a simulation-harness stopping rule, not
+//! protocol logic.
+
+use crate::broadcast::delivery_time;
+use crate::clock::{LamportClock, NodeId, Timestamp};
+use crate::cluster::{ClusterConfig, ExecutedTxn, Invocation};
+use crate::events::{EventQueue, SimTime};
+use crate::merge::{MergeLog, MergeMetrics};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use shard_core::{Application, Execution, ExternalAction, TimedExecution, TxnRecord};
+use std::collections::BTreeMap;
+
+/// Configuration of the gossip layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GossipConfig {
+    /// How often each node initiates an anti-entropy round.
+    pub interval: SimTime,
+}
+
+impl Default for GossipConfig {
+    /// One round per 50 ticks.
+    fn default() -> Self {
+        GossipConfig { interval: 50 }
+    }
+}
+
+/// Result of a gossip-cluster run.
+#[derive(Clone, Debug)]
+pub struct GossipReport<A: Application> {
+    /// Executed transactions in timestamp order.
+    pub transactions: Vec<ExecutedTxn<A>>,
+    /// Per-node undo/redo metrics.
+    pub node_metrics: Vec<MergeMetrics>,
+    /// External actions in real time.
+    pub external_actions: Vec<(SimTime, NodeId, ExternalAction)>,
+    /// Final states (all equal after the run drains).
+    pub final_states: Vec<A::State>,
+    /// Anti-entropy rounds performed.
+    pub gossip_rounds: u64,
+    /// Total `(timestamp, update)` pairs shipped across all rounds —
+    /// gossip's bandwidth cost.
+    pub entries_shipped: u64,
+}
+
+impl<A: Application> GossipReport<A> {
+    /// Whether all replicas agree.
+    pub fn mutually_consistent(&self) -> bool {
+        self.final_states.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// The formal timed execution.
+    pub fn timed_execution(&self) -> TimedExecution<A> {
+        let index_of: BTreeMap<Timestamp, usize> =
+            self.transactions.iter().enumerate().map(|(i, t)| (t.ts, i)).collect();
+        let mut exec = Execution::new();
+        let mut times = Vec::with_capacity(self.transactions.len());
+        for t in &self.transactions {
+            let mut prefix: Vec<usize> = t.known.iter().map(|ts| index_of[ts]).collect();
+            prefix.sort_unstable();
+            exec.push_record(TxnRecord {
+                decision: t.decision.clone(),
+                prefix,
+                update: t.update.clone(),
+                external_actions: t.external_actions.clone(),
+            });
+            times.push(t.time);
+        }
+        TimedExecution::new(exec, times)
+    }
+}
+
+enum Event<A: Application> {
+    Invoke { node: NodeId, decision: A::Decision },
+    Tick { node: NodeId },
+    Push { to: NodeId, entries: Vec<(Timestamp, A::Update)> },
+}
+
+struct NodeState<A: Application> {
+    clock: LamportClock,
+    log: MergeLog<A>,
+}
+
+/// A SHARD cluster whose updates spread by anti-entropy gossip instead
+/// of flooding.
+pub struct GossipCluster<'a, A: Application> {
+    app: &'a A,
+    config: ClusterConfig,
+    gossip: GossipConfig,
+}
+
+impl<'a, A: Application> GossipCluster<'a, A> {
+    /// Creates the cluster. The `delay` and `partitions` of `config`
+    /// govern the gossip pushes; `piggyback` is ignored (gossip *is*
+    /// full piggybacking).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero nodes or the gossip interval
+    /// is zero.
+    pub fn new(app: &'a A, config: ClusterConfig, gossip: GossipConfig) -> Self {
+        assert!(config.nodes > 0, "a cluster needs at least one node");
+        assert!(gossip.interval > 0, "gossip needs a positive interval");
+        GossipCluster { app, config, gossip }
+    }
+
+    /// Runs the schedule until every replica has every update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an invocation names a node outside the cluster.
+    pub fn run(&self, invocations: Vec<Invocation<A::Decision>>) -> GossipReport<A> {
+        let app = self.app;
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x60551b);
+        let mut nodes: Vec<NodeState<A>> = (0..cfg.nodes)
+            .map(|i| NodeState {
+                clock: LamportClock::new(NodeId(i)),
+                log: MergeLog::new(app, cfg.checkpoint_every),
+            })
+            .collect();
+        let mut queue: EventQueue<Event<A>> = EventQueue::new();
+        let mut remaining_invokes = 0u64;
+        for inv in invocations {
+            assert!((inv.node.0) < cfg.nodes, "invocation at unknown node {}", inv.node);
+            remaining_invokes += 1;
+            queue.schedule(inv.time, Event::Invoke { node: inv.node, decision: inv.decision });
+        }
+        for i in 0..cfg.nodes {
+            queue.schedule(self.gossip.interval, Event::Tick { node: NodeId(i) });
+        }
+
+        let mut transactions: Vec<ExecutedTxn<A>> = Vec::new();
+        let mut external_actions: Vec<(SimTime, NodeId, ExternalAction)> = Vec::new();
+        let mut total_txns = 0u64;
+        let mut gossip_rounds = 0u64;
+        let mut entries_shipped = 0u64;
+
+        while let Some((now, event)) = queue.pop() {
+            match event {
+                Event::Invoke { node, decision } => {
+                    remaining_invokes -= 1;
+                    total_txns += 1;
+                    let n = &mut nodes[node.0 as usize];
+                    let ts = n.clock.tick();
+                    let known = n.log.known_timestamps();
+                    let outcome = app.decide(&decision, n.log.state());
+                    for a in &outcome.external_actions {
+                        external_actions.push((now, node, a.clone()));
+                    }
+                    n.log.merge(app, ts, outcome.update.clone());
+                    transactions.push(ExecutedTxn {
+                        ts,
+                        time: now,
+                        node,
+                        decision,
+                        update: outcome.update,
+                        external_actions: outcome.external_actions,
+                        known,
+                    });
+                }
+                Event::Tick { node } => {
+                    // Stop ticking once everything has drained.
+                    let all_synced = remaining_invokes == 0
+                        && nodes.iter().all(|n| n.log.len() as u64 == total_txns);
+                    if all_synced {
+                        continue;
+                    }
+                    if cfg.nodes > 1 {
+                        // Pick a random partner; skip the round if the
+                        // partition blocks it right now.
+                        let mut peer = NodeId(rng.random_range(0..cfg.nodes));
+                        while peer == node {
+                            peer = NodeId(rng.random_range(0..cfg.nodes));
+                        }
+                        if cfg.partitions.connected(now, node, peer) {
+                            gossip_rounds += 1;
+                            let entries: Vec<(Timestamp, A::Update)> =
+                                nodes[node.0 as usize].log.entries().to_vec();
+                            entries_shipped += entries.len() as u64;
+                            let at = delivery_time(
+                                &cfg.partitions,
+                                &cfg.delay,
+                                &mut rng,
+                                now,
+                                node,
+                                peer,
+                            );
+                            queue.schedule(at, Event::Push { to: peer, entries });
+                        }
+                    }
+                    queue.schedule(now + self.gossip.interval, Event::Tick { node });
+                }
+                Event::Push { to, entries } => {
+                    let n = &mut nodes[to.0 as usize];
+                    for (ts, update) in entries {
+                        n.clock.observe(ts);
+                        n.log.merge(app, ts, update);
+                    }
+                }
+            }
+        }
+
+        transactions.sort_by_key(|t| t.ts);
+        GossipReport {
+            node_metrics: nodes.iter().map(|n| n.log.metrics()).collect(),
+            final_states: nodes.iter().map(|n| n.log.state().clone()).collect(),
+            transactions,
+            external_actions,
+            gossip_rounds,
+            entries_shipped,
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! The undo/redo merge engine (§1.2, §3.3).
+//!
+//! "Since messages about different transactions could arrive at a single
+//! node out of timestamp order, keeping the copy correct entails frequent
+//! undoing and redoing of transactions. The SHARD system uses an
+//! undo-redo strategy in lieu of any other inter-node concurrency control
+//! mechanism."
+//!
+//! A [`MergeLog`] keeps the updates a node knows, sorted by timestamp,
+//! together with the state that results from applying them in order to
+//! the initial state. In-order arrivals are a cheap append. An
+//! out-of-order arrival rolls the state back to the nearest earlier
+//! **checkpoint** and replays — the optimization of [BK]/[SKS] ("using
+//! history information to process delayed database updates"); the
+//! checkpoint interval is the ablation knob of experiment E11.
+//! [`MergeMetrics`] counts appends, insertions and replayed updates so
+//! the undo/redo volume is measurable.
+
+use crate::clock::Timestamp;
+use shard_core::Application;
+
+/// Counters describing how much undo/redo work a node performed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MergeMetrics {
+    /// Updates that arrived in timestamp order (cheap path).
+    pub appends: u64,
+    /// Updates that arrived out of order (forced an undo/redo).
+    pub out_of_order: u64,
+    /// Total updates re-applied during undo/redo replays.
+    pub replayed: u64,
+    /// Duplicate deliveries ignored.
+    pub duplicates: u64,
+}
+
+impl MergeMetrics {
+    /// Total updates merged (appends + out-of-order insertions).
+    pub fn merged(&self) -> u64 {
+        self.appends + self.out_of_order
+    }
+}
+
+/// A node's copy of the database: the timestamp-ordered update log and
+/// the state reflecting all of it, maintained by undo/redo with
+/// checkpointing.
+///
+/// # Examples
+///
+/// Out-of-order arrivals are merged by timestamp, never by arrival:
+///
+/// ```
+/// use shard_apps::airline::{AirlineUpdate, FlyByNight};
+/// use shard_apps::Person;
+/// use shard_sim::{MergeLog, NodeId, Timestamp};
+///
+/// let app = FlyByNight::new(5);
+/// let mut log = MergeLog::new(&app, 32);
+/// let ts = |l| Timestamp { lamport: l, node: NodeId(0) };
+/// // The move-up arrives before the request it depends on…
+/// log.merge(&app, ts(2), AirlineUpdate::MoveUp(Person(1)));
+/// assert!(!log.state().is_assigned(Person(1)));
+/// // …and the late request triggers an undo/redo that repairs history.
+/// log.merge(&app, ts(1), AirlineUpdate::Request(Person(1)));
+/// assert!(log.state().is_assigned(Person(1)));
+/// assert_eq!(log.metrics().out_of_order, 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MergeLog<A: Application> {
+    entries: Vec<(Timestamp, A::Update)>,
+    state: A::State,
+    /// `(log_len, state_after_that_prefix)`, sparse.
+    checkpoints: Vec<(usize, A::State)>,
+    checkpoint_every: usize,
+    metrics: MergeMetrics,
+}
+
+impl<A: Application> MergeLog<A> {
+    /// A fresh log whose state is the application's initial state.
+    /// `checkpoint_every` controls snapshot density: 1 snapshots after
+    /// every update (fast replays, heavy memory), large values approach
+    /// replay-from-scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `checkpoint_every` is zero.
+    pub fn new(app: &A, checkpoint_every: usize) -> Self {
+        assert!(checkpoint_every > 0, "checkpoint interval must be positive");
+        MergeLog {
+            entries: Vec::new(),
+            state: app.initial_state(),
+            checkpoints: Vec::new(),
+            checkpoint_every,
+            metrics: MergeMetrics::default(),
+        }
+    }
+
+    /// The current merged state — "each node's copy of the database
+    /// always reflects the effects of all the transactions known to that
+    /// node, as if they were run according to the global timestamp
+    /// order".
+    pub fn state(&self) -> &A::State {
+        &self.state
+    }
+
+    /// The known updates in timestamp order.
+    pub fn entries(&self) -> &[(Timestamp, A::Update)] {
+        &self.entries
+    }
+
+    /// The timestamps of all known updates, in order.
+    pub fn known_timestamps(&self) -> Vec<Timestamp> {
+        self.entries.iter().map(|(ts, _)| *ts).collect()
+    }
+
+    /// Number of known updates.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Undo/redo counters.
+    pub fn metrics(&self) -> MergeMetrics {
+        self.metrics
+    }
+
+    /// Whether an update with timestamp `ts` is already known.
+    pub fn contains(&self, ts: Timestamp) -> bool {
+        self.entries.binary_search_by_key(&ts, |(t, _)| *t).is_ok()
+    }
+
+    /// Merges an update into the log, maintaining the invariant that
+    /// [`MergeLog::state`] equals the timestamp-ordered replay of all
+    /// known updates. Duplicate timestamps are ignored (redeliveries).
+    /// Returns `true` if the update was new.
+    pub fn merge(&mut self, app: &A, ts: Timestamp, update: A::Update) -> bool {
+        match self.entries.binary_search_by_key(&ts, |(t, _)| *t) {
+            Ok(_) => {
+                self.metrics.duplicates += 1;
+                false
+            }
+            Err(pos) if pos == self.entries.len() => {
+                // In timestamp order: apply incrementally.
+                self.state = app.apply(&self.state, &update);
+                self.entries.push((ts, update));
+                self.metrics.appends += 1;
+                self.maybe_checkpoint();
+                true
+            }
+            Err(pos) => {
+                // Out of order: undo back to a checkpoint ≤ pos, redo.
+                self.metrics.out_of_order += 1;
+                self.entries.insert(pos, (ts, update));
+                // Drop checkpoints invalidated by the insertion.
+                while matches!(self.checkpoints.last(), Some((len, _)) if *len > pos) {
+                    self.checkpoints.pop();
+                }
+                let (base_len, base_state) = match self.checkpoints.last() {
+                    Some((len, s)) => (*len, s.clone()),
+                    None => (0, app.initial_state()),
+                };
+                let mut s = base_state;
+                for i in base_len..self.entries.len() {
+                    s = app.apply(&s, &self.entries[i].1);
+                    self.metrics.replayed += 1;
+                    // Recreate the checkpoints the insertion invalidated
+                    // so the next straggler replays only its own tail.
+                    let applied = i + 1;
+                    let last = self.checkpoints.last().map_or(0, |(len, _)| *len);
+                    if applied - last >= self.checkpoint_every && applied < self.entries.len() {
+                        self.checkpoints.push((applied, s.clone()));
+                    }
+                }
+                self.state = s;
+                true
+            }
+        }
+    }
+
+    fn maybe_checkpoint(&mut self) {
+        let last = self.checkpoints.last().map_or(0, |(len, _)| *len);
+        if self.entries.len() - last >= self.checkpoint_every {
+            self.checkpoints.push((self.entries.len(), self.state.clone()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::NodeId;
+    use shard_core::DecisionOutcome;
+
+    /// Append-only integer log app: state = vector of applied values, so
+    /// ordering mistakes are visible.
+    struct Trace;
+
+    impl shard_core::Application for Trace {
+        type State = Vec<u64>;
+        type Update = u64;
+        type Decision = u64;
+        fn initial_state(&self) -> Vec<u64> {
+            Vec::new()
+        }
+        fn is_well_formed(&self, _: &Vec<u64>) -> bool {
+            true
+        }
+        fn apply(&self, s: &Vec<u64>, u: &u64) -> Vec<u64> {
+            let mut v = s.clone();
+            v.push(*u);
+            v
+        }
+        fn decide(&self, d: &u64, _: &Vec<u64>) -> DecisionOutcome<u64> {
+            DecisionOutcome::update_only(*d)
+        }
+        fn constraint_count(&self) -> usize {
+            0
+        }
+        fn constraint_name(&self, _: usize) -> &str {
+            unreachable!()
+        }
+        fn cost(&self, _: &Vec<u64>, _: usize) -> u64 {
+            0
+        }
+    }
+
+    fn ts(l: u64) -> Timestamp {
+        Timestamp { lamport: l, node: NodeId(0) }
+    }
+
+    #[test]
+    fn in_order_merges_are_appends() {
+        let app = Trace;
+        let mut log = MergeLog::new(&app, 4);
+        for i in 1..=5 {
+            assert!(log.merge(&app, ts(i), i * 10));
+        }
+        assert_eq!(log.state(), &vec![10, 20, 30, 40, 50]);
+        let m = log.metrics();
+        assert_eq!(m.appends, 5);
+        assert_eq!(m.out_of_order, 0);
+        assert_eq!(m.replayed, 0);
+        assert_eq!(m.merged(), 5);
+    }
+
+    #[test]
+    fn out_of_order_merge_reorders_by_timestamp() {
+        let app = Trace;
+        let mut log = MergeLog::new(&app, 4);
+        log.merge(&app, ts(1), 10);
+        log.merge(&app, ts(3), 30);
+        log.merge(&app, ts(2), 20); // late arrival
+        assert_eq!(log.state(), &vec![10, 20, 30]);
+        assert_eq!(log.metrics().out_of_order, 1);
+        assert!(log.metrics().replayed >= 2);
+    }
+
+    #[test]
+    fn duplicates_are_ignored() {
+        let app = Trace;
+        let mut log = MergeLog::new(&app, 4);
+        assert!(log.merge(&app, ts(1), 10));
+        assert!(!log.merge(&app, ts(1), 10));
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.metrics().duplicates, 1);
+    }
+
+    #[test]
+    fn checkpoints_bound_replay_work() {
+        let app = Trace;
+        // Dense checkpoints: replay after a late insert near the end
+        // touches only the tail.
+        let mut dense = MergeLog::new(&app, 2);
+        let mut sparse = MergeLog::new(&app, 1000);
+        for i in 0..100u64 {
+            let t = 2 * i + 2; // even lamports, leaving odd gaps
+            dense.merge(&app, ts(t), t);
+            sparse.merge(&app, ts(t), t);
+        }
+        // A very late straggler with an early timestamp.
+        dense.merge(&app, ts(1), 1);
+        sparse.merge(&app, ts(1), 1);
+        assert_eq!(dense.state(), sparse.state());
+        assert!(dense.metrics().replayed >= 100, "early insert replays everything");
+        // A straggler near the end is cheap for the dense log only.
+        dense.merge(&app, ts(199), 199);
+        sparse.merge(&app, ts(199), 199);
+        assert_eq!(dense.state(), sparse.state());
+        let dense_tail = dense.metrics().replayed;
+        let sparse_tail = sparse.metrics().replayed;
+        assert!(dense_tail < sparse_tail, "dense={dense_tail} sparse={sparse_tail}");
+    }
+
+    #[test]
+    fn state_always_equals_full_replay() {
+        // Adversarial arrival order; invariant checked after every merge.
+        let app = Trace;
+        let mut log = MergeLog::new(&app, 3);
+        let order = [7u64, 2, 9, 1, 8, 3, 6, 4, 5, 10];
+        for (i, &l) in order.iter().enumerate() {
+            log.merge(&app, ts(l), l);
+            let mut expect = app.initial_state();
+            for (_, u) in log.entries() {
+                expect = app.apply(&expect, u);
+            }
+            assert_eq!(log.state(), &expect, "after {} merges", i + 1);
+            // Entries stay sorted.
+            assert!(log.entries().windows(2).all(|w| w[0].0 < w[1].0));
+        }
+        assert_eq!(log.known_timestamps().len(), 10);
+        assert!(log.contains(ts(7)));
+        assert!(!log.contains(ts(77)));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_checkpoint_interval_panics() {
+        let _ = MergeLog::new(&Trace, 0);
+    }
+}

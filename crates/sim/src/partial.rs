@@ -1,0 +1,411 @@
+//! Partial replication (§6): removing the "inessential full replication
+//! assumption".
+//!
+//! "Even with only partial replication, it should be possible to
+//! continue to maintain the correctness conditions we describe in this
+//! paper, by judicious assignment of data and transactions to nodes,
+//! (i.e. in such a way that each transaction will have copies of all the
+//! data it requires)."
+//!
+//! The database is divided into **objects**; each node replicates a
+//! subset of them (its *placement*). A transaction must be invoked at a
+//! node holding every object its decision reads, and an update is
+//! broadcast only to the nodes holding one of the objects it writes.
+//! Because the prefix-subsequence condition never mentions replication,
+//! the emitted execution is checked by exactly the same machinery as the
+//! fully replicated cluster — the paper's point. What changes is the
+//! *message volume*, which [`PartialReport::messages_sent`] measures
+//! (experiment E16).
+
+use crate::broadcast::delivery_time;
+use crate::clock::{LamportClock, NodeId, Timestamp};
+use crate::cluster::{ClusterConfig, ExecutedTxn, Invocation};
+use crate::events::{EventQueue, SimTime};
+use crate::merge::{MergeLog, MergeMetrics};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use shard_core::{Application, Execution, ExternalAction, ObjectId, ObjectModel, TimedExecution, TxnRecord};
+use std::collections::BTreeMap;
+
+/// Which nodes replicate which objects.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Placement {
+    held: Vec<Vec<ObjectId>>, // per node
+}
+
+impl Placement {
+    /// Full replication of `objects` at `nodes` nodes (the degenerate
+    /// case, for comparisons).
+    pub fn full(nodes: u16, objects: &[ObjectId]) -> Self {
+        Placement { held: vec![objects.to_vec(); nodes as usize] }
+    }
+
+    /// Explicit per-node object sets.
+    pub fn new(held: Vec<Vec<ObjectId>>) -> Self {
+        Placement { held }
+    }
+
+    /// Round-robin placement with a replication factor: object `i` lives
+    /// on nodes `i, i+1, …, i+factor−1 (mod nodes)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero or exceeds the node count.
+    pub fn round_robin(nodes: u16, objects: &[ObjectId], factor: u16) -> Self {
+        assert!(factor >= 1 && factor <= nodes, "1 ≤ factor ≤ nodes");
+        let mut held = vec![Vec::new(); nodes as usize];
+        for (i, &o) in objects.iter().enumerate() {
+            for r in 0..factor {
+                held[(i + r as usize) % nodes as usize].push(o);
+            }
+        }
+        Placement { held }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> u16 {
+        self.held.len() as u16
+    }
+
+    /// Whether `node` holds `object`.
+    pub fn holds(&self, node: NodeId, object: ObjectId) -> bool {
+        self.held[node.0 as usize].contains(&object)
+    }
+
+    /// Whether `node` holds every object in `objects`.
+    pub fn holds_all(&self, node: NodeId, objects: &[ObjectId]) -> bool {
+        objects.iter().all(|o| self.holds(node, *o))
+    }
+
+    /// The nodes holding at least one of `objects`.
+    pub fn holders_of_any(&self, objects: &[ObjectId]) -> Vec<NodeId> {
+        (0..self.nodes())
+            .map(NodeId)
+            .filter(|n| objects.iter().any(|o| self.holds(*n, *o)))
+            .collect()
+    }
+
+    /// A node holding all of `objects`, if any (useful for routing).
+    pub fn any_holder_of_all(&self, objects: &[ObjectId]) -> Option<NodeId> {
+        (0..self.nodes()).map(NodeId).find(|n| self.holds_all(*n, objects))
+    }
+}
+
+/// Result of a partially replicated run.
+#[derive(Clone, Debug)]
+pub struct PartialReport<A: Application> {
+    /// Executed transactions in timestamp order.
+    pub transactions: Vec<ExecutedTxn<A>>,
+    /// Per-node undo/redo metrics.
+    pub node_metrics: Vec<MergeMetrics>,
+    /// External actions in real time.
+    pub external_actions: Vec<(SimTime, NodeId, ExternalAction)>,
+    /// Each node's final local state (meaningful only on held objects).
+    pub final_states: Vec<A::State>,
+    /// Total point-to-point update messages sent (the cost partial
+    /// replication reduces).
+    pub messages_sent: u64,
+}
+
+impl<A: Application> PartialReport<A> {
+    /// The formal timed execution (identical semantics to the fully
+    /// replicated cluster's).
+    pub fn timed_execution(&self) -> TimedExecution<A> {
+        let index_of: BTreeMap<Timestamp, usize> =
+            self.transactions.iter().enumerate().map(|(i, t)| (t.ts, i)).collect();
+        let mut exec = Execution::new();
+        let mut times = Vec::with_capacity(self.transactions.len());
+        for t in &self.transactions {
+            let mut prefix: Vec<usize> = t.known.iter().map(|ts| index_of[ts]).collect();
+            prefix.sort_unstable();
+            exec.push_record(TxnRecord {
+                decision: t.decision.clone(),
+                prefix,
+                update: t.update.clone(),
+                external_actions: t.external_actions.clone(),
+            });
+            times.push(t.time);
+        }
+        TimedExecution::new(exec, times)
+    }
+
+    /// Per-object mutual consistency: all holders of each object agree
+    /// on its projection.
+    pub fn objects_consistent(&self, app: &A, placement: &Placement) -> bool
+    where
+        A: ObjectModel,
+    {
+        for o in app.objects() {
+            let mut views = (0..placement.nodes())
+                .map(NodeId)
+                .filter(|n| placement.holds(*n, o))
+                .map(|n| app.project(&self.final_states[n.0 as usize], o));
+            if let Some(first) = views.next() {
+                if !views.all(|v| v == first) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+enum Event<A: Application> {
+    Invoke { node: NodeId, decision: A::Decision },
+    Deliver { to: NodeId, ts: Timestamp, update: A::Update },
+}
+
+struct NodeState<A: Application> {
+    clock: LamportClock,
+    log: MergeLog<A>,
+}
+
+/// A partially replicated SHARD cluster.
+pub struct PartialCluster<'a, A: ObjectModel> {
+    app: &'a A,
+    config: ClusterConfig,
+    placement: Placement,
+}
+
+impl<'a, A: ObjectModel> PartialCluster<'a, A> {
+    /// Creates a cluster; `config.nodes` must match the placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node counts disagree or the cluster is empty.
+    pub fn new(app: &'a A, config: ClusterConfig, placement: Placement) -> Self {
+        assert!(config.nodes > 0, "a cluster needs at least one node");
+        assert_eq!(config.nodes, placement.nodes(), "placement must cover all nodes");
+        PartialCluster { app, config, placement }
+    }
+
+    /// Runs the schedule. Each invocation must target a node holding all
+    /// the objects its decision reads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an invocation targets a node missing a required object.
+    pub fn run(&self, invocations: Vec<Invocation<A::Decision>>) -> PartialReport<A> {
+        let app = self.app;
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut nodes: Vec<NodeState<A>> = (0..cfg.nodes)
+            .map(|i| NodeState {
+                clock: LamportClock::new(NodeId(i)),
+                log: MergeLog::new(app, cfg.checkpoint_every),
+            })
+            .collect();
+        let mut queue: EventQueue<Event<A>> = EventQueue::new();
+        for inv in invocations {
+            let reads = app.decision_objects(&inv.decision);
+            assert!(
+                self.placement.holds_all(inv.node, &reads),
+                "node {} lacks objects {:?} read by {:?}",
+                inv.node,
+                reads,
+                inv.decision
+            );
+            queue.schedule(inv.time, Event::Invoke { node: inv.node, decision: inv.decision });
+        }
+
+        let mut transactions: Vec<ExecutedTxn<A>> = Vec::new();
+        let mut external_actions: Vec<(SimTime, NodeId, ExternalAction)> = Vec::new();
+        let mut messages_sent = 0u64;
+
+        while let Some((now, event)) = queue.pop() {
+            match event {
+                Event::Invoke { node, decision } => {
+                    let n = &mut nodes[node.0 as usize];
+                    let ts = n.clock.tick();
+                    let known = n.log.known_timestamps();
+                    let outcome = app.decide(&decision, n.log.state());
+                    for a in &outcome.external_actions {
+                        external_actions.push((now, node, a.clone()));
+                    }
+                    n.log.merge(app, ts, outcome.update.clone());
+                    let writes = app.update_objects(&outcome.update);
+                    transactions.push(ExecutedTxn {
+                        ts,
+                        time: now,
+                        node,
+                        decision,
+                        update: outcome.update.clone(),
+                        external_actions: outcome.external_actions,
+                        known,
+                    });
+                    for to in self.placement.holders_of_any(&writes) {
+                        if to == node {
+                            continue;
+                        }
+                        let at =
+                            delivery_time(&cfg.partitions, &cfg.delay, &mut rng, now, node, to);
+                        messages_sent += 1;
+                        queue.schedule(
+                            at,
+                            Event::Deliver { to, ts, update: outcome.update.clone() },
+                        );
+                    }
+                }
+                Event::Deliver { to, ts, update } => {
+                    let n = &mut nodes[to.0 as usize];
+                    n.clock.observe(ts);
+                    n.log.merge(app, ts, update);
+                }
+            }
+        }
+
+        transactions.sort_by_key(|t| t.ts);
+        PartialReport {
+            node_metrics: nodes.iter().map(|n| n.log.metrics()).collect(),
+            final_states: nodes.iter().map(|n| n.log.state().clone()).collect(),
+            transactions,
+            external_actions,
+            messages_sent,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DelayModel;
+    use shard_core::DecisionOutcome;
+
+    /// A two-register database: object 0 and object 1, each an
+    /// independent counter.
+    struct TwoRegs;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Bump(u32);
+
+    impl Application for TwoRegs {
+        type State = [u64; 2];
+        type Update = Bump;
+        type Decision = Bump;
+        fn initial_state(&self) -> [u64; 2] {
+            [0, 0]
+        }
+        fn is_well_formed(&self, _: &[u64; 2]) -> bool {
+            true
+        }
+        fn apply(&self, s: &[u64; 2], u: &Bump) -> [u64; 2] {
+            let mut v = *s;
+            v[u.0 as usize] += 1;
+            v
+        }
+        fn decide(&self, d: &Bump, _: &[u64; 2]) -> DecisionOutcome<Bump> {
+            DecisionOutcome::update_only(d.clone())
+        }
+        fn constraint_count(&self) -> usize {
+            0
+        }
+        fn constraint_name(&self, _: usize) -> &str {
+            unreachable!()
+        }
+        fn cost(&self, _: &[u64; 2], _: usize) -> u64 {
+            0
+        }
+    }
+
+    impl ObjectModel for TwoRegs {
+        fn objects(&self) -> Vec<ObjectId> {
+            vec![ObjectId(0), ObjectId(1)]
+        }
+        fn update_objects(&self, u: &Bump) -> Vec<ObjectId> {
+            vec![ObjectId(u.0)]
+        }
+        fn decision_objects(&self, d: &Bump) -> Vec<ObjectId> {
+            vec![ObjectId(d.0)]
+        }
+        fn project(&self, s: &[u64; 2], o: ObjectId) -> String {
+            s[o.0 as usize].to_string()
+        }
+    }
+
+    fn cfg(nodes: u16) -> ClusterConfig {
+        ClusterConfig { nodes, seed: 1, delay: DelayModel::Fixed(5), ..Default::default() }
+    }
+
+    #[test]
+    fn placement_helpers() {
+        let objs = [ObjectId(0), ObjectId(1), ObjectId(2)];
+        let p = Placement::round_robin(3, &objs, 2);
+        assert!(p.holds(NodeId(0), ObjectId(0)));
+        assert!(p.holds(NodeId(1), ObjectId(0)));
+        assert!(!p.holds(NodeId(2), ObjectId(0)));
+        assert_eq!(p.holders_of_any(&[ObjectId(0)]), vec![NodeId(0), NodeId(1)]);
+        assert!(p.holds_all(NodeId(1), &[ObjectId(0), ObjectId(1)]));
+        assert_eq!(p.any_holder_of_all(&[ObjectId(0), ObjectId(2)]), Some(NodeId(0)));
+        let full = Placement::full(2, &objs);
+        assert!(full.holds_all(NodeId(1), &objs));
+    }
+
+    #[test]
+    fn updates_only_reach_holders() {
+        // Object 0 on nodes {0,1}, object 1 on nodes {1,2}.
+        let app = TwoRegs;
+        let p = Placement::new(vec![
+            vec![ObjectId(0)],
+            vec![ObjectId(0), ObjectId(1)],
+            vec![ObjectId(1)],
+        ]);
+        let cluster = PartialCluster::new(&app, cfg(3), p.clone());
+        let invs = vec![
+            Invocation::new(0, NodeId(0), Bump(0)),
+            Invocation::new(10, NodeId(2), Bump(1)),
+        ];
+        let report = cluster.run(invs);
+        // Each update went to exactly one other holder.
+        assert_eq!(report.messages_sent, 2);
+        assert!(report.objects_consistent(&app, &p));
+        // Node 0 never heard about object 1.
+        assert_eq!(report.final_states[0], [1, 0]);
+        assert_eq!(report.final_states[1], [1, 1]);
+        assert_eq!(report.final_states[2], [0, 1]);
+        let te = report.timed_execution();
+        te.execution.verify(&app).unwrap();
+    }
+
+    #[test]
+    fn full_placement_matches_global_state() {
+        let app = TwoRegs;
+        let p = Placement::full(3, &app.objects());
+        let cluster = PartialCluster::new(&app, cfg(3), p.clone());
+        let invs: Vec<_> =
+            (0..10).map(|i| Invocation::new(i * 5, NodeId((i % 3) as u16), Bump((i % 2) as u32))).collect();
+        let report = cluster.run(invs);
+        assert!(report.objects_consistent(&app, &p));
+        assert_eq!(report.final_states[0], [5, 5]);
+        // Full replication sends to every other node: 10 × 2 messages.
+        assert_eq!(report.messages_sent, 20);
+    }
+
+    #[test]
+    fn partial_replication_cuts_messages() {
+        let app = TwoRegs;
+        let objs = app.objects();
+        let invs: Vec<_> =
+            (0..20).map(|i| Invocation::new(i * 5, NodeId(0), Bump(0))).collect();
+        // All activity on object 0.
+        let full = PartialCluster::new(&app, cfg(4), Placement::full(4, &objs))
+            .run(invs.clone())
+            .messages_sent;
+        let part = PartialCluster::new(
+            &app,
+            cfg(4),
+            Placement::round_robin(4, &objs, 2),
+        )
+        .run(invs)
+        .messages_sent;
+        assert!(part < full, "partial {part} < full {full}");
+    }
+
+    #[test]
+    #[should_panic(expected = "lacks objects")]
+    fn misrouted_decision_panics() {
+        let app = TwoRegs;
+        let p = Placement::new(vec![vec![ObjectId(0)], vec![ObjectId(1)]]);
+        let cluster = PartialCluster::new(&app, cfg(2), p);
+        let _ = cluster.run(vec![Invocation::new(0, NodeId(0), Bump(1))]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Network partition schedules.
+//!
+//! SHARD's whole reason for existing is that it "allows a database
+//! application to continue operation in the face of communication
+//! failures, including network partitions" (§1.1). A
+//! [`PartitionSchedule`] is a list of time windows; inside a window the
+//! nodes are split into disjoint groups and messages only flow within a
+//! group. Windows are finite, so the network always heals — permanent
+//! failure is the one case the reliable broadcast excludes.
+
+use crate::clock::NodeId;
+use crate::events::SimTime;
+
+/// One partition window: during `[start, end)`, the listed groups are
+/// mutually disconnected. Nodes not listed form an implicit extra group.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartitionWindow {
+    /// First tick of the partition.
+    pub start: SimTime,
+    /// First tick after the partition heals.
+    pub end: SimTime,
+    /// The disconnected groups.
+    pub groups: Vec<Vec<NodeId>>,
+}
+
+impl PartitionWindow {
+    /// A window splitting the nodes into exactly two groups: `island`
+    /// versus everyone else.
+    pub fn isolate(start: SimTime, end: SimTime, island: Vec<NodeId>) -> Self {
+        PartitionWindow { start, end, groups: vec![island] }
+    }
+
+    fn group_of(&self, n: NodeId) -> Option<usize> {
+        self.groups.iter().position(|g| g.contains(&n))
+    }
+
+    /// Whether `a` and `b` can communicate during this window.
+    pub fn connected(&self, a: NodeId, b: NodeId) -> bool {
+        self.group_of(a) == self.group_of(b)
+    }
+}
+
+/// A full schedule of partition windows. Windows may overlap; two nodes
+/// are connected at time `t` iff *every* window covering `t` connects
+/// them.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PartitionSchedule {
+    windows: Vec<PartitionWindow>,
+}
+
+impl PartitionSchedule {
+    /// The always-connected schedule.
+    pub fn none() -> Self {
+        PartitionSchedule::default()
+    }
+
+    /// A schedule from explicit windows.
+    pub fn new(windows: Vec<PartitionWindow>) -> Self {
+        PartitionSchedule { windows }
+    }
+
+    /// Adds a window.
+    pub fn push(&mut self, w: PartitionWindow) {
+        self.windows.push(w);
+    }
+
+    /// The windows.
+    pub fn windows(&self) -> &[PartitionWindow] {
+        &self.windows
+    }
+
+    /// Whether `a` and `b` can communicate at time `t`.
+    pub fn connected(&self, t: SimTime, a: NodeId, b: NodeId) -> bool {
+        if a == b {
+            return true;
+        }
+        self.windows
+            .iter()
+            .filter(|w| w.start <= t && t < w.end)
+            .all(|w| w.connected(a, b))
+    }
+
+    /// The earliest time `≥ t` at which `a` and `b` are connected.
+    /// Because windows are finite this always exists.
+    pub fn next_connected(&self, t: SimTime, a: NodeId, b: NodeId) -> SimTime {
+        if self.connected(t, a, b) {
+            return t;
+        }
+        // Candidate healing instants: the end of each window covering a
+        // later time. Scan window ends after t in ascending order.
+        let mut ends: Vec<SimTime> =
+            self.windows.iter().map(|w| w.end).filter(|e| *e > t).collect();
+        ends.sort_unstable();
+        for e in ends {
+            if self.connected(e, a, b) {
+                return e;
+            }
+        }
+        // All windows are over after the last end.
+        self.windows.iter().map(|w| w.end).max().unwrap_or(t)
+    }
+
+    /// The last tick at which any window is active (0 if none).
+    pub fn horizon(&self) -> SimTime {
+        self.windows.iter().map(|w| w.end).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u16) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn no_partitions_means_always_connected() {
+        let s = PartitionSchedule::none();
+        assert!(s.connected(0, n(0), n(1)));
+        assert_eq!(s.next_connected(5, n(0), n(1)), 5);
+        assert_eq!(s.horizon(), 0);
+    }
+
+    #[test]
+    fn isolate_splits_island_from_rest() {
+        let s = PartitionSchedule::new(vec![PartitionWindow::isolate(10, 20, vec![n(0)])]);
+        assert!(s.connected(5, n(0), n(1)), "before the window");
+        assert!(!s.connected(10, n(0), n(1)), "inside the window");
+        assert!(!s.connected(19, n(0), n(1)));
+        assert!(s.connected(20, n(0), n(1)), "after healing");
+        // Two mainland nodes stay connected throughout.
+        assert!(s.connected(15, n(1), n(2)));
+        // A node is always connected to itself.
+        assert!(s.connected(15, n(0), n(0)));
+    }
+
+    #[test]
+    fn explicit_groups() {
+        let w = PartitionWindow {
+            start: 0,
+            end: 100,
+            groups: vec![vec![n(0), n(1)], vec![n(2)]],
+        };
+        let s = PartitionSchedule::new(vec![w]);
+        assert!(s.connected(50, n(0), n(1)));
+        assert!(!s.connected(50, n(0), n(2)));
+        // n(3) is unlisted: it forms the implicit remainder group.
+        assert!(!s.connected(50, n(3), n(0)));
+        assert!(s.connected(50, n(3), n(4)));
+    }
+
+    #[test]
+    fn next_connected_waits_for_heal() {
+        let s = PartitionSchedule::new(vec![PartitionWindow::isolate(10, 30, vec![n(0)])]);
+        assert_eq!(s.next_connected(15, n(0), n(1)), 30);
+        assert_eq!(s.next_connected(15, n(1), n(2)), 15);
+        assert_eq!(s.horizon(), 30);
+    }
+
+    #[test]
+    fn overlapping_windows_conjoin() {
+        // Window A splits {0} off during [0,20); window B splits {1}
+        // off during [10,30). During [10,20) nodes 0 and 1 are doubly
+        // separated; at 20 still separated by B; at 30 connected.
+        let s = PartitionSchedule::new(vec![
+            PartitionWindow::isolate(0, 20, vec![n(0)]),
+            PartitionWindow::isolate(10, 30, vec![n(1)]),
+        ]);
+        assert!(!s.connected(15, n(0), n(1)));
+        assert!(!s.connected(25, n(0), n(1)));
+        assert_eq!(s.next_connected(5, n(0), n(1)), 30);
+        assert!(s.connected(30, n(0), n(1)));
+    }
+}

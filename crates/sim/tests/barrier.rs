@@ -1,0 +1,152 @@
+//! Integration tests of the §3.3 barrier protocol: critical
+//! transactions wait for promised updates and obtain (near-)complete
+//! prefixes, paying measurable latency.
+
+use shard_apps::airline::{AirlineTxn, FlyByNight};
+use shard_apps::Person;
+use shard_core::conditions;
+use shard_sim::partition::{PartitionSchedule, PartitionWindow};
+use shard_sim::{Cluster, ClusterConfig, DelayModel, Invocation, NodeId};
+
+fn is_mover(d: &AirlineTxn) -> bool {
+    matches!(d, AirlineTxn::MoveUp | AirlineTxn::MoveDown)
+}
+
+#[test]
+fn critical_transaction_sees_all_prior_activity() {
+    let app = FlyByNight::new(3);
+    let cluster = Cluster::new(
+        &app,
+        ClusterConfig {
+            nodes: 3,
+            seed: 1,
+            delay: DelayModel::Fixed(50),
+            ..Default::default()
+        },
+    );
+    // Requests land on all nodes; a critical MOVE-UP at node 0 shortly
+    // after — without the barrier it would see almost nothing (50-tick
+    // delays); with it, it waits and sees everything submitted earlier.
+    let invs = vec![
+        Invocation::new(0, NodeId(0), AirlineTxn::Request(Person(1))),
+        Invocation::new(1, NodeId(1), AirlineTxn::Request(Person(2))),
+        Invocation::new(2, NodeId(2), AirlineTxn::Request(Person(3))),
+        Invocation::new(3, NodeId(0), AirlineTxn::MoveUp),
+    ];
+    let report = cluster.run_with_critical(invs, is_mover);
+    assert!(report.mutually_consistent());
+    assert_eq!(report.barrier_latencies.len(), 1);
+    assert!(report.barrier_latencies[0] >= 100, "probe + promise round trip");
+    let te = report.timed_execution();
+    te.execution.verify(&app).unwrap();
+    // The mover is the last transaction in the serial order and misses
+    // nothing.
+    let mover = (0..te.execution.len())
+        .find(|&i| is_mover(&te.execution.record(i).decision))
+        .unwrap();
+    assert_eq!(conditions::missed_count(&te.execution, mover), 0);
+    // It therefore seated the *first* requester.
+    assert!(te.execution.final_state(&app).is_assigned(Person(1)));
+}
+
+#[test]
+fn barrier_waits_out_partitions() {
+    let app = FlyByNight::new(3);
+    let partitions =
+        PartitionSchedule::new(vec![PartitionWindow::isolate(0, 1000, vec![NodeId(1)])]);
+    let cluster = Cluster::new(
+        &app,
+        ClusterConfig {
+            nodes: 2,
+            seed: 2,
+            delay: DelayModel::Fixed(10),
+            partitions,
+            ..Default::default()
+        },
+    );
+    let invs = vec![
+        Invocation::new(5, NodeId(1), AirlineTxn::Request(Person(1))),
+        Invocation::new(20, NodeId(0), AirlineTxn::MoveUp),
+    ];
+    let report = cluster.run_with_critical(invs, is_mover);
+    // The critical mover could not execute until the partition healed.
+    assert_eq!(report.barrier_latencies.len(), 1);
+    assert!(report.barrier_latencies[0] >= 980, "waited for the heal at t=1000");
+    // Having waited, it saw the isolated node's request.
+    let te = report.timed_execution();
+    let mover = (0..te.execution.len())
+        .find(|&i| is_mover(&te.execution.record(i).decision))
+        .unwrap();
+    assert_eq!(conditions::missed_count(&te.execution, mover), 0);
+}
+
+#[test]
+fn non_critical_runs_are_unchanged() {
+    let app = FlyByNight::new(3);
+    let invs = vec![
+        Invocation::new(0, NodeId(0), AirlineTxn::Request(Person(1))),
+        Invocation::new(10, NodeId(1), AirlineTxn::MoveUp),
+    ];
+    let mk = || {
+        Cluster::new(
+            &app,
+            ClusterConfig { nodes: 2, seed: 3, delay: DelayModel::Fixed(20), ..Default::default() },
+        )
+    };
+    let plain = mk().run(invs.clone());
+    let with_pred = mk().run_with_critical(invs, |_| false);
+    assert_eq!(plain.final_states, with_pred.final_states);
+    assert!(with_pred.barrier_latencies.is_empty());
+}
+
+#[test]
+fn single_node_criticals_run_immediately() {
+    let app = FlyByNight::new(3);
+    let cluster = Cluster::new(
+        &app,
+        ClusterConfig { nodes: 1, seed: 4, ..Default::default() },
+    );
+    let invs = vec![
+        Invocation::new(0, NodeId(0), AirlineTxn::Request(Person(1))),
+        Invocation::new(1, NodeId(0), AirlineTxn::MoveUp),
+    ];
+    let report = cluster.run_with_critical(invs, is_mover);
+    assert!(report.barrier_latencies.is_empty(), "no peers, no barrier");
+    assert_eq!(report.final_states[0].al(), 1);
+}
+
+#[test]
+fn many_criticals_all_clear() {
+    let app = FlyByNight::new(10);
+    let cluster = Cluster::new(
+        &app,
+        ClusterConfig {
+            nodes: 4,
+            seed: 5,
+            delay: DelayModel::Exponential { mean: 30 },
+            ..Default::default()
+        },
+    );
+    let mut invs = Vec::new();
+    for i in 1..=20u32 {
+        invs.push(Invocation::new(
+            i as u64 * 7,
+            NodeId((i % 4) as u16),
+            AirlineTxn::Request(Person(i)),
+        ));
+        invs.push(Invocation::new(i as u64 * 7 + 3, NodeId(0), AirlineTxn::MoveUp));
+    }
+    let report = cluster.run_with_critical(invs, is_mover);
+    assert_eq!(report.barrier_latencies.len(), 20);
+    assert!(report.mutually_consistent());
+    let te = report.timed_execution();
+    te.execution.verify(&app).unwrap();
+    // Movers are rarely perfect (transactions submitted between probe
+    // and execution can be missed) but see the overwhelming majority.
+    let worst = (0..te.execution.len())
+        .filter(|&i| is_mover(&te.execution.record(i).decision))
+        .map(|i| conditions::missed_count(&te.execution, i))
+        .max()
+        .unwrap();
+    assert!(worst <= 4, "near-complete prefixes, got worst miss {worst}");
+}

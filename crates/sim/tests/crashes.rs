@@ -1,0 +1,88 @@
+//! Integration tests of node crash/recovery in the SHARD cluster.
+
+use shard_apps::airline::{AirlineTxn, FlyByNight};
+use shard_apps::Person;
+use shard_sim::{
+    Cluster, ClusterConfig, CrashSchedule, CrashWindow, DelayModel, Invocation, NodeId,
+};
+
+fn cfg(crashes: CrashSchedule) -> ClusterConfig {
+    ClusterConfig {
+        nodes: 3,
+        seed: 1,
+        delay: DelayModel::Fixed(10),
+        crashes,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn crashed_nodes_reject_clients() {
+    let app = FlyByNight::new(5);
+    let crashes = CrashSchedule::new(vec![CrashWindow::new(NodeId(1), 50, 150)]);
+    let cluster = Cluster::new(&app, cfg(crashes));
+    let invs = vec![
+        Invocation::new(10, NodeId(1), AirlineTxn::Request(Person(1))), // before: ok
+        Invocation::new(100, NodeId(1), AirlineTxn::Request(Person(2))), // down: rejected
+        Invocation::new(100, NodeId(0), AirlineTxn::Request(Person(3))), // other node: ok
+        Invocation::new(200, NodeId(1), AirlineTxn::Request(Person(4))), // recovered: ok
+    ];
+    let report = cluster.run(invs);
+    assert_eq!(report.rejected, vec![(100, NodeId(1))]);
+    assert_eq!(report.transactions.len(), 3);
+    let fin = &report.final_states[0];
+    assert!(fin.is_waiting(Person(1)));
+    assert!(!fin.is_known(Person(2)), "rejected transaction never entered");
+    assert!(fin.is_waiting(Person(3)));
+    assert!(fin.is_waiting(Person(4)));
+}
+
+#[test]
+fn messages_are_held_until_recovery_and_replicas_converge() {
+    let app = FlyByNight::new(5);
+    let crashes = CrashSchedule::new(vec![CrashWindow::new(NodeId(2), 0, 500)]);
+    let cluster = Cluster::new(&app, cfg(crashes));
+    let mut invs = Vec::new();
+    for i in 1..=6u32 {
+        invs.push(Invocation::new(
+            i as u64 * 10,
+            NodeId((i % 2) as u16),
+            AirlineTxn::Request(Person(i)),
+        ));
+    }
+    let report = cluster.run(invs);
+    assert!(report.rejected.is_empty());
+    // The crashed node received everything after recovery.
+    assert!(report.mutually_consistent());
+    let te = report.timed_execution();
+    te.execution.verify(&app).unwrap();
+}
+
+#[test]
+fn crash_during_barrier_defers_promises() {
+    let app = FlyByNight::new(5);
+    // Node 1 is down while the critical mover at node 0 probes.
+    let crashes = CrashSchedule::new(vec![CrashWindow::new(NodeId(1), 0, 400)]);
+    let cluster = Cluster::new(&app, cfg(crashes));
+    let invs = vec![
+        Invocation::new(5, NodeId(0), AirlineTxn::Request(Person(1))),
+        Invocation::new(20, NodeId(0), AirlineTxn::MoveUp),
+    ];
+    let report = cluster
+        .run_with_critical(invs, |d| matches!(d, AirlineTxn::MoveUp));
+    assert_eq!(report.barrier_latencies.len(), 1);
+    assert!(
+        report.barrier_latencies[0] >= 380,
+        "the barrier waited for node 1 to recover: {}",
+        report.barrier_latencies[0]
+    );
+    assert!(report.final_states[0].is_assigned(Person(1)));
+}
+
+#[test]
+fn no_crashes_is_the_default() {
+    let app = FlyByNight::new(5);
+    let cluster = Cluster::new(&app, ClusterConfig { nodes: 2, ..Default::default() });
+    let report = cluster.run(vec![Invocation::new(0, NodeId(0), AirlineTxn::Request(Person(1)))]);
+    assert!(report.rejected.is_empty());
+}

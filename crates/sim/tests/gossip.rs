@@ -1,0 +1,125 @@
+//! Integration tests of the anti-entropy gossip broadcast.
+
+use shard_apps::airline::{AirlineTxn, FlyByNight};
+use shard_apps::Person;
+use shard_core::conditions;
+use shard_sim::partition::{PartitionSchedule, PartitionWindow};
+use shard_sim::{
+    ClusterConfig, DelayModel, GossipCluster, GossipConfig, Invocation, NodeId,
+};
+
+fn booking(n: u32, nodes: u16, gap: u64) -> Vec<Invocation<AirlineTxn>> {
+    let mut invs = Vec::new();
+    let mut t = 0;
+    for i in 1..=n {
+        t += gap;
+        invs.push(Invocation::new(t, NodeId((i % nodes as u32) as u16), AirlineTxn::Request(Person(i))));
+        t += gap;
+        invs.push(Invocation::new(t, NodeId(((i + 1) % nodes as u32) as u16), AirlineTxn::MoveUp));
+    }
+    invs
+}
+
+#[test]
+fn gossip_converges_and_emits_valid_executions() {
+    let app = FlyByNight::new(10);
+    let cluster = GossipCluster::new(
+        &app,
+        ClusterConfig {
+            nodes: 4,
+            seed: 1,
+            delay: DelayModel::Fixed(5),
+            ..Default::default()
+        },
+        GossipConfig { interval: 25 },
+    );
+    let report = cluster.run(booking(30, 4, 7));
+    assert!(report.mutually_consistent());
+    assert!(report.gossip_rounds > 0);
+    assert!(report.entries_shipped > 0);
+    let te = report.timed_execution();
+    te.execution.verify(&app).expect("gossip runs satisfy §3.1 too");
+    assert_eq!(report.final_states[0], te.execution.final_state(&app));
+}
+
+#[test]
+fn slower_gossip_means_larger_k() {
+    let app = FlyByNight::new(10);
+    let run = |interval| {
+        let cluster = GossipCluster::new(
+            &app,
+            ClusterConfig {
+                nodes: 4,
+                seed: 2,
+                delay: DelayModel::Fixed(5),
+                ..Default::default()
+            },
+            GossipConfig { interval },
+        );
+        let te = cluster.run(booking(40, 4, 5)).timed_execution();
+        let counts: usize = shard_analysis_free_missed(&te.execution);
+        counts
+    };
+    // Helper: total missed predecessors across the execution.
+    fn shard_analysis_free_missed(
+        e: &shard_core::Execution<FlyByNight>,
+    ) -> usize {
+        (0..e.len()).map(|i| conditions::missed_count(e, i)).sum()
+    }
+    let fast = run(10);
+    let slow = run(400);
+    assert!(slow > fast, "slow gossip {slow} must miss more than fast {fast}");
+}
+
+#[test]
+fn gossip_rides_out_partitions() {
+    let app = FlyByNight::new(10);
+    let partitions =
+        PartitionSchedule::new(vec![PartitionWindow::isolate(0, 800, vec![NodeId(0)])]);
+    let cluster = GossipCluster::new(
+        &app,
+        ClusterConfig {
+            nodes: 3,
+            seed: 3,
+            delay: DelayModel::Fixed(5),
+            partitions,
+            ..Default::default()
+        },
+        GossipConfig { interval: 30 },
+    );
+    let report = cluster.run(booking(15, 3, 10));
+    // Rounds blocked during the partition are skipped, yet everything
+    // converges after the heal.
+    assert!(report.mutually_consistent());
+    let te = report.timed_execution();
+    te.execution.verify(&app).unwrap();
+}
+
+#[test]
+fn single_node_gossips_nothing() {
+    let app = FlyByNight::new(10);
+    let cluster = GossipCluster::new(
+        &app,
+        ClusterConfig { nodes: 1, seed: 4, ..Default::default() },
+        GossipConfig { interval: 10 },
+    );
+    let report = cluster.run(booking(5, 1, 3));
+    assert_eq!(report.gossip_rounds, 0);
+    assert_eq!(report.entries_shipped, 0);
+    assert_eq!(report.final_states.len(), 1);
+}
+
+#[test]
+fn deterministic_per_seed() {
+    let app = FlyByNight::new(10);
+    let run = |seed| {
+        GossipCluster::new(
+            &app,
+            ClusterConfig { nodes: 3, seed, delay: DelayModel::Fixed(7), ..Default::default() },
+            GossipConfig { interval: 20 },
+        )
+        .run(booking(20, 3, 4))
+        .final_states
+    };
+    assert_eq!(run(9), run(9));
+}

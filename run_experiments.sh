@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Runs every experiment binary (E01-E18) in release mode; fails fast on
+# the first violated claim. Logs land in target/exp_logs/.
+set -euo pipefail
+cd "$(dirname "$0")"
+mkdir -p target/exp_logs
+experiments=(
+  e01_worked_example e02_overbooking_bound e03_underbooking_bound
+  e04_compensation e05_witness_bounds e06_centralization e07_fairness
+  e08_thrashing e09_availability e10_k_distribution e11_undo_redo
+  e12_banking e13_inventory e14_taxonomy e15_complete_prefix
+  e16_partial_replication e17_gossip e18_crash_recovery e19_nameserver
+)
+for e in "${experiments[@]}"; do
+  echo "== exp_$e =="
+  cargo run -q --release -p shard-bench --bin "exp_$e" | tee "target/exp_logs/$e.txt"
+done
+echo "ALL EXPERIMENTS PASSED"

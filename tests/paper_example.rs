@@ -1,0 +1,121 @@
+//! Integration test: the §3.1 worked example, end to end, asserting
+//! every number the paper states about it.
+
+use shard::apps::airline::{AirlineTxn, FlyByNight, OVERBOOKING, UNDERBOOKING};
+use shard::apps::Person;
+use shard::core::{conditions, Application, Execution, ExecutionBuilder, TxnIndex};
+
+fn build_worked_example(app: &FlyByNight) -> Execution<FlyByNight> {
+    let mut b = ExecutionBuilder::new(app);
+    for i in 1..=100u32 {
+        b.push_complete(AirlineTxn::Request(Person(i))).unwrap();
+        b.push_complete(AirlineTxn::MoveUp).unwrap();
+    }
+    let first198: Vec<TxnIndex> = (0..198).collect();
+    let r101 = b.push_complete(AirlineTxn::Request(Person(101))).unwrap();
+    let mut pre = first198.clone();
+    pre.push(r101);
+    b.push(AirlineTxn::MoveUp, pre).unwrap();
+    let r102 = b.push_complete(AirlineTxn::Request(Person(102))).unwrap();
+    let mut pre = first198.clone();
+    pre.push(r102);
+    b.push(AirlineTxn::MoveUp, pre).unwrap();
+    b.push(AirlineTxn::MoveDown, (0..202).collect()).unwrap();
+    b.push_complete(AirlineTxn::Cancel(Person(1))).unwrap();
+    b.finish()
+}
+
+#[test]
+fn section_3_1_example_matches_the_paper() {
+    let app = FlyByNight::default();
+    let e = build_worked_example(&app);
+    assert_eq!(e.len(), 206);
+    e.verify(&app).expect("conditions (1)-(4) hold");
+
+    // "The state after the first 204 transactions has 102 people on the
+    // assigned list in numerical order, and no one on the waiting list."
+    let s204 = e.actual_state_after(&app, 203);
+    assert_eq!(
+        s204.assigned().iter().map(|p| p.0).collect::<Vec<_>>(),
+        (1..=102).collect::<Vec<_>>()
+    );
+    assert_eq!(s204.wl(), 0);
+    // "…a reachable state (s204) for which the overbooking cost is
+    // nonzero."
+    assert_eq!(app.cost(&s204, OVERBOOKING), 1800);
+
+    // "After the MOVE-DOWN, s205 has P101 on the waiting list and
+    // P1,P2,…,P100,P102 in order on the assigned list."
+    let s205 = e.actual_state_after(&app, 204);
+    assert_eq!(s205.waiting(), &[Person(101)]);
+    assert_eq!(
+        s205.assigned().iter().map(|p| p.0).collect::<Vec<_>>(),
+        (1..=100).chain([102]).collect::<Vec<_>>()
+    );
+
+    // "The final cancellation then leaves the assigned list with exactly
+    // 100 passengers: P2,…,P100,P102."
+    let fin = e.final_state(&app);
+    assert_eq!(
+        fin.assigned().iter().map(|p| p.0).collect::<Vec<_>>(),
+        (2..=100).chain([102]).collect::<Vec<_>>()
+    );
+    assert_eq!(app.cost(&fin, OVERBOOKING), 0);
+    assert_eq!(app.cost(&fin, UNDERBOOKING), 0);
+
+    // "P102 requests a seat after P101 … but P102 is allowed to remain
+    // on the assigned list while P101 is moved down."
+    assert!(fin.is_assigned(Person(102)));
+    assert!(fin.is_waiting(Person(101)));
+}
+
+#[test]
+fn section_3_2_transitivity_modification() {
+    let app = FlyByNight::default();
+    let raw = build_worked_example(&app);
+    // "The execution in the previous example fails to be transitive…"
+    assert!(!conditions::is_transitive(&raw));
+
+    // "…we can modify the execution slightly, assigning each of
+    // REQUEST(P101) and REQUEST(P102) the prefix subsequence consisting
+    // of the first 198 transactions, without changing the updates
+    // generated. The resulting modified execution is transitive."
+    let mut b = ExecutionBuilder::new(&app);
+    for i in 1..=100u32 {
+        b.push_complete(AirlineTxn::Request(Person(i))).unwrap();
+        b.push_complete(AirlineTxn::MoveUp).unwrap();
+    }
+    let first198: Vec<TxnIndex> = (0..198).collect();
+    let r101 = b.push(AirlineTxn::Request(Person(101)), first198.clone()).unwrap();
+    let mut pre = first198.clone();
+    pre.push(r101);
+    b.push(AirlineTxn::MoveUp, pre).unwrap();
+    let r102 = b.push(AirlineTxn::Request(Person(102)), first198.clone()).unwrap();
+    let mut pre = first198.clone();
+    pre.push(r102);
+    b.push(AirlineTxn::MoveUp, pre).unwrap();
+    b.push(AirlineTxn::MoveDown, (0..202).collect()).unwrap();
+    b.push_complete(AirlineTxn::Cancel(Person(1))).unwrap();
+    let modified = b.finish();
+
+    modified.verify(&app).expect("still a valid execution");
+    assert!(conditions::is_transitive(&modified));
+    // Same updates, same final state.
+    for (a, b) in raw.records().iter().zip(modified.records()) {
+        assert_eq!(a.update, b.update);
+    }
+    assert_eq!(raw.final_state(&app), modified.final_state(&app));
+}
+
+#[test]
+fn the_example_is_not_serializable_but_updates_are() {
+    let app = FlyByNight::default();
+    let e = build_worked_example(&app);
+    // Not serializable: some transactions miss predecessors.
+    assert!(conditions::max_missed(&e) > 0);
+    // The incomplete transactions are exactly the two blind MOVE-UPs,
+    // the MOVE-DOWN, and (trivially complete) everything else.
+    let incomplete: Vec<usize> =
+        (0..e.len()).filter(|&i| conditions::missed_count(&e, i) > 0).collect();
+    assert_eq!(incomplete, vec![201, 203, 204]);
+}
