@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# The full CI gate: release build, test suite, clippy with warnings
+# denied, and formatting. Any step failing fails the script.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+run() {
+  echo "== $* =="
+  "$@"
+}
+
+run cargo build --release --all-targets
+run cargo test --workspace -q
+run cargo clippy --all-targets -- -D warnings
+run cargo fmt --check
+echo "CI PASSED"

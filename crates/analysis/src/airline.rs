@@ -4,18 +4,15 @@
 use crate::claims::ClaimCheck;
 use shard_apps::airline::witness::UpdateHistory;
 use shard_apps::airline::{AirlineTxn, AirlineUpdate, FlyByNight, OVERBOOKING, UNDERBOOKING};
+use shard_apps::Person;
 #[allow(unused_imports)]
 use shard_core::Application as _;
-use shard_apps::Person;
 use shard_core::{Application, Execution, ExternalAction, PriorityModel, TxnIndex};
 use std::collections::BTreeMap;
 
 /// The update sequence preceding transaction `i`, plus the seen-index
 /// set, packaged for witness queries.
-fn history_before(
-    exec: &Execution<FlyByNight>,
-    i: TxnIndex,
-) -> (Vec<AirlineUpdate>, Vec<bool>) {
+fn history_before(exec: &Execution<FlyByNight>, i: TxnIndex) -> (Vec<AirlineUpdate>, Vec<bool>) {
     let updates: Vec<AirlineUpdate> = exec.records()[..i].iter().map(|r| r.update).collect();
     let mut seen = vec![false; i];
     for &p in &exec.record(i).prefix {
@@ -47,16 +44,11 @@ pub fn assignment_witness_misses(
 /// whom the prefix misses the last `cancel(P)` or last `move-down(P)`.
 /// Persons never mentioned in the history are skipped (they cannot
 /// confuse the mover).
-pub fn negative_info_misses(
-    app: &FlyByNight,
-    exec: &Execution<FlyByNight>,
-    i: TxnIndex,
-) -> usize {
+pub fn negative_info_misses(app: &FlyByNight, exec: &Execution<FlyByNight>, i: TxnIndex) -> usize {
     let (updates, seen) = history_before(exec, i);
     let h = UpdateHistory::new(&updates);
     let actual = exec.actual_state_before(app, i);
-    let mut people: Vec<Person> =
-        updates.iter().filter_map(|u| u.person()).collect();
+    let mut people: Vec<Person> = updates.iter().filter_map(|u| u.person()).collect();
     people.sort_unstable();
     people.dedup();
     people
@@ -84,18 +76,16 @@ pub fn check_theorem20(app: &FlyByNight, exec: &Execution<FlyByNight>) -> ClaimC
                 let before = app.cost(&states[i], OVERBOOKING);
                 let after = app.cost(&states[i + 1], OVERBOOKING);
                 let ok = after <= before || after <= app.overbook_rate() * m;
-                check.record((!ok).then(|| {
-                    format!("MOVE-UP {i}: over {before}->{after}, m={m}")
-                }));
+                check.record((!ok).then(|| format!("MOVE-UP {i}: over {before}->{after}, m={m}")));
             }
             AirlineTxn::MoveDown => {
                 let m = negative_info_misses(app, exec, i) as u64;
                 let before = app.cost(&states[i], UNDERBOOKING);
                 let after = app.cost(&states[i + 1], UNDERBOOKING);
                 let ok = after <= before || after <= app.underbook_rate() * m;
-                check.record((!ok).then(|| {
-                    format!("MOVE-DOWN {i}: under {before}->{after}, m={m}")
-                }));
+                check.record(
+                    (!ok).then(|| format!("MOVE-DOWN {i}: under {before}->{after}, m={m}")),
+                );
             }
             _ => {}
         }
@@ -271,8 +261,10 @@ pub fn check_theorem25(
         return None;
     }
     let mover = (0..exec.len()).find(|&i| {
-        matches!(exec.record(i).decision, AirlineTxn::MoveUp | AirlineTxn::MoveDown)
-            && exec.record(i).prefix.contains(&rp)
+        matches!(
+            exec.record(i).decision,
+            AirlineTxn::MoveUp | AirlineTxn::MoveDown
+        ) && exec.record(i).prefix.contains(&rp)
             && exec.record(i).prefix.contains(&rq)
     })?;
     let apparent = exec.apparent_state_before(app, mover);
@@ -284,7 +276,9 @@ pub fn check_theorem25(
     } else {
         return None; // not both known apparently — hypothesis unmet
     };
-    let mut check = ClaimCheck::new(format!("Theorem 25 priority {p} < {q} fixed from txn {mover}"));
+    let mut check = ClaimCheck::new(format!(
+        "Theorem 25 priority {p} < {q} fixed from txn {mover}"
+    ));
     let states = exec.actual_states(app);
     for (si, s) in states.iter().enumerate().skip(mover) {
         if s.is_known(p) && s.is_known(q) {
@@ -312,7 +306,10 @@ pub fn check_request_order_priority(
     }
     // Hypothesis: movers seeing REQUEST(q) also see REQUEST(p).
     for i in 0..exec.len() {
-        if matches!(exec.record(i).decision, AirlineTxn::MoveUp | AirlineTxn::MoveDown) {
+        if matches!(
+            exec.record(i).decision,
+            AirlineTxn::MoveUp | AirlineTxn::MoveDown
+        ) {
             let pre = &exec.record(i).prefix;
             if pre.contains(&rq) && !pre.contains(&rp) {
                 return None;
@@ -374,7 +371,10 @@ pub fn notification_churn(actions: &[ExternalAction]) -> usize {
 
 /// Collects every external action of an execution in serial order.
 pub fn all_external_actions<A: Application>(exec: &Execution<A>) -> Vec<ExternalAction> {
-    exec.records().iter().flat_map(|r| r.external_actions.iter().cloned()).collect()
+    exec.records()
+        .iter()
+        .flat_map(|r| r.external_actions.iter().cloned())
+        .collect()
 }
 
 #[cfg(test)]

@@ -32,7 +32,11 @@ impl ClaimCheck {
 
     /// Convenience constructor.
     pub fn new(name: impl Into<String>) -> Self {
-        ClaimCheck { name: name.into(), instances: 0, violations: Vec::new() }
+        ClaimCheck {
+            name: name.into(),
+            instances: 0,
+            violations: Vec::new(),
+        }
     }
 
     /// Records one checked instance, with an optional violation message.
@@ -77,19 +81,26 @@ pub fn check_theorem5<A: Application>(
         app.constraint_name(constraint),
         f.description()
     ));
-    let states = exec.actual_states(app);
-    for i in 0..exec.len() {
-        if !is_preserving(&exec.record(i).decision) {
-            continue;
+    // One streaming pass: the cost of sᵢ is remembered from the previous
+    // callback, so no Vec of all reachable states is materialized.
+    let mut before = 0;
+    exec.for_each_actual_state(app, |m, s| {
+        let after = app.cost(s, constraint);
+        if m > 0 {
+            let i = m - 1;
+            if is_preserving(&exec.record(i).decision) {
+                let k = missed_count(exec, i);
+                let ok = after <= before || after <= f.at(k);
+                check.record((!ok).then(|| {
+                    format!(
+                        "txn {i}: cost {before} -> {after}, k={k}, bound {}",
+                        f.at(k)
+                    )
+                }));
+            }
         }
-        let before = app.cost(&states[i], constraint);
-        let after = app.cost(&states[i + 1], constraint);
-        let k = missed_count(exec, i);
-        let ok = after <= before || after <= f.at(k);
-        check.record((!ok).then(|| {
-            format!("txn {i}: cost {before} -> {after}, k={k}, bound {}", f.at(k))
-        }));
-    }
+        before = after;
+    });
     check
 }
 
@@ -112,10 +123,10 @@ pub fn check_invariant_bound<A: Application>(
         app.constraint_name(constraint),
         f.description()
     ));
-    for (i, s) in exec.actual_states(app).iter().enumerate() {
+    exec.for_each_actual_state(app, |i, s| {
         let c = app.cost(s, constraint);
         check.record((c > bound).then(|| format!("state {i}: cost {c} > bound {bound}")));
-    }
+    });
     (k, check)
 }
 
@@ -134,19 +145,19 @@ pub fn check_grouped_bound<A: Application>(
 ) -> Option<(usize, ClaimCheck)> {
     let grouping = Grouping::discover(app, exec, constraint, &is_preserving)?;
     let group_ends: Vec<usize> = grouping.groups().map(|g| g.end - 1).collect();
-    let k = max_missed_where(exec, |i, d| is_preserving(d) || group_ends.contains(&i));
+    let k = max_missed_where(exec, |i, d| {
+        is_preserving(d) || group_ends.binary_search(&i).is_ok()
+    });
     let bound = f.at(k);
     let mut check = ClaimCheck::new(format!(
         "Corollary 10 normal-state bound [{} ≤ {}(k={k})={bound}]",
         app.constraint_name(constraint),
         f.description()
     ));
-    for (after, state) in grouping.normal_states(app, exec) {
-        let c = app.cost(&state, constraint);
-        check.record(
-            (c > bound).then(|| format!("normal state after {after:?}: {c} > {bound}")),
-        );
-    }
+    grouping.for_each_normal_state(app, exec, |after, state| {
+        let c = app.cost(state, constraint);
+        check.record((c > bound).then(|| format!("normal state after {after:?}: {c} > {bound}")));
+    });
     Some((k, check))
 }
 
@@ -166,19 +177,19 @@ pub fn check_total_bound_at_normal_states<A: Application>(
     let grouping = Grouping::discover(app, exec, grouping_constraint, &is_preserving)?;
     let group_ends: Vec<usize> = grouping.groups().map(|g| g.end - 1).collect();
     let k = max_missed_where(exec, |i, d| {
-        is_preserving(d) || group_ends.contains(&i) || is_unsafe_any(d)
+        is_preserving(d) || group_ends.binary_search(&i).is_ok() || is_unsafe_any(d)
     });
     let bound = f.at(k);
     let mut check = ClaimCheck::new(format!(
         "Corollary 11 total cost at normal states ≤ {}(k={k})={bound}",
         f.description()
     ));
-    for (after, state) in grouping.normal_states(app, exec) {
-        let c: Cost = app.total_cost(&state);
+    grouping.for_each_normal_state(app, exec, |after, state| {
+        let c: Cost = app.total_cost(state);
         check.record(
             (c > bound).then(|| format!("normal state after {after:?}: total {c} > {bound}")),
         );
-    }
+    });
     Some((k, check))
 }
 
@@ -265,11 +276,13 @@ mod tests {
         b.push_complete(AirlineTxn::Request(Person(1))).unwrap();
         let e = b.finish();
         let f = BoundFn::linear(300);
-        assert!(check_grouped_bound(&app, &e, UNDERBOOKING, &f, |d| matches!(
-            d,
-            AirlineTxn::MoveUp | AirlineTxn::MoveDown
-        ))
-        .is_none());
+        assert!(
+            check_grouped_bound(&app, &e, UNDERBOOKING, &f, |d| matches!(
+                d,
+                AirlineTxn::MoveUp | AirlineTxn::MoveDown
+            ))
+            .is_none()
+        );
     }
 
     #[test]

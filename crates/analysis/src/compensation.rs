@@ -50,7 +50,10 @@ pub fn run_atomic_suffix<A: Application>(
     let mut appended = 0;
     while appended < max_steps {
         if app.cost(&apparent, constraint) == 0 {
-            return SuffixOutcome { appended, converged: true };
+            return SuffixOutcome {
+                appended,
+                converged: true,
+            };
         }
         let outcome = app.decide(decision, &apparent);
         apparent = app.apply(&apparent, &outcome.update);
@@ -63,7 +66,10 @@ pub fn run_atomic_suffix<A: Application>(
         prefix.push(idx);
         appended += 1;
     }
-    SuffixOutcome { appended, converged: app.cost(&apparent, constraint) == 0 }
+    SuffixOutcome {
+        appended,
+        converged: app.cost(&apparent, constraint) == 0,
+    }
 }
 
 #[cfg(test)]
@@ -109,8 +115,7 @@ mod tests {
         // only 2 are assigned, so it moves down once and believes cost 0;
         // the actual cost is ≤ 900·k = 900.
         let base: Vec<usize> = (0..e.len() - 1).collect();
-        let out =
-            run_atomic_suffix(&app, &mut e, &base, &AirlineTxn::MoveDown, OVERBOOKING, 10);
+        let out = run_atomic_suffix(&app, &mut e, &base, &AirlineTxn::MoveDown, OVERBOOKING, 10);
         assert!(out.converged);
         let actual = app.cost(&e.final_state(&app), OVERBOOKING);
         assert!(actual <= 900, "Lemma 12: actual {actual} ≤ f(1) = 900");
@@ -125,7 +130,13 @@ mod tests {
         b.push_complete(AirlineTxn::Request(Person(1))).unwrap();
         let mut e = b.finish();
         let out = run_atomic_suffix(&app, &mut e, &[0], &AirlineTxn::MoveDown, OVERBOOKING, 5);
-        assert_eq!(out, SuffixOutcome { appended: 0, converged: true });
+        assert_eq!(
+            out,
+            SuffixOutcome {
+                appended: 0,
+                converged: true
+            }
+        );
         assert_eq!(e.len(), 1);
     }
 

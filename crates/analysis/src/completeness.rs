@@ -42,7 +42,10 @@ pub fn max_missed_where<A: Application>(
     exec: &Execution<A>,
     pred: impl FnMut(TxnIndex, &A::Decision) -> bool,
 ) -> usize {
-    missed_counts_where(exec, pred).into_iter().max().unwrap_or(0)
+    missed_counts_where(exec, pred)
+        .into_iter()
+        .max()
+        .unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -83,7 +86,13 @@ mod tests {
         let (_, e) = sample_exec();
         let counts = missed_counts_where(&e, |_, d| matches!(d, AirlineTxn::MoveUp));
         assert_eq!(counts, vec![1, 0]);
-        assert_eq!(max_missed_where(&e, |_, d| matches!(d, AirlineTxn::MoveUp)), 1);
-        assert_eq!(max_missed_where(&e, |_, d| matches!(d, AirlineTxn::MoveDown)), 0);
+        assert_eq!(
+            max_missed_where(&e, |_, d| matches!(d, AirlineTxn::MoveUp)),
+            1
+        );
+        assert_eq!(
+            max_missed_where(&e, |_, d| matches!(d, AirlineTxn::MoveDown)),
+            0
+        );
     }
 }

@@ -30,9 +30,9 @@ pub fn for_each_execution<A: Application>(
     loop {
         let mut b = ExecutionBuilder::new(app);
         for (i, d) in decisions.iter().enumerate() {
-            let prefix: Vec<TxnIndex> =
-                (0..i).filter(|j| masks[i] & (1 << j) != 0).collect();
-            b.push(d.clone(), prefix).expect("valid prefix by construction");
+            let prefix: Vec<TxnIndex> = (0..i).filter(|j| masks[i] & (1 << j) != 0).collect();
+            b.push(d.clone(), prefix)
+                .expect("valid prefix by construction");
         }
         let e = b.finish();
         visit(&e);
@@ -83,8 +83,8 @@ mod tests {
     use crate::trace;
     use shard_apps::airline::{AirlineTxn, FlyByNight, OVERBOOKING, UNDERBOOKING};
     use shard_apps::Person;
-    use shard_core::costs::BoundFn;
     use shard_core::conditions;
+    use shard_core::costs::BoundFn;
 
     fn p(n: u32) -> Person {
         Person(n)
@@ -190,8 +190,14 @@ mod tests {
             }
         });
         assert_eq!(checked, 32768);
-        assert_eq!(violations, 0, "Theorem 22 holds on every in-scope execution");
-        assert!(hypothesis_met >= 50, "the scope is non-trivial: {hypothesis_met}");
+        assert_eq!(
+            violations, 0,
+            "Theorem 22 holds on every in-scope execution"
+        );
+        assert!(
+            hypothesis_met >= 50,
+            "the scope is non-trivial: {hypothesis_met}"
+        );
         assert!(
             counterexamples_without_hypothesis > 0,
             "dropping per-person centralization admits overbooking (§5.4)"

@@ -30,9 +30,9 @@
 pub mod airline;
 pub mod claims;
 pub mod compensation;
+pub mod completeness;
 pub mod exhaustive;
 pub mod probabilistic;
-pub mod completeness;
 pub mod stats;
 pub mod table;
 pub mod trace;

@@ -55,10 +55,17 @@ pub fn probabilistic_bounds(
     levels
         .iter()
         .map(|&p| {
-            assert!((0.0..=1.0).contains(&p), "probability level {p} outside [0,1]");
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "probability level {p} outside [0,1]"
+            );
             let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
             let k = sorted[idx];
-            ProbabilisticBound { probability: p, k_bound: k, cost_bound: f.at(k) }
+            ProbabilisticBound {
+                probability: p,
+                k_bound: k,
+                cost_bound: f.at(k),
+            }
         })
         .collect()
 }

@@ -23,7 +23,15 @@ impl Summary {
     /// Summarizes a sample. Returns the zero summary for empty input.
     pub fn of(values: &[u64]) -> Summary {
         if values.is_empty() {
-            return Summary { n: 0, mean: 0.0, min: 0, p50: 0, p95: 0, p99: 0, max: 0 };
+            return Summary {
+                n: 0,
+                mean: 0.0,
+                min: 0,
+                p50: 0,
+                p95: 0,
+                p99: 0,
+                max: 0,
+            };
         }
         let mut v = values.to_vec();
         v.sort_unstable();

@@ -2,38 +2,43 @@
 //!
 //! The paper's invariant bounds quantify over "any state reachable in
 //! e" — the actual states `s₀ … sₙ`. These helpers evaluate the cost
-//! functions along that trajectory.
+//! functions along that trajectory in one streaming pass each: no
+//! `Vec<State>` of all reachable states is ever materialized.
 
 use shard_core::{Application, Cost, Execution};
 
 /// `cost(sᵢ, constraint)` for every reachable state (`s₀` first).
-pub fn cost_trace<A: Application>(
-    app: &A,
-    exec: &Execution<A>,
-    constraint: usize,
-) -> Vec<Cost> {
-    exec.actual_states(app).iter().map(|s| app.cost(s, constraint)).collect()
+pub fn cost_trace<A: Application>(app: &A, exec: &Execution<A>, constraint: usize) -> Vec<Cost> {
+    exec.fold_actual_states(app, Vec::with_capacity(exec.len() + 1), |mut out, _, s| {
+        out.push(app.cost(s, constraint));
+        out
+    })
 }
 
 /// Maximum of [`cost_trace`] — the worst violation over the whole run.
 pub fn max_cost<A: Application>(app: &A, exec: &Execution<A>, constraint: usize) -> Cost {
-    cost_trace(app, exec, constraint).into_iter().max().unwrap_or(0)
+    exec.fold_actual_states(app, 0, |worst, _, s| worst.max(app.cost(s, constraint)))
 }
 
 /// `Σᵢ cost(s, i)` traced over reachable states.
 pub fn total_cost_trace<A: Application>(app: &A, exec: &Execution<A>) -> Vec<Cost> {
-    exec.actual_states(app).iter().map(|s| app.total_cost(s)).collect()
+    exec.fold_actual_states(app, Vec::with_capacity(exec.len() + 1), |mut out, _, s| {
+        out.push(app.total_cost(s));
+        out
+    })
 }
 
 /// Maximum total cost over reachable states.
 pub fn max_total_cost<A: Application>(app: &A, exec: &Execution<A>) -> Cost {
-    total_cost_trace(app, exec).into_iter().max().unwrap_or(0)
+    exec.fold_actual_states(app, 0, |worst, _, s| worst.max(app.total_cost(s)))
 }
 
 /// Costs at a selected set of reachable states (e.g. the *normal*
 /// states of a grouping — indices are positions in the
 /// `actual_states` vector, i.e. `0` is the initial state and `i + 1`
-/// is the state after transaction `i`).
+/// is the state after transaction `i`). Answered from the execution's
+/// full-order replay checkpoints, so scattered indices cost a bounded
+/// replay each instead of a full `actual_states` materialization.
 ///
 /// # Panics
 ///
@@ -44,8 +49,17 @@ pub fn costs_at<A: Application>(
     constraint: usize,
     state_indices: &[usize],
 ) -> Vec<Cost> {
-    let states = exec.actual_states(app);
-    state_indices.iter().map(|&i| app.cost(&states[i], constraint)).collect()
+    state_indices
+        .iter()
+        .map(|&i| {
+            let s = if i == 0 {
+                app.initial_state()
+            } else {
+                exec.actual_state_after(app, i - 1)
+            };
+            app.cost(&s, constraint)
+        })
+        .collect()
 }
 
 #[cfg(test)]

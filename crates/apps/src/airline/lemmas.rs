@@ -40,12 +40,7 @@ fn restrict(seq: &[AirlineUpdate], kept: &[usize]) -> Vec<AirlineUpdate> {
 /// witness for `P` in `𝒜` with both `A, B ∈ 𝒮`, then
 /// `P ∈ ASSIGNED-LIST(t)`. Returns `None` when the hypothesis is unmet,
 /// `Some(conclusion)` otherwise.
-pub fn lemma15(
-    app: &FlyByNight,
-    seq: &[AirlineUpdate],
-    kept: &[usize],
-    p: Person,
-) -> Option<bool> {
+pub fn lemma15(app: &FlyByNight, seq: &[AirlineUpdate], kept: &[usize], p: Person) -> Option<bool> {
     let (s, t) = states_of(app, seq, restrict(seq, kept).iter());
     if !s.is_assigned(p) {
         return None;
@@ -66,12 +61,7 @@ pub fn lemma15(
 /// `s` and the second request satisfies form (1), but in `t` the
 /// un-cancelled move-up leaves `P` assigned. [`lemma16_literal`] exposes
 /// that reading so the tests can exhibit the counterexample.
-pub fn lemma16(
-    app: &FlyByNight,
-    seq: &[AirlineUpdate],
-    kept: &[usize],
-    p: Person,
-) -> Option<bool> {
+pub fn lemma16(app: &FlyByNight, seq: &[AirlineUpdate], kept: &[usize], p: Person) -> Option<bool> {
     let (s, t) = states_of(app, seq, restrict(seq, kept).iter());
     if !s.is_waiting(p) {
         return None;
@@ -89,8 +79,8 @@ pub fn lemma16(
     // The corrected reading additionally requires 𝒮 to keep the last
     // cancel(P) and last move-up(P) (Lemmas 17/19's conditions), which
     // is what makes the transfer sound.
-    let negatives_kept = h.last_cancel(p).is_none_or(in_kept)
-        && h.last_move_up(p).is_none_or(in_kept);
+    let negatives_kept =
+        h.last_cancel(p).is_none_or(in_kept) && h.last_move_up(p).is_none_or(in_kept);
     if !included || !negatives_kept {
         return None;
     }
@@ -126,12 +116,7 @@ pub fn lemma16_literal(
 
 /// **Lemma 17.** If `𝒮` contains the last `cancel(P)` (if any) of `𝒜`
 /// and `P` is known in `t`, then `P` is known in `s`.
-pub fn lemma17(
-    app: &FlyByNight,
-    seq: &[AirlineUpdate],
-    kept: &[usize],
-    p: Person,
-) -> Option<bool> {
+pub fn lemma17(app: &FlyByNight, seq: &[AirlineUpdate], kept: &[usize], p: Person) -> Option<bool> {
     let (s, t) = states_of(app, seq, restrict(seq, kept).iter());
     let h = UpdateHistory::new(seq);
     if !h.last_cancel(p).is_none_or(|c| kept.contains(&c)) || !t.is_known(p) {
@@ -143,12 +128,7 @@ pub fn lemma17(
 /// **Lemma 18.** If `𝒮` contains the last `move-down(P)` and the last
 /// `cancel(P)` (if any) of `𝒜`, and `P ∈ ASSIGNED-LIST(t)`, then
 /// `P ∈ ASSIGNED-LIST(s)`.
-pub fn lemma18(
-    app: &FlyByNight,
-    seq: &[AirlineUpdate],
-    kept: &[usize],
-    p: Person,
-) -> Option<bool> {
+pub fn lemma18(app: &FlyByNight, seq: &[AirlineUpdate], kept: &[usize], p: Person) -> Option<bool> {
     let (s, t) = states_of(app, seq, restrict(seq, kept).iter());
     let h = UpdateHistory::new(seq);
     let negatives = h.last_move_down(p).is_none_or(|d| kept.contains(&d))
@@ -175,12 +155,7 @@ pub fn lemma18(
 /// move-up replays as a no-op before the request), yet `P` is assigned
 /// in `s`. Keeping the *establishing* request closes the gap:
 /// [`lemma19_literal`] exposes the paper's reading for the tests.
-pub fn lemma19(
-    app: &FlyByNight,
-    seq: &[AirlineUpdate],
-    kept: &[usize],
-    p: Person,
-) -> Option<bool> {
+pub fn lemma19(app: &FlyByNight, seq: &[AirlineUpdate], kept: &[usize], p: Person) -> Option<bool> {
     let (s, t) = states_of(app, seq, restrict(seq, kept).iter());
     let h = UpdateHistory::new(seq);
     let cancel_bar = h.last_cancel(p).map_or(0, |c| c + 1);

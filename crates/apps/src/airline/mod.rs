@@ -22,9 +22,9 @@
 //! * **no unnecessary underbooking** (`AL ≥ capacity` or `WL = 0`),
 //!   violation cost `300 · min(capacity ∸ AL, WL)` — missed profit.
 
-mod state;
 pub mod lemmas;
 pub mod space;
+mod state;
 pub mod witness;
 pub mod workload;
 
@@ -135,12 +135,20 @@ impl FlyByNight {
     /// given seat capacity. Small capacities make exhaustive state-space
     /// checks feasible.
     pub fn new(capacity: u64) -> Self {
-        FlyByNight { capacity, overbook_rate: 900, underbook_rate: 300 }
+        FlyByNight {
+            capacity,
+            overbook_rate: 900,
+            underbook_rate: 300,
+        }
     }
 
     /// An instance with custom cost rates.
     pub fn with_rates(capacity: u64, overbook_rate: Cost, underbook_rate: Cost) -> Self {
-        FlyByNight { capacity, overbook_rate, underbook_rate }
+        FlyByNight {
+            capacity,
+            overbook_rate,
+            underbook_rate,
+        }
     }
 
     /// The flight capacity (100 in the paper).
@@ -208,12 +216,13 @@ impl Application for FlyByNight {
         s
     }
 
-    fn decide(&self, decision: &AirlineTxn, observed: &AirlineState)
-        -> DecisionOutcome<AirlineUpdate> {
+    fn decide(
+        &self,
+        decision: &AirlineTxn,
+        observed: &AirlineState,
+    ) -> DecisionOutcome<AirlineUpdate> {
         match decision {
-            AirlineTxn::Request(p) => {
-                DecisionOutcome::update_only(AirlineUpdate::Request(*p))
-            }
+            AirlineTxn::Request(p) => DecisionOutcome::update_only(AirlineUpdate::Request(*p)),
             AirlineTxn::Cancel(p) => DecisionOutcome::update_only(AirlineUpdate::Cancel(*p)),
             AirlineTxn::MoveUp => {
                 if observed.al() < self.capacity {
@@ -255,9 +264,7 @@ impl Application for FlyByNight {
     fn cost(&self, state: &AirlineState, constraint: usize) -> Cost {
         match constraint {
             OVERBOOKING => self.overbook_rate * monus(state.al(), self.capacity),
-            UNDERBOOKING => {
-                self.underbook_rate * monus(self.capacity, state.al()).min(state.wl())
-            }
+            UNDERBOOKING => self.underbook_rate * monus(self.capacity, state.al()).min(state.wl()),
             _ => panic!("unknown constraint {constraint}"),
         }
     }
@@ -268,7 +275,12 @@ impl PriorityModel for FlyByNight {
 
     fn known(&self, state: &AirlineState) -> Vec<Person> {
         // Assigned people first (they all precede waiters), then waiters.
-        state.assigned().iter().chain(state.waiting().iter()).copied().collect()
+        state
+            .assigned()
+            .iter()
+            .chain(state.waiting().iter())
+            .copied()
+            .collect()
     }
 
     /// §4.2: `P < Q` iff `P` precedes `Q` on the wait list, or `P`
@@ -320,10 +332,7 @@ mod tests {
     fn underbooking_cost_is_300_per_seatable_waiter() {
         let app = FlyByNight::new(3);
         // 1 assigned, 2 free seats, 5 waiting → min(2, 5) = 2 waiters.
-        let s = AirlineState::from_lists(
-            vec![p(1)],
-            vec![p(2), p(3), p(4), p(5), p(6)],
-        );
+        let s = AirlineState::from_lists(vec![p(1)], vec![p(2), p(3), p(4), p(5), p(6)]);
         assert_eq!(app.cost(&s, UNDERBOOKING), 600);
         assert_eq!(app.cost(&s, OVERBOOKING), 0);
         // Exactly full: no underbooking regardless of waiters.
@@ -344,16 +353,25 @@ mod tests {
         let s = AirlineState::from_lists(vec![p(1)], vec![p(2), p(3)]);
         let out = app.decide(&AirlineTxn::MoveUp, &s);
         assert_eq!(out.update, AirlineUpdate::MoveUp(p(2)));
-        assert_eq!(out.external_actions, vec![ExternalAction::new(ACTION_ASSIGN, "P2")]);
+        assert_eq!(
+            out.external_actions,
+            vec![ExternalAction::new(ACTION_ASSIGN, "P2")]
+        );
     }
 
     #[test]
     fn move_up_is_noop_when_full_or_no_waiters() {
         let app = FlyByNight::new(1);
         let full = AirlineState::from_lists(vec![p(1)], vec![p(2)]);
-        assert_eq!(app.decide(&AirlineTxn::MoveUp, &full).update, AirlineUpdate::Noop);
+        assert_eq!(
+            app.decide(&AirlineTxn::MoveUp, &full).update,
+            AirlineUpdate::Noop
+        );
         let empty_wait = AirlineState::from_lists(vec![], vec![]);
-        assert_eq!(app.decide(&AirlineTxn::MoveUp, &empty_wait).update, AirlineUpdate::Noop);
+        assert_eq!(
+            app.decide(&AirlineTxn::MoveUp, &empty_wait).update,
+            AirlineUpdate::Noop
+        );
     }
 
     #[test]
@@ -362,7 +380,10 @@ mod tests {
         let s = AirlineState::from_lists(vec![p(1), p(2)], vec![]);
         let out = app.decide(&AirlineTxn::MoveDown, &s);
         assert_eq!(out.update, AirlineUpdate::MoveDown(p(2)));
-        assert_eq!(out.external_actions, vec![ExternalAction::new(ACTION_WAITLIST, "P2")]);
+        assert_eq!(
+            out.external_actions,
+            vec![ExternalAction::new(ACTION_WAITLIST, "P2")]
+        );
         // Not overbooked: noop, no external action.
         let ok = AirlineState::from_lists(vec![p(1)], vec![]);
         let out = app.decide(&AirlineTxn::MoveDown, &ok);

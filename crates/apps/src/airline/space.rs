@@ -24,7 +24,9 @@ pub struct AirlineSpace {
 impl AirlineSpace {
     /// The space of all well-formed states over `P1..=Pn`.
     pub fn all_states(n: u32) -> Self {
-        AirlineSpace { people: (1..=n).map(Person).collect() }
+        AirlineSpace {
+            people: (1..=n).map(Person).collect(),
+        }
     }
 
     /// The space over an explicit set of people.
@@ -48,8 +50,12 @@ impl AirlineSpace {
 
     fn pick_assigned(&self, assigned: &mut Vec<Person>, out: &mut Vec<AirlineState>) {
         // For the current assigned list, enumerate all waiting lists.
-        let remaining: Vec<Person> =
-            self.people.iter().copied().filter(|p| !assigned.contains(p)).collect();
+        let remaining: Vec<Person> = self
+            .people
+            .iter()
+            .copied()
+            .filter(|p| !assigned.contains(p))
+            .collect();
         let mut waiting: Vec<Person> = Vec::new();
         Self::pick_waiting(&remaining, &mut waiting, assigned, out);
         // Extend the assigned list by each unused person.
@@ -90,7 +96,9 @@ mod tests {
     use shard_core::Application;
 
     fn count(n: u32) -> usize {
-        AirlineSpace::all_states(n).states(&FlyByNight::new(2)).len()
+        AirlineSpace::all_states(n)
+            .states(&FlyByNight::new(2))
+            .len()
     }
 
     #[test]

@@ -241,8 +241,13 @@ mod tests {
 
     #[test]
     fn re_request_after_cancel_gives_fresh_witness() {
-        let seq =
-            [Request(p(1)), MoveUp(p(1)), Cancel(p(1)), Request(p(1)), MoveUp(p(1))];
+        let seq = [
+            Request(p(1)),
+            MoveUp(p(1)),
+            Cancel(p(1)),
+            Request(p(1)),
+            MoveUp(p(1)),
+        ];
         let h = UpdateHistory::new(&seq);
         assert_eq!(h.assignment_witness(p(1)), Some((3, 4)));
     }
@@ -308,7 +313,13 @@ mod tests {
 
     #[test]
     fn last_index_queries() {
-        let seq = [Request(p(1)), Cancel(p(1)), Request(p(1)), MoveUp(p(1)), MoveDown(p(1))];
+        let seq = [
+            Request(p(1)),
+            Cancel(p(1)),
+            Request(p(1)),
+            MoveUp(p(1)),
+            MoveDown(p(1)),
+        ];
         let h = UpdateHistory::new(&seq);
         assert_eq!(h.last_cancel(p(1)), Some(1));
         assert_eq!(h.last_request(p(1)), Some(2));

@@ -27,7 +27,12 @@ impl Default for AirlineMix {
     /// A booking-heavy mix: many requests, frequent move-ups, occasional
     /// cancels and move-downs (the compensators run on demand anyway).
     fn default() -> Self {
-        AirlineMix { request: 0.40, cancel: 0.10, move_up: 0.40, move_down: 0.10 }
+        AirlineMix {
+            request: 0.40,
+            cancel: 0.10,
+            move_up: 0.40,
+            move_down: 0.10,
+        }
     }
 }
 
@@ -43,7 +48,12 @@ pub struct AirlineWorkload {
 impl AirlineWorkload {
     /// A workload with the given seed and mix.
     pub fn new(seed: u64, mix: AirlineMix) -> Self {
-        AirlineWorkload { rng: StdRng::seed_from_u64(seed), mix, next_person: 1, issued: Vec::new() }
+        AirlineWorkload {
+            rng: StdRng::seed_from_u64(seed),
+            mix,
+            next_person: 1,
+            issued: Vec::new(),
+        }
     }
 
     /// A workload with the default mix.
@@ -131,17 +141,33 @@ mod tests {
 
     #[test]
     fn mix_weights_are_roughly_respected() {
-        let mix = AirlineMix { request: 1.0, cancel: 0.0, move_up: 1.0, move_down: 0.0 };
+        let mix = AirlineMix {
+            request: 1.0,
+            cancel: 0.0,
+            move_up: 1.0,
+            move_down: 0.0,
+        };
         let txns = AirlineWorkload::new(3, mix).take_txns(2000);
-        let requests = txns.iter().filter(|t| matches!(t, AirlineTxn::Request(_))).count();
-        let move_ups = txns.iter().filter(|t| matches!(t, AirlineTxn::MoveUp)).count();
+        let requests = txns
+            .iter()
+            .filter(|t| matches!(t, AirlineTxn::Request(_)))
+            .count();
+        let move_ups = txns
+            .iter()
+            .filter(|t| matches!(t, AirlineTxn::MoveUp))
+            .count();
         assert_eq!(requests + move_ups, 2000);
         assert!((800..1200).contains(&requests), "requests={requests}");
     }
 
     #[test]
     fn zero_weight_kinds_never_appear() {
-        let mix = AirlineMix { request: 1.0, cancel: 0.0, move_up: 0.0, move_down: 0.0 };
+        let mix = AirlineMix {
+            request: 1.0,
+            cancel: 0.0,
+            move_up: 0.0,
+            move_down: 0.0,
+        };
         let txns = AirlineWorkload::new(5, mix).take_txns(300);
         assert!(txns.iter().all(|t| matches!(t, AirlineTxn::Request(_))));
     }

@@ -128,7 +128,11 @@ pub struct TsFlyByNight {
 impl TsFlyByNight {
     /// An instance with the paper's rates and the given capacity.
     pub fn new(capacity: u64) -> Self {
-        TsFlyByNight { capacity, overbook_rate: 900, underbook_rate: 300 }
+        TsFlyByNight {
+            capacity,
+            overbook_rate: 900,
+            underbook_rate: 300,
+        }
     }
 
     /// The seat capacity.
@@ -162,7 +166,8 @@ impl Application for TsFlyByNight {
         people.sort_unstable();
         let distinct = people.windows(2).all(|w| w[0] != w[1]);
         let sorted = |l: &[StampedPerson]| {
-            l.windows(2).all(|w| (w[0].stamp, w[0].person) <= (w[1].stamp, w[1].person))
+            l.windows(2)
+                .all(|w| (w[0].stamp, w[0].person) <= (w[1].stamp, w[1].person))
         };
         distinct && sorted(&state.assigned) && sorted(&state.waiting)
     }
@@ -205,7 +210,10 @@ impl Application for TsFlyByNight {
                     if let Some(sp) = observed.waiting().first() {
                         return DecisionOutcome::with_action(
                             TsUpdate::MoveUp(sp.person),
-                            ExternalAction::new(super::airline::ACTION_ASSIGN, sp.person.to_string()),
+                            ExternalAction::new(
+                                super::airline::ACTION_ASSIGN,
+                                sp.person.to_string(),
+                            ),
                         );
                     }
                 }
@@ -282,7 +290,10 @@ mod tests {
     use shard_core::ExecutionBuilder;
 
     fn sp(person: u32, stamp: u64) -> StampedPerson {
-        StampedPerson { person: Person(person), stamp }
+        StampedPerson {
+            person: Person(person),
+            stamp,
+        }
     }
 
     #[test]
@@ -321,7 +332,7 @@ mod tests {
         let mut b = ExecutionBuilder::new(&app);
         let rp = b.push_complete(TsTxn::Request(sp(1, 10))).unwrap(); // P
         let rq = b.push_complete(TsTxn::Request(sp(2, 20))).unwrap(); // Q
-        // Agent sees only Q's request: moves Q up.
+                                                                      // Agent sees only Q's request: moves Q up.
         let up = b.push(TsTxn::MoveUp, vec![rq]).unwrap();
         // Now a third request overbooks nothing, but assume capacity was
         // cut to 0 — emulate by a MOVE-DOWN whose view includes P and Q.

@@ -53,7 +53,11 @@ impl BankState {
 
     /// Sum of the magnitudes of all negative balances.
     pub fn total_overdraft(&self) -> u64 {
-        self.balances.values().filter(|b| **b < 0).map(|b| (-b) as u64).sum()
+        self.balances
+            .values()
+            .filter(|b| **b < 0)
+            .map(|b| (-b) as u64)
+            .sum()
     }
 
     /// Overdraft magnitude of one account.
@@ -63,7 +67,9 @@ impl BankState {
 
     /// Test/helper constructor from `(account, balance)` pairs.
     pub fn with_balances(pairs: &[(AccountId, i64)]) -> Self {
-        BankState { balances: pairs.iter().copied().collect() }
+        BankState {
+            balances: pairs.iter().copied().collect(),
+        }
     }
 
     fn credit(&mut self, a: AccountId, amount: i64) {
@@ -118,9 +124,14 @@ impl Bank {
     /// A bank tracking accounts `A1..=An` whose tellers refuse debits
     /// above `max_debit` cents.
     pub fn new(accounts: u32, max_debit: u32) -> Self {
-        let constraint_names =
-            (1..=accounts).map(|i| format!("no-overdraft-A{i}")).collect();
-        Bank { accounts, max_debit, constraint_names }
+        let constraint_names = (1..=accounts)
+            .map(|i| format!("no-overdraft-A{i}"))
+            .collect();
+        Bank {
+            accounts,
+            max_debit,
+            constraint_names,
+        }
     }
 
     /// The debit cap in cents. This is what makes `f(k) = max_debit · k`
@@ -188,9 +199,7 @@ impl Application for Bank {
 
     fn decide(&self, decision: &BankTxn, observed: &BankState) -> DecisionOutcome<BankUpdate> {
         match decision {
-            BankTxn::Deposit(a, amt) => {
-                DecisionOutcome::update_only(BankUpdate::Credit(*a, *amt))
-            }
+            BankTxn::Deposit(a, amt) => DecisionOutcome::update_only(BankUpdate::Credit(*a, *amt)),
             BankTxn::Withdraw(a, amt) => {
                 if *amt <= self.max_debit && observed.balance(*a) >= *amt as i64 {
                     DecisionOutcome::with_action(
@@ -373,7 +382,10 @@ mod tests {
         let s = BankState::with_balances(&[(a(1), 70), (a(2), -20)]);
         let out = app.decide(&BankTxn::Audit, &s);
         assert_eq!(out.update, BankUpdate::Noop);
-        assert_eq!(out.external_actions[0], ExternalAction::new("audit-report", "50"));
+        assert_eq!(
+            out.external_actions[0],
+            ExternalAction::new("audit-report", "50")
+        );
     }
 
     #[test]

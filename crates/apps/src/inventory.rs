@@ -98,7 +98,10 @@ impl ItemState {
     }
 
     fn find(&self, id: OrderId) -> bool {
-        self.committed.iter().chain(self.backlog.iter()).any(|o| o.id == id)
+        self.committed
+            .iter()
+            .chain(self.backlog.iter())
+            .any(|o| o.id == id)
     }
 }
 
@@ -111,7 +114,9 @@ pub struct InventoryState {
 impl InventoryState {
     /// State with `n` empty items.
     pub fn empty(n: usize) -> Self {
-        InventoryState { items: vec![ItemState::default(); n] }
+        InventoryState {
+            items: vec![ItemState::default(); n],
+        }
     }
 
     /// The per-item state (items are `I0..In`).
@@ -218,7 +223,13 @@ impl Warehouse {
             constraint_names.push(format!("no-oversell-I{i}"));
             constraint_names.push(format!("no-unnecessary-backlog-I{i}"));
         }
-        Warehouse { items, max_qty, over_rate, under_rate, constraint_names }
+        Warehouse {
+            items,
+            max_qty,
+            over_rate,
+            under_rate,
+            constraint_names,
+        }
     }
 
     /// The per-order quantity cap (bounds `f(k)`).
@@ -311,8 +322,7 @@ impl Application for Warehouse {
         s
     }
 
-    fn decide(&self, decision: &InvTxn, observed: &InventoryState)
-        -> DecisionOutcome<InvUpdate> {
+    fn decide(&self, decision: &InvTxn, observed: &InventoryState) -> DecisionOutcome<InvUpdate> {
         match decision {
             InvTxn::PlaceOrder { item, order } => {
                 if order.qty > self.max_qty {
@@ -429,7 +439,10 @@ mod tests {
     use shard_core::{ExecutionBuilder, ExplicitStates};
 
     fn o(id: u32, qty: u64) -> Order {
-        Order { id: OrderId(id), qty }
+        Order {
+            id: OrderId(id),
+            qty,
+        }
     }
 
     const I0: ItemId = ItemId(0);
@@ -455,7 +468,10 @@ mod tests {
                     // Shift backlog ids to keep ids unique.
                     let backlog: Vec<Order> = backlog
                         .iter()
-                        .map(|x| Order { id: OrderId(x.id.0 + 10), qty: x.qty })
+                        .map(|x| Order {
+                            id: OrderId(x.id.0 + 10),
+                            qty: x.qty,
+                        })
                         .collect();
                     let mut s = InventoryState::empty(1);
                     s.items[0] = ItemState {
@@ -474,9 +490,18 @@ mod tests {
     fn order_lifecycle_with_full_information() {
         let app = wh();
         let mut b = ExecutionBuilder::new(&app);
-        b.push_complete(InvTxn::Restock { item: I0, qty: 5 }).unwrap();
-        b.push_complete(InvTxn::PlaceOrder { item: I0, order: o(1, 3) }).unwrap();
-        b.push_complete(InvTxn::PlaceOrder { item: I0, order: o(2, 3) }).unwrap();
+        b.push_complete(InvTxn::Restock { item: I0, qty: 5 })
+            .unwrap();
+        b.push_complete(InvTxn::PlaceOrder {
+            item: I0,
+            order: o(1, 3),
+        })
+        .unwrap();
+        b.push_complete(InvTxn::PlaceOrder {
+            item: I0,
+            order: o(2, 3),
+        })
+        .unwrap();
         let e = b.finish();
         e.verify(&app).unwrap();
         let s = e.final_state(&app);
@@ -492,10 +517,26 @@ mod tests {
     fn stale_replicas_oversell() {
         let app = wh();
         let mut b = ExecutionBuilder::new(&app);
-        let r = b.push_complete(InvTxn::Restock { item: I0, qty: 4 }).unwrap();
+        let r = b
+            .push_complete(InvTxn::Restock { item: I0, qty: 4 })
+            .unwrap();
         // Two orders each see only the restock.
-        b.push(InvTxn::PlaceOrder { item: I0, order: o(1, 4) }, vec![r]).unwrap();
-        b.push(InvTxn::PlaceOrder { item: I0, order: o(2, 4) }, vec![r]).unwrap();
+        b.push(
+            InvTxn::PlaceOrder {
+                item: I0,
+                order: o(1, 4),
+            },
+            vec![r],
+        )
+        .unwrap();
+        b.push(
+            InvTxn::PlaceOrder {
+                item: I0,
+                order: o(2, 4),
+            },
+            vec![r],
+        )
+        .unwrap();
         let e = b.finish();
         let s = e.final_state(&app);
         assert_eq!(s.item(I0).committed_units(), 8);
@@ -506,7 +547,11 @@ mod tests {
     fn unship_relieves_oversell_and_apologizes() {
         let app = wh();
         let mut s = InventoryState::empty(1);
-        s.items[0] = ItemState { stock: 4, committed: vec![o(1, 4), o(2, 4)], backlog: vec![] };
+        s.items[0] = ItemState {
+            stock: 4,
+            committed: vec![o(1, 4), o(2, 4)],
+            backlog: vec![],
+        };
         let out = app.decide(&InvTxn::Unship { item: I0 }, &s);
         assert_eq!(out.update, InvUpdate::Demote(I0, OrderId(2)));
         assert_eq!(out.external_actions[0].kind, "apologize");
@@ -523,7 +568,11 @@ mod tests {
     fn promote_commits_first_fitting_backorder() {
         let app = wh();
         let mut s = InventoryState::empty(1);
-        s.items[0] = ItemState { stock: 5, committed: vec![], backlog: vec![o(1, 3), o(2, 3)] };
+        s.items[0] = ItemState {
+            stock: 5,
+            committed: vec![],
+            backlog: vec![o(1, 3), o(2, 3)],
+        };
         let out = app.decide(&InvTxn::Promote { item: I0 }, &s);
         assert_eq!(out.update, InvUpdate::Promote(I0, OrderId(1)));
         let s2 = app.apply(&s, &out.update);
@@ -559,8 +608,14 @@ mod tests {
         let sp = space();
         let over = app.oversell_constraint(I0);
         let under = app.backlog_constraint(I0);
-        let place = InvTxn::PlaceOrder { item: I0, order: o(99, 2) };
-        let cancel = InvTxn::CancelOrder { item: I0, id: OrderId(1) };
+        let place = InvTxn::PlaceOrder {
+            item: I0,
+            order: o(99, 2),
+        };
+        let cancel = InvTxn::CancelOrder {
+            item: I0,
+            id: OrderId(1),
+        };
         let promote = InvTxn::Promote { item: I0 };
         let unship = InvTxn::Unship { item: I0 };
         let restock = InvTxn::Restock { item: I0, qty: 2 };
@@ -576,7 +631,10 @@ mod tests {
         assert!(is_safe_for(&app, &unship, over, &sp));
         assert!(is_safe_for(&app, &restock, over, &sp));
         for t in [place, cancel, promote, unship, restock, shrink] {
-            assert!(preserves_cost(&app, &t, over, &sp), "{t:?} preserves oversell");
+            assert!(
+                preserves_cost(&app, &t, over, &sp),
+                "{t:?} preserves oversell"
+            );
         }
         // Backlog constraint: PROMOTE and UNSHIP preserve it; PROMOTE
         // compensates; UNSHIP compensates for oversell.
@@ -594,7 +652,13 @@ mod tests {
     fn oversized_orders_are_declined() {
         let app = wh();
         let s = app.initial_state();
-        let out = app.decide(&InvTxn::PlaceOrder { item: I0, order: o(1, 99) }, &s);
+        let out = app.decide(
+            &InvTxn::PlaceOrder {
+                item: I0,
+                order: o(1, 99),
+            },
+            &s,
+        );
         assert_eq!(out.update, InvUpdate::Noop);
         assert_eq!(out.external_actions[0].kind, "decline-too-large");
     }
@@ -603,7 +667,11 @@ mod tests {
     fn shrink_is_guarded() {
         let app = wh();
         let mut s = InventoryState::empty(1);
-        s.items[0] = ItemState { stock: 5, committed: vec![o(1, 4)], backlog: vec![] };
+        s.items[0] = ItemState {
+            stock: 5,
+            committed: vec![o(1, 4)],
+            backlog: vec![],
+        };
         // Available = 1: shrink of 2 declined, shrink of 1 allowed.
         let out = app.decide(&InvTxn::Shrink { item: I0, qty: 2 }, &s);
         assert_eq!(out.update, InvUpdate::Noop);

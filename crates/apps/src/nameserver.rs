@@ -62,7 +62,10 @@ pub struct NsState {
 impl NsState {
     /// State with `groups` empty groups and no registrations.
     pub fn empty(groups: usize) -> Self {
-        NsState { registrations: BTreeMap::new(), groups: vec![Vec::new(); groups] }
+        NsState {
+            registrations: BTreeMap::new(),
+            groups: vec![Vec::new(); groups],
+        }
     }
 
     /// The registered address of `n`, if any.
@@ -82,15 +85,19 @@ impl NsState {
 
     /// The members of `g` lacking a registration — the dangling set.
     pub fn dangling(&self, g: GroupId) -> Vec<Name> {
-        self.members(g).iter().copied().filter(|m| !self.is_registered(*m)).collect()
+        self.members(g)
+            .iter()
+            .copied()
+            .filter(|m| !self.is_registered(*m))
+            .collect()
     }
 
     /// Test/helper constructor.
-    pub fn with(
-        registrations: &[(Name, u64)],
-        groups: Vec<Vec<Name>>,
-    ) -> Self {
-        NsState { registrations: registrations.iter().copied().collect(), groups }
+    pub fn with(registrations: &[(Name, u64)], groups: Vec<Vec<Name>>) -> Self {
+        NsState {
+            registrations: registrations.iter().copied().collect(),
+            groups,
+        }
     }
 }
 
@@ -139,9 +146,14 @@ impl NameServer {
     /// A server with `groups` distribution groups and the given cost per
     /// dangling member.
     pub fn new(groups: u32, rate: Cost) -> Self {
-        let constraint_names =
-            (0..groups).map(|g| format!("no-dangling-members-G{g}")).collect();
-        NameServer { groups, rate, constraint_names }
+        let constraint_names = (0..groups)
+            .map(|g| format!("no-dangling-members-G{g}"))
+            .collect();
+        NameServer {
+            groups,
+            rate,
+            constraint_names,
+        }
     }
 
     /// The constraint index of group `g`.
@@ -285,8 +297,7 @@ mod tests {
             vec![(n(2), 20)],
             vec![(n(1), 10), (n(2), 20)],
         ];
-        let member_options: Vec<Vec<Name>> =
-            vec![vec![], vec![n(1)], vec![n(2)], vec![n(1), n(2)]];
+        let member_options: Vec<Vec<Name>> = vec![vec![], vec![n(1)], vec![n(2)], vec![n(1), n(2)]];
         for regs in &reg_options {
             for g0 in &member_options {
                 for g1 in &member_options {

@@ -126,8 +126,16 @@ impl<A: Application> BaselineReport<A> {
 }
 
 enum Event<D> {
-    RequestArrive { submitted: SimTime, origin: NodeId, id: usize, decision: D },
-    ReplyArrive { submitted: SimTime, id: usize },
+    RequestArrive {
+        submitted: SimTime,
+        origin: NodeId,
+        id: usize,
+        decision: D,
+    },
+    ReplyArrive {
+        submitted: SimTime,
+        id: usize,
+    },
 }
 
 /// The primary-copy serializable system.
@@ -180,11 +188,22 @@ impl<'a, A: Application> PrimaryCopy<'a, A> {
         let mut external_actions: Vec<(SimTime, ExternalAction)> = Vec::new();
 
         for (id, inv) in invocations.into_iter().enumerate() {
-            assert!((inv.node.0) < cfg.nodes, "invocation at unknown node {}", inv.node);
+            assert!(
+                (inv.node.0) < cfg.nodes,
+                "invocation at unknown node {}",
+                inv.node
+            );
             let arrive = if inv.node == primary {
                 inv.time
             } else {
-                delivery_time(&cfg.partitions, &cfg.delay, &mut rng, inv.time, inv.node, primary)
+                delivery_time(
+                    &cfg.partitions,
+                    &cfg.delay,
+                    &mut rng,
+                    inv.time,
+                    inv.node,
+                    primary,
+                )
             };
             queue.schedule(
                 arrive,
@@ -199,7 +218,12 @@ impl<'a, A: Application> PrimaryCopy<'a, A> {
 
         while let Some((now, event)) = queue.pop() {
             match event {
-                Event::RequestArrive { submitted, origin, id, decision } => {
+                Event::RequestArrive {
+                    submitted,
+                    origin,
+                    id,
+                    decision,
+                } => {
                     if now - submitted > cfg.request_ttl {
                         continue; // expired in flight: aborted
                     }
@@ -233,7 +257,12 @@ impl<'a, A: Application> PrimaryCopy<'a, A> {
             }
         }
 
-        BaselineReport { outcomes, execution, external_actions, final_state: state }
+        BaselineReport {
+            outcomes,
+            execution,
+            external_actions,
+            final_state: state,
+        }
     }
 }
 
@@ -249,9 +278,17 @@ mod tests {
         let mut invs = Vec::new();
         let mut t = 0;
         for i in 1..=n {
-            invs.push(Invocation::new(t, NodeId((i % nodes as u32) as u16), AirlineTxn::Request(Person(i))));
+            invs.push(Invocation::new(
+                t,
+                NodeId((i % nodes as u32) as u16),
+                AirlineTxn::Request(Person(i)),
+            ));
             t += gap;
-            invs.push(Invocation::new(t, NodeId(((i + 1) % nodes as u32) as u16), AirlineTxn::MoveUp));
+            invs.push(Invocation::new(
+                t,
+                NodeId(((i + 1) % nodes as u32) as u16),
+                AirlineTxn::MoveUp,
+            ));
             t += gap;
         }
         invs
@@ -278,11 +315,8 @@ mod tests {
     fn partition_makes_cut_off_clients_time_out() {
         let app = FlyByNight::new(3);
         // Node 1 is cut off from the primary for a long window.
-        let partitions = PartitionSchedule::new(vec![PartitionWindow::isolate(
-            0,
-            100_000,
-            vec![NodeId(1)],
-        )]);
+        let partitions =
+            PartitionSchedule::new(vec![PartitionWindow::isolate(0, 100_000, vec![NodeId(1)])]);
         let cfg = BaselineConfig {
             nodes: 2,
             partitions,
@@ -313,7 +347,11 @@ mod tests {
             ..Default::default()
         };
         let sys = PrimaryCopy::new(&app, cfg);
-        let report = sys.run(vec![Invocation::new(0, NodeId(1), AirlineTxn::Request(Person(1)))]);
+        let report = sys.run(vec![Invocation::new(
+            0,
+            NodeId(1),
+            AirlineTxn::Request(Person(1)),
+        )]);
         assert_eq!(report.outcomes[0], TxnOutcome::Committed { latency: 60 });
     }
 

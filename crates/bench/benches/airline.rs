@@ -39,7 +39,10 @@ fn bench_decide_and_apply(c: &mut Criterion) {
 fn bench_witness_queries(c: &mut Criterion) {
     let seq: Vec<AirlineUpdate> = (1..=500u32)
         .flat_map(|i| {
-            [AirlineUpdate::Request(Person(i)), AirlineUpdate::MoveUp(Person(i))]
+            [
+                AirlineUpdate::Request(Person(i)),
+                AirlineUpdate::MoveUp(Person(i)),
+            ]
         })
         .collect();
     let h = UpdateHistory::new(&seq);

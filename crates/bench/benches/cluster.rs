@@ -15,8 +15,7 @@ fn bench_cluster_scaling(c: &mut Criterion) {
     for nodes in [2u16, 5, 9] {
         group.throughput(Throughput::Elements(500));
         group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &n| {
-            let invs =
-                airline_invocations(7, 500, n, 5, AirlineMix::default(), Routing::Random);
+            let invs = airline_invocations(7, 500, n, 5, AirlineMix::default(), Routing::Random);
             b.iter(|| {
                 let cluster = Cluster::new(
                     &app,
@@ -121,8 +120,9 @@ fn bench_partial_replication(c: &mut Criterion) {
                 .into_iter()
                 .filter_map(|mut inv| {
                     let reads = app.decision_objects(&inv.decision);
-                    let node =
-                        (0..8).map(NodeId).find(|n| placement.holds_all(*n, &reads))?;
+                    let node = (0..8)
+                        .map(NodeId)
+                        .find(|n| placement.holds_all(*n, &reads))?;
                     inv.node = node;
                     Some(inv)
                 })

@@ -1,12 +1,18 @@
 //! Scaling of the formal-model checkers: execution verification,
 //! transitivity, and apparent-state replay.
+//!
+//! `bench_replay_scaling` additionally compares the incremental
+//! (checkpointed) replay engine against from-scratch replay on the
+//! whole-execution apparent-state sweep every checker performs, and
+//! writes the numbers to `BENCH_replay.json` at the repository root.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use shard_apps::airline::workload::AirlineMix;
 use shard_apps::airline::FlyByNight;
 use shard_bench::workloads::airline_execution_with_k;
-use shard_core::conditions;
+use shard_core::{conditions, Application, Execution};
 use std::hint::black_box;
+use std::time::Instant;
 
 fn bench_verify(c: &mut Criterion) {
     let app = FlyByNight::new(40);
@@ -42,5 +48,83 @@ fn bench_actual_states(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_verify, bench_transitivity, bench_actual_states);
+/// From-scratch apparent state: what every checker cost before the
+/// replay engine existed (the seed's `O(n²)` path).
+fn naive_apparent_state_before(
+    app: &FlyByNight,
+    e: &Execution<FlyByNight>,
+    i: usize,
+) -> <FlyByNight as Application>::State {
+    let mut s = app.initial_state();
+    for &j in &e.record(i).prefix {
+        s = app.apply(&s, &e.record(j).update);
+    }
+    s
+}
+
+/// Naive vs incremental apparent-state sweeps at n ∈ {10², 10³, 10⁴}.
+///
+/// The incremental sweep is timed in full on a cold cache. The naive
+/// sweep is timed on an evenly strided sample of the queries (its
+/// per-query cost is linear in the prefix length, so the strided mean
+/// is the overall mean) and scaled to the full sweep; the sampling
+/// keeps the n = 10⁴ case from taking minutes. Results are printed and
+/// written to `BENCH_replay.json`.
+fn bench_replay_scaling(_c: &mut Criterion) {
+    let app = FlyByNight::new(40);
+    let mut rows = String::new();
+    println!("\nexecution/replay_scaling (naive vs incremental apparent-state sweep)");
+    for n in [100usize, 1_000, 10_000] {
+        let e = airline_execution_with_k(&app, 3, n, 4, AirlineMix::default());
+
+        // Incremental: a clone starts with a cold replay cache.
+        let fresh = e.clone();
+        let t0 = Instant::now();
+        for i in 0..fresh.len() {
+            black_box(fresh.apparent_state_before(&app, i));
+        }
+        let incremental_ns = t0.elapsed().as_nanos() as f64;
+
+        // Naive, on a strided sample of the same queries.
+        let stride = (n / 100).max(1);
+        let sampled: Vec<usize> = (0..n).step_by(stride).collect();
+        let t0 = Instant::now();
+        for &i in &sampled {
+            black_box(naive_apparent_state_before(&app, &e, i));
+        }
+        let naive_ns = t0.elapsed().as_nanos() as f64 * (n as f64 / sampled.len() as f64);
+
+        let speedup = naive_ns / incremental_ns;
+        println!(
+            "  n={n:>6}  naive {:>12.0} ns  incremental {:>12.0} ns  speedup {speedup:>8.1}x",
+            naive_ns, incremental_ns
+        );
+        rows.push_str(&format!(
+            "    {{\"n\": {n}, \"naive_ns\": {:.0}, \"incremental_ns\": {:.0}, \
+             \"speedup\": {speedup:.2}, \"naive_sampled_queries\": {}}}{}\n",
+            naive_ns,
+            incremental_ns,
+            sampled.len(),
+            if n == 10_000 { "" } else { "," }
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"execution_checker_sweep\",\n  \
+         \"workload\": \"airline apparent-state sweep, k<=4, 40 seats\",\n  \
+         \"checkpoint_interval\": 32,\n  \"results\": [\n{rows}  ]\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_replay.json");
+    match std::fs::write(path, json) {
+        Ok(()) => println!("  wrote {path}"),
+        Err(e) => eprintln!("  could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_verify,
+    bench_transitivity,
+    bench_actual_states,
+    bench_replay_scaling
+);
 criterion_main!(benches);

@@ -9,7 +9,10 @@ use shard_sim::{MergeLog, NodeId, Timestamp};
 use std::hint::black_box;
 
 fn ts(l: u64) -> Timestamp {
-    Timestamp { lamport: l, node: NodeId(0) }
+    Timestamp {
+        lamport: l,
+        node: NodeId(0),
+    }
 }
 
 fn updates(n: u64) -> Vec<AirlineUpdate> {
@@ -63,20 +66,29 @@ fn bench_checkpoint_interval(c: &mut Criterion) {
     // Adversarial: a late straggler lands near the front, once.
     let mut group = c.benchmark_group("merge/straggler_by_checkpoint");
     for interval in [1usize, 16, 128, 100_000] {
-        group.bench_with_input(BenchmarkId::from_parameter(interval), &interval, |b, &iv| {
-            b.iter(|| {
-                let mut log = MergeLog::new(&app, iv);
-                for (i, u) in ups.iter().enumerate() {
-                    log.merge(&app, ts(2 * (i as u64 + 1)), *u);
-                }
-                // The straggler with a mid-sequence timestamp.
-                log.merge(&app, ts(601), AirlineUpdate::Cancel(Person(1)));
-                black_box(log.metrics().replayed)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(interval),
+            &interval,
+            |b, &iv| {
+                b.iter(|| {
+                    let mut log = MergeLog::new(&app, iv);
+                    for (i, u) in ups.iter().enumerate() {
+                        log.merge(&app, ts(2 * (i as u64 + 1)), *u);
+                    }
+                    // The straggler with a mid-sequence timestamp.
+                    log.merge(&app, ts(601), AirlineUpdate::Cancel(Person(1)));
+                    black_box(log.metrics().replayed)
+                })
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_in_order, bench_out_of_order, bench_checkpoint_interval);
+criterion_group!(
+    benches,
+    bench_in_order,
+    bench_out_of_order,
+    bench_checkpoint_interval
+);
 criterion_main!(benches);

@@ -16,11 +16,11 @@
 //!   trivial-decision REQUESTs the 198-transaction prefix (as §3.2
 //!   suggests) makes it transitive without changing any update.
 
-use shard_core::Application as _;
 use shard_analysis::{trace, Table};
 use shard_apps::airline::{AirlineTxn, FlyByNight, OVERBOOKING, UNDERBOOKING};
 use shard_apps::Person;
-use shard_core::{conditions, ExecutionBuilder, Execution, TxnIndex};
+use shard_core::Application as _;
+use shard_core::{conditions, Execution, ExecutionBuilder, TxnIndex};
 
 /// Builds the §3.1 execution. `transitive_requests` applies the §3.2
 /// modification (requests P101/P102 see only the first 198 txns).
@@ -36,7 +36,8 @@ fn build(app: &FlyByNight, transitive_requests: bool) -> Execution<FlyByNight> {
 
     // REQUEST(P101): complete (or, modified, the first 198).
     let r101 = if transitive_requests {
-        b.push(AirlineTxn::Request(Person(101)), first198.clone()).unwrap()
+        b.push(AirlineTxn::Request(Person(101)), first198.clone())
+            .unwrap()
     } else {
         b.push_complete(AirlineTxn::Request(Person(101))).unwrap()
     };
@@ -46,7 +47,8 @@ fn build(app: &FlyByNight, transitive_requests: bool) -> Execution<FlyByNight> {
     b.push(AirlineTxn::MoveUp, pre).unwrap();
 
     let r102 = if transitive_requests {
-        b.push(AirlineTxn::Request(Person(102)), first198.clone()).unwrap()
+        b.push(AirlineTxn::Request(Person(102)), first198.clone())
+            .unwrap()
     } else {
         b.push_complete(AirlineTxn::Request(Person(102))).unwrap()
     };
@@ -64,7 +66,8 @@ fn build(app: &FlyByNight, transitive_requests: bool) -> Execution<FlyByNight> {
 fn main() {
     let app = FlyByNight::default();
     let e = build(&app, false);
-    e.verify(&app).expect("the worked example satisfies §3.1 conditions 1-4");
+    e.verify(&app)
+        .expect("the worked example satisfies §3.1 conditions 1-4");
     println!("E01: §3.1 worked example — {} transactions\n", e.len());
     let mut ok = true;
 
@@ -86,7 +89,10 @@ fn main() {
     ok &= s205.is_waiting(Person(101));
     let want: Vec<u32> = (1..=100).chain([102]).collect();
     ok &= s205.assigned().iter().map(|p| p.0).collect::<Vec<u32>>() == want;
-    println!("s205: P101 waitlisted, assigned = P1..P100,P102: {}", s205.is_waiting(Person(101)));
+    println!(
+        "s205: P101 waitlisted, assigned = P1..P100,P102: {}",
+        s205.is_waiting(Person(101))
+    );
 
     // Final state: exactly 100 assigned, P2..P100,P102.
     let fin = e.final_state(&app);

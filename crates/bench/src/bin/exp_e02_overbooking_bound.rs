@@ -28,7 +28,13 @@ fn main() {
     println!("E02: invariant overbooking bound (Cor 8)\n");
     let mut t = Table::new(
         "E02 randomized executions (10-seat plane, 2000 txns each, 5 seeds)",
-        &["k target", "k measured (unsafe)", "max over-cost $", "bound 900k $", "holds"],
+        &[
+            "k target",
+            "k measured (unsafe)",
+            "max over-cost $",
+            "bound 900k $",
+            "holds",
+        ],
     );
     for k in [0usize, 1, 2, 4, 8, 16, 32] {
         let mut worst_cost = 0;
@@ -64,7 +70,14 @@ fn main() {
     // worst case grows as exactly 900·m, inside the 900·k envelope.
     let mut t = Table::new(
         "E02 adversarial worst case (§3.1 pattern, m blind movers)",
-        &["blind movers m", "max over-cost $", "900·m $", "k measured", "bound 900k $", "holds"],
+        &[
+            "blind movers m",
+            "max over-cost $",
+            "900·m $",
+            "k measured",
+            "bound 900k $",
+            "holds",
+        ],
     );
     for m in [1usize, 2, 4, 8] {
         let app = FlyByNight::default();
@@ -79,7 +92,10 @@ fn main() {
         // extra passenger (exactly the worked example's mechanism).
         let mut reqs = Vec::new();
         for i in 0..m as u32 {
-            reqs.push(b.push_complete(AirlineTxn::Request(Person(101 + i))).unwrap());
+            reqs.push(
+                b.push_complete(AirlineTxn::Request(Person(101 + i)))
+                    .unwrap(),
+            );
         }
         for &r in &reqs {
             let mut pre: Vec<usize> = (0..198).collect();

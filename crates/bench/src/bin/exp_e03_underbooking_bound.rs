@@ -50,7 +50,14 @@ fn main() {
     // Part 2: grouped executions, k sweep.
     let mut t = Table::new(
         "E03 grouped executions (~120 groups each, 5 seeds)",
-        &["k target", "k measured", "max normal under-cost $", "bound 300k $", "Cor10", "Cor11"],
+        &[
+            "k target",
+            "k measured",
+            "max normal under-cost $",
+            "bound 300k $",
+            "Cor10",
+            "Cor11",
+        ],
     );
     for k in [0usize, 1, 2, 4, 8, 16] {
         let mut worst_cost = 0u64;
@@ -78,14 +85,11 @@ fn main() {
                 .unwrap_or(0);
             worst_cost = worst_cost.max(worst_here);
             // Corollary 11: total cost at normal states ≤ 900·k.
-            if let Some((_, total)) = check_total_bound_at_normal_states(
-                &app,
-                &e,
-                UNDERBOOKING,
-                &f900,
-                is_mover,
-                |d| matches!(d, AirlineTxn::MoveUp),
-            ) {
+            if let Some((_, total)) =
+                check_total_bound_at_normal_states(&app, &e, UNDERBOOKING, &f900, is_mover, |d| {
+                    matches!(d, AirlineTxn::MoveUp)
+                })
+            {
                 c11 &= total.holds();
                 ok &= total.holds();
             }

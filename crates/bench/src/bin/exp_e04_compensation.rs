@@ -24,7 +24,9 @@ fn overbooked(app: &FlyByNight, cap: u32, extra: u32) -> Execution<FlyByNight> {
     }
     let base: Vec<usize> = (0..2 * (cap as usize - 1)).collect();
     for i in 0..extra {
-        let r = b.push_complete(AirlineTxn::Request(Person(cap + 1 + i))).unwrap();
+        let r = b
+            .push_complete(AirlineTxn::Request(Person(cap + 1 + i)))
+            .unwrap();
         let mut pre = base.clone();
         pre.push(r);
         b.push(AirlineTxn::MoveUp, pre).unwrap();
@@ -65,18 +67,23 @@ fn main() {
     // updates leaves actual overbooking cost ≤ 900·k.
     let mut t = Table::new(
         "E04b Cor 13(1): MOVE-DOWN suffix with k missing updates",
-        &["k", "start cost $", "suffix len", "final cost $", "bound 900k $", "holds"],
+        &[
+            "k",
+            "start cost $",
+            "suffix len",
+            "final cost $",
+            "bound 900k $",
+            "holds",
+        ],
     );
     for k in [0usize, 1, 2, 4, 8] {
         let mut e = overbooked(&app, cap, 10);
-        let start_cost =
-            shard_core::Application::cost(&app, &e.final_state(&app), OVERBOOKING);
+        let start_cost = shard_core::Application::cost(&app, &e.final_state(&app), OVERBOOKING);
         // Base: everything except the last k updates (the agent missed
         // the most recent activity).
         let base: Vec<usize> = (0..e.len() - k).collect();
         let out = run_atomic_suffix(&app, &mut e, &base, &AirlineTxn::MoveDown, OVERBOOKING, 100);
-        let final_cost =
-            shard_core::Application::cost(&app, &e.final_state(&app), OVERBOOKING);
+        let final_cost = shard_core::Application::cost(&app, &e.final_state(&app), OVERBOOKING);
         let bound = 900 * k as u64;
         let holds = out.converged && final_cost <= bound;
         ok &= holds;
@@ -96,7 +103,14 @@ fn main() {
     // Corollary 13 part 2: MOVE-UP suffix repairs underbooking to ≤ 300k.
     let mut t = Table::new(
         "E04c Cor 13(2): MOVE-UP suffix with k missing updates",
-        &["k", "start cost $", "suffix len", "final cost $", "bound 300k $", "holds"],
+        &[
+            "k",
+            "start cost $",
+            "suffix len",
+            "final cost $",
+            "bound 300k $",
+            "holds",
+        ],
     );
     for k in [0usize, 1, 2, 4, 8] {
         let mut b = ExecutionBuilder::new(&app);
@@ -104,12 +118,10 @@ fn main() {
             b.push_complete(AirlineTxn::Request(Person(i))).unwrap();
         }
         let mut e = b.finish();
-        let start_cost =
-            shard_core::Application::cost(&app, &e.final_state(&app), UNDERBOOKING);
+        let start_cost = shard_core::Application::cost(&app, &e.final_state(&app), UNDERBOOKING);
         let base: Vec<usize> = (0..e.len() - k).collect();
         let out = run_atomic_suffix(&app, &mut e, &base, &AirlineTxn::MoveUp, UNDERBOOKING, 100);
-        let final_cost =
-            shard_core::Application::cost(&app, &e.final_state(&app), UNDERBOOKING);
+        let final_cost = shard_core::Application::cost(&app, &e.final_state(&app), UNDERBOOKING);
         let bound = 300 * k as u64;
         let holds = out.converged && final_cost <= bound;
         ok &= holds;

@@ -45,18 +45,14 @@ fn main() {
                     ..Default::default()
                 },
             );
-            let invs = airline_invocations(
-                seed,
-                1200,
-                5,
-                8,
-                AirlineMix::default(),
-                Routing::Random,
-            );
+            let invs =
+                airline_invocations(seed, 1200, 5, 8, AirlineMix::default(), Routing::Random);
             let report = cluster.run(invs);
             assert!(report.mutually_consistent());
             let te = report.timed_execution();
-            te.execution.verify(&app).expect("simulator output is a valid execution");
+            te.execution
+                .verify(&app)
+                .expect("simulator output is a valid execution");
             let check = check_theorem20(&app, &te.execution);
             thm20 &= check.holds();
             ok &= check.holds();
@@ -88,9 +84,7 @@ fn main() {
     }
     shard_bench::maybe_dump_csv(&t);
     println!("{t}");
-    println!(
-        "shape check: m ≪ k throughout — the refined bound 900·m is far tighter than 900·k\n"
-    );
+    println!("shape check: m ≪ k throughout — the refined bound 900·m is far tighter than 900·k\n");
 
     // Theorem 21: final-state witness bounds with compensating suffixes.
     // The repair agent works from a base subsequence missing the last
@@ -115,14 +109,7 @@ fn main() {
                     ..Default::default()
                 },
             );
-            let invs = airline_invocations(
-                seed,
-                400,
-                5,
-                8,
-                AirlineMix::default(),
-                Routing::Random,
-            );
+            let invs = airline_invocations(seed, 400, 5, 8, AirlineMix::default(), Routing::Random);
             let te = cluster.run(invs).timed_execution();
             let base: Vec<usize> = (0..te.execution.len().saturating_sub(drop)).collect();
             let out = check_theorem21(&app, &te.execution, &base);
@@ -155,7 +142,10 @@ fn main() {
     );
     let invs = airline_invocations(42, 1200, 5, 8, AirlineMix::default(), Routing::Random);
     let te = cluster.run(invs).timed_execution();
-    println!("k distribution at mean delay 80: {}", completeness::missed_summary(&te.execution));
+    println!(
+        "k distribution at mean delay 80: {}",
+        completeness::missed_summary(&te.execution)
+    );
 
     shard_bench::finish(ok);
 }

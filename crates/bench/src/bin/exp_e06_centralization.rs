@@ -30,7 +30,13 @@ fn main() {
     // default workload never re-requests, so both apply).
     let mut t = Table::new(
         "E06a simulated centralized runs (1500 txns × 5 seeds)",
-        &["mean delay", "transitive", "movers centralized", "max over-cost $", "Thm22/23"],
+        &[
+            "mean delay",
+            "transitive",
+            "movers centralized",
+            "max over-cost $",
+            "Thm22/23",
+        ],
     );
     for mean_delay in [10u64, 50, 200] {
         let mut max_cost = 0;

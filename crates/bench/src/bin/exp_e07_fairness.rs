@@ -32,7 +32,12 @@ fn main() {
 
     let mut t = Table::new(
         "E07a Theorem 25 across simulated runs (800 txns × 5 seeds)",
-        &["mean delay", "pairs checked", "violations", "final inversions"],
+        &[
+            "mean delay",
+            "pairs checked",
+            "violations",
+            "final inversions",
+        ],
     );
     for mean_delay in [10u64, 60, 240] {
         let mut pairs = 0usize;
@@ -54,13 +59,19 @@ fn main() {
                 800,
                 4,
                 7,
-                AirlineMix { cancel: 0.0, ..AirlineMix::default() },
+                AirlineMix {
+                    cancel: 0.0,
+                    ..AirlineMix::default()
+                },
                 Routing::CentralizedMovers,
             );
             let report = cluster.run(invs);
             let te = report.timed_execution();
             te.execution.verify(&app).expect("valid execution");
-            assert!(conditions::is_transitive(&te.execution), "piggyback ⇒ transitive");
+            assert!(
+                conditions::is_transitive(&te.execution),
+                "piggyback ⇒ transitive"
+            );
             // Eligible people: single uncancelled request.
             let people: Vec<Person> = (1..=200u32)
                 .map(Person)
@@ -95,7 +106,13 @@ fn main() {
     // delay bound of each execution.
     let mut t = Table::new(
         "E07b Lemma 26 / Theorem 27: request-gap fairness",
-        &["mean delay", "orderly", "measured t-bound", "pairs gap≥t̂", "violations"],
+        &[
+            "mean delay",
+            "orderly",
+            "measured t-bound",
+            "pairs gap≥t̂",
+            "violations",
+        ],
     );
     for mean_delay in [5u64, 40] {
         let mut orderly_all = true;
@@ -118,7 +135,10 @@ fn main() {
                 600,
                 4,
                 20,
-                AirlineMix { cancel: 0.0, ..AirlineMix::default() },
+                AirlineMix {
+                    cancel: 0.0,
+                    ..AirlineMix::default()
+                },
                 Routing::CentralizedMovers,
             );
             let report = cluster.run(invs);
@@ -144,8 +164,7 @@ fn main() {
                     }
                     // Lemma 26's hypothesis is implied by the t-bound +
                     // orderliness; verify the conclusion.
-                    if let Some(check) = check_request_order_priority(&app, &te.execution, p, q)
-                    {
+                    if let Some(check) = check_request_order_priority(&app, &te.execution, p, q) {
                         pairs += 1;
                         if !check.holds() {
                             violations += 1;

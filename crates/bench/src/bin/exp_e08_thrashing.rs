@@ -28,9 +28,10 @@ fn ts_invocations(base: &[Invocation<AirlineTxn>]) -> Vec<Invocation<TsTxn>> {
     base.iter()
         .map(|inv| {
             let decision = match inv.decision {
-                AirlineTxn::Request(p) => {
-                    TsTxn::Request(StampedPerson { person: p, stamp: inv.time })
-                }
+                AirlineTxn::Request(p) => TsTxn::Request(StampedPerson {
+                    person: p,
+                    stamp: inv.time,
+                }),
                 AirlineTxn::Cancel(p) => TsTxn::Cancel(p),
                 AirlineTxn::MoveUp => TsTxn::MoveUp,
                 AirlineTxn::MoveDown => TsTxn::MoveDown,
@@ -49,7 +50,13 @@ fn main() {
 
     let mut t = Table::new(
         "E08 churn and inversions vs delay (700 txns × 5 seeds, totals)",
-        &["mean delay", "churn base", "churn ts", "inversions base", "inversions ts"],
+        &[
+            "mean delay",
+            "churn base",
+            "churn ts",
+            "inversions base",
+            "inversions ts",
+        ],
     );
     for mean_delay in [5u64, 40, 160, 640] {
         let mut churn_base = 0usize;
@@ -57,9 +64,13 @@ fn main() {
         let mut inv_base = 0usize;
         let mut inv_ts = 0usize;
         for seed in TRIAL_SEEDS {
-            let mix = AirlineMix { request: 0.35, cancel: 0.05, move_up: 0.40, move_down: 0.20 };
-            let invs =
-                airline_invocations(seed, 700, 4, 6, mix, Routing::Random);
+            let mix = AirlineMix {
+                request: 0.35,
+                cancel: 0.05,
+                move_up: 0.40,
+                move_down: 0.20,
+            };
+            let invs = airline_invocations(seed, 700, 4, 6, mix, Routing::Random);
             let config = ClusterConfig {
                 nodes: 4,
                 seed,
@@ -69,16 +80,22 @@ fn main() {
             };
 
             let report = Cluster::new(&app, config.clone()).run(invs.clone());
-            let actions: Vec<ExternalAction> =
-                report.external_actions.iter().map(|(_, _, a)| a.clone()).collect();
+            let actions: Vec<ExternalAction> = report
+                .external_actions
+                .iter()
+                .map(|(_, _, a)| a.clone())
+                .collect();
             churn_base += notification_churn(&actions);
             let te = report.timed_execution();
             te.execution.verify(&app).expect("valid execution");
             inv_base += final_priority_inversions(&app, &te.execution).len();
 
             let ts_report = Cluster::new(&ts_app, config).run(ts_invocations(&invs));
-            let ts_actions: Vec<ExternalAction> =
-                ts_report.external_actions.iter().map(|(_, _, a)| a.clone()).collect();
+            let ts_actions: Vec<ExternalAction> = ts_report
+                .external_actions
+                .iter()
+                .map(|(_, _, a)| a.clone())
+                .collect();
             churn_ts += notification_churn(&ts_actions);
             let ts_te = ts_report.timed_execution();
             ts_te.execution.verify(&ts_app).expect("valid ts execution");

@@ -30,7 +30,11 @@ fn periodic_partitions(horizon: SimTime, period: SimTime, duty: f64) -> Partitio
     }
     let mut t = period / 2;
     while t < horizon {
-        windows.push(PartitionWindow::isolate(t, t + len, vec![NodeId(3), NodeId(4)]));
+        windows.push(PartitionWindow::isolate(
+            t,
+            t + len,
+            vec![NodeId(3), NodeId(4)],
+        ));
         t += period;
     }
     PartitionSchedule::new(windows)
@@ -66,14 +70,8 @@ fn main() {
         for seed in TRIAL_SEEDS {
             let horizon = 14_000;
             let partitions = periodic_partitions(horizon, 2000, duty);
-            let invs = airline_invocations(
-                seed,
-                1000,
-                5,
-                10,
-                AirlineMix::default(),
-                Routing::Random,
-            );
+            let invs =
+                airline_invocations(seed, 1000, 5, 10, AirlineMix::default(), Routing::Random);
 
             // SHARD: always available (transactions run locally), zero
             // client latency; pays integrity costs.

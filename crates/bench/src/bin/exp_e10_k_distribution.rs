@@ -16,11 +16,11 @@
 
 use shard_analysis::probabilistic::probabilistic_bounds;
 use shard_analysis::{completeness, trace, Table};
-use shard_core::costs::BoundFn;
 use shard_apps::airline::workload::AirlineMix;
 use shard_apps::airline::{FlyByNight, OVERBOOKING, UNDERBOOKING};
 use shard_bench::workloads::{airline_invocations, Routing};
 use shard_bench::TRIAL_SEEDS;
+use shard_core::costs::BoundFn;
 use shard_sim::{Cluster, ClusterConfig, DelayModel};
 
 fn main() {
@@ -29,7 +29,14 @@ fn main() {
 
     let mut t = Table::new(
         "E10 delay sweep at mean gap 8",
-        &["mean delay", "k mean", "k p95", "k max", "max over $", "max under $"],
+        &[
+            "mean delay",
+            "k mean",
+            "k p95",
+            "k max",
+            "max over $",
+            "max under $",
+        ],
     );
     let mut prev_mean = -1.0f64;
     let mut monotone = true;
@@ -52,7 +59,14 @@ fn main() {
 
     let mut t = Table::new(
         "E10 arrival-rate sweep at mean delay 32",
-        &["mean gap", "k mean", "k p95", "k max", "max over $", "max under $"],
+        &[
+            "mean gap",
+            "k mean",
+            "k p95",
+            "k max",
+            "max over $",
+            "max under $",
+        ],
     );
     for gap in [1u64, 4, 16, 64] {
         let (ks, over, under) = run_sweep(&app, 32, gap);
@@ -115,11 +129,14 @@ fn run_sweep(app: &FlyByNight, mean_delay: u64, gap: u64) -> (Vec<u64>, u64, u64
                 ..Default::default()
             },
         );
-        let invs =
-            airline_invocations(seed, 1500, 5, gap, AirlineMix::default(), Routing::Random);
+        let invs = airline_invocations(seed, 1500, 5, gap, AirlineMix::default(), Routing::Random);
         let report = cluster.run(invs);
         let te = report.timed_execution();
-        ks.extend(completeness::missed_counts(&te.execution).into_iter().map(|c| c as u64));
+        ks.extend(
+            completeness::missed_counts(&te.execution)
+                .into_iter()
+                .map(|c| c as u64),
+        );
         over = over.max(trace::max_cost(app, &te.execution, OVERBOOKING));
         under = under.max(trace::max_cost(app, &te.execution, UNDERBOOKING));
     }

@@ -31,8 +31,7 @@ fn run(app: &FlyByNight, delay: DelayModel, checkpoint_every: usize) -> (u64, u6
                 ..Default::default()
             },
         );
-        let invs =
-            airline_invocations(seed, 1200, 5, 4, AirlineMix::default(), Routing::Random);
+        let invs = airline_invocations(seed, 1200, 5, 4, AirlineMix::default(), Routing::Random);
         let report = cluster.run(invs);
         assert!(report.mutually_consistent());
         for m in &report.node_metrics {
@@ -50,7 +49,13 @@ fn main() {
 
     let mut t = Table::new(
         "E11a delay-variance sweep (checkpoint interval 32)",
-        &["delay model", "out-of-order", "replayed", "merged", "replay ratio"],
+        &[
+            "delay model",
+            "out-of-order",
+            "replayed",
+            "merged",
+            "replay ratio",
+        ],
     );
     let mut prev_ratio = -1.0;
     let mut monotone = true;
@@ -88,7 +93,11 @@ fn main() {
         rows.push((interval, replayed, replayed as f64 / merged as f64));
     }
     for (interval, replayed, ratio) in &rows {
-        t.push_row(vec![interval.to_string(), replayed.to_string(), format!("{ratio:.2}")]);
+        t.push_row(vec![
+            interval.to_string(),
+            replayed.to_string(),
+            format!("{ratio:.2}"),
+        ]);
     }
     shard_bench::maybe_dump_csv(&t);
     println!("{t}");

@@ -34,7 +34,10 @@ fn main() {
         let vals = [-250i64, -100, -1, 0, 1, 99, 100, 300];
         for b1 in vals {
             for b2 in vals {
-                states.push(BankState::with_balances(&[(AccountId(1), b1), (AccountId(2), b2)]));
+                states.push(BankState::with_balances(&[
+                    (AccountId(1), b1),
+                    (AccountId(2), b2),
+                ]));
             }
         }
         ExplicitStates(states)
@@ -47,7 +50,10 @@ fn main() {
     let txns: Vec<(&str, BankTxn)> = vec![
         ("DEPOSIT(A1,50)", BankTxn::Deposit(AccountId(1), 50)),
         ("WITHDRAW(A1,50)", BankTxn::Withdraw(AccountId(1), 50)),
-        ("TRANSFER(A1→A2,50)", BankTxn::Transfer(AccountId(1), AccountId(2), 50)),
+        (
+            "TRANSFER(A1→A2,50)",
+            BankTxn::Transfer(AccountId(1), AccountId(2), 50),
+        ),
         ("RECONCILE(A1)", BankTxn::Reconcile(AccountId(1))),
         ("AUDIT", BankTxn::Audit),
     ];
@@ -69,18 +75,21 @@ fn main() {
     // (b) invariant bound under simulated partitions.
     let mut t = Table::new(
         "E12b overdraft bound per account (1000 txns × 5 seeds, worst)",
-        &["mean delay", "k measured", "max overdraft ¢", "bound max_debit·k ¢", "holds"],
+        &[
+            "mean delay",
+            "k measured",
+            "max overdraft ¢",
+            "bound max_debit·k ¢",
+            "holds",
+        ],
     );
     for mean_delay in [10u64, 60, 240] {
         let mut worst_cost = 0;
         let mut worst_k = 0;
         let mut holds = true;
         for seed in TRIAL_SEEDS {
-            let partitions = PartitionSchedule::new(vec![PartitionWindow::isolate(
-                500,
-                2500,
-                vec![NodeId(1)],
-            )]);
+            let partitions =
+                PartitionSchedule::new(vec![PartitionWindow::isolate(500, 2500, vec![NodeId(1)])]);
             let cluster = Cluster::new(
                 &app,
                 ClusterConfig {

@@ -29,18 +29,21 @@ fn main() {
 
     let mut t = Table::new(
         "E13 oversell bound per item (900 txns × 5 seeds, worst)",
-        &["mean delay", "k measured", "max oversell $", "bound rate·qty·k $", "holds"],
+        &[
+            "mean delay",
+            "k measured",
+            "max oversell $",
+            "bound rate·qty·k $",
+            "holds",
+        ],
     );
     for mean_delay in [10u64, 60, 240] {
         let mut worst_cost = 0;
         let mut worst_k = 0;
         let mut holds = true;
         for seed in TRIAL_SEEDS {
-            let partitions = PartitionSchedule::new(vec![PartitionWindow::isolate(
-                400,
-                2000,
-                vec![NodeId(2)],
-            )]);
+            let partitions =
+                PartitionSchedule::new(vec![PartitionWindow::isolate(400, 2000, vec![NodeId(2)])]);
             let cluster = Cluster::new(
                 &app,
                 ClusterConfig {

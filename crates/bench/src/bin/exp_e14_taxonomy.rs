@@ -31,10 +31,20 @@ fn main() {
 
     // Expected classification straight from §4.1's prose.
     // (safe, preserves, compensates) per (txn, constraint).
-    let expected_over = [(true, true, false), (true, true, false), (false, true, false), (true, true, true)];
+    let expected_over = [
+        (true, true, false),
+        (true, true, false),
+        (false, true, false),
+        (true, true, true),
+    ];
     // §4.1: "the MOVE-UP transaction is safe for the underbooking
     // constraint, but the other three transactions are all unsafe".
-    let expected_under = [(false, false, false), (false, false, false), (true, true, true), (false, true, false)];
+    let expected_under = [
+        (false, false, false),
+        (false, false, false),
+        (true, true, true),
+        (false, true, false),
+    ];
 
     for (constraint, cname, expected) in [
         (OVERBOOKING, "overbooking", &expected_over),
@@ -42,7 +52,13 @@ fn main() {
     ] {
         let mut t = Table::new(
             format!("E14 classification vs {cname} constraint"),
-            &["transaction", "safe", "preserves", "compensates", "matches §4.1"],
+            &[
+                "transaction",
+                "safe",
+                "preserves",
+                "compensates",
+                "matches §4.1",
+            ],
         );
         for ((name, txn), (e_safe, e_pres, e_comp)) in txns.iter().zip(expected.iter()) {
             let c = classify_transaction(&app, txn, constraint, &space);
@@ -57,11 +73,14 @@ fn main() {
             ]);
         }
         shard_bench::maybe_dump_csv(&t);
-    println!("{t}");
+        println!("{t}");
     }
 
     // Well-formedness preservation (§2.3's requirement on all updates).
-    let mut t = Table::new("E14 updates preserve well-formedness", &["transaction", "holds"]);
+    let mut t = Table::new(
+        "E14 updates preserve well-formedness",
+        &["transaction", "holds"],
+    );
     for (name, txn) in &txns {
         let holds = updates_preserve_well_formedness(&app, txn, &space);
         ok &= holds;
@@ -75,7 +94,12 @@ fn main() {
     let expected_strong = [true, true, false, false];
     let mut t = Table::new(
         "E14 priority preservation (§4.2)",
-        &["transaction", "preserves", "strongly preserves", "matches §4.2"],
+        &[
+            "transaction",
+            "preserves",
+            "strongly preserves",
+            "matches §4.2",
+        ],
     );
     for ((name, txn), e_strong) in txns.iter().zip(expected_strong.iter()) {
         let weak = preserves_priority(&app, txn, &space);

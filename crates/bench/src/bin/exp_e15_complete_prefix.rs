@@ -65,11 +65,8 @@ fn main() {
         let mut max_missed = 0usize;
         let mut latencies: Vec<u64> = Vec::new();
         for seed in TRIAL_SEEDS {
-            let partitions = PartitionSchedule::new(vec![PartitionWindow::isolate(
-                500,
-                2500,
-                vec![NodeId(1)],
-            )]);
+            let partitions =
+                PartitionSchedule::new(vec![PartitionWindow::isolate(500, 2500, vec![NodeId(1)])]);
             let cluster = Cluster::new(
                 &app,
                 ClusterConfig {
@@ -109,11 +106,24 @@ fn main() {
         }
         let lat = Summary::of(&latencies);
         t.push_row(vec![
-            if barrier { "barrier (§3.3)" } else { "plain SHARD" }.to_string(),
+            if barrier {
+                "barrier (§3.3)"
+            } else {
+                "plain SHARD"
+            }
+            .to_string(),
             audits.to_string(),
             max_missed.to_string(),
-            if barrier { format!("{:.0}", lat.mean) } else { "0 (local)".into() },
-            if barrier { lat.max.to_string() } else { "0".into() },
+            if barrier {
+                format!("{:.0}", lat.mean)
+            } else {
+                "0 (local)".into()
+            },
+            if barrier {
+                lat.max.to_string()
+            } else {
+                "0".into()
+            },
         ]);
     }
     shard_bench::maybe_dump_csv(&t);

@@ -88,7 +88,9 @@ fn main() {
             messages += report.messages_sent;
             consistent &= report.objects_consistent(&app, &placement);
             let te = report.timed_execution();
-            te.execution.verify(&app).expect("§3.1 conditions hold under partial replication");
+            te.execution
+                .verify(&app)
+                .expect("§3.1 conditions hold under partial replication");
             for c in 0..app.constraint_count() {
                 let (k, check) = check_invariant_bound(&app, &te.execution, c, &f, |d| {
                     matches!(d, BankTxn::Withdraw(..) | BankTxn::Transfer(..))
@@ -99,7 +101,11 @@ fn main() {
         }
         ok &= consistent && bounds;
         t.push_row(vec![
-            if factor == nodes { format!("{factor}× (full)") } else { format!("{factor}×") },
+            if factor == nodes {
+                format!("{factor}× (full)")
+            } else {
+                format!("{factor}×")
+            },
             messages.to_string(),
             format!("{:.1}", messages as f64 / txns as f64),
             consistent.to_string(),

@@ -27,7 +27,15 @@ fn main() {
 
     let mut t = Table::new(
         "E17 broadcast sweep",
-        &["broadcast", "k mean", "k p95", "k max", "rounds", "entries shipped", "Cor 8"],
+        &[
+            "broadcast",
+            "k mean",
+            "k p95",
+            "k max",
+            "rounds",
+            "entries shipped",
+            "Cor 8",
+        ],
     );
 
     let config = |seed| ClusterConfig {
@@ -50,7 +58,11 @@ fn main() {
             flood_msgs += report.messages_sent;
             let te = report.timed_execution();
             te.execution.verify(&app).expect("valid execution");
-            ks.extend(completeness::missed_counts(&te.execution).iter().map(|c| *c as u64));
+            ks.extend(
+                completeness::missed_counts(&te.execution)
+                    .iter()
+                    .map(|c| *c as u64),
+            );
             let (_, check) = check_invariant_bound(&app, &te.execution, OVERBOOKING, &f, |d| {
                 matches!(d, AirlineTxn::MoveUp)
             });
@@ -77,15 +89,18 @@ fn main() {
         for seed in TRIAL_SEEDS {
             let invs =
                 airline_invocations(seed, 1000, 5, 6, AirlineMix::default(), Routing::Random);
-            let cluster =
-                GossipCluster::new(&app, config(seed), GossipConfig { interval });
+            let cluster = GossipCluster::new(&app, config(seed), GossipConfig { interval });
             let report = cluster.run(invs);
             assert!(report.mutually_consistent());
             rounds += report.gossip_rounds;
             shipped += report.entries_shipped;
             let te = report.timed_execution();
             te.execution.verify(&app).expect("valid execution");
-            ks.extend(completeness::missed_counts(&te.execution).iter().map(|c| *c as u64));
+            ks.extend(
+                completeness::missed_counts(&te.execution)
+                    .iter()
+                    .map(|c| *c as u64),
+            );
             let (_, check) = check_invariant_bound(&app, &te.execution, OVERBOOKING, &f, |d| {
                 matches!(d, AirlineTxn::MoveUp)
             });

@@ -26,7 +26,14 @@ fn main() {
 
     let mut t = Table::new(
         "E18 outage-length sweep (node 1 down from t=1000)",
-        &["outage", "rejected", "mutual consistency", "k measured", "Cor 8", "catch-up replays"],
+        &[
+            "outage",
+            "rejected",
+            "mutual consistency",
+            "k measured",
+            "Cor 8",
+            "catch-up replays",
+        ],
     );
     for outage in [0u64, 500, 2000, 6000] {
         let mut rejected = 0usize;
@@ -50,20 +57,16 @@ fn main() {
                     ..Default::default()
                 },
             );
-            let invs = airline_invocations(
-                seed,
-                1000,
-                4,
-                6,
-                AirlineMix::default(),
-                Routing::Random,
-            );
+            let invs =
+                airline_invocations(seed, 1000, 4, 6, AirlineMix::default(), Routing::Random);
             let report = cluster.run(invs);
             rejected += report.rejected.len();
             consistent &= report.mutually_consistent();
             replays += report.node_metrics[1].replayed;
             let te = report.timed_execution();
-            te.execution.verify(&app).expect("valid execution despite crashes");
+            te.execution
+                .verify(&app)
+                .expect("valid execution despite crashes");
             let (k, check) = check_invariant_bound(&app, &te.execution, OVERBOOKING, &f, |d| {
                 matches!(d, AirlineTxn::MoveUp)
             });

@@ -56,7 +56,13 @@ fn main() {
 
     let mut t = Table::new(
         "E19 dangling-member bounds per group",
-        &["mean delay", "max dangling cost $", "Thm 5", "groupings found", "Cor 10 (300→25·k)"],
+        &[
+            "mean delay",
+            "max dangling cost $",
+            "Thm 5",
+            "groupings found",
+            "Cor 10 (300→25·k)",
+        ],
     );
     for mean_delay in [10u64, 60, 240] {
         let mut worst = 0;

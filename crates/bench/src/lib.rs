@@ -41,7 +41,13 @@ pub fn maybe_dump_csv(table: &shard_analysis::Table) {
     let slug: String = table
         .title()
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
         .collect();
     let path = std::path::Path::new(&dir).join(format!("{slug}.csv"));
     if let Err(e) =

@@ -156,7 +156,9 @@ pub fn airline_execution_grouped(
             }
             let i = b.len();
             let missing = draw_missing(i, &mut rng);
-            last = b.push_missing(AirlineTxn::MoveUp, &missing).expect("valid prefix");
+            last = b
+                .push_missing(AirlineTxn::MoveUp, &missing)
+                .expect("valid prefix");
         }
     }
     b.finish()
@@ -177,7 +179,7 @@ pub fn bank_invocations(
     let mut t = 0u64;
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
-        t += rng.random_range(1..=10);
+        t += rng.random_range(1..=10u64);
         let a = AccountId(rng.random_range(1..=accounts));
         let txn = match rng.random_range(0..100) {
             0..35 => BankTxn::Deposit(a, rng.random_range(1..=max_debit)),
@@ -209,22 +211,31 @@ pub fn inventory_invocations(
     let mut next_order = 1u32;
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
-        t += rng.random_range(1..=8);
+        t += rng.random_range(1..=8u64);
         let item = ItemId(rng.random_range(0..items));
         let txn = match rng.random_range(0..100) {
             0..40 => {
-                let order = Order { id: OrderId(next_order), qty: rng.random_range(1..=max_qty) };
+                let order = Order {
+                    id: OrderId(next_order),
+                    qty: rng.random_range(1..=max_qty),
+                };
                 next_order += 1;
                 InvTxn::PlaceOrder { item, order }
             }
-            40..55 => InvTxn::Restock { item, qty: rng.random_range(1..=3 * max_qty) },
+            40..55 => InvTxn::Restock {
+                item,
+                qty: rng.random_range(1..=3 * max_qty),
+            },
             55..60 => InvTxn::CancelOrder {
                 item,
                 id: OrderId(rng.random_range(1..next_order.max(2))),
             },
             60..80 => InvTxn::Promote { item },
             80..95 => InvTxn::Unship { item },
-            _ => InvTxn::Shrink { item, qty: rng.random_range(1..=max_qty) },
+            _ => InvTxn::Shrink {
+                item,
+                qty: rng.random_range(1..=max_qty),
+            },
         };
         out.push(Invocation::new(t, NodeId(rng.random_range(0..nodes)), txn));
     }
@@ -317,12 +328,9 @@ mod tests {
         let app = FlyByNight::new(3);
         let e = airline_execution_grouped(&app, 5, 40, 2, AirlineMix::default());
         e.verify(&app).unwrap();
-        let g = shard_core::Grouping::discover(
-            &app,
-            &e,
-            shard_apps::airline::UNDERBOOKING,
-            |d| matches!(d, AirlineTxn::MoveUp | AirlineTxn::MoveDown),
-        );
+        let g = shard_core::Grouping::discover(&app, &e, shard_apps::airline::UNDERBOOKING, |d| {
+            matches!(d, AirlineTxn::MoveUp | AirlineTxn::MoveDown)
+        });
         assert!(g.is_some(), "constructed to admit a grouping");
     }
 }

@@ -32,7 +32,6 @@ pub type Cost = u64;
 /// undone; this is the reason transactions are split into a decision part
 /// and an update part in the first place (§1.2).
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ExternalAction {
     /// What kind of action this is, e.g. `"assign-seat"`.
     pub kind: String,
@@ -43,7 +42,10 @@ pub struct ExternalAction {
 impl ExternalAction {
     /// Creates an external action of kind `kind` concerning `subject`.
     pub fn new(kind: impl Into<String>, subject: impl Into<String>) -> Self {
-        ExternalAction { kind: kind.into(), subject: subject.into() }
+        ExternalAction {
+            kind: kind.into(),
+            subject: subject.into(),
+        }
     }
 }
 
@@ -69,12 +71,18 @@ pub struct DecisionOutcome<U> {
 impl<U> DecisionOutcome<U> {
     /// An outcome with no external actions.
     pub fn update_only(update: U) -> Self {
-        DecisionOutcome { update, external_actions: Vec::new() }
+        DecisionOutcome {
+            update,
+            external_actions: Vec::new(),
+        }
     }
 
     /// An outcome with exactly one external action.
     pub fn with_action(update: U, action: ExternalAction) -> Self {
-        DecisionOutcome { update, external_actions: vec![action] }
+        DecisionOutcome {
+            update,
+            external_actions: vec![action],
+        }
     }
 }
 
@@ -118,8 +126,11 @@ pub trait Application {
     /// Runs the decision part `D_T(observed)`: reads the observed state,
     /// picks the update to invoke and any external actions to trigger.
     /// Must not (conceptually) modify the database.
-    fn decide(&self, decision: &Self::Decision, observed: &Self::State)
-        -> DecisionOutcome<Self::Update>;
+    fn decide(
+        &self,
+        decision: &Self::Decision,
+        observed: &Self::State,
+    ) -> DecisionOutcome<Self::Update>;
 
     /// The number of integrity constraints (the index set `I`).
     fn constraint_count(&self) -> usize;
@@ -141,14 +152,20 @@ pub trait Application {
 
     /// `cost(s) = Σᵢ cost(s, i)` — the total cost of a state (§2.2).
     fn total_cost(&self, state: &Self::State) -> Cost {
-        (0..self.constraint_count()).map(|i| self.cost(state, i)).sum()
+        (0..self.constraint_count())
+            .map(|i| self.cost(state, i))
+            .sum()
     }
 
     /// Convenience: the paper's `T(s, s')` — run the decision part from
     /// `observed`, then apply the chosen update to `acting` (which may be
     /// a different state). Returns the resulting state.
-    fn run(&self, decision: &Self::Decision, observed: &Self::State, acting: &Self::State)
-        -> Self::State {
+    fn run(
+        &self,
+        decision: &Self::Decision,
+        observed: &Self::State,
+        acting: &Self::State,
+    ) -> Self::State {
         let outcome = self.decide(decision, observed);
         self.apply(acting, &outcome.update)
     }

@@ -15,7 +15,10 @@ pub struct BitSet {
 impl BitSet {
     /// Creates an empty set able to hold values in `0..len`.
     pub fn new(len: usize) -> Self {
-        BitSet { words: vec![0; len.div_ceil(64)], len }
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
     }
 
     /// The capacity (exclusive upper bound on storable values).
@@ -55,11 +58,7 @@ impl BitSet {
             .iter()
             .zip(other.words.iter().chain(pad.iter()))
             .all(|(a, b)| a & !b == 0)
-            && self
-                .words
-                .iter()
-                .skip(other.words.len())
-                .all(|w| *w == 0)
+            && self.words.iter().skip(other.words.len()).all(|w| *w == 0)
     }
 
     /// Unions `other` into `self`.
@@ -92,7 +91,9 @@ impl BitSet {
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, w)| {
             let w = *w;
-            (0..64).filter(move |b| w & (1u64 << b) != 0).map(move |b| wi * 64 + b)
+            (0..64)
+                .filter(move |b| w & (1u64 << b) != 0)
+                .map(move |b| wi * 64 + b)
         })
     }
 

@@ -55,7 +55,10 @@ pub fn is_k_complete<A: Application>(exec: &Execution<A>, i: TxnIndex, k: usize)
 /// The largest number of missed predecessors over all transactions — the
 /// smallest `k` such that *every* transaction is k-complete.
 pub fn max_missed<A: Application>(exec: &Execution<A>) -> usize {
-    (0..exec.len()).map(|i| missed_count(exec, i)).max().unwrap_or(0)
+    (0..exec.len())
+        .map(|i| missed_count(exec, i))
+        .max()
+        .unwrap_or(0)
 }
 
 /// Whether the execution is **transitive** (§3.2): for all `T, T', T''`,
@@ -128,24 +131,25 @@ pub fn is_atomic<A: Application>(exec: &Execution<A>, range: Range<TxnIndex>) ->
     if range.is_empty() {
         return true;
     }
-    let base: Vec<TxnIndex> = exec
-        .record(range.start)
-        .prefix
-        .iter()
-        .copied()
-        .filter(|&p| p < range.start)
-        .collect();
+    // Prefixes are strictly increasing, so "same base below the range"
+    // and "sees every earlier member" are positional checks — one pass
+    // per prefix, no scratch allocations.
+    let first = exec.record(range.start);
+    let base = &first.prefix[..first.prefix.partition_point(|&p| p < range.start)];
     for j in range.clone() {
-        let rec = exec.record(j);
-        let below: Vec<TxnIndex> =
-            rec.prefix.iter().copied().filter(|&p| p < range.start).collect();
-        if below != base {
+        let pre = &exec.record(j).prefix;
+        let lo = pre.partition_point(|&p| p < range.start);
+        if pre[..lo] != *base {
             return false;
         }
-        for earlier in range.start..j {
-            if !rec.prefix.contains(&earlier) {
-                return false;
-            }
+        // Entries at or above range.start must be exactly range.start..j.
+        if pre.len() - lo != j - range.start
+            || !pre[lo..]
+                .iter()
+                .enumerate()
+                .all(|(k, &p)| p == range.start + k)
+        {
+            return false;
         }
     }
     true
@@ -191,12 +195,18 @@ impl<A: Application> TimedExecution<A> {
 
     /// Returns the first `(seer, missed)` pair violating t-bounded delay,
     /// or `None` if the bound holds.
+    ///
+    /// Walks each sorted prefix and the index range `0..i` in lockstep
+    /// (a two-pointer complement scan) — no per-transaction set
+    /// materialization.
     pub fn delay_bound_violation(&self, t: u64) -> Option<(TxnIndex, TxnIndex)> {
         for i in 0..self.execution.len() {
-            let rec = self.execution.record(i);
-            let seen = BitSet::from_members(self.execution.len().max(1), &rec.prefix);
+            let mut seen = self.execution.record(i).prefix.iter().copied().peekable();
             for j in 0..i {
-                if self.times[j] + t <= self.times[i] && !seen.contains(j) {
+                if seen.next_if_eq(&j).is_some() {
+                    continue;
+                }
+                if self.times[j] + t <= self.times[i] {
                     return Some((i, j));
                 }
             }
@@ -205,18 +215,20 @@ impl<A: Application> TimedExecution<A> {
     }
 
     /// The smallest `t` for which the execution has t-bounded delay
-    /// (`0` for empty executions). Computed exactly in O(n²).
+    /// (`0` for empty executions). Exact; worst case O(n²) when most
+    /// pairs are missed, but allocation-free (the same complement scan
+    /// as [`TimedExecution::delay_bound_violation`]).
     pub fn min_delay_bound(&self) -> u64 {
         let mut bound = 0u64;
         for i in 0..self.execution.len() {
-            let rec = self.execution.record(i);
-            let seen = BitSet::from_members(self.execution.len().max(1), &rec.prefix);
+            let mut seen = self.execution.record(i).prefix.iter().copied().peekable();
             for j in 0..i {
-                if !seen.contains(j) {
-                    // Missing j is tolerable only for t > times[i] - times[j].
-                    let gap = self.times[i].saturating_sub(self.times[j]);
-                    bound = bound.max(gap + 1);
+                if seen.next_if_eq(&j).is_some() {
+                    continue;
                 }
+                // Missing j is tolerable only for t > times[i] - times[j].
+                let gap = self.times[i].saturating_sub(self.times[j]);
+                bound = bound.max(gap + 1);
             }
         }
         bound
@@ -306,7 +318,7 @@ mod tests {
         let e = exec_with_prefixes(&[&[], &[], &[0], &[], &[0, 2]]);
         assert!(is_centralized(&e, &[0, 2, 4]));
         assert!(is_centralized(&e, &[4, 2, 0])); // order-insensitive
-        // Group {1, 3}: 3 does not see 1.
+                                                 // Group {1, 3}: 3 does not see 1.
         assert!(!is_centralized(&e, &[1, 3]));
         // Singleton and empty groups are trivially centralized.
         assert!(is_centralized(&e, &[3]));

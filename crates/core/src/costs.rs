@@ -27,6 +27,7 @@
 
 use crate::app::{Application, Cost, StateSpace};
 use crate::execution::{Execution, TxnIndex};
+use crate::replay::Replayer;
 use std::fmt;
 
 /// Truncated subtraction `X ∸ Y = max(X − Y, 0)` — the paper's `X /. Y`,
@@ -60,7 +61,10 @@ pub struct BoundFn {
 impl BoundFn {
     /// The linear bound `f(k) = slope · k`.
     pub fn linear(slope: Cost) -> Self {
-        BoundFn { f: Box::new(move |k| slope * k as Cost), describe: format!("{slope}·k") }
+        BoundFn {
+            f: Box::new(move |k| slope * k as Cost),
+            describe: format!("{slope}·k"),
+        }
     }
 
     /// An arbitrary bound function with a description for reports.
@@ -68,7 +72,10 @@ impl BoundFn {
         describe: impl Into<String>,
         f: impl Fn(usize) -> Cost + Send + Sync + 'static,
     ) -> Self {
-        BoundFn { f: Box::new(f), describe: describe.into() }
+        BoundFn {
+            f: Box::new(f),
+            describe: describe.into(),
+        }
     }
 
     /// Evaluates `f(k)`.
@@ -84,7 +91,9 @@ impl BoundFn {
 
 impl fmt::Debug for BoundFn {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("BoundFn").field("f", &self.describe).finish()
+        f.debug_struct("BoundFn")
+            .field("f", &self.describe)
+            .finish()
     }
 }
 
@@ -170,7 +179,8 @@ pub fn updates_preserve_well_formedness<A: Application>(
     let wf: Vec<&A::State> = states.iter().filter(|s| app.is_well_formed(s)).collect();
     wf.iter().all(|observed| {
         let u = app.decide(decision, observed).update;
-        wf.iter().all(|acting| app.is_well_formed(&app.apply(acting, &u)))
+        wf.iter()
+            .all(|acting| app.is_well_formed(&app.apply(acting, &u)))
     })
 }
 
@@ -251,6 +261,56 @@ pub fn check_bound_instance<A: Application>(
     }
     let k = seq.len() - kept.len();
     app.cost(&s, constraint) <= app.cost(&t, constraint) + f.at(k)
+}
+
+/// Checks many bound-property instances over **one** update sequence
+/// incrementally. The full-sequence state is computed once; each kept
+/// subsequence is replayed through a [`Replayer`], resuming from the
+/// longest prefix shared with the previous query. The kept sets produced
+/// by [`for_each_subsequence_missing_at_most`] are enumerated in an
+/// order that shares long prefixes, so an exhaustive `Σ C(n, j)` sweep
+/// replays a short suffix per instance instead of the whole sequence.
+///
+/// One-shot checks can keep using [`check_bound_instance`]; the two are
+/// equivalent (a proptest in this module pins that down).
+pub struct BoundChecker<'a, A: Application> {
+    app: &'a A,
+    constraint: usize,
+    full_cost: Cost,
+    replayer: Replayer<'a, A>,
+}
+
+impl<'a, A: Application> BoundChecker<'a, A> {
+    /// Prepares to check bound instances for `constraint` over the full
+    /// update sequence `seq`.
+    pub fn new(app: &'a A, constraint: usize, seq: &'a [A::Update]) -> Self {
+        let mut replayer = Replayer::from_updates(app, seq);
+        let full_cost = app.cost(&replayer.final_state(), constraint);
+        BoundChecker {
+            app,
+            constraint,
+            full_cost,
+            replayer,
+        }
+    }
+
+    /// `cost(s, constraint)` for the full-sequence state `s`.
+    pub fn full_cost(&self) -> Cost {
+        self.full_cost
+    }
+
+    /// Checks `cost(s, constraint) ≤ cost(t, constraint) + f(k)` where
+    /// `t` results from keeping exactly the (strictly increasing)
+    /// indices `kept` and `k = seq.len() − kept.len()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kept` contains an index `≥ seq.len()`.
+    pub fn check(&mut self, f: &BoundFn, kept: &[usize]) -> bool {
+        let t = self.replayer.state_after_prefix(kept);
+        let k = self.replayer.len() - kept.len();
+        self.full_cost <= self.app.cost(&t, self.constraint) + f.at(k)
+    }
 }
 
 /// Enumerates every subsequence of `0..n` that omits at most `max_missing`
@@ -340,9 +400,7 @@ mod tests {
         fn decide(&self, d: &Txn, observed: &i64) -> DecisionOutcome<Op> {
             match d {
                 Txn::Deposit(a) => DecisionOutcome::update_only(Op::Deposit(*a)),
-                Txn::Withdraw(a) if observed >= a => {
-                    DecisionOutcome::update_only(Op::Withdraw(*a))
-                }
+                Txn::Withdraw(a) if observed >= a => DecisionOutcome::update_only(Op::Withdraw(*a)),
                 Txn::Withdraw(_) => DecisionOutcome::update_only(Op::Noop),
                 Txn::Sweep => DecisionOutcome::update_only(Op::Sweep),
             }
@@ -472,8 +530,16 @@ mod tests {
     fn updates_preserve_wf() {
         let app = Account;
         let small = ExplicitStates((-5..=5).collect());
-        assert!(updates_preserve_well_formedness(&app, &Txn::Deposit(3), &small));
-        assert!(updates_preserve_well_formedness(&app, &Txn::Withdraw(3), &small));
+        assert!(updates_preserve_well_formedness(
+            &app,
+            &Txn::Deposit(3),
+            &small
+        ));
+        assert!(updates_preserve_well_formedness(
+            &app,
+            &Txn::Withdraw(3),
+            &small
+        ));
     }
 
     #[test]
@@ -488,6 +554,30 @@ mod tests {
         for_each_subsequence_missing_at_most(seq.len(), 2, |kept| {
             assert!(check_bound_instance(&app, &f, 0, &seq, kept));
         });
+    }
+
+    #[test]
+    fn bound_checker_agrees_with_one_shot_instances() {
+        let app = Account;
+        let seq = vec![
+            Op::Deposit(1),
+            Op::Withdraw(3),
+            Op::Deposit(2),
+            Op::Withdraw(1),
+            Op::Deposit(1),
+            Op::Withdraw(2),
+        ];
+        for slope in [0, 1, 3] {
+            let f = BoundFn::linear(slope);
+            let mut checker = BoundChecker::new(&app, 0, &seq);
+            for_each_subsequence_missing_at_most(seq.len(), 3, |kept| {
+                assert_eq!(
+                    checker.check(&f, kept),
+                    check_bound_instance(&app, &f, 0, &seq, kept),
+                    "slope {slope}, kept {kept:?}"
+                );
+            });
+        }
     }
 
     #[test]

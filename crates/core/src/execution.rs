@@ -21,6 +21,8 @@
 //! which is how simulator output is validated against the formal model.
 
 use crate::app::{Application, DecisionOutcome, ExternalAction};
+use crate::replay::{ReplayCache, ReplayStats, DEFAULT_CHECKPOINT_INTERVAL};
+use std::cell::RefCell;
 use std::fmt;
 
 /// Index of a transaction instance within an execution's serial order.
@@ -44,12 +46,50 @@ pub struct TxnRecord<A: Application> {
 /// A complete execution: the serial order of transactions with their
 /// prefix subsequences, updates and external actions.
 ///
-/// States are *not* stored; they are recomputed on demand from the update
-/// sequence so that an `Execution` is exactly the paper's mathematical
-/// object (`T`, `𝒜`, `E`, `𝒫`) and can never disagree with itself.
-#[derive(Clone, Debug, Default)]
+/// States are *not* stored as part of the mathematical object; they are
+/// recomputed on demand from the update sequence so that an `Execution`
+/// is exactly the paper's (`T`, `𝒜`, `E`, `𝒫`) and can never disagree
+/// with itself. Recomputation is incremental: every execution owns a
+/// [`replay cache`](crate::replay) of prefix-state checkpoints, so a
+/// sweep of related state queries (what `verify` and every grouping /
+/// k-completeness checker issues) costs `O(n · interval)` overall rather
+/// than `O(n²)`. Executions are append-only, which keeps the cache valid
+/// without invalidation logic; the cache is transparent to equality,
+/// cloning and debug output.
 pub struct Execution<A: Application> {
     records: Vec<TxnRecord<A>>,
+    cache: RefCell<ReplayCache<A>>,
+}
+
+impl<A: Application> Clone for Execution<A>
+where
+    TxnRecord<A>: Clone,
+{
+    fn clone(&self) -> Self {
+        // The clone starts with a cold cache (same interval): cached
+        // states are a memo, not part of the mathematical object.
+        Execution {
+            records: self.records.clone(),
+            cache: RefCell::new(ReplayCache::new(self.cache.borrow().interval())),
+        }
+    }
+}
+
+impl<A: Application> fmt::Debug for Execution<A>
+where
+    TxnRecord<A>: fmt::Debug,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Execution")
+            .field("records", &self.records)
+            .finish()
+    }
+}
+
+impl<A: Application> Default for Execution<A> {
+    fn default() -> Self {
+        Execution::new()
+    }
 }
 
 /// Errors from building or verifying executions.
@@ -89,16 +129,25 @@ impl fmt::Display for ExecutionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ExecutionError::PrefixOutOfRange { txn, entry } => {
-                write!(f, "transaction {txn}: prefix entry {entry} is not a preceding index")
+                write!(
+                    f,
+                    "transaction {txn}: prefix entry {entry} is not a preceding index"
+                )
             }
             ExecutionError::PrefixNotIncreasing { txn } => {
                 write!(f, "transaction {txn}: prefix is not strictly increasing")
             }
             ExecutionError::UpdateMismatch { txn } => {
-                write!(f, "transaction {txn}: recorded update differs from decision replay")
+                write!(
+                    f,
+                    "transaction {txn}: recorded update differs from decision replay"
+                )
             }
             ExecutionError::ExternalActionMismatch { txn } => {
-                write!(f, "transaction {txn}: recorded external actions differ from replay")
+                write!(
+                    f,
+                    "transaction {txn}: recorded external actions differ from replay"
+                )
             }
             ExecutionError::IllFormedState { txn } => {
                 write!(f, "transaction {txn}: produced an ill-formed state")
@@ -112,7 +161,43 @@ impl std::error::Error for ExecutionError {}
 impl<A: Application> Execution<A> {
     /// Creates an empty execution (no transactions yet).
     pub fn new() -> Self {
-        Execution { records: Vec::new() }
+        Self::with_checkpoint_interval(DEFAULT_CHECKPOINT_INTERVAL)
+    }
+
+    /// Creates an empty execution whose replay cache checkpoints every
+    /// `every` applied updates (the replay-depth/memory knob; see
+    /// [`crate::replay`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every == 0`.
+    pub fn with_checkpoint_interval(every: usize) -> Self {
+        Execution {
+            records: Vec::new(),
+            cache: RefCell::new(ReplayCache::new(every)),
+        }
+    }
+
+    /// Re-creates the replay cache checkpointing every `every` applied
+    /// updates. Cached states are discarded (replay stats are kept);
+    /// recorded transactions are untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every == 0`.
+    pub fn set_checkpoint_interval(&mut self, every: usize) {
+        self.cache.borrow_mut().set_interval(every);
+    }
+
+    /// The replay cache's checkpoint spacing, in applied updates.
+    pub fn checkpoint_interval(&self) -> usize {
+        self.cache.borrow().interval()
+    }
+
+    /// Cumulative replay-engine counters for this execution: queries
+    /// answered, updates applied, and updates saved by checkpoint reuse.
+    pub fn replay_stats(&self) -> ReplayStats {
+        self.cache.borrow().stats()
     }
 
     /// The number of transaction instances.
@@ -147,15 +232,18 @@ impl<A: Application> Execution<A> {
     /// The apparent state `tᵢ₋₁` seen by transaction `i`: the result of
     /// applying the updates of its prefix subsequence, in order, to `s₀`.
     ///
+    /// Answered incrementally: the replay cache resumes from the deepest
+    /// checkpoint shared with the previous prefix query.
+    ///
     /// # Panics
     ///
     /// Panics if `i >= self.len()`.
     pub fn apparent_state_before(&self, app: &A, i: TxnIndex) -> A::State {
-        let mut s = app.initial_state();
-        for &j in &self.records[i].prefix {
-            s = app.apply(&s, &self.records[j].update);
-        }
-        s
+        self.cache.borrow_mut().state_after_prefix(
+            app,
+            |j| &self.records[j].update,
+            &self.records[i].prefix,
+        )
     }
 
     /// The apparent state *after* transaction `i`: `Tᵢ(tᵢ₋₁, tᵢ₋₁)`, i.e.
@@ -169,17 +257,20 @@ impl<A: Application> Execution<A> {
         app.apply(&t, &self.records[i].update)
     }
 
-    /// The actual state `sᵢ` after running updates `A₀ … Aᵢ` from `s₀`.
+    /// The actual state `sᵢ` after running updates `A₀ … Aᵢ` from `s₀`,
+    /// answered from full-order checkpoints.
     ///
     /// # Panics
     ///
     /// Panics if `i >= self.len()`.
     pub fn actual_state_after(&self, app: &A, i: TxnIndex) -> A::State {
-        let mut s = app.initial_state();
-        for rec in &self.records[..=i] {
-            s = app.apply(&s, &rec.update);
-        }
-        s
+        assert!(
+            i < self.records.len(),
+            "actual_state_after: index {i} out of range"
+        );
+        self.cache
+            .borrow_mut()
+            .state_after_first(app, |j| &self.records[j].update, i + 1)
     }
 
     /// The actual state before transaction `i` (equals `s₀` for `i = 0`).
@@ -197,24 +288,57 @@ impl<A: Application> Execution<A> {
 
     /// All actual (reachable) states `s₀, s₁, …, sₙ`, starting with the
     /// initial state — the states the paper calls *reachable in e*.
+    ///
+    /// This materializes `n + 1` state clones; prefer
+    /// [`Execution::fold_actual_states`] /
+    /// [`Execution::for_each_actual_state`] for single-pass checkers.
     pub fn actual_states(&self, app: &A) -> Vec<A::State> {
-        let mut out = Vec::with_capacity(self.records.len() + 1);
+        self.fold_actual_states(
+            app,
+            Vec::with_capacity(self.records.len() + 1),
+            |mut out, _, s| {
+                out.push(s.clone());
+                out
+            },
+        )
+    }
+
+    /// Streams the actual states `s₀, s₁, …, sₙ` through `f` in one
+    /// forward pass, threading an accumulator. The callback receives the
+    /// number of updates applied so far (so `m = 0` is the initial state
+    /// and `m = i + 1` is the state after transaction `i`) and a
+    /// reference to the state — no per-state clones.
+    ///
+    /// The pass is independent of the replay cache, so `f` may freely
+    /// re-enter other state queries on the same execution.
+    pub fn fold_actual_states<T>(
+        &self,
+        app: &A,
+        init: T,
+        mut f: impl FnMut(T, usize, &A::State) -> T,
+    ) -> T {
         let mut s = app.initial_state();
-        out.push(s.clone());
-        for rec in &self.records {
+        let mut acc = f(init, 0, &s);
+        for (i, rec) in self.records.iter().enumerate() {
             s = app.apply(&s, &rec.update);
-            out.push(s.clone());
+            acc = f(acc, i + 1, &s);
         }
-        out
+        acc
+    }
+
+    /// Streams the actual states `s₀, s₁, …, sₙ` through `f` in one
+    /// forward pass (see [`Execution::fold_actual_states`]).
+    pub fn for_each_actual_state(&self, app: &A, mut f: impl FnMut(usize, &A::State)) {
+        self.fold_actual_states(app, (), |(), m, s| f(m, s));
     }
 
     /// The final actual state (the initial state if empty).
     pub fn final_state(&self, app: &A) -> A::State {
-        let mut s = app.initial_state();
-        for rec in &self.records {
-            s = app.apply(&s, &rec.update);
-        }
-        s
+        self.cache.borrow_mut().state_after_first(
+            app,
+            |j| &self.records[j].update,
+            self.records.len(),
+        )
     }
 
     /// The state resulting from applying only the updates with indices in
@@ -226,18 +350,19 @@ impl<A: Application> Execution<A> {
     ///
     /// Panics if any index is out of range.
     pub fn subsequence_state(&self, app: &A, subsequence: &[TxnIndex]) -> A::State {
-        let mut s = app.initial_state();
-        for &j in subsequence {
-            s = app.apply(&s, &self.records[j].update);
-        }
-        s
+        self.cache
+            .borrow_mut()
+            .state_after_prefix(app, |j| &self.records[j].update, subsequence)
     }
 
-    /// Verifies conditions (1)–(4) of §3.1 from scratch: prefixes are
-    /// subsequences of the preceding indices, each recorded update and
-    /// external-action set equals what the decision part yields on the
-    /// recomputed apparent state, and every apparent and actual state is
-    /// well-formed.
+    /// Verifies conditions (1)–(4) of §3.1 against the recorded data:
+    /// prefixes are subsequences of the preceding indices, each recorded
+    /// update and external-action set equals what the decision part
+    /// yields on the recomputed apparent state, and every apparent and
+    /// actual state is well-formed. Apparent states are recomputed
+    /// through the replay cache (consecutive prefixes share long
+    /// prefixes, so the whole pass is near-linear); actual states are a
+    /// single streaming sweep.
     ///
     /// # Errors
     ///
@@ -285,7 +410,8 @@ impl<A: Application> Execution<A> {
 
     /// Appends a pre-formed record. Intended for simulators that already
     /// computed the decision outcome; [`Execution::verify`] will catch
-    /// records inconsistent with the formal model.
+    /// records inconsistent with the formal model. Appending never
+    /// invalidates cached replay state (existing prefixes are unchanged).
     pub fn push_record(&mut self, record: TxnRecord<A>) -> TxnIndex {
         self.records.push(record);
         self.records.len() - 1
@@ -303,7 +429,10 @@ pub struct ExecutionBuilder<'a, A: Application> {
 impl<'a, A: Application> ExecutionBuilder<'a, A> {
     /// Creates a builder for executions of `app`.
     pub fn new(app: &'a A) -> Self {
-        ExecutionBuilder { app, exec: Execution::new() }
+        ExecutionBuilder {
+            app,
+            exec: Execution::new(),
+        }
     }
 
     /// The number of transactions pushed so far.
@@ -348,12 +477,23 @@ impl<'a, A: Application> ExecutionBuilder<'a, A> {
             }
             prev = Some(p);
         }
-        let mut t = self.app.initial_state();
-        for &j in &prefix {
-            t = self.app.apply(&t, &self.exec.records[j].update);
-        }
-        let DecisionOutcome { update, external_actions } = self.app.decide(&decision, &t);
-        self.exec.records.push(TxnRecord { decision, prefix, update, external_actions });
+        // Prefixes of consecutive pushes usually extend one another, so
+        // the cache's tip makes building linear instead of quadratic.
+        let t = self.exec.cache.borrow_mut().state_after_prefix(
+            self.app,
+            |j| &self.exec.records[j].update,
+            &prefix,
+        );
+        let DecisionOutcome {
+            update,
+            external_actions,
+        } = self.app.decide(&decision, &t);
+        self.exec.records.push(TxnRecord {
+            decision,
+            prefix,
+            update,
+            external_actions,
+        });
         Ok(i)
     }
 
@@ -372,14 +512,51 @@ impl<'a, A: Application> ExecutionBuilder<'a, A> {
         decision: A::Decision,
         missing: &[TxnIndex],
     ) -> Result<TxnIndex, ExecutionError> {
-        let prefix: Vec<TxnIndex> =
-            (0..self.exec.len()).filter(|i| !missing.contains(i)).collect();
+        let prefix: Vec<TxnIndex> = (0..self.exec.len())
+            .filter(|i| !missing.contains(i))
+            .collect();
         self.push(decision, prefix)
     }
 
     /// Finishes building and returns the execution.
     pub fn finish(self) -> Execution<A> {
         self.exec
+    }
+}
+
+/// From-scratch replay, kept as the test oracle for the incremental
+/// replay engine: byte-for-byte what the pre-checkpoint implementation
+/// computed. Equivalence proptests (here and in the workspace-level
+/// `replay_equivalence` suite) compare [`Execution`]'s cached answers
+/// against these on random executions.
+#[cfg(test)]
+pub(crate) mod naive {
+    use super::*;
+
+    /// `state_after_prefix` by plain left-to-right replay.
+    pub fn state_after_prefix<A: Application>(
+        app: &A,
+        exec: &Execution<A>,
+        prefix: &[TxnIndex],
+    ) -> A::State {
+        let mut s = app.initial_state();
+        for &j in prefix {
+            s = app.apply(&s, &exec.records[j].update);
+        }
+        s
+    }
+
+    /// `actual_state_after` by plain left-to-right replay.
+    pub fn actual_state_after<A: Application>(
+        app: &A,
+        exec: &Execution<A>,
+        i: TxnIndex,
+    ) -> A::State {
+        let mut s = app.initial_state();
+        for rec in &exec.records[..=i] {
+            s = app.apply(&s, &rec.update);
+        }
+        s
     }
 }
 
@@ -510,7 +687,11 @@ mod tests {
         b.push_complete(()).unwrap();
         let mut e = b.finish();
         e.records[0].update = Up::Noop; // decision from state 0 says Bump
-        assert_eq!(e.verify(&app), Err(ExecutionError::UpdateMismatch { txn: 0 }));
+        e.cache.borrow_mut().clear(); // in-place edit invalidates replays
+        assert_eq!(
+            e.verify(&app),
+            Err(ExecutionError::UpdateMismatch { txn: 0 })
+        );
     }
 
     #[test]
@@ -522,6 +703,7 @@ mod tests {
         e.records[0]
             .external_actions
             .push(crate::app::ExternalAction::new("bogus", "x"));
+        e.cache.borrow_mut().clear();
         assert_eq!(
             e.verify(&app),
             Err(ExecutionError::ExternalActionMismatch { txn: 0 })
@@ -553,5 +735,98 @@ mod tests {
     fn error_display_is_informative() {
         let e = ExecutionError::UpdateMismatch { txn: 3 };
         assert!(e.to_string().contains("transaction 3"));
+    }
+
+    #[test]
+    fn replay_stats_report_reuse() {
+        let app = Capped;
+        let mut b = ExecutionBuilder::new(&app);
+        for _ in 0..100 {
+            b.push_complete(()).unwrap();
+        }
+        let e = b.finish();
+        e.verify(&app).unwrap();
+        let stats = e.replay_stats();
+        assert!(stats.queries >= 100);
+        assert!(
+            stats.reused > stats.applied,
+            "builder + verify should mostly reuse"
+        );
+    }
+
+    #[test]
+    fn checkpoint_interval_is_configurable() {
+        let mut e = Execution::<Capped>::with_checkpoint_interval(4);
+        assert_eq!(e.checkpoint_interval(), 4);
+        e.set_checkpoint_interval(9);
+        assert_eq!(e.checkpoint_interval(), 9);
+    }
+
+    #[test]
+    fn fold_matches_actual_states() {
+        let app = Capped;
+        let mut b = ExecutionBuilder::new(&app);
+        for i in 0..10 {
+            b.push((), (0..i).filter(|j| j % 2 == 0).collect()).unwrap();
+        }
+        let e = b.finish();
+        let streamed = e.fold_actual_states(&app, Vec::new(), |mut acc, m, s| {
+            acc.push((m, *s));
+            acc
+        });
+        let materialized: Vec<(usize, u32)> =
+            e.actual_states(&app).into_iter().enumerate().collect();
+        assert_eq!(streamed, materialized);
+    }
+
+    mod equivalence {
+        //! The cached engine must be byte-identical to from-scratch
+        //! replay (the [`naive`] oracle) on random executions, at every
+        //! checkpoint interval.
+        use super::super::naive;
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Random prefix recipe: each transaction keeps preceding index
+        /// `j` iff bit `j % 64` of its mask is set.
+        fn build(masks: &[u64]) -> Execution<Capped> {
+            let app = Capped;
+            let mut b = ExecutionBuilder::new(&app);
+            for (i, m) in masks.iter().enumerate() {
+                let prefix: Vec<TxnIndex> = (0..i).filter(|j| m >> (j % 64) & 1 == 1).collect();
+                b.push((), prefix).unwrap();
+            }
+            b.finish()
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            #[test]
+            fn cached_queries_match_naive_oracle(
+                masks in proptest::collection::vec(any::<u64>(), 1..60),
+                every in 1usize..40,
+            ) {
+                let app = Capped;
+                let mut e = build(&masks);
+                e.set_checkpoint_interval(every);
+                for i in 0..e.len() {
+                    let prefix = e.record(i).prefix.clone();
+                    prop_assert_eq!(
+                        e.apparent_state_before(&app, i),
+                        naive::state_after_prefix(&app, &e, &prefix)
+                    );
+                    prop_assert_eq!(
+                        e.actual_state_after(&app, i),
+                        naive::actual_state_after(&app, &e, i)
+                    );
+                }
+                let last: Vec<TxnIndex> = (0..e.len()).step_by(2).collect();
+                prop_assert_eq!(
+                    e.subsequence_state(&app, &last),
+                    naive::state_after_prefix(&app, &e, &last)
+                );
+            }
+        }
     }
 }

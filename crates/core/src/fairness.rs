@@ -148,8 +148,11 @@ pub fn strong_priority_violation<A: PriorityModel>(
     decision: &A::Decision,
     space: &impl StateSpace<A>,
 ) -> Option<PriorityViolation<A::State, A::Entity>> {
-    let states: Vec<A::State> =
-        space.states(app).into_iter().filter(|s| app.is_well_formed(s)).collect();
+    let states: Vec<A::State> = space
+        .states(app)
+        .into_iter()
+        .filter(|s| app.is_well_formed(s))
+        .collect();
     for observed in &states {
         for acting in &states {
             if let Some(v) = check_pair(app, decision, observed, acting) {
@@ -231,7 +234,10 @@ mod tests {
             s.0.clone()
         }
         fn precedes(&self, s: &Q, p: &u8, q: &u8) -> bool {
-            match (s.0.iter().position(|x| x == p), s.0.iter().position(|x| x == q)) {
+            match (
+                s.0.iter().position(|x| x == p),
+                s.0.iter().position(|x| x == q),
+            ) {
                 (Some(a), Some(b)) => a < b,
                 _ => false,
             }
@@ -276,7 +282,11 @@ mod tests {
         let app = Queue;
         let v = priority_violation(&app, &QOp::Promote(2), &space()).unwrap();
         assert_eq!(v.kind, PriorityViolationKind::Inverted);
-        assert!(!strongly_preserves_priority(&app, &QOp::Promote(2), &space()));
+        assert!(!strongly_preserves_priority(
+            &app,
+            &QOp::Promote(2),
+            &space()
+        ));
     }
 
     #[test]

@@ -45,13 +45,18 @@ impl Grouping {
     ///
     /// Panics if `ends` is not strictly increasing.
     pub fn from_ends(ends: Vec<usize>) -> Self {
-        assert!(ends.windows(2).all(|w| w[0] < w[1]), "group ends must increase");
+        assert!(
+            ends.windows(2).all(|w| w[0] < w[1]),
+            "group ends must increase"
+        );
         Grouping { ends }
     }
 
     /// The trivial grouping: every transaction is its own group.
     pub fn singletons(n: usize) -> Self {
-        Grouping { ends: (1..=n).collect() }
+        Grouping {
+            ends: (1..=n).collect(),
+        }
     }
 
     /// The number of groups.
@@ -138,19 +143,39 @@ impl Grouping {
     /// The **normal states** of `exec` with respect to this grouping: the
     /// actual states reachable *after* each group (the initial state is
     /// normal too, matching the paper's induction basis).
+    ///
+    /// This clones one state per group; checkers that only *inspect*
+    /// normal states should prefer the streaming
+    /// [`Grouping::for_each_normal_state`].
     pub fn normal_states<A: Application>(
         &self,
         app: &A,
         exec: &Execution<A>,
     ) -> Vec<(Option<TxnIndex>, A::State)> {
         let mut out = Vec::with_capacity(self.len() + 1);
-        out.push((None, app.initial_state()));
-        let states = exec.actual_states(app);
-        for g in self.groups() {
-            let last = g.end - 1;
-            out.push((Some(last), states[g.end].clone()));
-        }
+        self.for_each_normal_state(app, exec, |idx, s| out.push((idx, s.clone())));
         out
+    }
+
+    /// Streams the normal states through `f` in one forward pass over
+    /// the execution — no intermediate `Vec<State>`. `f` receives
+    /// `(None, s₀)` first, then `(Some(last index of group), state after
+    /// the group)` for each group in order.
+    pub fn for_each_normal_state<A: Application>(
+        &self,
+        app: &A,
+        exec: &Execution<A>,
+        mut f: impl FnMut(Option<TxnIndex>, &A::State),
+    ) {
+        let mut ends = self.ends.iter().peekable();
+        exec.for_each_actual_state(app, |m, s| {
+            if m == 0 {
+                f(None, s);
+            }
+            while ends.next_if(|&&e| e == m).is_some() {
+                f(Some(m - 1), s);
+            }
+        });
     }
 }
 
@@ -238,7 +263,14 @@ mod tests {
     #[test]
     fn discover_closes_groups_at_repair_points() {
         // Borrow, Borrow, Repay | Repay | Borrow, Repay
-        let e = exec(&[Act::Borrow, Act::Borrow, Act::Repay, Act::Repay, Act::Borrow, Act::Repay]);
+        let e = exec(&[
+            Act::Borrow,
+            Act::Borrow,
+            Act::Repay,
+            Act::Repay,
+            Act::Borrow,
+            Act::Repay,
+        ]);
         let g = Grouping::discover(&Debt, &e, 0, preserving).unwrap();
         assert_eq!(g.groups().collect::<Vec<_>>(), vec![0..3, 3..4, 4..6]);
         assert!(g.is_grouping_for(&Debt, &e, 0, preserving));

@@ -33,8 +33,11 @@
 //!   the induced *normal states* (Theorem 9).
 //! * [`fairness`] — §4.2: competing entities, priority partial orders, and
 //!   (strong) priority preservation.
-//! * [`bitset`] — a small dense bit-set used by the O(n²) execution
-//!   property checkers.
+//! * [`replay`] — the incremental replay engine: checkpointed,
+//!   memoizing state computation shared by executions, the checkers and
+//!   the simulator's undo/redo merge log.
+//! * [`bitset`] — a small dense bit-set used by the execution property
+//!   checkers.
 //!
 //! ## Quick example
 //!
@@ -86,6 +89,7 @@ pub mod execution;
 pub mod fairness;
 pub mod grouping;
 pub mod objects;
+pub mod replay;
 
 pub use app::{Application, Cost, DecisionOutcome, ExplicitStates, ExternalAction, StateSpace};
 pub use conditions::TimedExecution;
@@ -94,3 +98,4 @@ pub use execution::{Execution, ExecutionBuilder, ExecutionError, TxnIndex, TxnRe
 pub use fairness::PriorityModel;
 pub use grouping::Grouping;
 pub use objects::{ObjectId, ObjectModel};
+pub use replay::{Checkpoints, ReplayStats, Replayer, DEFAULT_CHECKPOINT_INTERVAL};

@@ -1,0 +1,622 @@
+//! Incremental, checkpointed state computation — the *replay engine*.
+//!
+//! Everything in the paper is defined by replaying update sequences from
+//! the initial state: apparent states replay a prefix subsequence `𝒫ᵢ`,
+//! actual states replay the full serial order, cost bounds replay kept
+//! subsequences, and the undo/redo merge of §1.2 replays a timestamped
+//! log. The seed implementation recomputed each of these from scratch on
+//! every query, which made whole-execution checkers (verify, grouping
+//! discovery, k-completeness sweeps) quadratic in the execution length.
+//!
+//! This module centralizes state computation in one place:
+//!
+//! * [`Checkpoints`] — a sparse, strictly increasing sequence of
+//!   `(updates applied, state)` pairs recorded every `interval` updates.
+//!   Shared verbatim by the simulator's undo/redo merge log, where the
+//!   interval is the checkpoint-spacing ablation knob (experiment E11).
+//! * [`ReplayCache`] *(crate-private)* — the memo owned by every
+//!   [`Execution`](crate::execution::Execution): checkpoints along the
+//!   full serial order for actual-state queries, plus checkpoints along
+//!   the **most recent replay path** for prefix-subsequence queries.
+//!   A query for a new prefix resumes from the deepest checkpoint at or
+//!   below the longest shared prefix with the previous path, so a sweep
+//!   of near-identical prefixes (exactly what `verify`, grouping
+//!   discovery and k-completeness checkers produce) costs
+//!   `O(changed suffix + interval)` per query instead of `O(n)`.
+//! * [`Replayer`] — the public face of the same cache for code that has
+//!   an update sequence but no `Execution` (cost-bound subsequence
+//!   enumeration, benches, ad-hoc analysis).
+//!
+//! Streaming (`fold`-style) traversal of all actual states lives on
+//! `Execution` itself
+//! ([`fold_actual_states`](crate::execution::Execution::fold_actual_states) /
+//! [`for_each_actual_state`](crate::execution::Execution::for_each_actual_state));
+//! it is a plain forward pass and deliberately does not touch the cache,
+//! so callbacks may re-enter other state queries freely.
+
+use crate::app::Application;
+use crate::execution::{Execution, TxnIndex};
+
+/// Default spacing, in applied updates, between state checkpoints.
+///
+/// Matches the simulator's default merge-log checkpoint interval, so the
+/// core replay cache and the undo/redo log have the same replay-depth
+/// bound out of the box.
+pub const DEFAULT_CHECKPOINT_INTERVAL: usize = 32;
+
+/// Cumulative counters describing how much work the replay engine did —
+/// and, via `reused`, how much from-scratch work it avoided.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// State queries answered.
+    pub queries: u64,
+    /// Updates actually applied while answering them.
+    pub applied: u64,
+    /// Updates *not* re-applied because a checkpoint or cached tip
+    /// already covered them. A from-scratch engine would have
+    /// `applied + reused` applications.
+    pub reused: u64,
+}
+
+/// A sparse sequence of prefix-state checkpoints: strictly increasing
+/// `(updates applied, state)` pairs, recorded at most every `interval`
+/// updates.
+///
+/// This is the structure the paper's §1.2 merge discussion attributes to
+/// [BK]/[SKS]: keep periodic snapshots so that undoing to a timestamp
+/// means dropping the invalidated suffix of checkpoints and redoing from
+/// the deepest survivor. The same structure serves the in-memory replay
+/// cache of [`Replayer`] and `Execution`.
+#[derive(Clone, Debug)]
+pub struct Checkpoints<S> {
+    every: usize,
+    points: Vec<(usize, S)>,
+}
+
+impl<S: Clone> Checkpoints<S> {
+    /// Creates an empty checkpoint sequence recording every `every`
+    /// applied updates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every == 0` (checkpoint interval must be positive).
+    pub fn new(every: usize) -> Self {
+        assert!(every > 0, "checkpoint interval must be positive");
+        Checkpoints {
+            every,
+            points: Vec::new(),
+        }
+    }
+
+    /// The configured spacing between checkpoints, in applied updates.
+    pub fn interval(&self) -> usize {
+        self.every
+    }
+
+    /// The number of checkpoints currently stored.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether no checkpoints are stored.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Drops all checkpoints, keeping the interval.
+    pub fn clear(&mut self) {
+        self.points.clear();
+    }
+
+    /// The depth (applied-update count) of the deepest checkpoint, or 0.
+    pub fn last_len(&self) -> usize {
+        self.points.last().map_or(0, |&(l, _)| l)
+    }
+
+    /// The deepest checkpoint, if any.
+    pub fn last(&self) -> Option<(usize, &S)> {
+        self.points.last().map(|(l, s)| (*l, s))
+    }
+
+    /// Records `state` as the checkpoint after `len` applied updates if
+    /// the deepest checkpoint is at least `interval` updates back (an
+    /// empty sequence counts as a checkpoint at depth 0). Calls with
+    /// `len` at or below the deepest checkpoint are no-ops — replaying
+    /// *between* existing checkpoints records nothing new. Returns
+    /// whether a checkpoint was stored.
+    pub fn record(&mut self, len: usize, state: &S) -> bool {
+        if len >= self.last_len() + self.every {
+            self.points.push((len, state.clone()));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drops every checkpoint deeper than `keep` applied updates — the
+    /// *undo* half of undo/redo: checkpoints past an insertion point are
+    /// invalidated, those at or before it survive.
+    pub fn truncate(&mut self, keep: usize) {
+        while self.points.last().is_some_and(|&(l, _)| l > keep) {
+            self.points.pop();
+        }
+    }
+
+    /// The deepest checkpoint at or below `limit` applied updates —
+    /// the best place to resume a replay targeting depth `limit`.
+    pub fn floor(&self, limit: usize) -> Option<(usize, &S)> {
+        let idx = self.points.partition_point(|&(l, _)| l <= limit);
+        if idx == 0 {
+            None
+        } else {
+            let (l, s) = &self.points[idx - 1];
+            Some((*l, s))
+        }
+    }
+}
+
+/// The memo behind all incremental state queries.
+///
+/// Holds two checkpoint sequences plus a cached "tip" for each:
+///
+/// * `full` — checkpoints along the full serial order `A₀ … Aₙ₋₁`,
+///   serving actual-state queries. Executions are append-only, so these
+///   never invalidate.
+/// * `path` / `path_ckpts` — the index path of the most recent
+///   prefix-subsequence replay and checkpoints along it. A new query
+///   resumes from the deepest checkpoint at or below the longest prefix
+///   shared with `path`.
+#[derive(Clone, Debug)]
+pub(crate) struct ReplayCache<A: Application> {
+    /// Index path of the most recent prefix replay.
+    path: Vec<TxnIndex>,
+    /// Checkpoints along `path`, keyed by depth *into the path*.
+    path_ckpts: Checkpoints<A::State>,
+    /// State after applying all of `path`, if known.
+    path_tip: Option<A::State>,
+    /// Checkpoints along the full serial order, keyed by prefix length.
+    full: Checkpoints<A::State>,
+    /// Deepest full-order state computed so far `(prefix length, state)`.
+    full_tip: Option<(usize, A::State)>,
+    stats: ReplayStats,
+}
+
+impl<A: Application> ReplayCache<A> {
+    pub(crate) fn new(every: usize) -> Self {
+        ReplayCache {
+            path: Vec::new(),
+            path_ckpts: Checkpoints::new(every),
+            path_tip: None,
+            full: Checkpoints::new(every),
+            full_tip: None,
+            stats: ReplayStats::default(),
+        }
+    }
+
+    pub(crate) fn interval(&self) -> usize {
+        self.path_ckpts.interval()
+    }
+
+    pub(crate) fn stats(&self) -> ReplayStats {
+        self.stats
+    }
+
+    /// Re-creates both checkpoint sequences with a new interval,
+    /// dropping cached states (stats are kept — they describe work
+    /// done, not the cache contents).
+    pub(crate) fn set_interval(&mut self, every: usize) {
+        self.path_ckpts = Checkpoints::new(every);
+        self.full = Checkpoints::new(every);
+        self.clear();
+    }
+
+    /// Drops all cached states (keeps the interval and the stats).
+    /// Required after in-place mutation of already-replayed updates;
+    /// appends never require it.
+    pub(crate) fn clear(&mut self) {
+        self.path.clear();
+        self.path_ckpts.clear();
+        self.path_tip = None;
+        self.full.clear();
+        self.full_tip = None;
+    }
+
+    /// The state after applying the updates selected by `prefix`
+    /// (in order) to the initial state. `update_at(j)` supplies `Aⱼ`.
+    ///
+    /// Resumes from the deepest cached point at or below the longest
+    /// prefix shared with the previous query's path.
+    pub(crate) fn state_after_prefix<'u>(
+        &mut self,
+        app: &A,
+        update_at: impl Fn(TxnIndex) -> &'u A::Update,
+        prefix: &[TxnIndex],
+    ) -> A::State
+    where
+        A::Update: 'u,
+    {
+        self.stats.queries += 1;
+        let lcp = prefix
+            .iter()
+            .zip(self.path.iter())
+            .take_while(|(a, b)| a == b)
+            .count();
+        let (depth, mut state) = if lcp == self.path.len() && self.path_tip.is_some() {
+            // The previous path is a prefix of this query: extend its tip.
+            (lcp, self.path_tip.clone().expect("checked is_some"))
+        } else {
+            match self.path_ckpts.floor(lcp) {
+                Some((l, s)) => (l, s.clone()),
+                None => (0, app.initial_state()),
+            }
+        };
+        self.stats.reused += depth as u64;
+        self.path.truncate(depth);
+        self.path_ckpts.truncate(depth);
+        for &j in &prefix[depth..] {
+            state = app.apply(&state, update_at(j));
+            self.stats.applied += 1;
+            self.path.push(j);
+            self.path_ckpts.record(self.path.len(), &state);
+        }
+        self.path_tip = Some(state.clone());
+        state
+    }
+
+    /// The state after the first `m` updates of the serial order —
+    /// `sₘ` in the paper's numbering (`s₀` for `m = 0`).
+    pub(crate) fn state_after_first<'u>(
+        &mut self,
+        app: &A,
+        update_at: impl Fn(TxnIndex) -> &'u A::Update,
+        m: usize,
+    ) -> A::State
+    where
+        A::Update: 'u,
+    {
+        self.stats.queries += 1;
+        let mut base: Option<(usize, A::State)> = self.full.floor(m).map(|(l, s)| (l, s.clone()));
+        if let Some((l, s)) = &self.full_tip {
+            if *l <= m && *l > base.as_ref().map_or(0, |(bl, _)| *bl) {
+                base = Some((*l, s.clone()));
+            }
+        }
+        let (mut len, mut state) = base.unwrap_or((0, app.initial_state()));
+        self.stats.reused += len as u64;
+        while len < m {
+            state = app.apply(&state, update_at(len));
+            len += 1;
+            self.stats.applied += 1;
+            self.full.record(len, &state);
+        }
+        if self.full_tip.as_ref().is_none_or(|(l, _)| *l <= m) {
+            self.full_tip = Some((m, state.clone()));
+        }
+        state
+    }
+}
+
+/// Incremental state computation over an update sequence.
+///
+/// The public face of the replay cache for code that holds an update
+/// sequence (or an [`Execution`]) and asks for many related states:
+/// cost-bound subsequence enumeration, checker benches, analysis sweeps.
+/// Queries whose index sequences share long prefixes — which is what
+/// every whole-execution sweep in this codebase produces — are answered
+/// by longest-shared-prefix reuse instead of from-scratch replay.
+///
+/// ```
+/// use shard_core::{Application, DecisionOutcome, replay::Replayer};
+/// # struct Counter;
+/// # #[derive(Clone, Debug, PartialEq)]
+/// # struct Add(i64);
+/// # impl Application for Counter {
+/// #     type State = i64;
+/// #     type Update = Add;
+/// #     type Decision = Add;
+/// #     fn initial_state(&self) -> i64 { 0 }
+/// #     fn is_well_formed(&self, _: &i64) -> bool { true }
+/// #     fn apply(&self, s: &i64, u: &Add) -> i64 { s + u.0 }
+/// #     fn decide(&self, d: &Add, _: &i64) -> DecisionOutcome<Add> {
+/// #         DecisionOutcome::update_only(d.clone())
+/// #     }
+/// #     fn constraint_count(&self) -> usize { 0 }
+/// #     fn constraint_name(&self, _: usize) -> &str { unreachable!() }
+/// #     fn cost(&self, _: &i64, _: usize) -> u64 { 0 }
+/// # }
+/// let app = Counter;
+/// let updates = vec![Add(1), Add(2), Add(4)];
+/// let mut replayer = Replayer::from_updates(&app, &updates);
+/// assert_eq!(replayer.state_after_prefix(&[0, 2]), 5);
+/// assert_eq!(replayer.state_after_prefix(&[0, 1, 2]), 7);
+/// assert_eq!(replayer.final_state(), 7);
+/// ```
+pub struct Replayer<'a, A: Application> {
+    app: &'a A,
+    updates: Vec<&'a A::Update>,
+    cache: ReplayCache<A>,
+}
+
+impl<'a, A: Application> Replayer<'a, A> {
+    /// A replayer over the update sequence of `exec`, with the default
+    /// checkpoint interval.
+    pub fn new(app: &'a A, exec: &'a Execution<A>) -> Self {
+        Self::with_interval(app, exec, DEFAULT_CHECKPOINT_INTERVAL)
+    }
+
+    /// A replayer over the update sequence of `exec` with checkpoints
+    /// every `every` applied updates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every == 0`.
+    pub fn with_interval(app: &'a A, exec: &'a Execution<A>, every: usize) -> Self {
+        Self::from_updates_with_interval(app, exec.records().iter().map(|r| &r.update), every)
+    }
+
+    /// A replayer over an explicit update sequence, with the default
+    /// checkpoint interval.
+    pub fn from_updates(app: &'a A, updates: impl IntoIterator<Item = &'a A::Update>) -> Self {
+        Self::from_updates_with_interval(app, updates, DEFAULT_CHECKPOINT_INTERVAL)
+    }
+
+    /// A replayer over an explicit update sequence with checkpoints every
+    /// `every` applied updates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every == 0`.
+    pub fn from_updates_with_interval(
+        app: &'a A,
+        updates: impl IntoIterator<Item = &'a A::Update>,
+        every: usize,
+    ) -> Self {
+        Replayer {
+            app,
+            updates: updates.into_iter().collect(),
+            cache: ReplayCache::new(every),
+        }
+    }
+
+    /// The number of updates in the sequence.
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// Whether the update sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+
+    /// The checkpoint spacing, in applied updates.
+    pub fn interval(&self) -> usize {
+        self.cache.interval()
+    }
+
+    /// Cumulative work counters for this replayer.
+    pub fn stats(&self) -> ReplayStats {
+        self.cache.stats()
+    }
+
+    /// The state after applying the updates selected by `prefix`, in the
+    /// given order, to the initial state. Indices may select any
+    /// subsequence (the paper's prefix subsequences and the kept sets of
+    /// cost-bound instances are the intended callers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn state_after_prefix(&mut self, prefix: &[TxnIndex]) -> A::State {
+        self.cache
+            .state_after_prefix(self.app, |j| self.updates[j], prefix)
+    }
+
+    /// The state after the first `m` updates of the sequence (`s₀` for
+    /// `m = 0`), answered from full-order checkpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m > self.len()`.
+    pub fn state_after_first(&mut self, m: usize) -> A::State {
+        assert!(
+            m <= self.updates.len(),
+            "state_after_first: {m} updates requested"
+        );
+        self.cache
+            .state_after_first(self.app, |j| self.updates[j], m)
+    }
+
+    /// The state after the whole sequence.
+    pub fn final_state(&mut self) -> A::State {
+        self.state_after_first(self.updates.len())
+    }
+
+    /// Streams all states `s₀, s₁, …, sₙ` through `f` in one forward
+    /// pass, threading an accumulator. The callback receives the number
+    /// of updates applied so far together with the state.
+    pub fn fold_states<T>(&self, init: T, mut f: impl FnMut(T, usize, &A::State) -> T) -> T {
+        let mut s = self.app.initial_state();
+        let mut acc = f(init, 0, &s);
+        for (i, u) in self.updates.iter().enumerate() {
+            s = self.app.apply(&s, u);
+            acc = f(acc, i + 1, &s);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::DecisionOutcome;
+
+    /// Toy application: state is the concatenation-as-number of applied
+    /// update ids, so every distinct subsequence yields a distinct state
+    /// and any replay mistake is visible.
+    struct Trace;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Tag(u64);
+
+    impl Application for Trace {
+        type State = Vec<u64>;
+        type Update = Tag;
+        type Decision = Tag;
+        fn initial_state(&self) -> Vec<u64> {
+            Vec::new()
+        }
+        fn is_well_formed(&self, _: &Vec<u64>) -> bool {
+            true
+        }
+        fn apply(&self, s: &Vec<u64>, u: &Tag) -> Vec<u64> {
+            let mut s = s.clone();
+            s.push(u.0);
+            s
+        }
+        fn decide(&self, d: &Tag, _: &Vec<u64>) -> DecisionOutcome<Tag> {
+            DecisionOutcome::update_only(d.clone())
+        }
+        fn constraint_count(&self) -> usize {
+            0
+        }
+        fn constraint_name(&self, _: usize) -> &str {
+            unreachable!()
+        }
+        fn cost(&self, _: &Vec<u64>, _: usize) -> u64 {
+            0
+        }
+    }
+
+    fn naive(updates: &[Tag], prefix: &[usize]) -> Vec<u64> {
+        prefix.iter().map(|&j| updates[j].0).collect()
+    }
+
+    #[test]
+    fn checkpoints_record_at_interval() {
+        let mut c: Checkpoints<u32> = Checkpoints::new(3);
+        assert!(!c.record(1, &10));
+        assert!(!c.record(2, &20));
+        assert!(c.record(3, &30));
+        assert!(!c.record(4, &40));
+        assert!(c.record(6, &60));
+        assert_eq!(c.last(), Some((6, &60)));
+        assert_eq!(c.last_len(), 6);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn checkpoints_floor_and_truncate() {
+        let mut c: Checkpoints<u32> = Checkpoints::new(2);
+        for len in 1..=10usize {
+            c.record(len, &(len as u32 * 10));
+        }
+        assert_eq!(c.floor(1), None);
+        assert_eq!(c.floor(5), Some((4, &40)));
+        assert_eq!(c.floor(100), Some((10, &100)));
+        c.truncate(5);
+        assert_eq!(c.last(), Some((4, &40)));
+        c.truncate(0);
+        assert!(c.is_empty());
+        assert_eq!(c.floor(100), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn checkpoints_reject_zero_interval() {
+        let _ = Checkpoints::<u32>::new(0);
+    }
+
+    #[test]
+    fn replayer_matches_naive_on_prefix_sweeps() {
+        let app = Trace;
+        let updates: Vec<Tag> = (0..100).map(Tag).collect();
+        for every in [1, 2, 7, 32, 1000] {
+            let mut r = Replayer::from_updates_with_interval(&app, &updates, every);
+            // The sweep every whole-execution checker produces: prefix i
+            // is "all of 0..i except a sliding window".
+            for i in 0..updates.len() {
+                let prefix: Vec<usize> = (0..i).filter(|j| !(j + 3 > i && j % 2 == 0)).collect();
+                assert_eq!(
+                    r.state_after_prefix(&prefix),
+                    naive(&updates, &prefix),
+                    "interval {every}, txn {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn replayer_handles_divergent_paths() {
+        let app = Trace;
+        let updates: Vec<Tag> = (0..40).map(Tag).collect();
+        let mut r = Replayer::from_updates_with_interval(&app, &updates, 4);
+        let a: Vec<usize> = (0..30).collect();
+        let b: Vec<usize> = (0..30).filter(|j| j % 3 != 1).collect();
+        let c: Vec<usize> = vec![5, 7, 11];
+        for prefix in [&a, &b, &c, &a, &c, &b] {
+            assert_eq!(r.state_after_prefix(prefix), naive(&updates, prefix));
+        }
+    }
+
+    #[test]
+    fn replayer_reuses_work_across_related_queries() {
+        let app = Trace;
+        let updates: Vec<Tag> = (0..200).map(Tag).collect();
+        let mut r = Replayer::from_updates_with_interval(&app, &updates, 8);
+        let full: Vec<usize> = (0..200).collect();
+        r.state_after_prefix(&full);
+        let applied_first = r.stats().applied;
+        // Dropping one late index shares a 150-long prefix: the second
+        // query must not replay from scratch.
+        let almost: Vec<usize> = (0..200).filter(|&j| j != 150).collect();
+        r.state_after_prefix(&almost);
+        let applied_second = r.stats().applied - applied_first;
+        assert!(
+            applied_second <= 200 - 150 + 8,
+            "second query applied {applied_second} updates"
+        );
+        assert!(r.stats().reused > 0);
+    }
+
+    #[test]
+    fn state_after_first_uses_full_checkpoints() {
+        let app = Trace;
+        let updates: Vec<Tag> = (0..100).map(Tag).collect();
+        let mut r = Replayer::from_updates_with_interval(&app, &updates, 10);
+        let full: Vec<usize> = (0..100).collect();
+        for m in [100usize, 50, 55, 0, 99] {
+            assert_eq!(r.state_after_first(m), naive(&updates, &full[..m]));
+        }
+        // A forward sweep after the warm-up replays only between
+        // checkpoints: far less than the quadratic 100·100/2.
+        let before = r.stats().applied;
+        for m in 0..=100 {
+            r.state_after_first(m);
+        }
+        let swept = r.stats().applied - before;
+        assert!(swept <= 100 * 10, "sweep applied {swept} updates");
+    }
+
+    #[test]
+    fn fold_states_streams_every_state() {
+        let app = Trace;
+        let updates: Vec<Tag> = (0..5).map(Tag).collect();
+        let r = Replayer::from_updates(&app, &updates);
+        let lens = r.fold_states(Vec::new(), |mut acc, m, s| {
+            assert_eq!(s.len(), m);
+            acc.push(m);
+            acc
+        });
+        assert_eq!(lens, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn empty_sequence_yields_initial_state() {
+        let app = Trace;
+        let updates: Vec<Tag> = Vec::new();
+        let mut r = Replayer::from_updates(&app, &updates);
+        assert!(r.is_empty());
+        assert_eq!(r.state_after_prefix(&[]), Vec::<u64>::new());
+        assert_eq!(r.final_state(), Vec::<u64>::new());
+    }
+}

@@ -65,7 +65,10 @@ impl LamportClock {
     /// counter and stamps it with this node's id.
     pub fn tick(&mut self) -> Timestamp {
         self.counter += 1;
-        Timestamp { lamport: self.counter, node: self.node }
+        Timestamp {
+            lamport: self.counter,
+            node: self.node,
+        }
     }
 
     /// Observes a remote timestamp: fast-forwards the counter so the next
@@ -92,18 +95,30 @@ mod tests {
     #[test]
     fn observe_fast_forwards() {
         let mut c = LamportClock::new(NodeId(0));
-        c.observe(Timestamp { lamport: 41, node: NodeId(3) });
+        c.observe(Timestamp {
+            lamport: 41,
+            node: NodeId(3),
+        });
         let t = c.tick();
         assert_eq!(t.lamport, 42);
         // Observing an older timestamp never rewinds.
-        c.observe(Timestamp { lamport: 5, node: NodeId(3) });
+        c.observe(Timestamp {
+            lamport: 5,
+            node: NodeId(3),
+        });
         assert!(c.tick().lamport > 42);
     }
 
     #[test]
     fn node_id_breaks_ties() {
-        let a = Timestamp { lamport: 7, node: NodeId(0) };
-        let b = Timestamp { lamport: 7, node: NodeId(1) };
+        let a = Timestamp {
+            lamport: 7,
+            node: NodeId(0),
+        };
+        let b = Timestamp {
+            lamport: 7,
+            node: NodeId(1),
+        };
         assert!(a < b);
         assert_ne!(a, b);
     }
@@ -113,9 +128,18 @@ mod tests {
         // The structural prefix-subsequence guarantee.
         let mut c = LamportClock::new(NodeId(2));
         let observed = [
-            Timestamp { lamport: 3, node: NodeId(0) },
-            Timestamp { lamport: 9, node: NodeId(1) },
-            Timestamp { lamport: 6, node: NodeId(4) },
+            Timestamp {
+                lamport: 3,
+                node: NodeId(0),
+            },
+            Timestamp {
+                lamport: 9,
+                node: NodeId(1),
+            },
+            Timestamp {
+                lamport: 6,
+                node: NodeId(4),
+            },
         ];
         for ts in observed {
             c.observe(ts);
@@ -126,7 +150,10 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let t = Timestamp { lamport: 12, node: NodeId(3) };
+        let t = Timestamp {
+            lamport: 12,
+            node: NodeId(3),
+        };
         assert_eq!(t.to_string(), "12@n3");
         assert_eq!(NodeId(3).to_string(), "n3");
     }

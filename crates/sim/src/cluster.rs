@@ -29,8 +29,9 @@ use crate::merge::{MergeLog, MergeMetrics};
 use crate::partition::PartitionSchedule;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use shard_core::{Application, ExternalAction, Execution, TimedExecution, TxnRecord};
+use shard_core::{Application, Execution, ExternalAction, TimedExecution, TxnRecord};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Configuration of a simulated cluster.
 #[derive(Clone, Debug)]
@@ -82,7 +83,11 @@ pub struct Invocation<D> {
 impl<D> Invocation<D> {
     /// Convenience constructor.
     pub fn new(time: SimTime, node: NodeId, decision: D) -> Self {
-        Invocation { time, node, decision }
+        Invocation {
+            time,
+            node,
+            decision,
+        }
     }
 }
 
@@ -139,8 +144,12 @@ impl<A: Application> ClusterReport<A> {
     /// The formal timed execution: transactions in timestamp order, each
     /// seeing the prefix subsequence its origin knew.
     pub fn timed_execution(&self) -> TimedExecution<A> {
-        let index_of: BTreeMap<Timestamp, usize> =
-            self.transactions.iter().enumerate().map(|(i, t)| (t.ts, i)).collect();
+        let index_of: BTreeMap<Timestamp, usize> = self
+            .transactions
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.ts, i))
+            .collect();
         let mut exec = Execution::new();
         let mut times = Vec::with_capacity(self.transactions.len());
         for t in &self.transactions {
@@ -164,13 +173,28 @@ impl<A: Application> ClusterReport<A> {
 }
 
 enum Event<A: Application> {
-    Invoke { node: NodeId, decision: A::Decision },
-    Deliver { to: NodeId, msg: UpdateMsg<A> },
+    Invoke {
+        node: NodeId,
+        decision: A::Decision,
+    },
+    Deliver {
+        to: NodeId,
+        msg: UpdateMsg<A>,
+    },
     /// Barrier protocol (§3.3): a critical transaction at `from` asks
     /// every peer to promise its current initiation count.
-    Probe { to: NodeId, from: NodeId, id: usize },
+    Probe {
+        to: NodeId,
+        from: NodeId,
+        id: usize,
+    },
     /// A peer's reply: it has initiated `sent` transactions so far.
-    Promise { to: NodeId, from: NodeId, id: usize, sent: u64 },
+    Promise {
+        to: NodeId,
+        from: NodeId,
+        id: usize,
+        sent: u64,
+    },
 }
 
 struct NodeState<A: Application> {
@@ -271,7 +295,13 @@ impl<'a, A: Application> Cluster<'a, A> {
                 "invocation at unknown node {}",
                 inv.node
             );
-            queue.schedule(inv.time, Event::Invoke { node: inv.node, decision: inv.decision });
+            queue.schedule(
+                inv.time,
+                Event::Invoke {
+                    node: inv.node,
+                    decision: inv.decision,
+                },
+            );
         }
 
         let mut transactions: Vec<ExecutedTxn<A>> = Vec::new();
@@ -302,14 +332,8 @@ impl<'a, A: Application> Cluster<'a, A> {
                             if to == node {
                                 continue;
                             }
-                            let at = delivery_time(
-                                &cfg.partitions,
-                                &cfg.delay,
-                                &mut rng,
-                                now,
-                                node,
-                                to,
-                            );
+                            let at =
+                                delivery_time(&cfg.partitions, &cfg.delay, &mut rng, now, node, to);
                             queue.schedule(at, Event::Probe { to, from: node, id });
                         }
                     } else {
@@ -335,9 +359,9 @@ impl<'a, A: Application> Cluster<'a, A> {
                         continue;
                     }
                     let n = &mut nodes[to.0 as usize];
-                    for (ts, update) in &msg.piggyback {
+                    for (ts, update) in msg.piggyback.iter() {
                         n.clock.observe(*ts);
-                        n.log.merge(app, *ts, update.clone());
+                        n.log.merge(app, *ts, Arc::clone(update));
                     }
                     n.clock.observe(msg.ts);
                     n.log.merge(app, msg.ts, msg.update);
@@ -363,7 +387,15 @@ impl<'a, A: Application> Cluster<'a, A> {
                     }
                     let sent = nodes[to.0 as usize].own_sent;
                     let at = delivery_time(&cfg.partitions, &cfg.delay, &mut rng, now, to, from);
-                    queue.schedule(at, Event::Promise { to: from, from: to, id, sent });
+                    queue.schedule(
+                        at,
+                        Event::Promise {
+                            to: from,
+                            from: to,
+                            id,
+                            sent,
+                        },
+                    );
                 }
                 Event::Promise { to, from, id, sent } => {
                     if cfg.crashes.is_down(now, to) {
@@ -389,11 +421,14 @@ impl<'a, A: Application> Cluster<'a, A> {
             }
         }
 
-        debug_assert!(pending.iter().all(|p| p.done), "all barriers clear eventually");
+        debug_assert!(
+            pending.iter().all(|p| p.done),
+            "all barriers clear eventually"
+        );
         transactions.sort_by_key(|t| t.ts);
         ClusterReport {
             node_metrics: nodes.iter().map(|n| n.log.metrics()).collect(),
-            final_states: nodes.iter().map(|n| n.log.state().clone()).collect(),
+            final_states: nodes.into_iter().map(|n| n.log.into_state()).collect(),
             transactions,
             external_actions,
             barrier_latencies,
@@ -426,19 +461,27 @@ impl<'a, A: Application> Cluster<'a, A> {
         for a in &outcome.external_actions {
             external_actions.push((now, node, a.clone()));
         }
-        let fresh = n.log.merge(app, ts, outcome.update.clone());
+        // One allocation shared by the local log and every peer message;
+        // fanning out costs reference counts, not update clones.
+        let update = Arc::new(outcome.update);
+        let fresh = n.log.merge(app, ts, Arc::clone(&update));
         debug_assert!(fresh, "own timestamp must be new");
-        let piggyback: Vec<(Timestamp, A::Update)> = if cfg.piggyback {
-            n.log.entries().iter().filter(|(t, _)| *t != ts).cloned().collect()
+        let piggyback: Arc<[(Timestamp, Arc<A::Update>)]> = if cfg.piggyback {
+            n.log
+                .entries()
+                .iter()
+                .filter(|(t, _)| *t != ts)
+                .cloned()
+                .collect()
         } else {
-            Vec::new()
+            Arc::from(Vec::new())
         };
         transactions.push(ExecutedTxn {
             ts,
             time: now,
             node,
             decision,
-            update: outcome.update.clone(),
+            update: (*update).clone(),
             external_actions: outcome.external_actions,
             known,
         });
@@ -456,9 +499,9 @@ impl<'a, A: Application> Cluster<'a, A> {
                     to,
                     msg: UpdateMsg {
                         ts,
-                        update: outcome.update.clone(),
+                        update: Arc::clone(&update),
+                        piggyback: Arc::clone(&piggyback),
                         origin: node,
-                        piggyback: piggyback.clone(),
                     },
                 },
             );
@@ -587,7 +630,13 @@ mod tests {
     #[test]
     fn single_node_behaves_serially() {
         let app = Counter;
-        let cluster = Cluster::new(&app, ClusterConfig { nodes: 1, ..Default::default() });
+        let cluster = Cluster::new(
+            &app,
+            ClusterConfig {
+                nodes: 1,
+                ..Default::default()
+            },
+        );
         let report = cluster.run(spread_invocations(10, 1, 5));
         assert_eq!(report.final_states[0], 3, "cap respected with full info");
         let te = report.timed_execution();
@@ -601,7 +650,11 @@ mod tests {
         let app = Counter;
         let cluster = Cluster::new(
             &app,
-            ClusterConfig { nodes: 4, seed: 7, ..Default::default() },
+            ClusterConfig {
+                nodes: 4,
+                seed: 7,
+                ..Default::default()
+            },
         );
         let report = cluster.run(spread_invocations(40, 4, 3));
         assert!(report.mutually_consistent());
@@ -620,9 +673,15 @@ mod tests {
         let app = Counter;
         let cluster = Cluster::new(
             &app,
-            ClusterConfig { nodes: 5, seed: 1, ..Default::default() },
+            ClusterConfig {
+                nodes: 5,
+                seed: 1,
+                ..Default::default()
+            },
         );
-        let invs: Vec<_> = (0..10).map(|i| Invocation::new(0, NodeId(i % 5), ())).collect();
+        let invs: Vec<_> = (0..10)
+            .map(|i| Invocation::new(0, NodeId(i % 5), ()))
+            .collect();
         let report = cluster.run(invs);
         assert!(report.final_states[0] > 3);
         let te = report.timed_execution();
@@ -683,7 +742,11 @@ mod tests {
         let app = Counter;
         let cluster = Cluster::new(
             &app,
-            ClusterConfig { nodes: 3, seed: 5, ..Default::default() },
+            ClusterConfig {
+                nodes: 3,
+                seed: 5,
+                ..Default::default()
+            },
         );
         let mut invs = spread_invocations(30, 3, 4);
         // Mark: transactions at node 0.
@@ -712,7 +775,10 @@ mod tests {
             },
         );
         let report = cluster.run(spread_invocations(100, 4, 1));
-        assert!(report.total_replayed() > 0, "high-variance delays reorder messages");
+        assert!(
+            report.total_replayed() > 0,
+            "high-variance delays reorder messages"
+        );
         assert!(report.mutually_consistent());
     }
 
@@ -722,7 +788,11 @@ mod tests {
         let run = |seed| {
             let cluster = Cluster::new(
                 &app,
-                ClusterConfig { nodes: 3, seed, ..Default::default() },
+                ClusterConfig {
+                    nodes: 3,
+                    seed,
+                    ..Default::default()
+                },
             );
             cluster.run(spread_invocations(25, 3, 2)).final_states
         };
@@ -732,6 +802,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one node")]
     fn zero_nodes_rejected() {
-        let _ = Cluster::new(&Counter, ClusterConfig { nodes: 0, ..Default::default() });
+        let _ = Cluster::new(
+            &Counter,
+            ClusterConfig {
+                nodes: 0,
+                ..Default::default()
+            },
+        );
     }
 }

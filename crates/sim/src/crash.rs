@@ -53,7 +53,9 @@ impl CrashSchedule {
 
     /// Whether `node` is down at time `t`.
     pub fn is_down(&self, t: SimTime, node: NodeId) -> bool {
-        self.windows.iter().any(|w| w.node == node && w.start <= t && t < w.end)
+        self.windows
+            .iter()
+            .any(|w| w.node == node && w.start <= t && t < w.end)
     }
 
     /// The earliest time `≥ t` at which `node` is up.

@@ -24,6 +24,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use shard_core::{Application, Execution, ExternalAction, TimedExecution, TxnRecord};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Configuration of the gossip layer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -65,8 +66,12 @@ impl<A: Application> GossipReport<A> {
 
     /// The formal timed execution.
     pub fn timed_execution(&self) -> TimedExecution<A> {
-        let index_of: BTreeMap<Timestamp, usize> =
-            self.transactions.iter().enumerate().map(|(i, t)| (t.ts, i)).collect();
+        let index_of: BTreeMap<Timestamp, usize> = self
+            .transactions
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.ts, i))
+            .collect();
         let mut exec = Execution::new();
         let mut times = Vec::with_capacity(self.transactions.len());
         for t in &self.transactions {
@@ -85,9 +90,19 @@ impl<A: Application> GossipReport<A> {
 }
 
 enum Event<A: Application> {
-    Invoke { node: NodeId, decision: A::Decision },
-    Tick { node: NodeId },
-    Push { to: NodeId, entries: Vec<(Timestamp, A::Update)> },
+    Invoke {
+        node: NodeId,
+        decision: A::Decision,
+    },
+    Tick {
+        node: NodeId,
+    },
+    /// A whole-log push: the entries are `Arc`-shared with the sender's
+    /// log, so shipping a round costs refcounts, not update clones.
+    Push {
+        to: NodeId,
+        entries: Vec<(Timestamp, Arc<A::Update>)>,
+    },
 }
 
 struct NodeState<A: Application> {
@@ -115,7 +130,11 @@ impl<'a, A: Application> GossipCluster<'a, A> {
     pub fn new(app: &'a A, config: ClusterConfig, gossip: GossipConfig) -> Self {
         assert!(config.nodes > 0, "a cluster needs at least one node");
         assert!(gossip.interval > 0, "gossip needs a positive interval");
-        GossipCluster { app, config, gossip }
+        GossipCluster {
+            app,
+            config,
+            gossip,
+        }
     }
 
     /// Runs the schedule until every replica has every update.
@@ -136,9 +155,19 @@ impl<'a, A: Application> GossipCluster<'a, A> {
         let mut queue: EventQueue<Event<A>> = EventQueue::new();
         let mut remaining_invokes = 0u64;
         for inv in invocations {
-            assert!((inv.node.0) < cfg.nodes, "invocation at unknown node {}", inv.node);
+            assert!(
+                (inv.node.0) < cfg.nodes,
+                "invocation at unknown node {}",
+                inv.node
+            );
             remaining_invokes += 1;
-            queue.schedule(inv.time, Event::Invoke { node: inv.node, decision: inv.decision });
+            queue.schedule(
+                inv.time,
+                Event::Invoke {
+                    node: inv.node,
+                    decision: inv.decision,
+                },
+            );
         }
         for i in 0..cfg.nodes {
             queue.schedule(self.gossip.interval, Event::Tick { node: NodeId(i) });
@@ -189,7 +218,7 @@ impl<'a, A: Application> GossipCluster<'a, A> {
                         }
                         if cfg.partitions.connected(now, node, peer) {
                             gossip_rounds += 1;
-                            let entries: Vec<(Timestamp, A::Update)> =
+                            let entries: Vec<(Timestamp, Arc<A::Update>)> =
                                 nodes[node.0 as usize].log.entries().to_vec();
                             entries_shipped += entries.len() as u64;
                             let at = delivery_time(
@@ -218,7 +247,7 @@ impl<'a, A: Application> GossipCluster<'a, A> {
         transactions.sort_by_key(|t| t.ts);
         GossipReport {
             node_metrics: nodes.iter().map(|n| n.log.metrics()).collect(),
-            final_states: nodes.iter().map(|n| n.log.state().clone()).collect(),
+            final_states: nodes.into_iter().map(|n| n.log.into_state()).collect(),
             transactions,
             external_actions,
             gossip_rounds,

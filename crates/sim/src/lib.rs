@@ -50,8 +50,8 @@ pub mod partial;
 pub mod partition;
 
 pub use clock::{LamportClock, NodeId, Timestamp};
-pub use crash::{CrashSchedule, CrashWindow};
 pub use cluster::{Cluster, ClusterConfig, ClusterReport, ExecutedTxn, Invocation};
+pub use crash::{CrashSchedule, CrashWindow};
 pub use delay::DelayModel;
 pub use gossip::{GossipCluster, GossipConfig, GossipReport};
 pub use merge::{MergeLog, MergeMetrics};

@@ -11,13 +11,17 @@
 //! the initial state. In-order arrivals are a cheap append. An
 //! out-of-order arrival rolls the state back to the nearest earlier
 //! **checkpoint** and replays — the optimization of [BK]/[SKS] ("using
-//! history information to process delayed database updates"); the
-//! checkpoint interval is the ablation knob of experiment E11.
-//! [`MergeMetrics`] counts appends, insertions and replayed updates so
-//! the undo/redo volume is measurable.
+//! history information to process delayed database updates"). The
+//! checkpoint sequence is the same [`Checkpoints`] structure the core
+//! replay engine uses ([`shard_core::replay`]); its interval is the
+//! ablation knob of experiment E11. Updates are held behind [`Arc`] so a
+//! broadcast fans an update out to peers by reference count, not by deep
+//! clone. [`MergeMetrics`] counts appends, insertions and replayed
+//! updates so the undo/redo volume is measurable.
 
 use crate::clock::Timestamp;
-use shard_core::Application;
+use shard_core::{Application, Checkpoints};
+use std::sync::Arc;
 
 /// Counters describing how much undo/redo work a node performed.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -65,11 +69,9 @@ impl MergeMetrics {
 /// ```
 #[derive(Clone, Debug)]
 pub struct MergeLog<A: Application> {
-    entries: Vec<(Timestamp, A::Update)>,
+    entries: Vec<(Timestamp, Arc<A::Update>)>,
     state: A::State,
-    /// `(log_len, state_after_that_prefix)`, sparse.
-    checkpoints: Vec<(usize, A::State)>,
-    checkpoint_every: usize,
+    checkpoints: Checkpoints<A::State>,
     metrics: MergeMetrics,
 }
 
@@ -83,12 +85,10 @@ impl<A: Application> MergeLog<A> {
     ///
     /// Panics if `checkpoint_every` is zero.
     pub fn new(app: &A, checkpoint_every: usize) -> Self {
-        assert!(checkpoint_every > 0, "checkpoint interval must be positive");
         MergeLog {
             entries: Vec::new(),
             state: app.initial_state(),
-            checkpoints: Vec::new(),
-            checkpoint_every,
+            checkpoints: Checkpoints::new(checkpoint_every),
             metrics: MergeMetrics::default(),
         }
     }
@@ -101,8 +101,14 @@ impl<A: Application> MergeLog<A> {
         &self.state
     }
 
-    /// The known updates in timestamp order.
-    pub fn entries(&self) -> &[(Timestamp, A::Update)] {
+    /// Consumes the log, yielding its merged state without a clone.
+    pub fn into_state(self) -> A::State {
+        self.state
+    }
+
+    /// The known updates in timestamp order. Updates are `Arc`-shared:
+    /// forwarding one to a peer costs a reference-count bump.
+    pub fn entries(&self) -> &[(Timestamp, Arc<A::Update>)] {
         &self.entries
     }
 
@@ -121,6 +127,11 @@ impl<A: Application> MergeLog<A> {
         self.entries.is_empty()
     }
 
+    /// The checkpoint spacing, in applied updates.
+    pub fn checkpoint_interval(&self) -> usize {
+        self.checkpoints.interval()
+    }
+
     /// Undo/redo counters.
     pub fn metrics(&self) -> MergeMetrics {
         self.metrics
@@ -134,8 +145,10 @@ impl<A: Application> MergeLog<A> {
     /// Merges an update into the log, maintaining the invariant that
     /// [`MergeLog::state`] equals the timestamp-ordered replay of all
     /// known updates. Duplicate timestamps are ignored (redeliveries).
+    /// Accepts either an owned update or an already-shared
+    /// `Arc<A::Update>` (re-merging a forwarded entry costs no clone).
     /// Returns `true` if the update was new.
-    pub fn merge(&mut self, app: &A, ts: Timestamp, update: A::Update) -> bool {
+    pub fn merge(&mut self, app: &A, ts: Timestamp, update: impl Into<Arc<A::Update>>) -> bool {
         match self.entries.binary_search_by_key(&ts, |(t, _)| *t) {
             Ok(_) => {
                 self.metrics.duplicates += 1;
@@ -143,46 +156,35 @@ impl<A: Application> MergeLog<A> {
             }
             Err(pos) if pos == self.entries.len() => {
                 // In timestamp order: apply incrementally.
+                let update = update.into();
                 self.state = app.apply(&self.state, &update);
                 self.entries.push((ts, update));
                 self.metrics.appends += 1;
-                self.maybe_checkpoint();
+                self.checkpoints.record(self.entries.len(), &self.state);
                 true
             }
             Err(pos) => {
                 // Out of order: undo back to a checkpoint ≤ pos, redo.
                 self.metrics.out_of_order += 1;
-                self.entries.insert(pos, (ts, update));
-                // Drop checkpoints invalidated by the insertion.
-                while matches!(self.checkpoints.last(), Some((len, _)) if *len > pos) {
-                    self.checkpoints.pop();
-                }
-                let (base_len, base_state) = match self.checkpoints.last() {
-                    Some((len, s)) => (*len, s.clone()),
+                self.entries.insert(pos, (ts, update.into()));
+                // Checkpoints past the insertion point are invalidated.
+                self.checkpoints.truncate(pos);
+                let (base_len, mut s) = match self.checkpoints.last() {
+                    Some((len, s)) => (len, s.clone()),
                     None => (0, app.initial_state()),
                 };
-                let mut s = base_state;
                 for i in base_len..self.entries.len() {
                     s = app.apply(&s, &self.entries[i].1);
                     self.metrics.replayed += 1;
                     // Recreate the checkpoints the insertion invalidated
                     // so the next straggler replays only its own tail.
-                    let applied = i + 1;
-                    let last = self.checkpoints.last().map_or(0, |(len, _)| *len);
-                    if applied - last >= self.checkpoint_every && applied < self.entries.len() {
-                        self.checkpoints.push((applied, s.clone()));
+                    if i + 1 < self.entries.len() {
+                        self.checkpoints.record(i + 1, &s);
                     }
                 }
                 self.state = s;
                 true
             }
-        }
-    }
-
-    fn maybe_checkpoint(&mut self) {
-        let last = self.checkpoints.last().map_or(0, |(len, _)| *len);
-        if self.entries.len() - last >= self.checkpoint_every {
-            self.checkpoints.push((self.entries.len(), self.state.clone()));
         }
     }
 }
@@ -227,7 +229,10 @@ mod tests {
     }
 
     fn ts(l: u64) -> Timestamp {
-        Timestamp { lamport: l, node: NodeId(0) }
+        Timestamp {
+            lamport: l,
+            node: NodeId(0),
+        }
     }
 
     #[test]
@@ -268,12 +273,27 @@ mod tests {
     }
 
     #[test]
+    fn merging_shared_arcs_does_not_clone() {
+        let app = Trace;
+        let mut a = MergeLog::new(&app, 4);
+        a.merge(&app, ts(1), 10);
+        // Forward node a's entry to node b the way the cluster does:
+        // share the Arc, no deep copy of the update.
+        let mut b = MergeLog::new(&app, 4);
+        let (t, u) = a.entries()[0].clone();
+        assert!(b.merge(&app, t, Arc::clone(&u)));
+        assert!(Arc::ptr_eq(&u, &b.entries()[0].1));
+        assert_eq!(b.state(), &vec![10]);
+    }
+
+    #[test]
     fn checkpoints_bound_replay_work() {
         let app = Trace;
         // Dense checkpoints: replay after a late insert near the end
         // touches only the tail.
         let mut dense = MergeLog::new(&app, 2);
         let mut sparse = MergeLog::new(&app, 1000);
+        assert_eq!(dense.checkpoint_interval(), 2);
         for i in 0..100u64 {
             let t = 2 * i + 2; // even lamports, leaving odd gaps
             dense.merge(&app, ts(t), t);
@@ -283,14 +303,20 @@ mod tests {
         dense.merge(&app, ts(1), 1);
         sparse.merge(&app, ts(1), 1);
         assert_eq!(dense.state(), sparse.state());
-        assert!(dense.metrics().replayed >= 100, "early insert replays everything");
+        assert!(
+            dense.metrics().replayed >= 100,
+            "early insert replays everything"
+        );
         // A straggler near the end is cheap for the dense log only.
         dense.merge(&app, ts(199), 199);
         sparse.merge(&app, ts(199), 199);
         assert_eq!(dense.state(), sparse.state());
         let dense_tail = dense.metrics().replayed;
         let sparse_tail = sparse.metrics().replayed;
-        assert!(dense_tail < sparse_tail, "dense={dense_tail} sparse={sparse_tail}");
+        assert!(
+            dense_tail < sparse_tail,
+            "dense={dense_tail} sparse={sparse_tail}"
+        );
     }
 
     #[test]
@@ -312,6 +338,7 @@ mod tests {
         assert_eq!(log.known_timestamps().len(), 10);
         assert!(log.contains(ts(7)));
         assert!(!log.contains(ts(77)));
+        assert_eq!(log.into_state(), (1..=10).collect::<Vec<_>>());
     }
 
     #[test]

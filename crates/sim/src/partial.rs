@@ -24,8 +24,11 @@ use crate::events::{EventQueue, SimTime};
 use crate::merge::{MergeLog, MergeMetrics};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use shard_core::{Application, Execution, ExternalAction, ObjectId, ObjectModel, TimedExecution, TxnRecord};
+use shard_core::{
+    Application, Execution, ExternalAction, ObjectId, ObjectModel, TimedExecution, TxnRecord,
+};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Which nodes replicate which objects.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -37,7 +40,9 @@ impl Placement {
     /// Full replication of `objects` at `nodes` nodes (the degenerate
     /// case, for comparisons).
     pub fn full(nodes: u16, objects: &[ObjectId]) -> Self {
-        Placement { held: vec![objects.to_vec(); nodes as usize] }
+        Placement {
+            held: vec![objects.to_vec(); nodes as usize],
+        }
     }
 
     /// Explicit per-node object sets.
@@ -87,7 +92,9 @@ impl Placement {
 
     /// A node holding all of `objects`, if any (useful for routing).
     pub fn any_holder_of_all(&self, objects: &[ObjectId]) -> Option<NodeId> {
-        (0..self.nodes()).map(NodeId).find(|n| self.holds_all(*n, objects))
+        (0..self.nodes())
+            .map(NodeId)
+            .find(|n| self.holds_all(*n, objects))
     }
 }
 
@@ -111,8 +118,12 @@ impl<A: Application> PartialReport<A> {
     /// The formal timed execution (identical semantics to the fully
     /// replicated cluster's).
     pub fn timed_execution(&self) -> TimedExecution<A> {
-        let index_of: BTreeMap<Timestamp, usize> =
-            self.transactions.iter().enumerate().map(|(i, t)| (t.ts, i)).collect();
+        let index_of: BTreeMap<Timestamp, usize> = self
+            .transactions
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.ts, i))
+            .collect();
         let mut exec = Execution::new();
         let mut times = Vec::with_capacity(self.transactions.len());
         for t in &self.transactions {
@@ -151,8 +162,15 @@ impl<A: Application> PartialReport<A> {
 }
 
 enum Event<A: Application> {
-    Invoke { node: NodeId, decision: A::Decision },
-    Deliver { to: NodeId, ts: Timestamp, update: A::Update },
+    Invoke {
+        node: NodeId,
+        decision: A::Decision,
+    },
+    Deliver {
+        to: NodeId,
+        ts: Timestamp,
+        update: Arc<A::Update>,
+    },
 }
 
 struct NodeState<A: Application> {
@@ -175,8 +193,16 @@ impl<'a, A: ObjectModel> PartialCluster<'a, A> {
     /// Panics if the node counts disagree or the cluster is empty.
     pub fn new(app: &'a A, config: ClusterConfig, placement: Placement) -> Self {
         assert!(config.nodes > 0, "a cluster needs at least one node");
-        assert_eq!(config.nodes, placement.nodes(), "placement must cover all nodes");
-        PartialCluster { app, config, placement }
+        assert_eq!(
+            config.nodes,
+            placement.nodes(),
+            "placement must cover all nodes"
+        );
+        PartialCluster {
+            app,
+            config,
+            placement,
+        }
     }
 
     /// Runs the schedule. Each invocation must target a node holding all
@@ -205,7 +231,13 @@ impl<'a, A: ObjectModel> PartialCluster<'a, A> {
                 reads,
                 inv.decision
             );
-            queue.schedule(inv.time, Event::Invoke { node: inv.node, decision: inv.decision });
+            queue.schedule(
+                inv.time,
+                Event::Invoke {
+                    node: inv.node,
+                    decision: inv.decision,
+                },
+            );
         }
 
         let mut transactions: Vec<ExecutedTxn<A>> = Vec::new();
@@ -222,14 +254,17 @@ impl<'a, A: ObjectModel> PartialCluster<'a, A> {
                     for a in &outcome.external_actions {
                         external_actions.push((now, node, a.clone()));
                     }
-                    n.log.merge(app, ts, outcome.update.clone());
-                    let writes = app.update_objects(&outcome.update);
+                    // One allocation shared by the local log and every
+                    // holder's delivery.
+                    let update = Arc::new(outcome.update);
+                    n.log.merge(app, ts, Arc::clone(&update));
+                    let writes = app.update_objects(&update);
                     transactions.push(ExecutedTxn {
                         ts,
                         time: now,
                         node,
                         decision,
-                        update: outcome.update.clone(),
+                        update: (*update).clone(),
                         external_actions: outcome.external_actions,
                         known,
                     });
@@ -242,7 +277,11 @@ impl<'a, A: ObjectModel> PartialCluster<'a, A> {
                         messages_sent += 1;
                         queue.schedule(
                             at,
-                            Event::Deliver { to, ts, update: outcome.update.clone() },
+                            Event::Deliver {
+                                to,
+                                ts,
+                                update: Arc::clone(&update),
+                            },
                         );
                     }
                 }
@@ -257,7 +296,7 @@ impl<'a, A: ObjectModel> PartialCluster<'a, A> {
         transactions.sort_by_key(|t| t.ts);
         PartialReport {
             node_metrics: nodes.iter().map(|n| n.log.metrics()).collect(),
-            final_states: nodes.iter().map(|n| n.log.state().clone()).collect(),
+            final_states: nodes.into_iter().map(|n| n.log.into_state()).collect(),
             transactions,
             external_actions,
             messages_sent,
@@ -323,7 +362,12 @@ mod tests {
     }
 
     fn cfg(nodes: u16) -> ClusterConfig {
-        ClusterConfig { nodes, seed: 1, delay: DelayModel::Fixed(5), ..Default::default() }
+        ClusterConfig {
+            nodes,
+            seed: 1,
+            delay: DelayModel::Fixed(5),
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -335,7 +379,10 @@ mod tests {
         assert!(!p.holds(NodeId(2), ObjectId(0)));
         assert_eq!(p.holders_of_any(&[ObjectId(0)]), vec![NodeId(0), NodeId(1)]);
         assert!(p.holds_all(NodeId(1), &[ObjectId(0), ObjectId(1)]));
-        assert_eq!(p.any_holder_of_all(&[ObjectId(0), ObjectId(2)]), Some(NodeId(0)));
+        assert_eq!(
+            p.any_holder_of_all(&[ObjectId(0), ObjectId(2)]),
+            Some(NodeId(0))
+        );
         let full = Placement::full(2, &objs);
         assert!(full.holds_all(NodeId(1), &objs));
     }
@@ -371,8 +418,9 @@ mod tests {
         let app = TwoRegs;
         let p = Placement::full(3, &app.objects());
         let cluster = PartialCluster::new(&app, cfg(3), p.clone());
-        let invs: Vec<_> =
-            (0..10).map(|i| Invocation::new(i * 5, NodeId((i % 3) as u16), Bump((i % 2) as u32))).collect();
+        let invs: Vec<_> = (0..10)
+            .map(|i| Invocation::new(i * 5, NodeId((i % 3) as u16), Bump((i % 2) as u32)))
+            .collect();
         let report = cluster.run(invs);
         assert!(report.objects_consistent(&app, &p));
         assert_eq!(report.final_states[0], [5, 5]);
@@ -384,19 +432,16 @@ mod tests {
     fn partial_replication_cuts_messages() {
         let app = TwoRegs;
         let objs = app.objects();
-        let invs: Vec<_> =
-            (0..20).map(|i| Invocation::new(i * 5, NodeId(0), Bump(0))).collect();
+        let invs: Vec<_> = (0..20)
+            .map(|i| Invocation::new(i * 5, NodeId(0), Bump(0)))
+            .collect();
         // All activity on object 0.
         let full = PartialCluster::new(&app, cfg(4), Placement::full(4, &objs))
             .run(invs.clone())
             .messages_sent;
-        let part = PartialCluster::new(
-            &app,
-            cfg(4),
-            Placement::round_robin(4, &objs, 2),
-        )
-        .run(invs)
-        .messages_sent;
+        let part = PartialCluster::new(&app, cfg(4), Placement::round_robin(4, &objs, 2))
+            .run(invs)
+            .messages_sent;
         assert!(part < full, "partial {part} < full {full}");
     }
 

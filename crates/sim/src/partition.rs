@@ -27,7 +27,11 @@ impl PartitionWindow {
     /// A window splitting the nodes into exactly two groups: `island`
     /// versus everyone else.
     pub fn isolate(start: SimTime, end: SimTime, island: Vec<NodeId>) -> Self {
-        PartitionWindow { start, end, groups: vec![island] }
+        PartitionWindow {
+            start,
+            end,
+            groups: vec![island],
+        }
     }
 
     fn group_of(&self, n: NodeId) -> Option<usize> {
@@ -88,8 +92,12 @@ impl PartitionSchedule {
         }
         // Candidate healing instants: the end of each window covering a
         // later time. Scan window ends after t in ascending order.
-        let mut ends: Vec<SimTime> =
-            self.windows.iter().map(|w| w.end).filter(|e| *e > t).collect();
+        let mut ends: Vec<SimTime> = self
+            .windows
+            .iter()
+            .map(|w| w.end)
+            .filter(|e| *e > t)
+            .collect();
         ends.sort_unstable();
         for e in ends {
             if self.connected(e, a, b) {

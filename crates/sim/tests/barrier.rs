@@ -36,7 +36,10 @@ fn critical_transaction_sees_all_prior_activity() {
     let report = cluster.run_with_critical(invs, is_mover);
     assert!(report.mutually_consistent());
     assert_eq!(report.barrier_latencies.len(), 1);
-    assert!(report.barrier_latencies[0] >= 100, "probe + promise round trip");
+    assert!(
+        report.barrier_latencies[0] >= 100,
+        "probe + promise round trip"
+    );
     let te = report.timed_execution();
     te.execution.verify(&app).unwrap();
     // The mover is the last transaction in the serial order and misses
@@ -71,7 +74,10 @@ fn barrier_waits_out_partitions() {
     let report = cluster.run_with_critical(invs, is_mover);
     // The critical mover could not execute until the partition healed.
     assert_eq!(report.barrier_latencies.len(), 1);
-    assert!(report.barrier_latencies[0] >= 980, "waited for the heal at t=1000");
+    assert!(
+        report.barrier_latencies[0] >= 980,
+        "waited for the heal at t=1000"
+    );
     // Having waited, it saw the isolated node's request.
     let te = report.timed_execution();
     let mover = (0..te.execution.len())
@@ -90,7 +96,12 @@ fn non_critical_runs_are_unchanged() {
     let mk = || {
         Cluster::new(
             &app,
-            ClusterConfig { nodes: 2, seed: 3, delay: DelayModel::Fixed(20), ..Default::default() },
+            ClusterConfig {
+                nodes: 2,
+                seed: 3,
+                delay: DelayModel::Fixed(20),
+                ..Default::default()
+            },
         )
     };
     let plain = mk().run(invs.clone());
@@ -104,7 +115,11 @@ fn single_node_criticals_run_immediately() {
     let app = FlyByNight::new(3);
     let cluster = Cluster::new(
         &app,
-        ClusterConfig { nodes: 1, seed: 4, ..Default::default() },
+        ClusterConfig {
+            nodes: 1,
+            seed: 4,
+            ..Default::default()
+        },
     );
     let invs = vec![
         Invocation::new(0, NodeId(0), AirlineTxn::Request(Person(1))),
@@ -134,7 +149,11 @@ fn many_criticals_all_clear() {
             NodeId((i % 4) as u16),
             AirlineTxn::Request(Person(i)),
         ));
-        invs.push(Invocation::new(i as u64 * 7 + 3, NodeId(0), AirlineTxn::MoveUp));
+        invs.push(Invocation::new(
+            i as u64 * 7 + 3,
+            NodeId(0),
+            AirlineTxn::MoveUp,
+        ));
     }
     let report = cluster.run_with_critical(invs, is_mover);
     assert_eq!(report.barrier_latencies.len(), 20);

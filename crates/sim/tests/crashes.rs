@@ -32,7 +32,10 @@ fn crashed_nodes_reject_clients() {
     assert_eq!(report.transactions.len(), 3);
     let fin = &report.final_states[0];
     assert!(fin.is_waiting(Person(1)));
-    assert!(!fin.is_known(Person(2)), "rejected transaction never entered");
+    assert!(
+        !fin.is_known(Person(2)),
+        "rejected transaction never entered"
+    );
     assert!(fin.is_waiting(Person(3)));
     assert!(fin.is_waiting(Person(4)));
 }
@@ -68,8 +71,7 @@ fn crash_during_barrier_defers_promises() {
         Invocation::new(5, NodeId(0), AirlineTxn::Request(Person(1))),
         Invocation::new(20, NodeId(0), AirlineTxn::MoveUp),
     ];
-    let report = cluster
-        .run_with_critical(invs, |d| matches!(d, AirlineTxn::MoveUp));
+    let report = cluster.run_with_critical(invs, |d| matches!(d, AirlineTxn::MoveUp));
     assert_eq!(report.barrier_latencies.len(), 1);
     assert!(
         report.barrier_latencies[0] >= 380,
@@ -82,7 +84,17 @@ fn crash_during_barrier_defers_promises() {
 #[test]
 fn no_crashes_is_the_default() {
     let app = FlyByNight::new(5);
-    let cluster = Cluster::new(&app, ClusterConfig { nodes: 2, ..Default::default() });
-    let report = cluster.run(vec![Invocation::new(0, NodeId(0), AirlineTxn::Request(Person(1)))]);
+    let cluster = Cluster::new(
+        &app,
+        ClusterConfig {
+            nodes: 2,
+            ..Default::default()
+        },
+    );
+    let report = cluster.run(vec![Invocation::new(
+        0,
+        NodeId(0),
+        AirlineTxn::Request(Person(1)),
+    )]);
     assert!(report.rejected.is_empty());
 }

@@ -4,18 +4,24 @@ use shard_apps::airline::{AirlineTxn, FlyByNight};
 use shard_apps::Person;
 use shard_core::conditions;
 use shard_sim::partition::{PartitionSchedule, PartitionWindow};
-use shard_sim::{
-    ClusterConfig, DelayModel, GossipCluster, GossipConfig, Invocation, NodeId,
-};
+use shard_sim::{ClusterConfig, DelayModel, GossipCluster, GossipConfig, Invocation, NodeId};
 
 fn booking(n: u32, nodes: u16, gap: u64) -> Vec<Invocation<AirlineTxn>> {
     let mut invs = Vec::new();
     let mut t = 0;
     for i in 1..=n {
         t += gap;
-        invs.push(Invocation::new(t, NodeId((i % nodes as u32) as u16), AirlineTxn::Request(Person(i))));
+        invs.push(Invocation::new(
+            t,
+            NodeId((i % nodes as u32) as u16),
+            AirlineTxn::Request(Person(i)),
+        ));
         t += gap;
-        invs.push(Invocation::new(t, NodeId(((i + 1) % nodes as u32) as u16), AirlineTxn::MoveUp));
+        invs.push(Invocation::new(
+            t,
+            NodeId(((i + 1) % nodes as u32) as u16),
+            AirlineTxn::MoveUp,
+        ));
     }
     invs
 }
@@ -38,7 +44,9 @@ fn gossip_converges_and_emits_valid_executions() {
     assert!(report.gossip_rounds > 0);
     assert!(report.entries_shipped > 0);
     let te = report.timed_execution();
-    te.execution.verify(&app).expect("gossip runs satisfy §3.1 too");
+    te.execution
+        .verify(&app)
+        .expect("gossip runs satisfy §3.1 too");
     assert_eq!(report.final_states[0], te.execution.final_state(&app));
 }
 
@@ -61,14 +69,15 @@ fn slower_gossip_means_larger_k() {
         counts
     };
     // Helper: total missed predecessors across the execution.
-    fn shard_analysis_free_missed(
-        e: &shard_core::Execution<FlyByNight>,
-    ) -> usize {
+    fn shard_analysis_free_missed(e: &shard_core::Execution<FlyByNight>) -> usize {
         (0..e.len()).map(|i| conditions::missed_count(e, i)).sum()
     }
     let fast = run(10);
     let slow = run(400);
-    assert!(slow > fast, "slow gossip {slow} must miss more than fast {fast}");
+    assert!(
+        slow > fast,
+        "slow gossip {slow} must miss more than fast {fast}"
+    );
 }
 
 #[test]
@@ -100,7 +109,11 @@ fn single_node_gossips_nothing() {
     let app = FlyByNight::new(10);
     let cluster = GossipCluster::new(
         &app,
-        ClusterConfig { nodes: 1, seed: 4, ..Default::default() },
+        ClusterConfig {
+            nodes: 1,
+            seed: 4,
+            ..Default::default()
+        },
         GossipConfig { interval: 10 },
     );
     let report = cluster.run(booking(5, 1, 3));
@@ -115,7 +128,12 @@ fn deterministic_per_seed() {
     let run = |seed| {
         GossipCluster::new(
             &app,
-            ClusterConfig { nodes: 3, seed, delay: DelayModel::Fixed(7), ..Default::default() },
+            ClusterConfig {
+                nodes: 3,
+                seed,
+                delay: DelayModel::Fixed(7),
+                ..Default::default()
+            },
             GossipConfig { interval: 20 },
         )
         .run(booking(20, 3, 4))

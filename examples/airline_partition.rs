@@ -33,12 +33,20 @@ fn main() {
 
     let mut invs = Vec::new();
     // Before the partition: P1 books through office 0.
-    invs.push(Invocation::new(10, NodeId(0), AirlineTxn::Request(Person(1))));
+    invs.push(Invocation::new(
+        10,
+        NodeId(0),
+        AirlineTxn::Request(Person(1)),
+    ));
     invs.push(Invocation::new(20, NodeId(0), AirlineTxn::MoveUp));
     // During the partition both offices keep selling the "remaining"
     // two seats — to different passengers.
     for (t, node, p) in [(150, 0, 2), (160, 0, 3), (200, 1, 4), (210, 1, 5)] {
-        invs.push(Invocation::new(t, NodeId(node), AirlineTxn::Request(Person(p))));
+        invs.push(Invocation::new(
+            t,
+            NodeId(node),
+            AirlineTxn::Request(Person(p)),
+        ));
         invs.push(Invocation::new(t + 5, NodeId(node), AirlineTxn::MoveUp));
     }
     // After healing, the agent at office 0 audits the flight and bumps
@@ -69,7 +77,11 @@ fn main() {
 
     let final_state = te.execution.final_state(&app);
     println!("final state: {final_state}");
-    assert_eq!(app.cost(&final_state, OVERBOOKING), 0, "MOVE-DOWNs repaired the flight");
+    assert_eq!(
+        app.cost(&final_state, OVERBOOKING),
+        0,
+        "MOVE-DOWNs repaired the flight"
+    );
 
     let churn = notification_churn(&all_external_actions(&te.execution));
     println!(

@@ -78,7 +78,11 @@ fn main() {
         app.cost(&final_state, c1),
         final_state.balance(bob)
     );
-    assert_eq!(app.cost(&final_state, c1), 0, "reconciliation swept the overdraft");
+    assert_eq!(
+        app.cost(&final_state, c1),
+        0,
+        "reconciliation swept the overdraft"
+    );
 
     // The audit reported the total it *observed* — with a complete
     // prefix in this run, that is the true total.

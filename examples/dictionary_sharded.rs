@@ -49,12 +49,16 @@ fn main() {
 
     let report = cluster.run(invs);
     let te = report.timed_execution();
-    te.execution.verify(&app).expect("§3.1 conditions hold under partial replication");
+    te.execution
+        .verify(&app)
+        .expect("§3.1 conditions hold under partial replication");
 
     println!("sharded dictionary over 6 nodes, replication factor 3");
-    println!("update messages sent: {} (full replication would send {})",
+    println!(
+        "update messages sent: {} (full replication would send {})",
         report.messages_sent,
-        report.transactions.len() as u64 * 5);
+        report.transactions.len() as u64 * 5
+    );
     println!(
         "per-bucket replicas consistent: {}",
         report.objects_consistent(&app, &placement)

@@ -26,7 +26,11 @@ fn main() {
         },
     );
 
-    let mut invs = vec![Invocation::new(0, NodeId(0), InvTxn::Restock { item, qty: 10 })];
+    let mut invs = vec![Invocation::new(
+        0,
+        NodeId(0),
+        InvTxn::Restock { item, qty: 10 },
+    )];
     // The flash sale: six 3-unit orders land on three storefront
     // replicas within 30 ticks — long before any replica hears about
     // the others' confirmations.
@@ -34,7 +38,13 @@ fn main() {
         invs.push(Invocation::new(
             *t + 100,
             NodeId((i % 3) as u16),
-            InvTxn::PlaceOrder { item, order: Order { id: OrderId(i as u32 + 1), qty: 3 } },
+            InvTxn::PlaceOrder {
+                item,
+                order: Order {
+                    id: OrderId(i as u32 + 1),
+                    qty: 3,
+                },
+            },
         ));
     }
     // The fulfilment agent runs compensators after the dust settles.
@@ -72,8 +82,16 @@ fn main() {
     }
 
     let final_state = te.execution.final_state(&app);
-    assert_eq!(app.cost(&final_state, over), 0, "UNSHIP relieved the oversell");
-    assert_eq!(app.cost(&final_state, under), 0, "PROMOTE drained the fittable backlog");
+    assert_eq!(
+        app.cost(&final_state, over),
+        0,
+        "UNSHIP relieved the oversell"
+    );
+    assert_eq!(
+        app.cost(&final_state, under),
+        0,
+        "PROMOTE drained the fittable backlog"
+    );
     let apologies = report
         .external_actions
         .iter()

@@ -33,19 +33,32 @@ fn main() {
     let mut t = 0;
     for i in 1..=14u32 {
         t += 10;
-        invocations.push(Invocation::new(t, NodeId((i % 5) as u16), AirlineTxn::Request(Person(i))));
+        invocations.push(Invocation::new(
+            t,
+            NodeId((i % 5) as u16),
+            AirlineTxn::Request(Person(i)),
+        ));
         t += 5;
-        invocations.push(Invocation::new(t, NodeId(((i + 2) % 5) as u16), AirlineTxn::MoveUp));
+        invocations.push(Invocation::new(
+            t,
+            NodeId(((i + 2) % 5) as u16),
+            AirlineTxn::MoveUp,
+        ));
     }
 
     let report = cluster.run(invocations);
-    println!("ran {} transactions across 5 replicas", report.transactions.len());
+    println!(
+        "ran {} transactions across 5 replicas",
+        report.transactions.len()
+    );
     println!("replicas converged: {}", report.mutually_consistent());
 
     // The simulator's behaviour is re-checked against the paper's formal
     // execution model — nothing is trusted.
     let te = report.timed_execution();
-    te.execution.verify(&app).expect("prefix-subsequence conditions hold");
+    te.execution
+        .verify(&app)
+        .expect("prefix-subsequence conditions hold");
 
     let final_state = te.execution.final_state(&app);
     println!("\nfinal state: {final_state}");
@@ -56,7 +69,10 @@ fn main() {
     );
 
     // How much information did transactions miss, and what did it cost?
-    println!("\nmissed-predecessor distribution: {}", completeness::missed_summary(&te.execution));
+    println!(
+        "\nmissed-predecessor distribution: {}",
+        completeness::missed_summary(&te.execution)
+    );
     println!(
         "worst transient overbooking: ${}",
         trace::max_cost(&app, &te.execution, OVERBOOKING)

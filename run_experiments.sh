@@ -13,6 +13,9 @@ experiments=(
 )
 for e in "${experiments[@]}"; do
   echo "== exp_$e =="
-  cargo run -q --release -p shard-bench --bin "exp_$e" | tee "target/exp_logs/$e.txt"
+  if ! cargo run -q --release -p shard-bench --bin "exp_$e" | tee "target/exp_logs/$e.txt"; then
+    echo "FAILED: exp_$e exited non-zero (log: target/exp_logs/$e.txt)" >&2
+    exit 1
+  fi
 done
 echo "ALL EXPERIMENTS PASSED"

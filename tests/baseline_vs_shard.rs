@@ -14,8 +14,16 @@ fn contended_workload() -> Vec<Invocation<AirlineTxn>> {
     let mut invs = Vec::new();
     for i in 1..=12u32 {
         let t = 40 + i as u64 * 20;
-        invs.push(Invocation::new(t, NodeId((i % 4) as u16), AirlineTxn::Request(Person(i))));
-        invs.push(Invocation::new(t + 5, NodeId(((i + 1) % 4) as u16), AirlineTxn::MoveUp));
+        invs.push(Invocation::new(
+            t,
+            NodeId((i % 4) as u16),
+            AirlineTxn::Request(Person(i)),
+        ));
+        invs.push(Invocation::new(
+            t + 5,
+            NodeId(((i + 1) % 4) as u16),
+            AirlineTxn::MoveUp,
+        ));
     }
     invs
 }
@@ -50,8 +58,11 @@ fn baseline_preserves_integrity_but_loses_availability() {
     }
     // Availability: the cut-off nodes' clients timed out.
     assert!(report.availability() < 1.0, "partitioned clients blocked");
-    let timeouts =
-        report.outcomes.iter().filter(|o| matches!(o, TxnOutcome::TimedOut)).count();
+    let timeouts = report
+        .outcomes
+        .iter()
+        .filter(|o| matches!(o, TxnOutcome::TimedOut))
+        .count();
     assert!(timeouts > 0);
 }
 

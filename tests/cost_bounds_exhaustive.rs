@@ -118,13 +118,25 @@ fn undersized_bound_is_rejected() {
         MoveDown(Person(2)),
     ];
     let kept = [0usize, 1, 2, 3]; // drop the move-down: k = 1
-    // s has cost 0 (move-down ran); t is overbooked by 900. The bound
-    // direction is cost(s) ≤ cost(t) + f(k) — trivially fine here. The
-    // interesting direction drops the *move-up* instead:
+                                  // s has cost 0 (move-down ran); t is overbooked by 900. The bound
+                                  // direction is cost(s) ≤ cost(t) + f(k) — trivially fine here. The
+                                  // interesting direction drops the *move-up* instead:
     let kept2 = [0usize, 1, 2, 4];
     // s: both moved up then one moved down → AL=1, cost 0. Still fine.
-    assert!(check_bound_instance(&app, &f_bogus, OVERBOOKING, &seq, &kept));
-    assert!(check_bound_instance(&app, &f_bogus, OVERBOOKING, &seq, &kept2));
+    assert!(check_bound_instance(
+        &app,
+        &f_bogus,
+        OVERBOOKING,
+        &seq,
+        &kept
+    ));
+    assert!(check_bound_instance(
+        &app,
+        &f_bogus,
+        OVERBOOKING,
+        &seq,
+        &kept2
+    ));
     // A genuinely violating pair: full sequence overbooks, subsequence
     // does not see the second move-up.
     let seq = vec![
@@ -134,5 +146,11 @@ fn undersized_bound_is_rejected() {
         MoveUp(Person(2)),
     ];
     let kept = [0usize, 1, 2]; // k = 1: cost(s)=900 > cost(t)=0 + f(1)=1
-    assert!(!check_bound_instance(&app, &f_bogus, OVERBOOKING, &seq, &kept));
+    assert!(!check_bound_instance(
+        &app,
+        &f_bogus,
+        OVERBOOKING,
+        &seq,
+        &kept
+    ));
 }

@@ -63,17 +63,33 @@ fn warehouse_replicas_converge_under_partition() {
             ..Default::default()
         },
     );
-    let mut invs = vec![Invocation::new(0, NodeId(0), InvTxn::Restock { item, qty: 5 })];
+    let mut invs = vec![Invocation::new(
+        0,
+        NodeId(0),
+        InvTxn::Restock { item, qty: 5 },
+    )];
     // Both sides of the partition sell the same five units.
     invs.push(Invocation::new(
         100,
         NodeId(0),
-        InvTxn::PlaceOrder { item, order: Order { id: OrderId(1), qty: 5 } },
+        InvTxn::PlaceOrder {
+            item,
+            order: Order {
+                id: OrderId(1),
+                qty: 5,
+            },
+        },
     ));
     invs.push(Invocation::new(
         110,
         NodeId(1),
-        InvTxn::PlaceOrder { item, order: Order { id: OrderId(2), qty: 5 } },
+        InvTxn::PlaceOrder {
+            item,
+            order: Order {
+                id: OrderId(2),
+                qty: 5,
+            },
+        },
     ));
     // After healing: the fulfilment agent unships the excess.
     invs.push(Invocation::new(500, NodeId(0), InvTxn::Unship { item }));
@@ -84,7 +100,11 @@ fn warehouse_replicas_converge_under_partition() {
     let fin = te.execution.final_state(&app);
     assert_eq!(app.cost(&fin, app.oversell_constraint(item)), 0);
     assert_eq!(fin.item(item).committed_units(), 5);
-    assert_eq!(fin.item(item).backlog.len(), 1, "the losing order is backordered");
+    assert_eq!(
+        fin.item(item).backlog.len(),
+        1,
+        "the losing order is backordered"
+    );
 }
 
 #[test]

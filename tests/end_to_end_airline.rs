@@ -16,7 +16,11 @@ fn booking_storm(seed: u64, n: u32, nodes: u16) -> Vec<Invocation<AirlineTxn>> {
     let mut t = 0;
     for i in 1..=n {
         t += 3;
-        invs.push(Invocation::new(t, NodeId((i % nodes as u32) as u16), AirlineTxn::Request(Person(i))));
+        invs.push(Invocation::new(
+            t,
+            NodeId((i % nodes as u32) as u16),
+            AirlineTxn::Request(Person(i)),
+        ));
         t += 2;
         invs.push(Invocation::new(
             t,
@@ -34,7 +38,12 @@ fn every_simulated_execution_satisfies_the_formal_model() {
         for delay in [DelayModel::Fixed(5), DelayModel::Exponential { mean: 50 }] {
             let cluster = Cluster::new(
                 &app,
-                ClusterConfig { nodes: 4, seed, delay, ..Default::default() },
+                ClusterConfig {
+                    nodes: 4,
+                    seed,
+                    delay,
+                    ..Default::default()
+                },
             );
             let report = cluster.run(booking_storm(seed, 80, 4));
             assert!(report.mutually_consistent(), "seed {seed}, {delay:?}");
@@ -105,7 +114,11 @@ fn centralized_movers_with_piggyback_never_overbook() {
         let mut t = 0;
         for i in 1..=40u32 {
             t += 4;
-            invs.push(Invocation::new(t, NodeId((i % 3) as u16), AirlineTxn::Request(Person(i))));
+            invs.push(Invocation::new(
+                t,
+                NodeId((i % 3) as u16),
+                AirlineTxn::Request(Person(i)),
+            ));
             t += 3;
             invs.push(Invocation::new(t, NodeId(0), AirlineTxn::MoveUp));
         }

@@ -86,11 +86,15 @@ fn section_3_2_transitivity_modification() {
         b.push_complete(AirlineTxn::MoveUp).unwrap();
     }
     let first198: Vec<TxnIndex> = (0..198).collect();
-    let r101 = b.push(AirlineTxn::Request(Person(101)), first198.clone()).unwrap();
+    let r101 = b
+        .push(AirlineTxn::Request(Person(101)), first198.clone())
+        .unwrap();
     let mut pre = first198.clone();
     pre.push(r101);
     b.push(AirlineTxn::MoveUp, pre).unwrap();
-    let r102 = b.push(AirlineTxn::Request(Person(102)), first198.clone()).unwrap();
+    let r102 = b
+        .push(AirlineTxn::Request(Person(102)), first198.clone())
+        .unwrap();
     let mut pre = first198.clone();
     pre.push(r102);
     b.push(AirlineTxn::MoveUp, pre).unwrap();
@@ -115,7 +119,8 @@ fn the_example_is_not_serializable_but_updates_are() {
     assert!(conditions::max_missed(&e) > 0);
     // The incomplete transactions are exactly the two blind MOVE-UPs,
     // the MOVE-DOWN, and (trivially complete) everything else.
-    let incomplete: Vec<usize> =
-        (0..e.len()).filter(|&i| conditions::missed_count(&e, i) > 0).collect();
+    let incomplete: Vec<usize> = (0..e.len())
+        .filter(|&i| conditions::missed_count(&e, i) > 0)
+        .collect();
     assert_eq!(incomplete, vec![201, 203, 204]);
 }

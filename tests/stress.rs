@@ -6,8 +6,8 @@ use shard::analysis::claims::{check_invariant_bound, check_theorem5};
 use shard::analysis::{completeness, trace};
 use shard::apps::airline::{AirlineTxn, FlyByNight, OVERBOOKING, UNDERBOOKING};
 use shard::apps::Person;
-use shard::core::costs::BoundFn;
 use shard::core::conditions;
+use shard::core::costs::BoundFn;
 use shard::sim::partition::{PartitionSchedule, PartitionWindow};
 use shard::sim::{
     Cluster, ClusterConfig, CrashSchedule, CrashWindow, DelayModel, Invocation, NodeId,
@@ -18,7 +18,9 @@ fn big_workload(seed: u64, n: u32, nodes: u16) -> Vec<Invocation<AirlineTxn>> {
     // a simple LCG drives the mix.
     let mut state = seed | 1;
     let mut next = || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (state >> 33) as u32
     };
     let mut invs = Vec::with_capacity(n as usize);
@@ -71,7 +73,9 @@ fn three_thousand_transactions_survive_the_battery() {
 
     // The emitted execution is a valid formal object.
     let te = report.timed_execution();
-    te.execution.verify(&app).expect("conditions (1)-(4) at scale");
+    te.execution
+        .verify(&app)
+        .expect("conditions (1)-(4) at scale");
     assert_eq!(report.final_states[0], te.execution.final_state(&app));
 
     // Theorems hold with k measured from the run.
@@ -82,11 +86,13 @@ fn three_thousand_transactions_survive_the_battery() {
     });
     assert!(c8.holds(), "k={k}: {c8}");
     assert!(check_theorem5(&app, &te.execution, OVERBOOKING, &f900, |_| true).holds());
-    assert!(check_theorem5(&app, &te.execution, UNDERBOOKING, &f300, |d| matches!(
-        d,
-        AirlineTxn::MoveUp | AirlineTxn::MoveDown
-    ))
-    .holds());
+    assert!(
+        check_theorem5(&app, &te.execution, UNDERBOOKING, &f300, |d| matches!(
+            d,
+            AirlineTxn::MoveUp | AirlineTxn::MoveDown
+        ))
+        .holds()
+    );
 
     // The partition actually disturbed information flow (the run is not
     // vacuously serial)…

@@ -1,0 +1,228 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The workspace builds without network access, so the real `criterion`
+//! cannot be fetched. This shim keeps the same source-level API for the
+//! surface the benches use — [`Criterion::benchmark_group`],
+//! `bench_function`, `bench_with_input`, [`BenchmarkId`], [`Throughput`]
+//! and the [`criterion_group!`]/[`criterion_main!`] macros — and measures
+//! with plain wall-clock timing: one warm-up call, then `sample_size`
+//! timed iterations, reporting mean time per iteration. No statistics,
+//! no HTML reports; numbers print to stdout as `name ... mean ± span`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can use `criterion::black_box` if they wish.
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        run_benchmark(name, 20, None, f);
+    }
+}
+
+/// Benchmark identifier within a group (subset of criterion's type).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id rendering as the parameter alone, e.g. `group/2000`.
+    pub fn from_parameter(p: impl Display) -> Self {
+        BenchmarkId {
+            label: p.to_string(),
+        }
+    }
+
+    /// An id rendering as `name/parameter`.
+    pub fn new(name: impl Into<String>, p: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{p}", name.into()),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label)
+    }
+}
+
+/// Work-per-iteration declaration (printed, not analysed).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration throughput (echoed in the report line).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) {
+        let name = format!("{}/{id}", self.name);
+        run_benchmark(&name, self.sample_size, self.throughput, f);
+    }
+
+    /// Runs a benchmark receiving a shared input by reference.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let name = format!("{}/{id}", self.name);
+        run_benchmark(&name, self.sample_size, self.throughput, |b| f(b, input));
+    }
+
+    /// Ends the group (no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure; `iter` does the timing.
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    min: Duration,
+    max: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`: one untimed warm-up call, then the configured
+    /// number of timed iterations.
+    pub fn iter<T>(&mut self, mut routine: impl FnMut() -> T) {
+        black_box(routine()); // warm-up
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            let dt = start.elapsed();
+            self.total += dt;
+            self.min = self.min.min(dt);
+            self.max = self.max.max(dt);
+            self.iters += 1;
+        }
+    }
+}
+
+fn run_benchmark(
+    name: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        samples,
+        total: Duration::ZERO,
+        min: Duration::MAX,
+        max: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{name:<48} (no iterations)");
+        return;
+    }
+    let mean = b.total / b.iters as u32;
+    let tp = match throughput {
+        Some(Throughput::Elements(n)) => {
+            let per_sec = n as f64 / mean.as_secs_f64();
+            format!("  {per_sec:.0} elem/s")
+        }
+        Some(Throughput::Bytes(n)) => {
+            let per_sec = n as f64 / mean.as_secs_f64() / (1024.0 * 1024.0);
+            format!("  {per_sec:.1} MiB/s")
+        }
+        None => String::new(),
+    };
+    println!(
+        "{name:<48} mean {mean:>12?}  [min {:?} .. max {:?}] over {} iters{tp}",
+        b.min, b.max, b.iters
+    );
+}
+
+/// Bundles benchmark functions into one callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_run() {
+        let mut c = Criterion::default();
+        let mut calls = 0u32;
+        c.bench_function("shim/smoke", |b| b.iter(|| calls += 1));
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(10));
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.bench_function("plain", |b| b.iter(|| 1 + 1));
+        g.finish();
+        assert!(calls >= 20, "warmup + samples ran ({calls})");
+    }
+
+    #[test]
+    fn id_rendering() {
+        assert_eq!(BenchmarkId::from_parameter(2000).to_string(), "2000");
+        assert_eq!(BenchmarkId::new("k", 3).to_string(), "k/3");
+    }
+}

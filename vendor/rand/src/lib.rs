@@ -1,0 +1,262 @@
+//! Offline stand-in for the `rand` crate (0.9 API subset).
+//!
+//! The workspace builds in environments with no network access and no
+//! crates.io mirror, so the real `rand` cannot be fetched. This shim
+//! implements exactly the surface the workspace uses — [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], and the [`Rng`] methods
+//! `random_range`, `random` and `random_bool` — on top of a
+//! deterministic xoshiro256++ generator. Streams are stable across runs
+//! and platforms, which is all the simulator needs (`seed` ⇒ identical
+//! run); the generator is *not* cryptographically secure.
+
+/// Low-level generator interface: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable generators (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Constructs a generator from a 64-bit seed. Equal seeds yield
+    /// identical streams.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly from an [`RngCore`] — the shim's stand-in
+/// for `rand::distr::StandardUniform`.
+pub trait UniformSample {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl UniformSample for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl UniformSample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl UniformSample for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl UniformSample for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u64() as u32
+    }
+}
+
+/// Ranges samplable by [`Rng::random_range`] (stand-in for
+/// `rand::distr::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Element types [`Rng::random_range`] can draw — the shim's stand-in
+/// for `rand::distr::uniform::SampleUniform`. The range impls below are
+/// generic over this trait (one impl per range shape, as in real
+/// `rand`), which is what lets integer-literal ranges take their type
+/// from the surrounding expression instead of falling back to `i32`.
+pub trait SampleUniform: Copy {
+    /// A uniform draw from `lo..hi` (exclusive) or `lo..=hi` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_range(rng, lo, hi, true)
+    }
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: $t,
+                hi: $t,
+                inclusive: bool,
+            ) -> $t {
+                if inclusive {
+                    assert!(lo <= hi, "cannot sample empty range");
+                    match (hi.wrapping_sub(lo) as $u as u64).checked_add(1) {
+                        // Span covers the full 64-bit width.
+                        None => rng.next_u64() as $t,
+                        Some(span) => lo.wrapping_add(reduce(rng, span) as $t),
+                    }
+                } else {
+                    assert!(lo < hi, "cannot sample empty range");
+                    // Non-empty ⇒ the two's-complement difference is the
+                    // positive span and fits the unsigned twin width.
+                    let span = hi.wrapping_sub(lo) as $u as u64;
+                    lo.wrapping_add(reduce(rng, span) as $t)
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i32 => u32, i64 => u64
+);
+
+/// Maps a uniform `u64` onto `0..span` (`span == 0` means the full
+/// 2⁶⁴ range) with negligible bias via 128-bit multiply-shift.
+fn reduce<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    let x = rng.next_u64();
+    if span == 0 {
+        x
+    } else {
+        ((x as u128 * span as u128) >> 64) as u64
+    }
+}
+
+/// User-facing generator methods (subset of `rand::Rng`). Blanket
+/// implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform value from `range` (half-open or inclusive).
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// A uniform value of type `T` (`f64` in `[0, 1)`, fair `bool`, …).
+    fn random<T: UniformSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator — the shim's `StdRng`.
+    /// Not cryptographically secure; statistically solid for simulation.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn determinism_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0u64..1000), b.random_range(0u64..1000));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let same: Vec<u64> = (0..16).map(|_| c.random_range(0..u64::MAX)).collect();
+        let mut a = StdRng::seed_from_u64(42);
+        let ours: Vec<u64> = (0..16).map(|_| a.random_range(0..u64::MAX)).collect();
+        assert_ne!(same, ours, "different seeds diverge");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.random_range(3u32..17);
+            assert!((3..17).contains(&x));
+            let y = rng.random_range(5usize..=9);
+            assert!((5..=9).contains(&y));
+        }
+    }
+
+    #[test]
+    fn f64_unit_interval_and_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn random_bool_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..100_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((20_000..30_000).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rng.random_range(5u32..5);
+    }
+}
