@@ -13,4 +13,12 @@ run cargo build --release --all-targets
 run cargo test --workspace -q
 run cargo clippy --all-targets -- -D warnings
 run cargo fmt --check
+
+# Smoke-check the observability pipeline: one experiment end to end,
+# then a pure-rust validation that its metrics sidecar is well-formed
+# JSON carrying the schema's required keys.
+run cargo run -q --release -p shard-bench --bin exp_e01_worked_example
+run cargo run -q --release -p shard-obs --bin shard-trace -- \
+  check target/exp_metrics/e01.json \
+  experiment ok wall_time_ms claims counters gauges histograms spans
 echo "CI PASSED"

@@ -76,6 +76,7 @@ pub fn check_theorem5<A: Application>(
     f: &BoundFn,
     mut is_preserving: impl FnMut(&A::Decision) -> bool,
 ) -> ClaimCheck {
+    let _span = shard_obs::span!("claims.check_theorem5");
     let mut check = ClaimCheck::new(format!(
         "Theorem 5 [{} / f={}]",
         app.constraint_name(constraint),
@@ -116,6 +117,7 @@ pub fn check_invariant_bound<A: Application>(
     f: &BoundFn,
     mut is_unsafe: impl FnMut(&A::Decision) -> bool,
 ) -> (usize, ClaimCheck) {
+    let _span = shard_obs::span!("claims.check_invariant_bound");
     let k = max_missed_where(exec, |_, d| is_unsafe(d));
     let bound = f.at(k);
     let mut check = ClaimCheck::new(format!(
@@ -143,6 +145,7 @@ pub fn check_grouped_bound<A: Application>(
     f: &BoundFn,
     is_preserving: impl Fn(&A::Decision) -> bool,
 ) -> Option<(usize, ClaimCheck)> {
+    let _span = shard_obs::span!("claims.check_grouped_bound");
     let grouping = Grouping::discover(app, exec, constraint, &is_preserving)?;
     let group_ends: Vec<usize> = grouping.groups().map(|g| g.end - 1).collect();
     let k = max_missed_where(exec, |i, d| {
@@ -174,6 +177,7 @@ pub fn check_total_bound_at_normal_states<A: Application>(
     is_preserving: impl Fn(&A::Decision) -> bool,
     mut is_unsafe_any: impl FnMut(&A::Decision) -> bool,
 ) -> Option<(usize, ClaimCheck)> {
+    let _span = shard_obs::span!("claims.check_total_bound_at_normal_states");
     let grouping = Grouping::discover(app, exec, grouping_constraint, &is_preserving)?;
     let group_ends: Vec<usize> = grouping.groups().map(|g| g.end - 1).collect();
     let k = max_missed_where(exec, |i, d| {

@@ -62,14 +62,31 @@ fn naive_apparent_state_before(
     s
 }
 
+/// One cold-cache incremental sweep, best of `reps` runs (each clone
+/// restarts with an empty replay cache).
+fn incremental_sweep_ns(app: &FlyByNight, e: &Execution<FlyByNight>, reps: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let fresh = e.clone();
+        let t0 = Instant::now();
+        for i in 0..fresh.len() {
+            black_box(fresh.apparent_state_before(app, i));
+        }
+        best = best.min(t0.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
 /// Naive vs incremental apparent-state sweeps at n ∈ {10², 10³, 10⁴}.
 ///
-/// The incremental sweep is timed in full on a cold cache. The naive
-/// sweep is timed on an evenly strided sample of the queries (its
-/// per-query cost is linear in the prefix length, so the strided mean
-/// is the overall mean) and scaled to the full sweep; the sampling
-/// keeps the n = 10⁴ case from taking minutes. Results are printed and
-/// written to `BENCH_replay.json`.
+/// The incremental sweep is timed in full on a cold cache — twice, with
+/// the `shard-obs` metrics layer switched off and on, so the JSON also
+/// records the instrumentation overhead (`obs_overhead_pct`; the repo
+/// budget is < 5% at n = 10⁴). The naive sweep is timed on an evenly
+/// strided sample of the queries (its per-query cost is linear in the
+/// prefix length, so the strided mean is the overall mean) and scaled
+/// to the full sweep; the sampling keeps the n = 10⁴ case from taking
+/// minutes. Results are printed and written to `BENCH_replay.json`.
 fn bench_replay_scaling(_c: &mut Criterion) {
     let app = FlyByNight::new(40);
     let mut rows = String::new();
@@ -77,13 +94,12 @@ fn bench_replay_scaling(_c: &mut Criterion) {
     for n in [100usize, 1_000, 10_000] {
         let e = airline_execution_with_k(&app, 3, n, 4, AirlineMix::default());
 
-        // Incremental: a clone starts with a cold replay cache.
-        let fresh = e.clone();
-        let t0 = Instant::now();
-        for i in 0..fresh.len() {
-            black_box(fresh.apparent_state_before(&app, i));
-        }
-        let incremental_ns = t0.elapsed().as_nanos() as f64;
+        // Incremental, metrics off then on (best of 3 each).
+        shard_obs::set_enabled(false);
+        let incremental_off_ns = incremental_sweep_ns(&app, &e, 3);
+        shard_obs::set_enabled(true);
+        let incremental_ns = incremental_sweep_ns(&app, &e, 3);
+        let obs_overhead_pct = (incremental_ns - incremental_off_ns) / incremental_off_ns * 100.0;
 
         // Naive, on a strided sample of the same queries.
         let stride = (n / 100).max(1);
@@ -96,14 +112,17 @@ fn bench_replay_scaling(_c: &mut Criterion) {
 
         let speedup = naive_ns / incremental_ns;
         println!(
-            "  n={n:>6}  naive {:>12.0} ns  incremental {:>12.0} ns  speedup {speedup:>8.1}x",
+            "  n={n:>6}  naive {:>12.0} ns  incremental {:>12.0} ns  speedup {speedup:>8.1}x  \
+             obs overhead {obs_overhead_pct:>+6.2}%",
             naive_ns, incremental_ns
         );
         rows.push_str(&format!(
             "    {{\"n\": {n}, \"naive_ns\": {:.0}, \"incremental_ns\": {:.0}, \
+             \"incremental_obs_off_ns\": {:.0}, \"obs_overhead_pct\": {obs_overhead_pct:.2}, \
              \"speedup\": {speedup:.2}, \"naive_sampled_queries\": {}}}{}\n",
             naive_ns,
             incremental_ns,
+            incremental_off_ns,
             sampled.len(),
             if n == 10_000 { "" } else { "," }
         ));

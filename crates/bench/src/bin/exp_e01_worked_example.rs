@@ -64,6 +64,7 @@ fn build(app: &FlyByNight, transitive_requests: bool) -> Execution<FlyByNight> {
 }
 
 fn main() {
+    let exp = shard_bench::Experiment::start("e01");
     let app = FlyByNight::default();
     let e = build(&app, false);
     e.verify(&app)
@@ -156,5 +157,5 @@ fn main() {
     }
     println!("{kt}");
 
-    shard_bench::finish(ok);
+    exp.finish(ok);
 }

@@ -19,6 +19,7 @@ use shard_core::costs::BoundFn;
 use shard_core::ExecutionBuilder;
 
 fn main() {
+    let exp = shard_bench::Experiment::start("e02");
     // A 10-seat plane for the randomized sweep: small enough that
     // missing a handful of transactions actually overbooks.
     let app = FlyByNight::new(10);
@@ -122,5 +123,5 @@ fn main() {
     shard_bench::maybe_dump_csv(&t);
     println!("{t}");
 
-    shard_bench::finish(ok);
+    exp.finish(ok);
 }

@@ -25,6 +25,7 @@ fn is_mover(d: &AirlineTxn) -> bool {
 }
 
 fn main() {
+    let exp = shard_bench::Experiment::start("e03");
     let app = FlyByNight::default();
     let f300 = BoundFn::linear(app.underbook_rate());
     let f900 = BoundFn::linear(app.overbook_rate());
@@ -106,5 +107,5 @@ fn main() {
     shard_bench::maybe_dump_csv(&t);
     println!("{t}");
 
-    shard_bench::finish(ok);
+    exp.finish(ok);
 }

@@ -35,6 +35,7 @@ fn overbooked(app: &FlyByNight, cap: u32, extra: u32) -> Execution<FlyByNight> {
 }
 
 fn main() {
+    let exp = shard_bench::Experiment::start("e04");
     let cap = 20u32;
     let app = FlyByNight::new(cap as u64);
     let mut ok = true;
@@ -137,5 +138,5 @@ fn main() {
     shard_bench::maybe_dump_csv(&t);
     println!("{t}");
 
-    shard_bench::finish(ok);
+    exp.finish(ok);
 }

@@ -23,6 +23,7 @@ use shard_core::conditions::missed_count;
 use shard_sim::{Cluster, ClusterConfig, DelayModel};
 
 fn main() {
+    let exp = shard_bench::Experiment::start("e05");
     let app = FlyByNight::new(25);
     let mut ok = true;
     println!("E05: witness-refined bounds (Thm 20/21), 25-seat plane, 5 nodes\n");
@@ -147,5 +148,5 @@ fn main() {
         completeness::missed_summary(&te.execution)
     );
 
-    shard_bench::finish(ok);
+    exp.finish(ok);
 }

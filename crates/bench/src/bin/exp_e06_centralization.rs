@@ -20,6 +20,7 @@ use shard_core::{conditions, ExecutionBuilder};
 use shard_sim::{Cluster, ClusterConfig, DelayModel};
 
 fn main() {
+    let exp = shard_bench::Experiment::start("e06");
     let app = FlyByNight::new(100);
     let mut ok = true;
     println!("E06: centralization ⇒ zero overbooking (Thm 22/23) + §5.4 counterexample\n");
@@ -159,5 +160,5 @@ fn main() {
     println!("E06c repaired (per-person centralization restored): {check}");
     ok &= check.holds();
 
-    shard_bench::finish(ok);
+    exp.finish(ok);
 }

@@ -26,6 +26,7 @@ use shard_core::conditions;
 use shard_sim::{Cluster, ClusterConfig, DelayModel};
 
 fn main() {
+    let exp = shard_bench::Experiment::start("e07");
     let app = FlyByNight::new(15);
     let mut ok = true;
     println!("E07: fairness (Thm 25, Lemma 26, Thm 27), centralized movers\n");
@@ -191,5 +192,5 @@ fn main() {
     shard_bench::maybe_dump_csv(&t);
     println!("{t}");
 
-    shard_bench::finish(ok);
+    exp.finish(ok);
 }

@@ -42,6 +42,7 @@ fn ts_invocations(base: &[Invocation<AirlineTxn>]) -> Vec<Invocation<TsTxn>> {
 }
 
 fn main() {
+    let exp = shard_bench::Experiment::start("e08");
     let capacity = 12u64;
     let app = FlyByNight::new(capacity);
     let ts_app = TsFlyByNight::new(capacity);
@@ -143,5 +144,5 @@ fn main() {
     // anomaly: covered by unit tests; here we assert the workload-level
     // trend was monotone enough to call the claim reproduced.
     let _ = AirlineWorkload::with_seed(0);
-    shard_bench::finish(ok);
+    exp.finish(ok);
 }

@@ -41,6 +41,10 @@ fn periodic_partitions(horizon: SimTime, period: SimTime, duty: f64) -> Partitio
 }
 
 fn main() {
+    let exp = shard_bench::Experiment::start("e09");
+    // JSONL trace of the heaviest-partition sweep point (duty 75%):
+    // partition cut/heal announcements plus every delivery and merge.
+    let trace_sink = exp.trace_sink();
     let app = FlyByNight::new(50);
     let f = BoundFn::linear(app.overbook_rate());
     let mut ok = true;
@@ -82,6 +86,11 @@ fn main() {
                     seed,
                     delay: DelayModel::Exponential { mean: 20 },
                     partitions: partitions.clone(),
+                    sink: if duty >= 0.75 {
+                        trace_sink.clone()
+                    } else {
+                        None
+                    },
                     ..Default::default()
                 },
             );
@@ -132,5 +141,5 @@ fn main() {
          integrity cost that never exceeds the 900·k envelope"
     );
 
-    shard_bench::finish(ok);
+    exp.finish(ok);
 }

@@ -24,6 +24,7 @@ use shard_core::costs::BoundFn;
 use shard_sim::{Cluster, ClusterConfig, DelayModel};
 
 fn main() {
+    let exp = shard_bench::Experiment::start("e10");
     let app = FlyByNight::new(40);
     println!("E10: measured k distribution vs delay/rate (5 nodes, 1500 txns × 5 seeds)\n");
 
@@ -112,7 +113,7 @@ fn main() {
          — exactly the statement form §1.3 calls for"
     );
 
-    shard_bench::finish(monotone);
+    exp.finish(monotone);
 }
 
 fn run_sweep(app: &FlyByNight, mean_delay: u64, gap: u64) -> (Vec<u64>, u64, u64) {

@@ -15,8 +15,14 @@ use shard_apps::airline::FlyByNight;
 use shard_bench::workloads::{airline_invocations, Routing};
 use shard_bench::TRIAL_SEEDS;
 use shard_sim::{Cluster, ClusterConfig, DelayModel};
+use std::sync::Arc;
 
-fn run(app: &FlyByNight, delay: DelayModel, checkpoint_every: usize) -> (u64, u64, u64) {
+fn run(
+    app: &FlyByNight,
+    delay: DelayModel,
+    checkpoint_every: usize,
+    sink: Option<&Arc<shard_obs::EventSink>>,
+) -> (u64, u64, u64) {
     let mut out_of_order = 0;
     let mut replayed = 0;
     let mut merged = 0;
@@ -28,6 +34,7 @@ fn run(app: &FlyByNight, delay: DelayModel, checkpoint_every: usize) -> (u64, u6
                 seed,
                 delay,
                 checkpoint_every,
+                sink: sink.cloned(),
                 ..Default::default()
             },
         );
@@ -44,6 +51,10 @@ fn run(app: &FlyByNight, delay: DelayModel, checkpoint_every: usize) -> (u64, u6
 }
 
 fn main() {
+    let exp = shard_bench::Experiment::start("e11");
+    // JSONL trace of the highest-variance sweep point (exp(80) delays),
+    // where out-of-order arrival — and hence undo/redo — peaks.
+    let trace_sink = exp.trace_sink();
     let app = FlyByNight::new(40);
     println!("E11: undo/redo volume (5 nodes, 1200 txns × 5 seeds, totals over all nodes)\n");
 
@@ -66,7 +77,13 @@ fn main() {
         ("exp(20)", DelayModel::Exponential { mean: 20 }),
         ("exp(80)", DelayModel::Exponential { mean: 80 }),
     ] {
-        let (ooo, replayed, merged) = run(&app, delay, 32);
+        let traced = matches!(delay, DelayModel::Exponential { mean: 80 });
+        let (ooo, replayed, merged) = run(
+            &app,
+            delay,
+            32,
+            if traced { trace_sink.as_ref() } else { None },
+        );
         let ratio = replayed as f64 / merged as f64;
         if name.starts_with("uniform") || name == "fixed(20)" {
             monotone &= ratio >= prev_ratio;
@@ -89,7 +106,7 @@ fn main() {
     );
     let mut rows: Vec<(usize, u64, f64)> = Vec::new();
     for interval in [1usize, 8, 32, 128, 100_000] {
-        let (_, replayed, merged) = run(&app, DelayModel::Exponential { mean: 80 }, interval);
+        let (_, replayed, merged) = run(&app, DelayModel::Exponential { mean: 80 }, interval, None);
         rows.push((interval, replayed, replayed as f64 / merged as f64));
     }
     for (interval, replayed, ratio) in &rows {
@@ -105,5 +122,5 @@ fn main() {
     let shape = rows.windows(2).all(|w| w[0].1 <= w[1].1);
     println!("shape: replay volume grows with delay variance and with checkpoint sparsity");
 
-    shard_bench::finish(monotone && shape);
+    exp.finish(monotone && shape);
 }

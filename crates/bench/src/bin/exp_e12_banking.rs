@@ -21,6 +21,7 @@ use shard_sim::partition::{PartitionSchedule, PartitionWindow};
 use shard_sim::{Cluster, ClusterConfig, DelayModel, NodeId};
 
 fn main() {
+    let exp = shard_bench::Experiment::start("e12");
     let accounts = 4u32;
     let max_debit = 100u32;
     let app = Bank::new(accounts, max_debit);
@@ -133,5 +134,5 @@ fn main() {
     println!("E12c RECONCILE(A1) from ¢-500: converges in {steps:?} step(s)");
     ok &= steps == Some(1);
 
-    shard_bench::finish(ok);
+    exp.finish(ok);
 }

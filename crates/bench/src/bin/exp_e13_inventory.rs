@@ -18,6 +18,7 @@ use shard_sim::partition::{PartitionSchedule, PartitionWindow};
 use shard_sim::{Cluster, ClusterConfig, DelayModel, NodeId};
 
 fn main() {
+    let exp = shard_bench::Experiment::start("e13");
     let items = 2u32;
     let max_qty = 5u64;
     let over_rate = 40u64;
@@ -95,5 +96,5 @@ fn main() {
          rate·max_qty·k envelope with k measured from the run"
     );
 
-    shard_bench::finish(ok);
+    exp.finish(ok);
 }

@@ -17,6 +17,7 @@ use shard_core::costs::{classify_transaction, updates_preserve_well_formedness};
 use shard_core::fairness::{preserves_priority, strongly_preserves_priority};
 
 fn main() {
+    let exp = shard_bench::Experiment::start("e14");
     let app = FlyByNight::new(2);
     let space = AirlineSpace::all_states(4);
     let mut ok = true;
@@ -121,5 +122,5 @@ fn main() {
          WAIT-LIST' program text; see the erratum in DESIGN.md"
     );
 
-    shard_bench::finish(ok);
+    exp.finish(ok);
 }

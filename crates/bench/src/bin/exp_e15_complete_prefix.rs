@@ -45,6 +45,7 @@ fn workload(seed: u64, n: usize, nodes: u16) -> Vec<Invocation<BankTxn>> {
 }
 
 fn main() {
+    let exp = shard_bench::Experiment::start("e15");
     let app = Bank::new(3, 1_000);
     let mut ok = true;
     println!("E15: complete-prefix audits via the §3.3 barrier (extension)\n");
@@ -133,5 +134,5 @@ fn main() {
          prefix at the price of latencies that stretch to the partition length"
     );
 
-    shard_bench::finish(ok);
+    exp.finish(ok);
 }

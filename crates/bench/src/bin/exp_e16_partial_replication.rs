@@ -24,6 +24,7 @@ use shard_core::{Application, ObjectModel};
 use shard_sim::{ClusterConfig, DelayModel, Invocation, PartialCluster, Placement};
 
 fn main() {
+    let exp = shard_bench::Experiment::start("e16");
     let accounts = 8u32;
     let max_debit = 100u32;
     let nodes = 8u16;
@@ -120,5 +121,5 @@ fn main() {
          condition and cost bound survives — §6's claim, realized"
     );
 
-    shard_bench::finish(ok);
+    exp.finish(ok);
 }

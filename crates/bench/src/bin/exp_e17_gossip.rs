@@ -20,6 +20,7 @@ use shard_core::costs::BoundFn;
 use shard_sim::{Cluster, ClusterConfig, DelayModel, GossipCluster, GossipConfig};
 
 fn main() {
+    let exp = shard_bench::Experiment::start("e17");
     let app = FlyByNight::new(25);
     let f = BoundFn::linear(900);
     let mut ok = true;
@@ -126,5 +127,5 @@ fn main() {
          depended on *how* updates travel, only on what prefixes transactions see"
     );
 
-    shard_bench::finish(ok);
+    exp.finish(ok);
 }

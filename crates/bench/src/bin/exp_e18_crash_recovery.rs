@@ -19,6 +19,7 @@ use shard_core::costs::BoundFn;
 use shard_sim::{Cluster, ClusterConfig, CrashSchedule, CrashWindow, DelayModel, NodeId};
 
 fn main() {
+    let exp = shard_bench::Experiment::start("e18");
     let app = FlyByNight::new(25);
     let f = BoundFn::linear(900);
     let mut ok = true;
@@ -91,5 +92,5 @@ fn main() {
          catches up by replay; every §3.1 condition and cost bound survives"
     );
 
-    shard_bench::finish(ok);
+    exp.finish(ok);
 }

@@ -47,6 +47,7 @@ fn is_preserving(d: &NsTxn) -> bool {
 }
 
 fn main() {
+    let exp = shard_bench::Experiment::start("e19");
     let groups = 3u32;
     let rate = 25u64;
     let app = NameServer::new(groups, rate);
@@ -112,5 +113,5 @@ fn main() {
          dangling-member anomaly without modification — §6's conjecture, checked"
     );
 
-    shard_bench::finish(ok);
+    exp.finish(ok);
 }

@@ -66,6 +66,7 @@ pub fn max_missed<A: Application>(exec: &Execution<A>) -> usize {
 ///
 /// Runs in O(n² / 64) using dense bit sets.
 pub fn is_transitive<A: Application>(exec: &Execution<A>) -> bool {
+    let _span = shard_obs::span!("conditions.is_transitive");
     let sets = prefix_sets(exec);
     for (i, set) in sets.iter().enumerate() {
         for j in exec.record(i).prefix.iter().copied() {
@@ -101,6 +102,7 @@ pub fn transitivity_violation<A: Application>(
 /// subsequence includes every other member that precedes it in the
 /// complete prefix. Conceptually, a single "agent" runs the group.
 pub fn is_centralized<A: Application>(exec: &Execution<A>, group: &[TxnIndex]) -> bool {
+    let _span = shard_obs::span!("conditions.is_centralized");
     let n = exec.len();
     let mut sorted: Vec<TxnIndex> = group.to_vec();
     sorted.sort_unstable();

@@ -371,6 +371,7 @@ impl<A: Application> Execution<A> {
     where
         A::Update: PartialEq,
     {
+        let _span = shard_obs::span!("core.verify");
         for (i, rec) in self.records.iter().enumerate() {
             let mut prev: Option<TxnIndex> = None;
             for &p in &rec.prefix {

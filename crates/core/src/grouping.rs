@@ -118,6 +118,7 @@ impl Grouping {
         constraint: usize,
         is_preserving: impl Fn(&A::Decision) -> bool,
     ) -> Option<Grouping> {
+        let _span = shard_obs::span!("grouping.discover");
         let mut ends = Vec::new();
         let mut open = false;
         for i in 0..exec.len() {

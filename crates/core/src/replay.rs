@@ -37,6 +37,39 @@
 use crate::app::Application;
 use crate::execution::{Execution, TxnIndex};
 
+/// Global replay metrics, resolved once and cached — per-query cost when
+/// enabled is a handful of relaxed atomic adds, nothing when disabled.
+///
+/// * `replay.queries` / `replay.applied` / `replay.reused` — the global
+///   equivalents of [`ReplayStats`] across every cache in the process.
+/// * `replay.ckpt_hits` / `replay.ckpt_misses` — queries that resumed
+///   from a checkpoint or cached tip vs. from the initial state.
+/// * `replay.lcp` — histogram of the longest-common-prefix length each
+///   prefix query shared with its predecessor (the reuse opportunity).
+struct ReplayMetrics {
+    queries: std::sync::Arc<shard_obs::Counter>,
+    applied: std::sync::Arc<shard_obs::Counter>,
+    reused: std::sync::Arc<shard_obs::Counter>,
+    ckpt_hits: std::sync::Arc<shard_obs::Counter>,
+    ckpt_misses: std::sync::Arc<shard_obs::Counter>,
+    lcp: std::sync::Arc<shard_obs::Histogram>,
+}
+
+fn replay_metrics() -> &'static ReplayMetrics {
+    static METRICS: std::sync::OnceLock<ReplayMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = shard_obs::Registry::global();
+        ReplayMetrics {
+            queries: r.counter("replay.queries"),
+            applied: r.counter("replay.applied"),
+            reused: r.counter("replay.reused"),
+            ckpt_hits: r.counter("replay.ckpt_hits"),
+            ckpt_misses: r.counter("replay.ckpt_misses"),
+            lcp: r.histogram("replay.lcp"),
+        }
+    })
+}
+
 /// Default spacing, in applied updates, between state checkpoints.
 ///
 /// Matches the simulator's default merge-log checkpoint interval, so the
@@ -251,6 +284,19 @@ impl<A: Application> ReplayCache<A> {
             }
         };
         self.stats.reused += depth as u64;
+        if shard_obs::enabled() {
+            let m = replay_metrics();
+            m.queries.inc();
+            m.reused.add(depth as u64);
+            // Each loop iteration below applies exactly one update.
+            m.applied.add((prefix.len() - depth) as u64);
+            m.lcp.record(lcp as u64);
+            if depth > 0 {
+                m.ckpt_hits.inc();
+            } else {
+                m.ckpt_misses.inc();
+            }
+        }
         self.path.truncate(depth);
         self.path_ckpts.truncate(depth);
         for &j in &prefix[depth..] {
@@ -283,6 +329,17 @@ impl<A: Application> ReplayCache<A> {
         }
         let (mut len, mut state) = base.unwrap_or((0, app.initial_state()));
         self.stats.reused += len as u64;
+        if shard_obs::enabled() {
+            let metrics = replay_metrics();
+            metrics.queries.inc();
+            metrics.reused.add(len as u64);
+            metrics.applied.add((m - len) as u64);
+            if len > 0 {
+                metrics.ckpt_hits.inc();
+            } else {
+                metrics.ckpt_misses.inc();
+            }
+        }
         while len < m {
             state = app.apply(&state, update_at(len));
             len += 1;

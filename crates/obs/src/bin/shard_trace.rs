@@ -1,0 +1,99 @@
+//! `shard-trace` — CLI over the offline trace/sidecar operations.
+//!
+//! ```text
+//! shard-trace summarize <trace.jsonl>
+//!     Print event counts, per-node undo/redo distribution and the
+//!     span-time table for a JSONL trace.
+//!
+//! shard-trace check <sidecar.json> [required-key ...]
+//!     Exit 0 iff the file is one well-formed JSON object carrying all
+//!     the required top-level keys.
+//!
+//! shard-trace aggregate <dir> <out.json>
+//!     Validate every *.json sidecar in <dir> and combine them into one
+//!     aggregate document keyed by file stem.
+//! ```
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("summarize") => summarize(&args[1..]),
+        Some("check") => check(&args[1..]),
+        Some("aggregate") => aggregate(&args[1..]),
+        _ => Err(format!(
+            "usage: shard-trace summarize <trace.jsonl> | \
+             check <sidecar.json> [key ...] | \
+             aggregate <dir> <out.json>{}",
+            args.first()
+                .map(|c| format!(" (unknown command {c:?})"))
+                .unwrap_or_default()
+        )),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("shard-trace: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn summarize(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("summarize takes exactly one trace file".to_string());
+    };
+    let summary = shard_obs::summarize(&read(path)?);
+    print!("{}", summary.render());
+    if summary.lines == 0 {
+        return Err(format!("{path}: trace is empty"));
+    }
+    Ok(())
+}
+
+fn check(args: &[String]) -> Result<(), String> {
+    let Some((path, keys)) = args.split_first() else {
+        return Err("check takes a sidecar file and optional required keys".to_string());
+    };
+    let required: Vec<&str> = keys.iter().map(String::as_str).collect();
+    shard_obs::check_sidecar(&read(path)?, &required).map_err(|e| format!("{path}: {e}"))?;
+    println!("{path}: ok ({} required keys present)", required.len());
+    Ok(())
+}
+
+fn aggregate(args: &[String]) -> Result<(), String> {
+    let [dir, out] = args else {
+        return Err("aggregate takes a sidecar directory and an output path".to_string());
+    };
+    let mut sidecars: Vec<(String, String)> = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{dir}: {e}"))?;
+    for entry in entries {
+        let path = entry.map_err(|e| format!("{dir}: {e}"))?.path();
+        if path.extension().is_some_and(|x| x == "json") {
+            let stem = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .ok_or_else(|| format!("{}: non-UTF-8 file name", path.display()))?
+                .to_string();
+            sidecars.push((stem, read(&path.display().to_string())?));
+        }
+    }
+    if sidecars.is_empty() {
+        return Err(format!("{dir}: no *.json sidecars found"));
+    }
+    let doc = shard_obs::aggregate(&sidecars)?;
+    if let Some(parent) = Path::new(out).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| format!("{out}: {e}"))?;
+        }
+    }
+    std::fs::write(out, format!("{doc}\n")).map_err(|e| format!("{out}: {e}"))?;
+    println!("aggregated {} sidecars into {out}", sidecars.len());
+    Ok(())
+}

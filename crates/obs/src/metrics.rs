@@ -1,0 +1,465 @@
+//! Named counters, gauges and log-scale histograms behind a [`Registry`].
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Hot-path cheap.** Handles are `Arc`s resolved once (cache them in
+//!    a `OnceLock` at the instrumentation site); every update is a handful
+//!    of relaxed atomic operations, no locking, no allocation.
+//! 2. **Deterministic snapshots.** Metrics live in `BTreeMap`s, so a
+//!    [`Snapshot`] always lists names in sorted order and two snapshots of
+//!    the same state are identical — required for byte-stable experiment
+//!    sidecars.
+//! 3. **Globally reachable.** [`Registry::global`] is the process-wide
+//!    registry the `span!` macro and the instrumented crates use; local
+//!    registries exist for tests.
+//!
+//! Histograms bucket by `floor(log2(v)) + 1` (value 0 gets bucket 0), so
+//! 65 buckets cover the whole `u64` range — the "log-scale histogram"
+//! that makes replay depths and span latencies legible without
+//! configuration.
+
+use crate::json::ObjWriter;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of histogram buckets: value 0, then one per power of two.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Global kill-switch for the instrumentation hot paths.
+///
+/// Defaults to enabled; the `SHARD_OBS=0` environment variable (read
+/// once) or [`set_enabled`] turns recording off. Instrumentation sites
+/// should check [`enabled`] before doing per-event work so a disabled
+/// build measures the true cost of the layer (the overhead bench in
+/// `shard-bench` flips this at runtime).
+static ENABLED: OnceLock<AtomicBool> = OnceLock::new();
+
+fn enabled_cell() -> &'static AtomicBool {
+    ENABLED.get_or_init(|| AtomicBool::new(std::env::var("SHARD_OBS").map_or(true, |v| v != "0")))
+}
+
+/// Whether metric recording is currently on.
+#[inline]
+pub fn enabled() -> bool {
+    enabled_cell().load(Ordering::Relaxed)
+}
+
+/// Turns metric recording on or off process-wide.
+pub fn set_enabled(on: bool) {
+    enabled_cell().store(on, Ordering::Relaxed);
+}
+
+/// A monotonically increasing `u64` metric.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable signed metric (queue depths, cache sizes, …).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if it is currently lower (high-watermark).
+    #[inline]
+    pub fn max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A log₂-bucketed histogram over `u64` samples.
+///
+/// Bucket `0` counts exact zeros; bucket `b ≥ 1` counts values `v` with
+/// `2^(b−1) ≤ v < 2^b`. `u64::MAX` lands in bucket 64. Count, sum
+/// (saturating), min and max are tracked exactly.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The bucket index a value falls into.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// The smallest value belonging to bucket `b`.
+pub fn bucket_lo(b: usize) -> u64 {
+    match b {
+        0 => 0,
+        _ => 1u64 << (b - 1),
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // Saturate the running sum instead of wrapping: a pegged sum is
+        // obviously saturated, a wrapped one silently lies.
+        let _ = self
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_add(v))
+            });
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// An immutable copy of the current contents.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count();
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(b, c)| {
+                    let c = c.load(Ordering::Relaxed);
+                    (c > 0).then_some((bucket_lo(b), c))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time contents of a [`Histogram`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Saturating sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Non-empty buckets as `(lowest value in bucket, sample count)`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Renders as a JSON object.
+    pub fn to_json(&self) -> String {
+        let buckets: Vec<String> = self
+            .buckets
+            .iter()
+            .map(|(lo, c)| format!("[{lo},{c}]"))
+            .collect();
+        ObjWriter::new()
+            .u64("count", self.count)
+            .u64("sum", self.sum)
+            .u64("min", self.min)
+            .u64("max", self.max)
+            .raw("buckets", &format!("[{}]", buckets.join(",")))
+            .finish()
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+/// A namespace of metrics. Handle lookup locks a mutex; the handles
+/// themselves are lock-free, so look up once and cache.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry").finish_non_exhaustive()
+    }
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+impl Registry {
+    /// A fresh, empty registry (tests; the instrumented crates use
+    /// [`Registry::global`]).
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The process-wide registry.
+    pub fn global() -> &'static Registry {
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .expect("metrics registry mutex poisoned: a metrics operation panicked")
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut g = self.lock();
+        if let Some(c) = g.counters.get(name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Counter::default());
+        g.counters.insert(name.to_string(), Arc::clone(&c));
+        c
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut g = self.lock();
+        if let Some(c) = g.gauges.get(name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Gauge::default());
+        g.gauges.insert(name.to_string(), Arc::clone(&c));
+        c
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut g = self.lock();
+        if let Some(c) = g.histograms.get(name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Histogram::default());
+        g.histograms.insert(name.to_string(), Arc::clone(&c));
+        c
+    }
+
+    /// A deterministic (name-sorted) copy of every metric's value.
+    pub fn snapshot(&self) -> Snapshot {
+        let g = self.lock();
+        Snapshot {
+            counters: g
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: g.gauges.iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            histograms: g
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A deterministic point-in-time copy of a [`Registry`]'s contents,
+/// name-sorted in every section.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// `(name, value)` for every counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, contents)` for every histogram.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// The value of counter `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// The contents of histogram `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
+    }
+}
+
+/// Serializes tests that read or toggle the global [`enabled`] flag —
+/// cargo runs tests in parallel threads of one process.
+#[cfg(test)]
+pub(crate) fn test_flag_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let r = Registry::new();
+        let c = r.counter("a.b");
+        c.inc();
+        c.add(4);
+        assert_eq!(r.counter("a.b").get(), 5, "same name, same metric");
+        let g = r.gauge("depth");
+        g.set(3);
+        g.add(-1);
+        g.max(10);
+        g.max(7);
+        assert_eq!(g.get(), 10);
+    }
+
+    #[test]
+    fn histogram_bucket_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_lo(0), 0);
+        assert_eq!(bucket_lo(1), 1);
+        assert_eq!(bucket_lo(64), 1u64 << 63);
+    }
+
+    #[test]
+    fn histogram_extremes_zero_and_max() {
+        let h = Histogram::default();
+        h.record(0);
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, u64::MAX);
+        // Sum saturates instead of wrapping.
+        assert_eq!(s.sum, u64::MAX);
+        assert_eq!(s.buckets, vec![(0, 1), (1u64 << 63, 2)]);
+        // The snapshot renders to valid JSON.
+        let parsed = crate::json::parse(&s.to_json()).expect("valid JSON");
+        assert_eq!(
+            parsed.get("count").and_then(crate::json::Json::as_u64),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_benign() {
+        let s = Histogram::default().snapshot();
+        assert_eq!((s.count, s.min, s.max, s.sum), (0, 0, 0, 0));
+        assert!(s.buckets.is_empty());
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_and_sorted() {
+        let r = Registry::new();
+        // Insertion order deliberately unsorted.
+        r.counter("z.last").inc();
+        r.counter("a.first").add(2);
+        r.histogram("m.h").record(5);
+        r.gauge("g").set(-4);
+        let s1 = r.snapshot();
+        let s2 = r.snapshot();
+        assert_eq!(s1, s2, "same state, identical snapshots");
+        let names: Vec<&str> = s1.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a.first", "z.last"], "sorted by name");
+        assert_eq!(s1.counter("a.first"), Some(2));
+        assert_eq!(s1.counter("missing"), None);
+        assert_eq!(s1.histogram("m.h").map(|h| h.count), Some(1));
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        let a = Registry::global().counter("obs.test.global");
+        Registry::global().counter("obs.test.global").add(3);
+        assert!(a.get() >= 3);
+    }
+
+    #[test]
+    fn enable_switch_round_trips() {
+        let _guard = test_flag_lock();
+        let was = enabled();
+        set_enabled(false);
+        assert!(!enabled());
+        set_enabled(true);
+        assert!(enabled());
+        set_enabled(was);
+    }
+}

@@ -1,0 +1,284 @@
+//! Offline analysis of JSONL traces and experiment sidecars.
+//!
+//! Everything here works on strings so it is unit-testable without
+//! touching the filesystem; the `shard-trace` binary is a thin CLI
+//! over these functions. Three operations:
+//!
+//! * [`summarize`] — digest a JSONL trace into event counts, the
+//!   per-node undo/redo (out-of-order merge) distribution, and a
+//!   span-time table; [`TraceSummary::render`] prints it.
+//! * [`check_sidecar`] — validate that an experiment sidecar is
+//!   well-formed JSON carrying a set of required top-level keys.
+//! * [`aggregate`] — combine validated sidecars into one
+//!   `EXPERIMENTS_METRICS.json` document, embedding each file's raw
+//!   bytes so no numeric value is re-serialized (and thus perturbed).
+
+use crate::json::{parse, Json};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Schema tag stamped into aggregated metrics documents.
+pub const AGGREGATE_SCHEMA: &str = "shard-exp-metrics/v1";
+
+/// Aggregated timings for one span name seen in a trace.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SpanAgg {
+    /// Occurrences of the span.
+    pub count: u64,
+    /// Total nanoseconds across occurrences.
+    pub total_ns: u64,
+    /// Longest single occurrence in nanoseconds.
+    pub max_ns: u64,
+}
+
+/// Per-node undo/redo repair totals from `merge.out_of_order` events.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NodeReplay {
+    /// Out-of-order merges the node performed.
+    pub out_of_order: u64,
+    /// Entries undone-and-redone across those merges.
+    pub replayed: u64,
+    /// Deepest single undo/redo.
+    pub max_depth: u64,
+}
+
+/// Digest of one JSONL trace.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceSummary {
+    /// Total lines seen (excluding blank lines).
+    pub lines: usize,
+    /// Lines that failed to parse or lacked an `"event"` string.
+    pub malformed: usize,
+    /// Occurrences of each event name.
+    pub event_counts: BTreeMap<String, u64>,
+    /// Undo/redo distribution keyed by node id.
+    pub node_replay: BTreeMap<u64, NodeReplay>,
+    /// Span-time table keyed by span name.
+    pub spans: BTreeMap<String, SpanAgg>,
+}
+
+/// Digests a JSONL trace. Malformed lines are counted, not fatal — a
+/// truncated trace from a crashed run should still summarize.
+pub fn summarize(jsonl: &str) -> TraceSummary {
+    let mut s = TraceSummary::default();
+    for line in jsonl.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        s.lines += 1;
+        let Ok(v) = parse(line) else {
+            s.malformed += 1;
+            continue;
+        };
+        let Some(name) = v.get("event").and_then(Json::as_str) else {
+            s.malformed += 1;
+            continue;
+        };
+        *s.event_counts.entry(name.to_string()).or_insert(0) += 1;
+        match name {
+            "merge.out_of_order" => {
+                let node = v.get("node").and_then(Json::as_u64).unwrap_or(0);
+                let depth = v.get("replayed").and_then(Json::as_u64).unwrap_or(0);
+                let e = s.node_replay.entry(node).or_default();
+                e.out_of_order += 1;
+                e.replayed += depth;
+                e.max_depth = e.max_depth.max(depth);
+            }
+            "span" => {
+                if let (Some(span), Some(ns)) = (
+                    v.get("name").and_then(Json::as_str),
+                    v.get("ns").and_then(Json::as_u64),
+                ) {
+                    let e = s.spans.entry(span.to_string()).or_default();
+                    e.count += 1;
+                    e.total_ns += ns;
+                    e.max_ns = e.max_ns.max(ns);
+                }
+            }
+            _ => {}
+        }
+    }
+    s
+}
+
+impl TraceSummary {
+    /// Renders the summary as a human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trace: {} lines, {} malformed",
+            self.lines, self.malformed
+        );
+        let _ = writeln!(out, "\nevent counts:");
+        if self.event_counts.is_empty() {
+            let _ = writeln!(out, "  (none)");
+        }
+        for (name, n) in &self.event_counts {
+            let _ = writeln!(out, "  {name:<24} {n:>8}");
+        }
+        if !self.node_replay.is_empty() {
+            let _ = writeln!(out, "\nper-node undo/redo (out-of-order merges):");
+            let _ = writeln!(
+                out,
+                "  {:>4}  {:>10}  {:>10}  {:>9}",
+                "node", "merges", "replayed", "max depth"
+            );
+            for (node, r) in &self.node_replay {
+                let _ = writeln!(
+                    out,
+                    "  {:>4}  {:>10}  {:>10}  {:>9}",
+                    node, r.out_of_order, r.replayed, r.max_depth
+                );
+            }
+        }
+        if !self.spans.is_empty() {
+            let _ = writeln!(out, "\nspan times:");
+            let _ = writeln!(
+                out,
+                "  {:<28} {:>7}  {:>12}  {:>12}  {:>12}",
+                "span", "count", "total ns", "mean ns", "max ns"
+            );
+            for (name, a) in &self.spans {
+                let mean = a.total_ns.checked_div(a.count).unwrap_or(0);
+                let _ = writeln!(
+                    out,
+                    "  {:<28} {:>7}  {:>12}  {:>12}  {:>12}",
+                    name, a.count, a.total_ns, mean, a.max_ns
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Validates that `text` is one well-formed JSON object carrying every
+/// key in `required`. Returns the parsed object for further inspection.
+pub fn check_sidecar(text: &str, required: &[&str]) -> Result<Json, String> {
+    let v = parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let obj = v
+        .as_obj()
+        .ok_or_else(|| "top level is not a JSON object".to_string())?;
+    let missing: Vec<&str> = required
+        .iter()
+        .filter(|k| !obj.contains_key(**k))
+        .copied()
+        .collect();
+    if missing.is_empty() {
+        Ok(v)
+    } else {
+        Err(format!("missing required keys: {}", missing.join(", ")))
+    }
+}
+
+/// Combines named sidecar documents into one aggregate JSON document.
+///
+/// Each `(name, content)` pair is validated as a JSON object and its
+/// raw text embedded verbatim under `experiments.<name>`, so the
+/// aggregate never re-serializes (and thus never perturbs) a number.
+/// Entries are emitted in sorted name order for byte-stable output.
+pub fn aggregate(sidecars: &[(String, String)]) -> Result<String, String> {
+    let mut sorted: Vec<&(String, String)> = sidecars.iter().collect();
+    sorted.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut experiments = String::from("{");
+    for (i, (name, content)) in sorted.iter().enumerate() {
+        let v = parse(content).map_err(|e| format!("{name}: not valid JSON: {e}"))?;
+        if v.as_obj().is_none() {
+            return Err(format!("{name}: top level is not a JSON object"));
+        }
+        if i > 0 {
+            experiments.push(',');
+        }
+        experiments.push_str(&crate::json::string(name));
+        experiments.push(':');
+        experiments.push_str(content.trim());
+    }
+    experiments.push('}');
+    Ok(crate::json::ObjWriter::new()
+        .str("schema", AGGREGATE_SCHEMA)
+        .u64("experiments_count", sorted.len() as u64)
+        .raw("experiments", &experiments)
+        .finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TRACE: &str = concat!(
+        "{\"event\":\"deliver\",\"t\":1,\"node\":0}\n",
+        "{\"event\":\"merge.append\",\"t\":1,\"node\":0}\n",
+        "{\"event\":\"merge.out_of_order\",\"t\":2,\"node\":1,\"replayed\":3}\n",
+        "{\"event\":\"merge.out_of_order\",\"t\":4,\"node\":1,\"replayed\":5}\n",
+        "{\"event\":\"merge.out_of_order\",\"t\":4,\"node\":2,\"replayed\":1}\n",
+        "\n",
+        "not json at all\n",
+        "{\"event\":\"span\",\"name\":\"sim.run\",\"ns\":1500}\n",
+        "{\"event\":\"span\",\"name\":\"sim.run\",\"ns\":500}\n",
+    );
+
+    #[test]
+    fn summarize_counts_events_nodes_and_spans() {
+        let s = summarize(TRACE);
+        assert_eq!(s.lines, 8, "blank line skipped");
+        assert_eq!(s.malformed, 1);
+        assert_eq!(s.event_counts["deliver"], 1);
+        assert_eq!(s.event_counts["merge.out_of_order"], 3);
+        assert_eq!(
+            s.node_replay[&1],
+            NodeReplay {
+                out_of_order: 2,
+                replayed: 8,
+                max_depth: 5
+            }
+        );
+        assert_eq!(s.node_replay[&2].replayed, 1);
+        let run = &s.spans["sim.run"];
+        assert_eq!((run.count, run.total_ns, run.max_ns), (2, 2000, 1500));
+        let report = s.render();
+        assert!(report.contains("merge.out_of_order"));
+        assert!(report.contains("sim.run"));
+        assert!(report.contains("1 malformed"));
+    }
+
+    #[test]
+    fn check_sidecar_accepts_and_rejects() {
+        let good = r#"{"experiment":"e01","ok":true,"wall_time_ms":3}"#;
+        assert!(check_sidecar(good, &["experiment", "ok"]).is_ok());
+        let err = check_sidecar(good, &["experiment", "claims"]).unwrap_err();
+        assert!(err.contains("claims"), "names the missing key: {err}");
+        assert!(check_sidecar("[1,2]", &[]).is_err(), "array rejected");
+        assert!(check_sidecar("{broken", &[]).is_err());
+    }
+
+    #[test]
+    fn aggregate_embeds_raw_and_sorts() {
+        let sidecars = vec![
+            (
+                "e02".to_string(),
+                r#"{"ok":true,"pi":3.141592653589793}"#.to_string(),
+            ),
+            ("e01".to_string(), r#"{"ok":false}"#.to_string()),
+        ];
+        let doc = aggregate(&sidecars).expect("aggregates");
+        let v = parse(&doc).expect("aggregate is valid JSON");
+        assert_eq!(
+            v.get("schema").and_then(Json::as_str),
+            Some(AGGREGATE_SCHEMA)
+        );
+        assert_eq!(v.get("experiments_count").and_then(Json::as_u64), Some(2));
+        let exps = v.get("experiments").and_then(Json::as_obj).expect("object");
+        assert_eq!(exps.len(), 2);
+        // Raw embedding: the float survives byte-for-byte.
+        assert!(doc.contains("3.141592653589793"));
+        // Sorted: e01 precedes e02 in the output text.
+        assert!(doc.find("\"e01\"").unwrap() < doc.find("\"e02\"").unwrap());
+    }
+
+    #[test]
+    fn aggregate_rejects_bad_sidecar() {
+        let bad = vec![("e01".to_string(), "nope".to_string())];
+        let err = aggregate(&bad).unwrap_err();
+        assert!(err.starts_with("e01:"), "names the offender: {err}");
+    }
+}

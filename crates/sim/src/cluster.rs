@@ -52,6 +52,11 @@ pub struct ClusterConfig {
     /// Node outage schedule: a crashed node rejects client transactions
     /// and receives no messages until it recovers.
     pub crashes: CrashSchedule,
+    /// Optional structured-trace sink: the run logs update deliveries,
+    /// merge appends / out-of-order undo-redo repairs, partition
+    /// cuts/heals, crash/recovery windows and rejections as JSONL
+    /// events. `None` (the default) costs nothing.
+    pub sink: Option<Arc<shard_obs::EventSink>>,
 }
 
 impl Default for ClusterConfig {
@@ -65,8 +70,76 @@ impl Default for ClusterConfig {
             checkpoint_every: 32,
             piggyback: false,
             crashes: CrashSchedule::none(),
+            sink: None,
         }
     }
+}
+
+/// Emits the failure schedule (partition cut/heal windows, crash and
+/// recovery times) to `sink` — the discrete-event drivers know the whole
+/// schedule up front, so announcing it at run start keeps the trace
+/// self-describing without hooking every `is_down` check.
+pub(crate) fn emit_schedule(
+    sink: &shard_obs::EventSink,
+    partitions: &PartitionSchedule,
+    crashes: &CrashSchedule,
+) {
+    for w in partitions.windows() {
+        sink.event("partition.cut")
+            .u64("t", w.start)
+            .u64("groups", w.groups.len() as u64)
+            .emit();
+        sink.event("partition.heal").u64("t", w.end).emit();
+    }
+    for w in crashes.windows() {
+        sink.event("crash")
+            .u64("t", w.start)
+            .u64("node", u64::from(w.node.0))
+            .emit();
+        sink.event("recover")
+            .u64("t", w.end)
+            .u64("node", u64::from(w.node.0))
+            .emit();
+    }
+}
+
+/// Merges `update` into `log`, emitting the merge outcome — append,
+/// out-of-order (with its undo/redo depth), or duplicate — to `sink`.
+/// The outcome is recovered by differencing [`MergeLog::metrics`]
+/// around the call, so the merge engine itself stays trace-agnostic.
+pub(crate) fn merge_traced<A: Application>(
+    app: &A,
+    sink: Option<&shard_obs::EventSink>,
+    log: &mut MergeLog<A>,
+    ts: Timestamp,
+    update: Arc<A::Update>,
+    now: SimTime,
+    node: NodeId,
+) -> bool {
+    let Some(sink) = sink else {
+        return log.merge(app, ts, update);
+    };
+    let before = log.metrics();
+    let fresh = log.merge(app, ts, update);
+    let after = log.metrics();
+    if !fresh {
+        sink.event("merge.duplicate")
+            .u64("t", now)
+            .u64("node", u64::from(node.0))
+            .emit();
+    } else if after.out_of_order > before.out_of_order {
+        sink.event("merge.out_of_order")
+            .u64("t", now)
+            .u64("node", u64::from(node.0))
+            .u64("replayed", after.replayed - before.replayed)
+            .emit();
+    } else {
+        sink.event("merge.append")
+            .u64("t", now)
+            .u64("node", u64::from(node.0))
+            .emit();
+    }
+    fresh
 }
 
 /// One client transaction submission: at `time`, at `node`.
@@ -153,7 +226,16 @@ impl<A: Application> ClusterReport<A> {
         let mut exec = Execution::new();
         let mut times = Vec::with_capacity(self.transactions.len());
         for t in &self.transactions {
-            let mut prefix: Vec<usize> = t.known.iter().map(|ts| index_of[ts]).collect();
+            let mut prefix: Vec<usize> = t
+                .known
+                .iter()
+                .map(|ts| {
+                    *index_of.get(ts).expect(
+                        "simulator invariant: every timestamp a node knew at \
+                         decision time belongs to an executed transaction",
+                    )
+                })
+                .collect();
             prefix.sort_unstable();
             exec.push_record(TxnRecord {
                 decision: t.decision.clone(),
@@ -280,6 +362,10 @@ impl<'a, A: Application> Cluster<'a, A> {
     ) -> ClusterReport<A> {
         let app = self.app;
         let cfg = &self.config;
+        let run_span = shard_obs::span!("sim.cluster.run");
+        if let Some(sink) = cfg.sink.as_deref() {
+            emit_schedule(sink, &cfg.partitions, &cfg.crashes);
+        }
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut nodes: Vec<NodeState<A>> = (0..cfg.nodes)
             .map(|i| NodeState {
@@ -316,6 +402,12 @@ impl<'a, A: Application> Cluster<'a, A> {
                 Event::Invoke { node, decision } => {
                     if cfg.crashes.is_down(now, node) {
                         rejected.push((now, node));
+                        if let Some(sink) = cfg.sink.as_deref() {
+                            sink.event("reject")
+                                .u64("t", now)
+                                .u64("node", u64::from(node.0))
+                                .emit();
+                        }
                         continue;
                     }
                     if is_critical(&decision) && cfg.nodes > 1 {
@@ -358,13 +450,21 @@ impl<'a, A: Application> Cluster<'a, A> {
                         queue.schedule(up, Event::Deliver { to, msg });
                         continue;
                     }
+                    let sink = cfg.sink.as_deref();
+                    if let Some(s) = sink {
+                        s.event("deliver")
+                            .u64("t", now)
+                            .u64("node", u64::from(to.0))
+                            .u64("from", u64::from(msg.origin.0))
+                            .emit();
+                    }
                     let n = &mut nodes[to.0 as usize];
                     for (ts, update) in msg.piggyback.iter() {
                         n.clock.observe(*ts);
-                        n.log.merge(app, *ts, Arc::clone(update));
+                        merge_traced(app, sink, &mut n.log, *ts, Arc::clone(update), now, to);
                     }
                     n.clock.observe(msg.ts);
-                    n.log.merge(app, msg.ts, msg.update);
+                    merge_traced(app, sink, &mut n.log, msg.ts, msg.update, now, to);
                     messages_sent += Self::release_criticals(
                         app,
                         cfg,
@@ -425,6 +525,15 @@ impl<'a, A: Application> Cluster<'a, A> {
             pending.iter().all(|p| p.done),
             "all barriers clear eventually"
         );
+        if let Some(sink) = cfg.sink.as_deref() {
+            // A trailing span line lets `shard-trace summarize` report
+            // the run's wall time without access to the registry.
+            sink.event("span")
+                .str("name", "sim.cluster.run")
+                .u64("ns", run_span.elapsed_ns())
+                .emit();
+            sink.flush();
+        }
         transactions.sort_by_key(|t| t.ts);
         ClusterReport {
             node_metrics: nodes.iter().map(|n| n.log.metrics()).collect(),
@@ -453,6 +562,12 @@ impl<'a, A: Application> Cluster<'a, A> {
         node: NodeId,
         decision: A::Decision,
     ) -> u64 {
+        if let Some(sink) = cfg.sink.as_deref() {
+            sink.event("execute")
+                .u64("t", now)
+                .u64("node", u64::from(node.0))
+                .emit();
+        }
         let n = &mut nodes[node.0 as usize];
         let ts = n.clock.tick();
         n.own_sent += 1;
@@ -780,6 +895,49 @@ mod tests {
             "high-variance delays reorder messages"
         );
         assert!(report.mutually_consistent());
+    }
+
+    #[test]
+    fn sink_captures_structured_events_matching_the_report() {
+        let app = Counter;
+        let sink = shard_obs::EventSink::in_memory();
+        let partitions =
+            PartitionSchedule::new(vec![PartitionWindow::isolate(0, 300, vec![NodeId(0)])]);
+        let cluster = Cluster::new(
+            &app,
+            ClusterConfig {
+                nodes: 3,
+                seed: 2,
+                delay: DelayModel::Uniform { lo: 1, hi: 200 },
+                partitions,
+                sink: Some(Arc::clone(&sink)),
+                ..Default::default()
+            },
+        );
+        let report = cluster.run(spread_invocations(30, 3, 2));
+        let summary = shard_obs::summarize(&sink.drain_to_string());
+        assert_eq!(summary.malformed, 0, "every line is valid JSON");
+        assert_eq!(summary.event_counts["execute"], 30);
+        assert_eq!(summary.event_counts["deliver"], report.messages_sent);
+        assert_eq!(summary.event_counts["partition.cut"], 1);
+        assert_eq!(summary.event_counts["partition.heal"], 1);
+        // The per-node undo/redo distribution reconstructed from the
+        // trace equals the report's merge metrics exactly.
+        let ooo: u64 = report.node_metrics.iter().map(|m| m.out_of_order).sum();
+        assert_eq!(
+            summary
+                .event_counts
+                .get("merge.out_of_order")
+                .copied()
+                .unwrap_or(0),
+            ooo
+        );
+        let traced_replayed: u64 = summary.node_replay.values().map(|r| r.replayed).sum();
+        assert_eq!(traced_replayed, report.total_replayed());
+        assert!(
+            summary.spans.contains_key("sim.cluster.run"),
+            "run emits its wall-time span line"
+        );
     }
 
     #[test]

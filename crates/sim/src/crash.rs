@@ -51,6 +51,11 @@ impl CrashSchedule {
         self.windows.is_empty()
     }
 
+    /// The scheduled outage windows.
+    pub fn windows(&self) -> &[CrashWindow] {
+        &self.windows
+    }
+
     /// Whether `node` is down at time `t`.
     pub fn is_down(&self, t: SimTime, node: NodeId) -> bool {
         self.windows

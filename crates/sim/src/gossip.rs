@@ -17,7 +17,7 @@
 
 use crate::broadcast::delivery_time;
 use crate::clock::{LamportClock, NodeId, Timestamp};
-use crate::cluster::{ClusterConfig, ExecutedTxn, Invocation};
+use crate::cluster::{emit_schedule, merge_traced, ClusterConfig, ExecutedTxn, Invocation};
 use crate::events::{EventQueue, SimTime};
 use crate::merge::{MergeLog, MergeMetrics};
 use rand::rngs::StdRng;
@@ -75,7 +75,16 @@ impl<A: Application> GossipReport<A> {
         let mut exec = Execution::new();
         let mut times = Vec::with_capacity(self.transactions.len());
         for t in &self.transactions {
-            let mut prefix: Vec<usize> = t.known.iter().map(|ts| index_of[ts]).collect();
+            let mut prefix: Vec<usize> = t
+                .known
+                .iter()
+                .map(|ts| {
+                    *index_of.get(ts).expect(
+                        "simulator invariant: every timestamp a node knew at \
+                         decision time belongs to an executed transaction",
+                    )
+                })
+                .collect();
             prefix.sort_unstable();
             exec.push_record(TxnRecord {
                 decision: t.decision.clone(),
@@ -145,6 +154,10 @@ impl<'a, A: Application> GossipCluster<'a, A> {
     pub fn run(&self, invocations: Vec<Invocation<A::Decision>>) -> GossipReport<A> {
         let app = self.app;
         let cfg = &self.config;
+        let run_span = shard_obs::span!("sim.gossip.run");
+        if let Some(sink) = cfg.sink.as_deref() {
+            emit_schedule(sink, &cfg.partitions, &cfg.crashes);
+        }
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x60551b);
         let mut nodes: Vec<NodeState<A>> = (0..cfg.nodes)
             .map(|i| NodeState {
@@ -184,6 +197,12 @@ impl<'a, A: Application> GossipCluster<'a, A> {
                 Event::Invoke { node, decision } => {
                     remaining_invokes -= 1;
                     total_txns += 1;
+                    if let Some(sink) = cfg.sink.as_deref() {
+                        sink.event("execute")
+                            .u64("t", now)
+                            .u64("node", u64::from(node.0))
+                            .emit();
+                    }
                     let n = &mut nodes[node.0 as usize];
                     let ts = n.clock.tick();
                     let known = n.log.known_timestamps();
@@ -235,15 +254,30 @@ impl<'a, A: Application> GossipCluster<'a, A> {
                     queue.schedule(now + self.gossip.interval, Event::Tick { node });
                 }
                 Event::Push { to, entries } => {
+                    let sink = cfg.sink.as_deref();
+                    if let Some(s) = sink {
+                        s.event("deliver")
+                            .u64("t", now)
+                            .u64("node", u64::from(to.0))
+                            .u64("entries", entries.len() as u64)
+                            .emit();
+                    }
                     let n = &mut nodes[to.0 as usize];
                     for (ts, update) in entries {
                         n.clock.observe(ts);
-                        n.log.merge(app, ts, update);
+                        merge_traced(app, sink, &mut n.log, ts, update, now, to);
                     }
                 }
             }
         }
 
+        if let Some(sink) = cfg.sink.as_deref() {
+            sink.event("span")
+                .str("name", "sim.gossip.run")
+                .u64("ns", run_span.elapsed_ns())
+                .emit();
+            sink.flush();
+        }
         transactions.sort_by_key(|t| t.ts);
         GossipReport {
             node_metrics: nodes.iter().map(|n| n.log.metrics()).collect(),

@@ -23,6 +23,40 @@ use crate::clock::Timestamp;
 use shard_core::{Application, Checkpoints};
 use std::sync::Arc;
 
+/// Global merge metrics across every node of every simulation in the
+/// process, resolved once: `merge.appends` / `merge.out_of_order` /
+/// `merge.duplicates` mirror [`MergeMetrics`], and the histogram
+/// `merge.replay_depth` records the undo/redo depth of each
+/// out-of-order merge — the quantity the paper's checkpoint discussion
+/// (§1.2, [BK]/[SKS]) is about bounding. `replay.ckpt_hits` /
+/// `replay.ckpt_misses` are *shared* with the core replay engine
+/// ([`shard_core::replay`]) on purpose: both paths resolve the identical
+/// question against the same [`Checkpoints`] structure — can this replay
+/// resume from a snapshot, or must it restart from the initial state?
+struct MergeObs {
+    appends: Arc<shard_obs::Counter>,
+    out_of_order: Arc<shard_obs::Counter>,
+    duplicates: Arc<shard_obs::Counter>,
+    replay_depth: Arc<shard_obs::Histogram>,
+    ckpt_hits: Arc<shard_obs::Counter>,
+    ckpt_misses: Arc<shard_obs::Counter>,
+}
+
+fn merge_obs() -> &'static MergeObs {
+    static OBS: std::sync::OnceLock<MergeObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| {
+        let r = shard_obs::Registry::global();
+        MergeObs {
+            appends: r.counter("merge.appends"),
+            out_of_order: r.counter("merge.out_of_order"),
+            duplicates: r.counter("merge.duplicates"),
+            replay_depth: r.histogram("merge.replay_depth"),
+            ckpt_hits: r.counter("replay.ckpt_hits"),
+            ckpt_misses: r.counter("replay.ckpt_misses"),
+        }
+    })
+}
+
 /// Counters describing how much undo/redo work a node performed.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MergeMetrics {
@@ -152,6 +186,9 @@ impl<A: Application> MergeLog<A> {
         match self.entries.binary_search_by_key(&ts, |(t, _)| *t) {
             Ok(_) => {
                 self.metrics.duplicates += 1;
+                if shard_obs::enabled() {
+                    merge_obs().duplicates.inc();
+                }
                 false
             }
             Err(pos) if pos == self.entries.len() => {
@@ -160,6 +197,9 @@ impl<A: Application> MergeLog<A> {
                 self.state = app.apply(&self.state, &update);
                 self.entries.push((ts, update));
                 self.metrics.appends += 1;
+                if shard_obs::enabled() {
+                    merge_obs().appends.inc();
+                }
                 self.checkpoints.record(self.entries.len(), &self.state);
                 true
             }
@@ -183,6 +223,17 @@ impl<A: Application> MergeLog<A> {
                     }
                 }
                 self.state = s;
+                if shard_obs::enabled() {
+                    let obs = merge_obs();
+                    obs.out_of_order.inc();
+                    obs.replay_depth
+                        .record((self.entries.len() - base_len) as u64);
+                    if base_len > 0 {
+                        obs.ckpt_hits.inc();
+                    } else {
+                        obs.ckpt_misses.inc();
+                    }
+                }
                 true
             }
         }

@@ -19,7 +19,7 @@
 
 use crate::broadcast::delivery_time;
 use crate::clock::{LamportClock, NodeId, Timestamp};
-use crate::cluster::{ClusterConfig, ExecutedTxn, Invocation};
+use crate::cluster::{emit_schedule, merge_traced, ClusterConfig, ExecutedTxn, Invocation};
 use crate::events::{EventQueue, SimTime};
 use crate::merge::{MergeLog, MergeMetrics};
 use rand::rngs::StdRng;
@@ -127,7 +127,16 @@ impl<A: Application> PartialReport<A> {
         let mut exec = Execution::new();
         let mut times = Vec::with_capacity(self.transactions.len());
         for t in &self.transactions {
-            let mut prefix: Vec<usize> = t.known.iter().map(|ts| index_of[ts]).collect();
+            let mut prefix: Vec<usize> = t
+                .known
+                .iter()
+                .map(|ts| {
+                    *index_of.get(ts).expect(
+                        "simulator invariant: every timestamp a node knew at \
+                         decision time belongs to an executed transaction",
+                    )
+                })
+                .collect();
             prefix.sort_unstable();
             exec.push_record(TxnRecord {
                 decision: t.decision.clone(),
@@ -214,6 +223,10 @@ impl<'a, A: ObjectModel> PartialCluster<'a, A> {
     pub fn run(&self, invocations: Vec<Invocation<A::Decision>>) -> PartialReport<A> {
         let app = self.app;
         let cfg = &self.config;
+        let run_span = shard_obs::span!("sim.partial.run");
+        if let Some(sink) = cfg.sink.as_deref() {
+            emit_schedule(sink, &cfg.partitions, &cfg.crashes);
+        }
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut nodes: Vec<NodeState<A>> = (0..cfg.nodes)
             .map(|i| NodeState {
@@ -247,6 +260,12 @@ impl<'a, A: ObjectModel> PartialCluster<'a, A> {
         while let Some((now, event)) = queue.pop() {
             match event {
                 Event::Invoke { node, decision } => {
+                    if let Some(sink) = cfg.sink.as_deref() {
+                        sink.event("execute")
+                            .u64("t", now)
+                            .u64("node", u64::from(node.0))
+                            .emit();
+                    }
                     let n = &mut nodes[node.0 as usize];
                     let ts = n.clock.tick();
                     let known = n.log.known_timestamps();
@@ -286,13 +305,27 @@ impl<'a, A: ObjectModel> PartialCluster<'a, A> {
                     }
                 }
                 Event::Deliver { to, ts, update } => {
+                    let sink = cfg.sink.as_deref();
+                    if let Some(s) = sink {
+                        s.event("deliver")
+                            .u64("t", now)
+                            .u64("node", u64::from(to.0))
+                            .emit();
+                    }
                     let n = &mut nodes[to.0 as usize];
                     n.clock.observe(ts);
-                    n.log.merge(app, ts, update);
+                    merge_traced(app, sink, &mut n.log, ts, update, now, to);
                 }
             }
         }
 
+        if let Some(sink) = cfg.sink.as_deref() {
+            sink.event("span")
+                .str("name", "sim.partial.run")
+                .u64("ns", run_span.elapsed_ns())
+                .emit();
+            sink.flush();
+        }
         transactions.sort_by_key(|t| t.ts);
         PartialReport {
             node_metrics: nodes.iter().map(|n| n.log.metrics()).collect(),

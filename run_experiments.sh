@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Runs every experiment binary (E01-E18) in release mode; fails fast on
-# the first violated claim. Logs land in target/exp_logs/.
+# Runs all 19 experiment binaries (E01-E19) in release mode; fails fast
+# on the first violated claim. Logs land in target/exp_logs/, per-run
+# metrics sidecars in target/exp_metrics/ (aggregated into
+# EXPERIMENTS_METRICS.json), and JSONL traces in target/exp_traces/.
 set -euo pipefail
 cd "$(dirname "$0")"
 mkdir -p target/exp_logs
@@ -18,4 +20,23 @@ for e in "${experiments[@]}"; do
     exit 1
   fi
 done
+
+echo
+echo "== per-experiment wall time (from metrics sidecars) =="
+for e in "${experiments[@]}"; do
+  sidecar="target/exp_metrics/${e%%_*}.json"
+  ms=$(sed -n 's/.*"wall_time_ms":\([0-9.]*\).*/\1/p' "$sidecar")
+  printf '  %-24s %10.1f ms\n' "$e" "$ms"
+done
+
+echo
+echo "== aggregate sidecars -> EXPERIMENTS_METRICS.json =="
+cargo run -q --release -p shard-obs --bin shard-trace -- \
+  aggregate target/exp_metrics EXPERIMENTS_METRICS.json
+
+echo
+echo "== structured trace of E11's exp(80) runs =="
+cargo run -q --release -p shard-obs --bin shard-trace -- \
+  summarize target/exp_traces/e11.jsonl
+
 echo "ALL EXPERIMENTS PASSED"

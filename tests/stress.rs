@@ -61,6 +61,7 @@ fn three_thousand_transactions_survive_the_battery() {
             crashes,
             piggyback: false,
             checkpoint_every: 32,
+            sink: None,
         },
     );
     let invs = big_workload(7, 3_000, 6);
