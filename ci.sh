@@ -14,11 +14,18 @@ run cargo test --workspace -q
 run cargo clippy --all-targets -- -D warnings
 run cargo fmt --check
 
-# Smoke-check the observability pipeline: one experiment end to end,
-# then a pure-rust validation that its metrics sidecar is well-formed
-# JSON carrying the schema's required keys.
+# Smoke-check the observability pipeline: a handful of experiments end
+# to end — the worked example plus one per propagation strategy (partial
+# E16, gossip E17, composed gossip×partial E20) — then a pure-rust
+# validation that each metrics sidecar is well-formed JSON carrying the
+# schema's required keys.
 run cargo run -q --release -p shard-bench --bin exp_e01_worked_example
-run cargo run -q --release -p shard-obs --bin shard-trace -- \
-  check target/exp_metrics/e01.json \
-  experiment ok wall_time_ms claims counters gauges histograms spans
+run cargo run -q --release -p shard-bench --bin exp_e16_partial_replication
+run cargo run -q --release -p shard-bench --bin exp_e17_gossip
+run cargo run -q --release -p shard-bench --bin exp_e20_gossip_partial
+for sidecar in e01 e16 e17 e20; do
+  run cargo run -q --release -p shard-obs --bin shard-trace -- \
+    check "target/exp_metrics/$sidecar.json" \
+    experiment ok wall_time_ms claims counters gauges histograms spans
+done
 echo "CI PASSED"

@@ -270,6 +270,31 @@ impl Application for FlyByNight {
     }
 }
 
+/// Object structure for partial replication (§6): the reservation
+/// database is a *single* object — the assigned and wait lists are
+/// totally ordered and every transaction (even `REQUEST`) reads the
+/// shared seat count, so there is nothing to split. Placements over the
+/// airline therefore either hold the whole flight or none of it, which
+/// is exactly the degenerate case the cross-strategy equivalence suite
+/// needs.
+impl shard_core::ObjectModel for FlyByNight {
+    fn objects(&self) -> Vec<shard_core::ObjectId> {
+        vec![shard_core::ObjectId(0)]
+    }
+
+    fn update_objects(&self, _update: &AirlineUpdate) -> Vec<shard_core::ObjectId> {
+        vec![shard_core::ObjectId(0)]
+    }
+
+    fn decision_objects(&self, _decision: &AirlineTxn) -> Vec<shard_core::ObjectId> {
+        vec![shard_core::ObjectId(0)]
+    }
+
+    fn project(&self, state: &AirlineState, _o: shard_core::ObjectId) -> String {
+        format!("{state:?}")
+    }
+}
+
 impl PriorityModel for FlyByNight {
     type Entity = Person;
 

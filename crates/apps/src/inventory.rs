@@ -401,6 +401,44 @@ impl Application for Warehouse {
     }
 }
 
+/// Object structure for partial replication (§6): one object per SKU.
+/// Every transaction touches exactly one item, so warehouses shard
+/// naturally; only `Noop` updates (refused orders, failed promotes)
+/// write nothing.
+impl shard_core::ObjectModel for Warehouse {
+    fn objects(&self) -> Vec<shard_core::ObjectId> {
+        (0..self.items).map(shard_core::ObjectId).collect()
+    }
+
+    fn update_objects(&self, update: &InvUpdate) -> Vec<shard_core::ObjectId> {
+        match update {
+            InvUpdate::Commit(i, _)
+            | InvUpdate::Backlog(i, _)
+            | InvUpdate::Remove(i, _)
+            | InvUpdate::Promote(i, _)
+            | InvUpdate::Demote(i, _)
+            | InvUpdate::AddStock(i, _)
+            | InvUpdate::SubStock(i, _) => vec![shard_core::ObjectId(i.0)],
+            InvUpdate::Noop => Vec::new(),
+        }
+    }
+
+    fn decision_objects(&self, decision: &InvTxn) -> Vec<shard_core::ObjectId> {
+        match decision {
+            InvTxn::PlaceOrder { item, .. }
+            | InvTxn::CancelOrder { item, .. }
+            | InvTxn::Promote { item }
+            | InvTxn::Unship { item }
+            | InvTxn::Restock { item, .. }
+            | InvTxn::Shrink { item, .. } => vec![shard_core::ObjectId(item.0)],
+        }
+    }
+
+    fn project(&self, state: &InventoryState, o: shard_core::ObjectId) -> String {
+        format!("{:?}", state.item(ItemId(o.0)))
+    }
+}
+
 impl PriorityModel for Warehouse {
     type Entity = OrderId;
 

@@ -95,7 +95,7 @@ fn bench_gossip_vs_flood(c: &mut Criterion) {
                 },
                 GossipConfig { interval: 50 },
             );
-            black_box(cluster.run(invs.clone()).gossip_rounds)
+            black_box(cluster.run(invs.clone()).rounds)
         })
     });
     group.finish();

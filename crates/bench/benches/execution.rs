@@ -5,13 +5,27 @@
 //! (checkpointed) replay engine against from-scratch replay on the
 //! whole-execution apparent-state sweep every checker performs, and
 //! writes the numbers to `BENCH_replay.json` at the repository root.
+//!
+//! `bench_kernel_overhead` times the unified propagation kernel
+//! ([`shard_sim::Runner`] + `EagerBroadcast`) against a bench-local
+//! reconstruction of the seed's flat flooding driver (no strategy
+//! indirection, no crash/trace/barrier plumbing) on identical
+//! workloads; the overhead lands in `BENCH_replay.json` too, with a
+//! 5% regression budget.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use shard_apps::airline::workload::AirlineMix;
-use shard_apps::airline::FlyByNight;
-use shard_bench::workloads::airline_execution_with_k;
+use shard_apps::airline::{AirlineState, AirlineTxn, FlyByNight};
+use shard_bench::workloads::{airline_execution_with_k, airline_invocations, Routing};
 use shard_core::{conditions, Application, Execution};
+use shard_sim::broadcast::delivery_time;
+use shard_sim::events::EventQueue;
+use shard_sim::{
+    Cluster, ClusterConfig, DelayModel, Invocation, LamportClock, MergeLog, NodeId,
+    PartitionSchedule, Timestamp,
+};
 use std::hint::black_box;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 fn bench_verify(c: &mut Criterion) {
@@ -127,10 +141,19 @@ fn bench_replay_scaling(_c: &mut Criterion) {
             if n == 10_000 { "" } else { "," }
         ));
     }
+    let kernel = KERNEL_ROWS.get().map_or(String::new(), |r| {
+        format!(
+            ",\n  \"kernel_overhead\": {{\n    \
+             \"workload\": \"airline flooding, 5 nodes, eager broadcast\",\n    \
+             \"baseline\": \"bench-local seed driver (flat loop, no strategy/crash/trace plumbing)\",\n    \
+             \"results\": [\n{}    ]\n  }}",
+            r.replace("    {", "      {")
+        )
+    });
     let json = format!(
         "{{\n  \"bench\": \"execution_checker_sweep\",\n  \
          \"workload\": \"airline apparent-state sweep, k<=4, 40 seats\",\n  \
-         \"checkpoint_interval\": 32,\n  \"results\": [\n{rows}  ]\n}}\n"
+         \"checkpoint_interval\": 32,\n  \"results\": [\n{rows}  ]{kernel}\n}}\n"
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_replay.json");
     match std::fs::write(path, json) {
@@ -139,11 +162,184 @@ fn bench_replay_scaling(_c: &mut Criterion) {
     }
 }
 
+/// JSON rows produced by `bench_kernel_overhead`, picked up by
+/// `bench_replay_scaling` when it writes `BENCH_replay.json` (the two
+/// run in group order).
+static KERNEL_ROWS: OnceLock<String> = OnceLock::new();
+
+/// What the seed driver recorded per transaction (the pre-kernel
+/// `ClusterReport` row): serial position, origin, decision-time
+/// knowledge, chosen update and external actions.
+struct SeedTxn {
+    ts: Timestamp,
+    #[allow(dead_code)]
+    time: u64,
+    #[allow(dead_code)]
+    node: NodeId,
+    update: Arc<<FlyByNight as Application>::Update>,
+    #[allow(dead_code)]
+    known: Vec<Timestamp>,
+    #[allow(dead_code)]
+    actions: Vec<shard_core::ExternalAction>,
+}
+
+/// The seed's pre-kernel flooding driver, reconstructed: one flat event
+/// loop over Lamport clocks and merge logs with no propagation-strategy
+/// indirection and no crash / trace / barrier plumbing, but the same
+/// report bookkeeping the old driver performed (per-transaction known
+/// sets, external actions, the final sort by timestamp). Same RNG
+/// discipline as the kernel (delays sampled per peer in node order at
+/// execution time), so it produces bit-identical replicas — the
+/// baseline for the unified `Runner`'s structural overhead.
+fn seed_eager_run(
+    app: &FlyByNight,
+    nodes: u16,
+    seed: u64,
+    delay: DelayModel,
+    invs: &[Invocation<AirlineTxn>],
+) -> (Vec<AirlineState>, Vec<SeedTxn>) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    enum Ev {
+        Invoke(usize),
+        Deliver {
+            to: NodeId,
+            ts: Timestamp,
+            update: Arc<<FlyByNight as Application>::Update>,
+        },
+    }
+
+    let partitions = PartitionSchedule::new(Vec::new());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut clocks: Vec<LamportClock> = (0..nodes).map(|i| LamportClock::new(NodeId(i))).collect();
+    let mut logs: Vec<MergeLog<FlyByNight>> = (0..nodes).map(|_| MergeLog::new(app, 32)).collect();
+    let mut transactions: Vec<SeedTxn> = Vec::with_capacity(invs.len());
+    let mut queue = EventQueue::new();
+    for (i, inv) in invs.iter().enumerate() {
+        queue.schedule(inv.time, Ev::Invoke(i));
+    }
+    while let Some((now, ev)) = queue.pop() {
+        match ev {
+            Ev::Invoke(i) => {
+                let node = invs[i].node;
+                let n = node.0 as usize;
+                let ts = clocks[n].tick();
+                let known = logs[n].known_timestamps();
+                let outcome = app.decide(&invs[i].decision, logs[n].state());
+                let update = Arc::new(outcome.update);
+                logs[n].merge(app, ts, Arc::clone(&update));
+                for to in 0..nodes {
+                    if to == node.0 {
+                        continue;
+                    }
+                    let at = delivery_time(&partitions, &delay, &mut rng, now, node, NodeId(to));
+                    queue.schedule(
+                        at,
+                        Ev::Deliver {
+                            to: NodeId(to),
+                            ts,
+                            update: Arc::clone(&update),
+                        },
+                    );
+                }
+                transactions.push(SeedTxn {
+                    ts,
+                    time: now,
+                    node,
+                    update,
+                    known,
+                    actions: outcome.external_actions,
+                });
+            }
+            Ev::Deliver { to, ts, update } => {
+                let n = to.0 as usize;
+                clocks[n].observe(ts);
+                logs[n].merge(app, ts, update);
+            }
+        }
+    }
+    transactions.sort_by_key(|t| t.ts);
+    let states = logs.into_iter().map(MergeLog::into_state).collect();
+    (states, transactions)
+}
+
+/// Best-of-`reps` wall time of one full run, in nanoseconds.
+fn best_of_ns(reps: usize, mut run: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        run();
+        best = best.min(t0.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+/// Unified kernel vs the seed flooding driver at n ∈ {1000, 4000}
+/// transactions over 5 nodes. Both are timed with the metrics layer
+/// off, so the number isolates the kernel's structural bookkeeping
+/// (strategy dispatch, crash gating, traced merge, barrier checks).
+/// The repo budget for the overhead is ≤ 5%; the rows land in
+/// `BENCH_replay.json` via `bench_replay_scaling`.
+fn bench_kernel_overhead(_c: &mut Criterion) {
+    let app = FlyByNight::new(40);
+    let nodes = 5u16;
+    let delay = DelayModel::Exponential { mean: 10 };
+    let mut rows = String::new();
+    println!("\nexecution/kernel_overhead (unified Runner vs seed flooding driver)");
+    for n in [1000usize, 4000] {
+        let invs = airline_invocations(11, n, nodes, 6, AirlineMix::default(), Routing::Random);
+        let cfg = ClusterConfig {
+            nodes,
+            seed: 11,
+            delay,
+            ..Default::default()
+        };
+
+        // Both drivers must produce the same replicas and serial order
+        // before their times are comparable.
+        let unified = Cluster::new(&app, cfg.clone()).run(invs.clone());
+        let (seed_states, seed_txns) = seed_eager_run(&app, nodes, 11, delay, &invs);
+        assert_eq!(
+            unified.final_states, seed_states,
+            "kernel and seed driver must agree before timing them"
+        );
+        assert!(unified
+            .transactions
+            .iter()
+            .zip(&seed_txns)
+            .all(|(a, b)| a.ts == b.ts && a.update == *b.update));
+
+        shard_obs::set_enabled(false);
+        let unified_ns = best_of_ns(15, || {
+            black_box(Cluster::new(&app, cfg.clone()).run(invs.clone()).rounds);
+        });
+        let seed_ns = best_of_ns(15, || {
+            black_box(seed_eager_run(&app, nodes, 11, delay, &invs).1.len());
+        });
+        shard_obs::set_enabled(true);
+
+        let overhead_pct = (unified_ns - seed_ns) / seed_ns * 100.0;
+        println!(
+            "  n={n:>6}  seed {seed_ns:>12.0} ns  unified {unified_ns:>12.0} ns  \
+             overhead {overhead_pct:>+6.2}%  (budget ≤ 5%)"
+        );
+        rows.push_str(&format!(
+            "    {{\"n\": {n}, \"seed_driver_ns\": {seed_ns:.0}, \
+             \"unified_kernel_ns\": {unified_ns:.0}, \
+             \"overhead_pct\": {overhead_pct:.2}, \"budget_pct\": 5.0}}{}\n",
+            if n == 4000 { "" } else { "," }
+        ));
+    }
+    let _ = KERNEL_ROWS.set(rows);
+}
+
 criterion_group!(
     benches,
     bench_verify,
     bench_transitivity,
     bench_actual_states,
+    bench_kernel_overhead,
     bench_replay_scaling
 );
 criterion_main!(benches);

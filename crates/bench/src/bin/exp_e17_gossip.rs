@@ -93,7 +93,7 @@ fn main() {
             let cluster = GossipCluster::new(&app, config(seed), GossipConfig { interval });
             let report = cluster.run(invs);
             assert!(report.mutually_consistent());
-            rounds += report.gossip_rounds;
+            rounds += report.rounds;
             shipped += report.entries_shipped;
             let te = report.timed_execution();
             te.execution.verify(&app).expect("valid execution");

@@ -16,35 +16,16 @@
 //! §3.3: "an appropriate distributed communication protocol could
 //! guarantee transitivity, perhaps by piggybacking information about
 //! known transactions on messages". With piggybacking on, every
-//! execution the cluster emits is transitive.
+//! execution the cluster emits is transitive. The message type itself is
+//! [`crate::kernel::Packet`] — an `Arc`-shared batch of log entries, so
+//! a flood of one transaction costs one allocation regardless of
+//! fan-out; this module keeps the *timing* model.
 
-use crate::clock::{NodeId, Timestamp};
+use crate::clock::NodeId;
 use crate::delay::DelayModel;
 use crate::events::SimTime;
 use crate::partition::PartitionSchedule;
 use rand::Rng;
-use shard_core::Application;
-use std::sync::Arc;
-
-/// One update message: the timestamped update plus (optionally) the
-/// origin's full known log for transitivity piggybacking.
-///
-/// Both the update and the piggybacked log are `Arc`-shared: broadcasting
-/// to `n − 1` peers clones reference counts, not application data, so a
-/// flood of one transaction costs one allocation regardless of fan-out.
-#[derive(Clone, Debug)]
-pub struct UpdateMsg<A: Application> {
-    /// The update's globally unique timestamp.
-    pub ts: Timestamp,
-    /// The update itself (only update parts travel — decisions never do).
-    pub update: Arc<A::Update>,
-    /// Piggybacked `(timestamp, update)` pairs known to the origin when
-    /// it sent this message (empty when piggybacking is off). One shared
-    /// snapshot serves every peer of a broadcast.
-    pub piggyback: Arc<[(Timestamp, Arc<A::Update>)]>,
-    /// The node that initiated the transaction.
-    pub origin: NodeId,
-}
 
 /// Computes when a message sent at `now` from `from` arrives at `to`:
 /// it waits out any partition separating them, then takes one sampled

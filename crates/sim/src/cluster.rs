@@ -1,4 +1,4 @@
-//! The simulated SHARD cluster (§1.2, §3.3).
+//! The simulated SHARD cluster (§1.2, §3.3): eager broadcast.
 //!
 //! A [`Cluster`] runs a schedule of client [`Invocation`]s against `n`
 //! fully replicated nodes:
@@ -12,291 +12,82 @@
 //!    needed ([`crate::merge`]).
 //!
 //! The run produces a [`ClusterReport`] whose centrepiece is a formal
-//! [`TimedExecution`]: the global timestamp order of the transactions,
-//! each with the prefix subsequence its origin node actually knew at
-//! decision time. [`shard_core::Execution::verify`] re-checks that the
-//! simulator behaved exactly as the paper's model prescribes, and
-//! [`ClusterReport::mutually_consistent`] checks that, once every message
-//! has drained, all node copies agree — the mutual-consistency guarantee
-//! of §1.2.
+//! [`shard_core::TimedExecution`]: the global timestamp order of the
+//! transactions, each with the prefix subsequence its origin node
+//! actually knew at decision time. [`shard_core::Execution::verify`]
+//! re-checks that the simulator behaved exactly as the paper's model
+//! prescribes, and [`RunReport::mutually_consistent`] checks that, once
+//! every message has drained, all node copies agree — the
+//! mutual-consistency guarantee of §1.2.
+//!
+//! Since the kernel refactor, `Cluster` is a thin facade: the event loop
+//! lives in [`crate::kernel`], and this module only contributes the
+//! [`EagerBroadcast`] propagation strategy (flood every update to every
+//! peer the moment it executes, optionally piggybacking the origin's
+//! whole log for transitivity).
 
-use crate::broadcast::{delivery_time, UpdateMsg};
-use crate::clock::{LamportClock, NodeId, Timestamp};
-use crate::crash::CrashSchedule;
-use crate::delay::DelayModel;
-use crate::events::{EventQueue, SimTime};
-use crate::merge::{MergeLog, MergeMetrics};
-use crate::partition::PartitionSchedule;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use shard_core::{Application, Execution, ExternalAction, TimedExecution, TxnRecord};
-use std::collections::BTreeMap;
+use crate::clock::{NodeId, Timestamp};
+use crate::events::SimTime;
+use crate::kernel::{Entries, Network, Node, Propagation, RunReport, Runner};
+use shard_core::Application;
 use std::sync::Arc;
 
-/// Configuration of a simulated cluster.
-#[derive(Clone, Debug)]
-pub struct ClusterConfig {
-    /// Number of replica nodes.
-    pub nodes: u16,
-    /// RNG seed for delay sampling (runs are deterministic per seed).
-    pub seed: u64,
-    /// Message delay model.
-    pub delay: DelayModel,
-    /// Partition schedule.
-    pub partitions: PartitionSchedule,
-    /// Merge-log checkpoint interval (see [`MergeLog::new`]).
-    pub checkpoint_every: usize,
-    /// Piggyback the origin's full log on every message, guaranteeing
-    /// transitive executions (§3.3).
+pub use crate::kernel::{ClusterConfig, ExecutedTxn, Invocation};
+
+/// Everything a cluster run produces (alias of the kernel-wide report).
+pub type ClusterReport<A> = RunReport<A>;
+
+/// Flooding propagation: the moment a transaction executes, its update
+/// is sent to every peer. With `piggyback` the origin attaches its whole
+/// log, so any single message carries everything its sender knew —
+/// transitive executions by construction (§3.3).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EagerBroadcast {
+    /// Attach the origin's full log to every broadcast.
     pub piggyback: bool,
-    /// Node outage schedule: a crashed node rejects client transactions
-    /// and receives no messages until it recovers.
-    pub crashes: CrashSchedule,
-    /// Optional structured-trace sink: the run logs update deliveries,
-    /// merge appends / out-of-order undo-redo repairs, partition
-    /// cuts/heals, crash/recovery windows and rejections as JSONL
-    /// events. `None` (the default) costs nothing.
-    pub sink: Option<Arc<shard_obs::EventSink>>,
 }
 
-impl Default for ClusterConfig {
-    /// Five nodes, 20-tick mean exponential delays, no partitions.
-    fn default() -> Self {
-        ClusterConfig {
-            nodes: 5,
-            seed: 0,
-            delay: DelayModel::Exponential { mean: 20 },
-            partitions: PartitionSchedule::none(),
-            checkpoint_every: 32,
-            piggyback: false,
-            crashes: CrashSchedule::none(),
-            sink: None,
-        }
-    }
-}
-
-/// Emits the failure schedule (partition cut/heal windows, crash and
-/// recovery times) to `sink` — the discrete-event drivers know the whole
-/// schedule up front, so announcing it at run start keeps the trace
-/// self-describing without hooking every `is_down` check.
-pub(crate) fn emit_schedule(
-    sink: &shard_obs::EventSink,
-    partitions: &PartitionSchedule,
-    crashes: &CrashSchedule,
-) {
-    for w in partitions.windows() {
-        sink.event("partition.cut")
-            .u64("t", w.start)
-            .u64("groups", w.groups.len() as u64)
-            .emit();
-        sink.event("partition.heal").u64("t", w.end).emit();
-    }
-    for w in crashes.windows() {
-        sink.event("crash")
-            .u64("t", w.start)
-            .u64("node", u64::from(w.node.0))
-            .emit();
-        sink.event("recover")
-            .u64("t", w.end)
-            .u64("node", u64::from(w.node.0))
-            .emit();
-    }
-}
-
-/// Merges `update` into `log`, emitting the merge outcome — append,
-/// out-of-order (with its undo/redo depth), or duplicate — to `sink`.
-/// The outcome is recovered by differencing [`MergeLog::metrics`]
-/// around the call, so the merge engine itself stays trace-agnostic.
-pub(crate) fn merge_traced<A: Application>(
-    app: &A,
-    sink: Option<&shard_obs::EventSink>,
-    log: &mut MergeLog<A>,
-    ts: Timestamp,
-    update: Arc<A::Update>,
-    now: SimTime,
-    node: NodeId,
-) -> bool {
-    let Some(sink) = sink else {
-        return log.merge(app, ts, update);
-    };
-    let before = log.metrics();
-    let fresh = log.merge(app, ts, update);
-    let after = log.metrics();
-    if !fresh {
-        sink.event("merge.duplicate")
-            .u64("t", now)
-            .u64("node", u64::from(node.0))
-            .emit();
-    } else if after.out_of_order > before.out_of_order {
-        sink.event("merge.out_of_order")
-            .u64("t", now)
-            .u64("node", u64::from(node.0))
-            .u64("replayed", after.replayed - before.replayed)
-            .emit();
-    } else {
-        sink.event("merge.append")
-            .u64("t", now)
-            .u64("node", u64::from(node.0))
-            .emit();
-    }
-    fresh
-}
-
-/// One client transaction submission: at `time`, at `node`.
-#[derive(Clone, Debug)]
-pub struct Invocation<D> {
-    /// Simulated submission time.
-    pub time: SimTime,
-    /// The node the client is attached to (the transaction's origin).
-    pub node: NodeId,
-    /// The transaction.
-    pub decision: D,
-}
-
-impl<D> Invocation<D> {
-    /// Convenience constructor.
-    pub fn new(time: SimTime, node: NodeId, decision: D) -> Self {
-        Invocation {
-            time,
-            node,
-            decision,
-        }
-    }
-}
-
-/// A transaction as the simulator executed it.
-#[derive(Clone, Debug)]
-pub struct ExecutedTxn<A: Application> {
-    /// Its globally unique timestamp (position in the serial order).
-    pub ts: Timestamp,
-    /// Real (simulated) initiation time.
-    pub time: SimTime,
-    /// Origin node.
-    pub node: NodeId,
-    /// The submitted transaction.
-    pub decision: A::Decision,
-    /// The update its decision part chose.
-    pub update: A::Update,
-    /// External actions performed at the origin.
-    pub external_actions: Vec<ExternalAction>,
-    /// Timestamps of every update the origin knew at decision time.
-    pub known: Vec<Timestamp>,
-}
-
-/// Everything a cluster run produces.
-#[derive(Clone, Debug)]
-pub struct ClusterReport<A: Application> {
-    /// Executed transactions sorted by timestamp (the serial order).
-    pub transactions: Vec<ExecutedTxn<A>>,
-    /// Per-node undo/redo metrics.
-    pub node_metrics: Vec<MergeMetrics>,
-    /// All external actions in real-time order: `(time, node, action)`.
-    pub external_actions: Vec<(SimTime, NodeId, ExternalAction)>,
-    /// Each node's final merged state after every message drained.
-    pub final_states: Vec<A::State>,
-    /// For every *critical* transaction run through the §3.3 barrier
-    /// protocol (see [`Cluster::run_with_critical`]): the delay between
-    /// submission and execution — the availability price of (near-)
-    /// complete prefixes. Empty for ordinary runs.
-    pub barrier_latencies: Vec<SimTime>,
-    /// Client transactions rejected because their node was crashed at
-    /// submission time: `(time, node)`. These never entered the system.
-    pub rejected: Vec<(SimTime, NodeId)>,
-    /// Point-to-point update messages sent (flooding sends `nodes − 1`
-    /// per transaction; compare [`crate::partial`] and [`crate::gossip`]).
-    pub messages_sent: u64,
-}
-
-impl<A: Application> ClusterReport<A> {
-    /// Whether all node copies agree (mutual consistency, §1.2). Holds
-    /// whenever every broadcast drained, i.e. always at the end of a run.
-    pub fn mutually_consistent(&self) -> bool {
-        self.final_states.windows(2).all(|w| w[0] == w[1])
+impl<A: Application> Propagation<A> for EagerBroadcast {
+    fn label(&self) -> &'static str {
+        "cluster"
     }
 
-    /// The formal timed execution: transactions in timestamp order, each
-    /// seeing the prefix subsequence its origin knew.
-    pub fn timed_execution(&self) -> TimedExecution<A> {
-        let index_of: BTreeMap<Timestamp, usize> = self
-            .transactions
-            .iter()
-            .enumerate()
-            .map(|(i, t)| (t.ts, i))
-            .collect();
-        let mut exec = Execution::new();
-        let mut times = Vec::with_capacity(self.transactions.len());
-        for t in &self.transactions {
-            let mut prefix: Vec<usize> = t
-                .known
+    fn on_execute(
+        &mut self,
+        _app: &A,
+        net: &mut Network<'_, A>,
+        nodes: &[Node<A>],
+        now: SimTime,
+        origin: NodeId,
+        ts: Timestamp,
+        update: &Arc<A::Update>,
+    ) {
+        // Piggybacked entries first, the fresh update last, so receivers
+        // merge the origin's history before its newest timestamp.
+        let mut batch: Vec<(Timestamp, Arc<A::Update>)> = if self.piggyback {
+            nodes[origin.0 as usize]
+                .log
+                .entries()
                 .iter()
-                .map(|ts| {
-                    *index_of.get(ts).expect(
-                        "simulator invariant: every timestamp a node knew at \
-                         decision time belongs to an executed transaction",
-                    )
-                })
-                .collect();
-            prefix.sort_unstable();
-            exec.push_record(TxnRecord {
-                decision: t.decision.clone(),
-                prefix,
-                update: t.update.clone(),
-                external_actions: t.external_actions.clone(),
-            });
-            times.push(t.time);
+                .filter(|(t, _)| *t != ts)
+                .cloned()
+                .collect()
+        } else {
+            Vec::new()
+        };
+        batch.push((ts, Arc::clone(update)));
+        let entries: Entries<A> = Arc::from(batch);
+        for peer in 0..net.nodes {
+            let to = NodeId(peer);
+            if to == origin {
+                continue;
+            }
+            net.send(now, origin, to, Arc::clone(&entries));
         }
-        TimedExecution::new(exec, times)
-    }
-
-    /// Total undo/redo replay work across all nodes.
-    pub fn total_replayed(&self) -> u64 {
-        self.node_metrics.iter().map(|m| m.replayed).sum()
     }
 }
 
-enum Event<A: Application> {
-    Invoke {
-        node: NodeId,
-        decision: A::Decision,
-    },
-    Deliver {
-        to: NodeId,
-        msg: UpdateMsg<A>,
-    },
-    /// Barrier protocol (§3.3): a critical transaction at `from` asks
-    /// every peer to promise its current initiation count.
-    Probe {
-        to: NodeId,
-        from: NodeId,
-        id: usize,
-    },
-    /// A peer's reply: it has initiated `sent` transactions so far.
-    Promise {
-        to: NodeId,
-        from: NodeId,
-        id: usize,
-        sent: u64,
-    },
-}
-
-struct NodeState<A: Application> {
-    clock: LamportClock,
-    log: MergeLog<A>,
-    /// Number of transactions this node has initiated (for promises).
-    own_sent: u64,
-}
-
-/// A critical transaction waiting for its barrier to clear.
-struct PendingCritical<A: Application> {
-    node: NodeId,
-    decision: A::Decision,
-    submitted: SimTime,
-    /// Promise per node id (own entry stays `None` and is ignored).
-    promises: Vec<Option<u64>>,
-    done: bool,
-}
-
-/// A simulated SHARD cluster.
+/// A simulated SHARD cluster (eager-broadcast facade over the kernel).
 ///
 /// # Examples
 ///
@@ -341,16 +132,8 @@ impl<'a, A: Application> Cluster<'a, A> {
     }
 
     /// Like [`Cluster::run`], but transactions selected by `is_critical`
-    /// run through the **barrier protocol** §3.3 sketches for
-    /// centralization and complete prefixes: the origin probes every
-    /// peer; each peer promises the count of transactions it has
-    /// initiated so far; the critical decision executes only once the
-    /// origin has received *every promised update*. The critical
-    /// transaction therefore sees every transaction initiated anywhere
-    /// before its probe was answered — audits get (near-)complete
-    /// prefixes, at the price of waiting out partitions
-    /// ([`ClusterReport::barrier_latencies`] measures exactly the
-    /// availability loss §3.3 warns about).
+    /// run through the §3.3 barrier protocol — see
+    /// [`Runner::run_with_critical`] for the full story.
     ///
     /// # Panics
     ///
@@ -360,336 +143,22 @@ impl<'a, A: Application> Cluster<'a, A> {
         invocations: Vec<Invocation<A::Decision>>,
         is_critical: impl Fn(&A::Decision) -> bool,
     ) -> ClusterReport<A> {
-        let app = self.app;
-        let cfg = &self.config;
-        let run_span = shard_obs::span!("sim.cluster.run");
-        if let Some(sink) = cfg.sink.as_deref() {
-            emit_schedule(sink, &cfg.partitions, &cfg.crashes);
-        }
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let mut nodes: Vec<NodeState<A>> = (0..cfg.nodes)
-            .map(|i| NodeState {
-                clock: LamportClock::new(NodeId(i)),
-                log: MergeLog::new(app, cfg.checkpoint_every),
-                own_sent: 0,
-            })
-            .collect();
-        let mut queue: EventQueue<Event<A>> = EventQueue::new();
-        for inv in invocations {
-            assert!(
-                (inv.node.0 as usize) < nodes.len(),
-                "invocation at unknown node {}",
-                inv.node
-            );
-            queue.schedule(
-                inv.time,
-                Event::Invoke {
-                    node: inv.node,
-                    decision: inv.decision,
-                },
-            );
-        }
-
-        let mut transactions: Vec<ExecutedTxn<A>> = Vec::new();
-        let mut external_actions: Vec<(SimTime, NodeId, ExternalAction)> = Vec::new();
-        let mut pending: Vec<PendingCritical<A>> = Vec::new();
-        let mut barrier_latencies: Vec<SimTime> = Vec::new();
-        let mut rejected: Vec<(SimTime, NodeId)> = Vec::new();
-        let mut messages_sent = 0u64;
-
-        while let Some((now, event)) = queue.pop() {
-            match event {
-                Event::Invoke { node, decision } => {
-                    if cfg.crashes.is_down(now, node) {
-                        rejected.push((now, node));
-                        if let Some(sink) = cfg.sink.as_deref() {
-                            sink.event("reject")
-                                .u64("t", now)
-                                .u64("node", u64::from(node.0))
-                                .emit();
-                        }
-                        continue;
-                    }
-                    if is_critical(&decision) && cfg.nodes > 1 {
-                        let id = pending.len();
-                        pending.push(PendingCritical {
-                            node,
-                            decision,
-                            submitted: now,
-                            promises: vec![None; cfg.nodes as usize],
-                            done: false,
-                        });
-                        for peer in 0..cfg.nodes {
-                            let to = NodeId(peer);
-                            if to == node {
-                                continue;
-                            }
-                            let at =
-                                delivery_time(&cfg.partitions, &cfg.delay, &mut rng, now, node, to);
-                            queue.schedule(at, Event::Probe { to, from: node, id });
-                        }
-                    } else {
-                        messages_sent += Self::execute_txn(
-                            app,
-                            cfg,
-                            &mut rng,
-                            &mut queue,
-                            &mut nodes,
-                            &mut transactions,
-                            &mut external_actions,
-                            now,
-                            node,
-                            decision,
-                        );
-                    }
-                }
-                Event::Deliver { to, msg } => {
-                    if cfg.crashes.is_down(now, to) {
-                        // The transport holds the message until recovery.
-                        let up = cfg.crashes.next_up(now, to);
-                        queue.schedule(up, Event::Deliver { to, msg });
-                        continue;
-                    }
-                    let sink = cfg.sink.as_deref();
-                    if let Some(s) = sink {
-                        s.event("deliver")
-                            .u64("t", now)
-                            .u64("node", u64::from(to.0))
-                            .u64("from", u64::from(msg.origin.0))
-                            .emit();
-                    }
-                    let n = &mut nodes[to.0 as usize];
-                    for (ts, update) in msg.piggyback.iter() {
-                        n.clock.observe(*ts);
-                        merge_traced(app, sink, &mut n.log, *ts, Arc::clone(update), now, to);
-                    }
-                    n.clock.observe(msg.ts);
-                    merge_traced(app, sink, &mut n.log, msg.ts, msg.update, now, to);
-                    messages_sent += Self::release_criticals(
-                        app,
-                        cfg,
-                        &mut rng,
-                        &mut queue,
-                        &mut nodes,
-                        &mut transactions,
-                        &mut external_actions,
-                        &mut pending,
-                        &mut barrier_latencies,
-                        now,
-                        to,
-                    );
-                }
-                Event::Probe { to, from, id } => {
-                    if cfg.crashes.is_down(now, to) {
-                        let up = cfg.crashes.next_up(now, to);
-                        queue.schedule(up, Event::Probe { to, from, id });
-                        continue;
-                    }
-                    let sent = nodes[to.0 as usize].own_sent;
-                    let at = delivery_time(&cfg.partitions, &cfg.delay, &mut rng, now, to, from);
-                    queue.schedule(
-                        at,
-                        Event::Promise {
-                            to: from,
-                            from: to,
-                            id,
-                            sent,
-                        },
-                    );
-                }
-                Event::Promise { to, from, id, sent } => {
-                    if cfg.crashes.is_down(now, to) {
-                        let up = cfg.crashes.next_up(now, to);
-                        queue.schedule(up, Event::Promise { to, from, id, sent });
-                        continue;
-                    }
-                    pending[id].promises[from.0 as usize] = Some(sent);
-                    messages_sent += Self::release_criticals(
-                        app,
-                        cfg,
-                        &mut rng,
-                        &mut queue,
-                        &mut nodes,
-                        &mut transactions,
-                        &mut external_actions,
-                        &mut pending,
-                        &mut barrier_latencies,
-                        now,
-                        to,
-                    );
-                }
-            }
-        }
-
-        debug_assert!(
-            pending.iter().all(|p| p.done),
-            "all barriers clear eventually"
-        );
-        if let Some(sink) = cfg.sink.as_deref() {
-            // A trailing span line lets `shard-trace summarize` report
-            // the run's wall time without access to the registry.
-            sink.event("span")
-                .str("name", "sim.cluster.run")
-                .u64("ns", run_span.elapsed_ns())
-                .emit();
-            sink.flush();
-        }
-        transactions.sort_by_key(|t| t.ts);
-        ClusterReport {
-            node_metrics: nodes.iter().map(|n| n.log.metrics()).collect(),
-            final_states: nodes.into_iter().map(|n| n.log.into_state()).collect(),
-            transactions,
-            external_actions,
-            barrier_latencies,
-            rejected,
-            messages_sent,
-        }
-    }
-
-    /// Executes one transaction at `node` now: ticks the clock, runs the
-    /// decision on the local merged state, performs external actions,
-    /// merges the own update and broadcasts it.
-    #[allow(clippy::too_many_arguments)]
-    fn execute_txn(
-        app: &A,
-        cfg: &ClusterConfig,
-        rng: &mut StdRng,
-        queue: &mut EventQueue<Event<A>>,
-        nodes: &mut [NodeState<A>],
-        transactions: &mut Vec<ExecutedTxn<A>>,
-        external_actions: &mut Vec<(SimTime, NodeId, ExternalAction)>,
-        now: SimTime,
-        node: NodeId,
-        decision: A::Decision,
-    ) -> u64 {
-        if let Some(sink) = cfg.sink.as_deref() {
-            sink.event("execute")
-                .u64("t", now)
-                .u64("node", u64::from(node.0))
-                .emit();
-        }
-        let n = &mut nodes[node.0 as usize];
-        let ts = n.clock.tick();
-        n.own_sent += 1;
-        let known = n.log.known_timestamps();
-        let outcome = app.decide(&decision, n.log.state());
-        for a in &outcome.external_actions {
-            external_actions.push((now, node, a.clone()));
-        }
-        // One allocation shared by the local log and every peer message;
-        // fanning out costs reference counts, not update clones.
-        let update = Arc::new(outcome.update);
-        let fresh = n.log.merge(app, ts, Arc::clone(&update));
-        debug_assert!(fresh, "own timestamp must be new");
-        let piggyback: Arc<[(Timestamp, Arc<A::Update>)]> = if cfg.piggyback {
-            n.log
-                .entries()
-                .iter()
-                .filter(|(t, _)| *t != ts)
-                .cloned()
-                .collect()
-        } else {
-            Arc::from(Vec::new())
-        };
-        transactions.push(ExecutedTxn {
-            ts,
-            time: now,
-            node,
-            decision,
-            update: (*update).clone(),
-            external_actions: outcome.external_actions,
-            known,
-        });
-        let mut sent = 0;
-        for peer in 0..cfg.nodes {
-            let to = NodeId(peer);
-            if to == node {
-                continue;
-            }
-            let at = delivery_time(&cfg.partitions, &cfg.delay, rng, now, node, to);
-            sent += 1;
-            queue.schedule(
-                at,
-                Event::Deliver {
-                    to,
-                    msg: UpdateMsg {
-                        ts,
-                        update: Arc::clone(&update),
-                        piggyback: Arc::clone(&piggyback),
-                        origin: node,
-                    },
-                },
-            );
-        }
-        sent
-    }
-
-    /// Executes every pending critical transaction at `node` whose
-    /// barrier has cleared: all peers promised and every promised update
-    /// has been received.
-    #[allow(clippy::too_many_arguments)]
-    fn release_criticals(
-        app: &A,
-        cfg: &ClusterConfig,
-        rng: &mut StdRng,
-        queue: &mut EventQueue<Event<A>>,
-        nodes: &mut [NodeState<A>],
-        transactions: &mut Vec<ExecutedTxn<A>>,
-        external_actions: &mut Vec<(SimTime, NodeId, ExternalAction)>,
-        pending: &mut [PendingCritical<A>],
-        barrier_latencies: &mut Vec<SimTime>,
-        now: SimTime,
-        node: NodeId,
-    ) -> u64 {
-        let mut sent = 0;
-        #[allow(clippy::needless_range_loop)]
-        for id in 0..pending.len() {
-            if pending[id].done || pending[id].node != node {
-                continue;
-            }
-            let cleared = (0..cfg.nodes).all(|peer| {
-                if NodeId(peer) == node {
-                    return true;
-                }
-                match pending[id].promises[peer as usize] {
-                    None => false,
-                    Some(promised) => {
-                        let received = nodes[node.0 as usize]
-                            .log
-                            .entries()
-                            .iter()
-                            .filter(|(ts, _)| ts.node == NodeId(peer))
-                            .count() as u64;
-                        received >= promised
-                    }
-                }
-            });
-            if cleared {
-                pending[id].done = true;
-                barrier_latencies.push(now - pending[id].submitted);
-                let decision = pending[id].decision.clone();
-                sent += Self::execute_txn(
-                    app,
-                    cfg,
-                    rng,
-                    queue,
-                    nodes,
-                    transactions,
-                    external_actions,
-                    now,
-                    node,
-                    decision,
-                );
-            }
-        }
-        sent
+        Runner::new(
+            self.app,
+            self.config.clone(),
+            EagerBroadcast {
+                piggyback: self.config.piggyback,
+            },
+        )
+        .run_with_critical(invocations, is_critical)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::partition::PartitionWindow;
+    use crate::delay::DelayModel;
+    use crate::partition::{PartitionSchedule, PartitionWindow};
     use shard_core::{conditions, DecisionOutcome};
 
     /// Grow-only counter with a cap-aware decision, to make missing

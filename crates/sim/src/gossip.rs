@@ -10,21 +10,27 @@
 //! (not per-update) message cost, at the price of higher propagation
 //! delay — i.e. larger `k`. Experiment E17 measures that trade.
 //!
-//! The [`GossipCluster`] is deliberately omniscient about *termination
-//! only*: rounds stop once every replica holds every update and no
+//! Since the kernel refactor this module only contributes propagation
+//! strategies — [`Gossip`] (uniform random partners) and
+//! [`GossipPlacement`] (gossip × partial replication: rounds ship only
+//! the entries the partner's placement cares about) — plus the
+//! [`GossipCluster`] facade. The event loop, failure gating and traced
+//! merging live in [`crate::kernel`], shared with every other strategy.
+//!
+//! Termination is deliberately omniscient about *convergence only*:
+//! rounds stop once every replica holds every update it should and no
 //! client invocations remain — a simulation-harness stopping rule, not
-//! protocol logic.
+//! protocol logic ([`crate::kernel::Propagation::synced`]).
 
-use crate::broadcast::delivery_time;
-use crate::clock::{LamportClock, NodeId, Timestamp};
-use crate::cluster::{emit_schedule, merge_traced, ClusterConfig, ExecutedTxn, Invocation};
-use crate::events::{EventQueue, SimTime};
-use crate::merge::{MergeLog, MergeMetrics};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use shard_core::{Application, Execution, ExternalAction, TimedExecution, TxnRecord};
-use std::collections::BTreeMap;
+use crate::clock::{NodeId, Timestamp};
+use crate::events::SimTime;
+use crate::kernel::{Entries, Network, Node, Propagation, RunReport, Runner};
+use crate::partial::Placement;
+use rand::Rng;
+use shard_core::{Application, ObjectModel};
 use std::sync::Arc;
+
+use crate::kernel::{ClusterConfig, ExecutedTxn, Invocation};
 
 /// Configuration of the gossip layer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -40,87 +46,204 @@ impl Default for GossipConfig {
     }
 }
 
-/// Result of a gossip-cluster run.
-#[derive(Clone, Debug)]
-pub struct GossipReport<A: Application> {
-    /// Executed transactions in timestamp order.
-    pub transactions: Vec<ExecutedTxn<A>>,
-    /// Per-node undo/redo metrics.
-    pub node_metrics: Vec<MergeMetrics>,
-    /// External actions in real time.
-    pub external_actions: Vec<(SimTime, NodeId, ExternalAction)>,
-    /// Final states (all equal after the run drains).
-    pub final_states: Vec<A::State>,
-    /// Anti-entropy rounds performed.
-    pub gossip_rounds: u64,
-    /// Total `(timestamp, update)` pairs shipped across all rounds —
-    /// gossip's bandwidth cost.
-    pub entries_shipped: u64,
+/// Result of a gossip-cluster run (alias of the kernel-wide report; the
+/// interesting fields are [`RunReport::rounds`] and
+/// [`RunReport::entries_shipped`]).
+pub type GossipReport<A> = RunReport<A>;
+
+/// Anti-entropy propagation: nothing is sent at execution time; every
+/// `interval` ticks each live node picks `fanout` uniform random
+/// partners and pushes its whole log (rounds blocked by a partition are
+/// skipped, not retried early).
+///
+/// `Gossip { interval: 1, fanout: n }` degenerates to deterministic
+/// flooding — with fanout ≥ `nodes − 1` the strategy pushes to *all*
+/// peers in node order without consuming randomness, which is what makes
+/// the cross-strategy equivalence suite exact.
+#[derive(Clone, Copy, Debug)]
+pub struct Gossip {
+    /// How often each node initiates an anti-entropy round.
+    pub interval: SimTime,
+    /// Number of random partners pushed to per round.
+    pub fanout: u16,
 }
 
-impl<A: Application> GossipReport<A> {
-    /// Whether all replicas agree.
-    pub fn mutually_consistent(&self) -> bool {
-        self.final_states.windows(2).all(|w| w[0] == w[1])
+impl Gossip {
+    /// Builds the shared log snapshot one round ships.
+    fn snapshot<A: Application>(node: &Node<A>) -> Entries<A> {
+        Arc::from(node.log.entries().to_vec())
     }
 
-    /// The formal timed execution.
-    pub fn timed_execution(&self) -> TimedExecution<A> {
-        let index_of: BTreeMap<Timestamp, usize> = self
-            .transactions
-            .iter()
-            .enumerate()
-            .map(|(i, t)| (t.ts, i))
-            .collect();
-        let mut exec = Execution::new();
-        let mut times = Vec::with_capacity(self.transactions.len());
-        for t in &self.transactions {
-            let mut prefix: Vec<usize> = t
-                .known
-                .iter()
-                .map(|ts| {
-                    *index_of.get(ts).expect(
-                        "simulator invariant: every timestamp a node knew at \
-                         decision time belongs to an executed transaction",
-                    )
-                })
-                .collect();
-            prefix.sort_unstable();
-            exec.push_record(TxnRecord {
-                decision: t.decision.clone(),
-                prefix,
-                update: t.update.clone(),
-                external_actions: t.external_actions.clone(),
-            });
-            times.push(t.time);
+    /// Picks a uniform random partner other than `node` (the historical
+    /// redraw-while-self scheme, preserving the seed's draw sequence).
+    fn partner<A: Application>(net: &mut Network<'_, A>, node: NodeId) -> NodeId {
+        let mut peer = NodeId(net.rng.random_range(0..net.nodes));
+        while peer == node {
+            peer = NodeId(net.rng.random_range(0..net.nodes));
         }
-        TimedExecution::new(exec, times)
+        peer
     }
 }
 
-enum Event<A: Application> {
-    Invoke {
+impl<A: Application> Propagation<A> for Gossip {
+    fn label(&self) -> &'static str {
+        "gossip"
+    }
+
+    fn tick_interval(&self) -> Option<SimTime> {
+        Some(self.interval)
+    }
+
+    fn on_execute(
+        &mut self,
+        _app: &A,
+        _net: &mut Network<'_, A>,
+        _nodes: &[Node<A>],
+        _now: SimTime,
+        _origin: NodeId,
+        _ts: Timestamp,
+        _update: &Arc<A::Update>,
+    ) {
+    }
+
+    fn on_tick(
+        &mut self,
+        _app: &A,
+        net: &mut Network<'_, A>,
+        nodes: &[Node<A>],
+        now: SimTime,
         node: NodeId,
-        decision: A::Decision,
-    },
-    Tick {
-        node: NodeId,
-    },
-    /// A whole-log push: the entries are `Arc`-shared with the sender's
-    /// log, so shipping a round costs refcounts, not update clones.
-    Push {
-        to: NodeId,
-        entries: Vec<(Timestamp, Arc<A::Update>)>,
-    },
+    ) {
+        if net.nodes <= 1 {
+            return;
+        }
+        let entries = Self::snapshot(&nodes[node.0 as usize]);
+        if u32::from(self.fanout) >= u32::from(net.nodes) - 1 {
+            // Full fanout: push to every peer deterministically (no
+            // randomness consumed), skipping partitioned ones.
+            for peer in 0..net.nodes {
+                let to = NodeId(peer);
+                if to == node {
+                    continue;
+                }
+                if net.connected(now, node, to) {
+                    net.send(now, node, to, Arc::clone(&entries));
+                }
+            }
+        } else {
+            for _ in 0..self.fanout {
+                let peer = Self::partner(net, node);
+                // Skip the round if the partition blocks it right now.
+                if net.connected(now, node, peer) {
+                    net.send(now, node, peer, Arc::clone(&entries));
+                }
+            }
+        }
+    }
+
+    fn synced(&self, _app: &A, nodes: &[Node<A>], transactions: &[ExecutedTxn<A>]) -> bool {
+        nodes.iter().all(|n| n.log.len() == transactions.len())
+    }
 }
 
-struct NodeState<A: Application> {
-    clock: LamportClock,
-    log: MergeLog<A>,
+/// Gossip over partial replication — the composed scenario the kernel
+/// refactor unlocks (experiment E20). Rounds run exactly like
+/// [`Gossip`]'s, but a push to a partner ships only the entries that
+/// partner's [`Placement`] cares about: updates writing one of its held
+/// objects, plus empty-write updates (pure serial-order information,
+/// relevant everywhere). Rounds with nothing relevant to say are
+/// skipped entirely.
+#[derive(Clone, Debug)]
+pub struct GossipPlacement {
+    /// How often each node initiates an anti-entropy round.
+    pub interval: SimTime,
+    /// Number of random partners pushed to per round.
+    pub fanout: u16,
+    /// Which nodes replicate which objects.
+    pub placement: Placement,
+}
+
+impl GossipPlacement {
+    /// Whether `update` matters to `node` under this placement.
+    fn relevant<A: ObjectModel>(&self, app: &A, node: NodeId, update: &A::Update) -> bool {
+        let writes = app.update_objects(update);
+        writes.is_empty() || writes.iter().any(|o| self.placement.holds(node, *o))
+    }
+
+    /// The subset of `node`'s log that `to` cares about.
+    fn selection<A: ObjectModel>(&self, app: &A, node: &Node<A>, to: NodeId) -> Entries<A> {
+        node.log
+            .entries()
+            .iter()
+            .filter(|(_, u)| self.relevant(app, to, u))
+            .cloned()
+            .collect::<Vec<_>>()
+            .into()
+    }
+}
+
+impl<A: ObjectModel> Propagation<A> for GossipPlacement {
+    fn label(&self) -> &'static str {
+        "gossip_partial"
+    }
+
+    fn tick_interval(&self) -> Option<SimTime> {
+        Some(self.interval)
+    }
+
+    fn on_execute(
+        &mut self,
+        _app: &A,
+        _net: &mut Network<'_, A>,
+        _nodes: &[Node<A>],
+        _now: SimTime,
+        _origin: NodeId,
+        _ts: Timestamp,
+        _update: &Arc<A::Update>,
+    ) {
+    }
+
+    fn on_tick(
+        &mut self,
+        app: &A,
+        net: &mut Network<'_, A>,
+        nodes: &[Node<A>],
+        now: SimTime,
+        node: NodeId,
+    ) {
+        if net.nodes <= 1 {
+            return;
+        }
+        for _ in 0..self.fanout {
+            let peer = Gossip::partner(net, node);
+            if !net.connected(now, node, peer) {
+                continue;
+            }
+            let entries = self.selection(app, &nodes[node.0 as usize], peer);
+            if !entries.is_empty() {
+                net.send(now, node, peer, entries);
+            }
+        }
+    }
+
+    /// Converged when every node's log contains every executed update
+    /// relevant to it (per-object completeness, not global identity).
+    fn synced(&self, app: &A, nodes: &[Node<A>], transactions: &[ExecutedTxn<A>]) -> bool {
+        transactions.iter().all(|t| {
+            nodes.iter().all(|n| {
+                !self.relevant(app, n.id, &t.update)
+                    || n.log
+                        .entries()
+                        .binary_search_by_key(&t.ts, |(ts, _)| *ts)
+                        .is_ok()
+            })
+        })
+    }
 }
 
 /// A SHARD cluster whose updates spread by anti-entropy gossip instead
-/// of flooding.
+/// of flooding (facade over the kernel with a single-partner [`Gossip`]
+/// strategy).
 pub struct GossipCluster<'a, A: Application> {
     app: &'a A,
     config: ClusterConfig,
@@ -152,140 +275,19 @@ impl<'a, A: Application> GossipCluster<'a, A> {
     ///
     /// Panics if an invocation names a node outside the cluster.
     pub fn run(&self, invocations: Vec<Invocation<A::Decision>>) -> GossipReport<A> {
-        let app = self.app;
-        let cfg = &self.config;
-        let run_span = shard_obs::span!("sim.gossip.run");
-        if let Some(sink) = cfg.sink.as_deref() {
-            emit_schedule(sink, &cfg.partitions, &cfg.crashes);
-        }
-        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x60551b);
-        let mut nodes: Vec<NodeState<A>> = (0..cfg.nodes)
-            .map(|i| NodeState {
-                clock: LamportClock::new(NodeId(i)),
-                log: MergeLog::new(app, cfg.checkpoint_every),
-            })
-            .collect();
-        let mut queue: EventQueue<Event<A>> = EventQueue::new();
-        let mut remaining_invokes = 0u64;
-        for inv in invocations {
-            assert!(
-                (inv.node.0) < cfg.nodes,
-                "invocation at unknown node {}",
-                inv.node
-            );
-            remaining_invokes += 1;
-            queue.schedule(
-                inv.time,
-                Event::Invoke {
-                    node: inv.node,
-                    decision: inv.decision,
-                },
-            );
-        }
-        for i in 0..cfg.nodes {
-            queue.schedule(self.gossip.interval, Event::Tick { node: NodeId(i) });
-        }
-
-        let mut transactions: Vec<ExecutedTxn<A>> = Vec::new();
-        let mut external_actions: Vec<(SimTime, NodeId, ExternalAction)> = Vec::new();
-        let mut total_txns = 0u64;
-        let mut gossip_rounds = 0u64;
-        let mut entries_shipped = 0u64;
-
-        while let Some((now, event)) = queue.pop() {
-            match event {
-                Event::Invoke { node, decision } => {
-                    remaining_invokes -= 1;
-                    total_txns += 1;
-                    if let Some(sink) = cfg.sink.as_deref() {
-                        sink.event("execute")
-                            .u64("t", now)
-                            .u64("node", u64::from(node.0))
-                            .emit();
-                    }
-                    let n = &mut nodes[node.0 as usize];
-                    let ts = n.clock.tick();
-                    let known = n.log.known_timestamps();
-                    let outcome = app.decide(&decision, n.log.state());
-                    for a in &outcome.external_actions {
-                        external_actions.push((now, node, a.clone()));
-                    }
-                    n.log.merge(app, ts, outcome.update.clone());
-                    transactions.push(ExecutedTxn {
-                        ts,
-                        time: now,
-                        node,
-                        decision,
-                        update: outcome.update,
-                        external_actions: outcome.external_actions,
-                        known,
-                    });
-                }
-                Event::Tick { node } => {
-                    // Stop ticking once everything has drained.
-                    let all_synced = remaining_invokes == 0
-                        && nodes.iter().all(|n| n.log.len() as u64 == total_txns);
-                    if all_synced {
-                        continue;
-                    }
-                    if cfg.nodes > 1 {
-                        // Pick a random partner; skip the round if the
-                        // partition blocks it right now.
-                        let mut peer = NodeId(rng.random_range(0..cfg.nodes));
-                        while peer == node {
-                            peer = NodeId(rng.random_range(0..cfg.nodes));
-                        }
-                        if cfg.partitions.connected(now, node, peer) {
-                            gossip_rounds += 1;
-                            let entries: Vec<(Timestamp, Arc<A::Update>)> =
-                                nodes[node.0 as usize].log.entries().to_vec();
-                            entries_shipped += entries.len() as u64;
-                            let at = delivery_time(
-                                &cfg.partitions,
-                                &cfg.delay,
-                                &mut rng,
-                                now,
-                                node,
-                                peer,
-                            );
-                            queue.schedule(at, Event::Push { to: peer, entries });
-                        }
-                    }
-                    queue.schedule(now + self.gossip.interval, Event::Tick { node });
-                }
-                Event::Push { to, entries } => {
-                    let sink = cfg.sink.as_deref();
-                    if let Some(s) = sink {
-                        s.event("deliver")
-                            .u64("t", now)
-                            .u64("node", u64::from(to.0))
-                            .u64("entries", entries.len() as u64)
-                            .emit();
-                    }
-                    let n = &mut nodes[to.0 as usize];
-                    for (ts, update) in entries {
-                        n.clock.observe(ts);
-                        merge_traced(app, sink, &mut n.log, ts, update, now, to);
-                    }
-                }
-            }
-        }
-
-        if let Some(sink) = cfg.sink.as_deref() {
-            sink.event("span")
-                .str("name", "sim.gossip.run")
-                .u64("ns", run_span.elapsed_ns())
-                .emit();
-            sink.flush();
-        }
-        transactions.sort_by_key(|t| t.ts);
-        GossipReport {
-            node_metrics: nodes.iter().map(|n| n.log.metrics()).collect(),
-            final_states: nodes.into_iter().map(|n| n.log.into_state()).collect(),
-            transactions,
-            external_actions,
-            gossip_rounds,
-            entries_shipped,
-        }
+        let mut cfg = self.config.clone();
+        // Historical quirk kept for per-seed reproducibility: gossip runs
+        // perturb the seed so flood-vs-gossip comparisons under one seed
+        // don't share delay streams.
+        cfg.seed ^= 0x60551b;
+        Runner::new(
+            self.app,
+            cfg,
+            Gossip {
+                interval: self.gossip.interval,
+                fanout: 1,
+            },
+        )
+        .run(invocations)
     }
 }

@@ -1,0 +1,894 @@
+//! The unified discrete-event replica kernel.
+//!
+//! Every simulated SHARD variant — eager flooding ([`crate::cluster`]),
+//! anti-entropy gossip ([`crate::gossip`]), partial replication
+//! ([`crate::partial`]) and their compositions — is the *same* replica
+//! loop. §3's system-level conditions (prefix subsequence, transitivity,
+//! k-completeness, t-bounded delay) are properties of one
+//! communication-and-merge loop; only **how updates travel** differs.
+//! This module implements that loop exactly once:
+//!
+//! * [`Node`] — a replica: Lamport clock, undo/redo [`MergeLog`], and a
+//!   count of locally initiated transactions (for §3.3 promises);
+//! * [`Event`]s `Invoke` / `Deliver` / `Tick` (plus the §3.3 barrier's
+//!   `Probe` / `Promise`), handled by [`Runner`] with partition, crash
+//!   and delay gating applied uniformly: a crashed node rejects client
+//!   transactions (with a `reject` trace event), the transport holds
+//!   messages to a crashed node until it recovers, and every message
+//!   waits out partitions plus one sampled delay
+//!   ([`crate::broadcast::delivery_time`]);
+//! * a [`Propagation`] strategy deciding what to send on execution
+//!   ([`Propagation::on_execute`]) and on periodic anti-entropy ticks
+//!   ([`Propagation::on_tick`]), via the [`Network`] handle;
+//! * one [`RunReport`] defining `mutually_consistent`,
+//!   `timed_execution` and `total_replayed` for every strategy.
+//!
+//! Strategies also share one structured-event vocabulary: `execute`,
+//! `deliver` (with `from` and `entries` fields), `reject`, and the
+//! `merge.append` / `merge.out_of_order` / `merge.duplicate` outcomes of
+//! [`merge_traced`] are emitted identically whatever the transport.
+
+use crate::broadcast::delivery_time;
+use crate::clock::{LamportClock, NodeId, Timestamp};
+use crate::crash::CrashSchedule;
+use crate::delay::DelayModel;
+use crate::events::{EventQueue, SimTime};
+use crate::merge::{MergeLog, MergeMetrics};
+use crate::partition::PartitionSchedule;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use shard_core::{Application, Execution, ExternalAction, TimedExecution, TxnRecord};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Configuration of a simulated cluster (shared by every strategy).
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of replica nodes.
+    pub nodes: u16,
+    /// RNG seed for delay sampling (runs are deterministic per seed).
+    pub seed: u64,
+    /// Message delay model.
+    pub delay: DelayModel,
+    /// Partition schedule.
+    pub partitions: PartitionSchedule,
+    /// Merge-log checkpoint interval (see [`MergeLog::new`]).
+    pub checkpoint_every: usize,
+    /// Piggyback the origin's full log on every message, guaranteeing
+    /// transitive executions (§3.3). Consumed by the eager-broadcast
+    /// strategy; gossip *is* full piggybacking and ignores it.
+    pub piggyback: bool,
+    /// Node outage schedule: a crashed node rejects client transactions
+    /// and receives no messages until it recovers.
+    pub crashes: CrashSchedule,
+    /// Optional structured-trace sink: the run logs update deliveries,
+    /// merge appends / out-of-order undo-redo repairs, partition
+    /// cuts/heals, crash/recovery windows and rejections as JSONL
+    /// events. `None` (the default) costs nothing.
+    pub sink: Option<Arc<shard_obs::EventSink>>,
+}
+
+impl Default for ClusterConfig {
+    /// Five nodes, 20-tick mean exponential delays, no partitions.
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: 5,
+            seed: 0,
+            delay: DelayModel::Exponential { mean: 20 },
+            partitions: PartitionSchedule::none(),
+            checkpoint_every: 32,
+            piggyback: false,
+            crashes: CrashSchedule::none(),
+            sink: None,
+        }
+    }
+}
+
+/// Emits the failure schedule (partition cut/heal windows, crash and
+/// recovery times) to `sink` — the discrete-event kernel knows the whole
+/// schedule up front, so announcing it at run start keeps the trace
+/// self-describing without hooking every `is_down` check.
+pub(crate) fn emit_schedule(
+    sink: &shard_obs::EventSink,
+    partitions: &PartitionSchedule,
+    crashes: &CrashSchedule,
+) {
+    for w in partitions.windows() {
+        sink.event("partition.cut")
+            .u64("t", w.start)
+            .u64("groups", w.groups.len() as u64)
+            .emit();
+        sink.event("partition.heal").u64("t", w.end).emit();
+    }
+    for w in crashes.windows() {
+        sink.event("crash")
+            .u64("t", w.start)
+            .u64("node", u64::from(w.node.0))
+            .emit();
+        sink.event("recover")
+            .u64("t", w.end)
+            .u64("node", u64::from(w.node.0))
+            .emit();
+    }
+}
+
+/// Merges `update` into `log`, emitting the merge outcome — append,
+/// out-of-order (with its undo/redo depth), or duplicate — to `sink`.
+/// The outcome is recovered by differencing [`MergeLog::metrics`]
+/// around the call, so the merge engine itself stays trace-agnostic.
+/// Every strategy's deliveries pass through here, making gossip and
+/// partial runs exactly as observable as flooding runs.
+pub(crate) fn merge_traced<A: Application>(
+    app: &A,
+    sink: Option<&shard_obs::EventSink>,
+    log: &mut MergeLog<A>,
+    ts: Timestamp,
+    update: Arc<A::Update>,
+    now: SimTime,
+    node: NodeId,
+) -> bool {
+    let Some(sink) = sink else {
+        return log.merge(app, ts, update);
+    };
+    let before = log.metrics();
+    let fresh = log.merge(app, ts, update);
+    let after = log.metrics();
+    if !fresh {
+        sink.event("merge.duplicate")
+            .u64("t", now)
+            .u64("node", u64::from(node.0))
+            .emit();
+    } else if after.out_of_order > before.out_of_order {
+        sink.event("merge.out_of_order")
+            .u64("t", now)
+            .u64("node", u64::from(node.0))
+            .u64("replayed", after.replayed - before.replayed)
+            .emit();
+    } else {
+        sink.event("merge.append")
+            .u64("t", now)
+            .u64("node", u64::from(node.0))
+            .emit();
+    }
+    fresh
+}
+
+/// One client transaction submission: at `time`, at `node`.
+#[derive(Clone, Debug)]
+pub struct Invocation<D> {
+    /// Simulated submission time.
+    pub time: SimTime,
+    /// The node the client is attached to (the transaction's origin).
+    pub node: NodeId,
+    /// The transaction.
+    pub decision: D,
+}
+
+impl<D> Invocation<D> {
+    /// Convenience constructor.
+    pub fn new(time: SimTime, node: NodeId, decision: D) -> Self {
+        Invocation {
+            time,
+            node,
+            decision,
+        }
+    }
+}
+
+/// A transaction as the simulator executed it.
+#[derive(Clone, Debug)]
+pub struct ExecutedTxn<A: Application> {
+    /// Its globally unique timestamp (position in the serial order).
+    pub ts: Timestamp,
+    /// Real (simulated) initiation time.
+    pub time: SimTime,
+    /// Origin node.
+    pub node: NodeId,
+    /// The submitted transaction.
+    pub decision: A::Decision,
+    /// The update its decision part chose.
+    pub update: A::Update,
+    /// External actions performed at the origin.
+    pub external_actions: Vec<ExternalAction>,
+    /// Timestamps of every update the origin knew at decision time.
+    pub known: Vec<Timestamp>,
+}
+
+/// Everything a kernel run produces, whatever the propagation strategy.
+/// `ClusterReport`, `GossipReport` and `PartialReport` are aliases.
+#[derive(Clone, Debug)]
+pub struct RunReport<A: Application> {
+    /// Executed transactions sorted by timestamp (the serial order).
+    pub transactions: Vec<ExecutedTxn<A>>,
+    /// Per-node undo/redo metrics.
+    pub node_metrics: Vec<MergeMetrics>,
+    /// All external actions in real-time order: `(time, node, action)`.
+    pub external_actions: Vec<(SimTime, NodeId, ExternalAction)>,
+    /// Each node's final merged state after every message drained (under
+    /// partial replication, meaningful only on the objects a node holds).
+    pub final_states: Vec<A::State>,
+    /// For every *critical* transaction run through the §3.3 barrier
+    /// protocol (see [`Runner::run_with_critical`]): the delay between
+    /// submission and execution — the availability price of (near-)
+    /// complete prefixes. Empty for ordinary runs.
+    pub barrier_latencies: Vec<SimTime>,
+    /// Client transactions rejected because their node was crashed at
+    /// submission time: `(time, node)`. These never entered the system.
+    pub rejected: Vec<(SimTime, NodeId)>,
+    /// Point-to-point update messages sent (flooding sends `nodes − 1`
+    /// per transaction; gossip one per round and partner; partial
+    /// replication one per interested holder).
+    pub messages_sent: u64,
+    /// Total `(timestamp, update)` entries shipped across all messages —
+    /// the bandwidth cost (piggybacking and gossip ship whole logs).
+    pub entries_shipped: u64,
+    /// Anti-entropy rounds performed: ticks on which the strategy sent
+    /// at least one message. Zero for strategies without ticks.
+    pub rounds: u64,
+}
+
+impl<A: Application> RunReport<A> {
+    /// Whether all node copies agree (mutual consistency, §1.2). Holds
+    /// whenever every broadcast drained, i.e. always at the end of a
+    /// fully replicated run. Under partial replication, per-object
+    /// agreement is the right question — see `objects_consistent`.
+    pub fn mutually_consistent(&self) -> bool {
+        self.final_states.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// The formal timed execution: transactions in timestamp order, each
+    /// seeing the prefix subsequence its origin knew.
+    pub fn timed_execution(&self) -> TimedExecution<A> {
+        let index_of: BTreeMap<Timestamp, usize> = self
+            .transactions
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.ts, i))
+            .collect();
+        let mut exec = Execution::new();
+        let mut times = Vec::with_capacity(self.transactions.len());
+        for t in &self.transactions {
+            let mut prefix: Vec<usize> = t
+                .known
+                .iter()
+                .map(|ts| {
+                    *index_of.get(ts).expect(
+                        "simulator invariant: every timestamp a node knew at \
+                         decision time belongs to an executed transaction",
+                    )
+                })
+                .collect();
+            prefix.sort_unstable();
+            exec.push_record(TxnRecord {
+                decision: t.decision.clone(),
+                prefix,
+                update: t.update.clone(),
+                external_actions: t.external_actions.clone(),
+            });
+            times.push(t.time);
+        }
+        TimedExecution::new(exec, times)
+    }
+
+    /// Total undo/redo replay work across all nodes.
+    pub fn total_replayed(&self) -> u64 {
+        self.node_metrics.iter().map(|m| m.replayed).sum()
+    }
+}
+
+/// The `(timestamp, update)` batch one message carries. `Arc`-shared:
+/// fanning a batch out to many peers clones reference counts, not
+/// application data.
+pub type Entries<A> = Arc<[(Timestamp, Arc<<A as Application>::Update>)]>;
+
+/// One point-to-point message: a batch of log entries from `origin`.
+/// Eager broadcast ships a single update (plus optional piggyback),
+/// gossip ships whole logs, partial replication ships per-holder
+/// selections — all as the same packet type, delivered by the same
+/// handler.
+#[derive(Debug)]
+pub struct Packet<A: Application> {
+    /// The sending node.
+    pub origin: NodeId,
+    /// Entries to merge at the receiver, in merge order.
+    pub entries: Entries<A>,
+}
+
+impl<A: Application> Clone for Packet<A> {
+    fn clone(&self) -> Self {
+        Packet {
+            origin: self.origin,
+            entries: Arc::clone(&self.entries),
+        }
+    }
+}
+
+/// One replica of the application.
+pub struct Node<A: Application> {
+    /// This node's identity.
+    pub id: NodeId,
+    /// Lamport clock with node-id tiebreak — advanced past every
+    /// observed timestamp, which is what makes the prefix-subsequence
+    /// condition hold by construction.
+    pub clock: LamportClock,
+    /// The undo/redo merge log holding this node's copy of the database.
+    pub log: MergeLog<A>,
+    /// Number of transactions this node has initiated (§3.3 promises).
+    pub own_sent: u64,
+}
+
+/// Events of the unified loop. `Probe`/`Promise` implement the §3.3
+/// barrier protocol for critical transactions.
+enum Event<A: Application> {
+    Invoke {
+        node: NodeId,
+        decision: A::Decision,
+    },
+    Deliver {
+        to: NodeId,
+        packet: Packet<A>,
+    },
+    Tick {
+        node: NodeId,
+    },
+    /// Barrier protocol (§3.3): a critical transaction at `from` asks
+    /// every peer to promise its current initiation count.
+    Probe {
+        to: NodeId,
+        from: NodeId,
+        id: usize,
+    },
+    /// A peer's reply: it has initiated `sent` transactions so far.
+    Promise {
+        to: NodeId,
+        from: NodeId,
+        id: usize,
+        sent: u64,
+    },
+}
+
+/// A critical transaction waiting for its barrier to clear.
+struct PendingCritical<A: Application> {
+    node: NodeId,
+    decision: A::Decision,
+    submitted: SimTime,
+    /// Promise per node id (own entry stays `None` and is ignored).
+    promises: Vec<Option<u64>>,
+    done: bool,
+}
+
+/// The transport handle a [`Propagation`] strategy sends through. All
+/// sends share the kernel's partition/delay gating and RNG stream, and
+/// feed the run's `messages_sent` / `entries_shipped` counters.
+pub struct Network<'a, A: Application> {
+    partitions: &'a PartitionSchedule,
+    delay: &'a DelayModel,
+    /// The run's RNG, exposed so strategies (e.g. gossip partner
+    /// selection) draw from the same deterministic stream that samples
+    /// delays.
+    pub rng: &'a mut StdRng,
+    queue: &'a mut EventQueue<Event<A>>,
+    /// Number of nodes in the cluster.
+    pub nodes: u16,
+    messages_sent: &'a mut u64,
+    entries_shipped: &'a mut u64,
+}
+
+impl<A: Application> Network<'_, A> {
+    /// Whether `a` and `b` can communicate right now (no partition
+    /// separates them at `now`).
+    pub fn connected(&self, now: SimTime, a: NodeId, b: NodeId) -> bool {
+        self.partitions.connected(now, a, b)
+    }
+
+    /// Sends `entries` from `from` to `to`: the message waits out any
+    /// partition separating the pair, takes one sampled network delay,
+    /// and is merged at the receiver by the kernel's traced-merge
+    /// delivery handler.
+    pub fn send(&mut self, now: SimTime, from: NodeId, to: NodeId, entries: Entries<A>) {
+        let at = delivery_time(self.partitions, self.delay, self.rng, now, from, to);
+        *self.messages_sent += 1;
+        *self.entries_shipped += entries.len() as u64;
+        self.queue.schedule(
+            at,
+            Event::Deliver {
+                to,
+                packet: Packet {
+                    origin: from,
+                    entries,
+                },
+            },
+        );
+    }
+}
+
+/// How updates travel between replicas. The kernel owns invocation,
+/// execution, delivery, merging and failure gating; a strategy only
+/// decides *what to send when* — on each execution and on each
+/// anti-entropy tick — and when a draining run has converged.
+pub trait Propagation<A: Application> {
+    /// Short name used for the run's span (`sim.<label>.run`) and trace.
+    fn label(&self) -> &'static str;
+
+    /// Period of the per-node [`Propagation::on_tick`] callback; `None`
+    /// disables ticks entirely (purely reactive strategies).
+    fn tick_interval(&self) -> Option<SimTime> {
+        None
+    }
+
+    /// Called right after `origin` executed a transaction and merged
+    /// `update` (timestamped `ts`) into its own log. Reactive strategies
+    /// send here; tick-driven strategies typically do nothing.
+    #[allow(clippy::too_many_arguments)]
+    fn on_execute(
+        &mut self,
+        app: &A,
+        net: &mut Network<'_, A>,
+        nodes: &[Node<A>],
+        now: SimTime,
+        origin: NodeId,
+        ts: Timestamp,
+        update: &Arc<A::Update>,
+    );
+
+    /// Called every [`Propagation::tick_interval`] at each live node
+    /// (crashed nodes skip their rounds until recovery).
+    fn on_tick(
+        &mut self,
+        _app: &A,
+        _net: &mut Network<'_, A>,
+        _nodes: &[Node<A>],
+        _now: SimTime,
+        _node: NodeId,
+    ) {
+    }
+
+    /// Whether the run has converged: with no invocations left, ticking
+    /// stops once this holds (a simulation-harness stopping rule, not
+    /// protocol logic). Strategies without ticks drain naturally and can
+    /// keep the default `true`.
+    fn synced(&self, _app: &A, _nodes: &[Node<A>], _transactions: &[ExecutedTxn<A>]) -> bool {
+        true
+    }
+}
+
+/// The unified discrete-event runner: one event loop for every
+/// propagation strategy.
+///
+/// # Examples
+///
+/// ```
+/// use shard_apps::airline::{AirlineTxn, FlyByNight};
+/// use shard_apps::Person;
+/// use shard_sim::{ClusterConfig, EagerBroadcast, Invocation, NodeId, Runner};
+///
+/// let app = FlyByNight::new(3);
+/// let runner = Runner::new(&app, ClusterConfig::default(), EagerBroadcast::default());
+/// let report = runner.run(vec![
+///     Invocation::new(0, NodeId(0), AirlineTxn::Request(Person(1))),
+///     Invocation::new(9, NodeId(4), AirlineTxn::MoveUp),
+/// ]);
+/// assert!(report.mutually_consistent());
+/// report.timed_execution().execution.verify(&app).unwrap();
+/// ```
+pub struct Runner<'a, A: Application, P: Propagation<A>> {
+    app: &'a A,
+    config: ClusterConfig,
+    strategy: P,
+}
+
+impl<'a, A: Application, P: Propagation<A>> Runner<'a, A, P> {
+    /// Creates a runner over `config.nodes` replicas of `app`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero nodes, or the strategy asks
+    /// for a zero tick interval.
+    pub fn new(app: &'a A, config: ClusterConfig, strategy: P) -> Self {
+        assert!(config.nodes > 0, "a cluster needs at least one node");
+        if let Some(interval) = strategy.tick_interval() {
+            assert!(interval > 0, "ticks need a positive interval");
+        }
+        Runner {
+            app,
+            config,
+            strategy,
+        }
+    }
+
+    /// Runs the invocation schedule to completion (all messages drained,
+    /// all replicas synced) and reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an invocation names a node outside the cluster.
+    pub fn run(self, invocations: Vec<Invocation<A::Decision>>) -> RunReport<A> {
+        self.run_with_critical(invocations, |_| false)
+    }
+
+    /// Like [`Runner::run`], but transactions selected by `is_critical`
+    /// run through the **barrier protocol** §3.3 sketches for
+    /// centralization and complete prefixes: the origin probes every
+    /// peer; each peer promises the count of transactions it has
+    /// initiated so far; the critical decision executes only once the
+    /// origin has received *every promised update*. The critical
+    /// transaction therefore sees every transaction initiated anywhere
+    /// before its probe was answered — audits get (near-)complete
+    /// prefixes, at the price of waiting out partitions
+    /// ([`RunReport::barrier_latencies`] measures exactly the
+    /// availability loss §3.3 warns about).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an invocation names a node outside the cluster.
+    pub fn run_with_critical(
+        self,
+        invocations: Vec<Invocation<A::Decision>>,
+        is_critical: impl Fn(&A::Decision) -> bool,
+    ) -> RunReport<A> {
+        let Runner {
+            app,
+            config: cfg,
+            mut strategy,
+        } = self;
+        let span_name = format!("sim.{}.run", strategy.label());
+        let run_span = shard_obs::span!(&span_name);
+        if let Some(sink) = cfg.sink.as_deref() {
+            emit_schedule(sink, &cfg.partitions, &cfg.crashes);
+        }
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut nodes: Vec<Node<A>> = (0..cfg.nodes)
+            .map(|i| Node {
+                id: NodeId(i),
+                clock: LamportClock::new(NodeId(i)),
+                log: MergeLog::new(app, cfg.checkpoint_every),
+                own_sent: 0,
+            })
+            .collect();
+        let mut queue: EventQueue<Event<A>> = EventQueue::new();
+        let mut remaining_invokes = 0u64;
+        for inv in invocations {
+            assert!(
+                (inv.node.0 as usize) < nodes.len(),
+                "invocation at unknown node {}",
+                inv.node
+            );
+            remaining_invokes += 1;
+            queue.schedule(
+                inv.time,
+                Event::Invoke {
+                    node: inv.node,
+                    decision: inv.decision,
+                },
+            );
+        }
+        let tick_interval = strategy.tick_interval();
+        if let Some(interval) = tick_interval {
+            for i in 0..cfg.nodes {
+                queue.schedule(interval, Event::Tick { node: NodeId(i) });
+            }
+        }
+
+        let mut transactions: Vec<ExecutedTxn<A>> = Vec::new();
+        let mut external_actions: Vec<(SimTime, NodeId, ExternalAction)> = Vec::new();
+        let mut pending: Vec<PendingCritical<A>> = Vec::new();
+        let mut barrier_latencies: Vec<SimTime> = Vec::new();
+        let mut rejected: Vec<(SimTime, NodeId)> = Vec::new();
+        let mut messages_sent = 0u64;
+        let mut entries_shipped = 0u64;
+        let mut rounds = 0u64;
+
+        while let Some((now, event)) = queue.pop() {
+            match event {
+                Event::Invoke { node, decision } => {
+                    remaining_invokes -= 1;
+                    if cfg.crashes.is_down(now, node) {
+                        rejected.push((now, node));
+                        if let Some(sink) = cfg.sink.as_deref() {
+                            sink.event("reject")
+                                .u64("t", now)
+                                .u64("node", u64::from(node.0))
+                                .emit();
+                        }
+                        continue;
+                    }
+                    if is_critical(&decision) && cfg.nodes > 1 {
+                        let id = pending.len();
+                        pending.push(PendingCritical {
+                            node,
+                            decision,
+                            submitted: now,
+                            promises: vec![None; cfg.nodes as usize],
+                            done: false,
+                        });
+                        for peer in 0..cfg.nodes {
+                            let to = NodeId(peer);
+                            if to == node {
+                                continue;
+                            }
+                            let at =
+                                delivery_time(&cfg.partitions, &cfg.delay, &mut rng, now, node, to);
+                            queue.schedule(at, Event::Probe { to, from: node, id });
+                        }
+                    } else {
+                        execute_txn(
+                            app,
+                            &cfg,
+                            &mut strategy,
+                            &mut rng,
+                            &mut queue,
+                            &mut nodes,
+                            &mut transactions,
+                            &mut external_actions,
+                            &mut messages_sent,
+                            &mut entries_shipped,
+                            now,
+                            node,
+                            decision,
+                        );
+                    }
+                }
+                Event::Deliver { to, packet } => {
+                    if cfg.crashes.is_down(now, to) {
+                        // The transport holds the message until recovery.
+                        let up = cfg.crashes.next_up(now, to);
+                        queue.schedule(up, Event::Deliver { to, packet });
+                        continue;
+                    }
+                    let sink = cfg.sink.as_deref();
+                    if let Some(s) = sink {
+                        s.event("deliver")
+                            .u64("t", now)
+                            .u64("node", u64::from(to.0))
+                            .u64("from", u64::from(packet.origin.0))
+                            .u64("entries", packet.entries.len() as u64)
+                            .emit();
+                    }
+                    let n = &mut nodes[to.0 as usize];
+                    for (ts, update) in packet.entries.iter() {
+                        n.clock.observe(*ts);
+                        merge_traced(app, sink, &mut n.log, *ts, Arc::clone(update), now, to);
+                    }
+                    if pending.is_empty() {
+                        continue;
+                    }
+                    release_criticals(
+                        app,
+                        &cfg,
+                        &mut strategy,
+                        &mut rng,
+                        &mut queue,
+                        &mut nodes,
+                        &mut transactions,
+                        &mut external_actions,
+                        &mut messages_sent,
+                        &mut entries_shipped,
+                        &mut pending,
+                        &mut barrier_latencies,
+                        now,
+                        to,
+                    );
+                }
+                Event::Tick { node } => {
+                    // Stop ticking once everything has drained.
+                    if remaining_invokes == 0 && strategy.synced(app, &nodes, &transactions) {
+                        continue;
+                    }
+                    // A crashed node skips its rounds but resumes the
+                    // cadence after recovery.
+                    if !cfg.crashes.is_down(now, node) {
+                        let before = messages_sent;
+                        let mut net = Network {
+                            partitions: &cfg.partitions,
+                            delay: &cfg.delay,
+                            rng: &mut rng,
+                            queue: &mut queue,
+                            nodes: cfg.nodes,
+                            messages_sent: &mut messages_sent,
+                            entries_shipped: &mut entries_shipped,
+                        };
+                        strategy.on_tick(app, &mut net, &nodes, now, node);
+                        if messages_sent > before {
+                            rounds += 1;
+                        }
+                    }
+                    let interval =
+                        tick_interval.expect("ticks are only scheduled with an interval");
+                    queue.schedule(now + interval, Event::Tick { node });
+                }
+                Event::Probe { to, from, id } => {
+                    if cfg.crashes.is_down(now, to) {
+                        let up = cfg.crashes.next_up(now, to);
+                        queue.schedule(up, Event::Probe { to, from, id });
+                        continue;
+                    }
+                    let sent = nodes[to.0 as usize].own_sent;
+                    let at = delivery_time(&cfg.partitions, &cfg.delay, &mut rng, now, to, from);
+                    queue.schedule(
+                        at,
+                        Event::Promise {
+                            to: from,
+                            from: to,
+                            id,
+                            sent,
+                        },
+                    );
+                }
+                Event::Promise { to, from, id, sent } => {
+                    if cfg.crashes.is_down(now, to) {
+                        let up = cfg.crashes.next_up(now, to);
+                        queue.schedule(up, Event::Promise { to, from, id, sent });
+                        continue;
+                    }
+                    pending[id].promises[from.0 as usize] = Some(sent);
+                    release_criticals(
+                        app,
+                        &cfg,
+                        &mut strategy,
+                        &mut rng,
+                        &mut queue,
+                        &mut nodes,
+                        &mut transactions,
+                        &mut external_actions,
+                        &mut messages_sent,
+                        &mut entries_shipped,
+                        &mut pending,
+                        &mut barrier_latencies,
+                        now,
+                        to,
+                    );
+                }
+            }
+        }
+
+        debug_assert!(
+            pending.iter().all(|p| p.done),
+            "all barriers clear eventually"
+        );
+        if let Some(sink) = cfg.sink.as_deref() {
+            // A trailing span line lets `shard-trace summarize` report
+            // the run's wall time without access to the registry.
+            sink.event("span")
+                .str("name", &span_name)
+                .u64("ns", run_span.elapsed_ns())
+                .emit();
+            sink.flush();
+        }
+        transactions.sort_by_key(|t| t.ts);
+        RunReport {
+            node_metrics: nodes.iter().map(|n| n.log.metrics()).collect(),
+            final_states: nodes.into_iter().map(|n| n.log.into_state()).collect(),
+            transactions,
+            external_actions,
+            barrier_latencies,
+            rejected,
+            messages_sent,
+            entries_shipped,
+            rounds,
+        }
+    }
+}
+
+/// Executes one transaction at `node` now: ticks the clock, runs the
+/// decision on the local merged state, performs external actions, merges
+/// the own update, and hands propagation to the strategy.
+#[allow(clippy::too_many_arguments)]
+fn execute_txn<A: Application, P: Propagation<A>>(
+    app: &A,
+    cfg: &ClusterConfig,
+    strategy: &mut P,
+    rng: &mut StdRng,
+    queue: &mut EventQueue<Event<A>>,
+    nodes: &mut [Node<A>],
+    transactions: &mut Vec<ExecutedTxn<A>>,
+    external_actions: &mut Vec<(SimTime, NodeId, ExternalAction)>,
+    messages_sent: &mut u64,
+    entries_shipped: &mut u64,
+    now: SimTime,
+    node: NodeId,
+    decision: A::Decision,
+) {
+    if let Some(sink) = cfg.sink.as_deref() {
+        sink.event("execute")
+            .u64("t", now)
+            .u64("node", u64::from(node.0))
+            .emit();
+    }
+    let n = &mut nodes[node.0 as usize];
+    let ts = n.clock.tick();
+    n.own_sent += 1;
+    let known = n.log.known_timestamps();
+    let outcome = app.decide(&decision, n.log.state());
+    for a in &outcome.external_actions {
+        external_actions.push((now, node, a.clone()));
+    }
+    // One allocation shared by the local log and every peer message;
+    // fanning out costs reference counts, not update clones.
+    let update = Arc::new(outcome.update);
+    let fresh = n.log.merge(app, ts, Arc::clone(&update));
+    debug_assert!(fresh, "own timestamp must be new");
+    transactions.push(ExecutedTxn {
+        ts,
+        time: now,
+        node,
+        decision,
+        update: (*update).clone(),
+        external_actions: outcome.external_actions,
+        known,
+    });
+    let mut net = Network {
+        partitions: &cfg.partitions,
+        delay: &cfg.delay,
+        rng,
+        queue,
+        nodes: cfg.nodes,
+        messages_sent,
+        entries_shipped,
+    };
+    strategy.on_execute(app, &mut net, nodes, now, node, ts, &update);
+}
+
+/// Executes every pending critical transaction at `node` whose barrier
+/// has cleared: all peers promised and every promised update has been
+/// received.
+#[allow(clippy::too_many_arguments)]
+fn release_criticals<A: Application, P: Propagation<A>>(
+    app: &A,
+    cfg: &ClusterConfig,
+    strategy: &mut P,
+    rng: &mut StdRng,
+    queue: &mut EventQueue<Event<A>>,
+    nodes: &mut [Node<A>],
+    transactions: &mut Vec<ExecutedTxn<A>>,
+    external_actions: &mut Vec<(SimTime, NodeId, ExternalAction)>,
+    messages_sent: &mut u64,
+    entries_shipped: &mut u64,
+    pending: &mut [PendingCritical<A>],
+    barrier_latencies: &mut Vec<SimTime>,
+    now: SimTime,
+    node: NodeId,
+) {
+    #[allow(clippy::needless_range_loop)]
+    for id in 0..pending.len() {
+        if pending[id].done || pending[id].node != node {
+            continue;
+        }
+        let cleared = (0..cfg.nodes).all(|peer| {
+            if NodeId(peer) == node {
+                return true;
+            }
+            match pending[id].promises[peer as usize] {
+                None => false,
+                Some(promised) => {
+                    let received = nodes[node.0 as usize]
+                        .log
+                        .entries()
+                        .iter()
+                        .filter(|(ts, _)| ts.node == NodeId(peer))
+                        .count() as u64;
+                    received >= promised
+                }
+            }
+        });
+        if cleared {
+            pending[id].done = true;
+            barrier_latencies.push(now - pending[id].submitted);
+            let decision = pending[id].decision.clone();
+            execute_txn(
+                app,
+                cfg,
+                strategy,
+                rng,
+                queue,
+                nodes,
+                transactions,
+                external_actions,
+                messages_sent,
+                entries_shipped,
+                now,
+                node,
+                decision,
+            );
+        }
+    }
+}

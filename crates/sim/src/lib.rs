@@ -20,20 +20,33 @@
 //!   equal to the effect of running all updates it knows in timestamp
 //!   order, rolling back to a checkpoint and replaying when an update
 //!   arrives out of order ([BK]/[SKS]); exposes undo/redo metrics.
-//! * [`cluster`] — ties it together and **emits a formal
-//!   [`shard_core::TimedExecution`]**: the simulator's behaviour is
-//!   checked against the paper's model, not trusted. Also implements the
+//! * [`kernel`] — **the one event loop**: a [`Runner`] drives
+//!   Invoke/Deliver/Tick events over shared [`kernel::Node`] replicas
+//!   with partition, crash and delay gating applied uniformly, emits a
+//!   formal [`shard_core::TimedExecution`] (the simulator's behaviour is
+//!   checked against the paper's model, not trusted), and implements the
 //!   §3.3 *barrier protocol* giving designated critical transactions
-//!   (near-)complete prefixes ([`Cluster::run_with_critical`]).
+//!   (near-)complete prefixes ([`Runner::run_with_critical`]). How
+//!   updates travel is a pluggable [`Propagation`] strategy.
+//! * [`cluster`] — the [`EagerBroadcast`] strategy (per-update flooding,
+//!   optional full-log piggybacking for transitivity) and the classic
+//!   [`Cluster`] facade.
+//! * [`gossip`] — the [`Gossip`] anti-entropy strategy (periodic random
+//!   partners, whole-log pushes) and the composed [`GossipPlacement`]
+//!   strategy (gossip × partial replication), plus the [`GossipCluster`]
+//!   facade.
 //! * [`partial`] — the §6 generalization: partial replication with
-//!   per-object placements, preserving all correctness conditions while
-//!   reducing message volume.
+//!   per-object [`Placement`]s ([`PartialPlacement`] strategy +
+//!   [`PartialCluster`] facade), preserving all correctness conditions
+//!   while reducing message volume.
 //!
 //! The structural guarantee: because receiving a message advances the
 //! Lamport clock past the sender's timestamp, a node can never know an
 //! update with a larger timestamp than the one it will assign next — so
 //! every transaction's known set is a subsequence of its *prefix*, i.e.
-//! the prefix subsequence condition (§3.1) holds by construction.
+//! the prefix subsequence condition (§3.1) holds by construction —
+//! under *every* propagation strategy, because they all ride the same
+//! kernel.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,15 +58,17 @@ pub mod crash;
 pub mod delay;
 pub mod events;
 pub mod gossip;
+pub mod kernel;
 pub mod merge;
 pub mod partial;
 pub mod partition;
 
 pub use clock::{LamportClock, NodeId, Timestamp};
-pub use cluster::{Cluster, ClusterConfig, ClusterReport, ExecutedTxn, Invocation};
+pub use cluster::{Cluster, ClusterConfig, ClusterReport, EagerBroadcast, ExecutedTxn, Invocation};
 pub use crash::{CrashSchedule, CrashWindow};
 pub use delay::DelayModel;
-pub use gossip::{GossipCluster, GossipConfig, GossipReport};
+pub use gossip::{Gossip, GossipCluster, GossipConfig, GossipPlacement, GossipReport};
+pub use kernel::{Propagation, RunReport, Runner};
 pub use merge::{MergeLog, MergeMetrics};
-pub use partial::{PartialCluster, PartialReport, Placement};
+pub use partial::{PartialCluster, PartialPlacement, PartialReport, Placement};
 pub use partition::{PartitionSchedule, PartitionWindow};

@@ -10,25 +10,27 @@
 //! The database is divided into **objects**; each node replicates a
 //! subset of them (its *placement*). A transaction must be invoked at a
 //! node holding every object its decision reads, and an update is
-//! broadcast only to the nodes holding one of the objects it writes.
-//! Because the prefix-subsequence condition never mentions replication,
-//! the emitted execution is checked by exactly the same machinery as the
-//! fully replicated cluster — the paper's point. What changes is the
-//! *message volume*, which [`PartialReport::messages_sent`] measures
-//! (experiment E16).
+//! broadcast only to the nodes holding one of the objects it writes —
+//! with one deliberate exception: an update writing *no* objects is pure
+//! serial-order information and goes to every node, which is what lets a
+//! full placement reproduce the eager-broadcast run exactly. Because the
+//! prefix-subsequence condition never mentions replication, the emitted
+//! execution is checked by exactly the same machinery as the fully
+//! replicated cluster — the paper's point. What changes is the *message
+//! volume*, which [`RunReport::messages_sent`] measures (experiment
+//! E16).
+//!
+//! Since the kernel refactor this module contributes the [`Placement`]
+//! map and the [`PartialPlacement`] propagation strategy; the event loop
+//! lives in [`crate::kernel`], and [`PartialCluster`] is a facade.
 
-use crate::broadcast::delivery_time;
-use crate::clock::{LamportClock, NodeId, Timestamp};
-use crate::cluster::{emit_schedule, merge_traced, ClusterConfig, ExecutedTxn, Invocation};
-use crate::events::{EventQueue, SimTime};
-use crate::merge::{MergeLog, MergeMetrics};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use shard_core::{
-    Application, Execution, ExternalAction, ObjectId, ObjectModel, TimedExecution, TxnRecord,
-};
-use std::collections::BTreeMap;
+use crate::clock::{NodeId, Timestamp};
+use crate::events::SimTime;
+use crate::kernel::{Entries, Network, Node, Propagation, RunReport, Runner};
+use shard_core::{Application, ObjectId, ObjectModel};
 use std::sync::Arc;
+
+use crate::kernel::{ClusterConfig, Invocation};
 
 /// Which nodes replicate which objects.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -98,57 +100,12 @@ impl Placement {
     }
 }
 
-/// Result of a partially replicated run.
-#[derive(Clone, Debug)]
-pub struct PartialReport<A: Application> {
-    /// Executed transactions in timestamp order.
-    pub transactions: Vec<ExecutedTxn<A>>,
-    /// Per-node undo/redo metrics.
-    pub node_metrics: Vec<MergeMetrics>,
-    /// External actions in real time.
-    pub external_actions: Vec<(SimTime, NodeId, ExternalAction)>,
-    /// Each node's final local state (meaningful only on held objects).
-    pub final_states: Vec<A::State>,
-    /// Total point-to-point update messages sent (the cost partial
-    /// replication reduces).
-    pub messages_sent: u64,
-}
+/// Result of a partially replicated run (alias of the kernel-wide
+/// report; see [`RunReport::objects_consistent`] for the per-object
+/// consistency check that replaces global agreement here).
+pub type PartialReport<A> = RunReport<A>;
 
-impl<A: Application> PartialReport<A> {
-    /// The formal timed execution (identical semantics to the fully
-    /// replicated cluster's).
-    pub fn timed_execution(&self) -> TimedExecution<A> {
-        let index_of: BTreeMap<Timestamp, usize> = self
-            .transactions
-            .iter()
-            .enumerate()
-            .map(|(i, t)| (t.ts, i))
-            .collect();
-        let mut exec = Execution::new();
-        let mut times = Vec::with_capacity(self.transactions.len());
-        for t in &self.transactions {
-            let mut prefix: Vec<usize> = t
-                .known
-                .iter()
-                .map(|ts| {
-                    *index_of.get(ts).expect(
-                        "simulator invariant: every timestamp a node knew at \
-                         decision time belongs to an executed transaction",
-                    )
-                })
-                .collect();
-            prefix.sort_unstable();
-            exec.push_record(TxnRecord {
-                decision: t.decision.clone(),
-                prefix,
-                update: t.update.clone(),
-                external_actions: t.external_actions.clone(),
-            });
-            times.push(t.time);
-        }
-        TimedExecution::new(exec, times)
-    }
-
+impl<A: Application> RunReport<A> {
     /// Per-object mutual consistency: all holders of each object agree
     /// on its projection.
     pub fn objects_consistent(&self, app: &A, placement: &Placement) -> bool
@@ -170,24 +127,71 @@ impl<A: Application> PartialReport<A> {
     }
 }
 
-enum Event<A: Application> {
-    Invoke {
-        node: NodeId,
-        decision: A::Decision,
-    },
-    Deliver {
-        to: NodeId,
+/// Object-aware propagation: the moment a transaction executes, its
+/// update is sent only to the nodes whose [`Placement`] holds one of the
+/// objects it writes. Updates with an empty write set carry pure
+/// serial-order information and are sent to every node, so
+/// `PartialPlacement::full` reproduces [`crate::cluster::EagerBroadcast`]
+/// exactly.
+#[derive(Clone, Debug)]
+pub struct PartialPlacement {
+    placement: Placement,
+}
+
+impl PartialPlacement {
+    /// Routes by the given placement.
+    pub fn new(placement: Placement) -> Self {
+        PartialPlacement { placement }
+    }
+
+    /// The degenerate fully replicated placement (for comparisons with
+    /// eager broadcast).
+    pub fn full(nodes: u16, objects: &[ObjectId]) -> Self {
+        PartialPlacement {
+            placement: Placement::full(nodes, objects),
+        }
+    }
+
+    /// The placement routing this strategy.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+}
+
+impl<A: ObjectModel> Propagation<A> for PartialPlacement {
+    fn label(&self) -> &'static str {
+        "partial"
+    }
+
+    fn on_execute(
+        &mut self,
+        app: &A,
+        net: &mut Network<'_, A>,
+        _nodes: &[Node<A>],
+        now: SimTime,
+        origin: NodeId,
         ts: Timestamp,
-        update: Arc<A::Update>,
-    },
+        update: &Arc<A::Update>,
+    ) {
+        let writes = app.update_objects(update);
+        let entries: Entries<A> = Arc::from(vec![(ts, Arc::clone(update))]);
+        let recipients = if writes.is_empty() {
+            // Pure serial-order information: everyone hears about it.
+            (0..net.nodes).map(NodeId).collect()
+        } else {
+            self.placement.holders_of_any(&writes)
+        };
+        for to in recipients {
+            if to == origin {
+                continue;
+            }
+            net.send(now, origin, to, Arc::clone(&entries));
+        }
+    }
 }
 
-struct NodeState<A: Application> {
-    clock: LamportClock,
-    log: MergeLog<A>,
-}
-
-/// A partially replicated SHARD cluster.
+/// A partially replicated SHARD cluster (facade over the kernel with a
+/// [`PartialPlacement`] strategy).
 pub struct PartialCluster<'a, A: ObjectModel> {
     app: &'a A,
     config: ClusterConfig,
@@ -221,22 +225,8 @@ impl<'a, A: ObjectModel> PartialCluster<'a, A> {
     ///
     /// Panics if an invocation targets a node missing a required object.
     pub fn run(&self, invocations: Vec<Invocation<A::Decision>>) -> PartialReport<A> {
-        let app = self.app;
-        let cfg = &self.config;
-        let run_span = shard_obs::span!("sim.partial.run");
-        if let Some(sink) = cfg.sink.as_deref() {
-            emit_schedule(sink, &cfg.partitions, &cfg.crashes);
-        }
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let mut nodes: Vec<NodeState<A>> = (0..cfg.nodes)
-            .map(|i| NodeState {
-                clock: LamportClock::new(NodeId(i)),
-                log: MergeLog::new(app, cfg.checkpoint_every),
-            })
-            .collect();
-        let mut queue: EventQueue<Event<A>> = EventQueue::new();
-        for inv in invocations {
-            let reads = app.decision_objects(&inv.decision);
+        for inv in &invocations {
+            let reads = self.app.decision_objects(&inv.decision);
             assert!(
                 self.placement.holds_all(inv.node, &reads),
                 "node {} lacks objects {:?} read by {:?}",
@@ -244,96 +234,13 @@ impl<'a, A: ObjectModel> PartialCluster<'a, A> {
                 reads,
                 inv.decision
             );
-            queue.schedule(
-                inv.time,
-                Event::Invoke {
-                    node: inv.node,
-                    decision: inv.decision,
-                },
-            );
         }
-
-        let mut transactions: Vec<ExecutedTxn<A>> = Vec::new();
-        let mut external_actions: Vec<(SimTime, NodeId, ExternalAction)> = Vec::new();
-        let mut messages_sent = 0u64;
-
-        while let Some((now, event)) = queue.pop() {
-            match event {
-                Event::Invoke { node, decision } => {
-                    if let Some(sink) = cfg.sink.as_deref() {
-                        sink.event("execute")
-                            .u64("t", now)
-                            .u64("node", u64::from(node.0))
-                            .emit();
-                    }
-                    let n = &mut nodes[node.0 as usize];
-                    let ts = n.clock.tick();
-                    let known = n.log.known_timestamps();
-                    let outcome = app.decide(&decision, n.log.state());
-                    for a in &outcome.external_actions {
-                        external_actions.push((now, node, a.clone()));
-                    }
-                    // One allocation shared by the local log and every
-                    // holder's delivery.
-                    let update = Arc::new(outcome.update);
-                    n.log.merge(app, ts, Arc::clone(&update));
-                    let writes = app.update_objects(&update);
-                    transactions.push(ExecutedTxn {
-                        ts,
-                        time: now,
-                        node,
-                        decision,
-                        update: (*update).clone(),
-                        external_actions: outcome.external_actions,
-                        known,
-                    });
-                    for to in self.placement.holders_of_any(&writes) {
-                        if to == node {
-                            continue;
-                        }
-                        let at =
-                            delivery_time(&cfg.partitions, &cfg.delay, &mut rng, now, node, to);
-                        messages_sent += 1;
-                        queue.schedule(
-                            at,
-                            Event::Deliver {
-                                to,
-                                ts,
-                                update: Arc::clone(&update),
-                            },
-                        );
-                    }
-                }
-                Event::Deliver { to, ts, update } => {
-                    let sink = cfg.sink.as_deref();
-                    if let Some(s) = sink {
-                        s.event("deliver")
-                            .u64("t", now)
-                            .u64("node", u64::from(to.0))
-                            .emit();
-                    }
-                    let n = &mut nodes[to.0 as usize];
-                    n.clock.observe(ts);
-                    merge_traced(app, sink, &mut n.log, ts, update, now, to);
-                }
-            }
-        }
-
-        if let Some(sink) = cfg.sink.as_deref() {
-            sink.event("span")
-                .str("name", "sim.partial.run")
-                .u64("ns", run_span.elapsed_ns())
-                .emit();
-            sink.flush();
-        }
-        transactions.sort_by_key(|t| t.ts);
-        PartialReport {
-            node_metrics: nodes.iter().map(|n| n.log.metrics()).collect(),
-            final_states: nodes.into_iter().map(|n| n.log.into_state()).collect(),
-            transactions,
-            external_actions,
-            messages_sent,
-        }
+        Runner::new(
+            self.app,
+            self.config.clone(),
+            PartialPlacement::new(self.placement.clone()),
+        )
+        .run(invocations)
     }
 }
 

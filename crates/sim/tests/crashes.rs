@@ -1,10 +1,16 @@
-//! Integration tests of node crash/recovery in the SHARD cluster.
+//! Integration tests of node crash/recovery in the SHARD cluster — and,
+//! since the kernel refactor, regression tests that *every* propagation
+//! strategy applies the same crash gating (the pre-kernel gossip and
+//! partial drivers executed client transactions at crashed nodes).
 
 use shard_apps::airline::{AirlineTxn, FlyByNight};
 use shard_apps::Person;
+use shard_core::ObjectModel;
 use shard_sim::{
-    Cluster, ClusterConfig, CrashSchedule, CrashWindow, DelayModel, Invocation, NodeId,
+    Cluster, ClusterConfig, CrashSchedule, CrashWindow, DelayModel, GossipCluster, GossipConfig,
+    Invocation, NodeId, PartialCluster, Placement,
 };
+use std::sync::Arc;
 
 fn cfg(crashes: CrashSchedule) -> ClusterConfig {
     ClusterConfig {
@@ -79,6 +85,72 @@ fn crash_during_barrier_defers_promises() {
         report.barrier_latencies[0]
     );
     assert!(report.final_states[0].is_assigned(Person(1)));
+}
+
+/// The schedule shared by the per-strategy rejection tests: node 1 is
+/// down for `[50, 150)` and gets one invocation before, during, and
+/// after the outage.
+fn rejection_invocations() -> Vec<Invocation<AirlineTxn>> {
+    vec![
+        Invocation::new(10, NodeId(1), AirlineTxn::Request(Person(1))), // before: ok
+        Invocation::new(100, NodeId(1), AirlineTxn::Request(Person(2))), // down: rejected
+        Invocation::new(200, NodeId(1), AirlineTxn::Request(Person(3))), // recovered: ok
+    ]
+}
+
+fn assert_rejects_like_broadcast(
+    report: &shard_sim::RunReport<FlyByNight>,
+    sink: &Arc<shard_obs::EventSink>,
+) {
+    assert_eq!(report.rejected, vec![(100, NodeId(1))]);
+    assert_eq!(report.transactions.len(), 2);
+    assert!(
+        !report.final_states[0].is_known(Person(2)),
+        "rejected transaction never entered"
+    );
+    assert!(report.final_states[0].is_waiting(Person(1)));
+    assert!(report.final_states[0].is_waiting(Person(3)));
+    let summary = shard_obs::summarize(&sink.drain_to_string());
+    assert_eq!(
+        summary.event_counts["reject"], 1,
+        "the rejection is visible in the trace"
+    );
+    assert_eq!(summary.event_counts["execute"], 2);
+}
+
+#[test]
+fn gossip_rejects_clients_at_crashed_nodes() {
+    // Regression: the pre-kernel gossip driver executed this schedule's
+    // t=100 invocation at the crashed node.
+    let app = FlyByNight::new(5);
+    let sink = shard_obs::EventSink::in_memory();
+    let mut config = cfg(CrashSchedule::new(vec![CrashWindow::new(
+        NodeId(1),
+        50,
+        150,
+    )]));
+    config.sink = Some(Arc::clone(&sink));
+    let cluster = GossipCluster::new(&app, config, GossipConfig { interval: 20 });
+    let report = cluster.run(rejection_invocations());
+    assert_rejects_like_broadcast(&report, &sink);
+    assert!(report.mutually_consistent());
+}
+
+#[test]
+fn partial_rejects_clients_at_crashed_nodes() {
+    // Regression: ditto for the pre-kernel partial-replication driver.
+    let app = FlyByNight::new(5);
+    let sink = shard_obs::EventSink::in_memory();
+    let mut config = cfg(CrashSchedule::new(vec![CrashWindow::new(
+        NodeId(1),
+        50,
+        150,
+    )]));
+    config.sink = Some(Arc::clone(&sink));
+    let cluster = PartialCluster::new(&app, config, Placement::full(3, &app.objects()));
+    let report = cluster.run(rejection_invocations());
+    assert_rejects_like_broadcast(&report, &sink);
+    assert!(report.mutually_consistent());
 }
 
 #[test]

@@ -41,7 +41,7 @@ fn gossip_converges_and_emits_valid_executions() {
     );
     let report = cluster.run(booking(30, 4, 7));
     assert!(report.mutually_consistent());
-    assert!(report.gossip_rounds > 0);
+    assert!(report.rounds > 0);
     assert!(report.entries_shipped > 0);
     let te = report.timed_execution();
     te.execution
@@ -117,9 +117,61 @@ fn single_node_gossips_nothing() {
         GossipConfig { interval: 10 },
     );
     let report = cluster.run(booking(5, 1, 3));
-    assert_eq!(report.gossip_rounds, 0);
+    assert_eq!(report.rounds, 0);
     assert_eq!(report.entries_shipped, 0);
     assert_eq!(report.final_states.len(), 1);
+}
+
+#[test]
+fn gossip_emits_the_shared_merge_trace_vocabulary() {
+    // Gossip runs ride the kernel's traced merge, so their sidecars
+    // carry the same merge.append / merge.out_of_order / merge.duplicate
+    // events as flooding runs — pinned against the report's own metrics.
+    let app = FlyByNight::new(10);
+    let sink = shard_obs::EventSink::in_memory();
+    let cluster = GossipCluster::new(
+        &app,
+        ClusterConfig {
+            nodes: 4,
+            seed: 5,
+            delay: DelayModel::Fixed(5),
+            sink: Some(std::sync::Arc::clone(&sink)),
+            ..Default::default()
+        },
+        GossipConfig { interval: 25 },
+    );
+    let report = cluster.run(booking(30, 4, 7));
+    let summary = shard_obs::summarize(&sink.drain_to_string());
+    assert_eq!(summary.malformed, 0);
+    assert_eq!(summary.event_counts["execute"], 60);
+    assert_eq!(summary.event_counts["deliver"], report.messages_sent);
+    // Every delivered entry lands in exactly one merge.* bucket.
+    let merges: u64 = ["merge.append", "merge.out_of_order", "merge.duplicate"]
+        .iter()
+        .map(|k| summary.event_counts.get(*k).copied().unwrap_or(0))
+        .sum();
+    assert_eq!(merges, report.entries_shipped);
+    assert!(
+        summary
+            .event_counts
+            .get("merge.duplicate")
+            .copied()
+            .unwrap_or(0)
+            > 0,
+        "whole-log pushes re-deliver known entries"
+    );
+    let ooo: u64 = report.node_metrics.iter().map(|m| m.out_of_order).sum();
+    assert_eq!(
+        summary
+            .event_counts
+            .get("merge.out_of_order")
+            .copied()
+            .unwrap_or(0),
+        ooo
+    );
+    let traced_replayed: u64 = summary.node_replay.values().map(|r| r.replayed).sum();
+    assert_eq!(traced_replayed, report.total_replayed());
+    assert!(summary.spans.contains_key("sim.gossip.run"));
 }
 
 #[test]
