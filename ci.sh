@@ -13,6 +13,7 @@ run cargo build --release --all-targets
 run cargo test --workspace -q
 run cargo clippy --all-targets -- -D warnings
 run cargo fmt --check
+RUSTDOCFLAGS="-D warnings" run cargo doc --workspace --no-deps -q
 
 # Smoke-check the observability pipeline: a handful of experiments end
 # to end — the worked example plus one per propagation strategy (partial
@@ -23,7 +24,12 @@ run cargo run -q --release -p shard-bench --bin exp_e01_worked_example
 run cargo run -q --release -p shard-bench --bin exp_e16_partial_replication
 run cargo run -q --release -p shard-bench --bin exp_e17_gossip
 run cargo run -q --release -p shard-bench --bin exp_e20_gossip_partial
-for sidecar in e01 e16 e17 e20; do
+# The chaos search at CI scale: a 25-seed nemesis sweep. Its claims are
+# only the always-theorems (prefix-subsequence, Cor 8, fault-free
+# baselines), so the smoke run cannot flake; its sidecar goes through
+# the same validation as the experiments'.
+run cargo run -q --release -p shard-bench --bin shard-chaos -- --seeds 25
+for sidecar in e01 e16 e17 e20 chaos; do
   run cargo run -q --release -p shard-obs --bin shard-trace -- \
     check "target/exp_metrics/$sidecar.json" \
     experiment ok wall_time_ms claims counters gauges histograms spans

@@ -1,6 +1,6 @@
 //! A highly available replicated dictionary, after Fischer & Michael —
 //! the non-resource-allocation example the paper's conclusion points at
-//! (§6, [FM] "Sacrificing Serializability to Attain High Availability of
+//! (§6, \[FM\] "Sacrificing Serializability to Attain High Availability of
 //! Data in an Unreliable Network").
 //!
 //! The dictionary maps integer keys to values. `INSERT` and `DELETE` are

@@ -20,10 +20,10 @@
 //!   extend to (§2.3, §6).
 //! * [`dictionary`] — a highly available replicated dictionary in the
 //!   style of Fischer–Michael, the non-resource-allocation example the
-//!   paper's conclusion points at ([FM], §6).
+//!   paper's conclusion points at (\[FM\], §6).
 //! * [`nameserver`] — a Grapevine-style name server with per-group
 //!   referential-integrity costs and a scavenging compensator — the
-//!   other §6 suggestion ("name servers such as Grapevine [B] have
+//!   other §6 suggestion ("name servers such as Grapevine \[B\] have
 //!   interesting but nonserializable behavior").
 //! * [`person`] — the competing entities of the airline example.
 

@@ -1,5 +1,5 @@
 //! A Grapevine-style replicated name server — §6: "it has been claimed
-//! that name servers such as Grapevine [B] have interesting but
+//! that name servers such as Grapevine \[B\] have interesting but
 //! nonserializable behavior; it seems likely that they can be described
 //! within our framework." Here is that description.
 //!

@@ -1,4 +1,4 @@
-//! Microbenchmarks of the undo/redo merge engine ([BK]/[SKS], §1.2):
+//! Microbenchmarks of the undo/redo merge engine (\[BK\]/\[SKS\], §1.2):
 //! in-order appends vs out-of-order inserts, and the checkpoint-interval
 //! trade-off.
 

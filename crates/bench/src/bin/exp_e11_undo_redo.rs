@@ -1,5 +1,5 @@
 //! E11 — the undo/redo machinery (§1.2) and the history-processing
-//! optimizations of [BK]/[SKS].
+//! optimizations of \[BK\]/\[SKS\].
 //!
 //! "Keeping the copy correct entails frequent undoing and redoing of
 //! transactions … there are several implementation ideas which reduce

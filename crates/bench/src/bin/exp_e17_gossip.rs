@@ -1,5 +1,5 @@
 //! E17 — extension: anti-entropy gossip vs per-update flooding as the
-//! reliable broadcast ([GLBKSS], §1.2).
+//! reliable broadcast (\[GLBKSS\], §1.2).
 //!
 //! The paper's broadcast only needs eventual delivery; the protocol is
 //! an implementation degree of freedom. Flooding delivers each update

@@ -1,0 +1,151 @@
+//! `shard-chaos` — the chaos-search CLI over the nemesis layer.
+//!
+//! Sweeps seeds over the Fly-by-Night airline under a seeded fault
+//! stack, evaluates the §3 condition checkers and the Corollary 8 cost
+//! bound as oracles on every run, and shrinks the first schedule
+//! defeating each refinement to a minimal event list (E21 is the fixed
+//! 120-seed pinned run of the same engine; this binary is the knob-able
+//! front end CI smoke-runs).
+//!
+//! ```text
+//! shard-chaos [--seeds N] [--start-seed N] [--nodes N] [--txns N]
+//!             [--k-limit K] [--drop P] [--dup P] [--reorder P]
+//!             [--partitions N] [--crashes N] [--no-shrink] [--name S]
+//! ```
+//!
+//! Exit status reflects only the *theorem* oracles (prefix-subsequence,
+//! cost bounds, fault-free baselines): those must hold on every run at
+//! any sweep size. Refinement violations are the search's *findings* —
+//! reported, counted in the sidecar, but never a failure, so small CI
+//! sweeps stay deterministic-green.
+
+use shard_analysis::{ClaimCheck, Table};
+use shard_bench::chaos::{sweep, ChaosConfig, Oracle};
+use shard_bench::report_claim;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: shard-chaos [--seeds N] [--start-seed N] [--nodes N] [--txns N]\n\
+         \x20                  [--k-limit K] [--drop P] [--dup P] [--reorder P]\n\
+         \x20                  [--partitions N] [--crashes N] [--no-shrink] [--name S]"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, v: Option<String>) -> T {
+    let Some(v) = v else {
+        eprintln!("error: {flag} needs a value");
+        usage();
+    };
+    match v.parse() {
+        Ok(x) => x,
+        Err(_) => {
+            eprintln!("error: bad value {v:?} for {flag}");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let mut cfg = ChaosConfig::default();
+    let mut name = String::from("chaos");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seeds" => cfg.seeds = parse(&a, args.next()),
+            "--start-seed" => cfg.start_seed = parse(&a, args.next()),
+            "--nodes" => cfg.nodes = parse(&a, args.next()),
+            "--txns" => cfg.txns = parse(&a, args.next()),
+            "--k-limit" => cfg.k_limit = parse(&a, args.next()),
+            "--drop" => cfg.drop_prob = parse(&a, args.next()),
+            "--dup" => cfg.dup_prob = parse(&a, args.next()),
+            "--reorder" => cfg.reorder_prob = parse(&a, args.next()),
+            "--partitions" => cfg.partition_windows = parse(&a, args.next()),
+            "--crashes" => cfg.crash_windows = parse(&a, args.next()),
+            "--no-shrink" => cfg.shrink = false,
+            "--name" => name = parse(&a, args.next()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    if cfg.seeds == 0 || cfg.nodes == 0 || cfg.txns == 0 {
+        eprintln!("error: --seeds, --nodes and --txns must be positive");
+        usage();
+    }
+
+    let exp = shard_bench::Experiment::start(name);
+    println!(
+        "shard-chaos: sweeping {} seed(s) from {} — {} txns over {} nodes, \
+         drop {:.2} / dup {:.2} / reorder {:.2}, {} partition + {} crash window(s)\n",
+        cfg.seeds,
+        cfg.start_seed,
+        cfg.txns,
+        cfg.nodes,
+        cfg.drop_prob,
+        cfg.dup_prob,
+        cfg.reorder_prob,
+        cfg.partition_windows,
+        cfg.crash_windows,
+    );
+    let outcome = sweep(&cfg);
+
+    let mut theorems = ClaimCheck::new(
+        "theorem oracles hold on every run (prefix-subsequence, Cor 8, fault-free baselines)",
+    );
+    for v in &outcome.verdicts {
+        theorems.record(
+            (!v.verify_ok)
+                .then(|| format!("seed {}: prefix-subsequence condition violated", v.seed)),
+        );
+        theorems.record(
+            (!v.cost_ok)
+                .then(|| format!("seed {}: Corollary 8 overbooking bound violated", v.seed)),
+        );
+        theorems.record(
+            (!v.base_transitive)
+                .then(|| format!("seed {}: fault-free baseline not transitive", v.seed)),
+        );
+        theorems.record((v.base_max_missed > cfg.k_limit).then(|| {
+            format!(
+                "seed {}: fault-free baseline max_missed = {} > {}",
+                v.seed, v.base_max_missed, cfg.k_limit
+            )
+        }));
+    }
+    let ok = report_claim(&theorems);
+
+    let mut t = Table::new(
+        format!("refinement violations over {} seed(s)", cfg.seeds),
+        &["oracle", "violating seeds", "shrunk counterexample"],
+    );
+    for (oracle, broken) in [
+        (Oracle::Transitivity, outcome.transitivity_violations()),
+        (Oracle::KCompleteness, outcome.k_violations(cfg.k_limit)),
+    ] {
+        let ce = match outcome.counterexample(oracle) {
+            Some(ce) => format!(
+                "seed {}: {} → {} events ({} re-runs)",
+                ce.seed,
+                ce.recorded,
+                ce.events.len(),
+                ce.shrink_runs
+            ),
+            None => "—".into(),
+        };
+        t.row(&[oracle.to_string(), format!("{broken}/{}", cfg.seeds), ce]);
+    }
+    println!("\n{t}");
+    shard_bench::maybe_dump_csv(&t);
+
+    for ce in &outcome.counterexamples {
+        println!("\nminimal {} counterexample (seed {}):", ce.oracle, ce.seed);
+        for e in &ce.events {
+            println!("  {e}");
+        }
+    }
+
+    exp.finish(ok);
+}

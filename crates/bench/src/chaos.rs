@@ -1,0 +1,487 @@
+//! Seed-sweeping counterexample search over the nemesis layer.
+//!
+//! The §3.1 counterexamples are hand-built message patterns: lose one
+//! message and transitivity fails, isolate one node and k-completeness
+//! fails. This module regenerates them *mechanically*, Jepsen-style:
+//! sweep seeds, run the Fly-by-Night airline under a recorded
+//! [`shard_sim::nemesis`] fault stack, evaluate the §3 condition
+//! checkers plus the app-level cost bounds as oracles on every run, and
+//! [`shrink`] the first violating fault schedule per oracle down to a
+//! minimal event list.
+//!
+//! Two kinds of oracle, deliberately opposed:
+//!
+//! * **Theorems** — the prefix-subsequence condition
+//!   (`Execution::verify`) and the Corollary 8 cost bound hold *by
+//!   construction / by proof* on every execution the kernel emits, so
+//!   they must survive arbitrary faults. A violation here is a kernel
+//!   bug, not a finding.
+//! * **Refinements** — transitivity, k-completeness and t-bounded delay
+//!   are *extra* conditions a deployment buys with specific mechanisms
+//!   (piggybacking, bounded delays). Faults are expected to defeat
+//!   them; the search reports which fault pattern does, minimally.
+//!
+//! A violation only counts when it is *nemesis-caused*: the same seed's
+//! fault-free baseline must satisfy the refinement the faulted run
+//! breaks. The sweep runs eager broadcast without piggybacking under a
+//! fixed delay, so baselines are transitive and low-k by construction
+//! (uniform delays deliver in send order), and every break is
+//! attributable to the recorded schedule — which is also what makes
+//! shrinking sound (see `shard_sim::nemesis` on replay determinism).
+
+use crate::workloads::{airline_invocations, Routing};
+use shard_apps::airline::workload::AirlineMix;
+use shard_apps::airline::{AirlineTxn, FlyByNight, OVERBOOKING};
+use shard_core::conditions::{is_transitive, max_missed};
+use shard_core::costs::BoundFn;
+use shard_core::Execution;
+use shard_sim::events::SimTime;
+use shard_sim::nemesis::{
+    shrink, CrashInjector, FaultEvent, MessageDropper, MessageDuplicator, MessageReorderer,
+    Nemesis, NemesisStack, PartitionJitter, Recorder, ScheduledNemesis,
+};
+use shard_sim::{ClusterConfig, DelayModel, EagerBroadcast, RunReport, Runner};
+use std::fmt;
+
+/// Configuration of one chaos sweep.
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    /// Number of consecutive seeds to sweep.
+    pub seeds: u64,
+    /// First seed.
+    pub start_seed: u64,
+    /// Cluster size.
+    pub nodes: u16,
+    /// Transactions per run.
+    pub txns: usize,
+    /// Flight capacity (Fly-by-Night).
+    pub capacity: u64,
+    /// Fixed message delay. A *fixed* delay delivers in send order, so
+    /// fault-free runs are transitive and low-k — every refinement
+    /// violation is then attributable to the nemesis.
+    pub fixed_delay: SimTime,
+    /// Mean gap between invocations.
+    pub mean_gap: SimTime,
+    /// k-completeness threshold: a run breaks the oracle when some
+    /// transaction misses more than this many predecessors.
+    pub k_limit: usize,
+    /// Per-message drop probability.
+    pub drop_prob: f64,
+    /// Per-message duplication probability.
+    pub dup_prob: f64,
+    /// Per-message adversarial-reorder probability.
+    pub reorder_prob: f64,
+    /// Jittered partition windows injected per run.
+    pub partition_windows: u32,
+    /// Crash-with-recovery windows injected per run.
+    pub crash_windows: u32,
+    /// Whether to shrink the first violating schedule per oracle.
+    pub shrink: bool,
+}
+
+impl Default for ChaosConfig {
+    /// The E21 configuration: 5 nodes, 40 transactions, moderate fault
+    /// rates — violations are common but not universal, so the sweep
+    /// exercises both verdicts.
+    fn default() -> Self {
+        ChaosConfig {
+            seeds: 100,
+            start_seed: 1,
+            nodes: 5,
+            txns: 40,
+            capacity: 20,
+            fixed_delay: 10,
+            mean_gap: 15,
+            k_limit: 4,
+            drop_prob: 0.12,
+            dup_prob: 0.10,
+            reorder_prob: 0.12,
+            partition_windows: 1,
+            crash_windows: 1,
+            shrink: true,
+        }
+    }
+}
+
+/// Which refinement oracle a counterexample defeats.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Oracle {
+    /// §3.2 transitivity (`is_transitive`).
+    Transitivity,
+    /// §3.2 k-completeness (`max_missed > k_limit`).
+    KCompleteness,
+}
+
+impl fmt::Display for Oracle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Oracle::Transitivity => write!(f, "transitivity"),
+            Oracle::KCompleteness => write!(f, "k-completeness"),
+        }
+    }
+}
+
+/// Oracle verdicts for one seed: the faulted run against its fault-free
+/// baseline.
+#[derive(Clone, Debug)]
+pub struct SeedVerdict {
+    /// The swept seed.
+    pub seed: u64,
+    /// Fault events the recorder captured on the faulted run.
+    pub fault_events: usize,
+    /// Prefix-subsequence condition held on the faulted run (must
+    /// always be true — the kernel guarantees it by construction).
+    pub verify_ok: bool,
+    /// Corollary 8 overbooking bound held on the faulted run (must
+    /// always be true — it is a theorem about *any* execution).
+    pub cost_ok: bool,
+    /// The fault-free baseline was transitive.
+    pub base_transitive: bool,
+    /// The faulted run was transitive.
+    pub faulted_transitive: bool,
+    /// Worst `missed_count` on the baseline.
+    pub base_max_missed: usize,
+    /// Worst `missed_count` on the faulted run.
+    pub faulted_max_missed: usize,
+    /// Smallest t for which the faulted run has t-bounded delay.
+    pub faulted_delay_bound: u64,
+}
+
+impl SeedVerdict {
+    /// The nemesis defeated transitivity: the baseline had it, the
+    /// faulted run lost it.
+    pub fn transitivity_broken(&self) -> bool {
+        self.base_transitive && !self.faulted_transitive
+    }
+
+    /// The nemesis defeated k-completeness at `k_limit`.
+    pub fn k_broken(&self, k_limit: usize) -> bool {
+        self.base_max_missed <= k_limit && self.faulted_max_missed > k_limit
+    }
+}
+
+/// A minimized violating fault schedule — the mechanical analogue of a
+/// §3.1 counterexample.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// The refinement the schedule defeats.
+    pub oracle: Oracle,
+    /// The seed it was found at.
+    pub seed: u64,
+    /// Events recorded before shrinking.
+    pub recorded: usize,
+    /// The shrunk, locally minimal schedule.
+    pub events: Vec<FaultEvent>,
+    /// Simulator re-runs the shrinker spent.
+    pub shrink_runs: usize,
+}
+
+/// Everything a sweep produced.
+#[derive(Clone, Debug, Default)]
+pub struct ChaosOutcome {
+    /// One verdict per swept seed.
+    pub verdicts: Vec<SeedVerdict>,
+    /// At most one shrunk counterexample per oracle (the first found).
+    pub counterexamples: Vec<Counterexample>,
+}
+
+impl ChaosOutcome {
+    /// Seeds on which the nemesis defeated transitivity.
+    pub fn transitivity_violations(&self) -> usize {
+        self.verdicts
+            .iter()
+            .filter(|v| v.transitivity_broken())
+            .count()
+    }
+
+    /// Seeds on which the nemesis defeated k-completeness at `k_limit`.
+    pub fn k_violations(&self, k_limit: usize) -> usize {
+        self.verdicts.iter().filter(|v| v.k_broken(k_limit)).count()
+    }
+
+    /// The shrunk counterexample for `oracle`, if one was found.
+    pub fn counterexample(&self, oracle: Oracle) -> Option<&Counterexample> {
+        self.counterexamples.iter().find(|c| c.oracle == oracle)
+    }
+}
+
+fn run_once(
+    cfg: &ChaosConfig,
+    seed: u64,
+    nemesis: Option<Box<dyn Nemesis>>,
+) -> RunReport<FlyByNight> {
+    let app = FlyByNight::new(cfg.capacity);
+    let invocations = airline_invocations(
+        seed,
+        cfg.txns,
+        cfg.nodes,
+        cfg.mean_gap,
+        AirlineMix::default(),
+        Routing::Random,
+    );
+    let cluster = ClusterConfig {
+        nodes: cfg.nodes,
+        seed,
+        delay: DelayModel::Fixed(cfg.fixed_delay),
+        piggyback: false,
+        ..ClusterConfig::default()
+    };
+    let mut runner = Runner::new(&app, cluster, EagerBroadcast { piggyback: false });
+    if let Some(n) = nemesis {
+        runner = runner.with_nemesis(n);
+    }
+    runner.run(invocations)
+}
+
+/// The fault stack one swept seed runs under. Sub-seeds are derived per
+/// injector so each fault class has an independent stream.
+fn stack_for(cfg: &ChaosConfig, seed: u64) -> NemesisStack {
+    let mut stack = NemesisStack::new();
+    if cfg.drop_prob > 0.0 {
+        stack = stack.with(Box::new(MessageDropper::new(cfg.drop_prob, seed ^ 0xD509)));
+    }
+    if cfg.dup_prob > 0.0 {
+        stack = stack.with(Box::new(MessageDuplicator::new(
+            cfg.dup_prob,
+            2,
+            3 * cfg.fixed_delay,
+            seed ^ 0xD0B1,
+        )));
+    }
+    if cfg.reorder_prob > 0.0 {
+        stack = stack.with(Box::new(MessageReorderer::new(
+            cfg.reorder_prob,
+            3 * cfg.fixed_delay,
+            12 * cfg.fixed_delay,
+            seed ^ 0x8E0D,
+        )));
+    }
+    if cfg.partition_windows > 0 {
+        stack = stack.with(Box::new(PartitionJitter::new(
+            cfg.partition_windows,
+            6 * cfg.fixed_delay,
+            15 * cfg.fixed_delay,
+            seed ^ 0xBA51,
+        )));
+    }
+    if cfg.crash_windows > 0 {
+        stack = stack.with(Box::new(CrashInjector::new(
+            cfg.crash_windows,
+            6 * cfg.fixed_delay,
+            15 * cfg.fixed_delay,
+            seed ^ 0xC8A5,
+        )));
+    }
+    stack
+}
+
+fn oracle_holds_broken(cfg: &ChaosConfig, oracle: Oracle, exec: &Execution<FlyByNight>) -> bool {
+    match oracle {
+        Oracle::Transitivity => !is_transitive(exec),
+        Oracle::KCompleteness => max_missed(exec) > cfg.k_limit,
+    }
+}
+
+/// Runs the sweep: per seed, a fault-free baseline and a recorded
+/// faulted run, oracle evaluation, and (for the first violating seed
+/// per refinement oracle) schedule shrinking. Feeds `chaos.*` and
+/// `nemesis.*` counters into the global metrics registry when
+/// observability is enabled.
+pub fn sweep(cfg: &ChaosConfig) -> ChaosOutcome {
+    let _span = shard_obs::span!("chaos.sweep");
+    let app = FlyByNight::new(cfg.capacity);
+    let bound = BoundFn::linear(900);
+    let mut outcome = ChaosOutcome::default();
+    for seed in cfg.start_seed..cfg.start_seed + cfg.seeds {
+        let baseline = run_once(cfg, seed, None);
+        let base_exec = baseline.timed_execution().execution;
+        let (recorder, log) = Recorder::new(Box::new(stack_for(cfg, seed)));
+        let faulted = run_once(cfg, seed, Some(Box::new(recorder)));
+        let te = faulted.timed_execution();
+        let verify_ok = te.execution.verify(&app).is_ok();
+        let (_, cost_check) = shard_analysis::claims::check_invariant_bound(
+            &app,
+            &te.execution,
+            OVERBOOKING,
+            &bound,
+            |d| matches!(d, AirlineTxn::MoveUp),
+        );
+        let verdict = SeedVerdict {
+            seed,
+            fault_events: log.len(),
+            verify_ok,
+            cost_ok: cost_check.holds(),
+            base_transitive: is_transitive(&base_exec),
+            faulted_transitive: is_transitive(&te.execution),
+            base_max_missed: max_missed(&base_exec),
+            faulted_max_missed: max_missed(&te.execution),
+            faulted_delay_bound: te.min_delay_bound(),
+        };
+        if shard_obs::enabled() {
+            let r = shard_obs::Registry::global();
+            r.counter("chaos.runs").inc();
+            r.counter("nemesis.dropped").add(faulted.faults.dropped);
+            r.counter("nemesis.duplicated")
+                .add(faulted.faults.duplicated);
+            r.counter("nemesis.delayed").add(faulted.faults.delayed);
+            r.counter("nemesis.partitions")
+                .add(faulted.faults.partitions_injected);
+            r.counter("nemesis.crashes")
+                .add(faulted.faults.crashes_injected);
+            if verdict.transitivity_broken() {
+                r.counter("chaos.violations.transitivity").inc();
+            }
+            if verdict.k_broken(cfg.k_limit) {
+                r.counter("chaos.violations.k_completeness").inc();
+            }
+        }
+        for oracle in [Oracle::Transitivity, Oracle::KCompleteness] {
+            let broken = match oracle {
+                Oracle::Transitivity => verdict.transitivity_broken(),
+                Oracle::KCompleteness => verdict.k_broken(cfg.k_limit),
+            };
+            if broken && cfg.shrink && outcome.counterexample(oracle).is_none() {
+                outcome.counterexamples.push(shrink_counterexample(
+                    cfg,
+                    oracle,
+                    seed,
+                    &log.events(),
+                ));
+            }
+        }
+        outcome.verdicts.push(verdict);
+    }
+    outcome
+}
+
+/// Shrinks `events` to a locally minimal schedule still defeating
+/// `oracle` at `seed`, re-running the simulator per candidate through
+/// [`ScheduledNemesis`] (exact replay: eager broadcast's send sequence
+/// is fate-independent).
+pub fn shrink_counterexample(
+    cfg: &ChaosConfig,
+    oracle: Oracle,
+    seed: u64,
+    events: &[FaultEvent],
+) -> Counterexample {
+    let _span = shard_obs::span!("chaos.shrink");
+    let mut runs = 0usize;
+    let shrunk = shrink(events, |candidate| {
+        runs += 1;
+        let report = run_once(cfg, seed, Some(Box::new(ScheduledNemesis::new(candidate))));
+        oracle_holds_broken(cfg, oracle, &report.timed_execution().execution)
+    });
+    if shard_obs::enabled() {
+        let r = shard_obs::Registry::global();
+        r.counter("chaos.shrink.runs").add(runs as u64);
+        r.gauge(match oracle {
+            Oracle::Transitivity => "chaos.ce.transitivity.events",
+            Oracle::KCompleteness => "chaos.ce.k_completeness.events",
+        })
+        .set(shrunk.len() as i64);
+    }
+    Counterexample {
+        oracle,
+        seed,
+        recorded: events.len(),
+        events: shrunk,
+        shrink_runs: runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ChaosConfig {
+        ChaosConfig {
+            seeds: 6,
+            txns: 25,
+            ..ChaosConfig::default()
+        }
+    }
+
+    #[test]
+    fn baselines_satisfy_the_refinements() {
+        // Fixed delay ⇒ send-order delivery ⇒ fault-free runs are
+        // transitive and low-k: the precondition for attributing any
+        // violation to the nemesis.
+        let cfg = tiny();
+        for v in sweep(&ChaosConfig {
+            shrink: false,
+            ..cfg
+        })
+        .verdicts
+        {
+            assert!(v.base_transitive, "seed {}", v.seed);
+            assert!(v.base_max_missed <= cfg.k_limit, "seed {}", v.seed);
+        }
+    }
+
+    #[test]
+    fn theorems_survive_faults_and_refinements_break() {
+        let cfg = ChaosConfig {
+            seeds: 12,
+            ..tiny()
+        };
+        let outcome = sweep(&cfg);
+        for v in &outcome.verdicts {
+            assert!(v.verify_ok, "prefix-subsequence must survive faults");
+            assert!(v.cost_ok, "Corollary 8 must survive faults");
+        }
+        assert!(
+            outcome.transitivity_violations() > 0,
+            "12 seeds at these fault rates defeat transitivity somewhere"
+        );
+    }
+
+    #[test]
+    fn sweep_is_deterministic_per_seed_range() {
+        let cfg = ChaosConfig {
+            shrink: false,
+            ..tiny()
+        };
+        let a = sweep(&cfg);
+        let b = sweep(&cfg);
+        for (x, y) in a.verdicts.iter().zip(&b.verdicts) {
+            assert_eq!(x.fault_events, y.fault_events);
+            assert_eq!(x.faulted_transitive, y.faulted_transitive);
+            assert_eq!(x.faulted_max_missed, y.faulted_max_missed);
+        }
+    }
+
+    #[test]
+    fn shrunk_counterexample_still_reproduces_and_is_minimal_enough() {
+        let cfg = tiny();
+        let outcome = sweep(&cfg);
+        let Some(ce) = outcome.counterexample(Oracle::Transitivity) else {
+            panic!("expected a transitivity counterexample in 6 seeds");
+        };
+        assert!(ce.events.len() <= ce.recorded);
+        assert!(
+            !ce.events.is_empty(),
+            "empty schedule = baseline, which is transitive"
+        );
+        // Replaying the shrunk schedule still defeats the oracle.
+        let report = run_once(
+            &cfg,
+            ce.seed,
+            Some(Box::new(ScheduledNemesis::new(&ce.events))),
+        );
+        assert!(!is_transitive(&report.timed_execution().execution));
+        // And it is 1-minimal: removing any single event repairs it.
+        for i in 0..ce.events.len() {
+            let mut without: Vec<FaultEvent> = ce.events.clone();
+            without.remove(i);
+            let report = run_once(
+                &cfg,
+                ce.seed,
+                Some(Box::new(ScheduledNemesis::new(&without))),
+            );
+            assert!(
+                is_transitive(&report.timed_execution().execution),
+                "event {i} is redundant in the shrunk schedule"
+            );
+        }
+    }
+}

@@ -14,8 +14,8 @@
 //!   `(updates applied, state)` pairs recorded every `interval` updates.
 //!   Shared verbatim by the simulator's undo/redo merge log, where the
 //!   interval is the checkpoint-spacing ablation knob (experiment E11).
-//! * [`ReplayCache`] *(crate-private)* — the memo owned by every
-//!   [`Execution`](crate::execution::Execution): checkpoints along the
+//! * `ReplayCache` *(crate-private)* — the memo owned by every
+//!   [`Execution`]: checkpoints along the
 //!   full serial order for actual-state queries, plus checkpoints along
 //!   the **most recent replay path** for prefix-subsequence queries.
 //!   A query for a new prefix resumes from the deepest checkpoint at or
@@ -96,7 +96,7 @@ pub struct ReplayStats {
 /// updates.
 ///
 /// This is the structure the paper's §1.2 merge discussion attributes to
-/// [BK]/[SKS]: keep periodic snapshots so that undoing to a timestamp
+/// \[BK\]/\[SKS\]: keep periodic snapshots so that undoing to a timestamp
 /// means dropping the invalidated suffix of checkpoints and redoing from
 /// the deepest survivor. The same structure serves the in-memory replay
 /// cache of [`Replayer`] and `Execution`.

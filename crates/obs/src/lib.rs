@@ -10,7 +10,7 @@
 //!   hot paths (the replay engine, the merge loop) can be instrumented
 //!   without distorting what they measure; a process-wide kill-switch
 //!   ([`set_enabled`]) lets benchmarks quantify the residual overhead.
-//! * [`span`] — scoped wall-time timers: `let _s = obs::span!("x");`
+//! * [`mod@span`] — scoped wall-time timers: `let _s = obs::span!("x");`
 //!   records elapsed nanoseconds into histogram `span.x` on drop.
 //! * [`event`] — an [`EventSink`] writing structured JSONL: simulators
 //!   log update deliveries, merge appends and out-of-order undo/redo
@@ -43,4 +43,6 @@ pub use metrics::{
     Registry, Snapshot, HISTOGRAM_BUCKETS,
 };
 pub use span::{SpanGuard, SPAN_PREFIX};
-pub use trace::{aggregate, check_sidecar, summarize, NodeReplay, SpanAgg, TraceSummary};
+pub use trace::{
+    aggregate, check_sidecar, summarize, FaultTally, NodeReplay, SpanAgg, TraceSummary,
+};

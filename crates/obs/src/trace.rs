@@ -5,8 +5,9 @@
 //! over these functions. Three operations:
 //!
 //! * [`summarize`] — digest a JSONL trace into event counts, the
-//!   per-node undo/redo (out-of-order merge) distribution, and a
-//!   span-time table; [`TraceSummary::render`] prints it.
+//!   per-node undo/redo (out-of-order merge) distribution, an
+//!   injected-fault tally (`nemesis.*` events), and a span-time
+//!   table; [`TraceSummary::render`] prints it.
 //! * [`check_sidecar`] — validate that an experiment sidecar is
 //!   well-formed JSON carrying a set of required top-level keys.
 //! * [`aggregate`] — combine validated sidecars into one
@@ -31,6 +32,29 @@ pub struct SpanAgg {
     pub max_ns: u64,
 }
 
+/// Totals of the `nemesis.*` fault events a trace carries — the
+/// injected-fault footprint of a chaos run (all zero on a clean run).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultTally {
+    /// Messages the nemesis dropped (`nemesis.drop`).
+    pub dropped: u64,
+    /// Extra copies the nemesis scheduled (`nemesis.duplicate`,
+    /// summing each event's `extra` field).
+    pub duplicated: u64,
+    /// Messages delivered later than the network chose
+    /// (`nemesis.delay`).
+    pub delayed: u64,
+    /// Largest single added delay in sim-time ticks.
+    pub max_delay: u64,
+}
+
+impl FaultTally {
+    /// Total fault events tallied.
+    pub fn total(&self) -> u64 {
+        self.dropped + self.duplicated + self.delayed
+    }
+}
+
 /// Per-node undo/redo repair totals from `merge.out_of_order` events.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct NodeReplay {
@@ -53,6 +77,8 @@ pub struct TraceSummary {
     pub event_counts: BTreeMap<String, u64>,
     /// Undo/redo distribution keyed by node id.
     pub node_replay: BTreeMap<u64, NodeReplay>,
+    /// Injected-fault totals from `nemesis.*` events.
+    pub faults: FaultTally,
     /// Span-time table keyed by span name.
     pub spans: BTreeMap<String, SpanAgg>,
 }
@@ -83,6 +109,15 @@ pub fn summarize(jsonl: &str) -> TraceSummary {
                 e.out_of_order += 1;
                 e.replayed += depth;
                 e.max_depth = e.max_depth.max(depth);
+            }
+            "nemesis.drop" => s.faults.dropped += 1,
+            "nemesis.duplicate" => {
+                s.faults.duplicated += v.get("extra").and_then(Json::as_u64).unwrap_or(1);
+            }
+            "nemesis.delay" => {
+                let by = v.get("by").and_then(Json::as_u64).unwrap_or(0);
+                s.faults.delayed += 1;
+                s.faults.max_delay = s.faults.max_delay.max(by);
             }
             "span" => {
                 if let (Some(span), Some(ns)) = (
@@ -131,6 +166,17 @@ impl TraceSummary {
                     node, r.out_of_order, r.replayed, r.max_depth
                 );
             }
+        }
+        if self.faults.total() > 0 {
+            let _ = writeln!(out, "\ninjected faults (nemesis):");
+            let _ = writeln!(
+                out,
+                "  dropped {:>6}   duplicated {:>6}   delayed {:>6}   max delay {:>6}",
+                self.faults.dropped,
+                self.faults.duplicated,
+                self.faults.delayed,
+                self.faults.max_delay
+            );
         }
         if !self.spans.is_empty() {
             let _ = writeln!(out, "\nspan times:");
@@ -215,12 +261,17 @@ mod tests {
         "not json at all\n",
         "{\"event\":\"span\",\"name\":\"sim.run\",\"ns\":1500}\n",
         "{\"event\":\"span\",\"name\":\"sim.run\",\"ns\":500}\n",
+        "{\"event\":\"nemesis.drop\",\"t\":3,\"msg\":7,\"from\":0,\"node\":1}\n",
+        "{\"event\":\"nemesis.drop\",\"t\":5,\"msg\":9,\"from\":2,\"node\":0}\n",
+        "{\"event\":\"nemesis.duplicate\",\"t\":6,\"msg\":11,\"extra\":2}\n",
+        "{\"event\":\"nemesis.delay\",\"t\":8,\"msg\":12,\"by\":40}\n",
+        "{\"event\":\"nemesis.delay\",\"t\":9,\"msg\":13,\"by\":15}\n",
     );
 
     #[test]
     fn summarize_counts_events_nodes_and_spans() {
         let s = summarize(TRACE);
-        assert_eq!(s.lines, 8, "blank line skipped");
+        assert_eq!(s.lines, 13, "blank line skipped");
         assert_eq!(s.malformed, 1);
         assert_eq!(s.event_counts["deliver"], 1);
         assert_eq!(s.event_counts["merge.out_of_order"], 3);
@@ -239,6 +290,28 @@ mod tests {
         assert!(report.contains("merge.out_of_order"));
         assert!(report.contains("sim.run"));
         assert!(report.contains("1 malformed"));
+    }
+
+    #[test]
+    fn summarize_tallies_nemesis_faults() {
+        let s = summarize(TRACE);
+        assert_eq!(
+            s.faults,
+            FaultTally {
+                dropped: 2,
+                duplicated: 2,
+                delayed: 2,
+                max_delay: 40
+            }
+        );
+        assert_eq!(s.faults.total(), 6);
+        let report = s.render();
+        assert!(report.contains("injected faults (nemesis):"));
+        assert!(report.contains("max delay     40"));
+        // A clean trace renders no fault section at all.
+        let clean = summarize("{\"event\":\"deliver\",\"t\":1,\"node\":0}\n");
+        assert_eq!(clean.faults, FaultTally::default());
+        assert!(!clean.render().contains("nemesis"));
     }
 
     #[test]

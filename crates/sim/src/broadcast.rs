@@ -1,4 +1,4 @@
-//! Reliable broadcast of updates (§1.2, [GLBKSS]).
+//! Reliable broadcast of updates (§1.2, \[GLBKSS\]).
 //!
 //! "After a transaction is processed at its originating node, information
 //! about the transaction is broadcast reliably to all the other nodes …
@@ -10,7 +10,7 @@
 //! delivering after a sampled network delay. Since partition windows are
 //! finite, delivery is guaranteed — exactly the eventual-delivery
 //! property the paper relies on, with none of the protocol detail of the
-//! (unpublished) [GLBKSS] report.
+//! (unpublished) \[GLBKSS\] report.
 //!
 //! Messages optionally **piggyback** the origin's entire known log —
 //! §3.3: "an appropriate distributed communication protocol could

@@ -51,6 +51,11 @@ impl CrashSchedule {
         self.windows.is_empty()
     }
 
+    /// Adds a window.
+    pub fn push(&mut self, w: CrashWindow) {
+        self.windows.push(w);
+    }
+
     /// The scheduled outage windows.
     pub fn windows(&self) -> &[CrashWindow] {
         &self.windows

@@ -1,4 +1,4 @@
-//! Anti-entropy gossip broadcast — the [GLBKSS]-style alternative to
+//! Anti-entropy gossip broadcast — the \[GLBKSS\]-style alternative to
 //! per-update flooding.
 //!
 //! §1.2 relies on a reliable broadcast that delivers "in as timely a

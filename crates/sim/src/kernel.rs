@@ -10,7 +10,7 @@
 //!
 //! * [`Node`] — a replica: Lamport clock, undo/redo [`MergeLog`], and a
 //!   count of locally initiated transactions (for §3.3 promises);
-//! * [`Event`]s `Invoke` / `Deliver` / `Tick` (plus the §3.3 barrier's
+//! * `Event`s `Invoke` / `Deliver` / `Tick` (plus the §3.3 barrier's
 //!   `Probe` / `Promise`), handled by [`Runner`] with partition, crash
 //!   and delay gating applied uniformly: a crashed node rejects client
 //!   transactions (with a `reject` trace event), the transport holds
@@ -26,7 +26,7 @@
 //! Strategies also share one structured-event vocabulary: `execute`,
 //! `deliver` (with `from` and `entries` fields), `reject`, and the
 //! `merge.append` / `merge.out_of_order` / `merge.duplicate` outcomes of
-//! [`merge_traced`] are emitted identically whatever the transport.
+//! the traced merge are emitted identically whatever the transport.
 
 use crate::broadcast::delivery_time;
 use crate::clock::{LamportClock, NodeId, Timestamp};
@@ -34,6 +34,7 @@ use crate::crash::CrashSchedule;
 use crate::delay::DelayModel;
 use crate::events::{EventQueue, SimTime};
 use crate::merge::{MergeLog, MergeMetrics};
+use crate::nemesis::{Fate, MsgCtx, Nemesis};
 use crate::partition::PartitionSchedule;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -194,6 +195,36 @@ pub struct ExecutedTxn<A: Application> {
     pub known: Vec<Timestamp>,
 }
 
+/// What a run's [`Nemesis`] did to the transport, counted by the kernel
+/// itself (by differencing each message's fate against its fault-free
+/// delivery), so the tally is trustworthy whatever the injector claims.
+/// All zeros when no nemesis is attached.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages dropped (every copy lost).
+    pub dropped: u64,
+    /// Extra message copies delivered beyond the original.
+    pub duplicated: u64,
+    /// Messages whose earliest surviving copy was delayed past its
+    /// fault-free arrival.
+    pub delayed: u64,
+    /// Partition windows the nemesis injected at run start.
+    pub partitions_injected: u64,
+    /// Crash windows the nemesis injected at run start.
+    pub crashes_injected: u64,
+}
+
+impl FaultStats {
+    /// Total faults applied.
+    pub fn total(&self) -> u64 {
+        self.dropped
+            + self.duplicated
+            + self.delayed
+            + self.partitions_injected
+            + self.crashes_injected
+    }
+}
+
 /// Everything a kernel run produces, whatever the propagation strategy.
 /// `ClusterReport`, `GossipReport` and `PartialReport` are aliases.
 #[derive(Clone, Debug)]
@@ -225,6 +256,8 @@ pub struct RunReport<A: Application> {
     /// Anti-entropy rounds performed: ticks on which the strategy sent
     /// at least one message. Zero for strategies without ticks.
     pub rounds: u64,
+    /// Faults the run's [`Nemesis`] applied (all zeros without one).
+    pub faults: FaultStats,
 }
 
 impl<A: Application> RunReport<A> {
@@ -357,6 +390,18 @@ struct PendingCritical<A: Application> {
     done: bool,
 }
 
+/// Run-wide transport tallies, bundled so [`Network`] construction
+/// sites thread one borrow instead of four.
+#[derive(Default)]
+struct WireStats {
+    messages_sent: u64,
+    entries_shipped: u64,
+    /// Send sequence number the nemesis hook keys message faults by
+    /// (1-based, assigned in send order; untouched without a nemesis).
+    msg_seq: u64,
+    faults: FaultStats,
+}
+
 /// The transport handle a [`Propagation`] strategy sends through. All
 /// sends share the kernel's partition/delay gating and RNG stream, and
 /// feed the run's `messages_sent` / `entries_shipped` counters.
@@ -370,8 +415,9 @@ pub struct Network<'a, A: Application> {
     queue: &'a mut EventQueue<Event<A>>,
     /// Number of nodes in the cluster.
     pub nodes: u16,
-    messages_sent: &'a mut u64,
-    entries_shipped: &'a mut u64,
+    wire: &'a mut WireStats,
+    nemesis: &'a mut Option<Box<dyn Nemesis>>,
+    sink: Option<&'a shard_obs::EventSink>,
 }
 
 impl<A: Application> Network<'_, A> {
@@ -384,21 +430,86 @@ impl<A: Application> Network<'_, A> {
     /// Sends `entries` from `from` to `to`: the message waits out any
     /// partition separating the pair, takes one sampled network delay,
     /// and is merged at the receiver by the kernel's traced-merge
-    /// delivery handler.
+    /// delivery handler. An attached [`Nemesis`] may rewrite the fate —
+    /// drop the message, duplicate it, or move its arrivals — after the
+    /// fault-free delivery time has been computed, so the kernel RNG
+    /// stream is identical with and without one.
     pub fn send(&mut self, now: SimTime, from: NodeId, to: NodeId, entries: Entries<A>) {
         let at = delivery_time(self.partitions, self.delay, self.rng, now, from, to);
-        *self.messages_sent += 1;
-        *self.entries_shipped += entries.len() as u64;
-        self.queue.schedule(
-            at,
-            Event::Deliver {
-                to,
-                packet: Packet {
-                    origin: from,
-                    entries,
+        self.wire.messages_sent += 1;
+        self.wire.entries_shipped += entries.len() as u64;
+        let Some(nemesis) = self.nemesis.as_deref_mut() else {
+            self.queue.schedule(
+                at,
+                Event::Deliver {
+                    to,
+                    packet: Packet {
+                        origin: from,
+                        entries,
+                    },
                 },
-            },
-        );
+            );
+            return;
+        };
+        self.wire.msg_seq += 1;
+        let ctx = MsgCtx {
+            seq: self.wire.msg_seq,
+            now,
+            from,
+            to,
+            at,
+        };
+        let mut fate = Fate::deliver(at);
+        nemesis.on_message(&ctx, &mut fate);
+        if fate.is_dropped() {
+            self.wire.faults.dropped += 1;
+            if let Some(s) = self.sink {
+                s.event("nemesis.drop")
+                    .u64("t", now)
+                    .u64("msg", ctx.seq)
+                    .u64("from", u64::from(from.0))
+                    .u64("node", u64::from(to.0))
+                    .emit();
+            }
+            return;
+        }
+        let primary = fate.primary().expect("non-dropped fate has a primary");
+        if primary != at {
+            self.wire.faults.delayed += 1;
+            if let Some(s) = self.sink {
+                s.event("nemesis.delay")
+                    .u64("t", now)
+                    .u64("msg", ctx.seq)
+                    .u64("node", u64::from(to.0))
+                    .u64("by", primary.saturating_sub(at))
+                    .emit();
+            }
+        }
+        if fate.times.len() > 1 {
+            let extra = (fate.times.len() - 1) as u64;
+            self.wire.faults.duplicated += extra;
+            if let Some(s) = self.sink {
+                s.event("nemesis.duplicate")
+                    .u64("t", now)
+                    .u64("msg", ctx.seq)
+                    .u64("node", u64::from(to.0))
+                    .u64("extra", extra)
+                    .emit();
+            }
+        }
+        let packet = Packet {
+            origin: from,
+            entries,
+        };
+        for &t in &fate.times {
+            self.queue.schedule(
+                t,
+                Event::Deliver {
+                    to,
+                    packet: packet.clone(),
+                },
+            );
+        }
     }
 }
 
@@ -406,6 +517,31 @@ impl<A: Application> Network<'_, A> {
 /// execution, delivery, merging and failure gating; a strategy only
 /// decides *what to send when* — on each execution and on each
 /// anti-entropy tick — and when a draining run has converged.
+///
+/// # Examples
+///
+/// Strategies are interchangeable at the [`Runner`] seam — the same
+/// workload driven by flooding and by anti-entropy gossip converges to
+/// the same replicated state either way:
+///
+/// ```
+/// use shard_apps::airline::{AirlineTxn, FlyByNight};
+/// use shard_apps::Person;
+/// use shard_sim::{ClusterConfig, EagerBroadcast, Gossip, Invocation, NodeId, Runner};
+///
+/// let app = FlyByNight::new(2);
+/// let invs = vec![Invocation::new(1, NodeId(0), AirlineTxn::Request(Person(7)))];
+/// let flood = Runner::new(&app, ClusterConfig::default(), EagerBroadcast::default())
+///     .run(invs.clone());
+/// let gossip = Runner::new(
+///     &app,
+///     ClusterConfig::default(),
+///     Gossip { interval: 5, fanout: 4 },
+/// )
+/// .run(invs);
+/// assert!(flood.mutually_consistent() && gossip.mutually_consistent());
+/// assert_eq!(flood.final_states[0], gossip.final_states[0]);
+/// ```
 pub trait Propagation<A: Application> {
     /// Short name used for the run's span (`sim.<label>.run`) and trace.
     fn label(&self) -> &'static str;
@@ -475,6 +611,7 @@ pub struct Runner<'a, A: Application, P: Propagation<A>> {
     app: &'a A,
     config: ClusterConfig,
     strategy: P,
+    nemesis: Option<Box<dyn Nemesis>>,
 }
 
 impl<'a, A: Application, P: Propagation<A>> Runner<'a, A, P> {
@@ -493,7 +630,20 @@ impl<'a, A: Application, P: Propagation<A>> Runner<'a, A, P> {
             app,
             config,
             strategy,
+            nemesis: None,
         }
+    }
+
+    /// Attaches a fault injector (see [`crate::nemesis`]): every update
+    /// message's fate passes through it, and it may add partition/crash
+    /// windows at run start. Without one, runs are bit-for-bit identical
+    /// to a `Runner` built before this hook existed — the nemesis is
+    /// consulted only after the fault-free delivery time has been drawn
+    /// from the kernel RNG.
+    #[must_use]
+    pub fn with_nemesis(mut self, nemesis: Box<dyn Nemesis>) -> Self {
+        self.nemesis = Some(nemesis);
+        self
     }
 
     /// Runs the invocation schedule to completion (all messages drained,
@@ -528,11 +678,33 @@ impl<'a, A: Application, P: Propagation<A>> Runner<'a, A, P> {
     ) -> RunReport<A> {
         let Runner {
             app,
-            config: cfg,
+            config: mut cfg,
             mut strategy,
+            mut nemesis,
         } = self;
         let span_name = format!("sim.{}.run", strategy.label());
         let run_span = shard_obs::span!(&span_name);
+        let mut wire = WireStats::default();
+        if let Some(nem) = nemesis.as_deref_mut() {
+            // Injected windows join the scripted schedules before the
+            // run starts, so failure gating and the announced schedule
+            // treat scripted and injected faults identically.
+            let horizon = invocations
+                .iter()
+                .map(|i| i.time)
+                .max()
+                .unwrap_or(0)
+                .max(cfg.partitions.horizon());
+            let injected = nem.inject(cfg.nodes, horizon);
+            wire.faults.partitions_injected = injected.partitions.len() as u64;
+            wire.faults.crashes_injected = injected.crashes.len() as u64;
+            for w in injected.partitions {
+                cfg.partitions.push(w);
+            }
+            for w in injected.crashes {
+                cfg.crashes.push(w);
+            }
+        }
         if let Some(sink) = cfg.sink.as_deref() {
             emit_schedule(sink, &cfg.partitions, &cfg.crashes);
         }
@@ -574,8 +746,6 @@ impl<'a, A: Application, P: Propagation<A>> Runner<'a, A, P> {
         let mut pending: Vec<PendingCritical<A>> = Vec::new();
         let mut barrier_latencies: Vec<SimTime> = Vec::new();
         let mut rejected: Vec<(SimTime, NodeId)> = Vec::new();
-        let mut messages_sent = 0u64;
-        let mut entries_shipped = 0u64;
         let mut rounds = 0u64;
 
         while let Some((now, event)) = queue.pop() {
@@ -620,8 +790,8 @@ impl<'a, A: Application, P: Propagation<A>> Runner<'a, A, P> {
                             &mut nodes,
                             &mut transactions,
                             &mut external_actions,
-                            &mut messages_sent,
-                            &mut entries_shipped,
+                            &mut wire,
+                            &mut nemesis,
                             now,
                             node,
                             decision,
@@ -661,8 +831,8 @@ impl<'a, A: Application, P: Propagation<A>> Runner<'a, A, P> {
                         &mut nodes,
                         &mut transactions,
                         &mut external_actions,
-                        &mut messages_sent,
-                        &mut entries_shipped,
+                        &mut wire,
+                        &mut nemesis,
                         &mut pending,
                         &mut barrier_latencies,
                         now,
@@ -677,18 +847,19 @@ impl<'a, A: Application, P: Propagation<A>> Runner<'a, A, P> {
                     // A crashed node skips its rounds but resumes the
                     // cadence after recovery.
                     if !cfg.crashes.is_down(now, node) {
-                        let before = messages_sent;
+                        let before = wire.messages_sent;
                         let mut net = Network {
                             partitions: &cfg.partitions,
                             delay: &cfg.delay,
                             rng: &mut rng,
                             queue: &mut queue,
                             nodes: cfg.nodes,
-                            messages_sent: &mut messages_sent,
-                            entries_shipped: &mut entries_shipped,
+                            wire: &mut wire,
+                            nemesis: &mut nemesis,
+                            sink: cfg.sink.as_deref(),
                         };
                         strategy.on_tick(app, &mut net, &nodes, now, node);
-                        if messages_sent > before {
+                        if wire.messages_sent > before {
                             rounds += 1;
                         }
                     }
@@ -730,8 +901,8 @@ impl<'a, A: Application, P: Propagation<A>> Runner<'a, A, P> {
                         &mut nodes,
                         &mut transactions,
                         &mut external_actions,
-                        &mut messages_sent,
-                        &mut entries_shipped,
+                        &mut wire,
+                        &mut nemesis,
                         &mut pending,
                         &mut barrier_latencies,
                         now,
@@ -762,9 +933,10 @@ impl<'a, A: Application, P: Propagation<A>> Runner<'a, A, P> {
             external_actions,
             barrier_latencies,
             rejected,
-            messages_sent,
-            entries_shipped,
+            messages_sent: wire.messages_sent,
+            entries_shipped: wire.entries_shipped,
             rounds,
+            faults: wire.faults,
         }
     }
 }
@@ -782,8 +954,8 @@ fn execute_txn<A: Application, P: Propagation<A>>(
     nodes: &mut [Node<A>],
     transactions: &mut Vec<ExecutedTxn<A>>,
     external_actions: &mut Vec<(SimTime, NodeId, ExternalAction)>,
-    messages_sent: &mut u64,
-    entries_shipped: &mut u64,
+    wire: &mut WireStats,
+    nemesis: &mut Option<Box<dyn Nemesis>>,
     now: SimTime,
     node: NodeId,
     decision: A::Decision,
@@ -822,8 +994,9 @@ fn execute_txn<A: Application, P: Propagation<A>>(
         rng,
         queue,
         nodes: cfg.nodes,
-        messages_sent,
-        entries_shipped,
+        wire,
+        nemesis,
+        sink: cfg.sink.as_deref(),
     };
     strategy.on_execute(app, &mut net, nodes, now, node, ts, &update);
 }
@@ -841,8 +1014,8 @@ fn release_criticals<A: Application, P: Propagation<A>>(
     nodes: &mut [Node<A>],
     transactions: &mut Vec<ExecutedTxn<A>>,
     external_actions: &mut Vec<(SimTime, NodeId, ExternalAction)>,
-    messages_sent: &mut u64,
-    entries_shipped: &mut u64,
+    wire: &mut WireStats,
+    nemesis: &mut Option<Box<dyn Nemesis>>,
     pending: &mut [PendingCritical<A>],
     barrier_latencies: &mut Vec<SimTime>,
     now: SimTime,
@@ -883,8 +1056,8 @@ fn release_criticals<A: Application, P: Propagation<A>>(
                 nodes,
                 transactions,
                 external_actions,
-                messages_sent,
-                entries_shipped,
+                wire,
+                nemesis,
                 now,
                 node,
                 decision,

@@ -15,11 +15,11 @@
 //! * [`broadcast`] — reliable broadcast via per-link retry: messages
 //!   blocked by a partition are retried until the network heals, so
 //!   barring permanent failure every node eventually receives every
-//!   update (the [GLBKSS] guarantee, which is all the paper relies on).
+//!   update (the \[GLBKSS\] guarantee, which is all the paper relies on).
 //! * [`merge`] — the undo/redo merge engine: each node keeps its copy
 //!   equal to the effect of running all updates it knows in timestamp
 //!   order, rolling back to a checkpoint and replaying when an update
-//!   arrives out of order ([BK]/[SKS]); exposes undo/redo metrics.
+//!   arrives out of order (\[BK\]/\[SKS\]); exposes undo/redo metrics.
 //! * [`kernel`] — **the one event loop**: a [`Runner`] drives
 //!   Invoke/Deliver/Tick events over shared [`kernel::Node`] replicas
 //!   with partition, crash and delay gating applied uniformly, emits a
@@ -39,6 +39,11 @@
 //!   per-object [`Placement`]s ([`PartialPlacement`] strategy +
 //!   [`PartialCluster`] facade), preserving all correctness conditions
 //!   while reducing message volume.
+//! * [`nemesis`] — seeded, composable fault injection plugged into the
+//!   kernel transport ([`Runner::with_nemesis`]): message drop,
+//!   duplication and adversarial reordering, jittered partition and
+//!   crash windows; plus recording, exact replay and delta-debugging
+//!   shrinking of violating fault schedules.
 //!
 //! The structural guarantee: because receiving a message advances the
 //! Lamport clock past the sender's timestamp, a node can never know an
@@ -49,7 +54,7 @@
 //! kernel.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod broadcast;
 pub mod clock;
@@ -60,6 +65,7 @@ pub mod events;
 pub mod gossip;
 pub mod kernel;
 pub mod merge;
+pub mod nemesis;
 pub mod partial;
 pub mod partition;
 
@@ -68,7 +74,11 @@ pub use cluster::{Cluster, ClusterConfig, ClusterReport, EagerBroadcast, Execute
 pub use crash::{CrashSchedule, CrashWindow};
 pub use delay::DelayModel;
 pub use gossip::{Gossip, GossipCluster, GossipConfig, GossipPlacement, GossipReport};
-pub use kernel::{Propagation, RunReport, Runner};
+pub use kernel::{FaultStats, Propagation, RunReport, Runner};
 pub use merge::{MergeLog, MergeMetrics};
+pub use nemesis::{
+    CrashInjector, Fate, FaultEvent, FaultLog, MessageDropper, MessageDuplicator, MessageReorderer,
+    MsgCtx, Nemesis, NemesisStack, PartitionJitter, Recorder, ScheduledNemesis,
+};
 pub use partial::{PartialCluster, PartialPlacement, PartialReport, Placement};
 pub use partition::{PartitionSchedule, PartitionWindow};

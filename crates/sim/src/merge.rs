@@ -10,7 +10,7 @@
 //! together with the state that results from applying them in order to
 //! the initial state. In-order arrivals are a cheap append. An
 //! out-of-order arrival rolls the state back to the nearest earlier
-//! **checkpoint** and replays — the optimization of [BK]/[SKS] ("using
+//! **checkpoint** and replays — the optimization of \[BK\]/\[SKS\] ("using
 //! history information to process delayed database updates"). The
 //! checkpoint sequence is the same [`Checkpoints`] structure the core
 //! replay engine uses ([`shard_core::replay`]); its interval is the
@@ -28,7 +28,7 @@ use std::sync::Arc;
 /// `merge.duplicates` mirror [`MergeMetrics`], and the histogram
 /// `merge.replay_depth` records the undo/redo depth of each
 /// out-of-order merge — the quantity the paper's checkpoint discussion
-/// (§1.2, [BK]/[SKS]) is about bounding. `replay.ckpt_hits` /
+/// (§1.2, \[BK\]/\[SKS\]) is about bounding. `replay.ckpt_hits` /
 /// `replay.ckpt_misses` are *shared* with the core replay engine
 /// ([`shard_core::replay`]) on purpose: both paths resolve the identical
 /// question against the same [`Checkpoints`] structure — can this replay

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Runs all 20 experiment binaries (E01-E20) in release mode; fails fast
+# Runs all 21 experiment binaries (E01-E21) in release mode; fails fast
 # on the first violated claim. Logs land in target/exp_logs/, per-run
 # metrics sidecars in target/exp_metrics/ (aggregated into
 # EXPERIMENTS_METRICS.json), and JSONL traces in target/exp_traces/.
@@ -12,7 +12,7 @@ experiments=(
   e08_thrashing e09_availability e10_k_distribution e11_undo_redo
   e12_banking e13_inventory e14_taxonomy e15_complete_prefix
   e16_partial_replication e17_gossip e18_crash_recovery e19_nameserver
-  e20_gossip_partial
+  e20_gossip_partial e21_nemesis_chaos
 )
 for e in "${experiments[@]}"; do
   echo "== exp_$e =="

@@ -80,7 +80,7 @@ pub mod strategy {
             Map { inner: self, f }
         }
 
-        /// Type-erases the strategy (used by [`prop_oneof!`]).
+        /// Type-erases the strategy (used by `prop_oneof!`).
         fn boxed(self) -> BoxedStrategy<Self::Value>
         where
             Self: Sized + 'static,
@@ -123,7 +123,7 @@ pub mod strategy {
         }
     }
 
-    /// Uniform choice between type-erased alternatives ([`prop_oneof!`]).
+    /// Uniform choice between type-erased alternatives (`prop_oneof!`).
     pub struct Union<T> {
         arms: Vec<BoxedStrategy<T>>,
     }
@@ -259,7 +259,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
