@@ -11,6 +11,7 @@ run() {
 
 run cargo build --release --all-targets
 run cargo test --workspace -q
+run cargo test -q -p shard-pool
 run cargo clippy --all-targets -- -D warnings
 run cargo fmt --check
 RUSTDOCFLAGS="-D warnings" run cargo doc --workspace --no-deps -q
@@ -27,8 +28,17 @@ run cargo run -q --release -p shard-bench --bin exp_e20_gossip_partial
 # The chaos search at CI scale: a 25-seed nemesis sweep. Its claims are
 # only the always-theorems (prefix-subsequence, Cor 8, fault-free
 # baselines), so the smoke run cannot flake; its sidecar goes through
-# the same validation as the experiments'.
-run cargo run -q --release -p shard-bench --bin shard-chaos -- --seeds 25
+# the same validation as the experiments'. The sweep runs once
+# sequentially and once on a 4-thread pool into a separate sidecar
+# directory; `shard-trace diff` then requires the two sidecars to agree
+# on everything but wall time, spans and pool.* metrics — the pool's
+# determinism guarantee, enforced end to end on every CI run.
+run env SHARD_POOL_THREADS=1 \
+  cargo run -q --release -p shard-bench --bin shard-chaos -- --seeds 25
+run env SHARD_POOL_THREADS=4 EXP_METRICS_DIR=target/exp_metrics_par \
+  cargo run -q --release -p shard-bench --bin shard-chaos -- --seeds 25
+run cargo run -q --release -p shard-obs --bin shard-trace -- \
+  diff target/exp_metrics/chaos.json target/exp_metrics_par/chaos.json
 for sidecar in e01 e16 e17 e20 chaos; do
   run cargo run -q --release -p shard-obs --bin shard-trace -- \
     check "target/exp_metrics/$sidecar.json" \

@@ -1,0 +1,105 @@
+//! Parallel-vs-sequential oracles for the exhaustive sweeps.
+//!
+//! The in-module unit tests cover small spaces; here the parallel
+//! entry points are held against their sequential references at the
+//! larger sizes the experiments actually sweep — `2^15` executions for
+//! the §3 checkers, the full `2^n` subsequence lattice for the §4 cost
+//! bounds — at several pool sizes including ones above the host's core
+//! count. Any scheduling sensitivity in the range decomposition or the
+//! first-missing-index partition shows up here as a tally mismatch.
+
+use shard_analysis::exhaustive::{check_all_executions, execution_count, par_check_all_executions};
+use shard_apps::airline::{AirlineTxn, AirlineUpdate, FlyByNight, OVERBOOKING};
+use shard_apps::Person;
+use shard_core::conditions;
+use shard_core::costs::{count_bound_violations, par_count_bound_violations, BoundFn};
+use shard_pool::PoolConfig;
+
+fn p(n: u32) -> Person {
+    Person(n)
+}
+
+#[test]
+fn transitivity_sweep_matches_sequential_at_n6() {
+    let app = FlyByNight::new(2);
+    let decisions = vec![
+        AirlineTxn::Request(p(1)),
+        AirlineTxn::Request(p(2)),
+        AirlineTxn::Request(p(3)),
+        AirlineTxn::MoveUp,
+        AirlineTxn::Cancel(p(1)),
+        AirlineTxn::MoveDown,
+    ];
+    let seq = check_all_executions(&app, &decisions, conditions::is_transitive);
+    assert_eq!(seq.0, execution_count(6), "full space visited");
+    assert!(seq.1 > 0, "the space contains intransitive executions");
+    assert!(seq.1 < seq.0, "the space contains transitive executions");
+    for threads in [1, 2, 4, 7] {
+        let par = par_check_all_executions(
+            &PoolConfig::with_threads(threads),
+            &app,
+            &decisions,
+            conditions::is_transitive,
+        );
+        assert_eq!(par, seq, "threads = {threads}");
+    }
+}
+
+#[test]
+fn k_completeness_sweep_matches_sequential() {
+    let app = FlyByNight::new(1);
+    let decisions = vec![AirlineTxn::Request(p(1)); 6];
+    for k in [0, 2, 4] {
+        let seq = check_all_executions(&app, &decisions, |e| conditions::max_missed(e) <= k);
+        for threads in [1, 4] {
+            let par = par_check_all_executions(
+                &PoolConfig::with_threads(threads),
+                &app,
+                &decisions,
+                |e| conditions::max_missed(e) <= k,
+            );
+            assert_eq!(par, seq, "k = {k}, threads = {threads}");
+        }
+    }
+}
+
+#[test]
+fn bound_violation_sweep_matches_sequential() {
+    // One seat and two blind move-ups: the full final state is
+    // overbooked, subsequences missing a move-up are cheaper, so small
+    // slopes leave genuine violations for the sweep to count.
+    let app = FlyByNight::new(1);
+    let seq_updates = vec![
+        AirlineUpdate::Request(p(1)),
+        AirlineUpdate::Request(p(2)),
+        AirlineUpdate::MoveUp(p(2)),
+        AirlineUpdate::Request(p(3)),
+        AirlineUpdate::MoveUp(p(3)),
+        AirlineUpdate::Cancel(p(1)),
+        AirlineUpdate::Request(p(4)),
+    ];
+    let n = seq_updates.len();
+    let mut nonzero_seen = false;
+    for slope in [0, 200, 2000] {
+        let f = BoundFn::linear(slope);
+        for max_missing in [0, 1, 3, n] {
+            let seq = count_bound_violations(&app, &f, OVERBOOKING, &seq_updates, max_missing);
+            nonzero_seen |= seq.violations > 0;
+            for threads in [1, 2, 4, 7] {
+                let par = par_count_bound_violations(
+                    &PoolConfig::with_threads(threads),
+                    &app,
+                    &f,
+                    OVERBOOKING,
+                    &seq_updates,
+                    max_missing,
+                );
+                assert_eq!(
+                    par, seq,
+                    "slope = {slope}, max_missing = {max_missing}, threads = {threads}"
+                );
+            }
+        }
+    }
+    assert!(nonzero_seen, "at least one configuration must violate");
+}

@@ -76,27 +76,36 @@ fn naive_apparent_state_before(
     s
 }
 
-/// One cold-cache incremental sweep, best of `reps` runs (each clone
-/// restarts with an empty replay cache).
-fn incremental_sweep_ns(app: &FlyByNight, e: &Execution<FlyByNight>, reps: usize) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let fresh = e.clone();
-        let t0 = Instant::now();
-        for i in 0..fresh.len() {
-            black_box(fresh.apparent_state_before(app, i));
-        }
-        best = best.min(t0.elapsed().as_nanos() as f64);
+/// One cold-cache incremental sweep (the clone restarts with an empty
+/// replay cache), in nanoseconds.
+fn incremental_sweep_once_ns(app: &FlyByNight, e: &Execution<FlyByNight>) -> f64 {
+    let fresh = e.clone();
+    let t0 = Instant::now();
+    for i in 0..fresh.len() {
+        black_box(fresh.apparent_state_before(app, i));
     }
-    best
+    t0.elapsed().as_nanos() as f64
+}
+
+/// Median of a sample set (mean of the middle pair for even sizes).
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let mid = samples.len() / 2;
+    if samples.len() % 2 == 1 {
+        samples[mid]
+    } else {
+        (samples[mid - 1] + samples[mid]) / 2.0
+    }
 }
 
 /// Naive vs incremental apparent-state sweeps at n ∈ {10², 10³, 10⁴}.
 ///
-/// The incremental sweep is timed in full on a cold cache — twice, with
-/// the `shard-obs` metrics layer switched off and on, so the JSON also
-/// records the instrumentation overhead (`obs_overhead_pct`; the repo
-/// budget is < 5% at n = 10⁴). The naive sweep is timed on an evenly
+/// The incremental sweep is timed in full on a cold cache — five
+/// interleaved pairs of runs with the `shard-obs` metrics layer
+/// switched off and on, so the JSON also records the instrumentation
+/// overhead (`obs_overhead_pct`, the median per-pair contrast, with
+/// `obs_overhead_spread_pct` for its max−min spread; the repo budget
+/// is < 5% at n = 10⁴). The naive sweep is timed on an evenly
 /// strided sample of the queries (its per-query cost is linear in the
 /// prefix length, so the strided mean is the overall mean) and scaled
 /// to the full sweep; the sampling keeps the n = 10⁴ case from taking
@@ -108,12 +117,25 @@ fn bench_replay_scaling(_c: &mut Criterion) {
     for n in [100usize, 1_000, 10_000] {
         let e = airline_execution_with_k(&app, 3, n, 4, AirlineMix::default());
 
-        // Incremental, metrics off then on (best of 3 each).
-        shard_obs::set_enabled(false);
-        let incremental_off_ns = incremental_sweep_ns(&app, &e, 3);
-        shard_obs::set_enabled(true);
-        let incremental_ns = incremental_sweep_ns(&app, &e, 3);
-        let obs_overhead_pct = (incremental_ns - incremental_off_ns) / incremental_off_ns * 100.0;
+        // Incremental, metrics off and on: 5 interleaved off/on pairs
+        // (interleaving decorrelates drift — frequency scaling, cache
+        // warmth — from the off/on contrast), medians reported, plus
+        // the spread of the per-pair overhead estimates so the JSON
+        // records how noisy the contrast itself was.
+        let mut off_samples = [0.0f64; 5];
+        let mut on_samples = [0.0f64; 5];
+        let mut pair_overheads = [0.0f64; 5];
+        for i in 0..5 {
+            shard_obs::set_enabled(false);
+            off_samples[i] = incremental_sweep_once_ns(&app, &e);
+            shard_obs::set_enabled(true);
+            on_samples[i] = incremental_sweep_once_ns(&app, &e);
+            pair_overheads[i] = (on_samples[i] - off_samples[i]) / off_samples[i] * 100.0;
+        }
+        let incremental_off_ns = median(&mut off_samples);
+        let incremental_ns = median(&mut on_samples);
+        let obs_overhead_pct = median(&mut pair_overheads);
+        let obs_overhead_spread_pct = pair_overheads[4] - pair_overheads[0];
 
         // Naive, on a strided sample of the same queries.
         let stride = (n / 100).max(1);
@@ -127,12 +149,15 @@ fn bench_replay_scaling(_c: &mut Criterion) {
         let speedup = naive_ns / incremental_ns;
         println!(
             "  n={n:>6}  naive {:>12.0} ns  incremental {:>12.0} ns  speedup {speedup:>8.1}x  \
-             obs overhead {obs_overhead_pct:>+6.2}%",
+             obs overhead {obs_overhead_pct:>+6.2}% (spread {obs_overhead_spread_pct:.2}pp, \
+             median of 5)",
             naive_ns, incremental_ns
         );
         rows.push_str(&format!(
             "    {{\"n\": {n}, \"naive_ns\": {:.0}, \"incremental_ns\": {:.0}, \
              \"incremental_obs_off_ns\": {:.0}, \"obs_overhead_pct\": {obs_overhead_pct:.2}, \
+             \"obs_overhead_spread_pct\": {obs_overhead_spread_pct:.2}, \
+             \"obs_samples\": 5, \
              \"speedup\": {speedup:.2}, \"naive_sampled_queries\": {}}}{}\n",
             naive_ns,
             incremental_ns,

@@ -1,0 +1,166 @@
+//! Scaling of the `shard-pool` parallel layer, and proof-of-identity
+//! alongside it: the chaos sweep and the §3/§4 checker sweeps are run
+//! at pool sizes 1/2/4/8, every parallel result is asserted equal to
+//! the sequential one before its time is reported, and the numbers
+//! land in `BENCH_parallel.json` at the repository root together with
+//! the host's core count — on a single-core host the table shows the
+//! (honest) absence of speedup while still certifying determinism.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shard_apps::airline::workload::AirlineMix;
+use shard_apps::airline::FlyByNight;
+use shard_apps::Person;
+use shard_bench::chaos::{sweep, ChaosConfig};
+use shard_bench::workloads::airline_execution_with_k;
+use shard_core::conditions;
+use shard_core::costs::{count_bound_violations, par_count_bound_violations, BoundFn};
+use shard_pool::PoolConfig;
+use std::hint::black_box;
+use std::time::Instant;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Median wall time of `reps` runs, in nanoseconds.
+fn median_ns(reps: usize, mut run: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            run();
+            t0.elapsed().as_nanos() as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn json_rows(rows: &[(usize, f64)], baseline_ns: f64) -> String {
+    rows.iter()
+        .map(|&(threads, ns)| {
+            format!(
+                "      {{\"threads\": {threads}, \"median_ns\": {ns:.0}, \
+                 \"speedup_vs_1\": {:.2}}}",
+                baseline_ns / ns
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n")
+}
+
+/// Chaos sweep at 120 seeds across the pool sizes. The outcome JSON of
+/// every parallel run must equal the sequential one byte for byte —
+/// the same invariant the CI `shard-trace diff` smoke enforces on the
+/// sidecars.
+fn chaos_rows() -> String {
+    let mut cfg = ChaosConfig {
+        seeds: 120,
+        ..ChaosConfig::default()
+    };
+    cfg.pool = PoolConfig::with_threads(1);
+    let reference = sweep(&cfg).to_json_string();
+    println!("\nparallel/chaos_sweep (120 seeds, shrinking on)");
+    let mut rows = Vec::new();
+    for threads in THREADS {
+        cfg.pool = PoolConfig::with_threads(threads);
+        assert_eq!(
+            sweep(&cfg).to_json_string(),
+            reference,
+            "chaos outcome diverged at {threads} threads"
+        );
+        let ns = median_ns(3, || {
+            black_box(sweep(&cfg).verdicts.len());
+        });
+        println!("  threads={threads}  median {ns:>14.0} ns");
+        rows.push((threads, ns));
+    }
+    let baseline = rows[0].1;
+    json_rows(&rows, baseline)
+}
+
+/// The §3 transitivity checker on an n = 10⁴ execution across the pool
+/// sizes (`SHARD_POOL_THREADS` steers the checker's internal pool).
+fn checker_rows() -> String {
+    let app = FlyByNight::new(40);
+    let e = airline_execution_with_k(&app, 3, 10_000, 4, AirlineMix::default());
+    let reference = conditions::is_transitive(&e);
+    println!("\nparallel/is_transitive (n = 10000)");
+    let mut rows = Vec::new();
+    for threads in THREADS {
+        // The checker reads its pool from the environment; pin it for
+        // the duration of this timing row.
+        std::env::set_var("SHARD_POOL_THREADS", threads.to_string());
+        assert_eq!(
+            conditions::is_transitive(&e),
+            reference,
+            "transitivity verdict diverged at {threads} threads"
+        );
+        let ns = median_ns(3, || {
+            black_box(conditions::is_transitive(&e));
+        });
+        println!("  threads={threads}  median {ns:>14.0} ns");
+        rows.push((threads, ns));
+    }
+    std::env::remove_var("SHARD_POOL_THREADS");
+    let baseline = rows[0].1;
+    json_rows(&rows, baseline)
+}
+
+/// The §4 cost-bound sweep (full subsequence lattice of a 16-update
+/// sequence, 2¹⁶ instances) across the pool sizes.
+fn bound_rows() -> String {
+    let app = FlyByNight::new(1);
+    let updates: Vec<_> = (0..16)
+        .map(|i| {
+            use shard_apps::airline::AirlineUpdate;
+            match i % 4 {
+                0 => AirlineUpdate::Request(Person(i)),
+                1 => AirlineUpdate::Request(Person(i + 100)),
+                2 => AirlineUpdate::MoveUp(Person(i + 99)),
+                _ => AirlineUpdate::Cancel(Person(i - 3)),
+            }
+        })
+        .collect();
+    let f = BoundFn::linear(100);
+    let n = updates.len();
+    let reference = count_bound_violations(&app, &f, 0, &updates, n);
+    println!("\nparallel/bound_sweep (2^16 subsequences)");
+    let mut rows = Vec::new();
+    for threads in THREADS {
+        let pool = PoolConfig::with_threads(threads);
+        assert_eq!(
+            par_count_bound_violations(&pool, &app, &f, 0, &updates, n),
+            reference,
+            "bound tally diverged at {threads} threads"
+        );
+        let ns = median_ns(3, || {
+            black_box(par_count_bound_violations(&pool, &app, &f, 0, &updates, n).checked);
+        });
+        println!("  threads={threads}  median {ns:>14.0} ns");
+        rows.push((threads, ns));
+    }
+    let baseline = rows[0].1;
+    json_rows(&rows, baseline)
+}
+
+fn bench_parallel_scaling(_c: &mut Criterion) {
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let chaos = chaos_rows();
+    let checker = checker_rows();
+    let bound = bound_rows();
+    let json = format!(
+        "{{\n  \"bench\": \"shard_pool_scaling\",\n  \
+         \"host_cpus\": {host_cpus},\n  \
+         \"note\": \"speedups are bounded by host_cpus; every parallel run is \
+         asserted byte/tally-identical to the sequential reference before timing\",\n  \
+         \"chaos_sweep_120_seeds\": {{\n    \"results\": [\n{chaos}\n    ]\n  }},\n  \
+         \"is_transitive_n10000\": {{\n    \"results\": [\n{checker}\n    ]\n  }},\n  \
+         \"bound_sweep_2e16\": {{\n    \"results\": [\n{bound}\n    ]\n  }}\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+    match std::fs::write(path, json) {
+        Ok(()) => println!("  wrote {path}"),
+        Err(e) => eprintln!("  could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_parallel_scaling);
+criterion_main!(benches);

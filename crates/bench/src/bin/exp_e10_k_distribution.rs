@@ -117,29 +117,35 @@ fn main() {
 }
 
 fn run_sweep(app: &FlyByNight, mean_delay: u64, gap: u64) -> (Vec<u64>, u64, u64) {
+    // Run the per-seed clusters first, then warm every execution's
+    // replay checkpoint chain through the shard-pool before the cost
+    // sweeps query apparent states (SHARD_POOL_THREADS sizes the pool).
+    let mut execs: Vec<_> = TRIAL_SEEDS
+        .into_iter()
+        .map(|seed| {
+            let cluster = Cluster::new(
+                app,
+                ClusterConfig {
+                    nodes: 5,
+                    seed,
+                    delay: DelayModel::Exponential { mean: mean_delay },
+                    ..Default::default()
+                },
+            );
+            let invs =
+                airline_invocations(seed, 1500, 5, gap, AirlineMix::default(), Routing::Random);
+            cluster.run(invs).timed_execution().execution
+        })
+        .collect();
+    shard_core::replay::prebuild_executions(&shard_pool::PoolConfig::from_env(), app, &mut execs);
+
     let mut ks = Vec::new();
     let mut over = 0;
     let mut under = 0;
-    for seed in TRIAL_SEEDS {
-        let cluster = Cluster::new(
-            app,
-            ClusterConfig {
-                nodes: 5,
-                seed,
-                delay: DelayModel::Exponential { mean: mean_delay },
-                ..Default::default()
-            },
-        );
-        let invs = airline_invocations(seed, 1500, 5, gap, AirlineMix::default(), Routing::Random);
-        let report = cluster.run(invs);
-        let te = report.timed_execution();
-        ks.extend(
-            completeness::missed_counts(&te.execution)
-                .into_iter()
-                .map(|c| c as u64),
-        );
-        over = over.max(trace::max_cost(app, &te.execution, OVERBOOKING));
-        under = under.max(trace::max_cost(app, &te.execution, UNDERBOOKING));
+    for e in &execs {
+        ks.extend(completeness::missed_counts(e).into_iter().map(|c| c as u64));
+        over = over.max(trace::max_cost(app, e, OVERBOOKING));
+        under = under.max(trace::max_cost(app, e, UNDERBOOKING));
     }
     (ks, over, under)
 }

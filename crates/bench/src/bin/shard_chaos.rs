@@ -11,6 +11,7 @@
 //! shard-chaos [--seeds N] [--start-seed N] [--nodes N] [--txns N]
 //!             [--k-limit K] [--drop P] [--dup P] [--reorder P]
 //!             [--partitions N] [--crashes N] [--no-shrink] [--name S]
+//!             [--threads N]
 //! ```
 //!
 //! Exit status reflects only the *theorem* oracles (prefix-subsequence,
@@ -27,7 +28,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: shard-chaos [--seeds N] [--start-seed N] [--nodes N] [--txns N]\n\
          \x20                  [--k-limit K] [--drop P] [--dup P] [--reorder P]\n\
-         \x20                  [--partitions N] [--crashes N] [--no-shrink] [--name S]"
+         \x20                  [--partitions N] [--crashes N] [--no-shrink] [--name S]\n\
+         \x20                  [--threads N]  (default: SHARD_POOL_THREADS or all cores)"
     );
     std::process::exit(2);
 }
@@ -63,6 +65,7 @@ fn main() {
             "--partitions" => cfg.partition_windows = parse(&a, args.next()),
             "--crashes" => cfg.crash_windows = parse(&a, args.next()),
             "--no-shrink" => cfg.shrink = false,
+            "--threads" => cfg.pool = shard_pool::PoolConfig::with_threads(parse(&a, args.next())),
             "--name" => name = parse(&a, args.next()),
             "--help" | "-h" => usage(),
             other => {

@@ -35,6 +35,7 @@ use shard_apps::airline::{AirlineTxn, FlyByNight, OVERBOOKING};
 use shard_core::conditions::{is_transitive, max_missed};
 use shard_core::costs::BoundFn;
 use shard_core::Execution;
+use shard_pool::PoolConfig;
 use shard_sim::events::SimTime;
 use shard_sim::nemesis::{
     shrink, CrashInjector, FaultEvent, MessageDropper, MessageDuplicator, MessageReorderer,
@@ -46,6 +47,11 @@ use std::fmt;
 /// Configuration of one chaos sweep.
 #[derive(Clone, Debug)]
 pub struct ChaosConfig {
+    /// Thread pool for the per-seed fan-out and the per-oracle shrinks.
+    /// Purely a throughput knob: verdicts, counterexample selection and
+    /// the shrunk schedules are identical at every pool size (a proptest
+    /// suite in `crates/bench/tests` pins this down byte-for-byte).
+    pub pool: PoolConfig,
     /// Number of consecutive seeds to sweep.
     pub seeds: u64,
     /// First seed.
@@ -85,6 +91,7 @@ impl Default for ChaosConfig {
     /// exercises both verdicts.
     fn default() -> Self {
         ChaosConfig {
+            pool: PoolConfig::from_env(),
             seeds: 100,
             start_seed: 1,
             nodes: 5,
@@ -203,6 +210,72 @@ impl ChaosOutcome {
     pub fn counterexample(&self, oracle: Oracle) -> Option<&Counterexample> {
         self.counterexamples.iter().find(|c| c.oracle == oracle)
     }
+
+    /// A canonical JSON rendering of everything the sweep decided:
+    /// every verdict field in seed order, every counterexample with its
+    /// full shrunk schedule. Contains no timing, thread-count or other
+    /// environment-dependent data, so two sweeps agree on this string
+    /// exactly when they agree on the outcome — the byte-identity
+    /// artifact the determinism suite and the CI thread-count diff
+    /// compare.
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::from("{\"verdicts\":[");
+        for (i, v) in self.verdicts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(
+                &shard_obs::ObjWriter::new()
+                    .u64("seed", v.seed)
+                    .u64("fault_events", v.fault_events as u64)
+                    .bool("verify_ok", v.verify_ok)
+                    .bool("cost_ok", v.cost_ok)
+                    .bool("base_transitive", v.base_transitive)
+                    .bool("faulted_transitive", v.faulted_transitive)
+                    .u64("base_max_missed", v.base_max_missed as u64)
+                    .u64("faulted_max_missed", v.faulted_max_missed as u64)
+                    .u64("faulted_delay_bound", v.faulted_delay_bound)
+                    .finish(),
+            );
+        }
+        out.push_str("],\"counterexamples\":[");
+        for (i, ce) in self.counterexamples.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let events = ce
+                .events
+                .iter()
+                .map(|e| shard_obs::json::string(&format!("{e:?}")))
+                .collect::<Vec<_>>()
+                .join(",");
+            out.push_str(
+                &shard_obs::ObjWriter::new()
+                    .str("oracle", &ce.oracle.to_string())
+                    .u64("seed", ce.seed)
+                    .u64("recorded", ce.recorded as u64)
+                    .u64("shrink_runs", ce.shrink_runs as u64)
+                    .raw("events", &format!("[{events}]"))
+                    .finish(),
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// FNV-1a hash of [`ChaosOutcome::to_json_string`] — a compact
+    /// outcome fingerprint. The sweep publishes it as the
+    /// `chaos.outcome_hash` gauge, so sidecars from runs at different
+    /// thread counts can be diffed for semantic equality without
+    /// shipping the full outcome.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.to_json_string().bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
 }
 
 fn run_once(
@@ -287,12 +360,28 @@ fn oracle_holds_broken(cfg: &ChaosConfig, oracle: Oracle, exec: &Execution<FlyBy
 /// per refinement oracle) schedule shrinking. Feeds `chaos.*` and
 /// `nemesis.*` counters into the global metrics registry when
 /// observability is enabled.
+///
+/// Parallelism: each seed's pair of runs plus oracle evaluation is a
+/// pure function of `(cfg, seed)`, so phase 1 fans seeds out across
+/// `cfg.pool` and collects verdicts back in seed order. Phase 2 then
+/// selects counterexample targets by scanning verdicts sequentially in
+/// exactly the order the sequential loop did — first violating seed per
+/// oracle, oracles in `[Transitivity, KCompleteness]` order — and
+/// phase 3 shrinks the (at most two) targets in parallel, each shrink
+/// being deterministic given its seed and recorded schedule. Metric
+/// totals are order-independent atomic adds, so the whole outcome —
+/// verdicts, counterexamples, counters — is identical at every pool
+/// size.
 pub fn sweep(cfg: &ChaosConfig) -> ChaosOutcome {
     let _span = shard_obs::span!("chaos.sweep");
     let app = FlyByNight::new(cfg.capacity);
     let bound = BoundFn::linear(900);
-    let mut outcome = ChaosOutcome::default();
-    for seed in cfg.start_seed..cfg.start_seed + cfg.seeds {
+    let seeds: Vec<u64> = (cfg.start_seed..cfg.start_seed + cfg.seeds).collect();
+    struct SeedRun {
+        verdict: SeedVerdict,
+        events: Vec<FaultEvent>,
+    }
+    let runs: Vec<SeedRun> = shard_pool::par_map(&cfg.pool, &seeds, |_, &seed| {
         let baseline = run_once(cfg, seed, None);
         let base_exec = baseline.timed_execution().execution;
         let (recorder, log) = Recorder::new(Box::new(stack_for(cfg, seed)));
@@ -335,21 +424,34 @@ pub fn sweep(cfg: &ChaosConfig) -> ChaosOutcome {
                 r.counter("chaos.violations.k_completeness").inc();
             }
         }
+        SeedRun {
+            verdict,
+            events: log.events(),
+        }
+    });
+    let mut targets: Vec<(Oracle, u64, &[FaultEvent])> = Vec::new();
+    for run in &runs {
         for oracle in [Oracle::Transitivity, Oracle::KCompleteness] {
             let broken = match oracle {
-                Oracle::Transitivity => verdict.transitivity_broken(),
-                Oracle::KCompleteness => verdict.k_broken(cfg.k_limit),
+                Oracle::Transitivity => run.verdict.transitivity_broken(),
+                Oracle::KCompleteness => run.verdict.k_broken(cfg.k_limit),
             };
-            if broken && cfg.shrink && outcome.counterexample(oracle).is_none() {
-                outcome.counterexamples.push(shrink_counterexample(
-                    cfg,
-                    oracle,
-                    seed,
-                    &log.events(),
-                ));
+            if broken && cfg.shrink && !targets.iter().any(|&(o, _, _)| o == oracle) {
+                targets.push((oracle, run.verdict.seed, &run.events));
             }
         }
-        outcome.verdicts.push(verdict);
+    }
+    let counterexamples = shard_pool::par_map(&cfg.pool, &targets, |_, &(oracle, seed, events)| {
+        shrink_counterexample(cfg, oracle, seed, events)
+    });
+    let outcome = ChaosOutcome {
+        verdicts: runs.into_iter().map(|r| r.verdict).collect(),
+        counterexamples,
+    };
+    if shard_obs::enabled() {
+        shard_obs::Registry::global()
+            .gauge("chaos.outcome_hash")
+            .set(outcome.digest() as i64);
     }
     outcome
 }

@@ -1,0 +1,95 @@
+//! Pool-size determinism of the chaos search.
+//!
+//! `chaos::sweep` fans seeds out across a `shard_pool` work-sharing
+//! pool and shrinks per-oracle counterexamples in parallel. The whole
+//! point of the pool's input-ordered collection is that this is purely
+//! a throughput knob: the canonical JSON serialisation of the outcome —
+//! every verdict, the chosen counterexample seeds, the recorded and
+//! shrunk fault schedules — must be byte-identical at every pool size,
+//! including the degenerate sequential pool. These tests pin that down
+//! over randomly drawn sweep configurations.
+
+use proptest::prelude::*;
+use shard_bench::chaos::{sweep, ChaosConfig};
+use shard_pool::PoolConfig;
+
+/// Run the same sweep at pool sizes 1, 2 and 7 and demand one byte
+/// string out of all three.
+fn assert_pool_invariant(mut cfg: ChaosConfig) {
+    cfg.pool = PoolConfig::with_threads(1);
+    let sequential = sweep(&cfg).to_json_string();
+    for threads in [2, 7] {
+        cfg.pool = PoolConfig::with_threads(threads);
+        let parallel = sweep(&cfg).to_json_string();
+        assert_eq!(
+            sequential, parallel,
+            "sweep outcome diverged at {threads} threads"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Small random sweeps: seed window, workload size, fault rates and
+    /// window counts all vary; the outcome must not see the pool.
+    #[test]
+    fn sweep_outcome_is_identical_at_every_pool_size(
+        start_seed in 1u64..500,
+        seeds in 2u64..6,
+        txns in 8usize..20,
+        drop_idx in 0usize..3,
+        dup_idx in 0usize..2,
+        reorder_idx in 0usize..2,
+        partition_windows in 0u32..2,
+        crash_windows in 0u32..2,
+    ) {
+        let cfg = ChaosConfig {
+            start_seed,
+            seeds,
+            txns,
+            drop_prob: [0.0, 0.08, 0.2][drop_idx],
+            dup_prob: [0.0, 0.1][dup_idx],
+            reorder_prob: [0.0, 0.15][reorder_idx],
+            partition_windows,
+            crash_windows,
+            ..ChaosConfig::default()
+        };
+        assert_pool_invariant(cfg);
+    }
+}
+
+/// The E21 default configuration at reduced seed count — the exact
+/// shape CI smoke runs — with shrinking on, so the parallel shrink
+/// phase is exercised on real counterexamples.
+#[test]
+fn default_config_sweep_is_pool_invariant() {
+    let cfg = ChaosConfig {
+        seeds: 12,
+        ..ChaosConfig::default()
+    };
+    assert_pool_invariant(cfg);
+}
+
+/// Determinism must also hold when shrinking is disabled (phase 3
+/// empty) and when no faults fire (all verdicts clean).
+#[test]
+fn degenerate_sweeps_are_pool_invariant() {
+    let no_shrink = ChaosConfig {
+        seeds: 6,
+        shrink: false,
+        ..ChaosConfig::default()
+    };
+    assert_pool_invariant(no_shrink);
+
+    let fault_free = ChaosConfig {
+        seeds: 6,
+        drop_prob: 0.0,
+        dup_prob: 0.0,
+        reorder_prob: 0.0,
+        partition_windows: 0,
+        crash_windows: 0,
+        ..ChaosConfig::default()
+    };
+    assert_pool_invariant(fault_free);
+}

@@ -20,7 +20,14 @@
 use crate::app::Application;
 use crate::bitset::BitSet;
 use crate::execution::{Execution, TxnIndex};
+use shard_pool::PoolConfig;
 use std::ops::Range;
+
+/// Executions below this length are checked sequentially: the O(n²/64)
+/// subset scans finish in microseconds and spawning threads would cost
+/// more than it saves. Above it, the quadratic checkers partition their
+/// index space across the pool (`SHARD_POOL_THREADS`).
+const PAR_THRESHOLD: usize = 1024;
 
 /// Builds, for each transaction, the set of prefix indices as a [`BitSet`]
 /// over the execution's indices.
@@ -64,18 +71,25 @@ pub fn max_missed<A: Application>(exec: &Execution<A>) -> usize {
 /// Whether the execution is **transitive** (§3.2): for all `T, T', T''`,
 /// if `T ∈ 𝒫(T')` and `T' ∈ 𝒫(T'')` then `T ∈ 𝒫(T'')`.
 ///
-/// Runs in O(n² / 64) using dense bit sets.
+/// Runs in O(n² / 64) using dense bit sets; long executions partition
+/// the transaction range across the thread pool (the verdict is a pure
+/// conjunction over independent rows, so the result is identical at
+/// every thread count).
 pub fn is_transitive<A: Application>(exec: &Execution<A>) -> bool {
     let _span = shard_obs::span!("conditions.is_transitive");
     let sets = prefix_sets(exec);
-    for (i, set) in sets.iter().enumerate() {
-        for j in exec.record(i).prefix.iter().copied() {
-            if !sets[j].is_subset_of(set) {
-                return false;
-            }
-        }
+    // The parallel path shares only plain slices ([`Execution`] itself
+    // carries a thread-local replay cache and is not `Sync`).
+    let prefixes: Vec<&[TxnIndex]> = exec.records().iter().map(|r| r.prefix.as_slice()).collect();
+    let row_ok = |i: usize| prefixes[i].iter().all(|&j| sets[j].is_subset_of(&sets[i]));
+    if exec.len() < PAR_THRESHOLD || shard_pool::is_worker() {
+        return (0..exec.len()).all(row_ok);
     }
-    true
+    shard_pool::par_ranges(&PoolConfig::from_env(), exec.len(), |range| {
+        range.into_iter().all(row_ok)
+    })
+    .into_iter()
+    .all(|ok| ok)
 }
 
 /// Returns the first transitivity violation as `(t, t_mid, t_top)` where
@@ -221,19 +235,40 @@ impl<A: Application> TimedExecution<A> {
     /// pairs are missed, but allocation-free (the same complement scan
     /// as [`TimedExecution::delay_bound_violation`]).
     pub fn min_delay_bound(&self) -> u64 {
-        let mut bound = 0u64;
-        for i in 0..self.execution.len() {
-            let mut seen = self.execution.record(i).prefix.iter().copied().peekable();
+        // Plain slices only: the parallel path must not capture the
+        // execution itself (its replay cache is not `Sync`).
+        let prefixes: Vec<&[TxnIndex]> = self
+            .execution
+            .records()
+            .iter()
+            .map(|r| r.prefix.as_slice())
+            .collect();
+        let times = self.times.as_slice();
+        let row_bound = move |i: usize| {
+            let mut bound = 0u64;
+            let mut seen = prefixes[i].iter().copied().peekable();
             for j in 0..i {
                 if seen.next_if_eq(&j).is_some() {
                     continue;
                 }
                 // Missing j is tolerable only for t > times[i] - times[j].
-                let gap = self.times[i].saturating_sub(self.times[j]);
+                let gap = times[i].saturating_sub(times[j]);
                 bound = bound.max(gap + 1);
             }
+            bound
+        };
+        let n = self.execution.len();
+        if n < PAR_THRESHOLD || shard_pool::is_worker() {
+            return (0..n).map(&row_bound).max().unwrap_or(0);
         }
-        bound
+        // Rows are independent and max is commutative: partition the
+        // transaction range across the pool.
+        shard_pool::par_ranges(&PoolConfig::from_env(), n, |range| {
+            range.into_iter().map(&row_bound).max().unwrap_or(0)
+        })
+        .into_iter()
+        .max()
+        .unwrap_or(0)
     }
 }
 
@@ -312,6 +347,43 @@ mod tests {
         assert!(is_transitive(&e));
         let e = exec_with_prefixes(&[&[]]);
         assert!(is_transitive(&e));
+    }
+
+    #[test]
+    fn long_executions_take_the_partitioned_path() {
+        // Length ≥ PAR_THRESHOLD exercises the pool-partitioned branch
+        // of `is_transitive` and `min_delay_bound`; verdicts must agree
+        // with the independent oracles either way.
+        let n = PAR_THRESHOLD + 200;
+        let skip_at = n - 3;
+        let mut b = ExecutionBuilder::new(&Trivial);
+        for i in 0..n {
+            // Complete prefixes except one late transaction that skips
+            // index 0 — the lone (0, 1, skip_at) transitivity breach.
+            let prefix: Vec<usize> = if i == skip_at {
+                (1..i).collect()
+            } else {
+                (0..i).collect()
+            };
+            b.push((), prefix).unwrap();
+        }
+        let e = b.finish();
+        assert!(!is_transitive(&e));
+        assert_eq!(transitivity_violation(&e), Some((0, 1, skip_at)));
+        let times: Vec<u64> = (0..n as u64).map(|i| i * 3).collect();
+        let te = TimedExecution::new(e, times);
+        // The only missed pair is (skip_at, 0), separated by 3·skip_at.
+        assert_eq!(te.min_delay_bound(), 3 * skip_at as u64 + 1);
+
+        // The fully-complete variant is transitive with zero bound.
+        let mut b = ExecutionBuilder::new(&Trivial);
+        for i in 0..n {
+            b.push((), (0..i).collect()).unwrap();
+        }
+        let e = b.finish();
+        assert!(is_transitive(&e));
+        let te = TimedExecution::new(e, (0..n as u64).collect());
+        assert_eq!(te.min_delay_bound(), 0);
     }
 
     #[test]

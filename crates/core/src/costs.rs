@@ -28,6 +28,7 @@
 use crate::app::{Application, Cost, StateSpace};
 use crate::execution::{Execution, TxnIndex};
 use crate::replay::Replayer;
+use shard_pool::PoolConfig;
 use std::fmt;
 
 /// Truncated subtraction `X ∸ Y = max(X − Y, 0)` — the paper's `X /. Y`,
@@ -324,26 +325,137 @@ pub fn for_each_subsequence_missing_at_most(
 ) {
     // Choose the set of *missing* indices of each size 0..=max_missing.
     let mut missing: Vec<usize> = Vec::new();
-    fn go(
-        n: usize,
-        start: usize,
-        remaining: usize,
-        missing: &mut Vec<usize>,
-        visit: &mut impl FnMut(&[usize]),
-    ) {
-        // Emit the kept subsequence for the current missing set.
-        let kept: Vec<usize> = (0..n).filter(|i| !missing.contains(i)).collect();
-        visit(&kept);
-        if remaining == 0 {
-            return;
+    subsequences_go(n, 0, max_missing, &mut missing, &mut visit);
+}
+
+/// The shared recursion: emits the kept set for the current missing set,
+/// then extends the missing set with each index in `start..n` while
+/// budget remains. Enumeration order is depth-first on the smallest
+/// still-addable missing index, which shares long kept-prefixes between
+/// consecutive visits (what [`BoundChecker`] exploits).
+fn subsequences_go(
+    n: usize,
+    start: usize,
+    remaining: usize,
+    missing: &mut Vec<usize>,
+    visit: &mut impl FnMut(&[usize]),
+) {
+    let kept: Vec<usize> = (0..n).filter(|i| !missing.contains(i)).collect();
+    visit(&kept);
+    if remaining == 0 {
+        return;
+    }
+    for i in start..n {
+        missing.push(i);
+        subsequences_go(n, i + 1, remaining - 1, missing, visit);
+        missing.pop();
+    }
+}
+
+/// Enumerates the subsequences of `0..n` missing at most `max_missing`
+/// indices whose **first missing index** is `first` — or, for
+/// `first = None`, the single complete subsequence missing nothing.
+///
+/// Over `first ∈ {None} ∪ {Some(0), …, Some(n−1)}` these families are
+/// disjoint and cover exactly the space of
+/// [`for_each_subsequence_missing_at_most`]; they are the unit of work
+/// the parallel bound sweep distributes across pool workers.
+pub fn for_each_subsequence_with_first_missing(
+    n: usize,
+    max_missing: usize,
+    first: Option<usize>,
+    mut visit: impl FnMut(&[usize]),
+) {
+    match first {
+        None => {
+            let kept: Vec<usize> = (0..n).collect();
+            visit(&kept);
         }
-        for i in start..n {
-            missing.push(i);
-            go(n, i + 1, remaining - 1, missing, visit);
-            missing.pop();
+        Some(i) => {
+            if max_missing == 0 || i >= n {
+                return;
+            }
+            let mut missing = vec![i];
+            subsequences_go(n, i + 1, max_missing - 1, &mut missing, &mut visit);
         }
     }
-    go(n, 0, max_missing, &mut missing, &mut visit);
+}
+
+/// Tally of one exhaustive bound sweep: instances checked and instances
+/// violating `cost(s) ≤ cost(t) + f(k)`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BoundSweep {
+    /// Subsequence instances evaluated.
+    pub checked: u64,
+    /// Instances where the bound failed.
+    pub violations: u64,
+}
+
+impl BoundSweep {
+    fn merge(self, other: BoundSweep) -> BoundSweep {
+        BoundSweep {
+            checked: self.checked + other.checked,
+            violations: self.violations + other.violations,
+        }
+    }
+}
+
+/// Sweeps every subsequence of `seq` missing at most `max_missing`
+/// updates and counts violations of the §4.1 bound property
+/// `cost(s, constraint) ≤ cost(t, constraint) + f(k)`. Sequential
+/// reference implementation of [`par_count_bound_violations`].
+pub fn count_bound_violations<A: Application>(
+    app: &A,
+    f: &BoundFn,
+    constraint: usize,
+    seq: &[A::Update],
+    max_missing: usize,
+) -> BoundSweep {
+    let mut checker = BoundChecker::new(app, constraint, seq);
+    let mut sweep = BoundSweep::default();
+    for_each_subsequence_missing_at_most(seq.len(), max_missing, |kept| {
+        sweep.checked += 1;
+        if !checker.check(f, kept) {
+            sweep.violations += 1;
+        }
+    });
+    sweep
+}
+
+/// Parallel [`count_bound_violations`]: partitions the subsequence space
+/// by first missing index (`n + 1` disjoint families) across the pool,
+/// one [`BoundChecker`] per task so replay caches stay thread-local.
+/// The partition — and therefore the tally — is a function of the input
+/// alone; any thread count returns exactly the sequential answer.
+pub fn par_count_bound_violations<A>(
+    pool: &PoolConfig,
+    app: &A,
+    f: &BoundFn,
+    constraint: usize,
+    seq: &[A::Update],
+    max_missing: usize,
+) -> BoundSweep
+where
+    A: Application + Sync,
+    A::Update: Sync,
+{
+    let n = seq.len();
+    let firsts: Vec<Option<usize>> = std::iter::once(None)
+        .chain((0..if max_missing == 0 { 0 } else { n }).map(Some))
+        .collect();
+    shard_pool::par_map(pool, &firsts, |_, &first| {
+        let mut checker = BoundChecker::new(app, constraint, seq);
+        let mut part = BoundSweep::default();
+        for_each_subsequence_with_first_missing(n, max_missing, first, |kept| {
+            part.checked += 1;
+            if !checker.check(f, kept) {
+                part.violations += 1;
+            }
+        });
+        part
+    })
+    .into_iter()
+    .fold(BoundSweep::default(), BoundSweep::merge)
 }
 
 /// The relation `s ≤ₖ t` realized over an execution: `t` is the state
@@ -578,6 +690,62 @@ mod tests {
                 );
             });
         }
+    }
+
+    #[test]
+    fn first_missing_partition_covers_the_space_exactly() {
+        for (n, max_missing) in [(0, 0), (1, 1), (4, 2), (5, 5), (6, 3)] {
+            let mut flat: Vec<Vec<usize>> = Vec::new();
+            for_each_subsequence_missing_at_most(n, max_missing, |kept| flat.push(kept.to_vec()));
+            let mut parts: Vec<Vec<usize>> = Vec::new();
+            for first in std::iter::once(None).chain((0..n).map(Some)) {
+                for_each_subsequence_with_first_missing(n, max_missing, first, |kept| {
+                    parts.push(kept.to_vec())
+                });
+            }
+            flat.sort();
+            parts.sort();
+            assert_eq!(flat, parts, "n = {n}, max_missing = {max_missing}");
+        }
+    }
+
+    #[test]
+    fn parallel_bound_sweep_matches_sequential() {
+        let app = Account;
+        let seq = vec![
+            Op::Deposit(1),
+            Op::Withdraw(3),
+            Op::Deposit(2),
+            Op::Withdraw(1),
+            Op::Deposit(1),
+            Op::Withdraw(2),
+        ];
+        for slope in [0, 1, 3] {
+            let f = BoundFn::linear(slope);
+            for max_missing in [0, 2, seq.len()] {
+                let seq_sweep = count_bound_violations(&app, &f, 0, &seq, max_missing);
+                for threads in [1, 2, 4, 7] {
+                    let par_sweep = par_count_bound_violations(
+                        &PoolConfig::with_threads(threads),
+                        &app,
+                        &f,
+                        0,
+                        &seq,
+                        max_missing,
+                    );
+                    assert_eq!(
+                        seq_sweep, par_sweep,
+                        "slope {slope}, max_missing {max_missing}, threads {threads}"
+                    );
+                }
+            }
+        }
+        // The zero-slope sweep must actually see violations, or the
+        // oracle above is vacuous.
+        let f0 = BoundFn::linear(0);
+        let sweep = count_bound_violations(&app, &f0, 0, &seq, seq.len());
+        assert!(sweep.violations > 0, "zero bound is violated somewhere");
+        assert_eq!(sweep.checked, 1 << seq.len());
     }
 
     #[test]

@@ -341,6 +341,16 @@ impl<A: Application> Execution<A> {
         )
     }
 
+    /// Warms the full-order checkpoint chain in one forward pass, so
+    /// later `actual_state_after` / `state_after_prefix` queries resume
+    /// from a nearby checkpoint instead of `s₀`. Idempotent; purely a
+    /// cache priming step (answers never change). The parallel prebuild
+    /// (`shard_core::replay::prebuild_executions`) calls this once per
+    /// execution on a pool worker.
+    pub fn prebuild_actual_states(&mut self, app: &A) {
+        let _ = self.final_state(app);
+    }
+
     /// The state resulting from applying only the updates with indices in
     /// `subsequence` (which must be strictly increasing) to `s₀`. This is
     /// the `t` of Corollary 2 / Lemma 12 and the right-hand side of the

@@ -274,14 +274,40 @@ impl<A: Application> ReplayCache<A> {
             .zip(self.path.iter())
             .take_while(|(a, b)| a == b)
             .count();
-        let (depth, mut state) = if lcp == self.path.len() && self.path_tip.is_some() {
-            // The previous path is a prefix of this query: extend its tip.
-            (lcp, self.path_tip.clone().expect("checked is_some"))
-        } else {
-            match self.path_ckpts.floor(lcp) {
-                Some((l, s)) => (l, s.clone()),
-                None => (0, app.initial_state()),
+        // Deepest path-based resume point.
+        let path_resume: (usize, Option<A::State>) =
+            if lcp == self.path.len() && self.path_tip.is_some() {
+                // The previous path is a prefix of this query: extend its tip.
+                (lcp, self.path_tip.clone())
+            } else {
+                match self.path_ckpts.floor(lcp) {
+                    Some((l, s)) => (l, Some(s.clone())),
+                    None => (0, None),
+                }
+            };
+        // The query's leading *serial run* — `prefix[j] == j` — walks the
+        // full order itself, so full-order checkpoints (e.g. prebuilt by
+        // `state_after_first`) are equally valid resume points for it.
+        // This is what lets many fresh caches share one warmed full
+        // chain instead of each replaying the common prefix from `s₀`.
+        let serial_run = prefix
+            .iter()
+            .enumerate()
+            .take_while(|&(i, &j)| i == j)
+            .count();
+        let mut full_resume: Option<(usize, A::State)> =
+            self.full.floor(serial_run).map(|(l, s)| (l, s.clone()));
+        if let Some((l, s)) = &self.full_tip {
+            if *l <= serial_run && *l > full_resume.as_ref().map_or(0, |&(fl, _)| fl) {
+                full_resume = Some((*l, s.clone()));
             }
+        }
+        let (depth, mut state, from_full) = match full_resume {
+            Some((fl, fs)) if fl > path_resume.0 => (fl, fs, true),
+            _ => match path_resume {
+                (d, Some(s)) => (d, s, false),
+                _ => (0, app.initial_state(), false),
+            },
         };
         self.stats.reused += depth as u64;
         if shard_obs::enabled() {
@@ -297,8 +323,18 @@ impl<A: Application> ReplayCache<A> {
                 m.ckpt_misses.inc();
             }
         }
-        self.path.truncate(depth);
-        self.path_ckpts.truncate(depth);
+        if from_full {
+            // The old path may disagree with `prefix[..depth]`; the
+            // serial run guarantees `prefix[..depth]` is the identity,
+            // so rebuild the path bookkeeping from the full-order state.
+            self.path.clear();
+            self.path_ckpts.clear();
+            self.path.extend_from_slice(&prefix[..depth]);
+            self.path_ckpts.record(depth, &state);
+        } else {
+            self.path.truncate(depth);
+            self.path_ckpts.truncate(depth);
+        }
         for &j in &prefix[depth..] {
             state = app.apply(&state, update_at(j));
             self.stats.applied += 1;
@@ -488,6 +524,16 @@ impl<'a, A: Application> Replayer<'a, A> {
         self.state_after_first(self.updates.len())
     }
 
+    /// Warms the full-order checkpoint chain in one forward pass.
+    /// Subsequent [`Replayer::state_after_prefix`] queries whose leading
+    /// indices follow the serial order (`prefix[j] == j`) resume from
+    /// the deepest checkpoint under that run instead of replaying from
+    /// the initial state. Idempotent cache priming; answers never
+    /// change.
+    pub fn prebuild(&mut self) {
+        let _ = self.final_state();
+    }
+
     /// Streams all states `s₀, s₁, …, sₙ` through `f` in one forward
     /// pass, threading an accumulator. The callback receives the number
     /// of updates applied so far together with the state.
@@ -500,6 +546,21 @@ impl<'a, A: Application> Replayer<'a, A> {
         }
         acc
     }
+}
+
+/// Warms the full-order checkpoint chain of every execution in
+/// parallel — one pool worker per contiguous block of executions, one
+/// forward pass each (see
+/// [`Execution::prebuild_actual_states`]).
+/// Caches are per-execution, so the parallel warm-up is embarrassingly
+/// parallel and the resulting cache contents are independent of the
+/// thread count.
+pub fn prebuild_executions<A>(pool: &shard_pool::PoolConfig, app: &A, execs: &mut [Execution<A>])
+where
+    A: Application + Sync,
+    Execution<A>: Send,
+{
+    shard_pool::par_for_each_mut(pool, execs, |_, exec| exec.prebuild_actual_states(app));
 }
 
 #[cfg(test)]
@@ -652,6 +713,82 @@ mod tests {
         }
         let swept = r.stats().applied - before;
         assert!(swept <= 100 * 10, "sweep applied {swept} updates");
+    }
+
+    #[test]
+    fn prefix_queries_resume_from_prebuilt_full_chain() {
+        let app = Trace;
+        let updates: Vec<Tag> = (0..200).map(Tag).collect();
+        let mut r = Replayer::from_updates_with_interval(&app, &updates, 8);
+        r.prebuild();
+        let before = r.stats().applied;
+        // A kept set missing only index 190 has a serial run of length
+        // 190; a cold path cache would replay all 199 updates, but the
+        // prebuilt full chain offers a checkpoint near depth 190.
+        let kept: Vec<usize> = (0..200).filter(|&j| j != 190).collect();
+        assert_eq!(r.state_after_prefix(&kept), naive(&updates, &kept));
+        let applied = r.stats().applied - before;
+        assert!(applied <= 200 - 190 + 8, "applied {applied} after prebuild");
+        // And the answers stay correct when the path cache is reused for
+        // a related query afterwards.
+        let kept2: Vec<usize> = (0..200).filter(|&j| j != 190 && j != 195).collect();
+        assert_eq!(r.state_after_prefix(&kept2), naive(&updates, &kept2));
+    }
+
+    #[test]
+    fn full_chain_resume_never_changes_answers() {
+        let app = Trace;
+        let updates: Vec<Tag> = (0..60).map(Tag).collect();
+        // Interleave serial-run queries with divergent paths, warm vs
+        // cold, and compare every answer against the naive oracle.
+        let queries: Vec<Vec<usize>> = vec![
+            (0..50).collect(),
+            (0..50).filter(|&j| j != 49).collect(),
+            (0..50).filter(|&j| j % 5 != 2).collect(),
+            (0..60).collect(),
+            vec![3, 7, 11],
+            (0..58).filter(|&j| j != 20).collect(),
+            (0..60).filter(|&j| j != 59).collect(),
+        ];
+        let mut warm = Replayer::from_updates_with_interval(&app, &updates, 4);
+        warm.prebuild();
+        let mut cold = Replayer::from_updates_with_interval(&app, &updates, 4);
+        for q in &queries {
+            let expect = naive(&updates, q);
+            assert_eq!(warm.state_after_prefix(q), expect, "warm, query {q:?}");
+            assert_eq!(cold.state_after_prefix(q), expect, "cold, query {q:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_prebuild_warms_every_execution() {
+        use crate::execution::ExecutionBuilder;
+        let app = Trace;
+        let mut execs: Vec<Execution<Trace>> = (0..9)
+            .map(|k| {
+                let mut b = ExecutionBuilder::new(&app);
+                for i in 0..40 {
+                    b.push_complete(Tag(k * 1000 + i)).unwrap();
+                }
+                b.finish()
+            })
+            .collect();
+        for threads in [1, 4] {
+            prebuild_executions(
+                &shard_pool::PoolConfig::with_threads(threads),
+                &app,
+                &mut execs,
+            );
+        }
+        for (k, e) in execs.iter().enumerate() {
+            let expect: Vec<u64> = (0..40).map(|i| k as u64 * 1000 + i).collect();
+            assert_eq!(e.final_state(&app), expect);
+            // The warm chain serves mid-sequence queries without a full
+            // replay (stats only move by the short suffix).
+            let before = e.replay_stats().applied;
+            assert_eq!(e.actual_state_after(&app, 35), expect[..36].to_vec());
+            assert!(e.replay_stats().applied - before <= DEFAULT_CHECKPOINT_INTERVAL as u64);
+        }
     }
 
     #[test]

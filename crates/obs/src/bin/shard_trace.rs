@@ -12,6 +12,11 @@
 //! shard-trace aggregate <dir> <out.json>
 //!     Validate every *.json sidecar in <dir> and combine them into one
 //!     aggregate document keyed by file stem.
+//!
+//! shard-trace diff <a.json> <b.json>
+//!     Exit 0 iff the two sidecars describe the same outcome: identical
+//!     after dropping wall_time_ms, spans and pool.* metrics (the
+//!     fields that legitimately vary with wall clock and thread count).
 //! ```
 
 use std::path::Path;
@@ -23,10 +28,12 @@ fn main() -> ExitCode {
         Some("summarize") => summarize(&args[1..]),
         Some("check") => check(&args[1..]),
         Some("aggregate") => aggregate(&args[1..]),
+        Some("diff") => diff(&args[1..]),
         _ => Err(format!(
             "usage: shard-trace summarize <trace.jsonl> | \
              check <sidecar.json> [key ...] | \
-             aggregate <dir> <out.json>{}",
+             aggregate <dir> <out.json> | \
+             diff <a.json> <b.json>{}",
             args.first()
                 .map(|c| format!(" (unknown command {c:?})"))
                 .unwrap_or_default()
@@ -64,6 +71,15 @@ fn check(args: &[String]) -> Result<(), String> {
     let required: Vec<&str> = keys.iter().map(String::as_str).collect();
     shard_obs::check_sidecar(&read(path)?, &required).map_err(|e| format!("{path}: {e}"))?;
     println!("{path}: ok ({} required keys present)", required.len());
+    Ok(())
+}
+
+fn diff(args: &[String]) -> Result<(), String> {
+    let [a, b] = args else {
+        return Err("diff takes exactly two sidecar files".to_string());
+    };
+    shard_obs::diff_sidecars(&read(a)?, &read(b)?).map_err(|e| format!("{a} vs {b}: {e}"))?;
+    println!("{a} and {b} describe the same outcome");
     Ok(())
 }
 

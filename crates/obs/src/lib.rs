@@ -44,5 +44,6 @@ pub use metrics::{
 };
 pub use span::{SpanGuard, SPAN_PREFIX};
 pub use trace::{
-    aggregate, check_sidecar, summarize, FaultTally, NodeReplay, SpanAgg, TraceSummary,
+    aggregate, check_sidecar, diff_sidecars, summarize, FaultTally, NodeReplay, SpanAgg,
+    TraceSummary,
 };

@@ -247,6 +247,102 @@ pub fn aggregate(sidecars: &[(String, String)]) -> Result<String, String> {
         .finish())
 }
 
+/// Removes the fields of a sidecar document that legitimately vary
+/// between byte-identical runs: `wall_time_ms` and the `spans` section
+/// (wall-clock timing) plus every `pool.*` metric (which worker ran
+/// what, and how many there were — a throughput fact, not an outcome).
+/// What remains — claims, verdict counters, gauges, histograms — must
+/// match exactly between runs that differ only in thread count.
+fn strip_volatile(v: &mut Json) {
+    match v {
+        Json::Obj(map) => {
+            map.remove("wall_time_ms");
+            map.remove("spans");
+            map.retain(|k, _| !k.starts_with("pool."));
+            for child in map.values_mut() {
+                strip_volatile(child);
+            }
+            // A metric section holding only pool.* entries strips to an
+            // empty object, while a run that never recorded any has no
+            // section at all — the two must still compare equal.
+            for section in ["counters", "gauges", "histograms"] {
+                if map
+                    .get(section)
+                    .and_then(Json::as_obj)
+                    .is_some_and(BTreeMap::is_empty)
+                {
+                    map.remove(section);
+                }
+            }
+        }
+        Json::Arr(items) => {
+            for child in items.iter_mut() {
+                strip_volatile(child);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Locates the first difference between two JSON values, depth-first in
+/// deterministic key order; returns its path and a short description.
+fn first_difference(path: &str, a: &Json, b: &Json) -> Option<String> {
+    match (a, b) {
+        (Json::Obj(ma), Json::Obj(mb)) => {
+            for k in ma.keys().chain(mb.keys()) {
+                match (ma.get(k), mb.get(k)) {
+                    (Some(va), Some(vb)) => {
+                        if let Some(d) = first_difference(&format!("{path}.{k}"), va, vb) {
+                            return Some(d);
+                        }
+                    }
+                    (Some(_), None) => return Some(format!("{path}.{k}: only in first")),
+                    (None, Some(_)) => return Some(format!("{path}.{k}: only in second")),
+                    (None, None) => unreachable!("key came from one of the maps"),
+                }
+            }
+            None
+        }
+        (Json::Arr(xs), Json::Arr(ys)) => {
+            if xs.len() != ys.len() {
+                return Some(format!(
+                    "{path}: array lengths {} vs {}",
+                    xs.len(),
+                    ys.len()
+                ));
+            }
+            xs.iter()
+                .zip(ys)
+                .enumerate()
+                .find_map(|(i, (x, y))| first_difference(&format!("{path}[{i}]"), x, y))
+        }
+        _ => (a != b).then(|| format!("{path}: {a:?} vs {b:?}")),
+    }
+}
+
+/// Compares two sidecar documents for **outcome equality**: parses
+/// both, drops the volatile fields (`wall_time_ms`, `spans`, `pool.*`
+/// metrics, plus any metric section emptied by the stripping) and
+/// requires everything else to match exactly.
+///
+/// This is the byte-identity check behind the CI thread-count diff: a
+/// sweep run at `SHARD_POOL_THREADS=1` and one at `=4` must agree on
+/// every claim, counter and gauge.
+///
+/// # Errors
+///
+/// Returns the path of the first difference, or a parse error.
+pub fn diff_sidecars(a: &str, b: &str) -> Result<(), String> {
+    let mut ja = parse(a).map_err(|e| format!("first document: not valid JSON: {e}"))?;
+    let mut jb = parse(b).map_err(|e| format!("second document: not valid JSON: {e}"))?;
+    strip_volatile(&mut ja);
+    strip_volatile(&mut jb);
+    match first_difference("$", &ja, &jb) {
+        None => Ok(()),
+        Some(d) => Err(format!("documents differ at {d}")),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -353,5 +449,30 @@ mod tests {
         let bad = vec![("e01".to_string(), "nope".to_string())];
         let err = aggregate(&bad).unwrap_err();
         assert!(err.starts_with("e01:"), "names the offender: {err}");
+    }
+
+    #[test]
+    fn diff_ignores_timing_and_pool_metrics() {
+        let a = r#"{"experiment":"chaos","ok":true,"wall_time_ms":17,
+            "counters":{"chaos.runs":25,"pool.tasks":25,"pool.handoffs":3},
+            "histograms":{"pool.busy_ns":{"count":4}},
+            "spans":{"span.chaos.sweep":{"ns":12345}}}"#;
+        let b = r#"{"experiment":"chaos","ok":true,"wall_time_ms":99,
+            "counters":{"chaos.runs":25,"pool.tasks":25,"pool.workers_spawned":4},
+            "spans":{"span.chaos.sweep":{"ns":54321}}}"#;
+        diff_sidecars(a, b).expect("same outcome modulo volatile fields");
+    }
+
+    #[test]
+    fn diff_catches_outcome_divergence() {
+        let a = r#"{"ok":true,"counters":{"chaos.runs":25}}"#;
+        let b = r#"{"ok":true,"counters":{"chaos.runs":26}}"#;
+        let err = diff_sidecars(a, b).unwrap_err();
+        assert!(err.contains("chaos.runs"), "names the path: {err}");
+        let c = r#"{"ok":false,"counters":{"chaos.runs":25}}"#;
+        assert!(diff_sidecars(a, c).is_err());
+        let missing = r#"{"ok":true}"#;
+        let err = diff_sidecars(a, missing).unwrap_err();
+        assert!(err.contains("only in first"), "{err}");
     }
 }

@@ -1,0 +1,390 @@
+//! `shard-pool` — a deterministic, zero-dependency scoped thread pool.
+//!
+//! Every search harness in this workspace — the chaos seed sweep, the
+//! exhaustive small-scope enumerations, the §3 condition checkers, the
+//! E01–E21 experiment suite — is embarrassingly parallel: independent
+//! seeds, independent candidate executions, independent index ranges.
+//! This crate provides the one concurrency primitive they all share,
+//! with two hard guarantees:
+//!
+//! 1. **Determinism** — results are collected in *input order*, so the
+//!    output of [`par_map`] (and everything built on it) is bit-for-bit
+//!    identical at every thread count, including 1. Thread count is a
+//!    throughput knob, never a semantics knob.
+//! 2. **Sequential fidelity** — at one thread (or when already inside a
+//!    pool worker) the primitives take a no-spawn fast path that *is*
+//!    the plain sequential loop: same iteration order, same stack.
+//!
+//! Work distribution is dynamic (workers share one atomic task cursor,
+//! so a slow task does not stall a whole static stripe), which is why
+//! only result *collection* — not execution order — is deterministic.
+//! Panics in tasks are propagated to the caller after all workers have
+//! been joined; the first panic in worker order wins.
+//!
+//! The pool is configured by [`PoolConfig`]; the `SHARD_POOL_THREADS`
+//! environment variable overrides the default size process-wide
+//! (`1` reproduces today's sequential behaviour everywhere).
+//!
+//! The registry being offline, this crate is std-only — consistent with
+//! the vendored rand/proptest/criterion shims (see DESIGN.md §8).
+//!
+//! Observability: when the `shard-obs` metrics layer is enabled, the
+//! pool feeds a `pool.*` counter family — jobs, tasks, handoffs (tasks
+//! a worker claimed off its static stripe: the work-sharing events),
+//! workers spawned, and a per-worker busy-time histogram — which
+//! `shard-trace summarize` reports as utilization. `pool.*` metrics
+//! depend on the thread count and timing; they are excluded from the
+//! deterministic sidecar comparison (`shard-trace diff`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// How many OS threads a parallel call may use.
+///
+/// `threads == 1` means *sequential*: the primitives run the plain
+/// in-order loop on the calling thread without spawning anything.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Maximum worker threads per parallel call (at least 1; calls over
+    /// fewer items use fewer).
+    pub threads: usize,
+}
+
+impl PoolConfig {
+    /// A sequential pool: the no-spawn fast path, bit-for-bit the plain
+    /// loop.
+    pub fn sequential() -> Self {
+        PoolConfig { threads: 1 }
+    }
+
+    /// A pool of exactly `threads` workers (clamped to at least 1).
+    pub fn with_threads(threads: usize) -> Self {
+        PoolConfig {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The process default: `SHARD_POOL_THREADS` if set and positive,
+    /// otherwise the machine's available parallelism.
+    pub fn from_env() -> Self {
+        let threads = std::env::var("SHARD_POOL_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            });
+        PoolConfig { threads }
+    }
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig::from_env()
+    }
+}
+
+thread_local! {
+    /// Set while the current thread is a pool worker. Nested parallel
+    /// calls detect it and degrade to the sequential fast path instead
+    /// of oversubscribing (or deadlocking a bounded pool).
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Whether the current thread is executing inside a pool worker.
+///
+/// Nested [`par_map`]/[`par_chunks`] calls from a worker run
+/// sequentially on that worker; this predicate lets callers pick
+/// cheaper sequential algorithms up front.
+pub fn is_worker() -> bool {
+    IN_WORKER.with(Cell::get)
+}
+
+/// Pool metrics, resolved once. All counters are lock-free adds; the
+/// cost when the obs layer is disabled is a single relaxed load.
+struct PoolMetrics {
+    jobs: std::sync::Arc<shard_obs::Counter>,
+    jobs_sequential: std::sync::Arc<shard_obs::Counter>,
+    tasks: std::sync::Arc<shard_obs::Counter>,
+    handoffs: std::sync::Arc<shard_obs::Counter>,
+    workers: std::sync::Arc<shard_obs::Counter>,
+    busy_ns: std::sync::Arc<shard_obs::Histogram>,
+}
+
+fn metrics() -> &'static PoolMetrics {
+    static METRICS: std::sync::OnceLock<PoolMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = shard_obs::Registry::global();
+        PoolMetrics {
+            jobs: r.counter("pool.jobs"),
+            jobs_sequential: r.counter("pool.jobs_sequential"),
+            tasks: r.counter("pool.tasks"),
+            handoffs: r.counter("pool.handoffs"),
+            workers: r.counter("pool.workers_spawned"),
+            busy_ns: r.histogram("pool.busy_ns"),
+        }
+    })
+}
+
+/// A scope for spawning structured worker threads — a thin wrapper over
+/// [`std::thread::scope`] that marks spawned threads as pool workers
+/// (so nested parallel primitives degrade to sequential) and counts
+/// them in the `pool.*` metrics.
+///
+/// Prefer [`par_map`]/[`par_chunks`]/[`par_for_each_mut`] — `scope` is
+/// the escape hatch for fan-out shapes they don't cover (e.g. a fixed
+/// number of heterogeneous tasks).
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> T,
+{
+    std::thread::scope(f)
+}
+
+/// Applies `f` to every element of `items` and returns the results in
+/// **input order**, using up to `cfg.threads` scoped worker threads.
+///
+/// Work distribution is dynamic (one shared atomic cursor), results are
+/// written back by index — so the returned vector is identical at any
+/// thread count. With one thread, no items, or when called from inside
+/// a pool worker, this is the plain sequential loop on the calling
+/// thread (no threads spawned).
+///
+/// # Panics
+///
+/// If `f` panics for any element, the panic is re-raised on the calling
+/// thread after all workers finish (first panic in worker order).
+pub fn par_map<T, R, F>(cfg: &PoolConfig, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = cfg.threads.max(1).min(n);
+    if workers <= 1 || is_worker() {
+        if shard_obs::enabled() {
+            let m = metrics();
+            m.jobs_sequential.inc();
+            m.tasks.add(n as u64);
+        }
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    if shard_obs::enabled() {
+        let m = metrics();
+        m.jobs.inc();
+        m.tasks.add(n as u64);
+        m.workers.add(workers as u64);
+    }
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let cursor = &cursor;
+                let f = &f;
+                s.spawn(move || {
+                    IN_WORKER.with(|c| c.set(true));
+                    let started = Instant::now();
+                    let mut out: Vec<(usize, R)> = Vec::new();
+                    let mut handoffs = 0u64;
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        // A task off this worker's static stripe is a
+                        // work-sharing handoff: dynamic scheduling
+                        // moved it here from the round-robin owner.
+                        if i % workers != w {
+                            handoffs += 1;
+                        }
+                        out.push((i, f(i, &items[i])));
+                    }
+                    if shard_obs::enabled() {
+                        let m = metrics();
+                        m.handoffs.add(handoffs);
+                        m.busy_ns.record(started.elapsed().as_nanos() as u64);
+                    }
+                    out
+                })
+            })
+            .collect();
+        let mut merged: Vec<(usize, R)> = Vec::with_capacity(n);
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for h in handles {
+            match h.join() {
+                Ok(part) => merged.extend(part),
+                Err(p) => {
+                    if panic.is_none() {
+                        panic = Some(p);
+                    }
+                }
+            }
+        }
+        if let Some(p) = panic {
+            std::panic::resume_unwind(p);
+        }
+        debug_assert_eq!(merged.len(), n, "every task produced one result");
+        merged.sort_unstable_by_key(|&(i, _)| i);
+        merged.into_iter().map(|(_, r)| r).collect()
+    })
+}
+
+/// Splits `items` into consecutive chunks of at most `chunk_size`
+/// elements and applies `f(start_index, chunk)` to each, in parallel,
+/// returning results in chunk order.
+///
+/// # Panics
+///
+/// Panics if `chunk_size == 0`. Task panics propagate as in
+/// [`par_map`].
+pub fn par_chunks<T, R, F>(cfg: &PoolConfig, items: &[T], chunk_size: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    assert!(chunk_size > 0, "chunk size must be positive");
+    let descriptors: Vec<(usize, &[T])> = items
+        .chunks(chunk_size)
+        .enumerate()
+        .map(|(c, slice)| (c * chunk_size, slice))
+        .collect();
+    par_map(cfg, &descriptors, |_, &(start, slice)| f(start, slice))
+}
+
+/// Partitions `0..len` into contiguous ranges (about four per worker,
+/// for load balance under uneven task costs) and applies `f` to each
+/// range in parallel, returning the per-range results in range order.
+///
+/// The workhorse for checkers that scan an index space. The range
+/// boundaries are a function of `len` alone (never of the thread
+/// count), so the returned vector is identical at every pool size.
+pub fn par_ranges<R, F>(cfg: &PoolConfig, len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(std::ops::Range<usize>) -> R + Sync,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    // Fixed sub-range granularity independent of the thread count keeps
+    // the (range → result) decomposition identical at every pool size;
+    // only which worker runs each range varies.
+    const TARGET_RANGES: usize = 32;
+    let chunk = len.div_ceil(TARGET_RANGES).max(1);
+    let starts: Vec<usize> = (0..len).step_by(chunk).collect();
+    par_map(cfg, &starts, |_, &start| f(start..(start + chunk).min(len)))
+}
+
+/// Applies `f(index, &mut item)` to every element of `items` in
+/// parallel, partitioning the slice into one contiguous chunk per
+/// worker. Mutation is disjoint by construction; iteration order within
+/// each chunk is ascending, so with one thread this is exactly the
+/// sequential `iter_mut` loop.
+///
+/// # Panics
+///
+/// Task panics propagate as in [`par_map`].
+pub fn par_for_each_mut<T, F>(cfg: &PoolConfig, items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = items.len();
+    let workers = cfg.threads.max(1).min(n);
+    if workers <= 1 || is_worker() {
+        if shard_obs::enabled() {
+            let m = metrics();
+            m.jobs_sequential.inc();
+            m.tasks.add(n as u64);
+        }
+        for (i, t) in items.iter_mut().enumerate() {
+            f(i, t);
+        }
+        return;
+    }
+    if shard_obs::enabled() {
+        let m = metrics();
+        m.jobs.inc();
+        m.tasks.add(n as u64);
+        m.workers.add(workers as u64);
+    }
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(workers);
+        for (c, sub) in items.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            handles.push(s.spawn(move || {
+                IN_WORKER.with(|cell| cell.set(true));
+                let started = Instant::now();
+                for (j, t) in sub.iter_mut().enumerate() {
+                    f(c * chunk + j, t);
+                }
+                if shard_obs::enabled() {
+                    metrics()
+                        .busy_ns
+                        .record(started.elapsed().as_nanos() as u64);
+                }
+            }));
+        }
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for h in handles {
+            if let Err(p) = h.join() {
+                if panic.is_none() {
+                    panic = Some(p);
+                }
+            }
+        }
+        if let Some(p) = panic {
+            std::panic::resume_unwind(p);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_sequential_map_at_every_size() {
+        let items: Vec<u64> = (0..101).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for threads in [1, 2, 3, 7, 16] {
+            let cfg = PoolConfig::with_threads(threads);
+            let got = par_map(&cfg, &items, |_, &x| x * x + 1);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_ranges_covers_exactly_once() {
+        for len in [0usize, 1, 5, 31, 32, 33, 1000] {
+            let cfg = PoolConfig::with_threads(4);
+            let ranges = par_ranges(&cfg, len, |r| r);
+            let mut covered = vec![0u32; len];
+            for r in &ranges {
+                for i in r.clone() {
+                    covered[i] += 1;
+                }
+            }
+            assert!(covered.iter().all(|&c| c == 1), "len = {len}");
+            // Decomposition is a function of len alone.
+            assert_eq!(ranges, par_ranges(&PoolConfig::sequential(), len, |r| r));
+        }
+    }
+
+    #[test]
+    fn config_env_parsing_defaults() {
+        // Not touching the real env (tests run concurrently): just the
+        // constructors.
+        assert_eq!(PoolConfig::sequential().threads, 1);
+        assert_eq!(PoolConfig::with_threads(0).threads, 1);
+        assert_eq!(PoolConfig::with_threads(9).threads, 9);
+        assert!(PoolConfig::from_env().threads >= 1);
+    }
+}
