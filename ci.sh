@@ -44,4 +44,16 @@ for sidecar in e01 e16 e17 e20 chaos; do
     check "target/exp_metrics/$sidecar.json" \
     experiment ok wall_time_ms claims counters gauges histograms spans
 done
+# The O(delta) state-layer gate: build + sweep the n=10^4 controlled-k
+# airline execution and hold the replay engine's clone traffic under
+# the pinned budget — >20x below what the pre-refactor engine (one
+# full state materialised per replayed update) copied on the same run.
+# The budget constant lives in exp_state_sweep.rs; the sidecar check
+# re-asserts it from the recorded counters so a regression in either
+# the engine or the accounting fails CI.
+run cargo run -q --release -p shard-bench --bin exp_state_sweep
+run cargo run -q --release -p shard-obs --bin shard-trace -- \
+  check target/exp_metrics/state_sweep.json \
+  experiment ok wall_time_ms claims counters gauges histograms spans \
+  "state.clone_bytes<=400000000"
 echo "CI PASSED"

@@ -206,6 +206,11 @@ impl Application for FlyByNight {
 
     fn apply(&self, state: &AirlineState, update: &AirlineUpdate) -> AirlineState {
         let mut s = state.clone();
+        self.apply_in_place(&mut s, update);
+        s
+    }
+
+    fn apply_in_place(&self, s: &mut AirlineState, update: &AirlineUpdate) {
         match update {
             AirlineUpdate::Request(p) => s.request(*p),
             AirlineUpdate::Cancel(p) => s.cancel(*p),
@@ -213,7 +218,11 @@ impl Application for FlyByNight {
             AirlineUpdate::MoveDown(p) => s.move_down(*p),
             AirlineUpdate::Noop => {}
         }
-        s
+    }
+
+    fn state_size_hint(&self, state: &AirlineState) -> usize {
+        std::mem::size_of::<AirlineState>()
+            + (state.assigned().len() + state.waiting().len()) * std::mem::size_of::<Person>()
     }
 
     fn decide(

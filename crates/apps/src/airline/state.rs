@@ -8,13 +8,25 @@
 //! paper's list-of-people reading implies.
 
 use crate::person::Person;
+use shard_core::PMap;
 use std::fmt;
 
 /// One Fly-by-Night database state: the assigned list and the wait list.
+///
+/// The list *order* is the data — §4.2 priority is list position — so
+/// both lists stay plain `Vec`s. A persistent membership index over
+/// the union of the two lists rides along: wait lists grow to
+/// thousands of people in the long-running workloads, and the
+/// REQUEST/CANCEL policy gates (`is_known`) would otherwise scan both
+/// lists per update. The index's key set always equals the union of
+/// the list members (every constructor and mutator maintains this for
+/// *any* state, well-formed or not), so it is a pure function of the
+/// lists and the derived equality/hash stay exactly list equality.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub struct AirlineState {
     assigned: Vec<Person>,
     waiting: Vec<Person>,
+    known: PMap<Person, ()>,
 }
 
 impl AirlineState {
@@ -28,7 +40,16 @@ impl AirlineState {
     /// ill-formed states are representable so the checkers can reject
     /// them.
     pub fn from_lists(assigned: Vec<Person>, waiting: Vec<Person>) -> Self {
-        AirlineState { assigned, waiting }
+        let known = assigned
+            .iter()
+            .chain(waiting.iter())
+            .map(|&p| (p, ()))
+            .collect();
+        AirlineState {
+            assigned,
+            waiting,
+            known,
+        }
     }
 
     /// The assigned list, in priority order.
@@ -52,8 +73,9 @@ impl AirlineState {
     }
 
     /// Whether `p` is *known* in this state (§4.2): on either list.
+    /// Answered from the membership index in O(log n).
     pub fn is_known(&self, p: Person) -> bool {
-        self.is_assigned(p) || self.is_waiting(p)
+        self.known.contains_key(&p)
     }
 
     /// Whether `p` is on the assigned list.
@@ -85,13 +107,16 @@ impl AirlineState {
     pub(crate) fn request(&mut self, p: Person) {
         if !self.is_known(p) {
             self.waiting.push(p);
+            self.known.insert(p, ());
         }
     }
 
     /// Removes `p` from whichever list it is on (CANCEL update body).
     pub(crate) fn cancel(&mut self, p: Person) {
-        self.assigned.retain(|x| *x != p);
-        self.waiting.retain(|x| *x != p);
+        if self.known.remove(&p).is_some() {
+            self.assigned.retain(|x| *x != p);
+            self.waiting.retain(|x| *x != p);
+        }
     }
 
     /// Moves `p` from the wait list to the end of the assigned list

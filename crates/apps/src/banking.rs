@@ -20,8 +20,7 @@
 //! reads the total and reports it — the transaction §3.2 suggests running
 //! with a complete prefix.
 
-use shard_core::{Application, Cost, DecisionOutcome, ExternalAction};
-use std::collections::BTreeMap;
+use shard_core::{Application, Cost, DecisionOutcome, ExternalAction, PMap};
 use std::fmt;
 
 /// An account identifier.
@@ -35,9 +34,13 @@ impl fmt::Display for AccountId {
 }
 
 /// Bank database state: balances in cents (absent account = 0).
+///
+/// Balances live in a [`PMap`], so cloning a `BankState` is an O(1)
+/// pointer bump and a credit touches only the O(log n) path to the
+/// account — the structural sharing the replay checkpoints rely on.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct BankState {
-    balances: BTreeMap<AccountId, i64>,
+    balances: PMap<AccountId, i64>,
 }
 
 impl BankState {
@@ -73,7 +76,7 @@ impl BankState {
     }
 
     fn credit(&mut self, a: AccountId, amount: i64) {
-        *self.balances.entry(a).or_insert(0) += amount;
+        self.balances.insert(a, self.balance(a) + amount);
     }
 }
 
@@ -179,6 +182,11 @@ impl Application for Bank {
 
     fn apply(&self, state: &BankState, update: &BankUpdate) -> BankState {
         let mut s = state.clone();
+        self.apply_in_place(&mut s, update);
+        s
+    }
+
+    fn apply_in_place(&self, s: &mut BankState, update: &BankUpdate) {
         match update {
             BankUpdate::Credit(a, amt) => s.credit(*a, *amt as i64),
             BankUpdate::Debit(a, amt) => s.credit(*a, -(*amt as i64)),
@@ -194,7 +202,11 @@ impl Application for Bank {
             }
             BankUpdate::Noop => {}
         }
-        s
+    }
+
+    fn state_size_hint(&self, state: &BankState) -> usize {
+        std::mem::size_of::<BankState>()
+            + state.balances.len() * std::mem::size_of::<(AccountId, i64)>()
     }
 
     fn decide(&self, decision: &BankTxn, observed: &BankState) -> DecisionOutcome<BankUpdate> {

@@ -12,18 +12,19 @@
 //! that have seen the same set of updates agree exactly (mutual
 //! consistency), which the simulator experiments exercise.
 
-use shard_core::{Application, Cost, DecisionOutcome, ExternalAction};
-use std::collections::BTreeMap;
+use shard_core::{Application, Cost, DecisionOutcome, ExternalAction, PMap};
 
 /// Dictionary keys.
 pub type Key = u32;
 /// Dictionary values.
 pub type Value = u64;
 
-/// Dictionary state: a sorted map.
+/// Dictionary state: a sorted map backed by the persistent [`PMap`], so
+/// clones are O(1) and each insert/delete shares all untouched entries
+/// with the previous state.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct DictState {
-    entries: BTreeMap<Key, Value>,
+    entries: PMap<Key, Value>,
 }
 
 impl DictState {
@@ -84,6 +85,11 @@ impl Application for Dictionary {
 
     fn apply(&self, state: &DictState, update: &DictUpdate) -> DictState {
         let mut s = state.clone();
+        self.apply_in_place(&mut s, update);
+        s
+    }
+
+    fn apply_in_place(&self, s: &mut DictState, update: &DictUpdate) {
         match update {
             DictUpdate::Insert(k, v) => {
                 s.entries.insert(*k, *v);
@@ -93,7 +99,10 @@ impl Application for Dictionary {
             }
             DictUpdate::Noop => {}
         }
-        s
+    }
+
+    fn state_size_hint(&self, state: &DictState) -> usize {
+        std::mem::size_of::<DictState>() + state.entries.len() * std::mem::size_of::<(Key, Value)>()
     }
 
     fn decide(&self, decision: &DictTxn, observed: &DictState) -> DecisionOutcome<DictUpdate> {

@@ -282,6 +282,11 @@ impl Application for Warehouse {
 
     fn apply(&self, state: &InventoryState, update: &InvUpdate) -> InventoryState {
         let mut s = state.clone();
+        self.apply_in_place(&mut s, update);
+        s
+    }
+
+    fn apply_in_place(&self, s: &mut InventoryState, update: &InvUpdate) {
         match update {
             InvUpdate::Commit(i, o) => {
                 if !s.item(*i).find(o.id) {
@@ -319,7 +324,18 @@ impl Application for Warehouse {
             }
             InvUpdate::Noop => {}
         }
-        s
+    }
+
+    fn state_size_hint(&self, state: &InventoryState) -> usize {
+        std::mem::size_of::<InventoryState>()
+            + state
+                .items
+                .iter()
+                .map(|it| {
+                    std::mem::size_of::<ItemState>()
+                        + (it.committed.len() + it.backlog.len()) * std::mem::size_of::<Order>()
+                })
+                .sum::<usize>()
     }
 
     fn decide(&self, decision: &InvTxn, observed: &InventoryState) -> DecisionOutcome<InvUpdate> {

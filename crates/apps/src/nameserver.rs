@@ -27,8 +27,7 @@
 //! so `f(k) = rate·k` bounds the cost increase — Corollary 8 transplants
 //! yet again (experiment E19).
 
-use shard_core::{Application, Cost, DecisionOutcome, ExternalAction};
-use std::collections::BTreeMap;
+use shard_core::{Application, Cost, DecisionOutcome, ExternalAction, PMap};
 use std::fmt;
 
 /// A registered (or registrable) name. Individuals and groups share the
@@ -53,17 +52,21 @@ impl fmt::Display for GroupId {
 }
 
 /// Name-server state: registrations and group member lists.
+///
+/// Registrations are a [`PMap`] (clones share structure); the member
+/// lists stay `Vec`s because group order *is* the data — §4.2 priority
+/// is list position.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct NsState {
-    registrations: BTreeMap<Name, u64>, // name → address
-    groups: Vec<Vec<Name>>,             // member lists, duplicate-free
+    registrations: PMap<Name, u64>, // name → address
+    groups: Vec<Vec<Name>>,         // member lists, duplicate-free
 }
 
 impl NsState {
     /// State with `groups` empty groups and no registrations.
     pub fn empty(groups: usize) -> Self {
         NsState {
-            registrations: BTreeMap::new(),
+            registrations: PMap::new(),
             groups: vec![Vec::new(); groups],
         }
     }
@@ -195,6 +198,11 @@ impl Application for NameServer {
 
     fn apply(&self, state: &NsState, update: &NsUpdate) -> NsState {
         let mut s = state.clone();
+        self.apply_in_place(&mut s, update);
+        s
+    }
+
+    fn apply_in_place(&self, s: &mut NsState, update: &NsUpdate) {
         match update {
             NsUpdate::SetAddress(n, a) => {
                 s.registrations.insert(*n, *a);
@@ -213,7 +221,16 @@ impl Application for NameServer {
             }
             NsUpdate::Noop => {}
         }
-        s
+    }
+
+    fn state_size_hint(&self, state: &NsState) -> usize {
+        std::mem::size_of::<NsState>()
+            + state.registrations.len() * std::mem::size_of::<(Name, u64)>()
+            + state
+                .groups
+                .iter()
+                .map(|g| g.len() * std::mem::size_of::<Name>())
+                .sum::<usize>()
     }
 
     fn decide(&self, decision: &NsTxn, observed: &NsState) -> DecisionOutcome<NsUpdate> {

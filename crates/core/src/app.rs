@@ -123,6 +123,31 @@ pub trait Application {
     /// to `state` (the paper's `A(s)`).
     fn apply(&self, state: &Self::State, update: &Self::Update) -> Self::State;
 
+    /// Runs the update part **in place**: `*state` becomes `A(*state)`.
+    ///
+    /// Semantically identical to [`Application::apply`] (a property
+    /// test per application pins the equivalence); the point is cost.
+    /// The replay engine, the execution folds and the simulator's merge
+    /// log all advance a state they own through long update runs, and
+    /// the default clone-and-replace turns every step into an O(state)
+    /// copy. Applications whose updates touch a small part of the state
+    /// override this with a direct mutation, making the advance loops
+    /// O(delta) per update.
+    fn apply_in_place(&self, state: &mut Self::State, update: &Self::Update) {
+        *state = self.apply(state, update);
+    }
+
+    /// Approximate size of `state` in bytes — inline footprint plus
+    /// owned heap data. A *hint*, in the spirit of a state-delta size:
+    /// the clone-accounting counters (`state.clone_bytes`) use it to
+    /// convert snapshot clones into comparable byte figures, so it
+    /// should scale with whatever a deep clone of the state would copy.
+    /// Structurally-shared states (e.g. [`crate::pmap::PMap`]-backed)
+    /// may report the shared size; their clones cost O(1) regardless.
+    fn state_size_hint(&self, _state: &Self::State) -> usize {
+        std::mem::size_of::<Self::State>()
+    }
+
     /// Runs the decision part `D_T(observed)`: reads the observed state,
     /// picks the update to invoke and any external actions to trigger.
     /// Must not (conceptually) modify the database.
@@ -184,6 +209,20 @@ pub trait Application {
 pub trait StateSpace<A: Application + ?Sized> {
     /// Produces the well-formed states to quantify over.
     fn states(&self, app: &A) -> Vec<A::State>;
+
+    /// Visits each state by reference, stopping early when `visit`
+    /// returns `false`; the result is whether every visited state
+    /// returned `true` (i.e. `∀s. visit(s)`, short-circuiting).
+    ///
+    /// This is the borrowing path the §4 checkers iterate on: the
+    /// default routes through [`StateSpace::states`] (one owned vector
+    /// per call), while spaces that already hold their states — like
+    /// [`ExplicitStates`] — override it to lend them out with no clone
+    /// at all. Checkers call it many times per classification, so the
+    /// difference is a large constant factor on exhaustive spaces.
+    fn for_each_state(&self, app: &A, visit: &mut dyn FnMut(&A::State) -> bool) -> bool {
+        self.states(app).iter().all(&mut *visit)
+    }
 }
 
 /// A state space given as an explicit vector of states.
@@ -193,6 +232,10 @@ pub struct ExplicitStates<S>(pub Vec<S>);
 impl<A: Application> StateSpace<A> for ExplicitStates<A::State> {
     fn states(&self, _app: &A) -> Vec<A::State> {
         self.0.clone()
+    }
+
+    fn for_each_state(&self, _app: &A, visit: &mut dyn FnMut(&A::State) -> bool) -> bool {
+        self.0.iter().all(&mut *visit)
     }
 }
 
@@ -263,5 +306,35 @@ mod tests {
     fn explicit_states_roundtrip() {
         let space = ExplicitStates(vec![0u32, 1, 2]);
         assert_eq!(space.states(&Toy), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn for_each_state_borrows_and_short_circuits() {
+        let space = ExplicitStates(vec![0u32, 1, 2, 3]);
+        let mut seen = Vec::new();
+        assert!(space.for_each_state(&Toy, &mut |s| {
+            seen.push(*s);
+            true
+        }));
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+        seen.clear();
+        assert!(!space.for_each_state(&Toy, &mut |s| {
+            seen.push(*s);
+            *s < 1
+        }));
+        assert_eq!(seen, vec![0, 1], "stops at the first false");
+    }
+
+    #[test]
+    fn default_apply_in_place_matches_apply() {
+        let app = Toy;
+        let mut s = 5u32;
+        app.apply_in_place(&mut s, &Inc);
+        assert_eq!(s, app.apply(&5, &Inc));
+    }
+
+    #[test]
+    fn default_size_hint_is_inline_size() {
+        assert_eq!(Toy.state_size_hint(&0), std::mem::size_of::<u32>());
     }
 }

@@ -106,8 +106,10 @@ pub fn is_increasing_for<A: Application>(
     constraint: usize,
     space: &impl StateSpace<A>,
 ) -> bool {
-    space.states(app).iter().any(|s| {
-        app.is_well_formed(s) && app.cost(&app.apply(s, u), constraint) > app.cost(s, constraint)
+    // `any` = not `all states fail the predicate`; the borrowing visitor
+    // avoids cloning the quantifier space on every call.
+    !space.for_each_state(app, &mut |s| {
+        !(app.is_well_formed(s) && app.cost(&app.apply(s, u), constraint) > app.cost(s, constraint))
     })
 }
 
@@ -120,8 +122,10 @@ pub fn is_safe_for<A: Application>(
     constraint: usize,
     space: &impl StateSpace<A>,
 ) -> bool {
-    let states = space.states(app);
-    states.iter().filter(|s| app.is_well_formed(s)).all(|s| {
+    space.for_each_state(app, &mut |s| {
+        if !app.is_well_formed(s) {
+            return true;
+        }
         let u = app.decide(decision, s).update;
         !is_increasing_for(app, &u, constraint, space)
     })
@@ -138,8 +142,10 @@ pub fn preserves_cost<A: Application>(
     constraint: usize,
     space: &impl StateSpace<A>,
 ) -> bool {
-    let states = space.states(app);
-    states.iter().filter(|s| app.is_well_formed(s)).all(|s| {
+    space.for_each_state(app, &mut |s| {
+        if !app.is_well_formed(s) {
+            return true;
+        }
         let u = app.decide(decision, s).update;
         if is_increasing_for(app, &u, constraint, space) {
             app.cost(&app.apply(s, &u), constraint) == 0
@@ -158,14 +164,13 @@ pub fn compensates_for<A: Application>(
     constraint: usize,
     space: &impl StateSpace<A>,
 ) -> bool {
-    let states = space.states(app);
-    states
-        .iter()
-        .filter(|s| app.is_well_formed(s) && app.cost(s, constraint) > 0)
-        .all(|s| {
-            let after = app.run(decision, s, s);
-            app.cost(&after, constraint) < app.cost(s, constraint)
-        })
+    space.for_each_state(app, &mut |s| {
+        if !(app.is_well_formed(s) && app.cost(s, constraint) > 0) {
+            return true;
+        }
+        let after = app.run(decision, s, s);
+        app.cost(&after, constraint) < app.cost(s, constraint)
+    })
 }
 
 /// Whether every update a transaction can invoke (over the space)
@@ -176,12 +181,14 @@ pub fn updates_preserve_well_formedness<A: Application>(
     decision: &A::Decision,
     space: &impl StateSpace<A>,
 ) -> bool {
-    let states = space.states(app);
-    let wf: Vec<&A::State> = states.iter().filter(|s| app.is_well_formed(s)).collect();
-    wf.iter().all(|observed| {
+    space.for_each_state(app, &mut |observed| {
+        if !app.is_well_formed(observed) {
+            return true;
+        }
         let u = app.decide(decision, observed).update;
-        wf.iter()
-            .all(|acting| app.is_well_formed(&app.apply(acting, &u)))
+        space.for_each_state(app, &mut |acting| {
+            !app.is_well_formed(acting) || app.is_well_formed(&app.apply(acting, &u))
+        })
     })
 }
 
@@ -254,11 +261,11 @@ pub fn check_bound_instance<A: Application>(
 ) -> bool {
     let mut s = app.initial_state();
     for u in seq {
-        s = app.apply(&s, u);
+        app.apply_in_place(&mut s, u);
     }
     let mut t = app.initial_state();
     for &i in kept {
-        t = app.apply(&t, &seq[i]);
+        app.apply_in_place(&mut t, &seq[i]);
     }
     let k = seq.len() - kept.len();
     app.cost(&s, constraint) <= app.cost(&t, constraint) + f.at(k)

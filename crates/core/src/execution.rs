@@ -320,9 +320,10 @@ impl<A: Application> Execution<A> {
         let mut s = app.initial_state();
         let mut acc = f(init, 0, &s);
         for (i, rec) in self.records.iter().enumerate() {
-            s = app.apply(&s, &rec.update);
+            app.apply_in_place(&mut s, &rec.update);
             acc = f(acc, i + 1, &s);
         }
+        crate::replay::note_in_place_applies(self.records.len() as u64);
         acc
     }
 
@@ -411,11 +412,12 @@ impl<A: Application> Execution<A> {
         // well-formedness by assumption; this checks the app honours it).
         let mut s = app.initial_state();
         for (i, rec) in self.records.iter().enumerate() {
-            s = app.apply(&s, &rec.update);
+            app.apply_in_place(&mut s, &rec.update);
             if !app.is_well_formed(&s) {
                 return Err(ExecutionError::IllFormedState { txn: i });
             }
         }
+        crate::replay::note_in_place_applies(self.records.len() as u64);
         Ok(())
     }
 

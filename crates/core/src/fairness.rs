@@ -124,11 +124,20 @@ pub fn priority_violation<A: PriorityModel>(
     decision: &A::Decision,
     space: &impl StateSpace<A>,
 ) -> Option<PriorityViolation<A::State, A::Entity>> {
-    space
-        .states(app)
-        .iter()
-        .filter(|s| app.is_well_formed(s))
-        .find_map(|s| check_pair(app, decision, s, s))
+    let mut found = None;
+    space.for_each_state(app, &mut |s| {
+        if !app.is_well_formed(s) {
+            return true;
+        }
+        match check_pair(app, decision, s, s) {
+            Some(v) => {
+                found = Some(v);
+                false
+            }
+            None => true,
+        }
+    });
+    found
 }
 
 /// Whether `decision` **strongly preserves priority** over the state
@@ -148,19 +157,25 @@ pub fn strong_priority_violation<A: PriorityModel>(
     decision: &A::Decision,
     space: &impl StateSpace<A>,
 ) -> Option<PriorityViolation<A::State, A::Entity>> {
-    let states: Vec<A::State> = space
-        .states(app)
-        .into_iter()
-        .filter(|s| app.is_well_formed(s))
-        .collect();
-    for observed in &states {
-        for acting in &states {
-            if let Some(v) = check_pair(app, decision, observed, acting) {
-                return Some(v);
-            }
+    let mut found = None;
+    space.for_each_state(app, &mut |observed| {
+        if !app.is_well_formed(observed) {
+            return true;
         }
-    }
-    None
+        space.for_each_state(app, &mut |acting| {
+            if !app.is_well_formed(acting) {
+                return true;
+            }
+            match check_pair(app, decision, observed, acting) {
+                Some(v) => {
+                    found = Some(v);
+                    false
+                }
+                None => true,
+            }
+        })
+    });
+    found
 }
 
 #[cfg(test)]

@@ -36,6 +36,9 @@
 //! * [`replay`] — the incremental replay engine: checkpointed,
 //!   memoizing state computation shared by executions, the checkers and
 //!   the simulator's undo/redo merge log.
+//! * [`pmap`] — a zero-dependency persistent ordered map (`Arc`-shared
+//!   copy-on-write treap) applications build their states on, so state
+//!   clones are O(1) and checkpoint chains cost O(delta) memory.
 //! * [`bitset`] — a small dense bit-set used by the execution property
 //!   checkers.
 //!
@@ -89,6 +92,7 @@ pub mod execution;
 pub mod fairness;
 pub mod grouping;
 pub mod objects;
+pub mod pmap;
 pub mod replay;
 
 pub use app::{Application, Cost, DecisionOutcome, ExplicitStates, ExternalAction, StateSpace};
@@ -98,4 +102,5 @@ pub use execution::{Execution, ExecutionBuilder, ExecutionError, TxnIndex, TxnRe
 pub use fairness::PriorityModel;
 pub use grouping::Grouping;
 pub use objects::{ObjectId, ObjectModel};
+pub use pmap::PMap;
 pub use replay::{Checkpoints, ReplayStats, Replayer, DEFAULT_CHECKPOINT_INTERVAL};

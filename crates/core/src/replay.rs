@@ -46,6 +46,12 @@ use crate::execution::{Execution, TxnIndex};
 ///   from a checkpoint or cached tip vs. from the initial state.
 /// * `replay.lcp` — histogram of the longest-common-prefix length each
 ///   prefix query shared with its predecessor (the reuse opportunity).
+/// * `replay.in_place_applies` — updates advanced via
+///   [`Application::apply_in_place`] instead of clone-and-replace.
+/// * `state.clone_count` / `state.clone_bytes` — full state snapshots
+///   cloned (checkpoint records, cached tips) and their cost per
+///   [`Application::state_size_hint`]. The clone-budget CI gate watches
+///   `state.clone_bytes`; a snapshot-copying regression moves it first.
 struct ReplayMetrics {
     queries: std::sync::Arc<shard_obs::Counter>,
     applied: std::sync::Arc<shard_obs::Counter>,
@@ -53,6 +59,9 @@ struct ReplayMetrics {
     ckpt_hits: std::sync::Arc<shard_obs::Counter>,
     ckpt_misses: std::sync::Arc<shard_obs::Counter>,
     lcp: std::sync::Arc<shard_obs::Histogram>,
+    in_place: std::sync::Arc<shard_obs::Counter>,
+    clone_count: std::sync::Arc<shard_obs::Counter>,
+    clone_bytes: std::sync::Arc<shard_obs::Counter>,
 }
 
 fn replay_metrics() -> &'static ReplayMetrics {
@@ -66,8 +75,35 @@ fn replay_metrics() -> &'static ReplayMetrics {
             ckpt_hits: r.counter("replay.ckpt_hits"),
             ckpt_misses: r.counter("replay.ckpt_misses"),
             lcp: r.histogram("replay.lcp"),
+            in_place: r.counter("replay.in_place_applies"),
+            clone_count: r.counter("state.clone_count"),
+            clone_bytes: r.counter("state.clone_bytes"),
         }
     })
+}
+
+/// Records that a full state snapshot was cloned somewhere in the
+/// state layer — a checkpoint record, a cached tip, a resume copy.
+/// `bytes` comes from [`Application::state_size_hint`]. Feeds the
+/// `state.clone_count` / `state.clone_bytes` counters; no-op while the
+/// obs layer is disabled. Public because the simulator's merge log
+/// clones against the same budget.
+pub fn note_state_clone(bytes: usize) {
+    if shard_obs::enabled() {
+        let m = replay_metrics();
+        m.clone_count.inc();
+        m.clone_bytes.add(bytes as u64);
+    }
+}
+
+/// Records `count` updates advanced via
+/// [`Application::apply_in_place`] (counter
+/// `replay.in_place_applies`). Public for the same reason as
+/// [`note_state_clone`].
+pub fn note_in_place_applies(count: u64) {
+    if shard_obs::enabled() {
+        replay_metrics().in_place.add(count);
+    }
 }
 
 /// Default spacing, in applied updates, between state checkpoints.
@@ -100,23 +136,58 @@ pub struct ReplayStats {
 /// means dropping the invalidated suffix of checkpoints and redoing from
 /// the deepest survivor. The same structure serves the in-memory replay
 /// cache of [`Replayer`] and `Execution`.
+///
+/// With structurally-shared states (e.g. [`crate::pmap::PMap`]-backed),
+/// consecutive recorded snapshots share all but the nodes touched since
+/// the previous record — the sequence is then a **delta chain**: each
+/// link costs O(delta) memory, not O(state). For deep-cloning states
+/// the optional *anchor spacing* knob
+/// ([`Checkpoints::with_anchor_spacing`]) bounds the chain instead:
+/// only every `anchor_every`-th recorded point is retained long-term
+/// (plus the newest point, where the next resume usually lands), so
+/// the chain holds `O(n / (interval · anchor_every))` full anchors.
+/// Pruning never changes any state a resume produces — only how far
+/// back a resume may have to replay — and the default spacing of 1
+/// retains every point, byte-identical to the pre-delta-chain
+/// behaviour (a property test in `tests/state_inplace.rs` pins this).
 #[derive(Clone, Debug)]
 pub struct Checkpoints<S> {
     every: usize,
+    anchor_every: usize,
+    /// Successful records since the last retained anchor; 0 means the
+    /// newest point *is* an anchor.
+    since_anchor: usize,
     points: Vec<(usize, S)>,
 }
 
 impl<S: Clone> Checkpoints<S> {
     /// Creates an empty checkpoint sequence recording every `every`
-    /// applied updates.
+    /// applied updates, retaining every recorded point (anchor
+    /// spacing 1).
     ///
     /// # Panics
     ///
     /// Panics if `every == 0` (checkpoint interval must be positive).
     pub fn new(every: usize) -> Self {
+        Self::with_anchor_spacing(every, 1)
+    }
+
+    /// Creates an empty checkpoint sequence recording every `every`
+    /// applied updates and retaining one long-term anchor per
+    /// `anchor_every` recorded points (the newest point is always
+    /// kept). `anchor_every == 1` keeps everything — the snapshot
+    /// behaviour [`Checkpoints::new`] gives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every == 0` or `anchor_every == 0`.
+    pub fn with_anchor_spacing(every: usize, anchor_every: usize) -> Self {
         assert!(every > 0, "checkpoint interval must be positive");
+        assert!(anchor_every > 0, "anchor spacing must be positive");
         Checkpoints {
             every,
+            anchor_every,
+            since_anchor: 0,
             points: Vec::new(),
         }
     }
@@ -124,6 +195,12 @@ impl<S: Clone> Checkpoints<S> {
     /// The configured spacing between checkpoints, in applied updates.
     pub fn interval(&self) -> usize {
         self.every
+    }
+
+    /// The anchor spacing: how many recorded points yield one retained
+    /// long-term anchor (1 = retain every point).
+    pub fn anchor_spacing(&self) -> usize {
+        self.anchor_every
     }
 
     /// The number of checkpoints currently stored.
@@ -139,6 +216,7 @@ impl<S: Clone> Checkpoints<S> {
     /// Drops all checkpoints, keeping the interval.
     pub fn clear(&mut self) {
         self.points.clear();
+        self.since_anchor = 0;
     }
 
     /// The depth (applied-update count) of the deepest checkpoint, or 0.
@@ -159,6 +237,13 @@ impl<S: Clone> Checkpoints<S> {
     /// whether a checkpoint was stored.
     pub fn record(&mut self, len: usize, state: &S) -> bool {
         if len >= self.last_len() + self.every {
+            // Delta-chain pruning: the newest point was provisional
+            // unless it fell on an anchor; with spacing 1 every point
+            // is an anchor and nothing is ever dropped.
+            if self.since_anchor != 0 {
+                self.points.pop();
+            }
+            self.since_anchor = (self.since_anchor + 1) % self.anchor_every;
             self.points.push((len, state.clone()));
             true
         } else {
@@ -170,8 +255,14 @@ impl<S: Clone> Checkpoints<S> {
     /// *undo* half of undo/redo: checkpoints past an insertion point are
     /// invalidated, those at or before it survive.
     pub fn truncate(&mut self, keep: usize) {
+        let before = self.points.len();
         while self.points.last().is_some_and(|&(l, _)| l > keep) {
             self.points.pop();
+        }
+        if self.points.len() != before {
+            // The surviving tip becomes the anchor the next run of
+            // records counts from.
+            self.since_anchor = 0;
         }
     }
 
@@ -269,11 +360,20 @@ impl<A: Application> ReplayCache<A> {
         A::Update: 'u,
     {
         self.stats.queries += 1;
-        let lcp = prefix
-            .iter()
-            .zip(self.path.iter())
-            .take_while(|(a, b)| a == b)
-            .count();
+        // Longest common prefix with the previous path, compared in
+        // blocks: whole-execution sweeps ask ~n queries whose shared
+        // runs are ~n long, so this comparison is the only O(n²) term
+        // left in a sweep — block equality compiles to wide compares
+        // instead of an element-at-a-time loop.
+        let m = prefix.len().min(self.path.len());
+        let mut lcp = 0;
+        const BLOCK: usize = 64;
+        while lcp + BLOCK <= m && prefix[lcp..lcp + BLOCK] == self.path[lcp..lcp + BLOCK] {
+            lcp += BLOCK;
+        }
+        while lcp < m && prefix[lcp] == self.path[lcp] {
+            lcp += 1;
+        }
         // Deepest path-based resume point.
         let path_resume: (usize, Option<A::State>) =
             if lcp == self.path.len() && self.path_tip.is_some() {
@@ -290,11 +390,21 @@ impl<A: Application> ReplayCache<A> {
         // `state_after_first`) are equally valid resume points for it.
         // This is what lets many fresh caches share one warmed full
         // chain instead of each replaying the common prefix from `s₀`.
-        let serial_run = prefix
-            .iter()
-            .enumerate()
-            .take_while(|&(i, &j)| i == j)
-            .count();
+        // `prefix` is strictly increasing, so `prefix[j] - j` is
+        // non-decreasing and the identity run is a true prefix — find
+        // its end by binary search instead of walking it.
+        let serial_run = {
+            let (mut lo, mut hi) = (0usize, prefix.len());
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                if prefix[mid] == mid {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            lo
+        };
         let mut full_resume: Option<(usize, A::State)> =
             self.full.floor(serial_run).map(|(l, s)| (l, s.clone()));
         if let Some((l, s)) = &self.full_tip {
@@ -314,8 +424,10 @@ impl<A: Application> ReplayCache<A> {
             let m = replay_metrics();
             m.queries.inc();
             m.reused.add(depth as u64);
-            // Each loop iteration below applies exactly one update.
+            // Each loop iteration below applies exactly one update,
+            // in place.
             m.applied.add((prefix.len() - depth) as u64);
+            m.in_place.add((prefix.len() - depth) as u64);
             m.lcp.record(lcp as u64);
             if depth > 0 {
                 m.ckpt_hits.inc();
@@ -336,11 +448,14 @@ impl<A: Application> ReplayCache<A> {
             self.path_ckpts.truncate(depth);
         }
         for &j in &prefix[depth..] {
-            state = app.apply(&state, update_at(j));
+            app.apply_in_place(&mut state, update_at(j));
             self.stats.applied += 1;
             self.path.push(j);
-            self.path_ckpts.record(self.path.len(), &state);
+            if self.path_ckpts.record(self.path.len(), &state) {
+                note_state_clone(app.state_size_hint(&state));
+            }
         }
+        note_state_clone(app.state_size_hint(&state));
         self.path_tip = Some(state.clone());
         state
     }
@@ -370,6 +485,7 @@ impl<A: Application> ReplayCache<A> {
             metrics.queries.inc();
             metrics.reused.add(len as u64);
             metrics.applied.add((m - len) as u64);
+            metrics.in_place.add((m - len) as u64);
             if len > 0 {
                 metrics.ckpt_hits.inc();
             } else {
@@ -377,12 +493,15 @@ impl<A: Application> ReplayCache<A> {
             }
         }
         while len < m {
-            state = app.apply(&state, update_at(len));
+            app.apply_in_place(&mut state, update_at(len));
             len += 1;
             self.stats.applied += 1;
-            self.full.record(len, &state);
+            if self.full.record(len, &state) {
+                note_state_clone(app.state_size_hint(&state));
+            }
         }
         if self.full_tip.as_ref().is_none_or(|(l, _)| *l <= m) {
+            note_state_clone(app.state_size_hint(&state));
             self.full_tip = Some((m, state.clone()));
         }
         state
@@ -541,9 +660,10 @@ impl<'a, A: Application> Replayer<'a, A> {
         let mut s = self.app.initial_state();
         let mut acc = f(init, 0, &s);
         for (i, u) in self.updates.iter().enumerate() {
-            s = self.app.apply(&s, u);
+            self.app.apply_in_place(&mut s, u);
             acc = f(acc, i + 1, &s);
         }
+        note_in_place_applies(self.updates.len() as u64);
         acc
     }
 }
@@ -642,6 +762,50 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn checkpoints_reject_zero_interval() {
         let _ = Checkpoints::<u32>::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "anchor spacing must be positive")]
+    fn checkpoints_reject_zero_anchor_spacing() {
+        let _ = Checkpoints::<u32>::with_anchor_spacing(4, 0);
+    }
+
+    #[test]
+    fn anchor_spacing_prunes_to_anchors_plus_tip() {
+        let mut c: Checkpoints<u32> = Checkpoints::with_anchor_spacing(1, 3);
+        assert_eq!(c.anchor_spacing(), 3);
+        for len in 1..=7usize {
+            assert!(c.record(len, &(len as u32 * 10)));
+        }
+        // Records 3 and 6 are anchors; record 7 is the retained tip.
+        let kept: Vec<usize> = (1..=7).filter_map(|l| c.floor(l).map(|(k, _)| k)).collect();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.last(), Some((7, &70)));
+        assert_eq!(kept, vec![3, 3, 3, 6, 7], "floors resolve to anchors");
+        // Every surviving point still maps to the state recorded at
+        // that depth — pruning drops points, never corrupts them.
+        assert_eq!(c.floor(5), Some((3, &30)));
+        // Truncation restarts the anchor phase at the surviving tip.
+        c.truncate(6);
+        assert_eq!(c.last(), Some((6, &60)));
+        assert!(c.record(7, &70));
+        assert_eq!(c.len(), 3, "post-truncate tip kept as an anchor");
+    }
+
+    #[test]
+    fn anchor_spacing_one_is_byte_identical_to_snapshots() {
+        let mut plain: Checkpoints<u32> = Checkpoints::new(2);
+        let mut delta: Checkpoints<u32> = Checkpoints::with_anchor_spacing(2, 1);
+        for len in 1..=20usize {
+            assert_eq!(
+                plain.record(len, &(len as u32)),
+                delta.record(len, &(len as u32))
+            );
+        }
+        for limit in 0..=21 {
+            assert_eq!(plain.floor(limit), delta.floor(limit));
+        }
+        assert_eq!(plain.len(), delta.len());
     }
 
     #[test]

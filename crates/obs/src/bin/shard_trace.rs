@@ -5,9 +5,12 @@
 //!     Print event counts, per-node undo/redo distribution and the
 //!     span-time table for a JSONL trace.
 //!
-//! shard-trace check <sidecar.json> [required-key ...]
+//! shard-trace check <sidecar.json> [required-key | counter<=limit ...]
 //!     Exit 0 iff the file is one well-formed JSON object carrying all
-//!     the required top-level keys.
+//!     the required top-level keys. Arguments containing `<=` are
+//!     budget assertions: `state.clone_bytes<=1000000` requires the
+//!     sidecar's `counters` object to record that counter at or below
+//!     the limit.
 //!
 //! shard-trace aggregate <dir> <out.json>
 //!     Validate every *.json sidecar in <dir> and combine them into one
@@ -68,9 +71,39 @@ fn check(args: &[String]) -> Result<(), String> {
     let Some((path, keys)) = args.split_first() else {
         return Err("check takes a sidecar file and optional required keys".to_string());
     };
-    let required: Vec<&str> = keys.iter().map(String::as_str).collect();
-    shard_obs::check_sidecar(&read(path)?, &required).map_err(|e| format!("{path}: {e}"))?;
-    println!("{path}: ok ({} required keys present)", required.len());
+    let mut required: Vec<&str> = Vec::new();
+    let mut budgets: Vec<(&str, u64)> = Vec::new();
+    for key in keys {
+        match key.split_once("<=") {
+            Some((counter, limit)) => {
+                let limit = limit
+                    .parse::<u64>()
+                    .map_err(|e| format!("budget {key:?}: bad limit: {e}"))?;
+                budgets.push((counter, limit));
+            }
+            None => required.push(key),
+        }
+    }
+    let doc =
+        shard_obs::check_sidecar(&read(path)?, &required).map_err(|e| format!("{path}: {e}"))?;
+    for (counter, limit) in &budgets {
+        let value = doc
+            .get("counters")
+            .and_then(|c| c.get(counter))
+            .and_then(shard_obs::Json::as_u64)
+            .ok_or_else(|| format!("{path}: counter {counter:?} not recorded in sidecar"))?;
+        if value > *limit {
+            return Err(format!(
+                "{path}: counter {counter} = {value} exceeds budget {limit}"
+            ));
+        }
+        println!("{path}: counter {counter} = {value} within budget {limit}");
+    }
+    println!(
+        "{path}: ok ({} required keys present, {} budgets met)",
+        required.len(),
+        budgets.len()
+    );
     Ok(())
 }
 

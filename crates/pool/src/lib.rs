@@ -23,7 +23,9 @@
 //!
 //! The pool is configured by [`PoolConfig`]; the `SHARD_POOL_THREADS`
 //! environment variable overrides the default size process-wide
-//! (`1` reproduces today's sequential behaviour everywhere).
+//! (`1` reproduces today's sequential behaviour everywhere). The
+//! environment path caps the size at the host's available parallelism —
+//! oversubscribing a CPU-bound checker only adds preemption.
 //!
 //! The registry being offline, this crate is std-only — consistent with
 //! the vendored rand/proptest/criterion shims (see DESIGN.md §8).
@@ -69,16 +71,31 @@ impl PoolConfig {
     }
 
     /// The process default: `SHARD_POOL_THREADS` if set and positive,
-    /// otherwise the machine's available parallelism.
+    /// otherwise the machine's available parallelism — in both cases
+    /// capped at the available parallelism. Requesting more workers
+    /// than cores never helps a CPU-bound checker: the extra threads
+    /// just preempt each other (BENCH_parallel.json once recorded a
+    /// 0.63× "speedup" at 4 threads on a 1-core host exactly this way).
+    /// [`PoolConfig::with_threads`] stays uncapped for tests and
+    /// benchmarks that deliberately exercise real contention.
     pub fn from_env() -> Self {
         let threads = std::env::var("SHARD_POOL_THREADS")
             .ok()
             .and_then(|v| v.parse::<usize>().ok())
             .filter(|&n| n > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-            });
-        PoolConfig { threads }
+            .unwrap_or(usize::MAX);
+        PoolConfig { threads }.capped_to_host()
+    }
+
+    /// This configuration with `threads` capped at the machine's
+    /// available parallelism — what [`PoolConfig::from_env`] applies to
+    /// the environment override, exposed for callers that build sizes
+    /// programmatically but still want the oversubscription guard.
+    pub fn capped_to_host(self) -> Self {
+        let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        PoolConfig {
+            threads: self.threads.min(hw).max(1),
+        }
     }
 }
 
@@ -180,6 +197,12 @@ where
         m.tasks.add(n as u64);
         m.workers.add(workers as u64);
     }
+    // Workers claim short *runs* of tasks per cursor bump rather than
+    // one task at a time, so fine-grained work (e.g. 10⁴ cheap partition
+    // rows) doesn't serialize on the shared atomic. The claim size is a
+    // function of the input size and worker count alone; results are
+    // written back by index, so the output is unchanged.
+    let claim = (n / (workers * 8)).clamp(1, 64);
     let cursor = AtomicUsize::new(0);
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
@@ -192,17 +215,21 @@ where
                     let mut out: Vec<(usize, R)> = Vec::new();
                     let mut handoffs = 0u64;
                     loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
+                        let start = cursor.fetch_add(claim, Ordering::Relaxed);
+                        if start >= n {
                             break;
                         }
-                        // A task off this worker's static stripe is a
+                        // A run off this worker's static stripe is a
                         // work-sharing handoff: dynamic scheduling
                         // moved it here from the round-robin owner.
-                        if i % workers != w {
-                            handoffs += 1;
+                        let end = (start + claim).min(n);
+                        if (start / claim) % workers != w {
+                            handoffs += (end - start) as u64;
                         }
-                        out.push((i, f(i, &items[i])));
+                        for (off, item) in items[start..end].iter().enumerate() {
+                            let i = start + off;
+                            out.push((i, f(i, item)));
+                        }
                     }
                     if shard_obs::enabled() {
                         let m = metrics();
@@ -274,9 +301,12 @@ where
     }
     // Fixed sub-range granularity independent of the thread count keeps
     // the (range → result) decomposition identical at every pool size;
-    // only which worker runs each range varies.
+    // only which worker runs each range varies. The minimum grain keeps
+    // cheap rows (a transitivity check on one prefix pair is tens of
+    // nanoseconds) from drowning in per-range dispatch overhead.
     const TARGET_RANGES: usize = 32;
-    let chunk = len.div_ceil(TARGET_RANGES).max(1);
+    const MIN_GRAIN: usize = 256;
+    let chunk = len.div_ceil(TARGET_RANGES).max(MIN_GRAIN);
     let starts: Vec<usize> = (0..len).step_by(chunk).collect();
     par_map(cfg, &starts, |_, &start| f(start..(start + chunk).min(len)))
 }
@@ -386,5 +416,17 @@ mod tests {
         assert_eq!(PoolConfig::with_threads(0).threads, 1);
         assert_eq!(PoolConfig::with_threads(9).threads, 9);
         assert!(PoolConfig::from_env().threads >= 1);
+    }
+
+    #[test]
+    fn host_cap_bounds_threads_without_zeroing_them() {
+        let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        assert_eq!(
+            PoolConfig::with_threads(10_000).capped_to_host().threads,
+            hw
+        );
+        assert_eq!(PoolConfig::sequential().capped_to_host().threads, 1);
+        // from_env never exceeds the host even if the env asks for more.
+        assert!(PoolConfig::from_env().threads <= hw);
     }
 }

@@ -33,7 +33,7 @@ use crate::clock::{LamportClock, NodeId, Timestamp};
 use crate::crash::CrashSchedule;
 use crate::delay::DelayModel;
 use crate::events::{EventQueue, SimTime};
-use crate::merge::{MergeLog, MergeMetrics};
+use crate::merge::{MergeLog, MergeMetrics, MergeOutcome};
 use crate::nemesis::{Fate, MsgCtx, Nemesis};
 use crate::partition::PartitionSchedule;
 use rand::rngs::StdRng;
@@ -113,45 +113,37 @@ pub(crate) fn emit_schedule(
     }
 }
 
-/// Merges `update` into `log`, emitting the merge outcome — append,
-/// out-of-order (with its undo/redo depth), or duplicate — to `sink`.
-/// The outcome is recovered by differencing [`MergeLog::metrics`]
-/// around the call, so the merge engine itself stays trace-agnostic.
-/// Every strategy's deliveries pass through here, making gossip and
-/// partial runs exactly as observable as flooding runs.
-pub(crate) fn merge_traced<A: Application>(
-    app: &A,
-    sink: Option<&shard_obs::EventSink>,
-    log: &mut MergeLog<A>,
-    ts: Timestamp,
-    update: Arc<A::Update>,
+/// Emits the trace event for one merge outcome — append, out-of-order
+/// (with its undo/redo depth), or duplicate. Every strategy's deliveries
+/// pass through here, making gossip and partial runs exactly as
+/// observable as flooding runs.
+pub(crate) fn emit_merge_outcome(
+    sink: &shard_obs::EventSink,
+    outcome: MergeOutcome,
     now: SimTime,
     node: NodeId,
-) -> bool {
-    let Some(sink) = sink else {
-        return log.merge(app, ts, update);
-    };
-    let before = log.metrics();
-    let fresh = log.merge(app, ts, update);
-    let after = log.metrics();
-    if !fresh {
-        sink.event("merge.duplicate")
-            .u64("t", now)
-            .u64("node", u64::from(node.0))
-            .emit();
-    } else if after.out_of_order > before.out_of_order {
-        sink.event("merge.out_of_order")
-            .u64("t", now)
-            .u64("node", u64::from(node.0))
-            .u64("replayed", after.replayed - before.replayed)
-            .emit();
-    } else {
-        sink.event("merge.append")
-            .u64("t", now)
-            .u64("node", u64::from(node.0))
-            .emit();
+) {
+    match outcome {
+        MergeOutcome::Duplicate => {
+            sink.event("merge.duplicate")
+                .u64("t", now)
+                .u64("node", u64::from(node.0))
+                .emit();
+        }
+        MergeOutcome::OutOfOrder { replayed } => {
+            sink.event("merge.out_of_order")
+                .u64("t", now)
+                .u64("node", u64::from(node.0))
+                .u64("replayed", replayed)
+                .emit();
+        }
+        MergeOutcome::Appended => {
+            sink.event("merge.append")
+                .u64("t", now)
+                .u64("node", u64::from(node.0))
+                .emit();
+        }
     }
-    fresh
 }
 
 /// One client transaction submission: at `time`, at `node`.
@@ -815,10 +807,22 @@ impl<'a, A: Application, P: Propagation<A>> Runner<'a, A, P> {
                             .emit();
                     }
                     let n = &mut nodes[to.0 as usize];
-                    for (ts, update) in packet.entries.iter() {
+                    for (ts, _) in packet.entries.iter() {
                         n.clock.observe(*ts);
-                        merge_traced(app, sink, &mut n.log, *ts, Arc::clone(update), now, to);
                     }
+                    // One batch per delivery burst: in-order runs extend
+                    // the log and its checkpoint chain without per-entry
+                    // binary searches, while per-entry outcomes keep the
+                    // trace bit-identical to entry-at-a-time merging.
+                    n.log.merge_batch(
+                        app,
+                        packet.entries.iter().map(|(ts, u)| (*ts, Arc::clone(u))),
+                        |_, outcome| {
+                            if let Some(s) = sink {
+                                emit_merge_outcome(s, outcome, now, to);
+                            }
+                        },
+                    );
                     if pending.is_empty() {
                         continue;
                     }

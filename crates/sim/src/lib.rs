@@ -75,7 +75,7 @@ pub use crash::{CrashSchedule, CrashWindow};
 pub use delay::DelayModel;
 pub use gossip::{Gossip, GossipCluster, GossipConfig, GossipPlacement, GossipReport};
 pub use kernel::{FaultStats, Propagation, RunReport, Runner};
-pub use merge::{MergeLog, MergeMetrics};
+pub use merge::{MergeLog, MergeMetrics, MergeOutcome};
 pub use nemesis::{
     CrashInjector, Fate, FaultEvent, FaultLog, MessageDropper, MessageDuplicator, MessageReorderer,
     MsgCtx, Nemesis, NemesisStack, PartitionJitter, Recorder, ScheduledNemesis,

@@ -57,6 +57,28 @@ fn merge_obs() -> &'static MergeObs {
     })
 }
 
+/// How a single merge landed in a [`MergeLog`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MergeOutcome {
+    /// The timestamp was already known; nothing changed.
+    Duplicate,
+    /// The update extended the log in timestamp order (cheap path).
+    Appended,
+    /// The update landed in the middle of the log; `replayed` updates
+    /// were re-applied to repair history.
+    OutOfOrder {
+        /// Updates re-applied during the undo/redo.
+        replayed: u64,
+    },
+}
+
+impl MergeOutcome {
+    /// Whether the update was new to the log.
+    pub fn is_new(&self) -> bool {
+        !matches!(self, MergeOutcome::Duplicate)
+    }
+}
+
 /// Counters describing how much undo/redo work a node performed.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MergeMetrics {
@@ -183,60 +205,113 @@ impl<A: Application> MergeLog<A> {
     /// `Arc<A::Update>` (re-merging a forwarded entry costs no clone).
     /// Returns `true` if the update was new.
     pub fn merge(&mut self, app: &A, ts: Timestamp, update: impl Into<Arc<A::Update>>) -> bool {
+        self.merge_with_outcome(app, ts, update).is_new()
+    }
+
+    /// [`MergeLog::merge`], reporting *how* the update landed. The
+    /// kernel's tracer keys its merge events off the outcome.
+    pub fn merge_with_outcome(
+        &mut self,
+        app: &A,
+        ts: Timestamp,
+        update: impl Into<Arc<A::Update>>,
+    ) -> MergeOutcome {
         match self.entries.binary_search_by_key(&ts, |(t, _)| *t) {
-            Ok(_) => {
-                self.metrics.duplicates += 1;
-                if shard_obs::enabled() {
-                    merge_obs().duplicates.inc();
-                }
-                false
+            Ok(_) => self.note_duplicate(),
+            Err(pos) if pos == self.entries.len() => self.append(app, ts, update.into()),
+            Err(pos) => self.insert_and_replay(app, ts, update.into(), pos),
+        }
+    }
+
+    /// Merges a burst of deliveries in arrival order, invoking `on_each`
+    /// with every entry's outcome. Runs of in-order arrivals skip the
+    /// per-entry binary search and extend the checkpoint chain directly;
+    /// metrics, checkpoint placement, and outcomes are exactly what the
+    /// equivalent sequence of [`MergeLog::merge`] calls would produce, so
+    /// traces built on top of the batch path are bit-identical.
+    pub fn merge_batch(
+        &mut self,
+        app: &A,
+        batch: impl IntoIterator<Item = (Timestamp, Arc<A::Update>)>,
+        mut on_each: impl FnMut(Timestamp, MergeOutcome),
+    ) {
+        for (ts, update) in batch {
+            let in_order = self.entries.last().is_none_or(|(last, _)| ts > *last);
+            let outcome = if in_order {
+                self.append(app, ts, update)
+            } else {
+                self.merge_with_outcome(app, ts, update)
+            };
+            on_each(ts, outcome);
+        }
+    }
+
+    fn note_duplicate(&mut self) -> MergeOutcome {
+        self.metrics.duplicates += 1;
+        if shard_obs::enabled() {
+            merge_obs().duplicates.inc();
+        }
+        MergeOutcome::Duplicate
+    }
+
+    /// In timestamp order: apply incrementally, no clone unless a
+    /// checkpoint is recorded.
+    fn append(&mut self, app: &A, ts: Timestamp, update: Arc<A::Update>) -> MergeOutcome {
+        app.apply_in_place(&mut self.state, &update);
+        self.entries.push((ts, update));
+        self.metrics.appends += 1;
+        if shard_obs::enabled() {
+            merge_obs().appends.inc();
+        }
+        if self.checkpoints.record(self.entries.len(), &self.state) {
+            shard_core::replay::note_state_clone(app.state_size_hint(&self.state));
+        }
+        MergeOutcome::Appended
+    }
+
+    /// Out of order: undo back to a checkpoint ≤ pos, redo.
+    fn insert_and_replay(
+        &mut self,
+        app: &A,
+        ts: Timestamp,
+        update: Arc<A::Update>,
+        pos: usize,
+    ) -> MergeOutcome {
+        self.metrics.out_of_order += 1;
+        self.entries.insert(pos, (ts, update));
+        // Checkpoints past the insertion point are invalidated.
+        self.checkpoints.truncate(pos);
+        let (base_len, mut s) = match self.checkpoints.last() {
+            Some((len, s)) => {
+                shard_core::replay::note_state_clone(app.state_size_hint(s));
+                (len, s.clone())
             }
-            Err(pos) if pos == self.entries.len() => {
-                // In timestamp order: apply incrementally.
-                let update = update.into();
-                self.state = app.apply(&self.state, &update);
-                self.entries.push((ts, update));
-                self.metrics.appends += 1;
-                if shard_obs::enabled() {
-                    merge_obs().appends.inc();
-                }
-                self.checkpoints.record(self.entries.len(), &self.state);
-                true
-            }
-            Err(pos) => {
-                // Out of order: undo back to a checkpoint ≤ pos, redo.
-                self.metrics.out_of_order += 1;
-                self.entries.insert(pos, (ts, update.into()));
-                // Checkpoints past the insertion point are invalidated.
-                self.checkpoints.truncate(pos);
-                let (base_len, mut s) = match self.checkpoints.last() {
-                    Some((len, s)) => (len, s.clone()),
-                    None => (0, app.initial_state()),
-                };
-                for i in base_len..self.entries.len() {
-                    s = app.apply(&s, &self.entries[i].1);
-                    self.metrics.replayed += 1;
-                    // Recreate the checkpoints the insertion invalidated
-                    // so the next straggler replays only its own tail.
-                    if i + 1 < self.entries.len() {
-                        self.checkpoints.record(i + 1, &s);
-                    }
-                }
-                self.state = s;
-                if shard_obs::enabled() {
-                    let obs = merge_obs();
-                    obs.out_of_order.inc();
-                    obs.replay_depth
-                        .record((self.entries.len() - base_len) as u64);
-                    if base_len > 0 {
-                        obs.ckpt_hits.inc();
-                    } else {
-                        obs.ckpt_misses.inc();
-                    }
-                }
-                true
+            None => (0, app.initial_state()),
+        };
+        let mut replayed = 0u64;
+        for i in base_len..self.entries.len() {
+            app.apply_in_place(&mut s, &self.entries[i].1);
+            replayed += 1;
+            // Recreate the checkpoints the insertion invalidated
+            // so the next straggler replays only its own tail.
+            if i + 1 < self.entries.len() && self.checkpoints.record(i + 1, &s) {
+                shard_core::replay::note_state_clone(app.state_size_hint(&s));
             }
         }
+        self.metrics.replayed += replayed;
+        self.state = s;
+        if shard_obs::enabled() {
+            let obs = merge_obs();
+            obs.out_of_order.inc();
+            obs.replay_depth
+                .record((self.entries.len() - base_len) as u64);
+            if base_len > 0 {
+                obs.ckpt_hits.inc();
+            } else {
+                obs.ckpt_misses.inc();
+            }
+        }
+        MergeOutcome::OutOfOrder { replayed }
     }
 }
 
@@ -396,5 +471,55 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_checkpoint_interval_panics() {
         let _ = MergeLog::new(&Trace, 0);
+    }
+
+    #[test]
+    fn outcomes_classify_each_merge() {
+        let app = Trace;
+        let mut log = MergeLog::new(&app, 4);
+        assert_eq!(
+            log.merge_with_outcome(&app, ts(1), 10),
+            MergeOutcome::Appended
+        );
+        assert_eq!(
+            log.merge_with_outcome(&app, ts(3), 30),
+            MergeOutcome::Appended
+        );
+        assert_eq!(
+            log.merge_with_outcome(&app, ts(2), 20),
+            MergeOutcome::OutOfOrder { replayed: 3 }
+        );
+        assert_eq!(
+            log.merge_with_outcome(&app, ts(2), 20),
+            MergeOutcome::Duplicate
+        );
+        assert!(MergeOutcome::Appended.is_new());
+        assert!(!MergeOutcome::Duplicate.is_new());
+    }
+
+    #[test]
+    fn batch_path_is_identical_to_entry_at_a_time() {
+        // Adversarial burst: in-order run, straggler, duplicate, another
+        // in-order run. The batch must produce the same state, metrics,
+        // and per-entry outcome sequence as sequential merges.
+        let app = Trace;
+        let burst: Vec<(Timestamp, Arc<u64>)> = [5u64, 6, 7, 2, 5, 8, 9, 1, 10]
+            .iter()
+            .map(|&l| (ts(l), Arc::new(l)))
+            .collect();
+        for every in [1, 3, 1000] {
+            let mut one_at_a_time = MergeLog::new(&app, every);
+            let mut expected = Vec::new();
+            for (t, u) in &burst {
+                expected.push(one_at_a_time.merge_with_outcome(&app, *t, Arc::clone(u)));
+            }
+            let mut batched = MergeLog::new(&app, every);
+            let mut got = Vec::new();
+            batched.merge_batch(&app, burst.iter().cloned(), |_, o| got.push(o));
+            assert_eq!(got, expected, "checkpoint interval {every}");
+            assert_eq!(batched.state(), one_at_a_time.state());
+            assert_eq!(batched.metrics(), one_at_a_time.metrics());
+            assert_eq!(batched.entries(), one_at_a_time.entries());
+        }
     }
 }

@@ -1,0 +1,323 @@
+//! Property tests for the O(delta) state layer: `apply_in_place` must
+//! agree with the pure `apply` on every application, the persistent
+//! [`PMap`] must behave exactly like a `BTreeMap` oracle (including
+//! across O(1) clones taken mid-sequence), and the delta-chain
+//! [`Checkpoints`] (anchor spacing > 1) must resume replays to states
+//! byte-identical to the retain-everything snapshot implementation —
+//! at pool sizes 1, 2 and 7 for the execution-level cache.
+
+use proptest::prelude::*;
+use shard::apps::airline::{AirlineTxn, AirlineUpdate, FlyByNight};
+use shard::apps::banking::{AccountId, Bank, BankUpdate};
+use shard::apps::dictionary::{DictUpdate, Dictionary};
+use shard::apps::inventory::{InvUpdate, ItemId, Order, OrderId, Warehouse};
+use shard::apps::nameserver::{GroupId, Name, NameServer, NsUpdate};
+use shard::apps::Person;
+use shard::core::replay::prebuild_executions;
+use shard::core::{Application, Checkpoints, ExecutionBuilder, PMap, TxnIndex};
+use shard_pool::PoolConfig;
+use std::collections::BTreeMap;
+
+/// Folds `updates` twice — once through the pure `apply`, once through
+/// `apply_in_place` — and checks the states agree after every step.
+/// Also pins the `state_size_hint` contract: at least the shallow size.
+fn assert_in_place_matches_apply<A: Application>(app: &A, updates: &[A::Update]) {
+    let mut in_place = app.initial_state();
+    let mut pure = app.initial_state();
+    for u in updates {
+        let next = app.apply(&pure, u);
+        app.apply_in_place(&mut in_place, u);
+        assert_eq!(in_place, next, "apply_in_place diverged on {u:?}");
+        assert!(
+            app.state_size_hint(&in_place) >= std::mem::size_of::<A::State>(),
+            "size hint below shallow size"
+        );
+        pure = next;
+    }
+}
+
+fn airline_update() -> impl Strategy<Value = AirlineUpdate> {
+    prop_oneof![
+        (1u32..6).prop_map(|p| AirlineUpdate::Request(Person(p))),
+        (1u32..6).prop_map(|p| AirlineUpdate::Cancel(Person(p))),
+        (1u32..6).prop_map(|p| AirlineUpdate::MoveUp(Person(p))),
+        (1u32..6).prop_map(|p| AirlineUpdate::MoveDown(Person(p))),
+        Just(AirlineUpdate::Noop),
+    ]
+}
+
+fn bank_update() -> impl Strategy<Value = BankUpdate> {
+    prop_oneof![
+        ((1u32..4), (1u32..200)).prop_map(|(a, x)| BankUpdate::Credit(AccountId(a), x)),
+        ((1u32..4), (1u32..200)).prop_map(|(a, x)| BankUpdate::Debit(AccountId(a), x)),
+        ((1u32..4), (1u32..4), (1u32..100)).prop_map(|(a, b, x)| BankUpdate::Move(
+            AccountId(a),
+            AccountId(b),
+            x
+        )),
+        (1u32..4).prop_map(|a| BankUpdate::Sweep(AccountId(a))),
+        Just(BankUpdate::Noop),
+    ]
+}
+
+fn inventory_update() -> impl Strategy<Value = InvUpdate> {
+    let item = 0u32..3;
+    let id = 1u32..12;
+    prop_oneof![
+        (item.clone(), id.clone(), 1u64..5).prop_map(|(i, o, q)| {
+            InvUpdate::Commit(
+                ItemId(i),
+                Order {
+                    id: OrderId(o),
+                    qty: q,
+                },
+            )
+        }),
+        (item.clone(), id.clone(), 1u64..5).prop_map(|(i, o, q)| {
+            InvUpdate::Backlog(
+                ItemId(i),
+                Order {
+                    id: OrderId(o),
+                    qty: q,
+                },
+            )
+        }),
+        (item.clone(), id.clone()).prop_map(|(i, o)| InvUpdate::Remove(ItemId(i), OrderId(o))),
+        (item.clone(), id.clone()).prop_map(|(i, o)| InvUpdate::Promote(ItemId(i), OrderId(o))),
+        (item.clone(), id).prop_map(|(i, o)| InvUpdate::Demote(ItemId(i), OrderId(o))),
+        (item.clone(), 1u64..10).prop_map(|(i, q)| InvUpdate::AddStock(ItemId(i), q)),
+        (item, 1u64..10).prop_map(|(i, q)| InvUpdate::SubStock(ItemId(i), q)),
+        Just(InvUpdate::Noop),
+    ]
+}
+
+fn nameserver_update() -> impl Strategy<Value = NsUpdate> {
+    let name = 1u32..8;
+    prop_oneof![
+        (name.clone(), 1u64..100).prop_map(|(n, a)| NsUpdate::SetAddress(Name(n), a)),
+        name.clone().prop_map(|n| NsUpdate::RemoveName(Name(n))),
+        ((0u32..3), name.clone()).prop_map(|(g, n)| NsUpdate::AddMember(GroupId(g), Name(n))),
+        ((0u32..3), name).prop_map(|(g, n)| NsUpdate::RemoveMember(GroupId(g), Name(n))),
+        Just(NsUpdate::Noop),
+    ]
+}
+
+fn dictionary_update() -> impl Strategy<Value = DictUpdate> {
+    prop_oneof![
+        ((0u32..10), (1u64..50)).prop_map(|(k, v)| DictUpdate::Insert(k, v)),
+        (0u32..10).prop_map(DictUpdate::Delete),
+        Just(DictUpdate::Noop),
+    ]
+}
+
+/// One PMap mutation: `Some(v)` inserts, `None` removes.
+fn pmap_op() -> impl Strategy<Value = (u32, Option<u64>)> {
+    (
+        (0u32..24),
+        prop_oneof![(1u64..100).prop_map(Some), Just(None)],
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Airline: in-place application is the pure application.
+    #[test]
+    fn airline_in_place_matches_apply(
+        updates in proptest::collection::vec(airline_update(), 0..120),
+    ) {
+        assert_in_place_matches_apply(&FlyByNight::new(2), &updates);
+    }
+
+    /// Banking: in-place application is the pure application.
+    #[test]
+    fn bank_in_place_matches_apply(
+        updates in proptest::collection::vec(bank_update(), 0..120),
+    ) {
+        assert_in_place_matches_apply(&Bank::new(3, 200), &updates);
+    }
+
+    /// Inventory: in-place application is the pure application.
+    #[test]
+    fn inventory_in_place_matches_apply(
+        updates in proptest::collection::vec(inventory_update(), 0..120),
+    ) {
+        assert_in_place_matches_apply(&Warehouse::new(3, 10, 7, 3), &updates);
+    }
+
+    /// Name server: in-place application is the pure application.
+    #[test]
+    fn nameserver_in_place_matches_apply(
+        updates in proptest::collection::vec(nameserver_update(), 0..120),
+    ) {
+        assert_in_place_matches_apply(&NameServer::new(3, 5), &updates);
+    }
+
+    /// Dictionary: in-place application is the pure application.
+    #[test]
+    fn dictionary_in_place_matches_apply(
+        updates in proptest::collection::vec(dictionary_update(), 0..120),
+    ) {
+        assert_in_place_matches_apply(&Dictionary, &updates);
+    }
+
+    /// The persistent map agrees with a `BTreeMap` oracle after every
+    /// operation — and clones taken along the way are immutable: each
+    /// snapshot still equals the oracle state it was taken at, no
+    /// matter what happened to the map afterwards (structural sharing
+    /// must never leak writes into old versions).
+    #[test]
+    fn pmap_matches_btreemap_oracle(
+        ops in proptest::collection::vec(pmap_op(), 0..200),
+    ) {
+        let mut map: PMap<u32, u64> = PMap::new();
+        let mut oracle: BTreeMap<u32, u64> = BTreeMap::new();
+        let mut snapshots: Vec<(PMap<u32, u64>, BTreeMap<u32, u64>)> = Vec::new();
+        for (i, (k, v)) in ops.iter().enumerate() {
+            match v {
+                Some(v) => {
+                    prop_assert_eq!(map.insert(*k, *v), oracle.insert(*k, *v));
+                }
+                None => {
+                    prop_assert_eq!(map.remove(k), oracle.remove(k));
+                }
+            }
+            prop_assert_eq!(map.len(), oracle.len());
+            prop_assert_eq!(map.get(k), oracle.get(k));
+            prop_assert_eq!(map.contains_key(k), oracle.contains_key(k));
+            if i % 7 == 0 {
+                snapshots.push((map.clone(), oracle.clone()));
+            }
+        }
+        // Iteration order and content match the sorted oracle exactly.
+        prop_assert_eq!(
+            map.iter().map(|(k, v)| (*k, *v)).collect::<Vec<_>>(),
+            oracle.iter().map(|(k, v)| (*k, *v)).collect::<Vec<_>>()
+        );
+        prop_assert_eq!(map.keys().copied().collect::<Vec<_>>(),
+                        oracle.keys().copied().collect::<Vec<_>>());
+        // Rebuilding from the oracle yields an equal map (canonical
+        // shape: equality is structural, not insertion-order).
+        let rebuilt: PMap<u32, u64> = oracle.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(&rebuilt, &map);
+        // Old versions are untouched by later writes.
+        for (snap_map, snap_oracle) in &snapshots {
+            prop_assert_eq!(snap_map.len(), snap_oracle.len());
+            prop_assert_eq!(
+                snap_map.iter().map(|(k, v)| (*k, *v)).collect::<Vec<_>>(),
+                snap_oracle.iter().map(|(k, v)| (*k, *v)).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    /// Delta-chain checkpoints (anchor spacing > 1) are a pure pruning
+    /// of the snapshot implementation: record decisions are identical,
+    /// every retained point holds the exact prefix state, every floor
+    /// is a snapshot-retained point, and resuming a replay from a
+    /// delta-chain floor reproduces the target state byte-for-byte.
+    /// Spacing 1 retains precisely what the snapshot sequence retains.
+    #[test]
+    fn delta_chain_checkpoints_match_snapshot(
+        updates in proptest::collection::vec(airline_update(), 0..120),
+        every in 1usize..=16,
+        anchor in 1usize..=8,
+    ) {
+        let app = FlyByNight::new(2);
+        // All prefix states up front (the naive oracle).
+        let mut states = Vec::with_capacity(updates.len() + 1);
+        states.push(app.initial_state());
+        for u in &updates {
+            states.push(app.apply(states.last().unwrap(), u));
+        }
+
+        let mut snap: Checkpoints<_> = Checkpoints::new(every);
+        let mut delta: Checkpoints<_> = Checkpoints::with_anchor_spacing(every, anchor);
+        for (len, state) in states.iter().enumerate().skip(1) {
+            let recorded_snap = snap.record(len, state);
+            let recorded_delta = delta.record(len, state);
+            prop_assert_eq!(recorded_snap, recorded_delta,
+                "record decision diverged at {}", len);
+        }
+        prop_assert!(delta.len() <= snap.len());
+        if anchor == 1 {
+            prop_assert_eq!(delta.len(), snap.len());
+        }
+        prop_assert_eq!(delta.last_len(), snap.last_len(),
+            "the newest point must always survive pruning");
+
+        for depth in 0..=updates.len() {
+            let snap_floor = snap.floor(depth);
+            let delta_floor = delta.floor(depth);
+            if anchor == 1 {
+                prop_assert_eq!(&delta_floor, &snap_floor);
+            }
+            if let Some((l, s)) = delta_floor {
+                // A delta floor is one of the snapshot's points…
+                prop_assert_eq!(s, &states[l], "floor state is the prefix state");
+                prop_assert!(snap_floor.is_some_and(|(sl, _)| l <= sl),
+                    "pruning may only deepen the replay, not skip past it");
+                // …and resuming from it reproduces the target exactly.
+                let mut resumed = s.clone();
+                for u in &updates[l..depth] {
+                    app.apply_in_place(&mut resumed, u);
+                }
+                prop_assert_eq!(&resumed, &states[depth],
+                    "resume from delta floor at depth {}", depth);
+            }
+        }
+    }
+
+    /// The execution-level replay cache answers identically at pool
+    /// sizes 1, 2 and 7: `prebuild_executions` warms per-execution
+    /// caches in parallel, and every apparent/actual state must match
+    /// the naive fold no matter how many workers did the warming.
+    #[test]
+    fn execution_cache_agrees_across_pool_sizes(
+        txns in proptest::collection::vec(
+            (prop_oneof![
+                (1u32..6).prop_map(|p| AirlineTxn::Request(Person(p))),
+                (1u32..6).prop_map(|p| AirlineTxn::Cancel(Person(p))),
+                Just(AirlineTxn::MoveUp),
+                Just(AirlineTxn::MoveDown),
+            ], any::<u64>()),
+            1..48,
+        ),
+    ) {
+        let app = FlyByNight::new(2);
+        let mut b = ExecutionBuilder::new(&app);
+        for (txn, miss_bits) in txns {
+            let i = b.len();
+            let missing: Vec<TxnIndex> = (0..8)
+                .filter(|bit| miss_bits >> bit & 1 == 1)
+                .map(|bit| i.saturating_sub(bit + 1))
+                .filter(|&j| j < i)
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect();
+            b.push_missing(txn, &missing).expect("valid prefix");
+        }
+        let e = b.finish();
+        let updates: Vec<AirlineUpdate> = e.records().iter().map(|r| r.update).collect();
+        let naive = |prefix: &[TxnIndex]| {
+            prefix.iter().fold(app.initial_state(), |s, &j| app.apply(&s, &updates[j]))
+        };
+        for threads in [1usize, 2, 7] {
+            let mut execs = vec![e.clone(), e.clone()];
+            prebuild_executions(&PoolConfig::with_threads(threads), &app, &mut execs);
+            for warmed in &execs {
+                for i in 0..warmed.len() {
+                    prop_assert_eq!(
+                        warmed.apparent_state_before(&app, i),
+                        naive(&warmed.record(i).prefix),
+                        "apparent state at {} with {} threads", i, threads
+                    );
+                    prop_assert_eq!(
+                        warmed.actual_state_after(&app, i),
+                        naive(&(0..=i).collect::<Vec<_>>()),
+                        "actual state at {} with {} threads", i, threads
+                    );
+                }
+            }
+        }
+    }
+}
