@@ -37,13 +37,31 @@ run env SHARD_POOL_THREADS=1 \
   cargo run -q --release -p shard-bench --bin shard-chaos -- --seeds 25
 run env SHARD_POOL_THREADS=4 EXP_METRICS_DIR=target/exp_metrics_par \
   cargo run -q --release -p shard-bench --bin shard-chaos -- --seeds 25
-run cargo run -q --release -p shard-obs --bin shard-trace -- \
+run cargo run -q --release -p shard-cli --bin shard-trace -- \
   diff target/exp_metrics/chaos.json target/exp_metrics_par/chaos.json
 for sidecar in e01 e16 e17 e20 chaos; do
-  run cargo run -q --release -p shard-obs --bin shard-trace -- \
+  run cargo run -q --release -p shard-cli --bin shard-trace -- \
     check "target/exp_metrics/$sidecar.json" \
     experiment ok wall_time_ms claims counters gauges histograms spans
 done
+# The streaming monitor gate: a monitored chaos sweep must find a
+# violation, cut the run at it, and leave behind a replayed trace plus
+# a certificate that the shared-nothing `shard-trace certify` validator
+# accepts — while a mutated certificate (witness shifted off the end of
+# the trace) must be rejected. This exercises the live monitor, the
+# early abort, the trace tee and the certificate round-trip end to end.
+run cargo run -q --release -p shard-bench --bin shard-chaos -- \
+  --seeds 25 --monitor-window 8 \
+  --trace-out target/monitored.jsonl --cert-out target/monitored.cert.json
+run cargo run -q --release -p shard-cli --bin shard-trace -- \
+  certify target/monitored.jsonl target/monitored.cert.json
+sed 's/"top":[0-9]*/"top":99999/' target/monitored.cert.json \
+  > target/monitored.cert.bad.json
+if cargo run -q --release -p shard-cli --bin shard-trace -- \
+  certify target/monitored.jsonl target/monitored.cert.bad.json; then
+  echo "FAILED: certify accepted a mutated certificate" >&2
+  exit 1
+fi
 # The O(delta) state-layer gate: build + sweep the n=10^4 controlled-k
 # airline execution and hold the replay engine's clone traffic under
 # the pinned budget — >20x below what the pre-refactor engine (one
@@ -52,7 +70,7 @@ done
 # re-asserts it from the recorded counters so a regression in either
 # the engine or the accounting fails CI.
 run cargo run -q --release -p shard-bench --bin exp_state_sweep
-run cargo run -q --release -p shard-obs --bin shard-trace -- \
+run cargo run -q --release -p shard-cli --bin shard-trace -- \
   check target/exp_metrics/state_sweep.json \
   experiment ok wall_time_ms claims counters gauges histograms spans \
   "state.clone_bytes<=400000000"

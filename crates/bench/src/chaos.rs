@@ -34,6 +34,7 @@ use shard_apps::airline::workload::AirlineMix;
 use shard_apps::airline::{AirlineTxn, FlyByNight, OVERBOOKING};
 use shard_core::conditions::{is_transitive, max_missed};
 use shard_core::costs::BoundFn;
+use shard_core::stream::Certificate;
 use shard_core::Execution;
 use shard_pool::PoolConfig;
 use shard_sim::events::SimTime;
@@ -41,7 +42,7 @@ use shard_sim::nemesis::{
     shrink, CrashInjector, FaultEvent, MessageDropper, MessageDuplicator, MessageReorderer,
     Nemesis, NemesisStack, PartitionJitter, Recorder, ScheduledNemesis,
 };
-use shard_sim::{ClusterConfig, DelayModel, EagerBroadcast, RunReport, Runner};
+use shard_sim::{ClusterConfig, DelayModel, EagerBroadcast, MonitorConfig, RunReport, Runner};
 use std::fmt;
 
 /// Configuration of one chaos sweep.
@@ -276,6 +277,238 @@ impl ChaosOutcome {
         }
         h
     }
+}
+
+/// Seeds per scheduling chunk in [`monitored_sweep`]. Fixed (never
+/// derived from the pool), so which seeds run before the sweep stops is
+/// a function of the outcome alone and the early abort is byte-identical
+/// at every thread count.
+const MONITOR_CHUNK: usize = 8;
+
+/// One seed's verdict from the live in-run monitor.
+#[derive(Clone, Debug)]
+pub struct MonitoredVerdict {
+    /// The swept seed.
+    pub seed: u64,
+    /// Transactions the monitor checked (all of them, or the prefix up
+    /// to the abort).
+    pub rows: usize,
+    /// The monitor stopped this run at a confirmed violation.
+    pub aborted: bool,
+    /// Transitivity verdict over the checked rows.
+    pub transitive: bool,
+    /// `max_missed` over the checked rows.
+    pub max_missed: usize,
+    /// `min_delay_bound` over the checked rows.
+    pub delay_bound: u64,
+}
+
+/// The confirmed violation that stopped a monitored sweep.
+#[derive(Clone, Debug)]
+pub struct MonitoredHit {
+    /// The violating seed.
+    pub seed: u64,
+    /// The §3 witness triple the monitor certified.
+    pub certificate: Certificate,
+    /// Rows executed before the kernel aborted — what the early abort
+    /// saved is `cfg.txns - rows_at_abort` per remaining doomed run.
+    pub rows_at_abort: usize,
+    /// The same seed's fault-free baseline was transitive, attributing
+    /// the violation to the fault schedule (always re-checked before a
+    /// hit stops the sweep).
+    pub baseline_transitive: bool,
+}
+
+/// Everything a monitored sweep produced.
+#[derive(Clone, Debug, Default)]
+pub struct MonitoredOutcome {
+    /// Per-seed verdicts, in seed order, up to and including the hit.
+    pub verdicts: Vec<MonitoredVerdict>,
+    /// The confirmed violation that stopped the sweep, if any.
+    pub hit: Option<MonitoredHit>,
+    /// Seeds never run because the sweep stopped early.
+    pub seeds_skipped: u64,
+}
+
+impl MonitoredOutcome {
+    /// Canonical JSON of the outcome — no timing or thread-count data,
+    /// so pool sizes agreeing on this string agree on the sweep.
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::from("{\"verdicts\":[");
+        for (i, v) in self.verdicts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(
+                &shard_obs::ObjWriter::new()
+                    .u64("seed", v.seed)
+                    .u64("rows", v.rows as u64)
+                    .bool("aborted", v.aborted)
+                    .bool("transitive", v.transitive)
+                    .u64("max_missed", v.max_missed as u64)
+                    .u64("delay_bound", v.delay_bound)
+                    .finish(),
+            );
+        }
+        out.push_str("],\"hit\":");
+        match &self.hit {
+            None => out.push_str("null"),
+            Some(h) => out.push_str(
+                &shard_obs::ObjWriter::new()
+                    .u64("seed", h.seed)
+                    .raw("certificate", &h.certificate.to_json())
+                    .u64("rows_at_abort", h.rows_at_abort as u64)
+                    .bool("baseline_transitive", h.baseline_transitive)
+                    .finish(),
+            ),
+        }
+        out.push_str(&format!(",\"seeds_skipped\":{}}}", self.seeds_skipped));
+        out
+    }
+}
+
+/// One faulted run with the kernel's [`LiveMonitor`] attached,
+/// aborting at the first confirmed transitivity violation.
+///
+/// [`LiveMonitor`]: shard_sim::LiveMonitor
+fn run_monitored(cfg: &ChaosConfig, seed: u64, window: usize) -> RunReport<FlyByNight> {
+    let app = FlyByNight::new(cfg.capacity);
+    let invocations = airline_invocations(
+        seed,
+        cfg.txns,
+        cfg.nodes,
+        cfg.mean_gap,
+        AirlineMix::default(),
+        Routing::Random,
+    );
+    let cluster = ClusterConfig {
+        nodes: cfg.nodes,
+        seed,
+        delay: DelayModel::Fixed(cfg.fixed_delay),
+        piggyback: false,
+        monitor: Some(MonitorConfig {
+            window,
+            emit_rows: false,
+            abort_on_violation: true,
+        }),
+        ..ClusterConfig::default()
+    };
+    Runner::new(&app, cluster, EagerBroadcast { piggyback: false })
+        .with_nemesis(Box::new(stack_for(cfg, seed)))
+        .run(invocations)
+}
+
+/// Replays one monitored seed with row emission on, teeing the full
+/// streaming vocabulary (`txn` rows, `monitor.window` verdicts,
+/// `monitor.final`) into `sink` — the artifact producer behind
+/// `shard-chaos --trace-out` / `--cert-out`. Deterministic: the same
+/// `(cfg, seed, window)` aborts at the same row the sweep did.
+pub fn replay_monitored(
+    cfg: &ChaosConfig,
+    seed: u64,
+    window: usize,
+    sink: std::sync::Arc<shard_obs::EventSink>,
+) -> RunReport<FlyByNight> {
+    let app = FlyByNight::new(cfg.capacity);
+    let invocations = airline_invocations(
+        seed,
+        cfg.txns,
+        cfg.nodes,
+        cfg.mean_gap,
+        AirlineMix::default(),
+        Routing::Random,
+    );
+    let cluster = ClusterConfig {
+        nodes: cfg.nodes,
+        seed,
+        delay: DelayModel::Fixed(cfg.fixed_delay),
+        piggyback: false,
+        sink: Some(sink),
+        monitor: Some(MonitorConfig {
+            window,
+            emit_rows: true,
+            abort_on_violation: true,
+        }),
+        ..ClusterConfig::default()
+    };
+    Runner::new(&app, cluster, EagerBroadcast { piggyback: false })
+        .with_nemesis(Box::new(stack_for(cfg, seed)))
+        .run(invocations)
+}
+
+/// The monitored sweep: every seed runs under the same fault stack as
+/// [`sweep`], but with the live monitor riding the kernel loop —
+/// verdicts arrive *during* each run, a violating run is cut off at its
+/// first confirmed violation, and the sweep itself stops at the first
+/// violating seed (after re-checking the seed's fault-free baseline, so
+/// the hit is attributable to the nemesis, not the topology).
+///
+/// Parallelism: seeds fan out across `cfg.pool` in fixed
+/// `MONITOR_CHUNK`-sized (8) chunks; chunk results are scanned in seed
+/// order and everything after the hit is discarded. Chunking never
+/// consults the pool, so the verdict list, the hit and the skip count
+/// are byte-identical at every thread count (a proptest in
+/// `crates/bench/tests` pins this).
+pub fn monitored_sweep(cfg: &ChaosConfig, window: usize) -> MonitoredOutcome {
+    let _span = shard_obs::span!("chaos.monitored_sweep");
+    let seeds: Vec<u64> = (cfg.start_seed..cfg.start_seed + cfg.seeds).collect();
+    let mut outcome = MonitoredOutcome::default();
+    for chunk in seeds.chunks(MONITOR_CHUNK) {
+        let runs = shard_pool::par_map(&cfg.pool, chunk, |_, &seed| {
+            let report = run_monitored(cfg, seed, window);
+            let m = report
+                .monitor
+                .expect("monitored run always carries a StreamReport");
+            (seed, report.aborted, m)
+        });
+        for (seed, aborted, m) in runs {
+            if shard_obs::enabled() {
+                shard_obs::Registry::global()
+                    .counter("chaos.monitor.runs")
+                    .inc();
+            }
+            outcome.verdicts.push(MonitoredVerdict {
+                seed,
+                rows: m.rows,
+                aborted,
+                transitive: m.transitive,
+                max_missed: m.max_missed,
+                delay_bound: m.min_delay_bound,
+            });
+            if aborted {
+                if shard_obs::enabled() {
+                    shard_obs::Registry::global()
+                        .counter("chaos.monitor.aborts")
+                        .inc();
+                }
+                // Confirm attribution before stopping: the same seed's
+                // fault-free baseline must have had transitivity for
+                // the nemesis to be the culprit. (Under the fixed-delay
+                // sweep it always does; a non-attributable abort is
+                // recorded and the sweep keeps going.)
+                let baseline = run_once(cfg, seed, None);
+                if !is_transitive(&baseline.timed_execution().execution) {
+                    continue;
+                }
+                outcome.hit = Some(MonitoredHit {
+                    seed,
+                    certificate: *m
+                        .violation()
+                        .expect("an aborted run certifies its violation"),
+                    rows_at_abort: m.rows,
+                    baseline_transitive: true,
+                });
+                outcome.seeds_skipped = cfg.seeds - outcome.verdicts.len() as u64;
+                if shard_obs::enabled() {
+                    shard_obs::Registry::global()
+                        .gauge("chaos.monitor.rows_at_abort")
+                        .set(m.rows as i64);
+                }
+                return outcome;
+            }
+        }
+    }
+    outcome
 }
 
 fn run_once(
@@ -550,6 +783,38 @@ mod tests {
             assert_eq!(x.faulted_transitive, y.faulted_transitive);
             assert_eq!(x.faulted_max_missed, y.faulted_max_missed);
         }
+    }
+
+    #[test]
+    fn monitored_sweep_stops_at_a_confirmed_violation_with_a_live_certificate() {
+        let cfg = tiny();
+        let outcome = monitored_sweep(&cfg, 1);
+        let hit = outcome
+            .hit
+            .as_ref()
+            .expect("6 seeds at these fault rates defeat transitivity somewhere");
+        assert!(hit.baseline_transitive);
+        let last = outcome.verdicts.last().expect("hit implies a verdict");
+        assert_eq!(last.seed, hit.seed);
+        assert!(last.aborted && !last.transitive);
+        // The abort cut the run short: the prefix the monitor checked is
+        // what the hit cost, and everything after the hit was skipped.
+        assert!(hit.rows_at_abort <= cfg.txns);
+        assert_eq!(
+            outcome.seeds_skipped,
+            cfg.seeds - outcome.verdicts.len() as u64
+        );
+
+        // The certificate is independently checkable: replay the hit
+        // seed with row emission on and hand the raw trace plus the
+        // certificate to `shard_obs::certify` — no checker re-run.
+        let sink = shard_obs::EventSink::in_memory();
+        let report = replay_monitored(&cfg, hit.seed, 1, sink.clone());
+        assert!(report.aborted, "replaying the hit seed aborts again");
+        let trace = sink.drain_to_string();
+        let verdict = shard_obs::certify(&trace, &hit.certificate.to_json())
+            .expect("the live certificate validates against the raw trace");
+        assert_eq!(verdict.property, "transitivity");
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! over randomly drawn sweep configurations.
 
 use proptest::prelude::*;
-use shard_bench::chaos::{sweep, ChaosConfig};
+use shard_bench::chaos::{monitored_sweep, sweep, ChaosConfig};
 use shard_pool::PoolConfig;
 
 /// Run the same sweep at pool sizes 1, 2 and 7 and demand one byte
@@ -56,6 +56,41 @@ proptest! {
             ..ChaosConfig::default()
         };
         assert_pool_invariant(cfg);
+    }
+
+    /// The monitored sweep stops early at the first confirmed
+    /// violation — which seeds ran, the hit and the skip count must
+    /// still be one byte string at every pool size (chunking is fixed,
+    /// never derived from the pool).
+    #[test]
+    fn monitored_sweep_outcome_is_identical_at_every_pool_size(
+        start_seed in 1u64..500,
+        seeds in 2u64..12,
+        txns in 8usize..20,
+        window_idx in 0usize..3,
+        drop_idx in 0usize..3,
+        reorder_idx in 0usize..2,
+    ) {
+        let mut cfg = ChaosConfig {
+            start_seed,
+            seeds,
+            txns,
+            drop_prob: [0.0, 0.08, 0.2][drop_idx],
+            reorder_prob: [0.0, 0.15][reorder_idx],
+            shrink: false,
+            ..ChaosConfig::default()
+        };
+        let window = [1usize, 7, 64][window_idx];
+        cfg.pool = PoolConfig::with_threads(1);
+        let sequential = monitored_sweep(&cfg, window).to_json_string();
+        for threads in [2, 7] {
+            cfg.pool = PoolConfig::with_threads(threads);
+            let parallel = monitored_sweep(&cfg, window).to_json_string();
+            prop_assert_eq!(
+                &sequential, &parallel,
+                "monitored sweep diverged at {} threads", threads
+            );
+        }
     }
 }
 

@@ -1,0 +1,384 @@
+//! `shard-trace` — CLI over the offline trace/sidecar operations and
+//! the online stream monitors.
+//!
+//! The subcommand list, the usage text and the dispatch all come from
+//! one table ([`COMMANDS`]); run `shard-trace help` for the live list
+//! rather than trusting any comment to stay current. Usage mistakes
+//! (unknown subcommand, wrong argument shape) exit 2; operational
+//! failures (unreadable file, failed validation) exit 1.
+
+use shard_core::stream::{StreamChecker, StreamRow};
+use std::path::Path;
+use std::process::ExitCode;
+
+/// How a command invocation failed.
+enum CliError {
+    /// The arguments did not fit the command's shape (exit 2).
+    Usage(String),
+    /// The command ran and failed (exit 1).
+    Failed(String),
+}
+
+type CmdResult = Result<(), CliError>;
+
+/// One subcommand: its name, argument synopsis, one-line description
+/// and implementation. This table is the single source of truth for
+/// dispatch, the usage string and `help`.
+struct Command {
+    name: &'static str,
+    synopsis: &'static str,
+    blurb: &'static str,
+    run: fn(&[String]) -> CmdResult,
+}
+
+const COMMANDS: &[Command] = &[
+    Command {
+        name: "summarize",
+        synopsis: "<trace.jsonl>",
+        blurb: "event counts, undo/redo depth quantiles, fault tally and span times of a trace",
+        run: summarize,
+    },
+    Command {
+        name: "check",
+        synopsis: "<sidecar.json> [key | counter<=limit ...]",
+        blurb: "validate a sidecar: required top-level keys, counter budgets, histogram quantiles",
+        run: check,
+    },
+    Command {
+        name: "aggregate",
+        synopsis: "<dir> <out.json>",
+        blurb: "validate every *.json sidecar in <dir> and combine them into one document",
+        run: aggregate,
+    },
+    Command {
+        name: "diff",
+        synopsis: "<a.json> <b.json>",
+        blurb: "compare two sidecars ignoring wall time, spans and pool.* metrics",
+        run: diff,
+    },
+    Command {
+        name: "certify",
+        synopsis: "<trace.jsonl> <cert.json>",
+        blurb: "re-validate a monitor certificate against the raw trace in O(|certificate|)",
+        run: certify,
+    },
+    Command {
+        name: "watch",
+        synopsis: "<trace.jsonl> [--window N] [--follow] [--cert-out <path>]",
+        blurb: "run the online SS3 monitors over a (growing) trace, emitting window verdicts",
+        run: watch,
+    },
+    Command {
+        name: "help",
+        synopsis: "",
+        blurb: "print this command list",
+        run: help,
+    },
+];
+
+/// The usage string, generated from [`COMMANDS`].
+fn usage() -> String {
+    let mut out = String::from("usage: shard-trace <command> [args]\n\ncommands:\n");
+    for c in COMMANDS {
+        let head = format!("{} {}", c.name, c.synopsis);
+        out.push_str(&format!("  {:<52} {}\n", head.trim_end(), c.blurb));
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some(name) => match COMMANDS.iter().find(|c| c.name == name) {
+            Some(c) => (c.run)(&args[1..]),
+            None => Err(CliError::Usage(format!("unknown command {name:?}"))),
+        },
+        None => Err(CliError::Usage("no command given".to_string())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Usage(e)) => {
+            eprintln!("shard-trace: {e}\n\n{}", usage());
+            ExitCode::from(2)
+        }
+        Err(CliError::Failed(e)) => {
+            eprintln!("shard-trace: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn fail(msg: impl Into<String>) -> CliError {
+    CliError::Failed(msg.into())
+}
+
+fn bad_usage(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
+
+fn read(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path).map_err(|e| fail(format!("{path}: {e}")))
+}
+
+fn help(_args: &[String]) -> CmdResult {
+    print!("{}", usage());
+    Ok(())
+}
+
+fn summarize(args: &[String]) -> CmdResult {
+    let [path] = args else {
+        return Err(bad_usage("summarize takes exactly one trace file"));
+    };
+    let summary = shard_obs::summarize(&read(path)?);
+    print!("{}", summary.render());
+    if summary.lines == 0 {
+        return Err(fail(format!("{path}: trace is empty")));
+    }
+    Ok(())
+}
+
+fn check(args: &[String]) -> CmdResult {
+    let Some((path, keys)) = args.split_first() else {
+        return Err(bad_usage(
+            "check takes a sidecar file and optional required keys",
+        ));
+    };
+    let mut required: Vec<&str> = Vec::new();
+    let mut budgets: Vec<(&str, u64)> = Vec::new();
+    for key in keys {
+        match key.split_once("<=") {
+            Some((counter, limit)) => {
+                let limit = limit
+                    .parse::<u64>()
+                    .map_err(|e| bad_usage(format!("budget {key:?}: bad limit: {e}")))?;
+                budgets.push((counter, limit));
+            }
+            None => required.push(key),
+        }
+    }
+    let doc = shard_obs::check_sidecar(&read(path)?, &required)
+        .map_err(|e| fail(format!("{path}: {e}")))?;
+    for (counter, limit) in &budgets {
+        let value = doc
+            .get("counters")
+            .and_then(|c| c.get(counter))
+            .and_then(shard_obs::Json::as_u64)
+            .ok_or_else(|| {
+                fail(format!(
+                    "{path}: counter {counter:?} not recorded in sidecar"
+                ))
+            })?;
+        if value > *limit {
+            return Err(fail(format!(
+                "{path}: counter {counter} = {value} exceeds budget {limit}"
+            )));
+        }
+        println!("{path}: counter {counter} = {value} within budget {limit}");
+    }
+    let quantiles = shard_obs::render_sidecar_histograms(&doc);
+    if !quantiles.is_empty() {
+        print!("{quantiles}");
+    }
+    println!(
+        "{path}: ok ({} required keys present, {} budgets met)",
+        required.len(),
+        budgets.len()
+    );
+    Ok(())
+}
+
+fn diff(args: &[String]) -> CmdResult {
+    let [a, b] = args else {
+        return Err(bad_usage("diff takes exactly two sidecar files"));
+    };
+    shard_obs::diff_sidecars(&read(a)?, &read(b)?).map_err(|e| fail(format!("{a} vs {b}: {e}")))?;
+    println!("{a} and {b} describe the same outcome");
+    Ok(())
+}
+
+fn aggregate(args: &[String]) -> CmdResult {
+    let [dir, out] = args else {
+        return Err(bad_usage(
+            "aggregate takes a sidecar directory and an output path",
+        ));
+    };
+    let mut sidecars: Vec<(String, String)> = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| fail(format!("{dir}: {e}")))?;
+    for entry in entries {
+        let path = entry.map_err(|e| fail(format!("{dir}: {e}")))?.path();
+        if path.extension().is_some_and(|x| x == "json") {
+            let stem = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .ok_or_else(|| fail(format!("{}: non-UTF-8 file name", path.display())))?
+                .to_string();
+            sidecars.push((stem, read(&path.display().to_string())?));
+        }
+    }
+    if sidecars.is_empty() {
+        return Err(fail(format!("{dir}: no *.json sidecars found")));
+    }
+    let doc = shard_obs::aggregate(&sidecars).map_err(CliError::Failed)?;
+    if let Some(parent) = Path::new(out).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| fail(format!("{out}: {e}")))?;
+        }
+    }
+    std::fs::write(out, format!("{doc}\n")).map_err(|e| fail(format!("{out}: {e}")))?;
+    println!("aggregated {} sidecars into {out}", sidecars.len());
+    Ok(())
+}
+
+fn certify(args: &[String]) -> CmdResult {
+    let [trace_path, cert_path] = args else {
+        return Err(bad_usage(
+            "certify takes a trace file and a certificate file",
+        ));
+    };
+    let verdict = shard_obs::certify(&read(trace_path)?, &read(cert_path)?)
+        .map_err(|e| fail(format!("{cert_path}: rejected: {e}")))?;
+    println!(
+        "{cert_path}: {} certificate accepted: {}",
+        verdict.property, verdict.detail
+    );
+    Ok(())
+}
+
+fn watch(args: &[String]) -> CmdResult {
+    let Some((path, rest)) = args.split_first() else {
+        return Err(bad_usage("watch takes a trace file"));
+    };
+    let mut window = 64usize;
+    let mut follow = false;
+    let mut cert_out: Option<&str> = None;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--window" => {
+                window = it
+                    .next()
+                    .ok_or_else(|| bad_usage("--window takes a row count"))?
+                    .parse()
+                    .map_err(|e| bad_usage(format!("--window: {e}")))?;
+                if window == 0 {
+                    return Err(bad_usage("--window must be at least 1"));
+                }
+            }
+            "--follow" => follow = true,
+            "--cert-out" => {
+                cert_out = Some(
+                    it.next()
+                        .ok_or_else(|| bad_usage("--cert-out takes a path"))?,
+                );
+            }
+            other => return Err(bad_usage(format!("watch: unknown flag {other:?}"))),
+        }
+    }
+
+    let mut checker = StreamChecker::new(window);
+    let mut offset = 0usize;
+    loop {
+        let text = read(path)?;
+        // Only complete lines: a writer mid-line will finish it by the
+        // next poll.
+        let complete = text[offset..]
+            .rfind('\n')
+            .map_or(offset, |i| offset + i + 1);
+        for line in text[offset..complete].lines() {
+            if !line.contains("\"event\":\"txn\"") {
+                continue;
+            }
+            let row = StreamRow::from_json_line(line).map_err(|e| fail(format!("{path}: {e}")))?;
+            if row.index != checker.rows() {
+                return Err(fail(format!(
+                    "{path}: row {} arrived when {} was expected — \
+                     watch needs rows in serial order",
+                    row.index,
+                    checker.rows()
+                )));
+            }
+            if let Some(verdict) = checker.push(&row) {
+                println!("{}", verdict.to_json_line());
+            }
+            if !checker.transitive_so_far() {
+                return finish_watch(path, &checker, cert_out);
+            }
+        }
+        offset = complete;
+        if !follow {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    finish_watch(path, &checker, cert_out)
+}
+
+/// Prints the final report (and certificates), writes the violation
+/// certificate if asked, and turns a violated stream into exit 1.
+fn finish_watch(path: &str, checker: &StreamChecker, cert_out: Option<&str>) -> CmdResult {
+    let report = checker.report();
+    println!(
+        "{}",
+        shard_obs::ObjWriter::new()
+            .str("event", "monitor.final")
+            .u64("rows", report.rows as u64)
+            .bool("transitive", report.transitive)
+            .u64("max_missed", report.max_missed as u64)
+            .u64("delay_bound", report.min_delay_bound)
+            .finish()
+    );
+    for cert in &report.certificates {
+        println!("{}", cert.to_json());
+    }
+    if let Some(out) = cert_out {
+        let cert = report
+            .violation()
+            .ok_or_else(|| fail(format!("{path}: no violation, no certificate to write")))?;
+        std::fs::write(out, format!("{}\n", cert.to_json()))
+            .map_err(|e| fail(format!("{out}: {e}")))?;
+    }
+    if report.transitive {
+        Ok(())
+    } else {
+        Err(fail(format!(
+            "{path}: transitivity violated after {} rows (certificate above)",
+            report.rows
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn command_table_is_the_single_source_of_truth() {
+        // Unique names, and the generated usage mentions every one.
+        let u = usage();
+        for (i, c) in COMMANDS.iter().enumerate() {
+            assert!(
+                COMMANDS[i + 1..].iter().all(|d| d.name != c.name),
+                "duplicate command {}",
+                c.name
+            );
+            assert!(u.contains(c.name), "usage omits {}", c.name);
+            assert!(u.contains(c.blurb), "usage omits the {} blurb", c.name);
+        }
+    }
+
+    #[test]
+    fn argument_shape_errors_are_usage_errors() {
+        assert!(matches!(summarize(&[]), Err(CliError::Usage(_))));
+        assert!(matches!(diff(&[]), Err(CliError::Usage(_))));
+        assert!(matches!(certify(&[]), Err(CliError::Usage(_))));
+        let bad = [
+            "t.jsonl".to_string(),
+            "--window".to_string(),
+            "x".to_string(),
+        ];
+        assert!(matches!(watch(&bad), Err(CliError::Usage(_))));
+        // A missing file is operational, not usage.
+        let missing = ["/nonexistent/trace.jsonl".to_string()];
+        assert!(matches!(summarize(&missing), Err(CliError::Failed(_))));
+    }
+}

@@ -39,6 +39,10 @@
 //! * [`pmap`] — a zero-dependency persistent ordered map (`Arc`-shared
 //!   copy-on-write treap) applications build their states on, so state
 //!   clones are O(1) and checkpoint chains cost O(delta) memory.
+//! * [`stream`] — online (streaming) versions of the §3 checkers:
+//!   windowed, resumable monitors over the serial order that emit
+//!   incremental verdicts plus compact, independently checkable
+//!   certificates.
 //! * [`bitset`] — a small dense bit-set used by the execution property
 //!   checkers.
 //!
@@ -94,6 +98,7 @@ pub mod grouping;
 pub mod objects;
 pub mod pmap;
 pub mod replay;
+pub mod stream;
 
 pub use app::{Application, Cost, DecisionOutcome, ExplicitStates, ExternalAction, StateSpace};
 pub use conditions::TimedExecution;
@@ -104,3 +109,4 @@ pub use grouping::Grouping;
 pub use objects::{ObjectId, ObjectModel};
 pub use pmap::PMap;
 pub use replay::{Checkpoints, ReplayStats, Replayer, DEFAULT_CHECKPOINT_INTERVAL};
+pub use stream::{Certificate, StreamChecker, StreamReport, StreamRow, WindowVerdict};

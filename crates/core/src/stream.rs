@@ -1,0 +1,906 @@
+//! Streaming (online) verification of the §3 conditions.
+//!
+//! The condition checkers in [`crate::conditions`] are whole-execution
+//! folds: they need every prefix in memory before they answer, so a
+//! chaos run must finish before we learn it was doomed. This module is
+//! the *online* counterpart — monitors that consume an execution one
+//! transaction at a time, in serial order, and maintain exactly the
+//! evidence needed to answer "does the condition still hold?" after
+//! every row:
+//!
+//! * **k-completeness** is trivially online: `missed_count(i)` is the
+//!   size of row `i`'s miss set, so the running maximum is one
+//!   comparison per row.
+//! * **transitivity** is the interesting one. Row `i` with miss set
+//!   `Mᵢ` violates transitivity iff some `x ∈ Mᵢ` has a *witness*
+//!   `j ∈ (x, i)` with `j ∈ 𝒫ᵢ` and `x ∈ 𝒫ⱼ` — a transaction `i` saw
+//!   that had itself seen `x`. Because `j ∈ 𝒫ᵢ ⟺ j ∉ Mᵢ` and
+//!   `x ∈ 𝒫ⱼ ⟺ j ∉ missers(x)`, the check only needs, per past
+//!   transaction `x`, the sorted list of rows that missed `x` — the
+//!   **missers index**. One merged gap-scan of `Mᵢ` and `missers(x)`
+//!   over the range `(x, i)` per missed `x` decides the row; rows with
+//!   empty miss sets (the common case) cost nothing. Total state is
+//!   O(total misses), not O(n²).
+//! * **t-bounded delay** follows the same shape: row `i` raises the
+//!   running bound to `timeᵢ − timeₓ + 1` for each missed `x`, which
+//!   needs only the append-only vector of initiation times.
+//!
+//! The [`StreamChecker`] wraps the three monitors behind a *window*
+//! abstraction: every `window` rows it emits a [`WindowVerdict`] (the
+//! cumulative verdicts at that boundary) and snapshots its own state
+//! into a [`Checkpoints`] chain. Snapshots are O(1) because the missers
+//! index lives in a [`PMap`] (the structurally shared treap of PR 6),
+//! so the chain is a delta chain and [`StreamChecker::rewind`] can
+//! resume the checker from any retained boundary without re-reading
+//! the stream from the start.
+//!
+//! Verdicts are **bit-identical** to the offline checkers: feeding
+//! [`rows_from_execution`] through a checker of any window size yields
+//! exactly `is_transitive`, `max_missed` and `min_delay_bound` of the
+//! source execution (`tests/stream_equivalence.rs` pins this per
+//! application, window and pool size).
+//!
+//! Every verdict ships with a [`Certificate`] — the witness rows that
+//! *prove* it — serialized into the trace vocabulary so an independent
+//! validator (`shard-trace certify`, implemented in `shard-obs` with no
+//! types from this crate) can re-check it against the raw trace in
+//! O(|certificate|) work, without replaying the execution.
+
+use crate::app::Application;
+use crate::conditions::TimedExecution;
+use crate::execution::TxnIndex;
+use crate::pmap::PMap;
+use crate::replay::Checkpoints;
+use shard_pool::PoolConfig;
+
+/// Schema tag stamped into serialized certificates.
+pub const CERT_SCHEMA: &str = "shard-cert/v1";
+
+/// Executions below this length are converted to rows sequentially;
+/// above it, [`rows_from_execution`] partitions the row range across
+/// the pool (same threshold as the offline checkers).
+const PAR_THRESHOLD: usize = 1024;
+
+/// How many window-boundary snapshots yield one long-term anchor in the
+/// checker's [`Checkpoints`] chain (the newest boundary is always
+/// retained). Snapshots are O(1) via [`PMap`] sharing, so this only
+/// bounds chain length, not correctness.
+const ANCHOR_SPACING: usize = 8;
+
+/// Per-process stream metrics, resolved once (same pattern as the
+/// replay engine's counters).
+struct StreamMetrics {
+    rows: std::sync::Arc<shard_obs::Counter>,
+    windows: std::sync::Arc<shard_obs::Counter>,
+    violations: std::sync::Arc<shard_obs::Counter>,
+}
+
+fn stream_metrics() -> &'static StreamMetrics {
+    static METRICS: std::sync::OnceLock<StreamMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = shard_obs::Registry::global();
+        StreamMetrics {
+            rows: r.counter("stream.rows"),
+            windows: r.counter("stream.windows"),
+            violations: r.counter("stream.violations"),
+        }
+    })
+}
+
+/// One transaction of the streaming vocabulary: its position in the
+/// serial order, its real initiation time, and the sorted indices of
+/// the preceding transactions it did **not** see (the complement of its
+/// prefix subsequence). Miss sets are the natural wire form — sparse
+/// under realistic fault rates where prefixes are nearly complete, so a
+/// row is O(|missed|), not O(i).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamRow {
+    /// Position in the global serial order (0-based).
+    pub index: TxnIndex,
+    /// Real initiation time (the simulator's integer ticks).
+    pub time: u64,
+    /// Strictly increasing indices in `0..index` the transaction
+    /// missed: `missed = {0..index} ∖ 𝒫(index)`.
+    pub missed: Vec<TxnIndex>,
+}
+
+impl StreamRow {
+    /// Renders the row as one JSONL trace line:
+    /// `{"event":"txn","i":…,"t":…,"missed":[…]}`.
+    pub fn to_json_line(&self) -> String {
+        let missed: Vec<String> = self.missed.iter().map(ToString::to_string).collect();
+        shard_obs::ObjWriter::new()
+            .str("event", "txn")
+            .u64("i", self.index as u64)
+            .u64("t", self.time)
+            .raw("missed", &format!("[{}]", missed.join(",")))
+            .finish()
+    }
+
+    /// Parses a `txn` trace line back into a row.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if the line is not a `txn` event or its
+    /// fields are missing, ill-typed, or the miss set is not strictly
+    /// increasing below `i`.
+    pub fn from_json_line(line: &str) -> Result<StreamRow, String> {
+        let v = shard_obs::json::parse(line).map_err(|e| format!("not valid JSON: {e}"))?;
+        if v.get("event").and_then(shard_obs::Json::as_str) != Some("txn") {
+            return Err("not a txn event".to_string());
+        }
+        let index = v
+            .get("i")
+            .and_then(shard_obs::Json::as_u64)
+            .ok_or("txn event lacks index field \"i\"")? as usize;
+        let time = v
+            .get("t")
+            .and_then(shard_obs::Json::as_u64)
+            .ok_or("txn event lacks time field \"t\"")?;
+        let missed: Vec<usize> = v
+            .get("missed")
+            .and_then(shard_obs::Json::as_arr)
+            .ok_or("txn event lacks \"missed\" array")?
+            .iter()
+            .map(|m| {
+                shard_obs::Json::as_u64(m)
+                    .map(|m| m as usize)
+                    .ok_or_else(|| "non-integer miss entry".to_string())
+            })
+            .collect::<Result<_, _>>()?;
+        let row = StreamRow {
+            index,
+            time,
+            missed,
+        };
+        if !row.missed_well_formed() {
+            return Err(format!(
+                "miss set of row {index} is not strictly increasing below {index}"
+            ));
+        }
+        Ok(row)
+    }
+
+    /// Whether the miss set is strictly increasing and below `index`.
+    pub fn missed_well_formed(&self) -> bool {
+        self.missed.windows(2).all(|w| w[0] < w[1])
+            && self.missed.last().is_none_or(|&m| m < self.index)
+    }
+}
+
+/// A compact, independently checkable witness for a monitor verdict —
+/// the streaming analogue of the §3.1 counterexamples. Certificates
+/// name *rows of the trace*; re-validation reads only those rows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Certificate {
+    /// A transitivity violation: `low ∈ 𝒫(mid)`, `mid ∈ 𝒫(top)`, yet
+    /// `low ∉ 𝒫(top)` — in miss-set terms, `low ∉ missed(mid)`,
+    /// `mid ∉ missed(top)`, `low ∈ missed(top)`.
+    Transitivity {
+        /// The transaction seen indirectly but not directly.
+        low: TxnIndex,
+        /// The intermediary that saw `low`.
+        mid: TxnIndex,
+        /// The transaction that saw `mid` but missed `low`.
+        top: TxnIndex,
+    },
+    /// The row attaining the execution's `max_missed`: a witness that
+    /// the execution is **not** (`missed − 1`)-complete.
+    KCompleteness {
+        /// The witness row.
+        index: TxnIndex,
+        /// Its miss-set size (the execution's `max_missed`).
+        missed: usize,
+    },
+    /// The pair attaining the execution's minimal delay bound: `seer`
+    /// missed `missed` although it ran `bound − 1` ticks later, so no
+    /// `t < bound` is a valid delay bound.
+    DelayBound {
+        /// The late transaction whose prefix omitted `missed`.
+        seer: TxnIndex,
+        /// The omitted predecessor.
+        missed: TxnIndex,
+        /// `time(seer) − time(missed) + 1` — the execution's
+        /// `min_delay_bound`.
+        bound: u64,
+    },
+}
+
+impl Certificate {
+    /// The property the certificate witnesses, as its trace name.
+    pub fn property(&self) -> &'static str {
+        match self {
+            Certificate::Transitivity { .. } => "transitivity",
+            Certificate::KCompleteness { .. } => "k_completeness",
+            Certificate::DelayBound { .. } => "delay_bound",
+        }
+    }
+
+    /// Serializes the certificate as one JSON object in the trace
+    /// vocabulary (schema [`CERT_SCHEMA`]).
+    pub fn to_json(&self) -> String {
+        let w = shard_obs::ObjWriter::new()
+            .str("schema", CERT_SCHEMA)
+            .str("property", self.property());
+        match *self {
+            Certificate::Transitivity { low, mid, top } => w
+                .u64("low", low as u64)
+                .u64("mid", mid as u64)
+                .u64("top", top as u64),
+            Certificate::KCompleteness { index, missed } => {
+                w.u64("index", index as u64).u64("missed", missed as u64)
+            }
+            Certificate::DelayBound {
+                seer,
+                missed,
+                bound,
+            } => w
+                .u64("seer", seer as u64)
+                .u64("missed", missed as u64)
+                .u64("bound", bound),
+        }
+        .finish()
+    }
+}
+
+/// The cumulative monitor state — everything the three online checkers
+/// know after some prefix of the stream. Cloning is O(1): the missers
+/// index is a structurally shared [`PMap`], the rest scalars. This is
+/// what the window [`Checkpoints`] chain snapshots.
+#[derive(Clone, Debug)]
+struct MonitorState {
+    /// Rows consumed so far.
+    rows: usize,
+    /// No transitivity violation seen yet.
+    transitive: bool,
+    /// First violation in (row, missed, witness)-scan order.
+    first_violation: Option<(TxnIndex, TxnIndex, TxnIndex)>,
+    /// For each transaction `x` missed by anyone: the strictly
+    /// increasing rows whose miss sets contained `x`.
+    missers: PMap<TxnIndex, Vec<TxnIndex>>,
+    /// Largest miss-set size so far (`max_missed` of the prefix).
+    max_missed: usize,
+    /// First row attaining `max_missed` (meaningful when > 0).
+    worst_row: TxnIndex,
+    /// Minimal delay bound of the prefix (0 = all prefixes complete).
+    delay_bound: u64,
+    /// First `(seer, missed)` pair attaining `delay_bound`.
+    delay_witness: Option<(TxnIndex, TxnIndex)>,
+}
+
+impl MonitorState {
+    fn fresh() -> Self {
+        MonitorState {
+            rows: 0,
+            transitive: true,
+            first_violation: None,
+            missers: PMap::new(),
+            max_missed: 0,
+            worst_row: 0,
+            delay_bound: 0,
+            delay_witness: None,
+        }
+    }
+}
+
+/// The cumulative verdicts at one window boundary: after `end` rows,
+/// over the whole stream so far (not just the window's rows — a
+/// violation in window 2 keeps every later verdict false, exactly like
+/// the offline checkers on the growing prefix).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WindowVerdict {
+    /// 0-based window ordinal.
+    pub window: usize,
+    /// First row of the window.
+    pub start: TxnIndex,
+    /// One past the last row of the window.
+    pub end: TxnIndex,
+    /// `is_transitive` of the first `end` rows.
+    pub transitive: bool,
+    /// `max_missed` of the first `end` rows.
+    pub max_missed: usize,
+    /// `min_delay_bound` of the first `end` rows.
+    pub delay_bound: u64,
+}
+
+impl WindowVerdict {
+    /// Renders the verdict as one JSONL trace line
+    /// (`{"event":"monitor.window",…}`).
+    pub fn to_json_line(&self) -> String {
+        shard_obs::ObjWriter::new()
+            .str("event", "monitor.window")
+            .u64("window", self.window as u64)
+            .u64("start", self.start as u64)
+            .u64("end", self.end as u64)
+            .bool("transitive", self.transitive)
+            .u64("max_missed", self.max_missed as u64)
+            .u64("delay_bound", self.delay_bound)
+            .finish()
+    }
+}
+
+/// Everything a finished (or in-flight) stream check concluded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamReport {
+    /// Rows consumed.
+    pub rows: usize,
+    /// `is_transitive` verdict over all consumed rows.
+    pub transitive: bool,
+    /// `max_missed` over all consumed rows.
+    pub max_missed: usize,
+    /// `min_delay_bound` over all consumed rows.
+    pub min_delay_bound: u64,
+    /// One cumulative verdict per completed window.
+    pub verdicts: Vec<WindowVerdict>,
+    /// Witnesses for the verdicts: the first transitivity violation (if
+    /// any), the `max_missed` row (when > 0), and the delay-bound pair
+    /// (when > 0) — each independently checkable against the raw trace.
+    pub certificates: Vec<Certificate>,
+}
+
+impl StreamReport {
+    /// The transitivity-violation certificate, if the stream had one.
+    pub fn violation(&self) -> Option<&Certificate> {
+        self.certificates
+            .iter()
+            .find(|c| matches!(c, Certificate::Transitivity { .. }))
+    }
+}
+
+/// The windowed online checker: push rows in serial order, get a
+/// cumulative [`WindowVerdict`] back every `window` rows, read the
+/// final [`StreamReport`] (verdicts + certificates) at any point.
+///
+/// State is O(total misses + rows·8B): the missers index holds one
+/// entry per (row, missed predecessor) pair and the time vector one
+/// `u64` per row; windows bound *latency to a verdict*, while the
+/// [`Checkpoints`] chain of O(1) state snapshots (every boundary, one
+/// long-term anchor per `ANCHOR_SPACING` = 8) makes the checker
+/// resumable: [`StreamChecker::rewind`] restores a retained boundary
+/// so the stream can be re-fed from there instead of from row 0.
+#[derive(Clone, Debug)]
+pub struct StreamChecker {
+    window: usize,
+    state: MonitorState,
+    /// Initiation time of every consumed row (append-only; truncated
+    /// exactly on rewind).
+    times: Vec<u64>,
+    /// O(1) snapshots of `state` at window boundaries.
+    marks: Checkpoints<MonitorState>,
+    verdicts: Vec<WindowVerdict>,
+}
+
+impl StreamChecker {
+    /// A fresh checker emitting a verdict every `window` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "a verdict window must hold at least one row");
+        StreamChecker {
+            window,
+            state: MonitorState::fresh(),
+            times: Vec::new(),
+            marks: Checkpoints::with_anchor_spacing(window, ANCHOR_SPACING),
+            verdicts: Vec::new(),
+        }
+    }
+
+    /// Rows consumed so far.
+    pub fn rows(&self) -> usize {
+        self.state.rows
+    }
+
+    /// The configured window size.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Whether no transitivity violation has been seen yet — the
+    /// running verdict, readable between windows without building a
+    /// report.
+    pub fn transitive_so_far(&self) -> bool {
+        self.state.transitive
+    }
+
+    /// Consumes the next row of the serial order; returns the
+    /// cumulative verdict when `row` completes a window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.index` is not the next expected index or its miss
+    /// set is not strictly increasing below it — streams are fed in
+    /// serial order by construction, so either is a harness bug (the
+    /// CLI validates untrusted traces before pushing).
+    pub fn push(&mut self, row: &StreamRow) -> Option<WindowVerdict> {
+        assert_eq!(
+            row.index, self.state.rows,
+            "stream rows must arrive in serial order"
+        );
+        assert!(
+            row.missed_well_formed(),
+            "miss set of row {} is not strictly increasing below it",
+            row.index
+        );
+        let i = row.index;
+        let s = &mut self.state;
+
+        // k-completeness: the miss-set size IS missed_count(i).
+        if row.missed.len() > s.max_missed {
+            s.max_missed = row.missed.len();
+            s.worst_row = i;
+        }
+
+        // Delay bound: missing x is tolerable only for t > timeᵢ − timeₓ.
+        for &x in &row.missed {
+            let bound = row.time.saturating_sub(self.times[x]) + 1;
+            if bound > s.delay_bound {
+                s.delay_bound = bound;
+                s.delay_witness = Some((i, x));
+            }
+        }
+
+        // Transitivity: for each missed x, scan (x, i) for a witness j
+        // outside both Mᵢ and missers(x) — such a j is in 𝒫ᵢ and saw x.
+        for (pos, &x) in row.missed.iter().enumerate() {
+            if s.first_violation.is_some() {
+                break;
+            }
+            let empty: &[TxnIndex] = &[];
+            let mx: &[TxnIndex] = s.missers.get(&x).map_or(empty, Vec::as_slice);
+            if let Some(j) = gap_witness(&row.missed[pos + 1..], mx, x, i) {
+                s.transitive = false;
+                s.first_violation = Some((x, j, i));
+                if shard_obs::enabled() {
+                    stream_metrics().violations.inc();
+                }
+            }
+        }
+
+        // Maintain the missers index (after the check: a row is never
+        // its own witness). `get_mut` appends in place — the list is
+        // only copied when a window snapshot still shares it.
+        for &x in &row.missed {
+            match s.missers.get_mut(&x) {
+                Some(list) => list.push(i),
+                None => {
+                    s.missers.insert(x, vec![i]);
+                }
+            }
+        }
+
+        self.times.push(row.time);
+        s.rows += 1;
+        if shard_obs::enabled() {
+            stream_metrics().rows.inc();
+        }
+        if !s.rows.is_multiple_of(self.window) {
+            return None;
+        }
+        let verdict = WindowVerdict {
+            window: self.verdicts.len(),
+            start: s.rows - self.window,
+            end: s.rows,
+            transitive: s.transitive,
+            max_missed: s.max_missed,
+            delay_bound: s.delay_bound,
+        };
+        self.marks.record(s.rows, &self.state);
+        self.verdicts.push(verdict);
+        if shard_obs::enabled() {
+            stream_metrics().windows.inc();
+        }
+        Some(verdict)
+    }
+
+    /// Rewinds the checker to the deepest retained window boundary at
+    /// or below `keep_rows` and returns the row count it now holds
+    /// (0 = fresh). Re-feed the stream from that index to continue —
+    /// the resumed checker is indistinguishable from one that never
+    /// went past the boundary.
+    pub fn rewind(&mut self, keep_rows: usize) -> usize {
+        self.marks.truncate(keep_rows);
+        self.state = match self.marks.last() {
+            Some((_, snapshot)) => snapshot.clone(),
+            None => MonitorState::fresh(),
+        };
+        self.times.truncate(self.state.rows);
+        self.verdicts.truncate(self.state.rows / self.window);
+        self.state.rows
+    }
+
+    /// The verdicts and certificates for everything consumed so far.
+    pub fn report(&self) -> StreamReport {
+        let s = &self.state;
+        let mut certificates = Vec::new();
+        if let Some((low, mid, top)) = s.first_violation {
+            certificates.push(Certificate::Transitivity { low, mid, top });
+        }
+        if s.max_missed > 0 {
+            certificates.push(Certificate::KCompleteness {
+                index: s.worst_row,
+                missed: s.max_missed,
+            });
+        }
+        if let Some((seer, missed)) = s.delay_witness {
+            certificates.push(Certificate::DelayBound {
+                seer,
+                missed,
+                bound: s.delay_bound,
+            });
+        }
+        StreamReport {
+            rows: s.rows,
+            transitive: s.transitive,
+            max_missed: s.max_missed,
+            min_delay_bound: s.delay_bound,
+            verdicts: self.verdicts.clone(),
+            certificates,
+        }
+    }
+}
+
+/// Finds the smallest `j ∈ (x, i)` absent from both sorted lists
+/// (`rest` — the checking row's misses above `x`; `mx` — the rows that
+/// missed `x`), or `None` if every candidate is blocked. A merged gap
+/// scan: O(|rest| + |mx|).
+fn gap_witness(rest: &[TxnIndex], mx: &[TxnIndex], x: TxnIndex, i: TxnIndex) -> Option<TxnIndex> {
+    let (mut a, mut b) = (0usize, 0usize);
+    let mut candidate = x + 1;
+    while candidate < i {
+        while a < rest.len() && rest[a] < candidate {
+            a += 1;
+        }
+        while b < mx.len() && mx[b] < candidate {
+            b += 1;
+        }
+        let blocked = match (rest.get(a).copied(), mx.get(b).copied()) {
+            (Some(u), Some(v)) => u.min(v),
+            (Some(u), None) => u,
+            (None, Some(v)) => v,
+            (None, None) => return Some(candidate),
+        };
+        if blocked > candidate {
+            return Some(candidate);
+        }
+        candidate += 1;
+    }
+    None
+}
+
+/// Converts a timed execution into its stream rows — each prefix
+/// complemented into a miss set by a two-pointer scan. Long executions
+/// partition the row range across `pool` (rows are independent and
+/// collected in input order, so the result is identical at every
+/// thread count).
+pub fn rows_from_execution<A: Application>(
+    pool: &PoolConfig,
+    te: &TimedExecution<A>,
+) -> Vec<StreamRow> {
+    let prefixes: Vec<&[TxnIndex]> = te
+        .execution
+        .records()
+        .iter()
+        .map(|r| r.prefix.as_slice())
+        .collect();
+    let times = te.times.as_slice();
+    let row_of = |i: usize| {
+        let mut missed = Vec::with_capacity(i - prefixes[i].len());
+        let mut seen = prefixes[i].iter().copied().peekable();
+        for j in 0..i {
+            if seen.next_if_eq(&j).is_some() {
+                continue;
+            }
+            missed.push(j);
+        }
+        StreamRow {
+            index: i,
+            time: times[i],
+            missed,
+        }
+    };
+    let n = prefixes.len();
+    if n < PAR_THRESHOLD || shard_pool::is_worker() {
+        return (0..n).map(row_of).collect();
+    }
+    shard_pool::par_ranges(pool, n, |range| {
+        range.into_iter().map(row_of).collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Feeds pre-extracted rows through a fresh checker and reports.
+pub fn check_rows(window: usize, rows: &[StreamRow]) -> StreamReport {
+    let mut checker = StreamChecker::new(window);
+    for row in rows {
+        checker.push(row);
+    }
+    checker.report()
+}
+
+/// The offline entry point over the pool: extracts rows in parallel
+/// ([`rows_from_execution`]), folds them through one sequential
+/// [`StreamChecker`] (the fold is O(total misses) — the cheap part),
+/// and reports. Verdicts equal the offline checkers' at every window
+/// and pool size.
+pub fn par_check<A: Application>(
+    pool: &PoolConfig,
+    te: &TimedExecution<A>,
+    window: usize,
+) -> StreamReport {
+    let _span = shard_obs::span!("stream.par_check");
+    let rows = rows_from_execution(pool, te);
+    check_rows(window, &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::DecisionOutcome;
+    use crate::conditions::{is_transitive, max_missed, transitivity_violation};
+    use crate::execution::ExecutionBuilder;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Nop;
+
+    struct Trivial;
+    impl Application for Trivial {
+        type State = ();
+        type Update = Nop;
+        type Decision = ();
+        fn initial_state(&self) {}
+        fn is_well_formed(&self, _: &()) -> bool {
+            true
+        }
+        fn apply(&self, _: &(), _: &Nop) {}
+        fn decide(&self, _: &(), _: &()) -> DecisionOutcome<Nop> {
+            DecisionOutcome::update_only(Nop)
+        }
+        fn constraint_count(&self) -> usize {
+            0
+        }
+        fn constraint_name(&self, _: usize) -> &str {
+            unreachable!()
+        }
+        fn cost(&self, _: &(), _: usize) -> u64 {
+            unreachable!()
+        }
+    }
+
+    fn timed(prefixes: &[&[usize]], times: &[u64]) -> TimedExecution<Trivial> {
+        let mut b = ExecutionBuilder::new(&Trivial);
+        for p in prefixes {
+            b.push((), p.to_vec()).unwrap();
+        }
+        TimedExecution::new(b.finish(), times.to_vec())
+    }
+
+    fn rows_of(te: &TimedExecution<Trivial>) -> Vec<StreamRow> {
+        rows_from_execution(&PoolConfig::sequential(), te)
+    }
+
+    #[test]
+    fn rows_complement_prefixes() {
+        let te = timed(&[&[], &[0], &[1], &[0, 2]], &[0, 5, 9, 14]);
+        let rows = rows_of(&te);
+        assert_eq!(rows[0].missed, Vec::<usize>::new());
+        assert_eq!(rows[1].missed, Vec::<usize>::new());
+        assert_eq!(rows[2].missed, vec![0]);
+        assert_eq!(rows[3].missed, vec![1]);
+        assert_eq!(rows[3].time, 14);
+    }
+
+    #[test]
+    fn verdicts_match_offline_checkers_on_the_paper_shapes() {
+        // The §3.2 intransitive shape: 2 sees 1, 1 sees 0, 2 misses 0.
+        let te = timed(&[&[], &[0], &[1]], &[0, 10, 20]);
+        let report = check_rows(1, &rows_of(&te));
+        assert!(!report.transitive);
+        assert_eq!(report.max_missed, 1);
+        assert_eq!(report.min_delay_bound, 21);
+        assert!(is_transitive(&te.execution) == report.transitive);
+        assert_eq!(max_missed(&te.execution), report.max_missed);
+        assert_eq!(te.min_delay_bound(), report.min_delay_bound);
+        // The certificate is the offline violation triple.
+        assert_eq!(
+            report.violation(),
+            Some(&Certificate::Transitivity {
+                low: 0,
+                mid: 1,
+                top: 2
+            })
+        );
+        assert_eq!(transitivity_violation(&te.execution), Some((0, 1, 2)));
+
+        // A transitive shape stays clean at every window size.
+        let te = timed(&[&[], &[0], &[0, 1]], &[0, 1, 2]);
+        for w in [1, 2, 7] {
+            let report = check_rows(w, &rows_of(&te));
+            assert!(report.transitive);
+            assert_eq!(report.max_missed, 0);
+            assert_eq!(report.min_delay_bound, 0);
+            assert!(report.violation().is_none());
+        }
+    }
+
+    #[test]
+    fn late_indirect_witnesses_are_caught() {
+        // 3 sees 2 (which saw 0 and 1) but misses 1: the witness is not
+        // adjacent to the missed transaction.
+        let te = timed(&[&[], &[], &[0, 1], &[0, 2]], &[0, 1, 2, 3]);
+        let report = check_rows(4, &rows_of(&te));
+        assert!(!report.transitive);
+        assert_eq!(
+            report.violation(),
+            Some(&Certificate::Transitivity {
+                low: 1,
+                mid: 2,
+                top: 3
+            })
+        );
+        // Offline agreement on the verdict.
+        assert!(!is_transitive(&te.execution));
+    }
+
+    #[test]
+    fn missers_index_blocks_false_witnesses() {
+        // 3 misses 0; its only in-range peers 1 and 2 also missed 0, so
+        // nobody 3 saw had seen 0 — transitive despite the misses.
+        let te = timed(&[&[], &[], &[1], &[1, 2]], &[0, 1, 2, 3]);
+        let report = check_rows(1, &rows_of(&te));
+        assert!(report.transitive, "no witness exists");
+        assert!(is_transitive(&te.execution));
+        assert_eq!(report.max_missed, max_missed(&te.execution));
+    }
+
+    #[test]
+    fn window_verdicts_are_cumulative() {
+        // The violation occurs at row 2 (inside window 1); window 2's
+        // rows are clean but its verdict must still report it.
+        let te = timed(
+            &[&[], &[0], &[1], &[0, 1, 2], &[0, 1, 2, 3], &[0, 1, 2, 3, 4]],
+            &[0, 1, 2, 3, 4, 5],
+        );
+        let report = check_rows(2, &rows_of(&te));
+        assert_eq!(report.verdicts.len(), 3);
+        assert!(report.verdicts[0].transitive, "rows 0-1 are clean");
+        assert!(!report.verdicts[1].transitive, "row 2 violates");
+        assert!(!report.verdicts[2].transitive, "verdicts are cumulative");
+        assert_eq!(report.verdicts[2].start, 4);
+        assert_eq!(report.verdicts[2].end, 6);
+    }
+
+    #[test]
+    fn rewind_restores_a_boundary_exactly() {
+        // 20 rows, window 2: records at 2, 4, …, 20. The delta chain
+        // retains every ANCHOR_SPACING-th record (len 16) plus the tip
+        // (len 20), so rewinding to 17 resumes from 16.
+        let n = 20usize;
+        let mut b = ExecutionBuilder::new(&Trivial);
+        for i in 0..n {
+            // Rows 5 and 11 miss a predecessor; the rest see everything.
+            let prefix: Vec<usize> = match i {
+                5 => (0..i).filter(|&j| j != 2).collect(),
+                11 => (0..i).filter(|&j| j != 7).collect(),
+                _ => (0..i).collect(),
+            };
+            b.push((), prefix).unwrap();
+        }
+        let te = TimedExecution::new(b.finish(), (0..n as u64).map(|t| t * 3).collect());
+        let rows = rows_of(&te);
+        let mut checker = StreamChecker::new(2);
+        for row in &rows {
+            checker.push(row);
+        }
+        let full = checker.report();
+        assert!(!full.transitive, "rows 5/11 both have witnesses");
+        // Rewind to 17 rows: the deepest retained boundary is 16.
+        let resumed_at = checker.rewind(17);
+        assert_eq!(resumed_at, 16);
+        assert_eq!(checker.rows(), 16);
+        for row in &rows[resumed_at..] {
+            checker.push(row);
+        }
+        let replayed = checker.report();
+        assert_eq!(replayed.rows, full.rows);
+        assert_eq!(replayed.transitive, full.transitive);
+        assert_eq!(replayed.max_missed, full.max_missed);
+        assert_eq!(replayed.min_delay_bound, full.min_delay_bound);
+        assert_eq!(replayed.verdicts, full.verdicts);
+        assert_eq!(replayed.certificates, full.certificates);
+        // Rewind below the first retained point = fresh checker.
+        assert_eq!(checker.rewind(1), 0);
+        assert_eq!(checker.rows(), 0);
+    }
+
+    #[test]
+    fn certificates_serialize_and_rows_round_trip() {
+        let cert = Certificate::Transitivity {
+            low: 3,
+            mid: 5,
+            top: 9,
+        };
+        let json = cert.to_json();
+        let v = shard_obs::json::parse(&json).expect("valid JSON");
+        assert_eq!(
+            v.get("schema").and_then(shard_obs::Json::as_str),
+            Some(CERT_SCHEMA)
+        );
+        assert_eq!(
+            v.get("property").and_then(shard_obs::Json::as_str),
+            Some("transitivity")
+        );
+        assert_eq!(v.get("top").and_then(shard_obs::Json::as_u64), Some(9));
+
+        let row = StreamRow {
+            index: 7,
+            time: 42,
+            missed: vec![1, 4],
+        };
+        let line = row.to_json_line();
+        assert_eq!(StreamRow::from_json_line(&line).unwrap(), row);
+        assert!(StreamRow::from_json_line("{\"event\":\"deliver\"}").is_err());
+        assert!(
+            StreamRow::from_json_line("{\"event\":\"txn\",\"i\":2,\"t\":0,\"missed\":[2]}")
+                .is_err(),
+            "miss entries must lie below the row index"
+        );
+    }
+
+    #[test]
+    fn par_rows_match_sequential_rows() {
+        // Above PAR_THRESHOLD the extraction takes the partitioned
+        // path; rows must be identical to the sequential ones.
+        let n = PAR_THRESHOLD + 100;
+        let mut b = ExecutionBuilder::new(&Trivial);
+        for i in 0..n {
+            let prefix: Vec<usize> = if i % 97 == 3 {
+                (1..i).collect()
+            } else {
+                (0..i).collect()
+            };
+            b.push((), prefix).unwrap();
+        }
+        let te = TimedExecution::new(b.finish(), (0..n as u64).collect());
+        let seq: Vec<StreamRow> = (0..n)
+            .map(|i| {
+                let mut missed = Vec::new();
+                let mut seen = te.execution.record(i).prefix.iter().copied().peekable();
+                for j in 0..i {
+                    if seen.next_if_eq(&j).is_some() {
+                        continue;
+                    }
+                    missed.push(j);
+                }
+                StreamRow {
+                    index: i,
+                    time: te.times[i],
+                    missed,
+                }
+            })
+            .collect();
+        for threads in [1, 2, 7] {
+            let par = rows_from_execution(&PoolConfig::with_threads(threads), &te);
+            assert_eq!(par, seq, "rows diverge at {threads} threads");
+        }
+        // And the report agrees with the offline verdicts.
+        let report = check_rows(64, &seq);
+        assert_eq!(report.transitive, is_transitive(&te.execution));
+        assert_eq!(report.max_missed, max_missed(&te.execution));
+        assert_eq!(report.min_delay_bound, te.min_delay_bound());
+    }
+
+    #[test]
+    #[should_panic(expected = "serial order")]
+    fn out_of_order_rows_panic() {
+        let mut checker = StreamChecker::new(1);
+        checker.push(&StreamRow {
+            index: 3,
+            time: 0,
+            missed: vec![],
+        });
+    }
+}

@@ -63,7 +63,12 @@ impl EventSink {
         }
     }
 
-    fn write_line(&self, line: &str) {
+    /// Writes one pre-rendered JSONL line (the caller vouches `line` is
+    /// one valid JSON object with no newline). [`EventBuilder::emit`]
+    /// lands here; emitters that already hold a rendered line (e.g. the
+    /// kernel's live monitor re-emitting `StreamRow` JSON) skip the
+    /// builder.
+    pub fn write_line(&self, line: &str) {
         let mut g = self
             .backend
             .lock()
@@ -154,6 +159,13 @@ impl EventBuilder<'_> {
     /// Adds a boolean field.
     pub fn bool(mut self, k: &str, v: bool) -> Self {
         self.obj = self.obj.bool(k, v);
+        self
+    }
+
+    /// Adds a pre-rendered JSON value verbatim (arrays, nested
+    /// objects). The caller vouches that `v` is valid JSON.
+    pub fn raw(mut self, k: &str, v: &str) -> Self {
+        self.obj = self.obj.raw(k, v);
         self
     }
 

@@ -20,22 +20,28 @@
 //!   into event counts, per-node undo/redo distributions and span-time
 //!   tables; [`check_sidecar`] validates experiment sidecars;
 //!   [`aggregate`] merges them into `EXPERIMENTS_METRICS.json`.
+//! * [`cert`] — independent O(|certificate|) re-validation of monitor
+//!   certificates against raw traces ([`certify`]), sharing no code
+//!   with the checkers that emitted them.
 //! * [`json`] — the hand-rolled JSON writer/parser underneath it all
 //!   (the crate depends on nothing, not even the vendored shims, so it
 //!   is importable from `shard-core` without changing its footprint).
 //!
-//! The `shard-trace` binary exposes the [`trace`] operations on the
-//! command line.
+//! The `shard-trace` binary (the `shard-cli` crate, which may depend
+//! on `shard-core`) exposes the [`trace`] and [`cert`] operations on
+//! the command line.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cert;
 pub mod event;
 pub mod json;
 pub mod metrics;
 pub mod span;
 pub mod trace;
 
+pub use cert::{certify, CertVerdict, CERT_SCHEMA};
 pub use event::{EventBuilder, EventSink};
 pub use json::{Json, ObjWriter, ParseError};
 pub use metrics::{
@@ -44,6 +50,6 @@ pub use metrics::{
 };
 pub use span::{SpanGuard, SPAN_PREFIX};
 pub use trace::{
-    aggregate, check_sidecar, diff_sidecars, summarize, FaultTally, NodeReplay, SpanAgg,
-    TraceSummary,
+    aggregate, check_sidecar, diff_sidecars, render_sidecar_histograms, summarize, Distribution,
+    FaultTally, NodeReplay, SpanAgg, TraceSummary,
 };

@@ -218,6 +218,33 @@ impl HistogramSnapshot {
         }
     }
 
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) from the log₂
+    /// buckets: the bucket holding the target rank is located by a
+    /// cumulative walk, then the value is linearly interpolated across
+    /// the bucket's value range `[lo, 2·lo − 1]` by rank position and
+    /// clamped to the recorded `min`/`max`. Exact for the one-value
+    /// buckets (0 and 1); within a factor of 2 otherwise — the same
+    /// resolution the buckets themselves offer.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut before = 0u64;
+        for &(lo, c) in &self.buckets {
+            if before + c >= target {
+                // Largest value the bucket can hold; buckets 0 and 1
+                // hold exactly one value each.
+                let hi = lo.saturating_mul(2).saturating_sub(1).max(lo);
+                let fraction = (target - before) as f64 / c as f64;
+                let estimate = lo as f64 + fraction * (hi - lo) as f64;
+                return estimate.clamp(self.min as f64, self.max as f64);
+            }
+            before += c;
+        }
+        self.max as f64
+    }
+
     /// Renders as a JSON object.
     pub fn to_json(&self) -> String {
         let buckets: Vec<String> = self
@@ -232,6 +259,34 @@ impl HistogramSnapshot {
             .u64("max", self.max)
             .raw("buckets", &format!("[{}]", buckets.join(",")))
             .finish()
+    }
+
+    /// Reconstructs a snapshot from its [`HistogramSnapshot::to_json`]
+    /// form — the shape experiment sidecars embed — so the trace
+    /// tooling can report quantiles without re-recording samples.
+    /// Returns `None` if `v` is not such an object.
+    pub fn from_json(v: &crate::json::Json) -> Option<HistogramSnapshot> {
+        use crate::json::Json;
+        let field = |k: &str| v.get(k).and_then(Json::as_u64);
+        let buckets = v
+            .get("buckets")?
+            .as_arr()?
+            .iter()
+            .map(|pair| {
+                let pair = pair.as_arr()?;
+                match pair {
+                    [lo, c] => Some((lo.as_u64()?, c.as_u64()?)),
+                    _ => None,
+                }
+            })
+            .collect::<Option<Vec<(u64, u64)>>>()?;
+        Some(HistogramSnapshot {
+            count: field("count")?,
+            sum: field("sum")?,
+            min: field("min")?,
+            max: field("max")?,
+            buckets,
+        })
     }
 }
 
@@ -450,6 +505,38 @@ mod tests {
         let a = Registry::global().counter("obs.test.global");
         Registry::global().counter("obs.test.global").add(3);
         assert!(a.get() >= 3);
+    }
+
+    #[test]
+    fn quantiles_estimate_within_bucket_resolution() {
+        let h = Histogram::default();
+        assert_eq!(h.snapshot().quantile(0.5), 0.0, "empty histogram");
+        // 100 samples of value 1: every quantile is exactly 1.
+        for _ in 0..100 {
+            h.record(1);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.quantile(0.5), 1.0);
+        assert_eq!(s.quantile(1.0), 1.0);
+        // 90 zeros and 10 large samples: p50 = 0, p99 lands in the
+        // large bucket (within its factor-of-2 resolution).
+        let h = Histogram::default();
+        for _ in 0..90 {
+            h.record(0);
+        }
+        for _ in 0..10 {
+            h.record(1000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), 0.0);
+        let p99 = s.quantile(0.99);
+        assert!((512.0..=1000.0).contains(&p99), "p99 = {p99}");
+        assert_eq!(s.quantile(1.0), 1000.0, "clamped to max");
+        // Round-trips through the sidecar JSON form.
+        let parsed = crate::json::parse(&s.to_json()).expect("valid JSON");
+        assert_eq!(HistogramSnapshot::from_json(&parsed), Some(s));
+        assert_eq!(HistogramSnapshot::from_json(&crate::json::Json::Null), None);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //!   bytes so no numeric value is re-serialized (and thus perturbed).
 
 use crate::json::{parse, Json};
+use crate::metrics::{bucket_index, bucket_lo, HistogramSnapshot, HISTOGRAM_BUCKETS};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -66,6 +67,67 @@ pub struct NodeReplay {
     pub max_depth: u64,
 }
 
+/// A log₂-bucketed sample distribution accumulated while summarizing —
+/// the plain, single-threaded counterpart of [`crate::Histogram`],
+/// sharing its bucket layout so [`HistogramSnapshot::quantile`] applies.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Distribution {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Distribution {
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; HISTOGRAM_BUCKETS];
+            self.min = u64::MAX;
+        }
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The same immutable view [`crate::Histogram::snapshot`] yields,
+    /// for quantile estimation.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { 0 } else { self.min },
+            max: self.max,
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c > 0)
+                .map(|(b, &c)| (bucket_lo(b), c))
+                .collect(),
+        }
+    }
+}
+
+/// `p50 / p90 / p99 / max` of a snapshot as one aligned table cell.
+fn quantile_cell(h: &HistogramSnapshot) -> String {
+    format!(
+        "p50 {:>8.0}  p90 {:>8.0}  p99 {:>8.0}  max {:>8}",
+        h.quantile(0.50),
+        h.quantile(0.90),
+        h.quantile(0.99),
+        h.max
+    )
+}
+
 /// Digest of one JSONL trace.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct TraceSummary {
@@ -77,6 +139,8 @@ pub struct TraceSummary {
     pub event_counts: BTreeMap<String, u64>,
     /// Undo/redo distribution keyed by node id.
     pub node_replay: BTreeMap<u64, NodeReplay>,
+    /// Distribution of undo/redo depths across all nodes.
+    pub replay_depth: Distribution,
     /// Injected-fault totals from `nemesis.*` events.
     pub faults: FaultTally,
     /// Span-time table keyed by span name.
@@ -109,6 +173,7 @@ pub fn summarize(jsonl: &str) -> TraceSummary {
                 e.out_of_order += 1;
                 e.replayed += depth;
                 e.max_depth = e.max_depth.max(depth);
+                s.replay_depth.record(depth);
             }
             "nemesis.drop" => s.faults.dropped += 1,
             "nemesis.duplicate" => {
@@ -166,6 +231,11 @@ impl TraceSummary {
                     node, r.out_of_order, r.replayed, r.max_depth
                 );
             }
+            let _ = writeln!(
+                out,
+                "  depth quantiles (log2-bucket estimates): {}",
+                quantile_cell(&self.replay_depth.snapshot())
+            );
         }
         if self.faults.total() > 0 {
             let _ = writeln!(out, "\ninjected faults (nemesis):");
@@ -196,6 +266,34 @@ impl TraceSummary {
         }
         out
     }
+}
+
+/// Renders a `count / mean / p50 / p90 / p99 / max` table for every
+/// histogram embedded in an experiment sidecar (the `histograms`
+/// object), so replay-depth and LCP distributions are readable without
+/// opening the JSON. Empty string when the sidecar records none.
+pub fn render_sidecar_histograms(doc: &Json) -> String {
+    let Some(histograms) = doc.get("histograms").and_then(Json::as_obj) else {
+        return String::new();
+    };
+    let mut out = String::new();
+    for (name, v) in histograms {
+        let Some(snap) = HistogramSnapshot::from_json(v) else {
+            continue;
+        };
+        let _ = writeln!(
+            out,
+            "  {:<28} count {:>8}  mean {:>10.1}  {}",
+            name,
+            snap.count,
+            snap.mean(),
+            quantile_cell(&snap)
+        );
+    }
+    if out.is_empty() {
+        return out;
+    }
+    format!("histogram quantiles (log2-bucket estimates):\n{out}")
 }
 
 /// Validates that `text` is one well-formed JSON object carrying every

@@ -67,6 +67,13 @@ pub struct ClusterConfig {
     /// cuts/heals, crash/recovery windows and rejections as JSONL
     /// events. `None` (the default) costs nothing.
     pub sink: Option<Arc<shard_obs::EventSink>>,
+    /// Optional live §3 monitoring ([`crate::monitor::LiveMonitor`]):
+    /// executed transactions stream through the online checkers as the
+    /// watermark seals their serial positions, verdicts and rows go to
+    /// `sink`, and the run can abort at the first confirmed violation.
+    /// `None` (the default) leaves the run byte-identical to before the
+    /// monitor existed.
+    pub monitor: Option<crate::monitor::MonitorConfig>,
 }
 
 impl Default for ClusterConfig {
@@ -81,6 +88,7 @@ impl Default for ClusterConfig {
             piggyback: false,
             crashes: CrashSchedule::none(),
             sink: None,
+            monitor: None,
         }
     }
 }
@@ -184,7 +192,10 @@ pub struct ExecutedTxn<A: Application> {
     /// External actions performed at the origin.
     pub external_actions: Vec<ExternalAction>,
     /// Timestamps of every update the origin knew at decision time.
-    pub known: Vec<Timestamp>,
+    /// Shared (`Arc`) because the live monitor buffers the same set the
+    /// report keeps; known sets total O(n²) entries, so a per-ingest
+    /// deep copy would dominate the monitor's cost.
+    pub known: Arc<Vec<Timestamp>>,
 }
 
 /// What a run's [`Nemesis`] did to the transport, counted by the kernel
@@ -250,6 +261,14 @@ pub struct RunReport<A: Application> {
     pub rounds: u64,
     /// Faults the run's [`Nemesis`] applied (all zeros without one).
     pub faults: FaultStats,
+    /// The live monitor's verdicts and certificates, when
+    /// `ClusterConfig::monitor` was set (`None` otherwise). Covers
+    /// every executed transaction even on an aborted run.
+    pub monitor: Option<shard_core::stream::StreamReport>,
+    /// Whether the monitor stopped the run early on a confirmed
+    /// violation: the remaining events were abandoned, so drain-based
+    /// guarantees (mutual consistency) need not hold.
+    pub aborted: bool,
 }
 
 impl<A: Application> RunReport<A> {
@@ -739,6 +758,9 @@ impl<'a, A: Application, P: Propagation<A>> Runner<'a, A, P> {
         let mut barrier_latencies: Vec<SimTime> = Vec::new();
         let mut rejected: Vec<(SimTime, NodeId)> = Vec::new();
         let mut rounds = 0u64;
+        let mut monitor = cfg.monitor.clone().map(crate::monitor::LiveMonitor::new);
+        let mut monitored = 0usize;
+        let mut aborted = false;
 
         while let Some((now, event)) = queue.pop() {
             match event {
@@ -914,12 +936,40 @@ impl<'a, A: Application, P: Propagation<A>> Runner<'a, A, P> {
                     );
                 }
             }
+            if let Some(m) = monitor.as_mut() {
+                while monitored < transactions.len() {
+                    let t = &transactions[monitored];
+                    m.ingest(t.ts, t.time, t.known.clone());
+                    monitored += 1;
+                }
+                let watermark = nodes.iter().map(|n| n.clock.current()).min().unwrap_or(0);
+                m.advance(watermark, cfg.sink.as_deref());
+                if m.should_abort() {
+                    aborted = true;
+                    break;
+                }
+            }
         }
 
         debug_assert!(
-            pending.iter().all(|p| p.done),
+            aborted || pending.iter().all(|p| p.done),
             "all barriers clear eventually"
         );
+        if let Some(m) = monitor.as_mut() {
+            // Every executed transaction was ingested above; once the
+            // loop ends (or aborts) no clock ticks again, so draining
+            // the stalled tail is sound and the report covers the run.
+            m.flush(cfg.sink.as_deref());
+            if let Some(sink) = cfg.sink.as_deref() {
+                let r = m.report();
+                sink.event("monitor.final")
+                    .u64("rows", r.rows as u64)
+                    .bool("transitive", r.transitive)
+                    .u64("max_missed", r.max_missed as u64)
+                    .u64("delay_bound", r.min_delay_bound)
+                    .emit();
+            }
+        }
         if let Some(sink) = cfg.sink.as_deref() {
             // A trailing span line lets `shard-trace summarize` report
             // the run's wall time without access to the registry.
@@ -941,6 +991,8 @@ impl<'a, A: Application, P: Propagation<A>> Runner<'a, A, P> {
             entries_shipped: wire.entries_shipped,
             rounds,
             faults: wire.faults,
+            monitor: monitor.map(|m| m.report()),
+            aborted,
         }
     }
 }
@@ -990,7 +1042,7 @@ fn execute_txn<A: Application, P: Propagation<A>>(
         decision,
         update: (*update).clone(),
         external_actions: outcome.external_actions,
-        known,
+        known: Arc::new(known),
     });
     let mut net = Network {
         partitions: &cfg.partitions,

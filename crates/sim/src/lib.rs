@@ -39,6 +39,11 @@
 //!   per-object [`Placement`]s ([`PartialPlacement`] strategy +
 //!   [`PartialCluster`] facade), preserving all correctness conditions
 //!   while reducing message volume.
+//! * [`monitor`] — live §3 verification inside the kernel loop: a
+//!   [`LiveMonitor`] seals executed transactions behind a Lamport
+//!   watermark and streams them to a [`shard_core::StreamChecker`], so
+//!   verdicts (and an optional early abort) arrive while the run is
+//!   still going, bit-identical to the offline checkers.
 //! * [`nemesis`] — seeded, composable fault injection plugged into the
 //!   kernel transport ([`Runner::with_nemesis`]): message drop,
 //!   duplication and adversarial reordering, jittered partition and
@@ -65,6 +70,7 @@ pub mod events;
 pub mod gossip;
 pub mod kernel;
 pub mod merge;
+pub mod monitor;
 pub mod nemesis;
 pub mod partial;
 pub mod partition;
@@ -76,6 +82,7 @@ pub use delay::DelayModel;
 pub use gossip::{Gossip, GossipCluster, GossipConfig, GossipPlacement, GossipReport};
 pub use kernel::{FaultStats, Propagation, RunReport, Runner};
 pub use merge::{MergeLog, MergeMetrics, MergeOutcome};
+pub use monitor::{LiveMonitor, MonitorConfig};
 pub use nemesis::{
     CrashInjector, Fate, FaultEvent, FaultLog, MessageDropper, MessageDuplicator, MessageReorderer,
     MsgCtx, Nemesis, NemesisStack, PartitionJitter, Recorder, ScheduledNemesis,

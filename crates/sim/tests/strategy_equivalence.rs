@@ -34,7 +34,7 @@ type Fingerprint<A> = (
     u64,
     NodeId,
     <A as Application>::Update,
-    Vec<Timestamp>,
+    std::sync::Arc<Vec<Timestamp>>,
 );
 
 fn fingerprints<A: Application>(report: &RunReport<A>) -> Vec<Fingerprint<A>> {

@@ -61,7 +61,7 @@ fn three_thousand_transactions_survive_the_battery() {
             crashes,
             piggyback: false,
             checkpoint_every: 32,
-            sink: None,
+            ..ClusterConfig::default()
         },
     );
     let invs = big_workload(7, 3_000, 6);
