@@ -62,6 +62,17 @@ if cargo run -q --release -p shard-cli --bin shard-trace -- \
   echo "FAILED: certify accepted a mutated certificate" >&2
   exit 1
 fi
+# The live-runtime gate: a small seeded threaded deployment (real OS
+# threads, mpsc channels, delta gossip) whose recorded schedule is
+# replayed through the deterministic kernel; the binary exits non-zero
+# on any fidelity mismatch, and `shard-trace diff` independently
+# requires the live and replayed report documents to agree on
+# everything but wall time (digest, transactions, messages, rounds).
+run cargo run -q --release -p shard-runtime --bin shard-runtime -- \
+  --mode gossip --nodes 4 --txns 2000 --seed 7 --interval-us 500 \
+  --out target/runtime_live.json --replay-out target/runtime_replay.json
+run cargo run -q --release -p shard-cli --bin shard-trace -- \
+  diff target/runtime_live.json target/runtime_replay.json
 # The O(delta) state-layer gate: build + sweep the n=10^4 controlled-k
 # airline execution and hold the replay engine's clone traffic under
 # the pinned budget — >20x below what the pre-refactor engine (one

@@ -6,7 +6,7 @@ use shard_apps::airline::workload::AirlineMix;
 use shard_apps::airline::FlyByNight;
 use shard_baseline::{BaselineConfig, PrimaryCopy};
 use shard_bench::workloads::{airline_invocations, Routing};
-use shard_sim::{Cluster, ClusterConfig, DelayModel};
+use shard_sim::{ClusterConfig, DelayModel, Runner};
 use std::hint::black_box;
 
 fn bench_same_workload(c: &mut Criterion) {
@@ -30,7 +30,7 @@ fn bench_same_workload(c: &mut Criterion) {
     });
     group.bench_function("shard_cluster", |b| {
         b.iter(|| {
-            let cluster = Cluster::new(
+            let cluster = Runner::eager(
                 &app,
                 ClusterConfig {
                     nodes: 5,

@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use shard_apps::airline::workload::AirlineMix;
 use shard_apps::airline::FlyByNight;
 use shard_bench::workloads::{airline_invocations, Routing};
-use shard_sim::{Cluster, ClusterConfig, DelayModel};
+use shard_sim::{ClusterConfig, DelayModel, Runner};
 use std::hint::black_box;
 
 fn bench_cluster_scaling(c: &mut Criterion) {
@@ -17,7 +17,7 @@ fn bench_cluster_scaling(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &n| {
             let invs = airline_invocations(7, 500, n, 5, AirlineMix::default(), Routing::Random);
             b.iter(|| {
-                let cluster = Cluster::new(
+                let cluster = Runner::eager(
                     &app,
                     ClusterConfig {
                         nodes: n,
@@ -45,7 +45,7 @@ fn bench_piggyback_cost(c: &mut Criterion) {
                 let invs =
                     airline_invocations(9, 400, 4, 5, AirlineMix::default(), Routing::Random);
                 b.iter(|| {
-                    let cluster = Cluster::new(
+                    let cluster = Runner::eager(
                         &app,
                         ClusterConfig {
                             nodes: 4,
@@ -64,14 +64,14 @@ fn bench_piggyback_cost(c: &mut Criterion) {
 }
 
 fn bench_gossip_vs_flood(c: &mut Criterion) {
-    use shard_sim::{GossipCluster, GossipConfig};
+    use shard_sim::{GossipConfig, Runner};
     let app = FlyByNight::new(40);
     let invs = airline_invocations(21, 400, 4, 5, AirlineMix::default(), Routing::Random);
     let mut group = c.benchmark_group("cluster/broadcast_mode");
     group.sample_size(15);
     group.bench_function("flood", |b| {
         b.iter(|| {
-            let cluster = Cluster::new(
+            let cluster = Runner::eager(
                 &app,
                 ClusterConfig {
                     nodes: 4,
@@ -85,7 +85,7 @@ fn bench_gossip_vs_flood(c: &mut Criterion) {
     });
     group.bench_function("gossip_50", |b| {
         b.iter(|| {
-            let cluster = GossipCluster::new(
+            let cluster = Runner::gossip(
                 &app,
                 ClusterConfig {
                     nodes: 4,
@@ -105,7 +105,7 @@ fn bench_partial_replication(c: &mut Criterion) {
     use shard_apps::banking::Bank;
     use shard_bench::workloads::bank_invocations;
     use shard_core::ObjectModel;
-    use shard_sim::{NodeId, PartialCluster, Placement};
+    use shard_sim::{NodeId, Placement, Runner};
     let app = Bank::new(8, 100);
     let objects = app.objects();
     let mut group = c.benchmark_group("cluster/partial_replication");
@@ -128,7 +128,7 @@ fn bench_partial_replication(c: &mut Criterion) {
                 })
                 .collect();
             b.iter(|| {
-                let cluster = PartialCluster::new(
+                let cluster = Runner::partial(
                     &app,
                     ClusterConfig {
                         nodes: 8,

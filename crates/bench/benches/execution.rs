@@ -21,8 +21,8 @@ use shard_core::{conditions, Application, Execution};
 use shard_sim::broadcast::delivery_time;
 use shard_sim::events::EventQueue;
 use shard_sim::{
-    Cluster, ClusterConfig, DelayModel, Invocation, LamportClock, MergeLog, NodeId,
-    PartitionSchedule, Timestamp,
+    ClusterConfig, DelayModel, Invocation, LamportClock, MergeLog, NodeId, PartitionSchedule,
+    Runner, Timestamp,
 };
 use std::hint::black_box;
 use std::sync::{Arc, OnceLock};
@@ -323,7 +323,7 @@ fn bench_kernel_overhead(_c: &mut Criterion) {
 
         // Both drivers must produce the same replicas and serial order
         // before their times are comparable.
-        let unified = Cluster::new(&app, cfg.clone()).run(invs.clone());
+        let unified = Runner::eager(&app, cfg.clone()).run(invs.clone());
         let (seed_states, seed_txns) = seed_eager_run(&app, nodes, 11, delay, &invs);
         assert_eq!(
             unified.final_states, seed_states,
@@ -337,7 +337,7 @@ fn bench_kernel_overhead(_c: &mut Criterion) {
 
         shard_obs::set_enabled(false);
         let unified_ns = best_of_ns(15, || {
-            black_box(Cluster::new(&app, cfg.clone()).run(invs.clone()).rounds);
+            black_box(Runner::eager(&app, cfg.clone()).run(invs.clone()).rounds);
         });
         let seed_ns = best_of_ns(15, || {
             black_box(seed_eager_run(&app, nodes, 11, delay, &invs).1.len());

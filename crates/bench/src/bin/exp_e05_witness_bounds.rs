@@ -20,7 +20,7 @@ use shard_apps::airline::{AirlineTxn, FlyByNight};
 use shard_bench::workloads::{airline_invocations, Routing};
 use shard_bench::TRIAL_SEEDS;
 use shard_core::conditions::missed_count;
-use shard_sim::{Cluster, ClusterConfig, DelayModel};
+use shard_sim::{ClusterConfig, DelayModel, Runner};
 
 fn main() {
     let exp = shard_bench::Experiment::start("e05");
@@ -37,7 +37,7 @@ fn main() {
         let mut ms: Vec<u64> = Vec::new();
         let mut thm20 = true;
         for seed in TRIAL_SEEDS {
-            let cluster = Cluster::new(
+            let cluster = Runner::eager(
                 &app,
                 ClusterConfig {
                     nodes: 5,
@@ -101,7 +101,7 @@ fn main() {
         let mut p1 = true;
         let mut p2 = true;
         for seed in TRIAL_SEEDS {
-            let cluster = Cluster::new(
+            let cluster = Runner::eager(
                 &app,
                 ClusterConfig {
                     nodes: 5,
@@ -132,7 +132,7 @@ fn main() {
     println!("{t}");
 
     // Also report the k distribution on one configuration for context.
-    let cluster = Cluster::new(
+    let cluster = Runner::eager(
         &app,
         ClusterConfig {
             nodes: 5,

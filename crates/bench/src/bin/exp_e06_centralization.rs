@@ -17,7 +17,7 @@ use shard_apps::Person;
 use shard_bench::workloads::{airline_invocations, Routing};
 use shard_bench::TRIAL_SEEDS;
 use shard_core::{conditions, ExecutionBuilder};
-use shard_sim::{Cluster, ClusterConfig, DelayModel};
+use shard_sim::{ClusterConfig, DelayModel, Runner};
 
 fn main() {
     let exp = shard_bench::Experiment::start("e06");
@@ -45,7 +45,7 @@ fn main() {
         let mut all_central = true;
         let mut zero = true;
         for seed in TRIAL_SEEDS {
-            let cluster = Cluster::new(
+            let cluster = Runner::eager(
                 &app,
                 ClusterConfig {
                     nodes: 5,

@@ -23,7 +23,7 @@ use shard_apps::Person;
 use shard_bench::workloads::{airline_invocations, Routing};
 use shard_bench::TRIAL_SEEDS;
 use shard_core::conditions;
-use shard_sim::{Cluster, ClusterConfig, DelayModel};
+use shard_sim::{ClusterConfig, DelayModel, Runner};
 
 fn main() {
     let exp = shard_bench::Experiment::start("e07");
@@ -45,7 +45,7 @@ fn main() {
         let mut violations = 0usize;
         let mut inversions = 0usize;
         for seed in TRIAL_SEEDS {
-            let cluster = Cluster::new(
+            let cluster = Runner::eager(
                 &app,
                 ClusterConfig {
                     nodes: 4,
@@ -121,7 +121,7 @@ fn main() {
         let mut pairs = 0usize;
         let mut violations = 0usize;
         for seed in TRIAL_SEEDS {
-            let cluster = Cluster::new(
+            let cluster = Runner::eager(
                 &app,
                 ClusterConfig {
                     nodes: 4,

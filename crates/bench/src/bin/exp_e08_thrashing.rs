@@ -20,7 +20,7 @@ use shard_apps::airline_ts::{StampedPerson, TsFlyByNight, TsTxn};
 use shard_bench::workloads::{airline_invocations, Routing};
 use shard_bench::TRIAL_SEEDS;
 use shard_core::ExternalAction;
-use shard_sim::{Cluster, ClusterConfig, DelayModel, Invocation};
+use shard_sim::{ClusterConfig, DelayModel, Invocation, Runner};
 
 /// Rebuilds an airline invocation schedule for the timestamp-ordered
 /// variant, stamping each REQUEST with its submission time.
@@ -80,7 +80,7 @@ fn main() {
                 ..Default::default()
             };
 
-            let report = Cluster::new(&app, config.clone()).run(invs.clone());
+            let report = Runner::eager(&app, config.clone()).run(invs.clone());
             let actions: Vec<ExternalAction> = report
                 .external_actions
                 .iter()
@@ -91,7 +91,7 @@ fn main() {
             te.execution.verify(&app).expect("valid execution");
             inv_base += final_priority_inversions(&app, &te.execution).len();
 
-            let ts_report = Cluster::new(&ts_app, config).run(ts_invocations(&invs));
+            let ts_report = Runner::eager(&ts_app, config).run(ts_invocations(&invs));
             let ts_actions: Vec<ExternalAction> = ts_report
                 .external_actions
                 .iter()

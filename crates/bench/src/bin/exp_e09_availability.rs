@@ -18,7 +18,7 @@ use shard_bench::TRIAL_SEEDS;
 use shard_core::costs::BoundFn;
 use shard_sim::events::SimTime;
 use shard_sim::partition::{PartitionSchedule, PartitionWindow};
-use shard_sim::{Cluster, ClusterConfig, DelayModel, NodeId};
+use shard_sim::{ClusterConfig, DelayModel, NodeId, Runner};
 
 /// A periodic partition schedule: every `period` ticks, nodes 3 and 4
 /// are cut off for `duty × period` ticks.
@@ -79,7 +79,7 @@ fn main() {
 
             // SHARD: always available (transactions run locally), zero
             // client latency; pays integrity costs.
-            let cluster = Cluster::new(
+            let cluster = Runner::eager(
                 &app,
                 ClusterConfig {
                     nodes: 5,

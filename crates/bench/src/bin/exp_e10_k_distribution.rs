@@ -21,7 +21,7 @@ use shard_apps::airline::{FlyByNight, OVERBOOKING, UNDERBOOKING};
 use shard_bench::workloads::{airline_invocations, Routing};
 use shard_bench::TRIAL_SEEDS;
 use shard_core::costs::BoundFn;
-use shard_sim::{Cluster, ClusterConfig, DelayModel};
+use shard_sim::{ClusterConfig, DelayModel, Runner};
 
 fn main() {
     let exp = shard_bench::Experiment::start("e10");
@@ -123,7 +123,7 @@ fn run_sweep(app: &FlyByNight, mean_delay: u64, gap: u64) -> (Vec<u64>, u64, u64
     let mut execs: Vec<_> = TRIAL_SEEDS
         .into_iter()
         .map(|seed| {
-            let cluster = Cluster::new(
+            let cluster = Runner::eager(
                 app,
                 ClusterConfig {
                     nodes: 5,

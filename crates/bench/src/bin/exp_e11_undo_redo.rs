@@ -14,7 +14,7 @@ use shard_apps::airline::workload::AirlineMix;
 use shard_apps::airline::FlyByNight;
 use shard_bench::workloads::{airline_invocations, Routing};
 use shard_bench::TRIAL_SEEDS;
-use shard_sim::{Cluster, ClusterConfig, DelayModel};
+use shard_sim::{ClusterConfig, DelayModel, Runner};
 use std::sync::Arc;
 
 fn run(
@@ -27,7 +27,7 @@ fn run(
     let mut replayed = 0;
     let mut merged = 0;
     for seed in TRIAL_SEEDS {
-        let cluster = Cluster::new(
+        let cluster = Runner::eager(
             app,
             ClusterConfig {
                 nodes: 5,

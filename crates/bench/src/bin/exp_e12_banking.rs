@@ -18,7 +18,7 @@ use shard_core::costs::{classify_transaction, compensation_steps, BoundFn};
 use shard_core::Application;
 use shard_core::ExplicitStates;
 use shard_sim::partition::{PartitionSchedule, PartitionWindow};
-use shard_sim::{Cluster, ClusterConfig, DelayModel, NodeId};
+use shard_sim::{ClusterConfig, DelayModel, NodeId, Runner};
 
 fn main() {
     let exp = shard_bench::Experiment::start("e12");
@@ -91,7 +91,7 @@ fn main() {
         for seed in TRIAL_SEEDS {
             let partitions =
                 PartitionSchedule::new(vec![PartitionWindow::isolate(500, 2500, vec![NodeId(1)])]);
-            let cluster = Cluster::new(
+            let cluster = Runner::eager(
                 &app,
                 ClusterConfig {
                     nodes: 4,

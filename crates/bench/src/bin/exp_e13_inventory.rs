@@ -15,7 +15,7 @@ use shard_bench::workloads::inventory_invocations;
 use shard_bench::TRIAL_SEEDS;
 use shard_core::costs::BoundFn;
 use shard_sim::partition::{PartitionSchedule, PartitionWindow};
-use shard_sim::{Cluster, ClusterConfig, DelayModel, NodeId};
+use shard_sim::{ClusterConfig, DelayModel, NodeId, Runner};
 
 fn main() {
     let exp = shard_bench::Experiment::start("e13");
@@ -45,7 +45,7 @@ fn main() {
         for seed in TRIAL_SEEDS {
             let partitions =
                 PartitionSchedule::new(vec![PartitionWindow::isolate(400, 2000, vec![NodeId(2)])]);
-            let cluster = Cluster::new(
+            let cluster = Runner::eager(
                 &app,
                 ClusterConfig {
                     nodes: 4,

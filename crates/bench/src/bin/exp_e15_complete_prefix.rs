@@ -21,7 +21,7 @@ use shard_apps::banking::{AccountId, Bank, BankTxn};
 use shard_bench::TRIAL_SEEDS;
 use shard_core::conditions;
 use shard_sim::partition::{PartitionSchedule, PartitionWindow};
-use shard_sim::{Cluster, ClusterConfig, DelayModel, Invocation, NodeId};
+use shard_sim::{ClusterConfig, DelayModel, Invocation, NodeId, Runner};
 
 fn workload(seed: u64, n: usize, nodes: u16) -> Vec<Invocation<BankTxn>> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -68,7 +68,7 @@ fn main() {
         for seed in TRIAL_SEEDS {
             let partitions =
                 PartitionSchedule::new(vec![PartitionWindow::isolate(500, 2500, vec![NodeId(1)])]);
-            let cluster = Cluster::new(
+            let cluster = Runner::eager(
                 &app,
                 ClusterConfig {
                     nodes: 4,

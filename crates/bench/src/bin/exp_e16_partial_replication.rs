@@ -21,7 +21,7 @@ use shard_apps::banking::{AccountId, Bank, BankTxn};
 use shard_bench::TRIAL_SEEDS;
 use shard_core::costs::BoundFn;
 use shard_core::{Application, ObjectModel};
-use shard_sim::{ClusterConfig, DelayModel, Invocation, PartialCluster, Placement};
+use shard_sim::{ClusterConfig, DelayModel, Invocation, Placement, Runner};
 
 fn main() {
     let exp = shard_bench::Experiment::start("e16");
@@ -75,7 +75,7 @@ fn main() {
                 invs.push(Invocation::new(t_now, node, txn));
             }
             txns += invs.len() as u64;
-            let cluster = PartialCluster::new(
+            let cluster = Runner::partial(
                 &app,
                 ClusterConfig {
                     nodes,

@@ -17,7 +17,7 @@ use shard_apps::airline::{AirlineTxn, FlyByNight, OVERBOOKING};
 use shard_bench::workloads::{airline_invocations, Routing};
 use shard_bench::TRIAL_SEEDS;
 use shard_core::costs::BoundFn;
-use shard_sim::{Cluster, ClusterConfig, DelayModel, GossipCluster, GossipConfig};
+use shard_sim::{ClusterConfig, DelayModel, GossipConfig, Runner};
 
 fn main() {
     let exp = shard_bench::Experiment::start("e17");
@@ -54,7 +54,7 @@ fn main() {
         for seed in TRIAL_SEEDS {
             let invs =
                 airline_invocations(seed, 1000, 5, 6, AirlineMix::default(), Routing::Random);
-            let cluster = Cluster::new(&app, config(seed));
+            let cluster = Runner::eager(&app, config(seed));
             let report = cluster.run(invs);
             flood_msgs += report.messages_sent;
             let te = report.timed_execution();
@@ -90,7 +90,7 @@ fn main() {
         for seed in TRIAL_SEEDS {
             let invs =
                 airline_invocations(seed, 1000, 5, 6, AirlineMix::default(), Routing::Random);
-            let cluster = GossipCluster::new(&app, config(seed), GossipConfig { interval });
+            let cluster = Runner::gossip(&app, config(seed), GossipConfig { interval });
             let report = cluster.run(invs);
             assert!(report.mutually_consistent());
             rounds += report.rounds;

@@ -16,7 +16,7 @@ use shard_apps::airline::{AirlineTxn, FlyByNight, OVERBOOKING};
 use shard_bench::workloads::{airline_invocations, Routing};
 use shard_bench::TRIAL_SEEDS;
 use shard_core::costs::BoundFn;
-use shard_sim::{Cluster, ClusterConfig, CrashSchedule, CrashWindow, DelayModel, NodeId};
+use shard_sim::{ClusterConfig, CrashSchedule, CrashWindow, DelayModel, NodeId, Runner};
 
 fn main() {
     let exp = shard_bench::Experiment::start("e18");
@@ -48,7 +48,7 @@ fn main() {
             } else {
                 CrashSchedule::new(vec![CrashWindow::new(NodeId(1), 1000, 1000 + outage)])
             };
-            let cluster = Cluster::new(
+            let cluster = Runner::eager(
                 &app,
                 ClusterConfig {
                     nodes: 4,

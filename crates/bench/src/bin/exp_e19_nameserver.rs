@@ -17,7 +17,7 @@ use shard_apps::nameserver::{GroupId, Name, NameServer, NsTxn};
 use shard_bench::TRIAL_SEEDS;
 use shard_core::costs::BoundFn;
 use shard_core::Application;
-use shard_sim::{Cluster, ClusterConfig, DelayModel, Invocation, NodeId};
+use shard_sim::{ClusterConfig, DelayModel, Invocation, NodeId, Runner};
 
 fn workload(seed: u64, n: usize, nodes: u16, names: u32, groups: u32) -> Vec<Invocation<NsTxn>> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -71,7 +71,7 @@ fn main() {
         let mut groupings = 0usize;
         let mut cor10 = true;
         for seed in TRIAL_SEEDS {
-            let cluster = Cluster::new(
+            let cluster = Runner::eager(
                 &app,
                 ClusterConfig {
                     nodes: 4,

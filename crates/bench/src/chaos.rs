@@ -57,7 +57,7 @@ pub struct ChaosConfig {
     pub seeds: u64,
     /// First seed.
     pub start_seed: u64,
-    /// Cluster size.
+    /// Runner size.
     pub nodes: u16,
     /// Transactions per run.
     pub txns: usize,

@@ -278,39 +278,81 @@ fn watch(args: &[String]) -> CmdResult {
     let mut checker = StreamChecker::new(window);
     let mut offset = 0usize;
     loop {
-        let text = read(path)?;
-        // Only complete lines: a writer mid-line will finish it by the
-        // next poll.
-        let complete = text[offset..]
-            .rfind('\n')
-            .map_or(offset, |i| offset + i + 1);
-        for line in text[offset..complete].lines() {
-            if !line.contains("\"event\":\"txn\"") {
-                continue;
-            }
-            let row = StreamRow::from_json_line(line).map_err(|e| fail(format!("{path}: {e}")))?;
-            if row.index != checker.rows() {
-                return Err(fail(format!(
-                    "{path}: row {} arrived when {} was expected — \
-                     watch needs rows in serial order",
-                    row.index,
-                    checker.rows()
-                )));
-            }
-            if let Some(verdict) = checker.push(&row) {
-                println!("{}", verdict.to_json_line());
-            }
-            if !checker.transitive_so_far() {
-                return finish_watch(path, &checker, cert_out);
-            }
+        let bytes = std::fs::read(path).map_err(|e| fail(format!("{path}: {e}")))?;
+        if bytes.len() < offset {
+            return Err(fail(format!("{path}: file shrank while watching")));
         }
-        offset = complete;
-        if !follow {
-            break;
+        let violated = scan_new_rows(path, &mut checker, &bytes, &mut offset, !follow)?;
+        if violated || !follow {
+            return finish_watch(path, &checker, cert_out);
         }
         std::thread::sleep(std::time::Duration::from_millis(100));
     }
-    finish_watch(path, &checker, cert_out)
+}
+
+/// One watch poll: feeds every complete JSONL line in `bytes[offset..]`
+/// into the checker and advances `offset` past them. The tail after the
+/// last newline is a write in progress — possibly torn mid-line or even
+/// mid-UTF-8-sequence — so it is left for the next poll untouched. On
+/// the *final* pass there is no next poll: a tail that already parses
+/// as a full `txn` row is a flushed line missing only its newline and
+/// still counts; anything else is a torn scrap and is dropped. Returns
+/// whether a transitivity violation ended the stream.
+fn scan_new_rows(
+    path: &str,
+    checker: &mut StreamChecker,
+    bytes: &[u8],
+    offset: &mut usize,
+    final_pass: bool,
+) -> Result<bool, CliError> {
+    let complete = bytes[*offset..]
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map_or(*offset, |i| *offset + i + 1);
+    for chunk in bytes[*offset..complete].split(|&b| b == b'\n') {
+        if chunk.is_empty() {
+            continue;
+        }
+        let line = std::str::from_utf8(chunk)
+            .map_err(|e| fail(format!("{path}: invalid UTF-8 in a complete line: {e}")))?;
+        if push_row(path, checker, line)? {
+            *offset = complete;
+            return Ok(true);
+        }
+    }
+    *offset = complete;
+    if final_pass && complete < bytes.len() {
+        if let Ok(frag) = std::str::from_utf8(&bytes[complete..]) {
+            let frag = frag.trim();
+            if frag.contains("\"event\":\"txn\"") && StreamRow::from_json_line(frag).is_ok() {
+                *offset = bytes.len();
+                return push_row(path, checker, frag);
+            }
+        }
+    }
+    Ok(false)
+}
+
+/// Feeds one complete trace line into the checker (non-`txn` events
+/// pass through), printing any window verdict. Returns whether the
+/// stream is now in violation.
+fn push_row(path: &str, checker: &mut StreamChecker, line: &str) -> Result<bool, CliError> {
+    if !line.contains("\"event\":\"txn\"") {
+        return Ok(false);
+    }
+    let row = StreamRow::from_json_line(line).map_err(|e| fail(format!("{path}: {e}")))?;
+    if row.index != checker.rows() {
+        return Err(fail(format!(
+            "{path}: row {} arrived when {} was expected — \
+             watch needs rows in serial order",
+            row.index,
+            checker.rows()
+        )));
+    }
+    if let Some(verdict) = checker.push(&row) {
+        println!("{}", verdict.to_json_line());
+    }
+    Ok(!checker.transitive_so_far())
 }
 
 /// Prints the final report (and certificates), writes the violation
@@ -363,6 +405,52 @@ mod tests {
             );
             assert!(u.contains(c.name), "usage omits {}", c.name);
             assert!(u.contains(c.blurb), "usage omits the {} blurb", c.name);
+        }
+    }
+
+    #[test]
+    fn watch_scan_tolerates_byte_by_byte_appends() {
+        // A live writer appends in arbitrary chunks — the scan must
+        // treat every prefix as a valid intermediate state: complete
+        // lines land exactly once, the torn tail waits, and on the
+        // final pass a flushed-but-unterminated row still counts.
+        let rows: Vec<String> = (0..6)
+            .map(|i| {
+                StreamRow {
+                    index: i,
+                    time: i as u64 * 3,
+                    missed: vec![],
+                }
+                .to_json_line()
+            })
+            .collect();
+        let mut trace = String::from("{\"event\":\"merge.append\",\"node\":0}\n");
+        for r in &rows[..5] {
+            trace.push_str(r);
+            trace.push('\n');
+        }
+        trace.push_str(&rows[5]); // flushed, newline not yet written
+        let bytes = trace.as_bytes();
+
+        // One checker fed as the file grows a byte at a time.
+        let mut checker = StreamChecker::new(4);
+        let mut offset = 0usize;
+        for end in 0..=bytes.len() {
+            let final_pass = end == bytes.len();
+            let violated = scan_new_rows("t", &mut checker, &bytes[..end], &mut offset, final_pass)
+                .unwrap_or_else(|_| panic!("poll at byte {end} must not error"));
+            assert!(!violated);
+        }
+        assert_eq!(checker.rows(), 6, "all rows, tail included, land once");
+
+        // A from-scratch non-follow watch of any prefix (a reader
+        // racing the writer) never errors and never over-counts.
+        for end in 0..=bytes.len() {
+            let mut checker = StreamChecker::new(4);
+            let mut offset = 0usize;
+            scan_new_rows("t", &mut checker, &bytes[..end], &mut offset, true)
+                .unwrap_or_else(|_| panic!("prefix of {end} bytes must not error"));
+            assert!(checker.rows() <= 6);
         }
     }
 

@@ -49,8 +49,22 @@ struct Node<K, V> {
     key: K,
     value: V,
     prio: u64,
+    /// Entries in this subtree (including this node) — the order
+    /// statistic that makes [`PMap::nth`] O(log n).
+    size: usize,
     left: Link<K, V>,
     right: Link<K, V>,
+}
+
+/// Subtree size of a link (0 for empty).
+fn subtree_size<K, V>(link: &Link<K, V>) -> usize {
+    link.as_deref().map_or(0, |n| n.size)
+}
+
+/// Recomputes a node's size from its children — call after any
+/// structural change below it.
+fn update_size<K, V>(node: &mut Node<K, V>) {
+    node.size = 1 + subtree_size(&node.left) + subtree_size(&node.right);
 }
 
 /// A persistent (copy-on-write) ordered map: `clone` is two pointer
@@ -105,6 +119,28 @@ impl<K, V> PMap<K, V> {
     /// Iterates values in ascending key order.
     pub fn values(&self) -> impl Iterator<Item = &V> {
         self.iter().map(|(_, v)| v)
+    }
+
+    /// The `i`-th entry in ascending key order (0-based), or `None`
+    /// past the end. O(log n) by subtree-size descent — random access
+    /// into a snapshot without materializing it.
+    pub fn nth(&self, mut i: usize) -> Option<(&K, &V)> {
+        if i >= self.len {
+            return None;
+        }
+        let mut cur = self.root.as_deref();
+        while let Some(node) = cur {
+            let left = subtree_size(&node.left);
+            match i.cmp(&left) {
+                std::cmp::Ordering::Less => cur = node.left.as_deref(),
+                std::cmp::Ordering::Equal => return Some((&node.key, &node.value)),
+                std::cmp::Ordering::Greater => {
+                    i -= left + 1;
+                    cur = node.right.as_deref();
+                }
+            }
+        }
+        None
     }
 }
 
@@ -182,6 +218,7 @@ fn insert_node<K: Ord + Clone + Hash, V: Clone>(
             key,
             value,
             prio,
+            size: 1,
             left: None,
             right: None,
         }));
@@ -192,6 +229,7 @@ fn insert_node<K: Ord + Clone + Hash, V: Clone>(
         std::cmp::Ordering::Equal => Some(std::mem::replace(&mut node.value, value)),
         std::cmp::Ordering::Less => {
             let old = insert_node(&mut node.left, key, value, prio);
+            update_size(node);
             // Restore the max-heap property on priorities. Ties break
             // toward the existing root so repeated inserts of the same
             // key set always rebuild one canonical shape.
@@ -202,6 +240,7 @@ fn insert_node<K: Ord + Clone + Hash, V: Clone>(
         }
         std::cmp::Ordering::Greater => {
             let old = insert_node(&mut node.right, key, value, prio);
+            update_size(node);
             if node.right.as_ref().is_some_and(|r| r.prio > node.prio) {
                 rotate_left(link);
             }
@@ -214,8 +253,16 @@ fn remove_node<K: Ord + Clone + Hash, V: Clone>(link: &mut Link<K, V>, key: &K) 
     let rc = link.as_mut()?;
     let node = Arc::make_mut(rc);
     match key.cmp(&node.key) {
-        std::cmp::Ordering::Less => remove_node(&mut node.left, key),
-        std::cmp::Ordering::Greater => remove_node(&mut node.right, key),
+        std::cmp::Ordering::Less => {
+            let old = remove_node(&mut node.left, key);
+            update_size(node);
+            old
+        }
+        std::cmp::Ordering::Greater => {
+            let old = remove_node(&mut node.right, key);
+            update_size(node);
+            old
+        }
         std::cmp::Ordering::Equal => {
             let left = node.left.take();
             let right = node.right.take();
@@ -238,12 +285,14 @@ fn merge<K: Clone, V: Clone>(a: Link<K, V>, b: Link<K, V>) -> Link<K, V> {
             let am = Arc::make_mut(&mut a);
             let ar = am.right.take();
             am.right = merge(ar, Some(b));
+            update_size(am);
             Some(a)
         }
         (a, Some(mut b)) => {
             let bm = Arc::make_mut(&mut b);
             let bl = bm.left.take();
             bm.left = merge(a, bl);
+            update_size(bm);
             Some(b)
         }
     }
@@ -251,17 +300,25 @@ fn merge<K: Clone, V: Clone>(a: Link<K, V>, b: Link<K, V>) -> Link<K, V> {
 
 fn rotate_right<K: Clone, V: Clone>(link: &mut Link<K, V>) {
     let mut x = link.take().expect("rotate_right of empty link");
-    let mut l = Arc::make_mut(&mut x).left.take().expect("left child");
-    Arc::make_mut(&mut x).left = Arc::make_mut(&mut l).right.take();
-    Arc::make_mut(&mut l).right = Some(x);
+    let xm = Arc::make_mut(&mut x);
+    let mut l = xm.left.take().expect("left child");
+    let lm = Arc::make_mut(&mut l);
+    xm.left = lm.right.take();
+    update_size(xm);
+    lm.right = Some(x);
+    update_size(lm);
     *link = Some(l);
 }
 
 fn rotate_left<K: Clone, V: Clone>(link: &mut Link<K, V>) {
     let mut x = link.take().expect("rotate_left of empty link");
-    let mut r = Arc::make_mut(&mut x).right.take().expect("right child");
-    Arc::make_mut(&mut x).right = Arc::make_mut(&mut r).left.take();
-    Arc::make_mut(&mut r).left = Some(x);
+    let xm = Arc::make_mut(&mut x);
+    let mut r = xm.right.take().expect("right child");
+    let rm = Arc::make_mut(&mut r);
+    xm.right = rm.left.take();
+    update_size(xm);
+    rm.left = Some(x);
+    update_size(rm);
     *link = Some(r);
 }
 
@@ -392,6 +449,11 @@ mod tests {
                     assert!(r.key > node.key, "BST order (right)");
                     assert!(r.prio <= node.prio, "heap order (right)");
                 }
+                assert_eq!(
+                    node.size,
+                    1 + subtree_size(&node.left) + subtree_size(&node.right),
+                    "size matches children"
+                );
                 *count += 1;
                 go(&node.left, count);
                 go(&node.right, count);
@@ -426,6 +488,26 @@ mod tests {
             }
         }
         check_invariants(&map);
+    }
+
+    #[test]
+    fn nth_matches_in_order_iteration() {
+        let mut rng = Lcg(0xDEAD_BEEF);
+        let mut map: PMap<u32, u64> = PMap::new();
+        for _ in 0..500 {
+            map.insert((rng.next() % 1024) as u32, rng.next());
+        }
+        let snapshot = map.clone();
+        for _ in 0..100 {
+            map.remove(&((rng.next() % 1024) as u32));
+        }
+        for m in [&map, &snapshot] {
+            let in_order: Vec<_> = m.iter().map(|(k, v)| (*k, *v)).collect();
+            for (i, entry) in in_order.iter().enumerate() {
+                assert_eq!(m.nth(i).map(|(k, v)| (*k, *v)), Some(*entry));
+            }
+            assert_eq!(m.nth(m.len()), None);
+        }
     }
 
     #[test]

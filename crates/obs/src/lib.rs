@@ -38,6 +38,7 @@ pub mod cert;
 pub mod event;
 pub mod json;
 pub mod metrics;
+pub mod runtime;
 pub mod span;
 pub mod trace;
 
@@ -48,6 +49,7 @@ pub use metrics::{
     bucket_index, bucket_lo, enabled, set_enabled, Counter, Gauge, Histogram, HistogramSnapshot,
     Registry, Snapshot, HISTOGRAM_BUCKETS,
 };
+pub use runtime::RuntimeMetrics;
 pub use span::{SpanGuard, SPAN_PREFIX};
 pub use trace::{
     aggregate, check_sidecar, diff_sidecars, render_sidecar_histograms, summarize, Distribution,

@@ -1,0 +1,100 @@
+//! Metrics for the threaded live deployment (`shard-runtime`).
+//!
+//! The simulator measures in virtual ticks; a live run measures in real
+//! microseconds. This module names the two live signals every deployment
+//! mode records so benches and the CLI agree on where to find them:
+//!
+//! * `runtime.<mode>.latency_us` — client-observed latency of each
+//!   transaction: the gap between its scheduled submission time and the
+//!   moment its node executed it. Under an open workload this is true
+//!   queueing latency; under a closed workload (all submissions due at
+//!   t = 0) it degenerates to completion time.
+//! * `runtime.<mode>.queue_depth` — in-flight update messages (sent but
+//!   not yet merged at the receiver), sampled periodically by the run
+//!   coordinator. The live analogue of the simulator's event queue
+//!   length.
+//!
+//! Handles come from the global [`Registry`], so a process that runs
+//! several modes back to back (the E23 bench does) keeps their
+//! distributions separate by name.
+
+use crate::metrics::{Histogram, HistogramSnapshot, Registry};
+use crate::ObjWriter;
+use std::sync::Arc;
+
+/// Histogram handles for one deployment mode's live run.
+#[derive(Clone)]
+pub struct RuntimeMetrics {
+    /// Submission-to-execution latency in microseconds.
+    pub latency_us: Arc<Histogram>,
+    /// Sampled count of in-flight (sent, unmerged) messages.
+    pub queue_depth: Arc<Histogram>,
+}
+
+impl RuntimeMetrics {
+    /// Handles for `mode` (e.g. `"cluster"`, `"gossip"`, `"partial"`)
+    /// in the global registry. Repeated calls return the same
+    /// histograms, so samples accumulate across runs of the same mode.
+    pub fn for_mode(mode: &str) -> Self {
+        let reg = Registry::global();
+        RuntimeMetrics {
+            latency_us: reg.histogram(&format!("runtime.{mode}.latency_us")),
+            queue_depth: reg.histogram(&format!("runtime.{mode}.queue_depth")),
+        }
+    }
+
+    /// Point-in-time latency distribution.
+    pub fn latency(&self) -> HistogramSnapshot {
+        self.latency_us.snapshot()
+    }
+
+    /// Renders the mode's live signals as one JSON object:
+    /// `{"latency_us": {count, p50, p90, p99, max}, "queue_depth": …}`.
+    pub fn to_json(&self) -> String {
+        fn hist_json(s: &HistogramSnapshot) -> String {
+            ObjWriter::new()
+                .u64("count", s.count)
+                .f64("mean", s.mean())
+                .f64("p50", s.quantile(0.50))
+                .f64("p90", s.quantile(0.90))
+                .f64("p99", s.quantile(0.99))
+                .u64("max", s.max)
+                .finish()
+        }
+        ObjWriter::new()
+            .raw("latency_us", &hist_json(&self.latency_us.snapshot()))
+            .raw("queue_depth", &hist_json(&self.queue_depth.snapshot()))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modes_keep_separate_distributions() {
+        let a = RuntimeMetrics::for_mode("test_mode_a");
+        let b = RuntimeMetrics::for_mode("test_mode_b");
+        a.latency_us.record(10);
+        a.latency_us.record(1000);
+        b.latency_us.record(7);
+        assert_eq!(a.latency().count, 2);
+        assert_eq!(RuntimeMetrics::for_mode("test_mode_b").latency().count, 1);
+    }
+
+    #[test]
+    fn json_carries_quantiles() {
+        let m = RuntimeMetrics::for_mode("test_mode_json");
+        for v in [1u64, 2, 4, 8, 1024] {
+            m.latency_us.record(v);
+        }
+        m.queue_depth.record(3);
+        let doc = crate::json::parse(&m.to_json()).expect("valid json");
+        let lat = doc.get("latency_us").expect("latency object");
+        assert_eq!(lat.get("count").and_then(|j| j.as_u64()), Some(5));
+        let p50 = lat.get("p50").and_then(|j| j.as_f64()).unwrap();
+        let p99 = lat.get("p99").and_then(|j| j.as_f64()).unwrap();
+        assert!(p50 <= p99, "quantiles are monotone: {p50} {p99}");
+    }
+}

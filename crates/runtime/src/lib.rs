@@ -1,0 +1,51 @@
+//! `shard-runtime` — a threaded **live deployment** of the SHARD kernel
+//! with record–replay fidelity against the deterministic simulator.
+//!
+//! The `shard-sim` kernel separates *what a replica does* ([`Node`]:
+//! Lamport clock + undo/redo merge log) and *how updates propagate*
+//! ([`Propagation`]: eager flooding, gossip, partial replication) from
+//! *where time and delivery come from* ([`Clock`] / [`Transport`]).
+//! This crate supplies the live halves of that split:
+//!
+//! * **[`live`]** — one OS thread per [`Node`], `std::sync::mpsc`
+//!   channels as the transport, and the shared [`WallClock`] issuing
+//!   globally unique microsecond ticks. The *same* `Node` and
+//!   `Propagation` code runs here as in the simulator; only the event
+//!   loop around them changes.
+//! * **[`load`]** — a seeded Zipf client load generator producing open
+//!   (paced arrival) or closed (max pressure) workloads.
+//! * **[`replay`]** — every live run records its delivery schedule
+//!   ([`live::RecordedSchedule`]); replaying that schedule through the
+//!   deterministic kernel (scripted delivery via
+//!   [`shard_sim::ScheduledNemesis`], scripted gossip rounds via
+//!   [`shard_sim::Runner::with_ticks`]) reproduces the live run's
+//!   [`RunReport`] **exactly** — same serial order, same merge
+//!   metrics, same monitor verdicts. A thread-schedule heisenbug seen
+//!   once in production becomes a deterministic unit test.
+//!
+//! Why fidelity holds: every live tick comes from one process-wide
+//! atomic counter, so the interleaving of executions, deliveries and
+//! gossip rounds is *totally ordered* and recorded. The kernel replays
+//! that exact total order; since `Node::execute`/`Node::absorb` are the
+//! single shared code path, equal orders give equal reports.
+//!
+//! [`Node`]: shard_sim::kernel::Node
+//! [`Propagation`]: shard_sim::Propagation
+//! [`Clock`]: shard_sim::Clock
+//! [`Transport`]: shard_sim::Transport
+//! [`WallClock`]: shard_sim::WallClock
+//! [`RunReport`]: shard_sim::RunReport
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod live;
+pub mod load;
+pub mod replay;
+
+pub use live::{
+    run_eager, run_gossip, run_live, run_partial, LiveRun, MsgRecord, RecordedSchedule,
+    RuntimeConfig, Submission,
+};
+pub use load::{banking_submissions, Pacing, Zipf};
+pub use replay::{replay_eager, replay_gossip, replay_partial, report_digest, report_json};

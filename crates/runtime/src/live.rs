@@ -1,0 +1,794 @@
+//! The live threaded deployment: one OS thread per node, mpsc channels
+//! as the [`Transport`], the process-wide [`WallClock`] as the
+//! [`Clock`](shard_sim::Clock), and a delivery recorder that makes
+//! every run replayable.
+//!
+//! # Architecture
+//!
+//! ```text
+//!   client load (Vec<Submission>)          coordinator thread
+//!        │ partitioned by node             (convergence + shutdown,
+//!        ▼                                  queue-depth sampling)
+//!   ┌────────┐   mpsc    ┌────────┐
+//!   │ node 0 │──────────▶│ node 1 │ …one thread per Node: drain
+//!   │ thread │◀──────────│ thread │  channel → absorb, execute due
+//!   └────────┘           └────────┘  submissions, gossip on cadence
+//!        │ txn rows (ts, time, known)
+//!        ▼
+//!   monitor thread: LiveMonitor over the watermark of the
+//!   per-node Lamport clocks (same §3 checkers as the kernel)
+//! ```
+//!
+//! # Why a recorded run replays exactly
+//!
+//! Every event a node performs — executing a transaction, merging a
+//! delivered batch, initiating a gossip round — first draws a tick from
+//! the shared [`WallClock`], whose ticks are **globally unique and
+//! strictly increasing** across threads. The recorded `(tick, …)`
+//! tuples therefore totally order the entire run. Replay hands the
+//! kernel that exact order: invocations at the recorded execution
+//! ticks, gossip rounds as a scripted tick list, and each message's
+//! delivery moved to its recorded merge tick by a
+//! [`ScheduledNemesis`](shard_sim::ScheduledNemesis) keyed on the
+//! kernel's send sequence — which matches the live send order because
+//! every [`Propagation`] strategy sends to peers in increasing node id
+//! within one event.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use shard_core::stream::StreamReport;
+use shard_core::{Application, ExternalAction};
+use shard_obs::{EventSink, RuntimeMetrics};
+use shard_sim::events::SimTime;
+use shard_sim::kernel::{Entries, Node};
+use shard_sim::{
+    EagerBroadcast, ExecutedTxn, FaultStats, GossipDelta, LiveMonitor, MonitorConfig, NodeId,
+    PartialPlacement, Placement, Propagation, RunReport, Timestamp, Transport, WallClock,
+};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::Duration;
+
+/// How many due submissions a node executes before draining its channel
+/// again — keeps closed workloads from starving merges.
+const EXEC_BATCH: usize = 64;
+/// Longest an idle thread sleeps before re-checking shared state.
+/// Coarse on purpose: busy threads never sleep (node threads block on
+/// their channel and wake the instant a message arrives), and a storm
+/// of fine-grained sleeps across many threads starves single-core
+/// machines in context switches.
+const IDLE_PARK: Duration = Duration::from_millis(1);
+
+/// One client request: `decision` is due at `node` once `at_us`
+/// microseconds have elapsed since run start.
+#[derive(Clone, Debug)]
+pub struct Submission<D> {
+    /// Due time in microseconds since run start (0 = immediately).
+    pub at_us: u64,
+    /// Origin node.
+    pub node: NodeId,
+    /// The transaction to run.
+    pub decision: D,
+}
+
+/// Configuration of a live run.
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// Number of node threads.
+    pub nodes: u16,
+    /// Seeds the per-node transport RNGs (the shipped strategies are
+    /// deterministic and never draw from them, but [`Transport`]
+    /// requires one).
+    pub seed: u64,
+    /// Merge-log checkpoint interval (must match the replay's).
+    pub checkpoint_every: usize,
+    /// Run the §3 [`LiveMonitor`] on a dedicated thread, fed by every
+    /// node and advanced by the watermark of the per-node Lamport
+    /// clocks. `abort_on_violation` is ignored: a live run always
+    /// drains.
+    pub monitor: Option<MonitorConfig>,
+    /// Trace sink: node threads emit the kernel's `execute` / `deliver`
+    /// / `merge.*` vocabulary and the monitor emits its `txn` rows, so
+    /// `shard-trace summarize|watch` consume live traces unchanged.
+    pub sink: Option<Arc<EventSink>>,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            nodes: 3,
+            seed: 0,
+            checkpoint_every: 32,
+            monitor: None,
+            sink: None,
+        }
+    }
+}
+
+/// One recorded message: sent at `sent_at` (the sender's event tick),
+/// merged into `to`'s log at `merged_at`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MsgRecord {
+    /// The sender-side event tick at which the message was sent.
+    pub sent_at: SimTime,
+    /// Sending node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// The receiver-side tick at which the batch was merged.
+    pub merged_at: SimTime,
+}
+
+/// The complete delivery schedule of a live run — everything replay
+/// needs to reproduce it in the deterministic kernel.
+#[derive(Clone, Debug, Default)]
+pub struct RecordedSchedule {
+    /// Every execution as `(tick, node)`, in tick order.
+    pub execs: Vec<(SimTime, NodeId)>,
+    /// Every delivered message with its send and merge ticks.
+    pub msgs: Vec<MsgRecord>,
+    /// Every gossip round initiation as `(tick, node)`, in tick order.
+    /// Empty for reactive strategies.
+    pub ticks: Vec<(SimTime, NodeId)>,
+}
+
+/// A finished live run: the same [`RunReport`] the simulator produces,
+/// plus the recorded schedule and the wall-clock duration.
+pub struct LiveRun<A: Application> {
+    /// The run's report, field-compatible with a kernel run (the
+    /// `faults` tally is zero: live runs inject no faults).
+    pub report: RunReport<A>,
+    /// The recorded delivery schedule for [`crate::replay`].
+    pub schedule: RecordedSchedule,
+    /// Wall-clock duration of the threaded phase, in microseconds.
+    pub wall_us: u64,
+}
+
+/// The live monitor never aborts (a live run always drains), so force
+/// the flag off; replay does the same, keeping reports comparable.
+pub(crate) fn sanitize_monitor(m: &Option<MonitorConfig>) -> Option<MonitorConfig> {
+    m.clone().map(|mut m| {
+        m.abort_on_violation = false;
+        m
+    })
+}
+
+/// Cross-thread state shared by node threads, the monitor thread and
+/// the coordinator.
+struct Shared {
+    clock: WallClock,
+    /// Messages sent but not yet merged at their receiver. Incremented
+    /// *before* the channel send, decremented *after* the merge — zero
+    /// therefore proves the network is silent.
+    in_flight: AtomicU64,
+    /// Transactions executed so far, across all nodes.
+    executed: AtomicU64,
+    /// Phase 1 of shutdown: set once every submission has executed, the
+    /// network is silent and the convergence rule holds. Nodes stop
+    /// initiating work (submissions, gossip rounds) once they see it.
+    stop: AtomicBool,
+    /// Nodes that have acknowledged `stop` (and thus will never send
+    /// again).
+    acked: AtomicU64,
+    /// Phase 2: set once every node acked and the network is silent.
+    /// Nodes drain a final time and exit.
+    done: AtomicBool,
+    /// Per-node Lamport clock values, published after every execute and
+    /// absorb — their minimum is the monitor watermark.
+    clocks: Vec<AtomicU64>,
+    /// Per-node merge-log lengths, published likewise — the gossip
+    /// convergence rule reads them.
+    log_lens: Vec<AtomicU64>,
+}
+
+/// One update message in flight between node threads.
+struct Msg<A: Application> {
+    from: NodeId,
+    sent_at: SimTime,
+    entries: Entries<A>,
+}
+
+/// The live [`Transport`]: sends go straight onto the receiver's
+/// channel, stamped with the sender's event tick.
+struct ChannelTransport<'s, A: Application> {
+    peers: &'s [Sender<Msg<A>>],
+    shared: &'s Shared,
+    rng: StdRng,
+    messages_sent: u64,
+    entries_shipped: u64,
+}
+
+impl<A: Application> Transport<A> for ChannelTransport<'_, A> {
+    fn nodes(&self) -> u16 {
+        self.peers.len() as u16
+    }
+
+    fn connected(&self, _now: SimTime, _a: NodeId, _b: NodeId) -> bool {
+        true
+    }
+
+    fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    fn send(&mut self, now: SimTime, from: NodeId, to: NodeId, entries: Entries<A>) {
+        self.messages_sent += 1;
+        self.entries_shipped += entries.len() as u64;
+        self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        self.peers[to.0 as usize]
+            .send(Msg {
+                from,
+                sent_at: now,
+                entries,
+            })
+            .expect("receivers outlive every send (three-phase shutdown)");
+    }
+}
+
+/// What one node thread hands back at join time (alongside its
+/// [`Node`], whose log yields the final state and merge metrics).
+struct NodeOutcome<A: Application> {
+    txns: Vec<ExecutedTxn<A>>,
+    externals: Vec<(SimTime, NodeId, ExternalAction)>,
+    execs: Vec<(SimTime, NodeId)>,
+    msgs: Vec<MsgRecord>,
+    ticks: Vec<(SimTime, NodeId)>,
+    messages_sent: u64,
+    entries_shipped: u64,
+    rounds: u64,
+}
+
+/// A monitor row: `(timestamp, execution tick, known-set snapshot)`.
+/// The snapshot is O(1) to take and share ([`shard_sim::KnownSet`]).
+type MonRow = (Timestamp, SimTime, shard_sim::KnownSet);
+
+/// The state one node thread owns; split out so the channel-drain path
+/// is a single method used from every point in the loop.
+struct NodeWorker<'s, A: Application, P> {
+    app: &'s A,
+    node: Node<A>,
+    strategy: P,
+    shared: &'s Shared,
+    transport: ChannelTransport<'s, A>,
+    rx: Receiver<Msg<A>>,
+    mon_tx: Option<Sender<MonRow>>,
+    sink: Option<&'s EventSink>,
+    metrics: &'s RuntimeMetrics,
+    out: NodeOutcome<A>,
+}
+
+impl<A: Application, P: Propagation<A>> NodeWorker<'_, A, P> {
+    fn publish(&self) {
+        let id = self.node.id.0 as usize;
+        self.shared.clocks[id].store(self.node.clock.current(), Ordering::SeqCst);
+        self.shared.log_lens[id].store(self.node.log.len() as u64, Ordering::SeqCst);
+    }
+
+    /// Merges one delivered batch at a fresh tick and records it.
+    fn deliver(&mut self, msg: Msg<A>) {
+        let now = self.shared.clock.tick();
+        if let Some(s) = self.sink {
+            s.event("deliver")
+                .u64("t", now)
+                .u64("node", u64::from(self.node.id.0))
+                .u64("from", u64::from(msg.from.0))
+                .u64("entries", msg.entries.len() as u64)
+                .emit();
+        }
+        let sink = self.sink;
+        let id = self.node.id;
+        self.node.absorb(self.app, &msg.entries, |outcome| {
+            if let Some(s) = sink {
+                emit_merge_outcome(s, outcome, now, id);
+            }
+        });
+        self.out.msgs.push(MsgRecord {
+            sent_at: msg.sent_at,
+            from: msg.from,
+            to: id,
+            merged_at: now,
+        });
+        self.publish();
+        self.shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Drains everything currently queued; returns how many merged.
+    fn drain(&mut self) -> usize {
+        let mut n = 0;
+        loop {
+            match self.rx.try_recv() {
+                Ok(m) => {
+                    self.deliver(m);
+                    n += 1;
+                }
+                Err(TryRecvError::Empty | TryRecvError::Disconnected) => return n,
+            }
+        }
+    }
+
+    /// Executes one due submission at a fresh tick.
+    fn execute(&mut self, at_us: u64, decision: A::Decision) {
+        let now = self.shared.clock.tick();
+        if let Some(s) = self.sink {
+            s.event("execute")
+                .u64("t", now)
+                .u64("node", u64::from(self.node.id.0))
+                .emit();
+        }
+        let (txn, update) = self.node.execute(self.app, decision, now);
+        self.metrics
+            .latency_us
+            .record(self.shared.clock.elapsed_us().saturating_sub(at_us));
+        for a in &txn.external_actions {
+            self.out.externals.push((now, self.node.id, a.clone()));
+        }
+        self.strategy.on_execute(
+            self.app,
+            &mut self.transport,
+            &self.node,
+            now,
+            txn.ts,
+            &update,
+        );
+        self.out.execs.push((now, self.node.id));
+        if let Some(tx) = &self.mon_tx {
+            let _ = tx.send((txn.ts, txn.time, txn.known.clone()));
+        }
+        self.out.txns.push(txn);
+        self.publish();
+        self.shared.executed.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Initiates one gossip round at a fresh tick.
+    fn round(&mut self) {
+        let now = self.shared.clock.tick();
+        let before = self.transport.messages_sent;
+        self.strategy
+            .on_tick(self.app, &mut self.transport, &self.node, now);
+        if self.transport.messages_sent > before {
+            self.out.rounds += 1;
+        }
+        self.out.ticks.push((now, self.node.id));
+    }
+
+    /// The thread body: see the module diagram.
+    fn run(
+        mut self,
+        subs: Vec<(u64, A::Decision)>,
+        tick_every_us: Option<SimTime>,
+    ) -> (Node<A>, NodeOutcome<A>) {
+        let mut next_sub = 0usize;
+        let mut next_round_us = tick_every_us.unwrap_or(0);
+        let mut acked = false;
+        loop {
+            let mut did = self.drain();
+            if !self.shared.stop.load(Ordering::SeqCst) {
+                let mut burst = 0;
+                while next_sub < subs.len()
+                    && burst < EXEC_BATCH
+                    && subs[next_sub].0 <= self.shared.clock.elapsed_us()
+                {
+                    let (at_us, decision) = subs[next_sub].clone();
+                    next_sub += 1;
+                    burst += 1;
+                    self.execute(at_us, decision);
+                }
+                did += burst;
+                if let Some(every) = tick_every_us {
+                    // Backpressure: rounds fired into an unmerged
+                    // backlog only deepen it, so a saturated network
+                    // would never converge. Skipped rounds are never
+                    // recorded, so replay is unaffected.
+                    let backlog = self.shared.in_flight.load(Ordering::SeqCst);
+                    if self.shared.clock.elapsed_us() >= next_round_us
+                        && backlog < 2 * self.transport.peers.len() as u64
+                    {
+                        self.round();
+                        next_round_us = self.shared.clock.elapsed_us() + every;
+                        did += 1;
+                    }
+                }
+            } else if !acked {
+                acked = true;
+                self.shared.acked.fetch_add(1, Ordering::SeqCst);
+            }
+            if self.shared.done.load(Ordering::SeqCst) {
+                self.drain();
+                break;
+            }
+            if did == 0 {
+                // Sleep until the next client or gossip deadline —
+                // or the instant a message arrives.
+                let mut wait = IDLE_PARK;
+                let elapsed = self.shared.clock.elapsed_us();
+                if next_sub < subs.len() {
+                    let due = subs[next_sub].0.saturating_sub(elapsed).max(1);
+                    wait = wait.min(Duration::from_micros(due));
+                }
+                if tick_every_us.is_some() {
+                    let due = next_round_us.saturating_sub(elapsed).max(1);
+                    wait = wait.min(Duration::from_micros(due));
+                }
+                if let Ok(m) = self.rx.recv_timeout(wait) {
+                    self.deliver(m);
+                }
+            }
+        }
+        self.publish();
+        self.out.messages_sent = self.transport.messages_sent;
+        self.out.entries_shipped = self.transport.entries_shipped;
+        (self.node, self.out)
+    }
+}
+
+/// Mirror of the kernel's merge-outcome trace vocabulary.
+fn emit_merge_outcome(
+    sink: &EventSink,
+    outcome: shard_sim::MergeOutcome,
+    now: SimTime,
+    node: NodeId,
+) {
+    match outcome {
+        shard_sim::MergeOutcome::Duplicate => {
+            sink.event("merge.duplicate")
+                .u64("t", now)
+                .u64("node", u64::from(node.0))
+                .emit();
+        }
+        shard_sim::MergeOutcome::OutOfOrder { replayed } => {
+            sink.event("merge.out_of_order")
+                .u64("t", now)
+                .u64("node", u64::from(node.0))
+                .u64("replayed", replayed)
+                .emit();
+        }
+        shard_sim::MergeOutcome::Appended => {
+            sink.event("merge.append")
+                .u64("t", now)
+                .u64("node", u64::from(node.0))
+                .emit();
+        }
+    }
+}
+
+/// The monitor thread: reads the Lamport watermark *before* draining
+/// the row channel, so every row with `ts.counter ≤ watermark` is
+/// already in the channel when the watermark is read (nodes publish
+/// their clock only after sending the row) — sealing is sound.
+fn monitor_loop(
+    cfg: MonitorConfig,
+    rx: Receiver<MonRow>,
+    shared: &Shared,
+    sink: Option<&EventSink>,
+) -> StreamReport {
+    let mut lm = LiveMonitor::new(cfg);
+    loop {
+        let watermark = shared
+            .clocks
+            .iter()
+            .map(|c| c.load(Ordering::SeqCst))
+            .min()
+            .unwrap_or(0);
+        let mut got = false;
+        loop {
+            match rx.try_recv() {
+                Ok((ts, time, known)) => {
+                    lm.ingest(ts, time, known);
+                    got = true;
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    // Every node thread exited: all rows are in. Drain
+                    // the stalled tail and report.
+                    lm.flush(sink);
+                    if let Some(s) = sink {
+                        let r = lm.report();
+                        s.event("monitor.final")
+                            .u64("rows", r.rows as u64)
+                            .bool("transitive", r.transitive)
+                            .u64("max_missed", r.max_missed as u64)
+                            .u64("delay_bound", r.min_delay_bound)
+                            .emit();
+                    }
+                    return lm.report();
+                }
+            }
+        }
+        lm.advance(watermark, sink);
+        if !got {
+            thread::park_timeout(IDLE_PARK);
+        }
+    }
+}
+
+/// Runs `submissions` live on `cfg.nodes` threads under `strategy`.
+///
+/// The strategy must behave like the shipped ones: deterministic given
+/// the local replica (no RNG draws) and sending to peers in increasing
+/// node order within one event — that is what makes the recorded
+/// schedule replayable. [`run_eager`], [`run_gossip`] and
+/// [`run_partial`] construct conforming strategies.
+///
+/// Tick-driven strategies (gossip) use their [`Propagation::
+/// tick_interval`] as a cadence in *microseconds*, and the run ends
+/// only once every node's log holds every update (full replication);
+/// reactive strategies end when the network drains.
+///
+/// # Panics
+///
+/// Panics if a submission names a node outside the cluster.
+pub fn run_live<A, P>(
+    app: &A,
+    cfg: &RuntimeConfig,
+    strategy: P,
+    submissions: Vec<Submission<A::Decision>>,
+) -> LiveRun<A>
+where
+    A: Application + Sync,
+    A::State: Send,
+    A::Update: Send + Sync,
+    A::Decision: Send,
+    P: Propagation<A> + Clone + Send,
+{
+    assert!(cfg.nodes > 0, "a live cluster needs at least one node");
+    assert!(
+        submissions.iter().all(|s| s.node.0 < cfg.nodes),
+        "submission names a node outside the cluster"
+    );
+    let n = cfg.nodes as usize;
+    let total = submissions.len() as u64;
+    let tick_every_us = strategy.tick_interval();
+    let metrics = RuntimeMetrics::for_mode(strategy.label());
+
+    // Per-node FIFO workloads, preserving submission order.
+    let mut per_node: Vec<Vec<(u64, A::Decision)>> = (0..n).map(|_| Vec::new()).collect();
+    for s in submissions {
+        per_node[s.node.0 as usize].push((s.at_us, s.decision));
+    }
+
+    let shared = Shared {
+        clock: WallClock::new(),
+        in_flight: AtomicU64::new(0),
+        executed: AtomicU64::new(0),
+        stop: AtomicBool::new(false),
+        acked: AtomicU64::new(0),
+        done: AtomicBool::new(false),
+        clocks: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        log_lens: (0..n).map(|_| AtomicU64::new(0)).collect(),
+    };
+
+    let (senders, receivers): (Vec<_>, Vec<_>) = (0..n).map(|_| mpsc::channel::<Msg<A>>()).unzip();
+    let mon_cfg = sanitize_monitor(&cfg.monitor);
+    let (mon_tx, mon_rx) = mpsc::channel::<MonRow>();
+    let mon_tx = mon_cfg.as_ref().map(|_| mon_tx);
+
+    let mut outcomes: Vec<Option<(Node<A>, NodeOutcome<A>)>> = (0..n).map(|_| None).collect();
+    let mut monitor_report: Option<StreamReport> = None;
+
+    thread::scope(|scope| {
+        let shared = &shared;
+        let senders = &senders;
+        let metrics = &metrics;
+        let mut handles = Vec::with_capacity(n);
+        for (id, (rx, subs)) in receivers.into_iter().zip(per_node).enumerate() {
+            let id = NodeId(id as u16);
+            let worker = NodeWorker {
+                app,
+                node: Node::new(app, id, cfg.checkpoint_every),
+                strategy: strategy.clone(),
+                shared,
+                transport: ChannelTransport {
+                    peers: senders,
+                    shared,
+                    rng: StdRng::seed_from_u64(cfg.seed ^ u64::from(id.0)),
+                    messages_sent: 0,
+                    entries_shipped: 0,
+                },
+                rx,
+                mon_tx: mon_tx.clone(),
+                sink: cfg.sink.as_deref(),
+                metrics,
+                out: NodeOutcome {
+                    txns: Vec::new(),
+                    externals: Vec::new(),
+                    execs: Vec::new(),
+                    msgs: Vec::new(),
+                    ticks: Vec::new(),
+                    messages_sent: 0,
+                    entries_shipped: 0,
+                    rounds: 0,
+                },
+            };
+            handles.push(scope.spawn(move || worker.run(subs, tick_every_us)));
+        }
+        // The workers hold clones; drop ours so the monitor sees a
+        // disconnect once every node thread exits.
+        drop(mon_tx);
+        let mon_handle = mon_cfg.map(|mc| {
+            let sink = cfg.sink.clone();
+            scope.spawn(move || monitor_loop(mc, mon_rx, shared, sink.as_deref()))
+        });
+
+        // Coordinator (this thread): three-phase shutdown. Reactive
+        // strategies quiesce when everything executed and the network
+        // is silent. Tick-driven strategies never go silent on their
+        // own (rounds fire until told to stop), so their phase-1 rule
+        // is convergence: every log holds every update. Either way no
+        // new *information* moves after `stop` — at most already-known
+        // entries are re-delivered, and those are recorded and
+        // replayed like any other message.
+        loop {
+            let depth = shared.in_flight.load(Ordering::SeqCst);
+            metrics.queue_depth.record(depth);
+            let all_executed = shared.executed.load(Ordering::SeqCst) == total;
+            let quiesced = if tick_every_us.is_some() {
+                all_executed
+                    && shared
+                        .log_lens
+                        .iter()
+                        .all(|l| l.load(Ordering::SeqCst) == total)
+            } else {
+                all_executed && depth == 0
+            };
+            if quiesced {
+                break;
+            }
+            // `SHARD_RUNTIME_DEBUG=1` prints coordinator progress about
+            // once a second — the first thing to reach for if a live
+            // run fails to quiesce.
+            if std::env::var_os("SHARD_RUNTIME_DEBUG").is_some()
+                && shared.clock.elapsed_us() % 1_000_000 < 300
+            {
+                eprintln!(
+                    "[shard-runtime] t={}us executed={}/{} in_flight={} log_lens={:?}",
+                    shared.clock.elapsed_us(),
+                    shared.executed.load(Ordering::SeqCst),
+                    total,
+                    depth,
+                    shared
+                        .log_lens
+                        .iter()
+                        .map(|l| l.load(Ordering::SeqCst))
+                        .collect::<Vec<_>>()
+                );
+            }
+            thread::park_timeout(Duration::from_micros(500));
+        }
+        shared.stop.store(true, Ordering::SeqCst);
+        while shared.acked.load(Ordering::SeqCst) < n as u64
+            || shared.in_flight.load(Ordering::SeqCst) != 0
+        {
+            thread::park_timeout(Duration::from_micros(200));
+        }
+        shared.done.store(true, Ordering::SeqCst);
+
+        for (i, h) in handles.into_iter().enumerate() {
+            outcomes[i] = Some(h.join().expect("node thread panicked"));
+        }
+        monitor_report = mon_handle.map(|h| h.join().expect("monitor thread panicked"));
+    });
+
+    let wall_us = shared.clock.elapsed_us();
+    assemble(cfg, outcomes, monitor_report, wall_us)
+}
+
+/// Folds the per-node outcomes into a kernel-shaped [`RunReport`] plus
+/// the recorded schedule.
+fn assemble<A: Application>(
+    cfg: &RuntimeConfig,
+    outcomes: Vec<Option<(Node<A>, NodeOutcome<A>)>>,
+    monitor: Option<StreamReport>,
+    wall_us: u64,
+) -> LiveRun<A> {
+    let mut transactions = Vec::new();
+    let mut external_actions = Vec::new();
+    let mut node_metrics = Vec::new();
+    let mut final_states = Vec::new();
+    let mut schedule = RecordedSchedule::default();
+    let (mut messages_sent, mut entries_shipped, mut rounds) = (0u64, 0u64, 0u64);
+    for o in outcomes {
+        let (node, o) = o.expect("every node joined");
+        transactions.extend(o.txns);
+        external_actions.extend(o.externals);
+        schedule.execs.extend(o.execs);
+        schedule.msgs.extend(o.msgs);
+        schedule.ticks.extend(o.ticks);
+        messages_sent += o.messages_sent;
+        entries_shipped += o.entries_shipped;
+        rounds += o.rounds;
+        node_metrics.push(node.log.metrics());
+        final_states.push(node.log.into_state());
+    }
+    // The kernel reports in serial (timestamp) order and real-time
+    // event order respectively; ticks are unique, so sorting is total.
+    transactions.sort_by_key(|t| t.ts);
+    external_actions.sort_by_key(|(t, _, _)| *t);
+    schedule.execs.sort_unstable_by_key(|(t, _)| *t);
+    schedule.ticks.sort_unstable_by_key(|(t, _)| *t);
+    schedule.msgs.sort_unstable_by_key(|m| (m.sent_at, m.to.0));
+    if let Some(sink) = cfg.sink.as_deref() {
+        sink.event("span")
+            .str("name", "runtime.live.run")
+            .u64("ns", wall_us.saturating_mul(1_000))
+            .emit();
+        sink.flush();
+    }
+    LiveRun {
+        report: RunReport {
+            transactions,
+            node_metrics,
+            external_actions,
+            final_states,
+            barrier_latencies: Vec::new(),
+            rejected: Vec::new(),
+            messages_sent,
+            entries_shipped,
+            rounds,
+            faults: FaultStats::default(),
+            monitor,
+            aborted: false,
+        },
+        schedule,
+        wall_us,
+    }
+}
+
+/// Live eager broadcast (`Runner::eager`'s strategy on threads): every
+/// execution floods its update — or, with `piggyback`, the whole log —
+/// to every peer.
+pub fn run_eager<A>(
+    app: &A,
+    cfg: &RuntimeConfig,
+    piggyback: bool,
+    submissions: Vec<Submission<A::Decision>>,
+) -> LiveRun<A>
+where
+    A: Application + Sync,
+    A::State: Send,
+    A::Update: Send + Sync,
+    A::Decision: Send,
+{
+    run_live(app, cfg, EagerBroadcast { piggyback }, submissions)
+}
+
+/// Live delta anti-entropy gossip: each node pushes to **every** peer,
+/// each `interval_us` microseconds, the entries it merged since its own
+/// last round ([`shard_sim::GossipDelta`]). Full fanout and the absence
+/// of partner sampling are what make live rounds deterministic and
+/// hence replayable; shipping deltas instead of whole logs is what
+/// keeps sustained 10⁵-transaction runs linear.
+pub fn run_gossip<A>(
+    app: &A,
+    cfg: &RuntimeConfig,
+    interval_us: u64,
+    submissions: Vec<Submission<A::Decision>>,
+) -> LiveRun<A>
+where
+    A: Application + Sync,
+    A::State: Send,
+    A::Update: Send + Sync,
+    A::Decision: Send,
+{
+    assert!(interval_us > 0, "gossip needs a positive interval");
+    run_live(app, cfg, GossipDelta::new(interval_us), submissions)
+}
+
+/// Live partial replication: updates go only to holders of the objects
+/// they touch. Submissions must target nodes holding the objects their
+/// decision part reads (see [`crate::load::banking_submissions`]).
+pub fn run_partial<A>(
+    app: &A,
+    cfg: &RuntimeConfig,
+    placement: Placement,
+    submissions: Vec<Submission<A::Decision>>,
+) -> LiveRun<A>
+where
+    A: Application + shard_core::ObjectModel + Sync,
+    A::State: Send,
+    A::Update: Send + Sync,
+    A::Decision: Send,
+{
+    run_live(app, cfg, PartialPlacement::new(placement), submissions)
+}

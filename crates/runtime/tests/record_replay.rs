@@ -1,0 +1,249 @@
+//! Record–replay fidelity as a property: a threaded live run and the
+//! deterministic kernel replay of its recorded schedule must agree on
+//! **everything observable** — every transaction's timestamp, wall
+//! tick, origin, update, and full decision-time known set; every
+//! node's final state; and the cross-field report digest. Exercised
+//! over all five paper applications (airline, banking, warehouse
+//! inventory, dictionary, name server) and all three propagation modes
+//! (eager broadcast, delta gossip, partial replication).
+//!
+//! Live runs are genuinely concurrent — OS threads, mpsc channels,
+//! wall-clock pacing — so each case explores whatever interleaving the
+//! scheduler happens to produce; the property is that the recorded
+//! schedule pins that interleaving exactly.
+
+use proptest::prelude::*;
+use shard_apps::airline::{AirlineTxn, FlyByNight};
+use shard_apps::banking::{AccountId, Bank, BankTxn};
+use shard_apps::dictionary::{DictTxn, Dictionary};
+use shard_apps::inventory::{InvTxn, ItemId, Order, OrderId, Warehouse};
+use shard_apps::nameserver::{GroupId, Name, NameServer, NsTxn};
+use shard_apps::Person;
+use shard_core::Application;
+use shard_runtime::{
+    replay_eager, replay_gossip, replay_partial, report_digest, run_eager, run_gossip, run_partial,
+    LiveRun, RuntimeConfig, Submission,
+};
+use shard_sim::partial::Placement;
+use shard_sim::{KnownSet, NodeId, RunReport, Timestamp};
+
+const NODES: u16 = 3;
+
+/// Everything a transaction exposes: serial position, wall tick,
+/// origin, chosen update, and the *full* known set (not a length or a
+/// hash — the point of the property).
+type Fingerprint<A> = (Timestamp, u64, NodeId, <A as Application>::Update, KnownSet);
+
+fn fingerprints<A: Application>(report: &RunReport<A>) -> Vec<Fingerprint<A>> {
+    report
+        .transactions
+        .iter()
+        .map(|t| (t.ts, t.time, t.node, t.update.clone(), t.known.clone()))
+        .collect()
+}
+
+fn assert_replay_matches<A>(live: &LiveRun<A>, replayed: &RunReport<A>)
+where
+    A: Application,
+    A::State: PartialEq + std::fmt::Debug,
+{
+    assert_eq!(
+        fingerprints(&live.report),
+        fingerprints(replayed),
+        "per-transaction record–replay divergence"
+    );
+    assert_eq!(
+        live.report.final_states, replayed.final_states,
+        "final-state record–replay divergence"
+    );
+    assert_eq!(
+        report_digest(&live.report),
+        report_digest(replayed),
+        "digest divergence despite field equality"
+    );
+}
+
+fn config(seed: u64) -> RuntimeConfig {
+    RuntimeConfig {
+        nodes: NODES,
+        seed,
+        checkpoint_every: 8,
+        monitor: None,
+        sink: None,
+    }
+}
+
+/// Builds submissions from `(decision, gap_us, node)` triples: each
+/// transaction is due `gap_us` after the previous one (gap 0 makes
+/// bursts), at node `node % NODES`.
+fn submissions<D>(raw: Vec<(D, u64, u16)>) -> Vec<Submission<D>> {
+    let mut at = 0u64;
+    raw.into_iter()
+        .map(|(decision, gap, node)| {
+            at += gap;
+            Submission {
+                at_us: at,
+                node: NodeId(node % NODES),
+                decision,
+            }
+        })
+        .collect()
+}
+
+/// Runs live + replay in all-peer eager mode and in delta gossip, and
+/// checks both replays reproduce their recordings exactly.
+fn roundtrip_eager_and_gossip<A>(app: &A, seed: u64, subs: Vec<Submission<A::Decision>>)
+where
+    A: Application + Sync,
+    A::State: Send + PartialEq + std::fmt::Debug,
+    A::Update: Send + Sync,
+    A::Decision: Send,
+{
+    let cfg = config(seed);
+    let live = run_eager(app, &cfg, false, subs.clone());
+    let replayed = replay_eager(app, &cfg, false, &subs, &live.schedule);
+    assert_replay_matches(&live, &replayed);
+
+    let live = run_gossip(app, &cfg, 300, subs.clone());
+    let replayed = replay_gossip(app, &cfg, &subs, &live.schedule);
+    assert_replay_matches(&live, &replayed);
+}
+
+fn airline_txn() -> impl Strategy<Value = AirlineTxn> {
+    prop_oneof![
+        (1u32..8).prop_map(|p| AirlineTxn::Request(Person(p))),
+        (1u32..8).prop_map(|p| AirlineTxn::Cancel(Person(p))),
+        Just(AirlineTxn::MoveUp),
+        Just(AirlineTxn::MoveDown),
+    ]
+}
+
+fn bank_txn() -> impl Strategy<Value = BankTxn> {
+    prop_oneof![
+        (1u32..=3, 1u32..40).prop_map(|(a, x)| BankTxn::Deposit(AccountId(a), x)),
+        (1u32..=3, 1u32..40).prop_map(|(a, x)| BankTxn::Withdraw(AccountId(a), x)),
+        (1u32..=3, 1u32..=3, 1u32..40).prop_map(|(a, b, x)| BankTxn::Transfer(
+            AccountId(a),
+            AccountId(b),
+            x
+        )),
+        (1u32..=3).prop_map(|a| BankTxn::Reconcile(AccountId(a))),
+        Just(BankTxn::Audit),
+    ]
+}
+
+fn inventory_txn() -> impl Strategy<Value = InvTxn> {
+    prop_oneof![
+        (0u32..3, 0u32..12, 1u64..8).prop_map(|(i, id, qty)| InvTxn::PlaceOrder {
+            item: ItemId(i),
+            order: Order {
+                id: OrderId(id),
+                qty,
+            },
+        }),
+        (0u32..3, 0u32..12).prop_map(|(i, id)| InvTxn::CancelOrder {
+            item: ItemId(i),
+            id: OrderId(id),
+        }),
+        (0u32..3).prop_map(|i| InvTxn::Promote { item: ItemId(i) }),
+        (0u32..3, 1u64..10).prop_map(|(i, qty)| InvTxn::Restock {
+            item: ItemId(i),
+            qty
+        }),
+    ]
+}
+
+fn dict_txn() -> impl Strategy<Value = DictTxn> {
+    prop_oneof![
+        (0u32..6, 0u64..100).prop_map(|(k, v)| DictTxn::Insert(k, v)),
+        (0u32..6).prop_map(DictTxn::Delete),
+        (0u32..6).prop_map(DictTxn::Lookup),
+    ]
+}
+
+fn ns_txn() -> impl Strategy<Value = NsTxn> {
+    prop_oneof![
+        (0u32..5, 1u64..50).prop_map(|(n, a)| NsTxn::Register(Name(n), a)),
+        (0u32..5).prop_map(|n| NsTxn::Deregister(Name(n))),
+        (0u32..2, 0u32..5).prop_map(|(g, n)| NsTxn::AddMember(GroupId(g), Name(n))),
+        (0u32..2, 0u32..5).prop_map(|(g, n)| NsTxn::RemoveMember(GroupId(g), Name(n))),
+        (0u32..2).prop_map(|g| NsTxn::Scavenge(GroupId(g))),
+        (0u32..5).prop_map(|n| NsTxn::Lookup(Name(n))),
+    ]
+}
+
+/// `(decision, gap_us, node)` triples; zero gaps force same-instant
+/// bursts, the interleaving-heavy case.
+fn workload<D: std::fmt::Debug>(
+    txn: impl Strategy<Value = D>,
+) -> impl Strategy<Value = Vec<(D, u64, u16)>> {
+    proptest::collection::vec((txn, 0u64..400, 0u16..NODES), 0..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Airline seat assignment, eager + gossip.
+    #[test]
+    fn airline_record_replay(raw in workload(airline_txn()), seed in 0u64..1000) {
+        let app = FlyByNight::new(4);
+        roundtrip_eager_and_gossip(&app, seed, submissions(raw));
+    }
+
+    /// Banking, eager + gossip — `Audit` covers empty write sets.
+    #[test]
+    fn banking_record_replay(raw in workload(bank_txn()), seed in 0u64..1000) {
+        let app = Bank::new(3, 50);
+        roundtrip_eager_and_gossip(&app, seed, submissions(raw));
+    }
+
+    /// Warehouse inventory, eager + gossip.
+    #[test]
+    fn inventory_record_replay(mut raw in workload(inventory_txn()), seed in 0u64..1000) {
+        let app = Warehouse::new(3, 40, 2, 1);
+        // Order ids are globally unique by client discipline.
+        for (k, (txn, _, _)) in raw.iter_mut().enumerate() {
+            if let InvTxn::PlaceOrder { order, .. } = txn {
+                order.id = OrderId(k as u32 + 100);
+            }
+        }
+        roundtrip_eager_and_gossip(&app, seed, submissions(raw));
+    }
+
+    /// Last-writer-wins dictionary, eager + gossip.
+    #[test]
+    fn dictionary_record_replay(raw in workload(dict_txn()), seed in 0u64..1000) {
+        roundtrip_eager_and_gossip(&Dictionary, seed, submissions(raw));
+    }
+
+    /// Grapevine-style name server, eager + gossip.
+    #[test]
+    fn nameserver_record_replay(raw in workload(ns_txn()), seed in 0u64..1000) {
+        let app = NameServer::new(2, 1);
+        roundtrip_eager_and_gossip(&app, seed, submissions(raw));
+    }
+
+    /// Partial replication over the object-model banking app: updates
+    /// route only to holders, and the replay must still agree in full.
+    #[test]
+    fn banking_partial_record_replay(raw in workload(bank_txn()), seed in 0u64..1000) {
+        use shard_core::ObjectModel;
+        let app = Bank::new(3, 50);
+        let placement = Placement::round_robin(NODES, &app.objects(), 2);
+        // Route each submission to a node that reads everything its
+        // decision needs (the admission rule `run_partial` enforces);
+        // drop the few (e.g. audits) no single node can admit.
+        let subs: Vec<Submission<BankTxn>> = submissions(raw)
+            .into_iter()
+            .filter_map(|mut s| {
+                let node = placement.any_holder_of_all(&app.decision_objects(&s.decision))?;
+                s.node = node;
+                Some(s)
+            })
+            .collect();
+        let cfg = config(seed);
+        let live = run_partial(&app, &cfg, placement.clone(), subs.clone());
+        let replayed = replay_partial(&app, &cfg, placement, &subs, &live.schedule);
+        assert_replay_matches(&live, &replayed);
+    }
+}

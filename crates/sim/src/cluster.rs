@@ -1,7 +1,7 @@
 //! The simulated SHARD cluster (§1.2, §3.3): eager broadcast.
 //!
-//! A [`Cluster`] runs a schedule of client [`Invocation`]s against `n`
-//! fully replicated nodes:
+//! [`Runner::eager`] runs a schedule of client [`Invocation`]s against
+//! `n` fully replicated nodes:
 //!
 //! 1. the origin node assigns a Lamport timestamp, runs the **decision
 //!    part once** against its local merged state, performs the external
@@ -20,15 +20,16 @@
 //! every message has drained, all node copies agree — the
 //! mutual-consistency guarantee of §1.2.
 //!
-//! Since the kernel refactor, `Cluster` is a thin facade: the event loop
-//! lives in [`crate::kernel`], and this module only contributes the
-//! [`EagerBroadcast`] propagation strategy (flood every update to every
-//! peer the moment it executes, optionally piggybacking the origin's
-//! whole log for transitivity).
+//! The event loop lives in [`crate::kernel`]; this module contributes
+//! the [`EagerBroadcast`] propagation strategy (flood every update to
+//! every peer the moment it executes, optionally piggybacking the
+//! origin's whole log for transitivity) and the deprecated `Cluster`
+//! facade, now a thin wrapper over [`Runner::eager`].
 
 use crate::clock::{NodeId, Timestamp};
 use crate::events::SimTime;
-use crate::kernel::{Entries, Network, Node, Propagation, RunReport, Runner};
+use crate::kernel::{Entries, Node, Propagation, RunReport, Runner};
+use crate::transport::Transport;
 use shard_core::Application;
 use std::sync::Arc;
 
@@ -55,18 +56,16 @@ impl<A: Application> Propagation<A> for EagerBroadcast {
     fn on_execute(
         &mut self,
         _app: &A,
-        net: &mut Network<'_, A>,
-        nodes: &[Node<A>],
+        net: &mut dyn Transport<A>,
+        node: &Node<A>,
         now: SimTime,
-        origin: NodeId,
         ts: Timestamp,
         update: &Arc<A::Update>,
     ) {
         // Piggybacked entries first, the fresh update last, so receivers
         // merge the origin's history before its newest timestamp.
         let mut batch: Vec<(Timestamp, Arc<A::Update>)> = if self.piggyback {
-            nodes[origin.0 as usize]
-                .log
+            node.log
                 .entries()
                 .iter()
                 .filter(|(t, _)| *t != ts)
@@ -77,13 +76,27 @@ impl<A: Application> Propagation<A> for EagerBroadcast {
         };
         batch.push((ts, Arc::clone(update)));
         let entries: Entries<A> = Arc::from(batch);
-        for peer in 0..net.nodes {
+        for peer in 0..net.nodes() {
             let to = NodeId(peer);
-            if to == origin {
+            if to == node.id {
                 continue;
             }
-            net.send(now, origin, to, Arc::clone(&entries));
+            net.send(now, node.id, to, Arc::clone(&entries));
         }
+    }
+}
+
+impl<'a, A: Application> Runner<'a, A, EagerBroadcast> {
+    /// An eager-broadcast (flooding) runner over `config.nodes` replicas
+    /// of `app` — the canonical entry point the old [`Cluster`] facade
+    /// wraps. Piggybacking follows `config.piggyback`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero nodes.
+    pub fn eager(app: &'a A, config: ClusterConfig) -> Self {
+        let piggyback = config.piggyback;
+        Runner::new(app, config, EagerBroadcast { piggyback })
     }
 }
 
@@ -94,22 +107,23 @@ impl<A: Application> Propagation<A> for EagerBroadcast {
 /// ```
 /// use shard_apps::airline::{AirlineTxn, FlyByNight};
 /// use shard_apps::Person;
-/// use shard_sim::{Cluster, ClusterConfig, Invocation, NodeId};
+/// use shard_sim::{ClusterConfig, Invocation, NodeId, Runner};
 ///
 /// let app = FlyByNight::new(3);
-/// let cluster = Cluster::new(&app, ClusterConfig::default());
-/// let report = cluster.run(vec![
+/// let report = Runner::eager(&app, ClusterConfig::default()).run(vec![
 ///     Invocation::new(0, NodeId(0), AirlineTxn::Request(Person(1))),
 ///     Invocation::new(9, NodeId(4), AirlineTxn::MoveUp),
 /// ]);
 /// assert!(report.mutually_consistent());
 /// report.timed_execution().execution.verify(&app).unwrap();
 /// ```
+#[deprecated(since = "0.1.0", note = "use `Runner::eager(app, config)` instead")]
 pub struct Cluster<'a, A: Application> {
     app: &'a A,
     config: ClusterConfig,
 }
 
+#[allow(deprecated)]
 impl<'a, A: Application> Cluster<'a, A> {
     /// Creates a cluster of `config.nodes` replicas of `app`.
     ///
@@ -143,14 +157,7 @@ impl<'a, A: Application> Cluster<'a, A> {
         invocations: Vec<Invocation<A::Decision>>,
         is_critical: impl Fn(&A::Decision) -> bool,
     ) -> ClusterReport<A> {
-        Runner::new(
-            self.app,
-            self.config.clone(),
-            EagerBroadcast {
-                piggyback: self.config.piggyback,
-            },
-        )
-        .run_with_critical(invocations, is_critical)
+        Runner::eager(self.app, self.config.clone()).run_with_critical(invocations, is_critical)
     }
 }
 
@@ -214,14 +221,14 @@ mod tests {
     #[test]
     fn single_node_behaves_serially() {
         let app = Counter;
-        let cluster = Cluster::new(
+        let runner = Runner::eager(
             &app,
             ClusterConfig {
                 nodes: 1,
                 ..Default::default()
             },
         );
-        let report = cluster.run(spread_invocations(10, 1, 5));
+        let report = runner.run(spread_invocations(10, 1, 5));
         assert_eq!(report.final_states[0], 3, "cap respected with full info");
         let te = report.timed_execution();
         te.execution.verify(&app).unwrap();
@@ -232,7 +239,7 @@ mod tests {
     #[test]
     fn replicas_converge_and_execution_verifies() {
         let app = Counter;
-        let cluster = Cluster::new(
+        let runner = Runner::eager(
             &app,
             ClusterConfig {
                 nodes: 4,
@@ -240,7 +247,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        let report = cluster.run(spread_invocations(40, 4, 3));
+        let report = runner.run(spread_invocations(40, 4, 3));
         assert!(report.mutually_consistent());
         let te = report.timed_execution();
         te.execution.verify(&app).unwrap();
@@ -255,7 +262,7 @@ mod tests {
         // seen anybody, so all increment — exactly the availability
         // penalty the paper studies.
         let app = Counter;
-        let cluster = Cluster::new(
+        let runner = Runner::eager(
             &app,
             ClusterConfig {
                 nodes: 5,
@@ -266,7 +273,7 @@ mod tests {
         let invs: Vec<_> = (0..10)
             .map(|i| Invocation::new(0, NodeId(i % 5), ()))
             .collect();
-        let report = cluster.run(invs);
+        let report = runner.run(invs);
         assert!(report.final_states[0] > 3);
         let te = report.timed_execution();
         te.execution.verify(&app).unwrap();
@@ -278,7 +285,7 @@ mod tests {
         let app = Counter;
         let partitions =
             PartitionSchedule::new(vec![PartitionWindow::isolate(0, 1000, vec![NodeId(0)])]);
-        let cluster = Cluster::new(
+        let runner = Runner::eager(
             &app,
             ClusterConfig {
                 nodes: 3,
@@ -289,7 +296,7 @@ mod tests {
             },
         );
         // Node 0 is isolated; its transactions see only themselves.
-        let report = cluster.run(spread_invocations(12, 3, 10));
+        let report = runner.run(spread_invocations(12, 3, 10));
         assert!(report.mutually_consistent(), "heals after the window");
         let te = report.timed_execution();
         te.execution.verify(&app).unwrap();
@@ -300,7 +307,7 @@ mod tests {
     fn piggybacking_yields_transitive_executions() {
         let app = Counter;
         for piggyback in [false, true] {
-            let cluster = Cluster::new(
+            let runner = Runner::eager(
                 &app,
                 ClusterConfig {
                     nodes: 4,
@@ -310,7 +317,7 @@ mod tests {
                     ..Default::default()
                 },
             );
-            let report = cluster.run(spread_invocations(60, 4, 2));
+            let report = runner.run(spread_invocations(60, 4, 2));
             let te = report.timed_execution();
             te.execution.verify(&app).unwrap();
             if piggyback {
@@ -324,7 +331,7 @@ mod tests {
         // Transactions initiated at one node always see each other —
         // the implementation of centralization suggested in §3.3.
         let app = Counter;
-        let cluster = Cluster::new(
+        let runner = Runner::eager(
             &app,
             ClusterConfig {
                 nodes: 3,
@@ -334,7 +341,7 @@ mod tests {
         );
         let mut invs = spread_invocations(30, 3, 4);
         // Mark: transactions at node 0.
-        let report = cluster.run(std::mem::take(&mut invs));
+        let report = runner.run(std::mem::take(&mut invs));
         let te = report.timed_execution();
         let node0_group: Vec<usize> = report
             .transactions
@@ -349,7 +356,7 @@ mod tests {
     #[test]
     fn out_of_order_arrivals_cause_replays() {
         let app = Counter;
-        let cluster = Cluster::new(
+        let runner = Runner::eager(
             &app,
             ClusterConfig {
                 nodes: 4,
@@ -358,7 +365,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        let report = cluster.run(spread_invocations(100, 4, 1));
+        let report = runner.run(spread_invocations(100, 4, 1));
         assert!(
             report.total_replayed() > 0,
             "high-variance delays reorder messages"
@@ -372,7 +379,7 @@ mod tests {
         let sink = shard_obs::EventSink::in_memory();
         let partitions =
             PartitionSchedule::new(vec![PartitionWindow::isolate(0, 300, vec![NodeId(0)])]);
-        let cluster = Cluster::new(
+        let runner = Runner::eager(
             &app,
             ClusterConfig {
                 nodes: 3,
@@ -383,7 +390,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        let report = cluster.run(spread_invocations(30, 3, 2));
+        let report = runner.run(spread_invocations(30, 3, 2));
         let summary = shard_obs::summarize(&sink.drain_to_string());
         assert_eq!(summary.malformed, 0, "every line is valid JSON");
         assert_eq!(summary.event_counts["execute"], 30);
@@ -413,7 +420,7 @@ mod tests {
     fn determinism_per_seed() {
         let app = Counter;
         let run = |seed| {
-            let cluster = Cluster::new(
+            let runner = Runner::eager(
                 &app,
                 ClusterConfig {
                     nodes: 3,
@@ -421,7 +428,7 @@ mod tests {
                     ..Default::default()
                 },
             );
-            cluster.run(spread_invocations(25, 3, 2)).final_states
+            runner.run(spread_invocations(25, 3, 2)).final_states
         };
         assert_eq!(run(9), run(9));
     }
@@ -429,12 +436,31 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one node")]
     fn zero_nodes_rejected() {
-        let _ = Cluster::new(
+        let _ = Runner::eager(
             &Counter,
             ClusterConfig {
                 nodes: 0,
                 ..Default::default()
             },
         );
+    }
+
+    /// The deprecated facade stays a bit-exact wrapper of
+    /// [`Runner::eager`] until it is removed.
+    #[test]
+    #[allow(deprecated)]
+    fn facade_matches_runner() {
+        let app = Counter;
+        let cfg = ClusterConfig {
+            nodes: 4,
+            seed: 23,
+            piggyback: true,
+            ..Default::default()
+        };
+        let via_facade = Cluster::new(&app, cfg.clone()).run(spread_invocations(20, 4, 3));
+        let via_runner = Runner::eager(&app, cfg).run(spread_invocations(20, 4, 3));
+        assert_eq!(via_facade.final_states, via_runner.final_states);
+        assert_eq!(via_facade.messages_sent, via_runner.messages_sent);
+        assert_eq!(via_facade.entries_shipped, via_runner.entries_shipped);
     }
 }

@@ -14,7 +14,8 @@
 //! strategies — [`Gossip`] (uniform random partners) and
 //! [`GossipPlacement`] (gossip × partial replication: rounds ship only
 //! the entries the partner's placement cares about) — plus the
-//! [`GossipCluster`] facade. The event loop, failure gating and traced
+//! [`Runner::gossip`] constructor (and the deprecated `GossipCluster`
+//! facade wrapping it). The event loop, failure gating and traced
 //! merging live in [`crate::kernel`], shared with every other strategy.
 //!
 //! Termination is deliberately omniscient about *convergence only*:
@@ -24,8 +25,9 @@
 
 use crate::clock::{NodeId, Timestamp};
 use crate::events::SimTime;
-use crate::kernel::{Entries, Network, Node, Propagation, RunReport, Runner};
+use crate::kernel::{Entries, Node, Propagation, RunReport, Runner};
 use crate::partial::Placement;
+use crate::transport::Transport;
 use rand::Rng;
 use shard_core::{Application, ObjectModel};
 use std::sync::Arc;
@@ -76,10 +78,11 @@ impl Gossip {
 
     /// Picks a uniform random partner other than `node` (the historical
     /// redraw-while-self scheme, preserving the seed's draw sequence).
-    fn partner<A: Application>(net: &mut Network<'_, A>, node: NodeId) -> NodeId {
-        let mut peer = NodeId(net.rng.random_range(0..net.nodes));
+    fn partner<A: Application>(net: &mut dyn Transport<A>, node: NodeId) -> NodeId {
+        let n = net.nodes();
+        let mut peer = NodeId(net.rng().random_range(0..n));
         while peer == node {
-            peer = NodeId(net.rng.random_range(0..net.nodes));
+            peer = NodeId(net.rng().random_range(0..n));
         }
         peer
     }
@@ -97,46 +100,150 @@ impl<A: Application> Propagation<A> for Gossip {
     fn on_execute(
         &mut self,
         _app: &A,
-        _net: &mut Network<'_, A>,
-        _nodes: &[Node<A>],
+        _net: &mut dyn Transport<A>,
+        _node: &Node<A>,
         _now: SimTime,
-        _origin: NodeId,
         _ts: Timestamp,
         _update: &Arc<A::Update>,
     ) {
     }
 
-    fn on_tick(
-        &mut self,
-        _app: &A,
-        net: &mut Network<'_, A>,
-        nodes: &[Node<A>],
-        now: SimTime,
-        node: NodeId,
-    ) {
-        if net.nodes <= 1 {
+    fn on_tick(&mut self, _app: &A, net: &mut dyn Transport<A>, node: &Node<A>, now: SimTime) {
+        let n = net.nodes();
+        if n <= 1 {
             return;
         }
-        let entries = Self::snapshot(&nodes[node.0 as usize]);
-        if u32::from(self.fanout) >= u32::from(net.nodes) - 1 {
+        let entries = Self::snapshot(node);
+        if u32::from(self.fanout) >= u32::from(n) - 1 {
             // Full fanout: push to every peer deterministically (no
             // randomness consumed), skipping partitioned ones.
-            for peer in 0..net.nodes {
+            for peer in 0..n {
                 let to = NodeId(peer);
-                if to == node {
+                if to == node.id {
                     continue;
                 }
-                if net.connected(now, node, to) {
-                    net.send(now, node, to, Arc::clone(&entries));
+                if net.connected(now, node.id, to) {
+                    net.send(now, node.id, to, Arc::clone(&entries));
                 }
             }
         } else {
             for _ in 0..self.fanout {
-                let peer = Self::partner(net, node);
+                let peer = Self::partner(net, node.id);
                 // Skip the round if the partition blocks it right now.
-                if net.connected(now, node, peer) {
-                    net.send(now, node, peer, Arc::clone(&entries));
+                if net.connected(now, node.id, peer) {
+                    net.send(now, node.id, peer, Arc::clone(&entries));
                 }
+            }
+        }
+    }
+
+    fn synced(&self, _app: &A, nodes: &[Node<A>], transactions: &[ExecutedTxn<A>]) -> bool {
+        nodes.iter().all(|n| n.log.len() == transactions.len())
+    }
+}
+
+/// Delta anti-entropy: every `interval` ticks each node pushes to
+/// **every** peer only the entries it merged since its *own* last round
+/// — a cursor into the merge log's arrival order
+/// ([`crate::MergeLog::arrivals`]), not a log scan. Rounds with nothing
+/// new send nothing.
+///
+/// Whole-log gossip ([`Gossip`]) re-ships the entire log every round:
+/// O(rounds · log) entries on the wire and through the receiving merge
+/// path, which turns quadratic the moment rounds overlap sustained
+/// load. Delta rounds ship each entry from each node at most once —
+/// O(entries · n²) total — which is what makes 10⁵-transaction live
+/// gossip runs feasible. Propagation is flooding: a node re-ships
+/// whatever it just *learned* (from anyone), so an update reaches
+/// everyone within two rounds of its first delivery.
+///
+/// Fanout is always full, and a cursor advances whether or not a given
+/// peer was reachable — an entry dropped by a partition is only
+/// re-delivered via third parties, so under adversarial partitions the
+/// omniscient [`Propagation::synced`] rule may never hold. Use
+/// [`Gossip`] for chaos schedules; `GossipDelta` is the live-runtime
+/// strategy (`shard-runtime --mode gossip`), where its determinism
+/// (no partner sampling, no randomness) makes record–replay exact.
+#[derive(Clone, Debug)]
+pub struct GossipDelta {
+    /// How often each node initiates a delta round.
+    pub interval: SimTime,
+    /// Per-node cursors into each node's [`crate::MergeLog::arrivals`]:
+    /// everything before the cursor has been offered to every peer. In
+    /// the kernel one strategy instance serves all nodes; in the live
+    /// runtime each node thread owns an instance and uses only its own
+    /// slot — the behavior per node is identical either way.
+    cursors: Vec<usize>,
+}
+
+impl GossipDelta {
+    /// A delta-gossip strategy pushing every `interval` ticks.
+    pub fn new(interval: SimTime) -> Self {
+        GossipDelta {
+            interval,
+            cursors: Vec::new(),
+        }
+    }
+}
+
+impl<A: Application> Propagation<A> for GossipDelta {
+    fn label(&self) -> &'static str {
+        "gossip_delta"
+    }
+
+    fn tick_interval(&self) -> Option<SimTime> {
+        Some(self.interval)
+    }
+
+    fn on_execute(
+        &mut self,
+        _app: &A,
+        _net: &mut dyn Transport<A>,
+        _node: &Node<A>,
+        _now: SimTime,
+        _ts: Timestamp,
+        _update: &Arc<A::Update>,
+    ) {
+        // A node's own update enters its log (and arrival order) at
+        // execute time; the next round ships it like any other delta.
+    }
+
+    fn on_tick(&mut self, _app: &A, net: &mut dyn Transport<A>, node: &Node<A>, now: SimTime) {
+        let n = net.nodes();
+        if n <= 1 {
+            return;
+        }
+        let idx = usize::from(node.id.0);
+        if self.cursors.len() <= idx {
+            self.cursors.resize(idx + 1, 0);
+        }
+        let arrivals = node.log.arrivals();
+        let cur = self.cursors[idx];
+        if cur == arrivals.len() {
+            return;
+        }
+        self.cursors[idx] = arrivals.len();
+        // Resolve the new arrivals to entries and ship them sorted —
+        // an ascending batch is the receiving merge path's fast case.
+        let log = node.log.entries();
+        let mut delta: Vec<(Timestamp, Arc<A::Update>)> = arrivals[cur..]
+            .iter()
+            .map(|ts| {
+                let i = log
+                    .binary_search_by_key(ts, |(t, _)| *t)
+                    .expect("every arrival is in the log");
+                (log[i].0, Arc::clone(&log[i].1))
+            })
+            .collect();
+        delta.sort_unstable_by_key(|(ts, _)| *ts);
+        let entries: Entries<A> = delta.into();
+        for peer in 0..n {
+            let to = NodeId(peer);
+            if to == node.id {
+                continue;
+            }
+            if net.connected(now, node.id, to) {
+                net.send(now, node.id, to, Arc::clone(&entries));
             }
         }
     }
@@ -194,34 +301,26 @@ impl<A: ObjectModel> Propagation<A> for GossipPlacement {
     fn on_execute(
         &mut self,
         _app: &A,
-        _net: &mut Network<'_, A>,
-        _nodes: &[Node<A>],
+        _net: &mut dyn Transport<A>,
+        _node: &Node<A>,
         _now: SimTime,
-        _origin: NodeId,
         _ts: Timestamp,
         _update: &Arc<A::Update>,
     ) {
     }
 
-    fn on_tick(
-        &mut self,
-        app: &A,
-        net: &mut Network<'_, A>,
-        nodes: &[Node<A>],
-        now: SimTime,
-        node: NodeId,
-    ) {
-        if net.nodes <= 1 {
+    fn on_tick(&mut self, app: &A, net: &mut dyn Transport<A>, node: &Node<A>, now: SimTime) {
+        if net.nodes() <= 1 {
             return;
         }
         for _ in 0..self.fanout {
-            let peer = Gossip::partner(net, node);
-            if !net.connected(now, node, peer) {
+            let peer = Gossip::partner(net, node.id);
+            if !net.connected(now, node.id, peer) {
                 continue;
             }
-            let entries = self.selection(app, &nodes[node.0 as usize], peer);
+            let entries = self.selection(app, node, peer);
             if !entries.is_empty() {
-                net.send(now, node, peer, entries);
+                net.send(now, node.id, peer, entries);
             }
         }
     }
@@ -241,19 +340,49 @@ impl<A: ObjectModel> Propagation<A> for GossipPlacement {
     }
 }
 
+impl<'a, A: Application> Runner<'a, A, Gossip> {
+    /// A single-partner anti-entropy runner — the canonical entry point
+    /// the old [`GossipCluster`] facade wraps. The `delay` and
+    /// `partitions` of `config` govern the gossip pushes; `piggyback` is
+    /// ignored (gossip *is* full piggybacking).
+    ///
+    /// The seed is perturbed (`seed ^ 0x60551b`) — a historical quirk
+    /// kept for per-seed reproducibility, so flood-vs-gossip comparisons
+    /// under one seed don't share delay streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero nodes or the gossip interval
+    /// is zero.
+    pub fn gossip(app: &'a A, mut config: ClusterConfig, gossip: GossipConfig) -> Self {
+        config.seed ^= 0x60551b;
+        Runner::new(
+            app,
+            config,
+            Gossip {
+                interval: gossip.interval,
+                fanout: 1,
+            },
+        )
+    }
+}
+
 /// A SHARD cluster whose updates spread by anti-entropy gossip instead
 /// of flooding (facade over the kernel with a single-partner [`Gossip`]
 /// strategy).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Runner::gossip(app, config, gossip)` instead"
+)]
 pub struct GossipCluster<'a, A: Application> {
     app: &'a A,
     config: ClusterConfig,
     gossip: GossipConfig,
 }
 
+#[allow(deprecated)]
 impl<'a, A: Application> GossipCluster<'a, A> {
-    /// Creates the cluster. The `delay` and `partitions` of `config`
-    /// govern the gossip pushes; `piggyback` is ignored (gossip *is*
-    /// full piggybacking).
+    /// Creates the cluster — see [`Runner::gossip`].
     ///
     /// # Panics
     ///
@@ -275,19 +404,6 @@ impl<'a, A: Application> GossipCluster<'a, A> {
     ///
     /// Panics if an invocation names a node outside the cluster.
     pub fn run(&self, invocations: Vec<Invocation<A::Decision>>) -> GossipReport<A> {
-        let mut cfg = self.config.clone();
-        // Historical quirk kept for per-seed reproducibility: gossip runs
-        // perturb the seed so flood-vs-gossip comparisons under one seed
-        // don't share delay streams.
-        cfg.seed ^= 0x60551b;
-        Runner::new(
-            self.app,
-            cfg,
-            Gossip {
-                interval: self.gossip.interval,
-                fanout: 1,
-            },
-        )
-        .run(invocations)
+        Runner::gossip(self.app, self.config.clone(), self.gossip).run(invocations)
     }
 }

@@ -19,9 +19,16 @@
 //!   ([`crate::broadcast::delivery_time`]);
 //! * a [`Propagation`] strategy deciding what to send on execution
 //!   ([`Propagation::on_execute`]) and on periodic anti-entropy ticks
-//!   ([`Propagation::on_tick`]), via the [`Network`] handle;
+//!   ([`Propagation::on_tick`]), via the [`Transport`] seam;
 //! * one [`RunReport`] defining `mutually_consistent`,
 //!   `timed_execution` and `total_replayed` for every strategy.
+//!
+//! Time and delivery are traits ([`crate::transport`]): the loop drives
+//! a [`VirtualClock`] and ships messages through [`QueueTransport`], the
+//! in-memory implementation of [`Transport`] (partition waits, sampled
+//! delays, nemesis fate rewriting). The `shard-runtime` crate reuses the
+//! same `Node`/[`Propagation`] logic over a wall clock and real
+//! channels, and replays its recorded schedules back through this loop.
 //!
 //! Strategies also share one structured-event vocabulary: `execute`,
 //! `deliver` (with `from` and `entries` fields), `reject`, and the
@@ -33,9 +40,11 @@ use crate::clock::{LamportClock, NodeId, Timestamp};
 use crate::crash::CrashSchedule;
 use crate::delay::DelayModel;
 use crate::events::{EventQueue, SimTime};
+use crate::known::KnownSet;
 use crate::merge::{MergeLog, MergeMetrics, MergeOutcome};
 use crate::nemesis::{Fate, MsgCtx, Nemesis};
 use crate::partition::PartitionSchedule;
+use crate::transport::{Clock, Transport, VirtualClock};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use shard_core::{Application, Execution, ExternalAction, TimedExecution, TxnRecord};
@@ -191,11 +200,13 @@ pub struct ExecutedTxn<A: Application> {
     pub update: A::Update,
     /// External actions performed at the origin.
     pub external_actions: Vec<ExternalAction>,
-    /// Timestamps of every update the origin knew at decision time.
-    /// Shared (`Arc`) because the live monitor buffers the same set the
-    /// report keeps; known sets total O(n²) entries, so a per-ingest
-    /// deep copy would dominate the monitor's cost.
-    pub known: Arc<Vec<Timestamp>>,
+    /// Timestamps of every update the origin knew at decision time —
+    /// an O(1) persistent snapshot of the merge log's known set
+    /// ([`crate::KnownSet`]), structurally shared with every other
+    /// snapshot of the same log. Materializing these per transaction
+    /// would cost O(n²) across a run; snapshotting costs a
+    /// reference-count bump.
+    pub known: KnownSet,
 }
 
 /// What a run's [`Nemesis`] did to the transport, counted by the kernel
@@ -296,7 +307,7 @@ impl<A: Application> RunReport<A> {
                 .known
                 .iter()
                 .map(|ts| {
-                    *index_of.get(ts).expect(
+                    *index_of.get(&ts).expect(
                         "simulator invariant: every timestamp a node knew at \
                          decision time belongs to an executed transaction",
                     )
@@ -361,6 +372,78 @@ pub struct Node<A: Application> {
     pub own_sent: u64,
 }
 
+impl<A: Application> Node<A> {
+    /// A fresh replica of `app` with identity `id`.
+    pub fn new(app: &A, id: NodeId, checkpoint_every: usize) -> Self {
+        Node {
+            id,
+            clock: LamportClock::new(id),
+            log: MergeLog::new(app, checkpoint_every),
+            own_sent: 0,
+        }
+    }
+
+    /// Executes one transaction at this replica at `now`: ticks the
+    /// Lamport clock, snapshots the known set, runs the decision part on
+    /// the local merged state, and merges the own update. Returns the
+    /// executed record plus the shared update for the propagation
+    /// strategy to ship. This is the *one* transaction-execution path —
+    /// the simulator kernel and the threaded `shard-runtime` both call
+    /// it, which is what makes live runs replayable against the sim.
+    pub fn execute(
+        &mut self,
+        app: &A,
+        decision: A::Decision,
+        now: SimTime,
+    ) -> (ExecutedTxn<A>, Arc<A::Update>) {
+        let ts = self.clock.tick();
+        self.own_sent += 1;
+        let known = self.log.known_set().clone();
+        let outcome = app.decide(&decision, self.log.state());
+        // One allocation shared by the local log and every peer message;
+        // fanning out costs reference counts, not update clones.
+        let update = Arc::new(outcome.update);
+        let fresh = self.log.merge(app, ts, Arc::clone(&update));
+        debug_assert!(fresh, "own timestamp must be new");
+        (
+            ExecutedTxn {
+                ts,
+                time: now,
+                node: self.id,
+                decision,
+                update: (*update).clone(),
+                external_actions: outcome.external_actions,
+                known,
+            },
+            update,
+        )
+    }
+
+    /// Absorbs one delivered batch: advances the Lamport clock past
+    /// every entry's timestamp, then merges the batch, reporting each
+    /// entry's [`MergeOutcome`] to `on_outcome`. The shared delivery
+    /// path of both the kernel and `shard-runtime`.
+    pub fn absorb(
+        &mut self,
+        app: &A,
+        entries: &Entries<A>,
+        mut on_outcome: impl FnMut(MergeOutcome),
+    ) {
+        for (ts, _) in entries.iter() {
+            self.clock.observe(*ts);
+        }
+        // One batch per delivery burst: in-order runs extend the log and
+        // its checkpoint chain without per-entry binary searches, while
+        // per-entry outcomes keep the trace bit-identical to
+        // entry-at-a-time merging.
+        self.log.merge_batch(
+            app,
+            entries.iter().map(|(ts, u)| (*ts, Arc::clone(u))),
+            |_, outcome| on_outcome(outcome),
+        );
+    }
+}
+
 /// Events of the unified loop. `Probe`/`Promise` implement the §3.3
 /// barrier protocol for critical transactions.
 enum Event<A: Application> {
@@ -401,8 +484,8 @@ struct PendingCritical<A: Application> {
     done: bool,
 }
 
-/// Run-wide transport tallies, bundled so [`Network`] construction
-/// sites thread one borrow instead of four.
+/// Run-wide transport tallies, bundled so [`QueueTransport`]
+/// construction sites thread one borrow instead of four.
 #[derive(Default)]
 struct WireStats {
     messages_sent: u64,
@@ -413,29 +496,37 @@ struct WireStats {
     faults: FaultStats,
 }
 
-/// The transport handle a [`Propagation`] strategy sends through. All
-/// sends share the kernel's partition/delay gating and RNG stream, and
+/// The simulator's [`Transport`]: deliveries become events on the
+/// kernel queue, gated by the partition schedule, the delay model and an
+/// optional [`Nemesis`]. All sends share the kernel's RNG stream and
 /// feed the run's `messages_sent` / `entries_shipped` counters.
-pub struct Network<'a, A: Application> {
+pub struct QueueTransport<'a, A: Application> {
     partitions: &'a PartitionSchedule,
     delay: &'a DelayModel,
-    /// The run's RNG, exposed so strategies (e.g. gossip partner
-    /// selection) draw from the same deterministic stream that samples
-    /// delays.
-    pub rng: &'a mut StdRng,
+    rng: &'a mut StdRng,
     queue: &'a mut EventQueue<Event<A>>,
-    /// Number of nodes in the cluster.
-    pub nodes: u16,
+    n_nodes: u16,
     wire: &'a mut WireStats,
     nemesis: &'a mut Option<Box<dyn Nemesis>>,
     sink: Option<&'a shard_obs::EventSink>,
 }
 
-impl<A: Application> Network<'_, A> {
+impl<A: Application> Transport<A> for QueueTransport<'_, A> {
+    fn nodes(&self) -> u16 {
+        self.n_nodes
+    }
+
     /// Whether `a` and `b` can communicate right now (no partition
     /// separates them at `now`).
-    pub fn connected(&self, now: SimTime, a: NodeId, b: NodeId) -> bool {
+    fn connected(&self, now: SimTime, a: NodeId, b: NodeId) -> bool {
         self.partitions.connected(now, a, b)
+    }
+
+    /// The run's RNG, exposed so strategies (e.g. gossip partner
+    /// selection) draw from the same deterministic stream that samples
+    /// delays.
+    fn rng(&mut self) -> &mut StdRng {
+        self.rng
     }
 
     /// Sends `entries` from `from` to `to`: the message waits out any
@@ -445,7 +536,7 @@ impl<A: Application> Network<'_, A> {
     /// drop the message, duplicate it, or move its arrivals — after the
     /// fault-free delivery time has been computed, so the kernel RNG
     /// stream is identical with and without one.
-    pub fn send(&mut self, now: SimTime, from: NodeId, to: NodeId, entries: Entries<A>) {
+    fn send(&mut self, now: SimTime, from: NodeId, to: NodeId, entries: Entries<A>) {
         let at = delivery_time(self.partitions, self.delay, self.rng, now, from, to);
         self.wire.messages_sent += 1;
         self.wire.entries_shipped += entries.len() as u64;
@@ -563,32 +654,32 @@ pub trait Propagation<A: Application> {
         None
     }
 
-    /// Called right after `origin` executed a transaction and merged
+    /// Validates an invocation schedule before a run starts (e.g.
+    /// partial replication asserts every invocation targets a node
+    /// holding the objects its decision reads). The default accepts
+    /// everything.
+    fn validate(&self, _app: &A, _invocations: &[Invocation<A::Decision>]) {}
+
+    /// Called right after `node` executed a transaction and merged
     /// `update` (timestamped `ts`) into its own log. Reactive strategies
-    /// send here; tick-driven strategies typically do nothing.
-    #[allow(clippy::too_many_arguments)]
+    /// send here; tick-driven strategies typically do nothing. The
+    /// strategy sees only the *local* replica — propagation decisions
+    /// must not peek at peer state, which is what lets the same strategy
+    /// run unchanged on `shard-runtime`'s one-thread-per-node channels.
     fn on_execute(
         &mut self,
         app: &A,
-        net: &mut Network<'_, A>,
-        nodes: &[Node<A>],
+        net: &mut dyn Transport<A>,
+        node: &Node<A>,
         now: SimTime,
-        origin: NodeId,
         ts: Timestamp,
         update: &Arc<A::Update>,
     );
 
     /// Called every [`Propagation::tick_interval`] at each live node
-    /// (crashed nodes skip their rounds until recovery).
-    fn on_tick(
-        &mut self,
-        _app: &A,
-        _net: &mut Network<'_, A>,
-        _nodes: &[Node<A>],
-        _now: SimTime,
-        _node: NodeId,
-    ) {
-    }
+    /// (crashed nodes skip their rounds until recovery). Like
+    /// [`Propagation::on_execute`], sees only the local replica.
+    fn on_tick(&mut self, _app: &A, _net: &mut dyn Transport<A>, _node: &Node<A>, _now: SimTime) {}
 
     /// Whether the run has converged: with no invocations left, ticking
     /// stops once this holds (a simulation-harness stopping rule, not
@@ -623,6 +714,7 @@ pub struct Runner<'a, A: Application, P: Propagation<A>> {
     config: ClusterConfig,
     strategy: P,
     nemesis: Option<Box<dyn Nemesis>>,
+    ticks: Option<Vec<(SimTime, NodeId)>>,
 }
 
 impl<'a, A: Application, P: Propagation<A>> Runner<'a, A, P> {
@@ -642,6 +734,7 @@ impl<'a, A: Application, P: Propagation<A>> Runner<'a, A, P> {
             config,
             strategy,
             nemesis: None,
+            ticks: None,
         }
     }
 
@@ -654,6 +747,19 @@ impl<'a, A: Application, P: Propagation<A>> Runner<'a, A, P> {
     #[must_use]
     pub fn with_nemesis(mut self, nemesis: Box<dyn Nemesis>) -> Self {
         self.nemesis = Some(nemesis);
+        self
+    }
+
+    /// Replaces the strategy's periodic anti-entropy cadence with an
+    /// explicit tick script: `Tick` events fire at exactly the given
+    /// `(time, node)` pairs, none are rescheduled, and the synced
+    /// stopping rule is bypassed (every scripted tick fires). This is
+    /// how a live `shard-runtime` run's recorded gossip rounds are
+    /// replayed deterministically — round-for-round, at the recorded
+    /// ticks.
+    #[must_use]
+    pub fn with_ticks(mut self, ticks: Vec<(SimTime, NodeId)>) -> Self {
+        self.ticks = Some(ticks);
         self
     }
 
@@ -692,7 +798,9 @@ impl<'a, A: Application, P: Propagation<A>> Runner<'a, A, P> {
             config: mut cfg,
             mut strategy,
             mut nemesis,
+            ticks: scripted_ticks,
         } = self;
+        strategy.validate(app, &invocations);
         let span_name = format!("sim.{}.run", strategy.label());
         let run_span = shard_obs::span!(&span_name);
         let mut wire = WireStats::default();
@@ -721,12 +829,7 @@ impl<'a, A: Application, P: Propagation<A>> Runner<'a, A, P> {
         }
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut nodes: Vec<Node<A>> = (0..cfg.nodes)
-            .map(|i| Node {
-                id: NodeId(i),
-                clock: LamportClock::new(NodeId(i)),
-                log: MergeLog::new(app, cfg.checkpoint_every),
-                own_sent: 0,
-            })
+            .map(|i| Node::new(app, NodeId(i), cfg.checkpoint_every))
             .collect();
         let mut queue: EventQueue<Event<A>> = EventQueue::new();
         let mut remaining_invokes = 0u64;
@@ -746,7 +849,12 @@ impl<'a, A: Application, P: Propagation<A>> Runner<'a, A, P> {
             );
         }
         let tick_interval = strategy.tick_interval();
-        if let Some(interval) = tick_interval {
+        let scripted = scripted_ticks.is_some();
+        if let Some(script) = scripted_ticks {
+            for (t, node) in script {
+                queue.schedule(t, Event::Tick { node });
+            }
+        } else if let Some(interval) = tick_interval {
             for i in 0..cfg.nodes {
                 queue.schedule(interval, Event::Tick { node: NodeId(i) });
             }
@@ -762,7 +870,13 @@ impl<'a, A: Application, P: Propagation<A>> Runner<'a, A, P> {
         let mut monitored = 0usize;
         let mut aborted = false;
 
-        while let Some((now, event)) = queue.pop() {
+        // The loop drives a virtual clock: each popped event advances it
+        // to the event's scheduled time. `shard-runtime` runs the same
+        // replica logic against a `WallClock` instead.
+        let mut clock = VirtualClock::new();
+        while let Some((t, event)) = queue.pop() {
+            clock.advance(t);
+            let now = clock.now();
             match event {
                 Event::Invoke { node, decision } => {
                     remaining_invokes -= 1;
@@ -828,23 +942,11 @@ impl<'a, A: Application, P: Propagation<A>> Runner<'a, A, P> {
                             .u64("entries", packet.entries.len() as u64)
                             .emit();
                     }
-                    let n = &mut nodes[to.0 as usize];
-                    for (ts, _) in packet.entries.iter() {
-                        n.clock.observe(*ts);
-                    }
-                    // One batch per delivery burst: in-order runs extend
-                    // the log and its checkpoint chain without per-entry
-                    // binary searches, while per-entry outcomes keep the
-                    // trace bit-identical to entry-at-a-time merging.
-                    n.log.merge_batch(
-                        app,
-                        packet.entries.iter().map(|(ts, u)| (*ts, Arc::clone(u))),
-                        |_, outcome| {
-                            if let Some(s) = sink {
-                                emit_merge_outcome(s, outcome, now, to);
-                            }
-                        },
-                    );
+                    nodes[to.0 as usize].absorb(app, &packet.entries, |outcome| {
+                        if let Some(s) = sink {
+                            emit_merge_outcome(s, outcome, now, to);
+                        }
+                    });
                     if pending.is_empty() {
                         continue;
                     }
@@ -866,32 +968,39 @@ impl<'a, A: Application, P: Propagation<A>> Runner<'a, A, P> {
                     );
                 }
                 Event::Tick { node } => {
-                    // Stop ticking once everything has drained.
-                    if remaining_invokes == 0 && strategy.synced(app, &nodes, &transactions) {
+                    // Stop ticking once everything has drained. Scripted
+                    // ticks always fire: the script *is* the stopping
+                    // rule (none are rescheduled).
+                    if !scripted
+                        && remaining_invokes == 0
+                        && strategy.synced(app, &nodes, &transactions)
+                    {
                         continue;
                     }
                     // A crashed node skips its rounds but resumes the
                     // cadence after recovery.
                     if !cfg.crashes.is_down(now, node) {
                         let before = wire.messages_sent;
-                        let mut net = Network {
+                        let mut net = QueueTransport {
                             partitions: &cfg.partitions,
                             delay: &cfg.delay,
                             rng: &mut rng,
                             queue: &mut queue,
-                            nodes: cfg.nodes,
+                            n_nodes: cfg.nodes,
                             wire: &mut wire,
                             nemesis: &mut nemesis,
                             sink: cfg.sink.as_deref(),
                         };
-                        strategy.on_tick(app, &mut net, &nodes, now, node);
+                        strategy.on_tick(app, &mut net, &nodes[node.0 as usize], now);
                         if wire.messages_sent > before {
                             rounds += 1;
                         }
                     }
-                    let interval =
-                        tick_interval.expect("ticks are only scheduled with an interval");
-                    queue.schedule(now + interval, Event::Tick { node });
+                    if !scripted {
+                        let interval =
+                            tick_interval.expect("ticks are only scheduled with an interval");
+                        queue.schedule(now + interval, Event::Tick { node });
+                    }
                 }
                 Event::Probe { to, from, id } => {
                     if cfg.crashes.is_down(now, to) {
@@ -1022,39 +1131,23 @@ fn execute_txn<A: Application, P: Propagation<A>>(
             .u64("node", u64::from(node.0))
             .emit();
     }
-    let n = &mut nodes[node.0 as usize];
-    let ts = n.clock.tick();
-    n.own_sent += 1;
-    let known = n.log.known_timestamps();
-    let outcome = app.decide(&decision, n.log.state());
-    for a in &outcome.external_actions {
+    let (txn, update) = nodes[node.0 as usize].execute(app, decision, now);
+    for a in &txn.external_actions {
         external_actions.push((now, node, a.clone()));
     }
-    // One allocation shared by the local log and every peer message;
-    // fanning out costs reference counts, not update clones.
-    let update = Arc::new(outcome.update);
-    let fresh = n.log.merge(app, ts, Arc::clone(&update));
-    debug_assert!(fresh, "own timestamp must be new");
-    transactions.push(ExecutedTxn {
-        ts,
-        time: now,
-        node,
-        decision,
-        update: (*update).clone(),
-        external_actions: outcome.external_actions,
-        known: Arc::new(known),
-    });
-    let mut net = Network {
+    let ts = txn.ts;
+    transactions.push(txn);
+    let mut net = QueueTransport {
         partitions: &cfg.partitions,
         delay: &cfg.delay,
         rng,
         queue,
-        nodes: cfg.nodes,
+        n_nodes: cfg.nodes,
         wire,
         nemesis,
         sink: cfg.sink.as_deref(),
     };
-    strategy.on_execute(app, &mut net, nodes, now, node, ts, &update);
+    strategy.on_execute(app, &mut net, &nodes[node.0 as usize], now, ts, &update);
 }
 
 /// Executes every pending critical transaction at `node` whose barrier

@@ -28,16 +28,22 @@
 //!   §3.3 *barrier protocol* giving designated critical transactions
 //!   (near-)complete prefixes ([`Runner::run_with_critical`]). How
 //!   updates travel is a pluggable [`Propagation`] strategy.
+//! * [`transport`] — the kernel's time and delivery seams: the
+//!   [`Clock`] trait ([`VirtualClock`] for simulation, [`WallClock`]
+//!   with globally unique microsecond ticks for live runs) and the
+//!   [`Transport`] trait ([`QueueTransport`] over the event queue here;
+//!   real `std::sync::mpsc` channels in `shard-runtime`).
 //! * [`cluster`] — the [`EagerBroadcast`] strategy (per-update flooding,
-//!   optional full-log piggybacking for transitivity) and the classic
-//!   [`Cluster`] facade.
+//!   optional full-log piggybacking for transitivity), entered via
+//!   [`Runner::eager`].
 //! * [`gossip`] — the [`Gossip`] anti-entropy strategy (periodic random
-//!   partners, whole-log pushes) and the composed [`GossipPlacement`]
-//!   strategy (gossip × partial replication), plus the [`GossipCluster`]
-//!   facade.
+//!   partners, whole-log pushes), the [`GossipDelta`] variant (full
+//!   fanout, ships only entries merged since the node's last round),
+//!   and the composed [`GossipPlacement`] strategy (gossip × partial
+//!   replication), entered via [`Runner::gossip`].
 //! * [`partial`] — the §6 generalization: partial replication with
-//!   per-object [`Placement`]s ([`PartialPlacement`] strategy +
-//!   [`PartialCluster`] facade), preserving all correctness conditions
+//!   per-object [`Placement`]s ([`PartialPlacement`] strategy, entered
+//!   via [`Runner::partial`]), preserving all correctness conditions
 //!   while reducing message volume.
 //! * [`monitor`] — live §3 verification inside the kernel loop: a
 //!   [`LiveMonitor`] seals executed transactions behind a Lamport
@@ -69,23 +75,33 @@ pub mod delay;
 pub mod events;
 pub mod gossip;
 pub mod kernel;
+pub mod known;
 pub mod merge;
 pub mod monitor;
 pub mod nemesis;
 pub mod partial;
 pub mod partition;
+pub mod transport;
 
 pub use clock::{LamportClock, NodeId, Timestamp};
-pub use cluster::{Cluster, ClusterConfig, ClusterReport, EagerBroadcast, ExecutedTxn, Invocation};
+#[allow(deprecated)]
+pub use cluster::Cluster;
+pub use cluster::{ClusterConfig, ClusterReport, EagerBroadcast, ExecutedTxn, Invocation};
 pub use crash::{CrashSchedule, CrashWindow};
 pub use delay::DelayModel;
-pub use gossip::{Gossip, GossipCluster, GossipConfig, GossipPlacement, GossipReport};
-pub use kernel::{FaultStats, Propagation, RunReport, Runner};
+#[allow(deprecated)]
+pub use gossip::GossipCluster;
+pub use gossip::{Gossip, GossipConfig, GossipDelta, GossipPlacement, GossipReport};
+pub use kernel::{FaultStats, Propagation, QueueTransport, RunReport, Runner};
+pub use known::KnownSet;
 pub use merge::{MergeLog, MergeMetrics, MergeOutcome};
 pub use monitor::{LiveMonitor, MonitorConfig};
 pub use nemesis::{
     CrashInjector, Fate, FaultEvent, FaultLog, MessageDropper, MessageDuplicator, MessageReorderer,
     MsgCtx, Nemesis, NemesisStack, PartitionJitter, Recorder, ScheduledNemesis,
 };
-pub use partial::{PartialCluster, PartialPlacement, PartialReport, Placement};
+#[allow(deprecated)]
+pub use partial::PartialCluster;
+pub use partial::{PartialPlacement, PartialReport, Placement};
 pub use partition::{PartitionSchedule, PartitionWindow};
+pub use transport::{Clock, Transport, VirtualClock, WallClock};

@@ -20,6 +20,7 @@
 //! updates so the undo/redo volume is measurable.
 
 use crate::clock::Timestamp;
+use crate::known::KnownSet;
 use shard_core::{Application, Checkpoints};
 use std::sync::Arc;
 
@@ -129,6 +130,14 @@ pub struct MergeLog<A: Application> {
     state: A::State,
     checkpoints: Checkpoints<A::State>,
     metrics: MergeMetrics,
+    /// The entry timestamps as a persistent set, maintained merge by
+    /// merge so [`MergeLog::known_set`] snapshots it in O(1).
+    known: KnownSet,
+    /// Every entry's timestamp in **merge order** (append-only) —
+    /// cursors into this vector are how delta propagation
+    /// ([`crate::GossipDelta`]) finds "everything merged since my last
+    /// round" without scanning the log.
+    arrivals: Vec<Timestamp>,
 }
 
 impl<A: Application> MergeLog<A> {
@@ -146,6 +155,8 @@ impl<A: Application> MergeLog<A> {
             state: app.initial_state(),
             checkpoints: Checkpoints::new(checkpoint_every),
             metrics: MergeMetrics::default(),
+            known: KnownSet::new(),
+            arrivals: Vec::new(),
         }
     }
 
@@ -168,9 +179,27 @@ impl<A: Application> MergeLog<A> {
         &self.entries
     }
 
-    /// The timestamps of all known updates, in order.
+    /// The timestamps of all known updates, in order. Materializes a
+    /// fresh vector — offline consumers only; the hot path snapshots
+    /// [`MergeLog::known_set`] instead.
     pub fn known_timestamps(&self) -> Vec<Timestamp> {
         self.entries.iter().map(|(ts, _)| *ts).collect()
+    }
+
+    /// The known timestamps as a persistent set: cloning the returned
+    /// reference is O(1) and shares structure with the log's future —
+    /// this is the per-execute snapshot §3's conditions are checked
+    /// against.
+    pub fn known_set(&self) -> &KnownSet {
+        &self.known
+    }
+
+    /// Every entry's timestamp in merge (arrival) order. Append-only:
+    /// a consumer that remembers an index `i` can later read
+    /// `arrivals()[i..]` to learn exactly what merged in between —
+    /// the basis of delta propagation.
+    pub fn arrivals(&self) -> &[Timestamp] {
+        &self.arrivals
     }
 
     /// Number of known updates.
@@ -224,23 +253,211 @@ impl<A: Application> MergeLog<A> {
     }
 
     /// Merges a burst of deliveries in arrival order, invoking `on_each`
-    /// with every entry's outcome. Runs of in-order arrivals skip the
-    /// per-entry binary search and extend the checkpoint chain directly;
-    /// metrics, checkpoint placement, and outcomes are exactly what the
-    /// equivalent sequence of [`MergeLog::merge`] calls would produce, so
-    /// traces built on top of the batch path are bit-identical.
+    /// with every entry's outcome, in arrival order.
+    ///
+    /// The hot case is a long **ascending** run — gossip rounds ship
+    /// whole sorted logs, most of which the receiver already knows and
+    /// the rest of which interleaves its own entries. Merging such a
+    /// run entry by entry is quadratic twice over: every duplicate pays
+    /// a binary search, and every mid-log insert pays its own undo/redo
+    /// replay of the log tail. The batch path instead classifies each
+    /// ascending run with a single cursor walk (one timestamp
+    /// comparison per duplicate), splices all of the run's new entries
+    /// into the log at once, and repairs history with **one** undo/redo
+    /// pass from the earliest insertion point — O(batch + tail), not
+    /// O(batch · tail).
+    ///
+    /// When a run carries at most one mid-log insert, the batch path is
+    /// *observably identical* to the equivalent sequence of
+    /// [`MergeLog::merge`] calls, update for update. With several
+    /// stragglers in one run the difference is confined to the work
+    /// tallies: `MergeMetrics::replayed` (and the
+    /// `OutOfOrder { replayed }` outcomes, which attribute the run's
+    /// single repair to its first out-of-order entry) count the updates
+    /// actually re-applied — fewer than sequential merging would have.
+    /// Final state, log contents, outcome *kinds* per entry, and
+    /// checkpoint placement are always identical — and live runs and
+    /// their kernel replays share this code path, so record–replay
+    /// reports agree exactly.
     pub fn merge_batch(
         &mut self,
         app: &A,
         batch: impl IntoIterator<Item = (Timestamp, Arc<A::Update>)>,
         mut on_each: impl FnMut(Timestamp, MergeOutcome),
     ) {
+        // The current ascending run: `None` updates mark duplicates.
+        let mut run: Vec<(Timestamp, Option<Arc<A::Update>>)> = Vec::new();
+        // Cursor into `entries` tracking the run's classification walk —
+        // valid because the log is only mutated when a run flushes.
+        let mut cursor = 0usize;
         for (ts, update) in batch {
-            let in_order = self.entries.last().is_none_or(|(last, _)| ts > *last);
-            let outcome = if in_order {
-                self.append(app, ts, update)
+            if run.last().is_some_and(|(prev, _)| ts <= *prev) {
+                self.flush_run(app, &mut run, &mut on_each);
+                cursor = 0;
+            }
+            if run.is_empty() {
+                cursor = self.entries.partition_point(|(t, _)| *t < ts);
             } else {
-                self.merge_with_outcome(app, ts, update)
+                while self.entries.get(cursor).is_some_and(|(t, _)| *t < ts) {
+                    cursor += 1;
+                }
+            }
+            let duplicate = self.entries.get(cursor).is_some_and(|(t, _)| *t == ts);
+            run.push((ts, (!duplicate).then_some(update)));
+        }
+        self.flush_run(app, &mut run, &mut on_each);
+    }
+
+    /// Applies one classified ascending run: splice + single repair.
+    /// See [`MergeLog::merge_batch`].
+    fn flush_run(
+        &mut self,
+        app: &A,
+        run: &mut Vec<(Timestamp, Option<Arc<A::Update>>)>,
+        on_each: &mut impl FnMut(Timestamp, MergeOutcome),
+    ) {
+        if run.is_empty() {
+            return;
+        }
+        let old_last = self.entries.last().map(|(t, _)| *t);
+        let first_new = run.iter().find_map(|(ts, u)| u.is_some().then_some(*ts));
+
+        // Entirely duplicates, or new entries that all extend the log in
+        // order: the sequential paths are already cheap and keep their
+        // exact per-entry behavior (checkpoint cadence included).
+        if first_new.is_none_or(|f| old_last.is_none_or(|l| f > l)) {
+            let mut duplicates = 0u64;
+            for (ts, update) in run.drain(..) {
+                let outcome = match update {
+                    None => {
+                        self.metrics.duplicates += 1;
+                        duplicates += 1;
+                        MergeOutcome::Duplicate
+                    }
+                    Some(u) => self.append(app, ts, u),
+                };
+                on_each(ts, outcome);
+            }
+            if duplicates > 0 && shard_obs::enabled() {
+                merge_obs().duplicates.add(duplicates);
+            }
+            return;
+        }
+        let first_new = first_new.expect("checked above");
+        let old_last = old_last.expect("an entry can only sort mid-log if one exists");
+
+        // Classify before the splice consumes the updates. Entries past
+        // the old log end would have been plain appends even merged one
+        // at a time, and run through the ordinary append path below;
+        // mid-log entries are the out-of-order group repaired in one
+        // undo/redo pass.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Kind {
+            Dup,
+            App,
+            Oo,
+        }
+        let kinds: Vec<Kind> = run
+            .iter()
+            .map(|(ts, u)| match u {
+                None => Kind::Dup,
+                Some(_) if *ts > old_last => Kind::App,
+                Some(_) => Kind::Oo,
+            })
+            .collect();
+        let count = |k: Kind| kinds.iter().filter(|x| **x == k).count() as u64;
+        let (duplicates, inserted) = (count(Kind::Dup), count(Kind::Oo));
+
+        // Splice: linear-merge the log tail from the first insertion
+        // point with the run's mid-log entries (both ascending).
+        let p0 = self.entries.partition_point(|(t, _)| *t < first_new);
+        let tail = self.entries.split_off(p0);
+        let mut mids = run
+            .iter_mut()
+            .filter(|(ts, _)| *ts < old_last)
+            .filter_map(|(ts, u)| u.take().map(|u| (*ts, u)))
+            .peekable();
+        for old in tail {
+            while mids.peek().is_some_and(|(ts, _)| *ts < old.0) {
+                let (ts, u) = mids.next().expect("peeked");
+                self.known.insert(ts);
+                self.arrivals.push(ts);
+                self.entries.push((ts, u));
+            }
+            self.entries.push(old);
+        }
+        debug_assert!(
+            mids.next().is_none(),
+            "every mid entry sorts before old_last"
+        );
+
+        // One undo/redo repair for the whole group, recreating the
+        // checkpoints the splice invalidated (same cadence as
+        // `insert_and_replay` — for a single straggler the two paths
+        // are identical, update for update).
+        self.checkpoints.truncate(p0);
+        let (base_len, mut s) = match self.checkpoints.last() {
+            Some((len, s)) => {
+                shard_core::replay::note_state_clone(app.state_size_hint(s));
+                (len, s.clone())
+            }
+            None => (0, app.initial_state()),
+        };
+        let mut replayed = 0u64;
+        for i in base_len..self.entries.len() {
+            app.apply_in_place(&mut s, &self.entries[i].1);
+            replayed += 1;
+            if i + 1 < self.entries.len() && self.checkpoints.record(i + 1, &s) {
+                shard_core::replay::note_state_clone(app.state_size_hint(&s));
+            }
+        }
+        self.state = s;
+        self.metrics.duplicates += duplicates;
+        self.metrics.out_of_order += inserted;
+        self.metrics.replayed += replayed;
+
+        if shard_obs::enabled() {
+            let obs = merge_obs();
+            if duplicates > 0 {
+                obs.duplicates.add(duplicates);
+            }
+            if inserted > 0 {
+                obs.out_of_order.add(inserted);
+            }
+            obs.replay_depth
+                .record((self.entries.len() - base_len) as u64);
+            if base_len > 0 {
+                obs.ckpt_hits.inc();
+            } else {
+                obs.ckpt_misses.inc();
+            }
+        }
+
+        // The run's entries past the old log end extend it in timestamp
+        // order — the ordinary append path, exactly as if merged one at
+        // a time (checkpoint records included).
+        for (ts, u) in run
+            .iter_mut()
+            .filter_map(|(ts, u)| u.take().map(|u| (*ts, u)))
+        {
+            let outcome = self.append(app, ts, u);
+            debug_assert_eq!(outcome, MergeOutcome::Appended);
+        }
+
+        // Outcomes in arrival order; the single repair's cost is
+        // attributed to the run's first out-of-order entry.
+        let mut first_oo = true;
+        for ((ts, _), kind) in run.drain(..).zip(kinds) {
+            let outcome = match kind {
+                Kind::Dup => MergeOutcome::Duplicate,
+                Kind::App => MergeOutcome::Appended,
+                Kind::Oo => MergeOutcome::OutOfOrder {
+                    replayed: if std::mem::take(&mut first_oo) {
+                        replayed
+                    } else {
+                        0
+                    },
+                },
             };
             on_each(ts, outcome);
         }
@@ -259,6 +476,8 @@ impl<A: Application> MergeLog<A> {
     fn append(&mut self, app: &A, ts: Timestamp, update: Arc<A::Update>) -> MergeOutcome {
         app.apply_in_place(&mut self.state, &update);
         self.entries.push((ts, update));
+        self.known.insert(ts);
+        self.arrivals.push(ts);
         self.metrics.appends += 1;
         if shard_obs::enabled() {
             merge_obs().appends.inc();
@@ -279,6 +498,8 @@ impl<A: Application> MergeLog<A> {
     ) -> MergeOutcome {
         self.metrics.out_of_order += 1;
         self.entries.insert(pos, (ts, update));
+        self.known.insert(ts);
+        self.arrivals.push(ts);
         // Checkpoints past the insertion point are invalidated.
         self.checkpoints.truncate(pos);
         let (base_len, mut s) = match self.checkpoints.last() {
@@ -521,5 +742,58 @@ mod tests {
             assert_eq!(batched.metrics(), one_at_a_time.metrics());
             assert_eq!(batched.entries(), one_at_a_time.entries());
         }
+    }
+
+    #[test]
+    fn multiple_stragglers_in_one_run_share_a_single_repair() {
+        // A run with several mid-log inserts ([2, 4, 6] into
+        // [1, 3, 5, 7, 9]) converges to the same log, state, and
+        // outcome kinds as sequential merging, but pays one undo/redo
+        // pass instead of three.
+        let app = Trace;
+        let seed = [1u64, 3, 5, 7, 9];
+        let burst: Vec<(Timestamp, Arc<u64>)> =
+            [2u64, 4, 6].iter().map(|&l| (ts(l), Arc::new(l))).collect();
+
+        let mut sequential = MergeLog::new(&app, 2);
+        let mut batched = MergeLog::new(&app, 2);
+        for &l in &seed {
+            sequential.merge(&app, ts(l), Arc::new(l));
+            batched.merge(&app, ts(l), Arc::new(l));
+        }
+        for (t, u) in &burst {
+            sequential.merge_with_outcome(&app, *t, Arc::clone(u));
+        }
+        let mut got = Vec::new();
+        batched.merge_batch(&app, burst.iter().cloned(), |_, o| got.push(o));
+
+        assert_eq!(batched.state(), sequential.state());
+        assert_eq!(batched.entries(), sequential.entries());
+        assert_eq!(batched.known_set(), sequential.known_set());
+        assert!(got
+            .iter()
+            .all(|o| matches!(o, MergeOutcome::OutOfOrder { .. })));
+        // The repair cost lands on the run's first straggler; the rest
+        // ride along for free.
+        assert_eq!(
+            got[1..]
+                .iter()
+                .map(|o| match o {
+                    MergeOutcome::OutOfOrder { replayed } => *replayed,
+                    _ => unreachable!(),
+                })
+                .sum::<u64>(),
+            0
+        );
+        let (b, s) = (batched.metrics(), sequential.metrics());
+        assert_eq!(b.out_of_order, s.out_of_order);
+        assert_eq!(b.appends, s.appends);
+        assert_eq!(b.duplicates, s.duplicates);
+        assert!(
+            b.replayed < s.replayed,
+            "one repair ({}) must beat three ({})",
+            b.replayed,
+            s.replayed
+        );
     }
 }

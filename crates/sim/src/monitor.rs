@@ -32,9 +32,9 @@
 
 use crate::clock::Timestamp;
 use crate::events::SimTime;
+use crate::known::KnownSet;
 use shard_core::stream::{StreamChecker, StreamReport, StreamRow};
 use std::collections::BTreeMap;
-use std::sync::Arc;
 
 /// How a kernel run should be monitored. Attached to a run via
 /// `ClusterConfig::monitor`.
@@ -71,9 +71,10 @@ pub struct LiveMonitor {
     cfg: MonitorConfig,
     checker: StreamChecker,
     /// Executed but not yet sealed transactions, in timestamp order.
-    /// Known sets are shared with the kernel's report (total O(n²)
-    /// entries across a run — deep copies here would dwarf the checker).
-    pending: BTreeMap<Timestamp, (SimTime, Arc<Vec<Timestamp>>)>,
+    /// Known sets are persistent snapshots ([`KnownSet`]) sharing
+    /// structure with the kernel's report — buffering one costs a
+    /// reference-count bump, not a copy.
+    pending: BTreeMap<Timestamp, (SimTime, KnownSet)>,
     /// Every sealed timestamp, in seal order — which *is* ascending
     /// timestamp order, so a row's serial index is its position here
     /// and a sorted known set resolves to indices by one merge scan.
@@ -97,7 +98,7 @@ impl LiveMonitor {
 
     /// Buffers one executed transaction (timestamp, initiation time,
     /// known set) until the watermark seals it.
-    pub fn ingest(&mut self, ts: Timestamp, time: SimTime, known: Arc<Vec<Timestamp>>) {
+    pub fn ingest(&mut self, ts: Timestamp, time: SimTime, known: KnownSet) {
         let shadowed = self.pending.insert(ts, (time, known));
         debug_assert!(shadowed.is_none(), "timestamps are globally unique");
     }
@@ -130,7 +131,7 @@ impl LiveMonitor {
         &mut self,
         ts: Timestamp,
         time: SimTime,
-        known: Arc<Vec<Timestamp>>,
+        known: KnownSet,
         sink: Option<&shard_obs::EventSink>,
     ) {
         let index = self.sealed_ts.len();
@@ -141,13 +142,14 @@ impl LiveMonitor {
         // `m` misses seen so far, `sealed[t] == known[t - m]` is true on
         // the run up to the next miss and false from it onward (both
         // sequences are strictly increasing), so each miss is found by
-        // one binary search: O(misses · log index), not O(index) — the
-        // known set is nearly the whole prefix on healthy runs.
+        // one binary search over `KnownSet::nth` rank lookups:
+        // O(misses · log²index), not O(index) — the known set is nearly
+        // the whole prefix on healthy runs.
         let mut missed = Vec::with_capacity(index - known.len());
         let mut j = 0usize;
         while j < index {
             let m = missed.len();
-            let diverged = |t: usize| known.get(t - m).is_none_or(|k| *k != self.sealed_ts[t]);
+            let diverged = |t: usize| known.nth(t - m).is_none_or(|k| k != self.sealed_ts[t]);
             if !diverged(j) {
                 // Skip the aligned run: first diverged position in (j, index].
                 let (mut lo, mut hi) = (j, index);
@@ -227,8 +229,8 @@ mod tests {
         });
         // Node 1 executes at lamport 2 before node 0's lamport-1 row
         // reaches the monitor — the buffer must reorder them.
-        m.ingest(ts(2, 1), 10, Arc::new(vec![ts(1, 0)]));
-        m.ingest(ts(1, 0), 0, Arc::new(vec![]));
+        m.ingest(ts(2, 1), 10, [ts(1, 0)].into_iter().collect());
+        m.ingest(ts(1, 0), 0, KnownSet::new());
         // Watermark 0: nothing sealed yet.
         m.advance(0, None);
         assert_eq!(m.sealed(), 0);
@@ -249,11 +251,11 @@ mod tests {
             emit_rows: false,
             abort_on_violation: true,
         });
-        m.ingest(ts(1, 0), 0, Arc::new(vec![]));
+        m.ingest(ts(1, 0), 0, KnownSet::new());
         // (2,0) saw (1,0); (3,1) saw (2,0) but not (1,0) — the §3
         // transitivity violation (low=0, mid=1, top=2).
-        m.ingest(ts(2, 0), 3, Arc::new(vec![ts(1, 0)]));
-        m.ingest(ts(3, 1), 5, Arc::new(vec![ts(2, 0)]));
+        m.ingest(ts(2, 0), 3, [ts(1, 0)].into_iter().collect());
+        m.ingest(ts(3, 1), 5, [ts(2, 0)].into_iter().collect());
         m.advance(2, None);
         assert_eq!(m.sealed(), 2);
         assert!(!m.should_abort());

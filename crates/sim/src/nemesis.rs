@@ -6,7 +6,7 @@
 //! pre-scripted [`crate::partition::PartitionSchedule`] /
 //! [`crate::crash::CrashSchedule`] / [`crate::delay::DelayModel`] knobs
 //! can *reproduce* those patterns by hand; this module *searches* for
-//! them. A [`Nemesis`] sits between [`Network::send`] and the event
+//! them. A [`Nemesis`] sits between [`Transport::send`] and the event
 //! queue and rewrites each message's delivery — dropping it, duplicating
 //! it, or delaying it past later traffic (adversarial reordering) — and
 //! may inject randomly jittered partition and crash windows at run
@@ -45,7 +45,7 @@
 //! nodes recover, preserving the kernel's drain guarantee.
 //!
 //! [`Runner`]: crate::Runner
-//! [`Network::send`]: crate::kernel::Network::send
+//! [`Transport::send`]: crate::Transport::send
 //! [`Propagation`]: crate::Propagation
 
 use crate::clock::NodeId;
@@ -126,7 +126,7 @@ pub trait Nemesis {
     fn label(&self) -> &'static str;
 
     /// Rewrites the fate of one message. Called once per
-    /// [`Network::send`](crate::kernel::Network::send); the default
+    /// [`Transport::send`](crate::Transport::send); the default
     /// leaves the fault-free fate untouched. The §3.3 barrier's
     /// Probe/Promise control messages do not pass through here — they
     /// are not updates, and losing them could wedge a critical

@@ -22,11 +22,13 @@
 //!
 //! Since the kernel refactor this module contributes the [`Placement`]
 //! map and the [`PartialPlacement`] propagation strategy; the event loop
-//! lives in [`crate::kernel`], and [`PartialCluster`] is a facade.
+//! lives in [`crate::kernel`], entered via [`Runner::partial`] (the
+//! deprecated `PartialCluster` facade wraps it).
 
 use crate::clock::{NodeId, Timestamp};
 use crate::events::SimTime;
-use crate::kernel::{Entries, Network, Node, Propagation, RunReport, Runner};
+use crate::kernel::{Entries, Node, Propagation, RunReport, Runner};
+use crate::transport::Transport;
 use shard_core::{Application, ObjectId, ObjectModel};
 use std::sync::Arc;
 
@@ -163,13 +165,31 @@ impl<A: ObjectModel> Propagation<A> for PartialPlacement {
         "partial"
     }
 
+    /// Every invocation must target a node holding all the objects its
+    /// decision reads (the §6 routing rule).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an invocation targets a node missing a required object.
+    fn validate(&self, app: &A, invocations: &[Invocation<A::Decision>]) {
+        for inv in invocations {
+            let reads = app.decision_objects(&inv.decision);
+            assert!(
+                self.placement.holds_all(inv.node, &reads),
+                "node {} lacks objects {:?} read by {:?}",
+                inv.node,
+                reads,
+                inv.decision
+            );
+        }
+    }
+
     fn on_execute(
         &mut self,
         app: &A,
-        net: &mut Network<'_, A>,
-        _nodes: &[Node<A>],
+        net: &mut dyn Transport<A>,
+        node: &Node<A>,
         now: SimTime,
-        origin: NodeId,
         ts: Timestamp,
         update: &Arc<A::Update>,
     ) {
@@ -177,27 +197,51 @@ impl<A: ObjectModel> Propagation<A> for PartialPlacement {
         let entries: Entries<A> = Arc::from(vec![(ts, Arc::clone(update))]);
         let recipients = if writes.is_empty() {
             // Pure serial-order information: everyone hears about it.
-            (0..net.nodes).map(NodeId).collect()
+            (0..net.nodes()).map(NodeId).collect()
         } else {
             self.placement.holders_of_any(&writes)
         };
         for to in recipients {
-            if to == origin {
+            if to == node.id {
                 continue;
             }
-            net.send(now, origin, to, Arc::clone(&entries));
+            net.send(now, node.id, to, Arc::clone(&entries));
         }
+    }
+}
+
+impl<'a, A: ObjectModel> Runner<'a, A, PartialPlacement> {
+    /// A partially replicated runner routing by `placement` — the
+    /// canonical entry point the old [`PartialCluster`] facade wraps.
+    /// Each invocation must target a node holding all the objects its
+    /// decision reads (checked at run start).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node counts disagree or the cluster is empty.
+    pub fn partial(app: &'a A, config: ClusterConfig, placement: Placement) -> Self {
+        assert_eq!(
+            config.nodes,
+            placement.nodes(),
+            "placement must cover all nodes"
+        );
+        Runner::new(app, config, PartialPlacement::new(placement))
     }
 }
 
 /// A partially replicated SHARD cluster (facade over the kernel with a
 /// [`PartialPlacement`] strategy).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Runner::partial(app, config, placement)` instead"
+)]
 pub struct PartialCluster<'a, A: ObjectModel> {
     app: &'a A,
     config: ClusterConfig,
     placement: Placement,
 }
 
+#[allow(deprecated)]
 impl<'a, A: ObjectModel> PartialCluster<'a, A> {
     /// Creates a cluster; `config.nodes` must match the placement.
     ///
@@ -225,22 +269,7 @@ impl<'a, A: ObjectModel> PartialCluster<'a, A> {
     ///
     /// Panics if an invocation targets a node missing a required object.
     pub fn run(&self, invocations: Vec<Invocation<A::Decision>>) -> PartialReport<A> {
-        for inv in &invocations {
-            let reads = self.app.decision_objects(&inv.decision);
-            assert!(
-                self.placement.holds_all(inv.node, &reads),
-                "node {} lacks objects {:?} read by {:?}",
-                inv.node,
-                reads,
-                inv.decision
-            );
-        }
-        Runner::new(
-            self.app,
-            self.config.clone(),
-            PartialPlacement::new(self.placement.clone()),
-        )
-        .run(invocations)
+        Runner::partial(self.app, self.config.clone(), self.placement.clone()).run(invocations)
     }
 }
 
@@ -336,12 +365,12 @@ mod tests {
             vec![ObjectId(0), ObjectId(1)],
             vec![ObjectId(1)],
         ]);
-        let cluster = PartialCluster::new(&app, cfg(3), p.clone());
+        let runner = Runner::partial(&app, cfg(3), p.clone());
         let invs = vec![
             Invocation::new(0, NodeId(0), Bump(0)),
             Invocation::new(10, NodeId(2), Bump(1)),
         ];
-        let report = cluster.run(invs);
+        let report = runner.run(invs);
         // Each update went to exactly one other holder.
         assert_eq!(report.messages_sent, 2);
         assert!(report.objects_consistent(&app, &p));
@@ -357,11 +386,11 @@ mod tests {
     fn full_placement_matches_global_state() {
         let app = TwoRegs;
         let p = Placement::full(3, &app.objects());
-        let cluster = PartialCluster::new(&app, cfg(3), p.clone());
+        let runner = Runner::partial(&app, cfg(3), p.clone());
         let invs: Vec<_> = (0..10)
             .map(|i| Invocation::new(i * 5, NodeId((i % 3) as u16), Bump((i % 2) as u32)))
             .collect();
-        let report = cluster.run(invs);
+        let report = runner.run(invs);
         assert!(report.objects_consistent(&app, &p));
         assert_eq!(report.final_states[0], [5, 5]);
         // Full replication sends to every other node: 10 × 2 messages.
@@ -376,10 +405,10 @@ mod tests {
             .map(|i| Invocation::new(i * 5, NodeId(0), Bump(0)))
             .collect();
         // All activity on object 0.
-        let full = PartialCluster::new(&app, cfg(4), Placement::full(4, &objs))
+        let full = Runner::partial(&app, cfg(4), Placement::full(4, &objs))
             .run(invs.clone())
             .messages_sent;
-        let part = PartialCluster::new(&app, cfg(4), Placement::round_robin(4, &objs, 2))
+        let part = Runner::partial(&app, cfg(4), Placement::round_robin(4, &objs, 2))
             .run(invs)
             .messages_sent;
         assert!(part < full, "partial {part} < full {full}");
@@ -390,7 +419,23 @@ mod tests {
     fn misrouted_decision_panics() {
         let app = TwoRegs;
         let p = Placement::new(vec![vec![ObjectId(0)], vec![ObjectId(1)]]);
-        let cluster = PartialCluster::new(&app, cfg(2), p);
-        let _ = cluster.run(vec![Invocation::new(0, NodeId(0), Bump(1))]);
+        let runner = Runner::partial(&app, cfg(2), p);
+        let _ = runner.run(vec![Invocation::new(0, NodeId(0), Bump(1))]);
+    }
+
+    /// The deprecated facade stays a bit-exact wrapper of
+    /// [`Runner::partial`] until it is removed.
+    #[test]
+    #[allow(deprecated)]
+    fn facade_matches_runner() {
+        let app = TwoRegs;
+        let p = Placement::round_robin(3, &app.objects(), 2);
+        let invs: Vec<_> = (0..8)
+            .map(|i| Invocation::new(i * 4, NodeId(1), Bump((i % 2) as u32)))
+            .collect();
+        let via_facade = PartialCluster::new(&app, cfg(3), p.clone()).run(invs.clone());
+        let via_runner = Runner::partial(&app, cfg(3), p).run(invs);
+        assert_eq!(via_facade.final_states, via_runner.final_states);
+        assert_eq!(via_facade.messages_sent, via_runner.messages_sent);
     }
 }

@@ -1,0 +1,203 @@
+//! The kernel's time and delivery seams: [`Clock`] and [`Transport`].
+//!
+//! The discrete-event [`Runner`](crate::Runner) used to own both time
+//! (the event queue's clock) and delivery (scheduling `Deliver` events
+//! behind partition waits, sampled delays and nemesis gating). Both are
+//! now traits, which is what lets the *same* replica logic — `Node`,
+//! `MergeLog`, [`Propagation`](crate::Propagation), `Nemesis`,
+//! `LiveMonitor` — run in two instantiations:
+//!
+//! * **Simulation** — [`VirtualClock`] (advanced to each popped event's
+//!   time) plus the kernel's queue-backed transport
+//!   ([`crate::kernel::QueueTransport`]): deterministic, seeded,
+//!   single-threaded.
+//! * **Live deployment** — [`WallClock`] (monotonic, globally unique
+//!   microsecond ticks) plus a channel-backed transport (the
+//!   `shard-runtime` crate): one OS thread per node exchanging messages
+//!   over real `std::sync::mpsc` channels.
+//!
+//! The wall clock's tick discipline is what makes live runs replayable:
+//! every event (execution, delivery, anti-entropy round) draws a tick
+//! that is *strictly greater than every tick drawn before it anywhere in
+//! the process*, so the recorded schedule totally orders the run and the
+//! virtual-clock kernel can reproduce it exactly (see `shard-runtime`'s
+//! replay module).
+
+use crate::clock::NodeId;
+use crate::events::SimTime;
+use crate::kernel::Entries;
+use rand::rngs::StdRng;
+use shard_core::Application;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A source of event times. The kernel loop asks its clock for "now"
+/// once per event; virtual clocks are driven by the event queue, wall
+/// clocks by the hardware.
+pub trait Clock {
+    /// The current time in ticks.
+    fn now(&self) -> SimTime;
+
+    /// Advances the clock to `to` (time never goes backwards). Virtual
+    /// clocks jump; wall clocks ignore this — the hardware advances them.
+    fn advance(&mut self, to: SimTime);
+}
+
+/// Simulated time: holds whatever the event loop last advanced it to.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct VirtualClock {
+    now: SimTime,
+}
+
+impl VirtualClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        VirtualClock::default()
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn advance(&mut self, to: SimTime) {
+        debug_assert!(to >= self.now, "simulated time is monotone");
+        self.now = to;
+    }
+}
+
+/// Monotonic wall-clock time in microseconds since construction, with
+/// **globally unique, strictly increasing** ticks: every call to
+/// [`WallClock::tick`] returns `max(elapsed_µs, last) + 1`, whatever
+/// thread calls it. Two properties follow:
+///
+/// * ticks totally order all events in a live run (no two events share
+///   a time), and
+/// * the order is consistent with real time at microsecond resolution
+///   (bursts within one microsecond are serialized by the atomic).
+///
+/// Shared across node threads behind an `Arc`; `tick` takes `&self`.
+#[derive(Debug)]
+pub struct WallClock {
+    start: Instant,
+    last: AtomicU64,
+}
+
+impl WallClock {
+    /// A clock starting now, at tick zero.
+    pub fn new() -> Self {
+        WallClock {
+            start: Instant::now(),
+            last: AtomicU64::new(0),
+        }
+    }
+
+    /// Draws the next unique tick (strictly greater than every tick any
+    /// thread has drawn before).
+    pub fn tick(&self) -> SimTime {
+        let elapsed = self.start.elapsed().as_micros() as u64;
+        let prev = self
+            .last
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |last| {
+                Some(last.max(elapsed) + 1)
+            })
+            .expect("fetch_update closure never returns None");
+        prev.max(elapsed) + 1
+    }
+
+    /// Microseconds elapsed since construction (not unique — use for
+    /// pacing, not for event ordering).
+    pub fn elapsed_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> SimTime {
+        self.tick()
+    }
+
+    fn advance(&mut self, _to: SimTime) {}
+}
+
+/// How update messages travel between replicas — the seam between the
+/// shared replica logic and the deployment. A
+/// [`Propagation`](crate::Propagation) strategy sends through this
+/// trait only, so the same strategy drives the simulator's event queue
+/// ([`crate::kernel::QueueTransport`]: partition waits, sampled delays,
+/// nemesis fate rewriting) and `shard-runtime`'s real
+/// `std::sync::mpsc` channels.
+pub trait Transport<A: Application> {
+    /// Number of nodes reachable through this transport.
+    fn nodes(&self) -> u16;
+
+    /// Whether `a` and `b` can communicate at `now`. The simulator
+    /// consults its partition schedule; real channels are always
+    /// connected (partitions there are injected by dropping sends).
+    fn connected(&self, now: SimTime, a: NodeId, b: NodeId) -> bool;
+
+    /// Ships `entries` from `from` to `to`, to be merged at the
+    /// receiver by the shared delivery handler
+    /// ([`crate::kernel::Node::absorb`]).
+    fn send(&mut self, now: SimTime, from: NodeId, to: NodeId, entries: Entries<A>);
+
+    /// The deterministic RNG stream strategies draw from (e.g. gossip
+    /// partner selection). The simulator hands out the run's seeded
+    /// kernel RNG; live transports hand out a per-node seeded stream.
+    fn rng(&mut self) -> &mut StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_follows_advance() {
+        let mut c = VirtualClock::new();
+        assert_eq!(c.now(), 0);
+        c.advance(17);
+        assert_eq!(c.now(), 17);
+        c.advance(17);
+        assert_eq!(c.now(), 17);
+    }
+
+    #[test]
+    fn wall_clock_ticks_are_unique_and_increasing() {
+        let c = WallClock::new();
+        let mut last = 0;
+        for _ in 0..10_000 {
+            let t = c.tick();
+            assert!(t > last, "strictly increasing");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn wall_clock_ticks_are_unique_across_threads() {
+        use std::sync::Arc;
+        let c = Arc::new(WallClock::new());
+        let mut all: Vec<SimTime> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let c = Arc::clone(&c);
+                    s.spawn(move || (0..5_000).map(|_| c.tick()).collect::<Vec<_>>())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("tick thread"))
+                .collect()
+        });
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n, "no two threads ever share a tick");
+    }
+}

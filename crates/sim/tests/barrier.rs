@@ -6,7 +6,7 @@ use shard_apps::airline::{AirlineTxn, FlyByNight};
 use shard_apps::Person;
 use shard_core::conditions;
 use shard_sim::partition::{PartitionSchedule, PartitionWindow};
-use shard_sim::{Cluster, ClusterConfig, DelayModel, Invocation, NodeId};
+use shard_sim::{ClusterConfig, DelayModel, Invocation, NodeId, Runner};
 
 fn is_mover(d: &AirlineTxn) -> bool {
     matches!(d, AirlineTxn::MoveUp | AirlineTxn::MoveDown)
@@ -15,7 +15,7 @@ fn is_mover(d: &AirlineTxn) -> bool {
 #[test]
 fn critical_transaction_sees_all_prior_activity() {
     let app = FlyByNight::new(3);
-    let cluster = Cluster::new(
+    let cluster = Runner::eager(
         &app,
         ClusterConfig {
             nodes: 3,
@@ -57,7 +57,7 @@ fn barrier_waits_out_partitions() {
     let app = FlyByNight::new(3);
     let partitions =
         PartitionSchedule::new(vec![PartitionWindow::isolate(0, 1000, vec![NodeId(1)])]);
-    let cluster = Cluster::new(
+    let cluster = Runner::eager(
         &app,
         ClusterConfig {
             nodes: 2,
@@ -94,7 +94,7 @@ fn non_critical_runs_are_unchanged() {
         Invocation::new(10, NodeId(1), AirlineTxn::MoveUp),
     ];
     let mk = || {
-        Cluster::new(
+        Runner::eager(
             &app,
             ClusterConfig {
                 nodes: 2,
@@ -113,7 +113,7 @@ fn non_critical_runs_are_unchanged() {
 #[test]
 fn single_node_criticals_run_immediately() {
     let app = FlyByNight::new(3);
-    let cluster = Cluster::new(
+    let cluster = Runner::eager(
         &app,
         ClusterConfig {
             nodes: 1,
@@ -133,7 +133,7 @@ fn single_node_criticals_run_immediately() {
 #[test]
 fn many_criticals_all_clear() {
     let app = FlyByNight::new(10);
-    let cluster = Cluster::new(
+    let cluster = Runner::eager(
         &app,
         ClusterConfig {
             nodes: 4,

@@ -7,8 +7,8 @@ use shard_apps::airline::{AirlineTxn, FlyByNight};
 use shard_apps::Person;
 use shard_core::ObjectModel;
 use shard_sim::{
-    Cluster, ClusterConfig, CrashSchedule, CrashWindow, DelayModel, GossipCluster, GossipConfig,
-    Invocation, NodeId, PartialCluster, Placement,
+    ClusterConfig, CrashSchedule, CrashWindow, DelayModel, GossipConfig, Invocation, NodeId,
+    Placement, Runner,
 };
 use std::sync::Arc;
 
@@ -26,7 +26,7 @@ fn cfg(crashes: CrashSchedule) -> ClusterConfig {
 fn crashed_nodes_reject_clients() {
     let app = FlyByNight::new(5);
     let crashes = CrashSchedule::new(vec![CrashWindow::new(NodeId(1), 50, 150)]);
-    let cluster = Cluster::new(&app, cfg(crashes));
+    let cluster = Runner::eager(&app, cfg(crashes));
     let invs = vec![
         Invocation::new(10, NodeId(1), AirlineTxn::Request(Person(1))), // before: ok
         Invocation::new(100, NodeId(1), AirlineTxn::Request(Person(2))), // down: rejected
@@ -50,7 +50,7 @@ fn crashed_nodes_reject_clients() {
 fn messages_are_held_until_recovery_and_replicas_converge() {
     let app = FlyByNight::new(5);
     let crashes = CrashSchedule::new(vec![CrashWindow::new(NodeId(2), 0, 500)]);
-    let cluster = Cluster::new(&app, cfg(crashes));
+    let cluster = Runner::eager(&app, cfg(crashes));
     let mut invs = Vec::new();
     for i in 1..=6u32 {
         invs.push(Invocation::new(
@@ -72,7 +72,7 @@ fn crash_during_barrier_defers_promises() {
     let app = FlyByNight::new(5);
     // Node 1 is down while the critical mover at node 0 probes.
     let crashes = CrashSchedule::new(vec![CrashWindow::new(NodeId(1), 0, 400)]);
-    let cluster = Cluster::new(&app, cfg(crashes));
+    let cluster = Runner::eager(&app, cfg(crashes));
     let invs = vec![
         Invocation::new(5, NodeId(0), AirlineTxn::Request(Person(1))),
         Invocation::new(20, NodeId(0), AirlineTxn::MoveUp),
@@ -130,7 +130,7 @@ fn gossip_rejects_clients_at_crashed_nodes() {
         150,
     )]));
     config.sink = Some(Arc::clone(&sink));
-    let cluster = GossipCluster::new(&app, config, GossipConfig { interval: 20 });
+    let cluster = Runner::gossip(&app, config, GossipConfig { interval: 20 });
     let report = cluster.run(rejection_invocations());
     assert_rejects_like_broadcast(&report, &sink);
     assert!(report.mutually_consistent());
@@ -147,7 +147,7 @@ fn partial_rejects_clients_at_crashed_nodes() {
         150,
     )]));
     config.sink = Some(Arc::clone(&sink));
-    let cluster = PartialCluster::new(&app, config, Placement::full(3, &app.objects()));
+    let cluster = Runner::partial(&app, config, Placement::full(3, &app.objects()));
     let report = cluster.run(rejection_invocations());
     assert_rejects_like_broadcast(&report, &sink);
     assert!(report.mutually_consistent());
@@ -156,7 +156,7 @@ fn partial_rejects_clients_at_crashed_nodes() {
 #[test]
 fn no_crashes_is_the_default() {
     let app = FlyByNight::new(5);
-    let cluster = Cluster::new(
+    let cluster = Runner::eager(
         &app,
         ClusterConfig {
             nodes: 2,

@@ -4,7 +4,7 @@ use shard_apps::airline::{AirlineTxn, FlyByNight};
 use shard_apps::Person;
 use shard_core::conditions;
 use shard_sim::partition::{PartitionSchedule, PartitionWindow};
-use shard_sim::{ClusterConfig, DelayModel, GossipCluster, GossipConfig, Invocation, NodeId};
+use shard_sim::{ClusterConfig, DelayModel, GossipConfig, Invocation, NodeId, Runner};
 
 fn booking(n: u32, nodes: u16, gap: u64) -> Vec<Invocation<AirlineTxn>> {
     let mut invs = Vec::new();
@@ -29,7 +29,7 @@ fn booking(n: u32, nodes: u16, gap: u64) -> Vec<Invocation<AirlineTxn>> {
 #[test]
 fn gossip_converges_and_emits_valid_executions() {
     let app = FlyByNight::new(10);
-    let cluster = GossipCluster::new(
+    let cluster = Runner::gossip(
         &app,
         ClusterConfig {
             nodes: 4,
@@ -54,7 +54,7 @@ fn gossip_converges_and_emits_valid_executions() {
 fn slower_gossip_means_larger_k() {
     let app = FlyByNight::new(10);
     let run = |interval| {
-        let cluster = GossipCluster::new(
+        let cluster = Runner::gossip(
             &app,
             ClusterConfig {
                 nodes: 4,
@@ -85,7 +85,7 @@ fn gossip_rides_out_partitions() {
     let app = FlyByNight::new(10);
     let partitions =
         PartitionSchedule::new(vec![PartitionWindow::isolate(0, 800, vec![NodeId(0)])]);
-    let cluster = GossipCluster::new(
+    let cluster = Runner::gossip(
         &app,
         ClusterConfig {
             nodes: 3,
@@ -107,7 +107,7 @@ fn gossip_rides_out_partitions() {
 #[test]
 fn single_node_gossips_nothing() {
     let app = FlyByNight::new(10);
-    let cluster = GossipCluster::new(
+    let cluster = Runner::gossip(
         &app,
         ClusterConfig {
             nodes: 1,
@@ -129,7 +129,7 @@ fn gossip_emits_the_shared_merge_trace_vocabulary() {
     // events as flooding runs — pinned against the report's own metrics.
     let app = FlyByNight::new(10);
     let sink = shard_obs::EventSink::in_memory();
-    let cluster = GossipCluster::new(
+    let cluster = Runner::gossip(
         &app,
         ClusterConfig {
             nodes: 4,
@@ -178,7 +178,7 @@ fn gossip_emits_the_shared_merge_trace_vocabulary() {
 fn deterministic_per_seed() {
     let app = FlyByNight::new(10);
     let run = |seed| {
-        GossipCluster::new(
+        Runner::gossip(
             &app,
             ClusterConfig {
                 nodes: 3,

@@ -77,16 +77,13 @@ fn merge_log_absorbs_duplicated_and_reordered_deliveries() {
     let updates: Vec<_> = clean
         .transactions
         .iter()
-        .map(|t| (t.ts, t.update.clone()))
+        .map(|t| (t.ts, t.update))
         .collect();
     assert!(updates.len() >= 40, "workload too small to mean anything");
 
     let mut reference = MergeLog::new(&app, 8);
     for (ts, u) in &updates {
-        assert!(
-            reference.merge(&app, *ts, u.clone()),
-            "fresh update ignored"
-        );
+        assert!(reference.merge(&app, *ts, *u), "fresh update ignored");
     }
 
     // Adversarial schedule: newest-first (every merge after the first
@@ -94,14 +91,14 @@ fn merge_log_absorbs_duplicated_and_reordered_deliveries() {
     // (every merge a duplicate), with a third copy of every other entry.
     let mut chaotic = MergeLog::new(&app, 8);
     for (ts, u) in updates.iter().rev() {
-        chaotic.merge(&app, *ts, u.clone());
+        chaotic.merge(&app, *ts, *u);
     }
     let mut expected_dups = 0u64;
     for (i, (ts, u)) in updates.iter().enumerate() {
-        assert!(!chaotic.merge(&app, *ts, u.clone()), "duplicate accepted");
+        assert!(!chaotic.merge(&app, *ts, *u), "duplicate accepted");
         expected_dups += 1;
         if i % 2 == 0 {
-            chaotic.merge(&app, *ts, u.clone());
+            chaotic.merge(&app, *ts, *u);
             expected_dups += 1;
         }
     }

@@ -10,8 +10,8 @@ use shard_apps::Person;
 use shard_core::ObjectModel;
 use shard_sim::partition::{PartitionSchedule, PartitionWindow};
 use shard_sim::{
-    Cluster, ClusterConfig, CrashSchedule, CrashWindow, DelayModel, GossipCluster, GossipConfig,
-    Invocation, NodeId, PartialCluster, Placement,
+    ClusterConfig, CrashSchedule, CrashWindow, DelayModel, GossipConfig, Invocation, NodeId,
+    Placement, Runner,
 };
 
 fn airline_invs() -> impl Strategy<Value = Vec<Invocation<AirlineTxn>>> {
@@ -49,7 +49,7 @@ proptest! {
         interval in 5u64..200,
     ) {
         let app = FlyByNight::new(4);
-        let cluster = GossipCluster::new(
+        let cluster = Runner::gossip(
             &app,
             ClusterConfig {
                 nodes: 4,
@@ -80,7 +80,7 @@ proptest! {
         let app = FlyByNight::new(4);
         let crashes =
             CrashSchedule::new(vec![CrashWindow::new(NodeId(victim), start, start + len)]);
-        let cluster = Cluster::new(
+        let cluster = Runner::eager(
             &app,
             ClusterConfig {
                 nodes: 4,
@@ -126,7 +126,7 @@ proptest! {
             invs.push(Invocation::new(t, node, txn));
         }
         invs.sort_by_key(|i| i.time);
-        let cluster = PartialCluster::new(
+        let cluster = Runner::partial(
             &app,
             ClusterConfig {
                 nodes: 4,
@@ -159,11 +159,11 @@ proptest! {
         // two transports can pick different updates; what must agree is
         // each system with its own formal execution. Compare each
         // against its own model rather than against each other.
-        let flood = Cluster::new(&app, cfg.clone()).run(invs.clone());
+        let flood = Runner::eager(&app, cfg.clone()).run(invs.clone());
         let te = flood.timed_execution();
         prop_assert_eq!(&flood.final_states[0], &te.execution.final_state(&app));
         let gossip =
-            GossipCluster::new(&app, cfg, GossipConfig { interval: 40 }).run(invs);
+            Runner::gossip(&app, cfg, GossipConfig { interval: 40 }).run(invs);
         let te = gossip.timed_execution();
         prop_assert_eq!(&gossip.final_states[0], &te.execution.final_state(&app));
     }

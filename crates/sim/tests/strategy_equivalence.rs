@@ -34,7 +34,7 @@ type Fingerprint<A> = (
     u64,
     NodeId,
     <A as Application>::Update,
-    std::sync::Arc<Vec<Timestamp>>,
+    shard_sim::KnownSet,
 );
 
 fn fingerprints<A: Application>(report: &RunReport<A>) -> Vec<Fingerprint<A>> {

@@ -12,7 +12,7 @@ use shard::apps::airline::{AirlineTxn, FlyByNight, ACTION_WAITLIST, OVERBOOKING}
 use shard::apps::Person;
 use shard::core::Application;
 use shard::sim::partition::{PartitionSchedule, PartitionWindow};
-use shard::sim::{Cluster, ClusterConfig, DelayModel, Invocation, NodeId};
+use shard::sim::{ClusterConfig, DelayModel, Invocation, NodeId, Runner};
 
 fn main() {
     // A 3-seat commuter flight sold from two ticket offices (nodes 0
@@ -20,7 +20,7 @@ fn main() {
     let app = FlyByNight::new(3);
     let partitions =
         PartitionSchedule::new(vec![PartitionWindow::isolate(100, 600, vec![NodeId(1)])]);
-    let cluster = Cluster::new(
+    let cluster = Runner::eager(
         &app,
         ClusterConfig {
             nodes: 2,

@@ -8,7 +8,7 @@
 use shard::apps::banking::{AccountId, Bank, BankTxn};
 use shard::core::Application;
 use shard::sim::partition::{PartitionSchedule, PartitionWindow};
-use shard::sim::{Cluster, ClusterConfig, DelayModel, Invocation, NodeId};
+use shard::sim::{ClusterConfig, DelayModel, Invocation, NodeId, Runner};
 
 fn main() {
     let app = Bank::new(2, 50_000);
@@ -18,7 +18,7 @@ fn main() {
     // Three branches; branch 2's ATM is cut off from t=50 to t=400.
     let partitions =
         PartitionSchedule::new(vec![PartitionWindow::isolate(50, 400, vec![NodeId(2)])]);
-    let cluster = Cluster::new(
+    let cluster = Runner::eager(
         &app,
         ClusterConfig {
             nodes: 3,

@@ -8,14 +8,14 @@
 
 use shard::apps::dictionary::{bucket_of, DictTxn, Dictionary};
 use shard::core::ObjectModel;
-use shard::sim::{ClusterConfig, DelayModel, Invocation, PartialCluster, Placement};
+use shard::sim::{ClusterConfig, DelayModel, Invocation, Placement, Runner};
 
 fn main() {
     let app = Dictionary;
     let objects = app.objects();
     // Six nodes, each bucket replicated on three of them.
     let placement = Placement::round_robin(6, &objects, 3);
-    let cluster = PartialCluster::new(
+    let cluster = Runner::partial(
         &app,
         ClusterConfig {
             nodes: 6,

@@ -9,14 +9,14 @@
 
 use shard::apps::inventory::{InvTxn, ItemId, Order, OrderId, Warehouse};
 use shard::core::Application;
-use shard::sim::{Cluster, ClusterConfig, DelayModel, Invocation, NodeId};
+use shard::sim::{ClusterConfig, DelayModel, Invocation, NodeId, Runner};
 
 fn main() {
     // One hot SKU, 10 units in stock, orders up to 4 units, $40 per
     // oversold unit / $15 per unnecessarily backordered unit.
     let app = Warehouse::new(1, 4, 40, 15);
     let item = ItemId(0);
-    let cluster = Cluster::new(
+    let cluster = Runner::eager(
         &app,
         ClusterConfig {
             nodes: 3,

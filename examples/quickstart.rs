@@ -11,13 +11,13 @@ use shard::analysis::{completeness, trace};
 use shard::apps::airline::{AirlineTxn, FlyByNight, OVERBOOKING, UNDERBOOKING};
 use shard::apps::Person;
 use shard::core::costs::BoundFn;
-use shard::sim::{Cluster, ClusterConfig, DelayModel, Invocation, NodeId};
+use shard::sim::{ClusterConfig, DelayModel, Invocation, NodeId, Runner};
 
 fn main() {
     // A 10-seat flight, replicated across 5 nodes with exponential
     // message delays (mean 30 ticks).
     let app = FlyByNight::new(10);
-    let cluster = Cluster::new(
+    let cluster = Runner::eager(
         &app,
         ClusterConfig {
             nodes: 5,

@@ -32,11 +32,11 @@
 //! use shard::apps::airline::{AirlineTxn, FlyByNight, OVERBOOKING};
 //! use shard::apps::Person;
 //! use shard::core::costs::BoundFn;
-//! use shard::sim::{Cluster, ClusterConfig, Invocation, NodeId};
+//! use shard::sim::{Runner, ClusterConfig, Invocation, NodeId};
 //! use shard::analysis::claims::check_invariant_bound;
 //!
 //! let app = FlyByNight::new(3);
-//! let cluster = Cluster::new(&app, ClusterConfig::default());
+//! let cluster = Runner::eager(&app, ClusterConfig::default());
 //! let mut invs = Vec::new();
 //! for i in 1..=6u32 {
 //!     invs.push(Invocation::new(u64::from(i) * 10, NodeId((i % 5) as u16),

@@ -6,7 +6,7 @@ use shard::apps::Person;
 use shard::baseline::{BaselineConfig, PrimaryCopy, TxnOutcome};
 use shard::core::{conditions, Application};
 use shard::sim::partition::{PartitionSchedule, PartitionWindow};
-use shard::sim::{Cluster, ClusterConfig, DelayModel, Invocation, NodeId};
+use shard::sim::{ClusterConfig, DelayModel, Invocation, NodeId, Runner};
 
 fn contended_workload() -> Vec<Invocation<AirlineTxn>> {
     // Twelve passengers chase 5 seats from 4 nodes during a partition
@@ -69,7 +69,7 @@ fn baseline_preserves_integrity_but_loses_availability() {
 #[test]
 fn shard_stays_available_and_pays_bounded_cost() {
     let app = FlyByNight::new(5);
-    let cluster = Cluster::new(
+    let cluster = Runner::eager(
         &app,
         ClusterConfig {
             nodes: 4,
@@ -116,7 +116,7 @@ fn without_partitions_both_systems_behave_well() {
     let breport = sys.run(invs.clone());
     assert!((breport.availability() - 1.0).abs() < 1e-9);
 
-    let cluster = Cluster::new(
+    let cluster = Runner::eager(
         &app,
         ClusterConfig {
             nodes: 4,

@@ -8,12 +8,12 @@ use shard::apps::inventory::{InvTxn, ItemId, Order, OrderId, Warehouse};
 use shard::core::costs::BoundFn;
 use shard::core::Application;
 use shard::sim::partition::{PartitionSchedule, PartitionWindow};
-use shard::sim::{Cluster, ClusterConfig, DelayModel, Invocation, NodeId};
+use shard::sim::{ClusterConfig, DelayModel, Invocation, NodeId, Runner};
 
 #[test]
 fn bank_replicas_converge_and_overdrafts_stay_bounded() {
     let app = Bank::new(2, 1_000);
-    let cluster = Cluster::new(
+    let cluster = Runner::eager(
         &app,
         ClusterConfig {
             nodes: 3,
@@ -53,7 +53,7 @@ fn warehouse_replicas_converge_under_partition() {
     let item = ItemId(0);
     let partitions =
         PartitionSchedule::new(vec![PartitionWindow::isolate(50, 400, vec![NodeId(1)])]);
-    let cluster = Cluster::new(
+    let cluster = Runner::eager(
         &app,
         ClusterConfig {
             nodes: 2,
@@ -110,7 +110,7 @@ fn warehouse_replicas_converge_under_partition() {
 #[test]
 fn dictionary_nodes_agree_and_stale_lookups_are_visible() {
     let app = Dictionary;
-    let cluster = Cluster::new(
+    let cluster = Runner::eager(
         &app,
         ClusterConfig {
             nodes: 3,
@@ -147,7 +147,7 @@ fn last_writer_wins_is_by_timestamp_not_arrival() {
     // Node 1's later-timestamped write beats node 0's even when node
     // 0's message arrives at node 2 afterwards.
     let app = Dictionary;
-    let cluster = Cluster::new(
+    let cluster = Runner::eager(
         &app,
         ClusterConfig {
             nodes: 3,

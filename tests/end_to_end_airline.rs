@@ -8,7 +8,7 @@ use shard::apps::Person;
 use shard::core::costs::BoundFn;
 use shard::core::{conditions, Application};
 use shard::sim::partition::{PartitionSchedule, PartitionWindow};
-use shard::sim::{Cluster, ClusterConfig, DelayModel, Invocation, NodeId};
+use shard::sim::{ClusterConfig, DelayModel, Invocation, NodeId, Runner};
 
 fn booking_storm(seed: u64, n: u32, nodes: u16) -> Vec<Invocation<AirlineTxn>> {
     // Requests and move-ups interleaved tightly across all nodes.
@@ -36,7 +36,7 @@ fn every_simulated_execution_satisfies_the_formal_model() {
     let app = FlyByNight::new(20);
     for seed in [1u64, 2, 3] {
         for delay in [DelayModel::Fixed(5), DelayModel::Exponential { mean: 50 }] {
-            let cluster = Cluster::new(
+            let cluster = Runner::eager(
                 &app,
                 ClusterConfig {
                     nodes: 4,
@@ -65,7 +65,7 @@ fn theorem_battery_on_partitioned_runs() {
             PartitionWindow::isolate(50, 300, vec![NodeId(0)]),
             PartitionWindow::isolate(350, 500, vec![NodeId(3)]),
         ]);
-        let cluster = Cluster::new(
+        let cluster = Runner::eager(
             &app,
             ClusterConfig {
                 nodes: 4,
@@ -99,7 +99,7 @@ fn centralized_movers_with_piggyback_never_overbook() {
     // Theorem 22/23 hypotheses realized by routing + piggybacking.
     let app = FlyByNight::new(10);
     for seed in [9u64, 10] {
-        let cluster = Cluster::new(
+        let cluster = Runner::eager(
             &app,
             ClusterConfig {
                 nodes: 3,
@@ -137,7 +137,7 @@ fn external_actions_fire_once_at_origin_despite_redo() {
     // The decision/update split in action: P assigned exactly once even
     // though the update is re-merged at every node.
     let app = FlyByNight::new(5);
-    let cluster = Cluster::new(
+    let cluster = Runner::eager(
         &app,
         ClusterConfig {
             nodes: 4,
@@ -168,7 +168,7 @@ fn external_actions_fire_once_at_origin_despite_redo() {
 fn deterministic_reports_per_seed() {
     let app = FlyByNight::new(20);
     let run = |seed: u64| {
-        let cluster = Cluster::new(
+        let cluster = Runner::eager(
             &app,
             ClusterConfig {
                 nodes: 4,

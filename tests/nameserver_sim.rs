@@ -4,14 +4,14 @@
 
 use shard::apps::nameserver::{GroupId, Name, NameServer, NsTxn};
 use shard::core::Application;
-use shard::sim::{Cluster, ClusterConfig, DelayModel, Invocation, NodeId};
+use shard::sim::{ClusterConfig, DelayModel, Invocation, NodeId, Runner};
 
 #[test]
 fn racing_deregistration_dangles_then_scavenges() {
     let app = NameServer::new(1, 25);
     let g = GroupId(0);
     let alice = Name(1);
-    let cluster = Cluster::new(
+    let cluster = Runner::eager(
         &app,
         ClusterConfig {
             nodes: 2,
@@ -54,7 +54,7 @@ fn racing_deregistration_dangles_then_scavenges() {
 #[test]
 fn lookups_route_messages_by_observed_bindings() {
     let app = NameServer::new(1, 25);
-    let cluster = Cluster::new(
+    let cluster = Runner::eager(
         &app,
         ClusterConfig {
             nodes: 2,

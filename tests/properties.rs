@@ -10,7 +10,7 @@ use shard::apps::Person;
 use shard::core::costs::BoundFn;
 use shard::core::{conditions, Application};
 use shard::sim::partition::{PartitionSchedule, PartitionWindow};
-use shard::sim::{Cluster, ClusterConfig, DelayModel, Invocation, NodeId};
+use shard::sim::{ClusterConfig, DelayModel, Invocation, NodeId, Runner};
 
 /// Strategy: a random airline transaction over a small person pool.
 fn txn_strategy() -> impl Strategy<Value = AirlineTxn> {
@@ -59,7 +59,7 @@ proptest! {
         mean in 1u64..200,
     ) {
         let app = FlyByNight::new(5);
-        let cluster = Cluster::new(&app, ClusterConfig {
+        let cluster = Runner::eager(&app, ClusterConfig {
             nodes: 4,
             seed,
             delay: DelayModel::Exponential { mean },
@@ -80,7 +80,7 @@ proptest! {
         seed in 0u64..1000,
     ) {
         let app = FlyByNight::new(5);
-        let cluster = Cluster::new(&app, ClusterConfig {
+        let cluster = Runner::eager(&app, ClusterConfig {
             nodes: 4,
             seed,
             delay: DelayModel::Uniform { lo: 1, hi: 150 },
@@ -105,7 +105,7 @@ proptest! {
         seed in 0u64..1000,
     ) {
         let app = FlyByNight::new(5);
-        let cluster = Cluster::new(&app, ClusterConfig {
+        let cluster = Runner::eager(&app, ClusterConfig {
             nodes: 4,
             seed,
             delay: DelayModel::Exponential { mean: 80 },
@@ -124,7 +124,7 @@ proptest! {
         seed in 0u64..1000,
     ) {
         let app = FlyByNight::new(5);
-        let cluster = Cluster::new(&app, ClusterConfig {
+        let cluster = Runner::eager(&app, ClusterConfig {
             nodes: 4,
             seed,
             delay: DelayModel::Uniform { lo: 1, hi: 80 },

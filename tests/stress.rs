@@ -10,7 +10,7 @@ use shard::core::conditions;
 use shard::core::costs::BoundFn;
 use shard::sim::partition::{PartitionSchedule, PartitionWindow};
 use shard::sim::{
-    Cluster, ClusterConfig, CrashSchedule, CrashWindow, DelayModel, Invocation, NodeId,
+    ClusterConfig, CrashSchedule, CrashWindow, DelayModel, Invocation, NodeId, Runner,
 };
 
 fn big_workload(seed: u64, n: u32, nodes: u16) -> Vec<Invocation<AirlineTxn>> {
@@ -51,7 +51,7 @@ fn three_thousand_transactions_survive_the_battery() {
         PartitionWindow::isolate(9_000, 12_000, vec![NodeId(5)]),
     ]);
     let crashes = CrashSchedule::new(vec![CrashWindow::new(NodeId(3), 4_000, 7_000)]);
-    let cluster = Cluster::new(
+    let cluster = Runner::eager(
         &app,
         ClusterConfig {
             nodes: 6,
