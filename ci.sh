@@ -80,6 +80,23 @@ run cargo run -q --release -p shard-cli --bin shard-trace -- \
 # The budget constant lives in exp_state_sweep.rs; the sidecar check
 # re-asserts it from the recorded counters so a regression in either
 # the engine or the accounting fails CI.
+# The crash-recovery gate: E24 end to end at smoke scale (the replay
+# perf phase shrunk to 2*10^4 entries). Each disk-backed sweep run is a
+# CrashRecoverInjector schedule — nodes lose their unsynced WAL tails
+# mid-run and are rebuilt from disk — and the binary exits non-zero
+# unless every §3 oracle holds: the execution verifies, transitivity
+# and the Cor 8 bound survive the restarts, the recovered replicas
+# re-converge, their final state diffs clean against the canonical
+# serial replay, and the in-kernel monitor's certified verdicts equal
+# the offline `par_check` fold. The sidecar check then re-asserts from
+# the recorded counters that the *clean* phase (durability attached,
+# nothing killed) truncated no torn WAL tails.
+run env SHARD_E24_REPLAY=20000 \
+  cargo run -q --release -p shard-bench --bin exp_e24_store_recovery
+run cargo run -q --release -p shard-cli --bin shard-trace -- \
+  check target/exp_metrics/e24.json \
+  experiment ok wall_time_ms claims counters gauges histograms spans \
+  "store.wal_torn_truncations_clean<=0"
 run cargo run -q --release -p shard-bench --bin exp_state_sweep
 run cargo run -q --release -p shard-cli --bin shard-trace -- \
   check target/exp_metrics/state_sweep.json \

@@ -33,6 +33,7 @@
 pub mod airline;
 pub mod airline_ts;
 pub mod banking;
+pub mod codec;
 pub mod dictionary;
 pub mod inventory;
 pub mod nameserver;

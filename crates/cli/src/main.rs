@@ -63,6 +63,12 @@ const COMMANDS: &[Command] = &[
         run: certify,
     },
     Command {
+        name: "store",
+        synopsis: "<dir>",
+        blurb: "inspect on-disk store segments (a node dir or a fleet dir of node-*/); exit 1 on a torn tail",
+        run: store,
+    },
+    Command {
         name: "watch",
         synopsis: "<trace.jsonl> [--window N] [--follow] [--cert-out <path>]",
         blurb: "run the online SS3 monitors over a (growing) trace, emitting window verdicts",
@@ -241,6 +247,78 @@ fn certify(args: &[String]) -> CmdResult {
         "{cert_path}: {} certificate accepted: {}",
         verdict.property, verdict.detail
     );
+    Ok(())
+}
+
+/// Renders one store directory's [`shard_store::WalInspection`];
+/// returns whether its tail is torn.
+fn store_one(label: &str, dir: &Path) -> Result<bool, CliError> {
+    let info = shard_store::Wal::inspect(dir).map_err(|e| fail(format!("{label}: {e}")))?;
+    println!("{label}:");
+    for s in &info.segments {
+        let tail = if s.valid_bytes < s.file_bytes {
+            format!(
+                "  TORN ({} trailing bytes invalid)",
+                s.file_bytes - s.valid_bytes
+            )
+        } else {
+            String::new()
+        };
+        println!(
+            "  segment {:06}: {} record(s), {}/{} bytes valid{tail}",
+            s.index, s.records, s.valid_bytes, s.file_bytes
+        );
+    }
+    let fmt_key = |k: Option<shard_store::StoreKey>| {
+        k.map_or("-".into(), |k| format!("{}.{}", k.primary, k.secondary))
+    };
+    println!(
+        "  total: {} entr{} in {} segment(s), {} bytes; keys {} .. {}",
+        info.entries,
+        if info.entries == 1 { "y" } else { "ies" },
+        info.segments.len(),
+        info.bytes,
+        fmt_key(info.first_key),
+        fmt_key(info.last_key),
+    );
+    if let Some(at) = info.torn_at {
+        println!("  torn tail at global offset {at} (Wal::open would truncate here)");
+    }
+    Ok(info.torn_at.is_some())
+}
+
+fn store(args: &[String]) -> CmdResult {
+    let [dir] = args else {
+        return Err(bad_usage("store takes exactly one directory"));
+    };
+    let root = Path::new(dir);
+    // A fleet directory (what `DurableFleet` lays down) holds one
+    // `node-<i>` store per replica; anything else is a single store.
+    let mut nodes: Vec<std::path::PathBuf> = std::fs::read_dir(root)
+        .map_err(|e| fail(format!("{dir}: {e}")))?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.is_dir()
+                && p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("node-"))
+        })
+        .collect();
+    nodes.sort();
+    let mut torn = false;
+    if nodes.is_empty() {
+        torn = store_one(dir, root)?;
+    } else {
+        for node in &nodes {
+            torn |= store_one(&node.display().to_string(), node)?;
+        }
+    }
+    if torn {
+        return Err(fail(
+            "torn tail present (unsynced bytes from the last crash)",
+        ));
+    }
     Ok(())
 }
 
@@ -455,10 +533,50 @@ mod tests {
     }
 
     #[test]
+    fn store_inspects_fleets_and_flags_torn_tails() {
+        use shard_store::{StoreKey, Wal, WalOptions};
+        let root = std::env::temp_dir().join(format!("shard-cli-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let node = root.join("node-0");
+        let (mut wal, _) = Wal::open(&node, WalOptions::default()).unwrap();
+        for i in 0..5u64 {
+            wal.append(
+                StoreKey {
+                    primary: i,
+                    secondary: 0,
+                },
+                &[7u8; 9],
+            )
+            .unwrap();
+        }
+        wal.sync().unwrap();
+        drop(wal);
+
+        // Clean: both the fleet directory and the node directory pass.
+        let fleet_arg = [root.display().to_string()];
+        assert!(store(&fleet_arg).is_ok());
+        assert!(store(&[node.display().to_string()]).is_ok());
+
+        // Cut the last record in half: inspection must report the torn
+        // tail and the command must fail (non-zero exit in the CLI).
+        let seg = std::fs::read_dir(&node)
+            .unwrap()
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .find(|p| p.is_file())
+            .unwrap();
+        let bytes = std::fs::read(&seg).unwrap();
+        std::fs::write(&seg, &bytes[..bytes.len() - 3]).unwrap();
+        assert!(matches!(store(&fleet_arg), Err(CliError::Failed(_))));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
     fn argument_shape_errors_are_usage_errors() {
         assert!(matches!(summarize(&[]), Err(CliError::Usage(_))));
         assert!(matches!(diff(&[]), Err(CliError::Usage(_))));
         assert!(matches!(certify(&[]), Err(CliError::Usage(_))));
+        assert!(matches!(store(&[]), Err(CliError::Usage(_))));
         let bad = [
             "t.jsonl".to_string(),
             "--window".to_string(),

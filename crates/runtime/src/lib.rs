@@ -44,8 +44,8 @@ pub mod load;
 pub mod replay;
 
 pub use live::{
-    run_eager, run_gossip, run_live, run_partial, LiveRun, MsgRecord, RecordedSchedule,
-    RuntimeConfig, Submission,
+    run_eager, run_gossip, run_live, run_live_durable, run_partial, LiveRun, MsgRecord,
+    RecordedSchedule, RuntimeConfig, Submission,
 };
 pub use load::{banking_submissions, Pacing, Zipf};
 pub use replay::{replay_eager, replay_gossip, replay_partial, report_digest, report_json};

@@ -43,8 +43,10 @@ use shard_sim::events::SimTime;
 use shard_sim::kernel::{Entries, Node};
 use shard_sim::{
     EagerBroadcast, ExecutedTxn, FaultStats, GossipDelta, LiveMonitor, MonitorConfig, NodeId,
-    PartialPlacement, Placement, Propagation, RunReport, Timestamp, Transport, WallClock,
+    NodeMirror, PartialPlacement, Placement, Propagation, RunReport, Timestamp, Transport,
+    WallClock,
 };
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::sync::{mpsc, Arc};
@@ -256,6 +258,11 @@ struct NodeWorker<'s, A: Application, P> {
     mon_tx: Option<Sender<MonRow>>,
     sink: Option<&'s EventSink>,
     metrics: &'s RuntimeMetrics,
+    /// Durable mirror of the node's log ([`run_live_durable`]): own
+    /// updates are appended + fsynced before propagation, received
+    /// batches appended without a barrier — the same write-ahead
+    /// discipline as the kernel's `Runner::with_durability`.
+    mirror: Option<NodeMirror<A>>,
     out: NodeOutcome<A>,
 }
 
@@ -284,6 +291,9 @@ impl<A: Application, P: Propagation<A>> NodeWorker<'_, A, P> {
                 emit_merge_outcome(s, outcome, now, id);
             }
         });
+        if let Some(m) = self.mirror.as_mut() {
+            m.persist(&self.node.log, false);
+        }
         self.out.msgs.push(MsgRecord {
             sent_at: msg.sent_at,
             from: msg.from,
@@ -318,6 +328,11 @@ impl<A: Application, P: Propagation<A>> NodeWorker<'_, A, P> {
                 .emit();
         }
         let (txn, update) = self.node.execute(self.app, decision, now);
+        // Write-ahead: the own update reaches stable storage before any
+        // peer can learn of it.
+        if let Some(m) = self.mirror.as_mut() {
+            m.persist(&self.node.log, true);
+        }
         self.metrics
             .latency_us
             .record(self.shared.clock.elapsed_us().saturating_sub(at_us));
@@ -362,6 +377,11 @@ impl<A: Application, P: Propagation<A>> NodeWorker<'_, A, P> {
         let mut next_sub = 0usize;
         let mut next_round_us = tick_every_us.unwrap_or(0);
         let mut acked = false;
+        // Publish the starting clock/log-length: a node recovered from
+        // a durable mirror begins with a non-empty log, and the
+        // coordinator's convergence rule must see it even if the node
+        // never executes or receives anything.
+        self.publish();
         loop {
             let mut did = self.drain();
             if !self.shared.stop.load(Ordering::SeqCst) {
@@ -532,6 +552,56 @@ where
     A::Decision: Send,
     P: Propagation<A> + Clone + Send,
 {
+    run_live_inner(app, cfg, strategy, submissions, None)
+}
+
+/// [`run_live`] with one durable [`NodeMirror`] per node (see
+/// `shard_sim::durable`): each node thread appends its arrivals to its
+/// mirror — own updates fsynced before propagation, received batches
+/// without a barrier — and a mirror that already holds entries (a
+/// previous process's store) has its node **recovered from the WAL**
+/// before the threads start, which is how a live cluster restarts.
+///
+/// # Panics
+///
+/// Panics if the mirror count differs from `cfg.nodes`, or if a
+/// submission names a node outside the cluster.
+pub fn run_live_durable<A, P>(
+    app: &A,
+    cfg: &RuntimeConfig,
+    strategy: P,
+    submissions: Vec<Submission<A::Decision>>,
+    mirrors: Vec<NodeMirror<A>>,
+) -> LiveRun<A>
+where
+    A: Application + Sync,
+    A::State: Send,
+    A::Update: Send + Sync,
+    A::Decision: Send,
+    P: Propagation<A> + Clone + Send,
+{
+    assert_eq!(
+        mirrors.len(),
+        cfg.nodes as usize,
+        "one durable mirror per node"
+    );
+    run_live_inner(app, cfg, strategy, submissions, Some(mirrors))
+}
+
+fn run_live_inner<A, P>(
+    app: &A,
+    cfg: &RuntimeConfig,
+    strategy: P,
+    submissions: Vec<Submission<A::Decision>>,
+    mirrors: Option<Vec<NodeMirror<A>>>,
+) -> LiveRun<A>
+where
+    A: Application + Sync,
+    A::State: Send,
+    A::Update: Send + Sync,
+    A::Decision: Send,
+    P: Propagation<A> + Clone + Send,
+{
     assert!(cfg.nodes > 0, "a live cluster needs at least one node");
     assert!(
         submissions.iter().all(|s| s.node.0 < cfg.nodes),
@@ -559,6 +629,32 @@ where
         log_lens: (0..n).map(|_| AtomicU64::new(0)).collect(),
     };
 
+    // Recover nodes from mirrors that already hold entries (a previous
+    // process's stores), and collect the distinct recovered timestamps:
+    // the final union every log must reach is `recovered ∪ new`, and
+    // new executions always mint fresh timestamps, so the convergence
+    // target is exactly `recovered_union + total`.
+    let mut recovered_union: BTreeSet<Timestamp> = BTreeSet::new();
+    let mut mirror_iter = mirrors.map(Vec::into_iter);
+    let prepared: Vec<(Node<A>, Option<NodeMirror<A>>)> = (0..n)
+        .map(|id| {
+            let nid = NodeId(id as u16);
+            let mut mirror = mirror_iter.as_mut().and_then(|it| it.next());
+            let node = match mirror.as_mut() {
+                Some(m) if m.entries() > 0 => {
+                    let (node, _) = m.recover(app, nid, cfg.checkpoint_every);
+                    for (ts, _) in node.log.entries() {
+                        recovered_union.insert(*ts);
+                    }
+                    node
+                }
+                _ => Node::new(app, nid, cfg.checkpoint_every),
+            };
+            (node, mirror)
+        })
+        .collect();
+    let target = total + recovered_union.len() as u64;
+
     let (senders, receivers): (Vec<_>, Vec<_>) = (0..n).map(|_| mpsc::channel::<Msg<A>>()).unzip();
     let mon_cfg = sanitize_monitor(&cfg.monitor);
     let (mon_tx, mon_rx) = mpsc::channel::<MonRow>();
@@ -572,11 +668,16 @@ where
         let senders = &senders;
         let metrics = &metrics;
         let mut handles = Vec::with_capacity(n);
-        for (id, (rx, subs)) in receivers.into_iter().zip(per_node).enumerate() {
+        for (id, ((rx, subs), (node, mirror))) in receivers
+            .into_iter()
+            .zip(per_node)
+            .zip(prepared)
+            .enumerate()
+        {
             let id = NodeId(id as u16);
             let worker = NodeWorker {
                 app,
-                node: Node::new(app, id, cfg.checkpoint_every),
+                node,
                 strategy: strategy.clone(),
                 shared,
                 transport: ChannelTransport {
@@ -590,6 +691,7 @@ where
                 mon_tx: mon_tx.clone(),
                 sink: cfg.sink.as_deref(),
                 metrics,
+                mirror,
                 out: NodeOutcome {
                     txns: Vec::new(),
                     externals: Vec::new(),
@@ -628,7 +730,7 @@ where
                     && shared
                         .log_lens
                         .iter()
-                        .all(|l| l.load(Ordering::SeqCst) == total)
+                        .all(|l| l.load(Ordering::SeqCst) == target)
             } else {
                 all_executed && depth == 0
             };

@@ -138,8 +138,28 @@ impl<A: Application> Propagation<A> for Gossip {
     }
 
     fn synced(&self, _app: &A, nodes: &[Node<A>], transactions: &[ExecutedTxn<A>]) -> bool {
-        nodes.iter().all(|n| n.log.len() == transactions.len())
+        synced_on_identical_logs(nodes, transactions)
     }
+}
+
+/// The gossip strategies' shared stopping rule: every replica's log is
+/// identical and covers at least every transaction this run executed.
+/// On an ordinary run this is exactly "every log holds all `n` executed
+/// transactions"; on a run whose nodes recovered durable state from a
+/// previous process ([`crate::Runner::with_durability`]) the recovered
+/// entries inflate the logs past this run's transaction count, so the
+/// rule compares the logs themselves. Length equality is the cheap
+/// gate; the known-set comparison runs only once lengths agree.
+fn synced_on_identical_logs<A: Application>(
+    nodes: &[Node<A>],
+    transactions: &[ExecutedTxn<A>],
+) -> bool {
+    let len0 = nodes[0].log.len();
+    len0 >= transactions.len()
+        && nodes.iter().all(|n| n.log.len() == len0)
+        && nodes
+            .windows(2)
+            .all(|w| w[0].log.known_set() == w[1].log.known_set())
 }
 
 /// Delta anti-entropy: every `interval` ticks each node pushes to
@@ -249,7 +269,7 @@ impl<A: Application> Propagation<A> for GossipDelta {
     }
 
     fn synced(&self, _app: &A, nodes: &[Node<A>], transactions: &[ExecutedTxn<A>]) -> bool {
-        nodes.iter().all(|n| n.log.len() == transactions.len())
+        synced_on_identical_logs(nodes, transactions)
     }
 }
 

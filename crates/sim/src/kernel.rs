@@ -39,6 +39,7 @@ use crate::broadcast::delivery_time;
 use crate::clock::{LamportClock, NodeId, Timestamp};
 use crate::crash::CrashSchedule;
 use crate::delay::DelayModel;
+use crate::durable::DurableFleet;
 use crate::events::{EventQueue, SimTime};
 use crate::known::KnownSet;
 use crate::merge::{MergeLog, MergeMetrics, MergeOutcome};
@@ -472,6 +473,18 @@ enum Event<A: Application> {
         id: usize,
         sent: u64,
     },
+    /// Durability only: the node's store suffers a simulated power cut
+    /// at the start of its crash window (unsynced tail may be lost,
+    /// possibly tearing a record).
+    Kill {
+        node: NodeId,
+    },
+    /// Durability only: at the end of its crash window the node is
+    /// rebuilt from its store — WAL replayed through a fresh merge log,
+    /// Lamport clock re-observed — and rejoins propagation.
+    Recover {
+        node: NodeId,
+    },
 }
 
 /// A critical transaction waiting for its barrier to clear.
@@ -715,6 +728,7 @@ pub struct Runner<'a, A: Application, P: Propagation<A>> {
     strategy: P,
     nemesis: Option<Box<dyn Nemesis>>,
     ticks: Option<Vec<(SimTime, NodeId)>>,
+    durability: Option<DurableFleet<A>>,
 }
 
 impl<'a, A: Application, P: Propagation<A>> Runner<'a, A, P> {
@@ -735,6 +749,7 @@ impl<'a, A: Application, P: Propagation<A>> Runner<'a, A, P> {
             strategy,
             nemesis: None,
             ticks: None,
+            durability: None,
         }
     }
 
@@ -747,6 +762,32 @@ impl<'a, A: Application, P: Propagation<A>> Runner<'a, A, P> {
     #[must_use]
     pub fn with_nemesis(mut self, nemesis: Box<dyn Nemesis>) -> Self {
         self.nemesis = Some(nemesis);
+        self
+    }
+
+    /// Attaches a durable mirror per node (see [`crate::durable`]): own
+    /// updates are appended to the node's [`shard_store::Store`] and
+    /// fsynced *before* propagation, received updates are appended
+    /// without a barrier, and every crash window in the schedule
+    /// becomes a real kill/recover cycle — the store suffers a
+    /// simulated power cut at window start (unsynced tail lost,
+    /// possibly tearing a record) and the node is rebuilt from the
+    /// surviving WAL at window end. Without crash windows the run is
+    /// observationally identical to a non-durable run (the mirror never
+    /// touches the kernel RNG).
+    ///
+    /// Mirrors opened on existing on-disk stores recover their nodes at
+    /// run start — a process restart. Note [`RunReport::timed_execution`]
+    /// covers only *this* run's transactions, so restarted runs should
+    /// assert on states and logs rather than the formal execution.
+    #[must_use]
+    pub fn with_durability(mut self, fleet: DurableFleet<A>) -> Self {
+        assert_eq!(
+            fleet.len(),
+            self.config.nodes as usize,
+            "one durable mirror per node"
+        );
+        self.durability = Some(fleet);
         self
     }
 
@@ -799,6 +840,7 @@ impl<'a, A: Application, P: Propagation<A>> Runner<'a, A, P> {
             mut strategy,
             mut nemesis,
             ticks: scripted_ticks,
+            mut durability,
         } = self;
         strategy.validate(app, &invocations);
         let span_name = format!("sim.{}.run", strategy.label());
@@ -832,6 +874,33 @@ impl<'a, A: Application, P: Propagation<A>> Runner<'a, A, P> {
             .map(|i| Node::new(app, NodeId(i), cfg.checkpoint_every))
             .collect();
         let mut queue: EventQueue<Event<A>> = EventQueue::new();
+        if let Some(fleet) = durability.as_mut() {
+            // A mirror already holding entries is a previous process's
+            // store: rebuild its node before anything runs (restart).
+            for i in 0..cfg.nodes {
+                let id = NodeId(i);
+                if fleet.entries(id) > 0 {
+                    let (rebuilt, entries) = fleet.recover(app, id, cfg.checkpoint_every);
+                    nodes[i as usize] = rebuilt;
+                    if let Some(s) = cfg.sink.as_deref() {
+                        s.event("store.recover")
+                            .u64("t", 0)
+                            .u64("node", u64::from(i))
+                            .u64("entries", entries as u64)
+                            .emit();
+                    }
+                }
+            }
+            // Kill/recover events are scheduled before invocations and
+            // held deliveries, so at equal times the store dies before
+            // same-tick traffic and revives before the transport
+            // releases the messages held during the outage (the event
+            // queue breaks ties in insertion order).
+            for w in cfg.crashes.windows() {
+                queue.schedule(w.start, Event::Kill { node: w.node });
+                queue.schedule(w.end, Event::Recover { node: w.node });
+            }
+        }
         let mut remaining_invokes = 0u64;
         for inv in invocations {
             assert!(
@@ -920,6 +989,7 @@ impl<'a, A: Application, P: Propagation<A>> Runner<'a, A, P> {
                             &mut external_actions,
                             &mut wire,
                             &mut nemesis,
+                            &mut durability,
                             now,
                             node,
                             decision,
@@ -947,6 +1017,13 @@ impl<'a, A: Application, P: Propagation<A>> Runner<'a, A, P> {
                             emit_merge_outcome(s, outcome, now, to);
                         }
                     });
+                    // Received updates are mirrored without an fsync
+                    // barrier: they survive on their origins and
+                    // re-arrive via anti-entropy if this node's
+                    // unsynced tail is lost.
+                    if let Some(fleet) = durability.as_mut() {
+                        fleet.persist(to, &nodes[to.0 as usize].log, false);
+                    }
                     if pending.is_empty() {
                         continue;
                     }
@@ -961,6 +1038,7 @@ impl<'a, A: Application, P: Propagation<A>> Runner<'a, A, P> {
                         &mut external_actions,
                         &mut wire,
                         &mut nemesis,
+                        &mut durability,
                         &mut pending,
                         &mut barrier_latencies,
                         now,
@@ -1038,11 +1116,42 @@ impl<'a, A: Application, P: Propagation<A>> Runner<'a, A, P> {
                         &mut external_actions,
                         &mut wire,
                         &mut nemesis,
+                        &mut durability,
                         &mut pending,
                         &mut barrier_latencies,
                         now,
                         to,
                     );
+                }
+                Event::Kill { node } => {
+                    let fleet = durability
+                        .as_mut()
+                        .expect("Kill events are scheduled only with durability");
+                    let report = fleet.kill(node);
+                    if let Some(s) = cfg.sink.as_deref() {
+                        s.event("store.kill")
+                            .u64("t", now)
+                            .u64("node", u64::from(node.0))
+                            .u64("kept_entries", report.kept_entries as u64)
+                            .u64("kept_bytes", report.kept_bytes)
+                            .u64("lost_bytes", report.lost_bytes)
+                            .bool("torn", report.torn)
+                            .emit();
+                    }
+                }
+                Event::Recover { node } => {
+                    let fleet = durability
+                        .as_mut()
+                        .expect("Recover events are scheduled only with durability");
+                    let (rebuilt, entries) = fleet.recover(app, node, cfg.checkpoint_every);
+                    nodes[node.0 as usize] = rebuilt;
+                    if let Some(s) = cfg.sink.as_deref() {
+                        s.event("store.recover")
+                            .u64("t", now)
+                            .u64("node", u64::from(node.0))
+                            .u64("entries", entries as u64)
+                            .emit();
+                    }
                 }
             }
             if let Some(m) = monitor.as_mut() {
@@ -1121,6 +1230,7 @@ fn execute_txn<A: Application, P: Propagation<A>>(
     external_actions: &mut Vec<(SimTime, NodeId, ExternalAction)>,
     wire: &mut WireStats,
     nemesis: &mut Option<Box<dyn Nemesis>>,
+    durability: &mut Option<DurableFleet<A>>,
     now: SimTime,
     node: NodeId,
     decision: A::Decision,
@@ -1132,6 +1242,13 @@ fn execute_txn<A: Application, P: Propagation<A>>(
             .emit();
     }
     let (txn, update) = nodes[node.0 as usize].execute(app, decision, now);
+    // Write-ahead discipline: the own update reaches stable storage
+    // (append + fsync) before any peer can learn of it, so a crash can
+    // lose an own update only while it is still invisible to the rest
+    // of the system.
+    if let Some(fleet) = durability.as_mut() {
+        fleet.persist(node, &nodes[node.0 as usize].log, true);
+    }
     for a in &txn.external_actions {
         external_actions.push((now, node, a.clone()));
     }
@@ -1165,6 +1282,7 @@ fn release_criticals<A: Application, P: Propagation<A>>(
     external_actions: &mut Vec<(SimTime, NodeId, ExternalAction)>,
     wire: &mut WireStats,
     nemesis: &mut Option<Box<dyn Nemesis>>,
+    durability: &mut Option<DurableFleet<A>>,
     pending: &mut [PendingCritical<A>],
     barrier_latencies: &mut Vec<SimTime>,
     now: SimTime,
@@ -1207,6 +1325,7 @@ fn release_criticals<A: Application, P: Propagation<A>>(
                 external_actions,
                 wire,
                 nemesis,
+                durability,
                 now,
                 node,
                 decision,

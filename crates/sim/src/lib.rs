@@ -72,6 +72,7 @@ pub mod clock;
 pub mod cluster;
 pub mod crash;
 pub mod delay;
+pub mod durable;
 pub mod events;
 pub mod gossip;
 pub mod kernel;
@@ -89,6 +90,7 @@ pub use cluster::Cluster;
 pub use cluster::{ClusterConfig, ClusterReport, EagerBroadcast, ExecutedTxn, Invocation};
 pub use crash::{CrashSchedule, CrashWindow};
 pub use delay::DelayModel;
+pub use durable::{DurabilityConfig, DurableFleet, KillReport, NodeMirror, StoreBackend};
 #[allow(deprecated)]
 pub use gossip::GossipCluster;
 pub use gossip::{Gossip, GossipConfig, GossipDelta, GossipPlacement, GossipReport};
@@ -97,8 +99,9 @@ pub use known::KnownSet;
 pub use merge::{MergeLog, MergeMetrics, MergeOutcome};
 pub use monitor::{LiveMonitor, MonitorConfig};
 pub use nemesis::{
-    CrashInjector, Fate, FaultEvent, FaultLog, MessageDropper, MessageDuplicator, MessageReorderer,
-    MsgCtx, Nemesis, NemesisStack, PartitionJitter, Recorder, ScheduledNemesis,
+    CrashInjector, CrashRecoverInjector, Fate, FaultEvent, FaultLog, MessageDropper,
+    MessageDuplicator, MessageReorderer, MsgCtx, Nemesis, NemesisStack, PartitionJitter, Recorder,
+    ScheduledNemesis,
 };
 #[allow(deprecated)]
 pub use partial::PartialCluster;

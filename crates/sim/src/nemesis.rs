@@ -349,6 +349,38 @@ impl Nemesis for CrashInjector {
     }
 }
 
+/// Like [`CrashInjector`], but meant for runs with a durable fleet
+/// attached ([`crate::Runner::with_durability`]): every injected window
+/// then becomes a *real* kill/recover cycle — at window start the
+/// node's store suffers a simulated power cut (its unsynced tail may be
+/// lost, possibly mid-record), and at window end the node is rebuilt
+/// from the surviving WAL and rejoins propagation. Without durability
+/// the windows degrade to plain [`CrashInjector`] outages (RAM
+/// retained), so the label distinguishes the two in traces.
+pub struct CrashRecoverInjector {
+    inner: CrashInjector,
+}
+
+impl CrashRecoverInjector {
+    /// A crash/recover injector with its own RNG stream (same sampling
+    /// as [`CrashInjector::new`]).
+    pub fn new(count: u32, min_len: SimTime, max_len: SimTime, seed: u64) -> Self {
+        CrashRecoverInjector {
+            inner: CrashInjector::new(count, min_len, max_len, seed),
+        }
+    }
+}
+
+impl Nemesis for CrashRecoverInjector {
+    fn label(&self) -> &'static str {
+        "crash_recover"
+    }
+
+    fn inject(&mut self, nodes: u16, horizon: SimTime) -> Injected {
+        self.inner.inject(nodes, horizon)
+    }
+}
+
 /// Stacks nemeses: each message's fate is folded through every layer in
 /// order, and injected windows are concatenated. Layer order matters for
 /// per-message faults (a duplicator after a dropper never revives a

@@ -1,0 +1,384 @@
+//! Crash-recovery properties of the durable mirror layer
+//! ([`shard_sim::durable`]): a kill at an arbitrary WAL offset followed
+//! by recovery yields a **prefix** of the pre-crash arrival order (and
+//! hence a prefix subsequence of the serial order, §3/Cor 8), the
+//! recovered state equals replaying exactly that prefix, and whole
+//! kernel runs under [`CrashRecoverInjector`] still satisfy the §3
+//! checkers and converge to the canonical serial replay.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use shard_apps::airline::{AirlineTxn, AirlineUpdate, FlyByNight};
+use shard_apps::banking::{AccountId, Bank, BankTxn, BankUpdate};
+use shard_apps::dictionary::{DictTxn, DictUpdate, Dictionary};
+use shard_apps::inventory::{InvUpdate, ItemId, Order, OrderId, Warehouse};
+use shard_apps::nameserver::{GroupId, Name, NameServer, NsUpdate};
+use shard_apps::Person;
+use shard_core::Application;
+use shard_sim::{
+    ClusterConfig, CrashRecoverInjector, DelayModel, DurabilityConfig, DurableFleet, GossipConfig,
+    Invocation, LamportClock, MergeLog, NodeId, Runner, Timestamp,
+};
+use shard_store::Codec;
+use std::sync::Arc;
+
+/// Drives one durable node (id 0) through a mixed own/foreign workload,
+/// kills its store at a fleet-chosen WAL offset, recovers, and checks
+/// the §3-shaped invariants that make recovery sound:
+///
+/// 1. the recovered arrival order is a *prefix* of the pre-crash one;
+/// 2. the recovered state equals replaying exactly that prefix;
+/// 3. every own update survived (they were fsynced before propagation),
+///    so the recovered clock dominates every timestamp the node issued.
+fn kill_recover_prefix<A: Application>(
+    app: &A,
+    mut gen_update: impl FnMut(&mut StdRng) -> A::Update,
+    workload_seed: u64,
+    kill_seed: u64,
+    n: usize,
+) where
+    A::Update: Codec,
+{
+    let origin_count = 3u16;
+    let me = NodeId(0);
+    let mut rng = StdRng::seed_from_u64(workload_seed);
+    let mut fleet: DurableFleet<A> =
+        DurableFleet::new(origin_count, &DurabilityConfig::mem(kill_seed)).unwrap();
+    let mut clocks: Vec<LamportClock> = (0..origin_count)
+        .map(|i| LamportClock::new(NodeId(i)))
+        .collect();
+    let mut log: MergeLog<A> = MergeLog::new(app, 8);
+    let mut in_flight: Vec<(Timestamp, A::Update)> = Vec::new();
+    let mut own_max = 0u64;
+    for _ in 0..n {
+        let origin = rng.random_range(0..origin_count);
+        let ts = clocks[origin as usize].tick();
+        let update = gen_update(&mut rng);
+        if origin == me.0 {
+            // Own execution: merge, then append + fsync before any peer
+            // could see it (the kernel's write-ahead discipline).
+            own_max = own_max.max(ts.lamport);
+            log.merge(app, ts, Arc::new(update));
+            fleet.persist(me, &log, true);
+        } else {
+            in_flight.push((ts, update));
+        }
+        // Sometimes a delivery burst arrives: shuffle the in-flight
+        // foreign updates (out-of-order merges exercise undo/redo),
+        // merge them, and mirror without a barrier.
+        if !in_flight.is_empty() && rng.random_range(0u32..4) == 0 {
+            for i in (1..in_flight.len()).rev() {
+                in_flight.swap(i, rng.random_range(0..i + 1));
+            }
+            for (ts, update) in in_flight.drain(..) {
+                clocks[me.0 as usize].observe(ts);
+                log.merge(app, ts, Arc::new(update));
+            }
+            fleet.persist(me, &log, false);
+        }
+    }
+    for (ts, update) in in_flight.drain(..) {
+        log.merge(app, ts, Arc::new(update));
+    }
+    fleet.persist(me, &log, false);
+
+    let pre_crash: Vec<Timestamp> = log.arrivals().to_vec();
+    let report = fleet.kill(me);
+    let (recovered, entries) = fleet.recover(app, me, 8);
+
+    // (1) Prefix of the arrival order.
+    assert_eq!(entries, report.kept_entries, "recovery reads what survived");
+    assert!(entries <= pre_crash.len(), "nothing invented");
+    assert_eq!(
+        recovered.log.arrivals(),
+        &pre_crash[..entries],
+        "recovered log is a prefix of the pre-crash arrival order"
+    );
+
+    // (2) State equals replaying exactly that prefix.
+    let mut reference: MergeLog<A> = MergeLog::new(app, 8);
+    let index: std::collections::BTreeMap<Timestamp, &A::Update> = log
+        .entries()
+        .iter()
+        .map(|(ts, u)| (*ts, u.as_ref()))
+        .collect();
+    for ts in &pre_crash[..entries] {
+        reference.merge(app, *ts, Arc::new(index[ts].clone()));
+    }
+    assert_eq!(
+        recovered.log.state(),
+        reference.state(),
+        "recovered state is the prefix replay"
+    );
+
+    // (3) Own updates all survived; the clock never reuses a timestamp.
+    let own_recovered = recovered
+        .log
+        .entries()
+        .iter()
+        .filter(|(ts, _)| ts.node == me)
+        .count() as u64;
+    let own_pre = pre_crash.iter().filter(|ts| ts.node == me).count() as u64;
+    assert_eq!(own_recovered, own_pre, "fsynced own updates survive kills");
+    assert_eq!(recovered.own_sent, own_pre, "§3.3 promise count recovered");
+    assert!(
+        recovered.clock.current() >= own_max,
+        "recovered clock dominates every own-issued timestamp"
+    );
+}
+
+fn airline_update(rng: &mut StdRng) -> AirlineUpdate {
+    match rng.random_range(0u32..4) {
+        0 => AirlineUpdate::Request(Person(rng.random_range(1u32..10))),
+        1 => AirlineUpdate::Cancel(Person(rng.random_range(1u32..10))),
+        2 => AirlineUpdate::MoveUp(Person(rng.random_range(1u32..10))),
+        _ => AirlineUpdate::MoveDown(Person(rng.random_range(1u32..10))),
+    }
+}
+
+fn bank_update(rng: &mut StdRng) -> BankUpdate {
+    match rng.random_range(0u32..3) {
+        0 => BankUpdate::Credit(
+            AccountId(rng.random_range(0u32..4)),
+            rng.random_range(1u32..100),
+        ),
+        1 => BankUpdate::Debit(
+            AccountId(rng.random_range(0u32..4)),
+            rng.random_range(1u32..100),
+        ),
+        _ => BankUpdate::Move(
+            AccountId(rng.random_range(0u32..4)),
+            AccountId(rng.random_range(0u32..4)),
+            rng.random_range(1u32..50),
+        ),
+    }
+}
+
+fn dict_update(rng: &mut StdRng) -> DictUpdate {
+    match rng.random_range(0u32..2) {
+        0 => DictUpdate::Insert(rng.random_range(0u32..8), rng.random_range(0u64..1000)),
+        _ => DictUpdate::Delete(rng.random_range(0u32..8)),
+    }
+}
+
+fn inv_update(rng: &mut StdRng) -> InvUpdate {
+    let item = ItemId(rng.random_range(0u32..3));
+    match rng.random_range(0u32..4) {
+        0 => InvUpdate::Commit(
+            item,
+            Order {
+                id: OrderId(rng.random_range(0u32..50)),
+                qty: rng.random_range(1u64..5),
+            },
+        ),
+        1 => InvUpdate::Backlog(
+            item,
+            Order {
+                id: OrderId(rng.random_range(0u32..50)),
+                qty: rng.random_range(1u64..5),
+            },
+        ),
+        2 => InvUpdate::AddStock(item, rng.random_range(1u64..10)),
+        _ => InvUpdate::SubStock(item, rng.random_range(1u64..10)),
+    }
+}
+
+fn ns_update(rng: &mut StdRng) -> NsUpdate {
+    match rng.random_range(0u32..4) {
+        0 => NsUpdate::SetAddress(Name(rng.random_range(0u32..6)), rng.random_range(0u64..100)),
+        1 => NsUpdate::RemoveName(Name(rng.random_range(0u32..6))),
+        2 => NsUpdate::AddMember(
+            GroupId(rng.random_range(0u32..3)),
+            Name(rng.random_range(0u32..6)),
+        ),
+        _ => NsUpdate::RemoveMember(
+            GroupId(rng.random_range(0u32..3)),
+            Name(rng.random_range(0u32..6)),
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Kill at an arbitrary WAL offset + reopen yields a log that is a
+    /// prefix (subsequence) of the uncrashed run — for all five apps.
+    #[test]
+    fn kill_at_arbitrary_offset_recovers_a_prefix(
+        workload_seed in 0u64..10_000,
+        kill_seed in 0u64..10_000,
+        n in 10usize..120,
+    ) {
+        kill_recover_prefix(&FlyByNight::new(3), airline_update, workload_seed, kill_seed, n);
+        kill_recover_prefix(&Bank::new(4, 100), bank_update, workload_seed, kill_seed, n);
+        kill_recover_prefix(&Dictionary, dict_update, workload_seed, kill_seed, n);
+        kill_recover_prefix(
+            &Warehouse::new(3, 20, 1, 1),
+            inv_update,
+            workload_seed,
+            kill_seed,
+            n,
+        );
+        kill_recover_prefix(&NameServer::new(3, 1), ns_update, workload_seed, kill_seed, n);
+    }
+}
+
+fn airline_invocations(n: u32, nodes: u16) -> Vec<Invocation<AirlineTxn>> {
+    (0..n)
+        .map(|i| {
+            let txn = match i % 4 {
+                0 => AirlineTxn::Request(Person(i % 7 + 1)),
+                1 => AirlineTxn::Cancel(Person(i % 5 + 1)),
+                2 => AirlineTxn::Request(Person(i % 11 + 1)),
+                _ => AirlineTxn::Request(Person(i % 3 + 1)),
+            };
+            Invocation::new(
+                u64::from(i) * 17 + 3,
+                NodeId((i % u32::from(nodes)) as u16),
+                txn,
+            )
+        })
+        .collect()
+}
+
+/// Without crash windows the durable mirror is a pure observer: the
+/// run's transactions and final states are identical with and without
+/// it attached.
+#[test]
+fn durability_never_perturbs_fault_free_runs() {
+    let app = FlyByNight::new(4);
+    let cfg = ClusterConfig {
+        nodes: 4,
+        seed: 9,
+        delay: DelayModel::Exponential { mean: 15 },
+        ..Default::default()
+    };
+    let invs = airline_invocations(24, 4);
+    let plain = Runner::gossip(&app, cfg.clone(), GossipConfig { interval: 25 }).run(invs.clone());
+    let fleet = DurableFleet::new(4, &DurabilityConfig::mem(1)).unwrap();
+    let durable = Runner::gossip(&app, cfg, GossipConfig { interval: 25 })
+        .with_durability(fleet)
+        .run(invs);
+    let ts = |r: &shard_sim::RunReport<FlyByNight>| {
+        r.transactions.iter().map(|t| t.ts).collect::<Vec<_>>()
+    };
+    assert_eq!(ts(&plain), ts(&durable), "same serial order");
+    assert_eq!(plain.final_states, durable.final_states, "same states");
+}
+
+/// A full kernel run under [`CrashRecoverInjector`]: nodes lose their
+/// unsynced tails mid-run and are rebuilt from their WALs, yet the §3
+/// oracles hold — the execution verifies, gossip re-converges every
+/// replica, and the final state equals the canonical serial replay of
+/// the executed updates.
+#[test]
+fn gossip_crash_recovery_holds_section3_oracles() {
+    let app = FlyByNight::new(4);
+    for seed in [3u64, 17, 88] {
+        let cfg = ClusterConfig {
+            nodes: 4,
+            seed,
+            delay: DelayModel::Exponential { mean: 12 },
+            ..Default::default()
+        };
+        let fleet = DurableFleet::new(4, &DurabilityConfig::mem(seed + 1)).unwrap();
+        let report = Runner::gossip(&app, cfg, GossipConfig { interval: 20 })
+            .with_durability(fleet)
+            .with_nemesis(Box::new(CrashRecoverInjector::new(2, 40, 160, seed)))
+            .run(airline_invocations(30, 4));
+        assert_eq!(report.faults.crashes_injected, 2, "windows injected");
+        let te = report.timed_execution();
+        te.execution.verify(&app).unwrap();
+        assert!(
+            shard_core::conditions::is_transitive(&te.execution),
+            "gossip ships whole logs: prefixes stay transitively closed \
+             across kill/recover (seed {seed})"
+        );
+        assert!(report.mutually_consistent(), "re-converged (seed {seed})");
+        // Canonical serial replay of exactly the executed updates.
+        let mut state = app.initial_state();
+        for t in &report.transactions {
+            state = app.apply(&state, &t.update);
+        }
+        assert_eq!(
+            report.final_states[0], state,
+            "states are the serial replay"
+        );
+    }
+}
+
+/// Eager broadcast with piggybacking under kill/recover: piggybacked
+/// whole-log packets keep recovered prefixes transitively closed, so
+/// the §3 transitivity checker must still pass.
+#[test]
+fn eager_piggyback_crash_recovery_stays_transitive() {
+    let app = FlyByNight::new(4);
+    for seed in [5u64, 23] {
+        let cfg = ClusterConfig {
+            nodes: 3,
+            seed,
+            delay: DelayModel::Fixed(8),
+            piggyback: true,
+            ..Default::default()
+        };
+        let fleet = DurableFleet::new(3, &DurabilityConfig::mem(seed)).unwrap();
+        let report = Runner::eager(&app, cfg)
+            .with_durability(fleet)
+            .with_nemesis(Box::new(CrashRecoverInjector::new(2, 30, 120, seed)))
+            .run(airline_invocations(24, 3));
+        let te = report.timed_execution();
+        te.execution.verify(&app).unwrap();
+        assert!(
+            shard_core::conditions::is_transitive(&te.execution),
+            "piggybacked logs keep recovered prefixes transitive (seed {seed})"
+        );
+    }
+}
+
+/// Disk-backed restart: a cluster runs, the process "exits" (fleet
+/// dropped), a fresh fleet reopens the same directories, and the
+/// restarted run begins from the recovered logs — state persists across
+/// real process boundaries.
+#[test]
+fn disk_backed_cluster_survives_a_restart() {
+    let dir =
+        std::env::temp_dir().join(format!("shard-sim-durable-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let app = Dictionary;
+    let cfg = ClusterConfig {
+        nodes: 3,
+        seed: 4,
+        delay: DelayModel::Fixed(5),
+        ..Default::default()
+    };
+    let phase1: Vec<Invocation<DictTxn>> = (0..9u32)
+        .map(|i| {
+            Invocation::new(
+                u64::from(i) * 10,
+                NodeId((i % 3) as u16),
+                DictTxn::Insert(i, u64::from(i) * 100),
+            )
+        })
+        .collect();
+    let fleet = DurableFleet::new(3, &DurabilityConfig::disk(&dir, 0)).unwrap();
+    let first = Runner::gossip(&app, cfg.clone(), GossipConfig { interval: 10 })
+        .with_durability(fleet)
+        .run(phase1);
+    assert!(first.mutually_consistent());
+    let want = first.final_states[0].clone();
+
+    // "Restart": reopen the same directories in a new fleet. Every
+    // mirror holds entries, so the runner rebuilds all three nodes at
+    // run start; an empty schedule then just reports their states.
+    let fleet = DurableFleet::new(3, &DurabilityConfig::disk(&dir, 1)).unwrap();
+    let second = Runner::gossip(&app, cfg, GossipConfig { interval: 10 })
+        .with_durability(fleet)
+        .run(Vec::new());
+    assert_eq!(
+        second.final_states,
+        vec![want.clone(), want.clone(), want],
+        "all replicas recovered their pre-restart state from disk"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

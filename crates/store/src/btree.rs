@@ -1,0 +1,478 @@
+//! A slotted-page B+tree keyed by [`StoreKey`], built on the buffer
+//! pool — the engine's timestamp-order index.
+//!
+//! # Page layouts (4 KiB pages, little-endian integers)
+//!
+//! Leaf (`kind = 0`):
+//!
+//! ```text
+//! 0     1        3          11           13                cells_start        4096
+//! +-----+--------+----------+------------+------- ... ------+---- ... ----------+
+//! |kind | count  | next_leaf| cells_start| slot dir (u16 ×  |   cells (grow     |
+//! | u8  | u16    | u64      | u16        |  count, sorted)  |   downwards)      |
+//! +-----+--------+----------+------------+------- ... ------+-------------------+
+//! cell := key:10  vlen:u16  value
+//! ```
+//!
+//! Internal (`kind = 1`):
+//!
+//! ```text
+//! 0     1        3         11
+//! +-----+--------+---------+--[ key:10  child:u64 ] × count --+
+//! |kind | count  | child0  |   separators, sorted             |
+//! +-----+--------+---------+----------------------------------+
+//! ```
+//!
+//! Separator `i` is the smallest key reachable under child `i + 1`.
+//! The tree is **insert-only** (the WAL never retracts a record;
+//! crashes rebuild the whole index), duplicate keys are ignored
+//! (first-writer-wins — WAL replay never produces them), and the tree's
+//! shape lives only in memory: the root page id is held by [`BTree`],
+//! which is always reconstructed from the WAL on open. See
+//! `docs/storage.md` for the byte-layout rationale.
+
+use crate::codec::{StoreKey, KEY_BYTES};
+use crate::page::{Page, PageId, PAGE_SIZE};
+use crate::pool::BufferPool;
+use std::io;
+
+const LEAF: u8 = 0;
+const INTERNAL: u8 = 1;
+const LEAF_HDR: usize = 13;
+const INT_HDR: usize = 11;
+const INT_ENTRY: usize = KEY_BYTES + 8;
+const NO_LEAF: u64 = u64::MAX;
+
+/// Largest value the tree stores inline. WAL payloads above this are a
+/// caller bug (application updates are tens of bytes).
+pub const MAX_VALUE: usize = 1024;
+
+/// Separators an internal page holds at most.
+const INT_MAX_KEYS: usize = (PAGE_SIZE - INT_HDR) / INT_ENTRY;
+
+fn init_leaf(p: &mut Page) {
+    p.bytes_mut()[0] = LEAF;
+    p.put_u16(1, 0);
+    p.put_u64(3, NO_LEAF);
+    p.put_u16(11, PAGE_SIZE as u16);
+}
+
+fn init_internal(p: &mut Page, child0: PageId) {
+    p.bytes_mut()[0] = INTERNAL;
+    p.put_u16(1, 0);
+    p.put_u64(3, child0);
+}
+
+fn count(p: &Page) -> usize {
+    p.u16_at(1) as usize
+}
+
+fn leaf_cells_start(p: &Page) -> usize {
+    // An empty leaf's `cells_start` is PAGE_SIZE, which wraps to 0 in
+    // the u16 field only if PAGE_SIZE were 65536 — at 4096 it fits.
+    p.u16_at(11) as usize
+}
+
+fn leaf_key(p: &Page, i: usize) -> StoreKey {
+    let off = p.u16_at(LEAF_HDR + 2 * i) as usize;
+    let mut k = [0u8; KEY_BYTES];
+    k.copy_from_slice(p.slice(off, KEY_BYTES));
+    StoreKey::from_bytes(&k)
+}
+
+fn leaf_value(p: &Page, i: usize) -> &[u8] {
+    let off = p.u16_at(LEAF_HDR + 2 * i) as usize;
+    let vlen = p.u16_at(off + KEY_BYTES) as usize;
+    p.slice(off + KEY_BYTES + 2, vlen)
+}
+
+fn leaf_search(p: &Page, key: StoreKey) -> Result<usize, usize> {
+    let mut lo = 0usize;
+    let mut hi = count(p);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        match leaf_key(p, mid).cmp(&key) {
+            std::cmp::Ordering::Less => lo = mid + 1,
+            std::cmp::Ordering::Greater => hi = mid,
+            std::cmp::Ordering::Equal => return Ok(mid),
+        }
+    }
+    Err(lo)
+}
+
+fn leaf_free(p: &Page) -> usize {
+    leaf_cells_start(p) - (LEAF_HDR + 2 * count(p))
+}
+
+fn leaf_insert_at(p: &mut Page, i: usize, key: StoreKey, value: &[u8]) {
+    let n = count(p);
+    debug_assert!(i <= n);
+    let cell = KEY_BYTES + 2 + value.len();
+    let start = leaf_cells_start(p) - cell;
+    p.write(start, &key.to_bytes());
+    p.put_u16(start + KEY_BYTES, value.len() as u16);
+    p.write(start + KEY_BYTES + 2, value);
+    // Shift slots [i, n) one to the right.
+    for j in (i..n).rev() {
+        let v = p.u16_at(LEAF_HDR + 2 * j);
+        p.put_u16(LEAF_HDR + 2 * (j + 1), v);
+    }
+    p.put_u16(LEAF_HDR + 2 * i, start as u16);
+    p.put_u16(1, (n + 1) as u16);
+    p.put_u16(11, start as u16);
+}
+
+fn int_child0(p: &Page) -> PageId {
+    p.u64_at(3)
+}
+
+fn int_key(p: &Page, i: usize) -> StoreKey {
+    let off = INT_HDR + INT_ENTRY * i;
+    let mut k = [0u8; KEY_BYTES];
+    k.copy_from_slice(p.slice(off, KEY_BYTES));
+    StoreKey::from_bytes(&k)
+}
+
+fn int_child(p: &Page, i: usize) -> PageId {
+    p.u64_at(INT_HDR + INT_ENTRY * i + KEY_BYTES)
+}
+
+/// The child index `key` routes to: the number of separators `<= key`.
+fn int_route(p: &Page, key: StoreKey) -> usize {
+    let mut lo = 0usize;
+    let mut hi = count(p);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if int_key(p, mid) <= key {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+fn int_child_at(p: &Page, route: usize) -> PageId {
+    if route == 0 {
+        int_child0(p)
+    } else {
+        int_child(p, route - 1)
+    }
+}
+
+fn int_insert_at(p: &mut Page, i: usize, key: StoreKey, child: PageId) {
+    let n = count(p);
+    debug_assert!(n < INT_MAX_KEYS && i <= n);
+    let src = INT_HDR + INT_ENTRY * i;
+    let tail = INT_ENTRY * (n - i);
+    let mut moved = vec![0u8; tail];
+    moved.copy_from_slice(p.slice(src, tail));
+    p.write(src + INT_ENTRY, &moved);
+    p.write(src, &key.to_bytes());
+    p.put_u64(src + KEY_BYTES, child);
+    p.put_u16(1, (n + 1) as u16);
+}
+
+enum Inserted {
+    Done,
+    Duplicate,
+    Split(StoreKey, PageId),
+}
+
+/// The B+tree. Owns its buffer pool; every page access is a
+/// pin/use/unpin round through it.
+pub struct BTree {
+    pool: BufferPool,
+    root: PageId,
+    entries: usize,
+}
+
+impl BTree {
+    /// A fresh, empty tree over `pool` (its file starts truncated —
+    /// the tree is derived state, rebuilt from the WAL by its owner).
+    pub fn create(mut pool: BufferPool) -> io::Result<Self> {
+        let root = pool.allocate();
+        let f = pool.pin(root)?;
+        init_leaf(pool.page_mut(f));
+        pool.unpin(f);
+        Ok(BTree {
+            pool,
+            root,
+            entries: 0,
+        })
+    }
+
+    /// Key/value pairs stored.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// The underlying pool (introspection: page counts, capacity).
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// Inserts `key -> value`; a duplicate key is ignored (first write
+    /// wins) and reported as `false`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` exceeds [`MAX_VALUE`].
+    pub fn insert(&mut self, key: StoreKey, value: &[u8]) -> io::Result<bool> {
+        assert!(value.len() <= MAX_VALUE, "value too large for a leaf cell");
+        match self.insert_rec(self.root, key, value)? {
+            Inserted::Duplicate => Ok(false),
+            Inserted::Done => {
+                self.entries += 1;
+                Ok(true)
+            }
+            Inserted::Split(sep, right) => {
+                let new_root = self.pool.allocate();
+                let f = self.pool.pin(new_root)?;
+                let p = self.pool.page_mut(f);
+                init_internal(p, self.root);
+                int_insert_at(p, 0, sep, right);
+                self.pool.unpin(f);
+                self.root = new_root;
+                self.entries += 1;
+                Ok(true)
+            }
+        }
+    }
+
+    fn insert_rec(&mut self, page: PageId, key: StoreKey, value: &[u8]) -> io::Result<Inserted> {
+        let f = self.pool.pin(page)?;
+        if self.pool.page(f).bytes()[0] == LEAF {
+            let p = self.pool.page(f);
+            let slot = match leaf_search(p, key) {
+                Ok(_) => {
+                    self.pool.unpin(f);
+                    return Ok(Inserted::Duplicate);
+                }
+                Err(i) => i,
+            };
+            if leaf_free(p) >= KEY_BYTES + 4 + value.len() {
+                leaf_insert_at(self.pool.page_mut(f), slot, key, value);
+                self.pool.unpin(f);
+                return Ok(Inserted::Done);
+            }
+            // Split: gather every cell (plus the newcomer), rewrite the
+            // two halves from scratch — compaction for free.
+            let p = self.pool.page(f);
+            let mut cells: Vec<(StoreKey, Vec<u8>)> = (0..count(p))
+                .map(|i| (leaf_key(p, i), leaf_value(p, i).to_vec()))
+                .collect();
+            cells.insert(slot, (key, value.to_vec()));
+            let next = p.u64_at(3);
+            let mid = cells.len() / 2;
+            let sep = cells[mid].0;
+            let right_id = self.pool.allocate();
+            let rf = self.pool.pin(right_id)?;
+            let rp = self.pool.page_mut(rf);
+            init_leaf(rp);
+            rp.put_u64(3, next);
+            for (j, (k, v)) in cells[mid..].iter().enumerate() {
+                leaf_insert_at(rp, j, *k, v);
+            }
+            self.pool.unpin(rf);
+            let lp = self.pool.page_mut(f);
+            init_leaf(lp);
+            lp.put_u64(3, right_id);
+            for (j, (k, v)) in cells[..mid].iter().enumerate() {
+                leaf_insert_at(lp, j, *k, v);
+            }
+            self.pool.unpin(f);
+            return Ok(Inserted::Split(sep, right_id));
+        }
+        // Internal node: route, release the pin across the recursion
+        // (the pool may evict us), re-pin if the child split.
+        let p = self.pool.page(f);
+        let route = int_route(p, key);
+        let child = int_child_at(p, route);
+        self.pool.unpin(f);
+        let (sep, right) = match self.insert_rec(child, key, value)? {
+            Inserted::Split(sep, right) => (sep, right),
+            other => return Ok(other),
+        };
+        let f = self.pool.pin(page)?;
+        if count(self.pool.page(f)) < INT_MAX_KEYS {
+            int_insert_at(self.pool.page_mut(f), route, sep, right);
+            self.pool.unpin(f);
+            return Ok(Inserted::Done);
+        }
+        // Split the internal node; the middle separator moves up.
+        let p = self.pool.page(f);
+        let child0 = int_child0(p);
+        let mut entries: Vec<(StoreKey, PageId)> = (0..count(p))
+            .map(|i| (int_key(p, i), int_child(p, i)))
+            .collect();
+        entries.insert(route, (sep, right));
+        let mid = entries.len() / 2;
+        let promoted = entries[mid].0;
+        let right_id = self.pool.allocate();
+        let rf = self.pool.pin(right_id)?;
+        let rp = self.pool.page_mut(rf);
+        init_internal(rp, entries[mid].1);
+        for (j, (k, c)) in entries[mid + 1..].iter().enumerate() {
+            int_insert_at(rp, j, *k, *c);
+        }
+        self.pool.unpin(rf);
+        let lp = self.pool.page_mut(f);
+        init_internal(lp, child0);
+        for (j, (k, c)) in entries[..mid].iter().enumerate() {
+            int_insert_at(lp, j, *k, *c);
+        }
+        self.pool.unpin(f);
+        Ok(Inserted::Split(promoted, right_id))
+    }
+
+    /// Looks a key up.
+    pub fn get(&mut self, key: StoreKey) -> io::Result<Option<Vec<u8>>> {
+        let mut page = self.root;
+        loop {
+            let f = self.pool.pin(page)?;
+            let p = self.pool.page(f);
+            if p.bytes()[0] == LEAF {
+                let out = leaf_search(p, key).ok().map(|i| leaf_value(p, i).to_vec());
+                self.pool.unpin(f);
+                return Ok(out);
+            }
+            let next = int_child_at(p, int_route(p, key));
+            self.pool.unpin(f);
+            page = next;
+        }
+    }
+
+    /// Streams every pair in key order (the paper's serial order, for
+    /// timestamp keys) through the leaf chain — pages fault in and out
+    /// of the pool as the scan walks, so the whole tree never needs to
+    /// be resident.
+    pub fn scan(&mut self, f: &mut dyn FnMut(StoreKey, &[u8])) -> io::Result<()> {
+        let mut page = self.root;
+        // Descend to the leftmost leaf.
+        loop {
+            let fr = self.pool.pin(page)?;
+            let p = self.pool.page(fr);
+            if p.bytes()[0] == LEAF {
+                self.pool.unpin(fr);
+                break;
+            }
+            let next = int_child0(p);
+            self.pool.unpin(fr);
+            page = next;
+        }
+        let mut leaf = page;
+        loop {
+            let fr = self.pool.pin(leaf)?;
+            let p = self.pool.page(fr);
+            for i in 0..count(p) {
+                f(leaf_key(p, i), leaf_value(p, i));
+            }
+            let next = p.u64_at(3);
+            self.pool.unpin(fr);
+            if next == NO_LEAF {
+                return Ok(());
+            }
+            leaf = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "shard-store-btree-{name}-{}.db",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    fn tree(name: &str, frames: usize) -> (BTree, PathBuf) {
+        let path = tmp(name);
+        let pool = BufferPool::create(&path, frames).unwrap();
+        (BTree::create(pool).unwrap(), path)
+    }
+
+    /// Deterministic pseudo-random stream (xorshift) — no RNG dep here.
+    fn xs(seed: &mut u64) -> u64 {
+        *seed ^= *seed << 13;
+        *seed ^= *seed >> 7;
+        *seed ^= *seed << 17;
+        *seed
+    }
+
+    #[test]
+    fn matches_btreemap_oracle_under_random_inserts() {
+        let (mut t, path) = tree("oracle", 16);
+        let mut oracle = BTreeMap::new();
+        let mut seed = 0x5eed_cafe_f00d_0001u64;
+        for _ in 0..5000 {
+            let k = StoreKey::new(xs(&mut seed) % 4096, (xs(&mut seed) % 7) as u16);
+            let v = xs(&mut seed).to_be_bytes().to_vec();
+            let fresh = t.insert(k, &v).unwrap();
+            let oracle_fresh = !oracle.contains_key(&k);
+            assert_eq!(fresh, oracle_fresh, "duplicate handling diverged at {k:?}");
+            oracle.entry(k).or_insert(v);
+        }
+        assert_eq!(t.len(), oracle.len());
+        let mut scanned = Vec::new();
+        t.scan(&mut |k, v| scanned.push((k, v.to_vec()))).unwrap();
+        let expect: Vec<_> = oracle.iter().map(|(k, v)| (*k, v.clone())).collect();
+        assert_eq!(scanned, expect, "key-order scan matches the oracle");
+        for (k, v) in oracle.iter().take(200) {
+            assert_eq!(t.get(*k).unwrap().as_deref(), Some(v.as_slice()));
+        }
+        assert_eq!(t.get(StoreKey::new(u64::MAX, 9)).unwrap(), None);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn sequential_inserts_chain_leaves() {
+        // Ascending timestamps are the common case (a node's own log);
+        // every leaf but the rightmost ends up exactly half full, and
+        // the scan must still see all keys in order.
+        let (mut t, path) = tree("seq", 16);
+        let n = 20_000u64;
+        for i in 0..n {
+            assert!(t.insert(StoreKey::new(i, 3), &i.to_be_bytes()).unwrap());
+        }
+        assert!(t.pool().page_count() > 64, "must span many pages");
+        let mut prev = None;
+        let mut seen = 0u64;
+        t.scan(&mut |k, v| {
+            assert!(prev.is_none_or(|p| p < k), "strictly increasing");
+            assert_eq!(u64::from_be_bytes(v.try_into().unwrap()), k.primary);
+            prev = Some(k);
+            seen += 1;
+        })
+        .unwrap();
+        assert_eq!(seen, n);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn pool_pressure_does_not_corrupt() {
+        // A pool far smaller than the tree: every descent faults pages.
+        let (mut t, path) = tree("pressure", 8);
+        for i in (0..8000u64).rev() {
+            t.insert(StoreKey::new(i, 0), &(i * 3).to_be_bytes())
+                .unwrap();
+        }
+        for i in [0u64, 1, 999, 4096, 7999] {
+            let got = t.get(StoreKey::new(i, 0)).unwrap().unwrap();
+            assert_eq!(u64::from_be_bytes(got.try_into().unwrap()), i * 3);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}

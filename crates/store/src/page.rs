@@ -1,0 +1,73 @@
+//! Fixed-size pages — the unit the buffer pool caches and the B+tree
+//! lays its slotted nodes out in.
+
+/// Page size in bytes. Fixed at the classic 4 KiB: the B+tree layout
+/// code and the pool's byte accounting both assume it, and every
+/// page-file offset is `id * PAGE_SIZE`.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Identifies a page in the backing file (offset `id * PAGE_SIZE`).
+pub type PageId = u64;
+
+/// One page's bytes, heap-allocated so frames move cheaply.
+pub struct Page {
+    bytes: Box<[u8; PAGE_SIZE]>,
+}
+
+impl Page {
+    /// An all-zero page.
+    pub fn zeroed() -> Self {
+        Page {
+            bytes: Box::new([0u8; PAGE_SIZE]),
+        }
+    }
+
+    /// The raw bytes.
+    pub fn bytes(&self) -> &[u8; PAGE_SIZE] {
+        &self.bytes
+    }
+
+    /// The raw bytes, mutably. (Dirty tracking lives in the pool — use
+    /// [`crate::pool::BufferPool::page_mut`] so the write is recorded.)
+    pub fn bytes_mut(&mut self) -> &mut [u8; PAGE_SIZE] {
+        &mut self.bytes
+    }
+
+    /// Reads a little-endian `u16` at `off`.
+    pub fn u16_at(&self, off: usize) -> u16 {
+        u16::from_le_bytes([self.bytes[off], self.bytes[off + 1]])
+    }
+
+    /// Writes a little-endian `u16` at `off`.
+    pub fn put_u16(&mut self, off: usize, v: u16) {
+        self.bytes[off..off + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Reads a little-endian `u64` at `off`.
+    pub fn u64_at(&self, off: usize) -> u64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.bytes[off..off + 8]);
+        u64::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian `u64` at `off`.
+    pub fn put_u64(&mut self, off: usize, v: u64) {
+        self.bytes[off..off + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// A byte slice `[off, off + len)`.
+    pub fn slice(&self, off: usize, len: usize) -> &[u8] {
+        &self.bytes[off..off + len]
+    }
+
+    /// Writes `src` at `off`.
+    pub fn write(&mut self, off: usize, src: &[u8]) {
+        self.bytes[off..off + src.len()].copy_from_slice(src);
+    }
+}
+
+impl std::fmt::Debug for Page {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Page({} bytes)", PAGE_SIZE)
+    }
+}

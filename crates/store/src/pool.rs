@@ -1,0 +1,387 @@
+//! The buffer pool: a fixed set of page frames over one backing file,
+//! with pin counts, second-chance (clock) eviction, and dirty-page
+//! write-back.
+//!
+//! The discipline is the textbook one:
+//!
+//! * [`BufferPool::pin`] fixes a page in a frame (faulting it in from
+//!   the file if needed) and bumps its pin count — a pinned frame is
+//!   never evicted, so borrowed page contents stay valid;
+//! * [`BufferPool::unpin`] releases one pin;
+//! * a miss with all frames full runs the **clock hand** over the
+//!   frames: pinned frames are skipped, recently-referenced frames get
+//!   their second chance (reference bit cleared), the first
+//!   unreferenced unpinned frame is evicted — written back first iff
+//!   dirty;
+//! * [`BufferPool::page_mut`] is the only mutable access path and marks
+//!   the frame dirty, so write-back ordering is enforced by
+//!   construction: a dirty page cannot leave the pool except through
+//!   the write-back path.
+//!
+//! The pool feeds `store.pins`, `store.evictions`, `store.page_reads`
+//! and `store.page_writes`.
+
+use crate::metrics;
+use crate::page::{Page, PageId, PAGE_SIZE};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+struct Frame {
+    page: Page,
+    id: Option<PageId>,
+    pins: u32,
+    dirty: bool,
+    referenced: bool,
+}
+
+/// A pool of `capacity` frames over one page file.
+pub struct BufferPool {
+    file: File,
+    capacity: usize,
+    frames: Vec<Frame>,
+    map: HashMap<PageId, usize>,
+    hand: usize,
+    /// Number of pages the file logically holds (allocation high-water
+    /// mark; trailing pages may not have hit the file yet).
+    pages: u64,
+    /// Pages materially present in the file (reads past this are zero).
+    file_pages: u64,
+}
+
+impl BufferPool {
+    /// Minimum frame count: enough for one root-to-leaf B+tree descent
+    /// (parent + child pinned at once) with slack for splits.
+    pub const MIN_FRAMES: usize = 8;
+
+    /// Opens `path` (created and truncated — pool files are derived
+    /// state, rebuilt by their owner on open) with `capacity` frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity < MIN_FRAMES`.
+    pub fn create(path: &Path, capacity: usize) -> io::Result<Self> {
+        assert!(
+            capacity >= Self::MIN_FRAMES,
+            "buffer pool needs at least {} frames",
+            Self::MIN_FRAMES
+        );
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(BufferPool {
+            file,
+            capacity,
+            frames: Vec::with_capacity(capacity),
+            map: HashMap::new(),
+            hand: 0,
+            pages: 0,
+            file_pages: 0,
+        })
+    }
+
+    /// Frames the pool may hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Pages allocated so far.
+    pub fn page_count(&self) -> u64 {
+        self.pages
+    }
+
+    /// Allocates a fresh (all-zero) page and returns its id. The page
+    /// is not resident until pinned.
+    pub fn allocate(&mut self) -> PageId {
+        let id = self.pages;
+        self.pages += 1;
+        id
+    }
+
+    /// Pins `id` into a frame, faulting it in if absent, and returns
+    /// the frame index for [`BufferPool::page`] / [`BufferPool::page_mut`].
+    /// Every `pin` must be paired with an [`BufferPool::unpin`].
+    pub fn pin(&mut self, id: PageId) -> io::Result<usize> {
+        assert!(id < self.pages, "pin of unallocated page {id}");
+        metrics().pins.inc();
+        if let Some(&idx) = self.map.get(&id) {
+            self.frames[idx].pins += 1;
+            self.frames[idx].referenced = true;
+            return Ok(idx);
+        }
+        let idx = self.free_frame()?;
+        let mut page = Page::zeroed();
+        if id < self.file_pages {
+            self.file.seek(SeekFrom::Start(id * PAGE_SIZE as u64))?;
+            self.file.read_exact(page.bytes_mut())?;
+            metrics().page_reads.inc();
+        }
+        self.frames[idx] = Frame {
+            page,
+            id: Some(id),
+            pins: 1,
+            dirty: false,
+            referenced: true,
+        };
+        self.map.insert(id, idx);
+        Ok(idx)
+    }
+
+    /// Releases one pin on `frame`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unpinning a frame that holds no pins (a pairing bug).
+    pub fn unpin(&mut self, frame: usize) {
+        let f = &mut self.frames[frame];
+        assert!(f.pins > 0, "unpin without a matching pin");
+        f.pins -= 1;
+    }
+
+    /// Read access to a pinned frame's page.
+    pub fn page(&self, frame: usize) -> &Page {
+        debug_assert!(self.frames[frame].pins > 0, "access to unpinned frame");
+        &self.frames[frame].page
+    }
+
+    /// Write access to a pinned frame's page; marks it dirty.
+    pub fn page_mut(&mut self, frame: usize) -> &mut Page {
+        let f = &mut self.frames[frame];
+        debug_assert!(f.pins > 0, "access to unpinned frame");
+        f.dirty = true;
+        &mut f.page
+    }
+
+    /// Writes every dirty frame back to the file (without evicting).
+    pub fn flush(&mut self) -> io::Result<()> {
+        for idx in 0..self.frames.len() {
+            if self.frames[idx].dirty {
+                self.write_back(idx)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Resident, currently pinned frames — test/introspection hook.
+    pub fn pinned_frames(&self) -> usize {
+        self.frames.iter().filter(|f| f.pins > 0).count()
+    }
+
+    fn write_back(&mut self, idx: usize) -> io::Result<()> {
+        let id = self.frames[idx].id.expect("write-back of empty frame");
+        self.file.seek(SeekFrom::Start(id * PAGE_SIZE as u64))?;
+        self.file.write_all(self.frames[idx].page.bytes())?;
+        self.frames[idx].dirty = false;
+        self.file_pages = self.file_pages.max(id + 1);
+        metrics().page_writes.inc();
+        Ok(())
+    }
+
+    /// A frame to load into: a never-used slot while the pool is below
+    /// capacity, otherwise the clock's next victim (written back iff
+    /// dirty).
+    fn free_frame(&mut self) -> io::Result<usize> {
+        if self.frames.len() < self.capacity {
+            self.frames.push(Frame {
+                page: Page::zeroed(),
+                id: None,
+                pins: 0,
+                dirty: false,
+                referenced: false,
+            });
+            return Ok(self.frames.len() - 1);
+        }
+        // Second-chance sweep: at most two passes over the frames (one
+        // to clear reference bits, one to claim a victim).
+        for _ in 0..2 * self.frames.len() {
+            let idx = self.hand;
+            self.hand = (self.hand + 1) % self.frames.len();
+            let f = &mut self.frames[idx];
+            if f.pins > 0 {
+                continue;
+            }
+            if f.referenced {
+                f.referenced = false;
+                continue;
+            }
+            if self.frames[idx].dirty {
+                self.write_back(idx)?;
+            }
+            let old = self.frames[idx]
+                .id
+                .take()
+                .expect("occupied frame has an id");
+            self.map.remove(&old);
+            metrics().evictions.inc();
+            return Ok(idx);
+        }
+        Err(io::Error::other(
+            "buffer pool exhausted: every frame is pinned",
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("shard-store-pool-{name}-{}.db", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    /// Stamps a recognisable byte pattern for page `id`.
+    fn stamp(pool: &mut BufferPool, frame: usize, id: PageId) {
+        let p = pool.page_mut(frame);
+        let b = (id % 251) as u8;
+        p.bytes_mut().fill(b);
+        p.put_u64(0, id);
+    }
+
+    fn check(pool: &BufferPool, frame: usize, id: PageId) {
+        let p = pool.page(frame);
+        assert_eq!(p.u64_at(0), id, "page {id} content");
+        assert_eq!(p.bytes()[PAGE_SIZE - 1], (id % 251) as u8);
+    }
+
+    #[test]
+    fn pin_unpin_pairing_and_reuse() {
+        let path = tmp("pairing");
+        let mut pool = BufferPool::create(&path, 8).unwrap();
+        let id = pool.allocate();
+        let f1 = pool.pin(id).unwrap();
+        let f2 = pool.pin(id).unwrap();
+        assert_eq!(f1, f2, "same page shares a frame");
+        assert_eq!(pool.pinned_frames(), 1);
+        pool.unpin(f1);
+        assert_eq!(pool.pinned_frames(), 1, "second pin still holds");
+        pool.unpin(f2);
+        assert_eq!(pool.pinned_frames(), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "unpin without a matching pin")]
+    fn unbalanced_unpin_panics() {
+        let path = tmp("unbalanced");
+        let mut pool = BufferPool::create(&path, 8).unwrap();
+        let id = pool.allocate();
+        let f = pool.pin(id).unwrap();
+        pool.unpin(f);
+        pool.unpin(f);
+    }
+
+    #[test]
+    fn eviction_under_pressure_round_trips_content() {
+        let path = tmp("pressure");
+        let mut pool = BufferPool::create(&path, 8).unwrap();
+        // 64 pages through 8 frames: every page is written, evicted
+        // (with write-back), and must read back intact.
+        let ids: Vec<PageId> = (0..64).map(|_| pool.allocate()).collect();
+        for &id in &ids {
+            let f = pool.pin(id).unwrap();
+            stamp(&mut pool, f, id);
+            pool.unpin(f);
+        }
+        for &id in ids.iter().rev() {
+            let f = pool.pin(id).unwrap();
+            check(&pool, f, id);
+            pool.unpin(f);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn pinned_pages_survive_pressure() {
+        let path = tmp("pinned");
+        let mut pool = BufferPool::create(&path, 8).unwrap();
+        let hot = pool.allocate();
+        let hf = pool.pin(hot).unwrap();
+        stamp(&mut pool, hf, hot);
+        // Flood the pool: the pinned frame must never be evicted.
+        for _ in 0..50 {
+            let id = pool.allocate();
+            let f = pool.pin(id).unwrap();
+            stamp(&mut pool, f, id);
+            pool.unpin(f);
+        }
+        check(&pool, hf, hot);
+        assert_eq!(pool.pin(hot).unwrap(), hf, "still resident in place");
+        pool.unpin(hf);
+        pool.unpin(hf);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn all_pinned_reports_exhaustion() {
+        let path = tmp("exhaust");
+        let mut pool = BufferPool::create(&path, 8).unwrap();
+        let mut held = Vec::new();
+        for _ in 0..8 {
+            let id = pool.allocate();
+            held.push(pool.pin(id).unwrap());
+        }
+        let extra = pool.allocate();
+        assert!(pool.pin(extra).is_err(), "no evictable frame left");
+        for f in held {
+            pool.unpin(f);
+        }
+        assert!(pool.pin(extra).is_ok(), "recovers once pins release");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn dirty_write_back_ordering() {
+        // A dirty page evicted and re-faulted must come back from the
+        // file with its latest content — i.e. write-back happens
+        // *before* the frame is reused, never after.
+        let path = tmp("wb-order");
+        let mut pool = BufferPool::create(&path, 8).unwrap();
+        let a = pool.allocate();
+        let f = pool.pin(a).unwrap();
+        stamp(&mut pool, f, a);
+        pool.unpin(f);
+        let reads_before = shard_obs::Registry::global()
+            .snapshot()
+            .counter("store.page_reads")
+            .unwrap_or(0);
+        // Cycle enough distinct pages to guarantee `a` is evicted.
+        for _ in 0..16 {
+            let id = pool.allocate();
+            let f = pool.pin(id).unwrap();
+            stamp(&mut pool, f, id);
+            pool.unpin(f);
+        }
+        let f = pool.pin(a).unwrap();
+        check(&pool, f, a);
+        pool.unpin(f);
+        let reads_after = shard_obs::Registry::global()
+            .snapshot()
+            .counter("store.page_reads")
+            .unwrap_or(0);
+        assert!(reads_after > reads_before, "page faulted back from disk");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn flush_persists_without_eviction() {
+        let path = tmp("flush");
+        let mut pool = BufferPool::create(&path, 8).unwrap();
+        let id = pool.allocate();
+        let f = pool.pin(id).unwrap();
+        stamp(&mut pool, f, id);
+        pool.unpin(f);
+        pool.flush().unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes.len(), PAGE_SIZE);
+        assert_eq!(u64::from_le_bytes(bytes[..8].try_into().unwrap()), id);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

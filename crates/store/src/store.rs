@@ -1,0 +1,419 @@
+//! The [`Store`] trait — what the simulator's durable layer programs
+//! against — and its two implementations.
+//!
+//! A store is an **ordered log of `(key, value)` records with a
+//! durability barrier and an explicit crash model**:
+//!
+//! * [`Store::append`] adds a record (buffered, *not* durable);
+//! * [`Store::sync`] is the fsync barrier — everything appended before
+//!   it survives any later crash;
+//! * [`Store::crash`] models the power cut: the log is truncated at an
+//!   arbitrary byte offset (honest hardware keeps at least
+//!   [`Store::synced_bytes`]), reopened, and torn records are dropped;
+//! * [`Store::scan_arrival`] streams records in append order — the
+//!   recovery path; [`Store::scan_key_order`] streams in key
+//!   (timestamp) order through the B+tree index.
+//!
+//! [`MemStore`] keeps the same byte accounting as the disk format, so
+//! crash offsets mean the same thing in both — the deterministic
+//! kernel's proptests run against `MemStore` and transfer to
+//! [`DiskStore`] by construction (and E24 checks they agree).
+
+use crate::btree::BTree;
+use crate::codec::{StoreKey, KEY_BYTES};
+use crate::metrics;
+use crate::pool::BufferPool;
+use crate::wal::{Wal, WalOptions, RECORD_HEADER};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Outcome of a [`Store::crash`] + reopen.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashReport {
+    /// Records that survived.
+    pub kept_entries: usize,
+    /// Bytes that survived (record-aligned, `<=` the requested keep).
+    pub kept_bytes: u64,
+    /// Whether the keep offset cut a record in half (the torn record
+    /// was dropped).
+    pub torn: bool,
+}
+
+/// Tuning for a [`DiskStore`] (and the byte model of [`MemStore`]).
+#[derive(Clone, Debug)]
+pub struct StoreOptions {
+    /// WAL segment rotation threshold.
+    pub segment_bytes: u64,
+    /// Buffer-pool frames for the B+tree index.
+    pub pool_frames: usize,
+}
+
+impl Default for StoreOptions {
+    /// 1 MiB segments, 64 frames (256 KiB of page cache).
+    fn default() -> Self {
+        StoreOptions {
+            segment_bytes: WalOptions::default().segment_bytes,
+            pool_frames: 64,
+        }
+    }
+}
+
+impl StoreOptions {
+    /// Options with the documented environment overrides applied:
+    /// `SHARD_STORE_SEGMENT_BYTES` and `SHARD_STORE_FRAMES`.
+    pub fn from_env() -> Self {
+        let mut opts = StoreOptions::default();
+        if let Some(v) = env_u64("SHARD_STORE_SEGMENT_BYTES") {
+            opts.segment_bytes = v.max(64);
+        }
+        if let Some(v) = env_u64("SHARD_STORE_FRAMES") {
+            opts.pool_frames = (v as usize).max(BufferPool::MIN_FRAMES);
+        }
+        opts
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// An ordered, crash-truncatable record log. See the module docs for
+/// the contract; `docs/storage.md` for the recovery invariants built
+/// on top of it.
+pub trait Store {
+    /// Appends one record. Buffered until the next [`Store::sync`].
+    fn append(&mut self, key: StoreKey, value: &[u8]) -> io::Result<()>;
+
+    /// Durability barrier: everything appended so far survives crashes.
+    fn sync(&mut self) -> io::Result<()>;
+
+    /// Logical end offset of the log in bytes.
+    fn len_bytes(&self) -> u64;
+
+    /// Offset up to which the log is known durable.
+    fn synced_bytes(&self) -> u64;
+
+    /// Records in the log.
+    fn entries(&self) -> usize;
+
+    /// Streams records in append (arrival) order.
+    fn scan_arrival(&mut self, f: &mut dyn FnMut(StoreKey, &[u8])) -> io::Result<()>;
+
+    /// Streams records in key (timestamp) order.
+    fn scan_key_order(&mut self, f: &mut dyn FnMut(StoreKey, &[u8])) -> io::Result<()>;
+
+    /// Point lookup by key.
+    fn get(&mut self, key: StoreKey) -> io::Result<Option<Vec<u8>>>;
+
+    /// Simulates a crash preserving exactly the first `keep` bytes,
+    /// then recovers: reopen, truncate the torn tail, rebuild derived
+    /// state. Honest hardware passes `keep >= synced_bytes()`.
+    fn crash(&mut self, keep: u64) -> io::Result<CrashReport>;
+}
+
+/// Per-record byte cost shared by both stores (`header + key + value`).
+fn record_bytes(value_len: usize) -> u64 {
+    RECORD_HEADER + (KEY_BYTES + value_len) as u64
+}
+
+/// The in-memory store: a `Vec` of records with disk-faithful byte
+/// accounting and the same crash semantics as [`DiskStore`]. The
+/// default backend — durability without the I/O, for deterministic
+/// tests and fast chaos sweeps.
+#[derive(Default)]
+pub struct MemStore {
+    /// `(key, value, end_offset)` in arrival order.
+    records: Vec<(StoreKey, Vec<u8>, u64)>,
+    /// Key-order index (the `DiskStore`'s B+tree, flattened).
+    index: BTreeMap<StoreKey, usize>,
+    len: u64,
+    synced: u64,
+}
+
+impl MemStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        MemStore::default()
+    }
+}
+
+impl Store for MemStore {
+    fn append(&mut self, key: StoreKey, value: &[u8]) -> io::Result<()> {
+        self.len += record_bytes(value.len());
+        self.index.entry(key).or_insert(self.records.len());
+        self.records.push((key, value.to_vec(), self.len));
+        metrics().wal_appends.inc();
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        if self.synced < self.len {
+            self.synced = self.len;
+            metrics().wal_fsyncs.inc();
+        }
+        Ok(())
+    }
+
+    fn len_bytes(&self) -> u64 {
+        self.len
+    }
+
+    fn synced_bytes(&self) -> u64 {
+        self.synced
+    }
+
+    fn entries(&self) -> usize {
+        self.records.len()
+    }
+
+    fn scan_arrival(&mut self, f: &mut dyn FnMut(StoreKey, &[u8])) -> io::Result<()> {
+        for (k, v, _) in &self.records {
+            f(*k, v);
+        }
+        Ok(())
+    }
+
+    fn scan_key_order(&mut self, f: &mut dyn FnMut(StoreKey, &[u8])) -> io::Result<()> {
+        for (k, &i) in &self.index {
+            f(*k, &self.records[i].1);
+        }
+        Ok(())
+    }
+
+    fn get(&mut self, key: StoreKey) -> io::Result<Option<Vec<u8>>> {
+        Ok(self.index.get(&key).map(|&i| self.records[i].1.clone()))
+    }
+
+    fn crash(&mut self, keep: u64) -> io::Result<CrashReport> {
+        let kept = self
+            .records
+            .iter()
+            .take_while(|(_, _, end)| *end <= keep)
+            .count();
+        let kept_bytes = if kept == 0 {
+            0
+        } else {
+            self.records[kept - 1].2
+        };
+        let torn = kept_bytes < keep.min(self.len);
+        self.records.truncate(kept);
+        // Rebuild the index first-writer-wins, matching the B+tree.
+        self.index.clear();
+        for (i, (k, _, _)) in self.records.iter().enumerate() {
+            self.index.entry(*k).or_insert(i);
+        }
+        self.len = kept_bytes;
+        self.synced = kept_bytes;
+        if torn {
+            metrics().wal_torn_truncations.inc();
+        }
+        metrics().recovered_entries.add(kept as u64);
+        Ok(CrashReport {
+            kept_entries: kept,
+            kept_bytes,
+            torn,
+        })
+    }
+}
+
+/// The disk store: a [`Wal`] (authoritative, arrival order) plus a
+/// [`BTree`] index (derived, key order) rebuilt from the WAL on every
+/// open. Opt in with `SHARD_STORE_DIR` or an explicit directory.
+pub struct DiskStore {
+    dir: PathBuf,
+    opts: StoreOptions,
+    wal: Wal,
+    index: BTree,
+}
+
+impl DiskStore {
+    /// Opens (creating if needed) the store in `dir`: validates the
+    /// WAL, truncates any torn tail, and rebuilds the B+tree index by
+    /// streaming the log. Returns the store and the records recovered.
+    pub fn open(dir: &Path, opts: StoreOptions) -> io::Result<(Self, usize)> {
+        let wal_opts = WalOptions {
+            segment_bytes: opts.segment_bytes,
+        };
+        let (wal, report) = Wal::open(dir, wal_opts)?;
+        let pool = BufferPool::create(&dir.join("pages.db"), opts.pool_frames)?;
+        let mut index = BTree::create(pool)?;
+        // The scan callback is infallible by design; stash the first
+        // index-build error and surface it after the walk.
+        let mut failed = None;
+        wal.for_each(|k, v| {
+            if failed.is_none() {
+                if let Err(e) = index.insert(k, v) {
+                    failed = Some(e);
+                }
+            }
+        })?;
+        if let Some(e) = failed {
+            return Err(e);
+        }
+        metrics().recovered_entries.add(report.entries as u64);
+        Ok((
+            DiskStore {
+                dir: dir.to_path_buf(),
+                opts,
+                wal,
+                index,
+            },
+            report.entries,
+        ))
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+impl Store for DiskStore {
+    fn append(&mut self, key: StoreKey, value: &[u8]) -> io::Result<()> {
+        self.wal.append(key, value)?;
+        self.index.insert(key, value)?;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.wal.sync()
+    }
+
+    fn len_bytes(&self) -> u64 {
+        self.wal.len()
+    }
+
+    fn synced_bytes(&self) -> u64 {
+        self.wal.synced()
+    }
+
+    fn entries(&self) -> usize {
+        self.wal.entries()
+    }
+
+    fn scan_arrival(&mut self, f: &mut dyn FnMut(StoreKey, &[u8])) -> io::Result<()> {
+        self.wal.for_each(f)
+    }
+
+    fn scan_key_order(&mut self, f: &mut dyn FnMut(StoreKey, &[u8])) -> io::Result<()> {
+        self.index.scan(f)
+    }
+
+    fn get(&mut self, key: StoreKey) -> io::Result<Option<Vec<u8>>> {
+        self.index.get(key)
+    }
+
+    fn crash(&mut self, keep: u64) -> io::Result<CrashReport> {
+        // Swap in a throwaway WAL so we can consume the real one (crash
+        // takes self by value to close file handles before truncating).
+        let tmp_dir = self.dir.join(".crash-tmp");
+        let (placeholder, _) = Wal::open(
+            &tmp_dir,
+            WalOptions {
+                segment_bytes: self.opts.segment_bytes,
+            },
+        )?;
+        let wal = std::mem::replace(&mut self.wal, placeholder);
+        let requested_end = wal.len().min(keep);
+        let dir = wal.crash(keep)?;
+        std::fs::remove_dir_all(&tmp_dir)?;
+        let (reopened, entries) = DiskStore::open(&dir, self.opts.clone())?;
+        let kept_bytes = reopened.wal.len();
+        *self = reopened;
+        Ok(CrashReport {
+            kept_entries: entries,
+            kept_bytes,
+            torn: kept_bytes < requested_end,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("shard-store-store-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn fill(store: &mut dyn Store, n: u64, sync_every: u64) {
+        for i in 0..n {
+            store
+                .append(StoreKey::new(i / 3, (i % 3) as u16), &i.to_be_bytes())
+                .unwrap();
+            if (i + 1) % sync_every == 0 {
+                store.sync().unwrap();
+            }
+        }
+    }
+
+    fn arrival(store: &mut dyn Store) -> Vec<(StoreKey, Vec<u8>)> {
+        let mut out = Vec::new();
+        store
+            .scan_arrival(&mut |k, v| out.push((k, v.to_vec())))
+            .unwrap();
+        out
+    }
+
+    #[test]
+    fn mem_and_disk_agree_byte_for_byte() {
+        let dir = tmp("agree");
+        let mut mem = MemStore::new();
+        let (mut disk, _) = DiskStore::open(&dir, StoreOptions::default()).unwrap();
+        fill(&mut mem, 200, 7);
+        fill(&mut disk, 200, 7);
+        assert_eq!(mem.len_bytes(), disk.len_bytes());
+        assert_eq!(mem.synced_bytes(), disk.synced_bytes());
+        assert_eq!(mem.entries(), disk.entries());
+        assert_eq!(arrival(&mut mem), arrival(&mut disk));
+        let mut mk = Vec::new();
+        let mut dk = Vec::new();
+        mem.scan_key_order(&mut |k, v| mk.push((k, v.to_vec())))
+            .unwrap();
+        disk.scan_key_order(&mut |k, v| dk.push((k, v.to_vec())))
+            .unwrap();
+        assert_eq!(mk, dk);
+        // Crash both at the same mid-record offset: identical outcomes.
+        let keep = mem.len_bytes() - 13;
+        let mr = mem.crash(keep).unwrap();
+        let dr = disk.crash(keep).unwrap();
+        assert_eq!(mr, dr);
+        assert_eq!(arrival(&mut mem), arrival(&mut disk));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_keeps_synced_prefix() {
+        let dir = tmp("synced");
+        let (mut disk, _) = DiskStore::open(&dir, StoreOptions::default()).unwrap();
+        fill(&mut disk, 100, 10);
+        let synced = disk.synced_bytes();
+        let len = disk.len_bytes();
+        assert_eq!(synced, len, "100 divides by 10: all synced");
+        fill(&mut disk, 5, u64::MAX); // 5 unsynced appends
+        assert!(disk.synced_bytes() < disk.len_bytes());
+        let r = disk.crash(disk.synced_bytes()).unwrap();
+        assert_eq!(r.kept_entries, 100);
+        assert!(!r.torn, "cut exactly at a barrier is clean");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disk_store_survives_reopen() {
+        let dir = tmp("reopen");
+        {
+            let (mut disk, recovered) = DiskStore::open(&dir, StoreOptions::default()).unwrap();
+            assert_eq!(recovered, 0);
+            fill(&mut disk, 50, 1);
+        }
+        let (mut disk, recovered) = DiskStore::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(recovered, 50);
+        assert_eq!(disk.entries(), 50);
+        assert!(disk.get(StoreKey::new(0, 1)).unwrap().is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

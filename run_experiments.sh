@@ -1,12 +1,12 @@
 #!/usr/bin/env bash
-# Runs all 23 experiment binaries (E01-E23) in release mode; fails fast
+# Runs all 24 experiment binaries (E01-E24) in release mode; fails fast
 # on the first violated claim. Logs land in target/exp_logs/, per-run
 # metrics sidecars in target/exp_metrics/ (aggregated into
 # EXPERIMENTS_METRICS.json), and JSONL traces in target/exp_traces/.
 #
 # The experiments are independent processes, so EXP_JOBS of them run
 # concurrently (default: all cores). Each writes its own log and its
-# own sidecar; logs are replayed in the fixed E01..E23 order after all
+# own sidecar; logs are replayed in the fixed E01..E24 order after all
 # runs finish, and the aggregate is sorted by experiment name, so the
 # script's output and EXPERIMENTS_METRICS.json are identical at every
 # job count. EXP_JOBS=1 reproduces the old sequential behaviour.
@@ -21,6 +21,7 @@ experiments=(
   e12_banking e13_inventory e14_taxonomy e15_complete_prefix
   e16_partial_replication e17_gossip e18_crash_recovery e19_nameserver
   e20_gossip_partial e21_nemesis_chaos e22_stream_monitor e23_runtime
+  e24_store_recovery
 )
 
 # Build everything once up front: concurrent `cargo run`s would contend
