@@ -97,6 +97,24 @@ run cargo run -q --release -p shard-cli --bin shard-trace -- \
   check target/exp_metrics/e24.json \
   experiment ok wall_time_ms claims counters gauges histograms spans \
   "store.wal_torn_truncations_clean<=0"
+# The out-of-core gate: E25 at smoke scale — 10^5 banking transactions
+# through the store-backed streaming tier (DiskStore rows + spilled
+# checkpoint anchors). The binary exits non-zero unless the streamed
+# state equals both the in-memory merge and the serial replay, the
+# online report (verdicts AND certificates) is byte-identical to the
+# second pass off the store, every captured certificate re-validates
+# through the certify path, and the peak resident state stays under
+# 1/10 of the extrapolated in-memory footprint. The sidecar check
+# re-asserts the memory claim from the recorded gauge: the streaming
+# tier's resident state must stay under 100 KB — three orders of
+# magnitude below the in-memory footprint at this scale — so a
+# regression in either the spilling tier or the accounting fails CI.
+run env SHARD_E25_TXNS=100000 \
+  cargo run -q --release -p shard-bench --bin exp_e25_outofcore
+run cargo run -q --release -p shard-cli --bin shard-trace -- \
+  check target/exp_metrics/e25.json \
+  experiment ok wall_time_ms claims counters gauges histograms spans \
+  "state.peak_resident_bytes<=100000"
 run cargo run -q --release -p shard-bench --bin exp_state_sweep
 run cargo run -q --release -p shard-cli --bin shard-trace -- \
   check target/exp_metrics/state_sweep.json \

@@ -68,6 +68,11 @@ impl BankState {
         (-self.balance(a)).max(0) as u64
     }
 
+    /// Every touched account and its balance, in account order.
+    pub fn balances(&self) -> impl Iterator<Item = (AccountId, i64)> + '_ {
+        self.balances.iter().map(|(a, b)| (*a, *b))
+    }
+
     /// Test/helper constructor from `(account, balance)` pairs.
     pub fn with_balances(pairs: &[(AccountId, i64)]) -> Self {
         BankState {

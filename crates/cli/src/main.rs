@@ -40,8 +40,8 @@ const COMMANDS: &[Command] = &[
     },
     Command {
         name: "check",
-        synopsis: "<sidecar.json> [key | counter<=limit ...]",
-        blurb: "validate a sidecar: required top-level keys, counter budgets, histogram quantiles",
+        synopsis: "<sidecar.json> [key | metric<=limit ...]",
+        blurb: "validate a sidecar: required top-level keys, counter/gauge budgets, histogram quantiles",
         run: check,
     },
     Command {
@@ -64,7 +64,7 @@ const COMMANDS: &[Command] = &[
     },
     Command {
         name: "store",
-        synopsis: "<dir>",
+        synopsis: "<dir> [--stats]",
         blurb: "inspect on-disk store segments (a node dir or a fleet dir of node-*/); exit 1 on a torn tail",
         run: store,
     },
@@ -164,22 +164,25 @@ fn check(args: &[String]) -> CmdResult {
     }
     let doc = shard_obs::check_sidecar(&read(path)?, &required)
         .map_err(|e| fail(format!("{path}: {e}")))?;
-    for (counter, limit) in &budgets {
-        let value = doc
-            .get("counters")
-            .and_then(|c| c.get(counter))
-            .and_then(shard_obs::Json::as_u64)
-            .ok_or_else(|| {
-                fail(format!(
-                    "{path}: counter {counter:?} not recorded in sidecar"
-                ))
-            })?;
+    for (metric, limit) in &budgets {
+        // Budgets apply to counters and gauges alike; counters win on a
+        // (never occurring in practice) name collision.
+        let (kind, value) = [("counter", "counters"), ("gauge", "gauges")]
+            .iter()
+            .find_map(|(kind, section)| {
+                let v = doc
+                    .get(section)
+                    .and_then(|c| c.get(metric))
+                    .and_then(shard_obs::Json::as_u64)?;
+                Some((*kind, v))
+            })
+            .ok_or_else(|| fail(format!("{path}: metric {metric:?} not recorded in sidecar")))?;
         if value > *limit {
             return Err(fail(format!(
-                "{path}: counter {counter} = {value} exceeds budget {limit}"
+                "{path}: {kind} {metric} = {value} exceeds budget {limit}"
             )));
         }
-        println!("{path}: counter {counter} = {value} within budget {limit}");
+        println!("{path}: {kind} {metric} = {value} within budget {limit}");
     }
     let quantiles = shard_obs::render_sidecar_histograms(&doc);
     if !quantiles.is_empty() {
@@ -250,6 +253,28 @@ fn certify(args: &[String]) -> CmdResult {
     Ok(())
 }
 
+/// Rebuilds the B+tree index from the WAL (exactly what recovery does;
+/// a torn tail is truncated on open) and renders its shape — pages,
+/// fill factor, scan depth — for postmortem inspection of spilled runs.
+fn store_stats(label: &str, dir: &Path) -> Result<(), CliError> {
+    let (mut disk, _) = shard_store::DiskStore::open(dir, shard_store::StoreOptions::default())
+        .map_err(|e| fail(format!("{label}: {e}")))?;
+    let s = disk
+        .index_stats()
+        .map_err(|e| fail(format!("{label}: {e}")))?;
+    println!(
+        "  index: {} entries, depth {}, {} pages ({} leaf + {} internal), leaf fill {}.{}%",
+        s.entries,
+        s.depth,
+        s.total_pages,
+        s.leaf_pages,
+        s.internal_pages,
+        s.leaf_fill_permille / 10,
+        s.leaf_fill_permille % 10,
+    );
+    Ok(())
+}
+
 /// Renders one store directory's [`shard_store::WalInspection`];
 /// returns whether its tail is torn.
 fn store_one(label: &str, dir: &Path) -> Result<bool, CliError> {
@@ -288,9 +313,12 @@ fn store_one(label: &str, dir: &Path) -> Result<bool, CliError> {
 }
 
 fn store(args: &[String]) -> CmdResult {
-    let [dir] = args else {
+    let stats = args.iter().any(|a| a == "--stats");
+    let dirs: Vec<&String> = args.iter().filter(|a| *a != "--stats").collect();
+    let [dir] = dirs.as_slice() else {
         return Err(bad_usage("store takes exactly one directory"));
     };
+    let dir = *dir;
     let root = Path::new(dir);
     // A fleet directory (what `DurableFleet` lays down) holds one
     // `node-<i>` store per replica; anything else is a single store.
@@ -309,9 +337,16 @@ fn store(args: &[String]) -> CmdResult {
     let mut torn = false;
     if nodes.is_empty() {
         torn = store_one(dir, root)?;
+        if stats {
+            store_stats(dir, root)?;
+        }
     } else {
         for node in &nodes {
-            torn |= store_one(&node.display().to_string(), node)?;
+            let label = node.display().to_string();
+            torn |= store_one(&label, node)?;
+            if stats {
+                store_stats(&label, node)?;
+            }
         }
     }
     if torn {
@@ -568,6 +603,55 @@ mod tests {
         let bytes = std::fs::read(&seg).unwrap();
         std::fs::write(&seg, &bytes[..bytes.len() - 3]).unwrap();
         assert!(matches!(store(&fleet_arg), Err(CliError::Failed(_))));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn check_budgets_cover_counters_and_gauges() {
+        let dir = std::env::temp_dir().join(format!("shard-cli-check-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let sidecar = dir.join("run.json");
+        std::fs::write(
+            &sidecar,
+            r#"{"counters":{"merge.appends":7},"gauges":{"state.peak_resident_bytes":4096}}"#,
+        )
+        .unwrap();
+        let path = sidecar.display().to_string();
+        let run = |budget: &str| check(&[path.clone(), budget.to_string()]);
+        assert!(run("merge.appends<=7").is_ok());
+        assert!(run("state.peak_resident_bytes<=4096").is_ok(), "gauge met");
+        assert!(
+            matches!(
+                run("state.peak_resident_bytes<=4095"),
+                Err(CliError::Failed(_))
+            ),
+            "gauge budget exceeded"
+        );
+        assert!(
+            matches!(run("state.other<=1"), Err(CliError::Failed(_))),
+            "unknown metric in either section fails"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_stats_reports_index_shape() {
+        use shard_store::{DiskStore, Store, StoreKey, StoreOptions};
+        let root =
+            std::env::temp_dir().join(format!("shard-cli-store-stats-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let (mut disk, _) = DiskStore::open(&root, StoreOptions::default()).unwrap();
+        for i in 0..500u64 {
+            disk.append(StoreKey::new(i, 0), &i.to_be_bytes()).unwrap();
+        }
+        disk.sync().unwrap();
+        drop(disk);
+        let args = [root.display().to_string(), "--stats".to_string()];
+        assert!(store(&args).is_ok());
+        // Flag order must not matter.
+        let args = ["--stats".to_string(), root.display().to_string()];
+        assert!(store(&args).is_ok());
         let _ = std::fs::remove_dir_all(&root);
     }
 

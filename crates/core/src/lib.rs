@@ -108,5 +108,8 @@ pub use fairness::PriorityModel;
 pub use grouping::Grouping;
 pub use objects::{ObjectId, ObjectModel};
 pub use pmap::PMap;
-pub use replay::{Checkpoints, ReplayStats, Replayer, DEFAULT_CHECKPOINT_INTERVAL};
+pub use replay::{
+    Checkpoints, ReplayStats, Replayer, SpillingCheckpoints, StreamedRecord, StreamingExecution,
+    DEFAULT_CHECKPOINT_INTERVAL,
+};
 pub use stream::{Certificate, StreamChecker, StreamReport, StreamRow, WindowVerdict};

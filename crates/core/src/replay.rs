@@ -62,6 +62,9 @@ struct ReplayMetrics {
     in_place: std::sync::Arc<shard_obs::Counter>,
     clone_count: std::sync::Arc<shard_obs::Counter>,
     clone_bytes: std::sync::Arc<shard_obs::Counter>,
+    spills: std::sync::Arc<shard_obs::Counter>,
+    spill_loads: std::sync::Arc<shard_obs::Counter>,
+    peak_resident: std::sync::Arc<shard_obs::Gauge>,
 }
 
 fn replay_metrics() -> &'static ReplayMetrics {
@@ -78,8 +81,21 @@ fn replay_metrics() -> &'static ReplayMetrics {
             in_place: r.counter("replay.in_place_applies"),
             clone_count: r.counter("state.clone_count"),
             clone_bytes: r.counter("state.clone_bytes"),
+            spills: r.counter("replay.spills"),
+            spill_loads: r.counter("replay.spill_loads"),
+            peak_resident: r.gauge("state.peak_resident_bytes"),
         }
     })
+}
+
+/// Raises the `state.peak_resident_bytes` high-watermark gauge — the
+/// observable side of every memory budget the out-of-core tier is
+/// checked against. Called at checkpoint spill/load boundaries; no-op
+/// while the obs layer is disabled.
+pub fn note_resident_bytes(bytes: usize) {
+    if shard_obs::enabled() {
+        replay_metrics().peak_resident.max(bytes as i64);
+    }
 }
 
 /// Records that a full state snapshot was cloned somewhere in the
@@ -277,6 +293,510 @@ impl<S: Clone> Checkpoints<S> {
             Some((*l, s))
         }
     }
+}
+
+fn encode_state<S: shard_store::Codec>(s: &S, out: &mut Vec<u8>) {
+    s.encode(out);
+}
+
+fn decode_state<S: shard_store::Codec>(bytes: &[u8]) -> Option<S> {
+    S::from_slice(bytes)
+}
+
+/// A two-tier checkpoint sequence: the newest `hot_capacity` points
+/// stay in RAM (the delta chain every resume usually lands on), while
+/// every `spill_spacing`-th point evicted from the hot tier is
+/// serialized through a [`Store`](shard_store::Store) as a **cold
+/// anchor** — so a 10⁷-update execution keeps O(hot) resident state
+/// instead of O(n / interval) snapshots.
+///
+/// The spill store is a *cache*, not a durability domain: a spilled
+/// anchor that fails to write, load or decode (e.g. a kill point cut
+/// it in half) is simply skipped and the resume falls back to the next
+/// shallower anchor — answers never change, only how far a replay has
+/// to run. The serialization functions are captured as plain `fn`
+/// pointers at construction (the one place a
+/// [`Codec`](shard_store::Codec) bound exists), so every later call
+/// site — the merge log's undo/redo paths included — stays free of
+/// codec bounds.
+///
+/// Spilled record byte layout (see `docs/storage.md`): anchor `seq`
+/// (a monotone sequence number, so truncated-then-rewritten depths
+/// never collide in the insert-only store) keys a chunked group of
+/// `write_frame(encode(state))` split into
+/// [`CHUNK_BYTES`](shard_store::CHUNK_BYTES) records
+/// `(primary = seq, secondary = chunk index)`.
+pub struct SpillingCheckpoints<S> {
+    every: usize,
+    hot_capacity: usize,
+    spill_spacing: usize,
+    /// Newest points, ascending by depth; parallel to `hot_hints`.
+    hot: std::collections::VecDeque<(usize, S)>,
+    hot_hints: std::collections::VecDeque<usize>,
+    /// Sum of `hot_hints` — the tier's resident-state bytes.
+    hot_bytes: usize,
+    /// Spilled anchors `(depth, seq)`, ascending by depth; every depth
+    /// here is shallower than every hot depth.
+    spilled: Vec<(usize, u64)>,
+    next_seq: u64,
+    evictions: usize,
+    store: Box<dyn shard_store::Store + Send>,
+    encode: fn(&S, &mut Vec<u8>),
+    decode: fn(&[u8]) -> Option<S>,
+}
+
+impl<S> std::fmt::Debug for SpillingCheckpoints<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpillingCheckpoints")
+            .field("every", &self.every)
+            .field("hot_capacity", &self.hot_capacity)
+            .field("spill_spacing", &self.spill_spacing)
+            .field("hot_points", &self.hot.len())
+            .field("hot_bytes", &self.hot_bytes)
+            .field("spilled", &self.spilled.len())
+            .finish()
+    }
+}
+
+impl<S: Clone> SpillingCheckpoints<S> {
+    /// An empty spilling sequence recording every `every` applied
+    /// updates, keeping `hot_capacity` points in RAM and spilling
+    /// every `spill_spacing`-th evicted point to `store` as a cold
+    /// anchor (1 = spill everything evicted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every`, `hot_capacity` or `spill_spacing` is 0.
+    pub fn new(
+        store: Box<dyn shard_store::Store + Send>,
+        every: usize,
+        hot_capacity: usize,
+        spill_spacing: usize,
+    ) -> Self
+    where
+        S: shard_store::Codec,
+    {
+        assert!(every > 0, "checkpoint interval must be positive");
+        assert!(hot_capacity > 0, "hot capacity must be positive");
+        assert!(spill_spacing > 0, "spill spacing must be positive");
+        SpillingCheckpoints {
+            every,
+            hot_capacity,
+            spill_spacing,
+            hot: std::collections::VecDeque::new(),
+            hot_hints: std::collections::VecDeque::new(),
+            hot_bytes: 0,
+            spilled: Vec::new(),
+            next_seq: 0,
+            evictions: 0,
+            store,
+            encode: encode_state::<S>,
+            decode: decode_state::<S>,
+        }
+    }
+
+    /// The configured spacing between checkpoints, in applied updates.
+    pub fn interval(&self) -> usize {
+        self.every
+    }
+
+    /// Checkpoints currently reachable (hot + spilled).
+    pub fn len(&self) -> usize {
+        self.hot.len() + self.spilled.len()
+    }
+
+    /// Whether no checkpoints are stored.
+    pub fn is_empty(&self) -> bool {
+        self.hot.is_empty() && self.spilled.is_empty()
+    }
+
+    /// Resident (hot-tier) state bytes, per the recorded size hints.
+    pub fn resident_bytes(&self) -> usize {
+        self.hot_bytes
+    }
+
+    /// Spilled cold anchors currently indexed.
+    pub fn spilled_anchors(&self) -> usize {
+        self.spilled.len()
+    }
+
+    /// The spill store — exposed so fault harnesses can crash it under
+    /// a live checkpoint sequence.
+    pub fn store_mut(&mut self) -> &mut (dyn shard_store::Store + Send) {
+        &mut *self.store
+    }
+
+    /// The depth of the deepest checkpoint, or 0.
+    pub fn last_len(&self) -> usize {
+        self.hot
+            .back()
+            .map(|&(l, _)| l)
+            .or_else(|| self.spilled.last().map(|&(l, _)| l))
+            .unwrap_or(0)
+    }
+
+    /// Records `state` after `len` applied updates under the same
+    /// interval gating as [`Checkpoints::record`]; `size_hint` is the
+    /// state's [`Application::state_size_hint`] cost, used for
+    /// resident-byte accounting. Returns whether a checkpoint was
+    /// stored. Spill failures are swallowed — the anchor is just not
+    /// indexed.
+    pub fn record(&mut self, len: usize, state: &S, size_hint: usize) -> bool {
+        if len < self.last_len() + self.every {
+            return false;
+        }
+        note_state_clone(size_hint);
+        self.hot.push_back((len, state.clone()));
+        self.hot_hints.push_back(size_hint);
+        self.hot_bytes += size_hint;
+        while self.hot.len() > self.hot_capacity {
+            self.evict_front();
+        }
+        note_resident_bytes(self.hot_bytes);
+        true
+    }
+
+    fn evict_front(&mut self) {
+        let Some((depth, state)) = self.hot.pop_front() else {
+            return;
+        };
+        self.hot_bytes -= self.hot_hints.pop_front().unwrap_or(0);
+        self.evictions += 1;
+        if !self.evictions.is_multiple_of(self.spill_spacing) {
+            return;
+        }
+        let mut payload = Vec::new();
+        (self.encode)(&state, &mut payload);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if shard_store::append_chunked(&mut *self.store, seq, &payload).is_ok() {
+            self.spilled.push((depth, seq));
+            if shard_obs::enabled() {
+                replay_metrics().spills.inc();
+            }
+        }
+    }
+
+    /// Drops every checkpoint deeper than `keep` applied updates (the
+    /// *undo* half of undo/redo). Spilled store records of dropped
+    /// anchors are orphaned, never reused — fresh anchors get fresh
+    /// sequence numbers.
+    pub fn truncate(&mut self, keep: usize) {
+        while self.hot.back().is_some_and(|&(l, _)| l > keep) {
+            self.hot.pop_back();
+            self.hot_bytes -= self.hot_hints.pop_back().unwrap_or(0);
+        }
+        while self.spilled.last().is_some_and(|&(l, _)| l > keep) {
+            self.spilled.pop();
+        }
+    }
+
+    /// The deepest checkpoint, cloned out of the hot tier or loaded
+    /// back from the spill store.
+    pub fn last_owned(&mut self) -> Option<(usize, S)> {
+        if let Some((l, s)) = self.hot.back() {
+            return Some((*l, s.clone()));
+        }
+        self.load_deepest_spilled(usize::MAX)
+    }
+
+    /// The deepest checkpoint at or below `limit` applied updates —
+    /// hot tier first (always deeper where it qualifies), then spilled
+    /// anchors deepest-first, skipping any that fail to load or decode.
+    pub fn floor_owned(&mut self, limit: usize) -> Option<(usize, S)> {
+        if let Some((l, s)) = self.hot.iter().rev().find(|&&(l, _)| l <= limit) {
+            return Some((*l, s.clone()));
+        }
+        self.load_deepest_spilled(limit)
+    }
+
+    fn load_deepest_spilled(&mut self, limit: usize) -> Option<(usize, S)> {
+        let end = self.spilled.partition_point(|&(l, _)| l <= limit);
+        for &(depth, seq) in self.spilled[..end].iter().rev() {
+            let Ok(Some(bytes)) = shard_store::read_chunked(&mut *self.store, seq) else {
+                continue;
+            };
+            let Some(state) = (self.decode)(&bytes) else {
+                continue;
+            };
+            if shard_obs::enabled() {
+                replay_metrics().spill_loads.inc();
+            }
+            // The loaded anchor is transiently resident on top of the
+            // hot tier; its encoded size is the best proxy we have.
+            note_resident_bytes(self.hot_bytes + bytes.len());
+            return Some((depth, state));
+        }
+        None
+    }
+}
+
+/// A streamed record of the serial order: what
+/// [`StreamingExecution::for_each_row`] yields per transaction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamedRecord<U> {
+    /// Real initiation time (the simulator's integer ticks).
+    pub time: u64,
+    /// Strictly increasing indices in `0..index` the transaction
+    /// missed (the complement of its prefix subsequence).
+    pub missed: Vec<TxnIndex>,
+    /// The update the transaction contributed.
+    pub update: U,
+}
+
+/// An execution that lives in a [`Store`](shard_store::Store) instead
+/// of a `Vec<TxnRecord>`: rows are appended in serial order as chunked
+/// records, and every whole-execution traversal —
+/// [`fold_actual_states`](StreamingExecution::fold_actual_states),
+/// [`for_each_actual_state`](StreamingExecution::for_each_actual_state),
+/// the §3 window checker ([`check_stream`](StreamingExecution::check_stream)) —
+/// runs directly off a key-order cursor, so peak resident state is one
+/// application state plus one row, independent of the execution length.
+///
+/// Row byte layout (framed and chunked like spilled checkpoints;
+/// `docs/storage.md` documents both): `time: u64` big-endian,
+/// `missed_len: u32`, `missed[i]: u32` each, then the update's
+/// [`Codec`](shard_store::Codec) encoding.
+pub struct StreamingExecution<A: crate::app::Application> {
+    store: Box<dyn shard_store::Store + Send>,
+    len: usize,
+    _app: std::marker::PhantomData<fn() -> A>,
+}
+
+impl<A: crate::app::Application> std::fmt::Debug for StreamingExecution<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamingExecution")
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+impl<A: crate::app::Application> StreamingExecution<A>
+where
+    A::Update: shard_store::Codec,
+{
+    /// An empty streaming execution over `store` (which should be
+    /// empty; reuse [`StreamingExecution::reopen`] for a store that
+    /// already holds rows).
+    pub fn new(store: Box<dyn shard_store::Store + Send>) -> Self {
+        debug_assert_eq!(store.entries(), 0, "use reopen for a non-empty store");
+        StreamingExecution {
+            store,
+            len: 0,
+            _app: std::marker::PhantomData,
+        }
+    }
+
+    /// Re-attaches to a store holding `len` previously pushed rows.
+    pub fn reopen(store: Box<dyn shard_store::Store + Send>, len: usize) -> Self {
+        StreamingExecution {
+            store,
+            len,
+            _app: std::marker::PhantomData,
+        }
+    }
+
+    /// Rows pushed so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no rows were pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Durability barrier on the backing store.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.store.sync()
+    }
+
+    /// The backing store — exposed so fault harnesses can crash it
+    /// under a live execution.
+    pub fn store_mut(&mut self) -> &mut (dyn shard_store::Store + Send) {
+        &mut *self.store
+    }
+
+    /// Releases the backing store and the row count, e.g. to reopen the
+    /// same rows after a simulated crash.
+    pub fn into_store(self) -> (Box<dyn shard_store::Store + Send>, usize) {
+        (self.store, self.len)
+    }
+
+    /// Appends the next transaction of the serial order: its initiation
+    /// `time`, the indices it `missed`, and its `update`. Returns the
+    /// row's index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a missed index is not strictly below the row's index.
+    pub fn push(
+        &mut self,
+        time: u64,
+        missed: &[TxnIndex],
+        update: &A::Update,
+    ) -> std::io::Result<TxnIndex> {
+        let index = self.len;
+        let mut payload = Vec::with_capacity(16 + 4 * missed.len());
+        payload.extend_from_slice(&time.to_be_bytes());
+        payload.extend_from_slice(&(missed.len() as u32).to_be_bytes());
+        for &m in missed {
+            assert!(m < index, "missed index {m} not below row {index}");
+            payload.extend_from_slice(&(m as u32).to_be_bytes());
+        }
+        shard_store::Codec::encode(update, &mut payload);
+        shard_store::append_chunked(&mut *self.store, index as u64, &payload)?;
+        self.len += 1;
+        Ok(index)
+    }
+
+    /// Streams every row in serial order through `f` off a key-order
+    /// store cursor. Errors on a missing, torn or malformed row — a
+    /// streaming execution is an *authoritative* copy, not a cache, so
+    /// holes are not skippable.
+    pub fn for_each_row(
+        &mut self,
+        mut f: impl FnMut(TxnIndex, &StreamedRecord<A::Update>),
+    ) -> std::io::Result<()> {
+        let bad = |i: usize, what: &str| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("streaming row {i}: {what}"),
+            )
+        };
+        let mut cursor = shard_store::KeyCursor::new(1024);
+        let mut active: Option<(u64, shard_store::FrameReader)> = None;
+        let mut next = 0usize;
+        loop {
+            let rec = cursor.next(&mut *self.store)?;
+            let boundary = match &rec {
+                Some((k, _)) => active.as_ref().is_some_and(|(p, _)| *p != k.primary),
+                None => active.is_some(),
+            };
+            if boundary {
+                let (primary, mut reader) = active.take().expect("boundary implies a group");
+                if primary != next as u64 {
+                    return Err(bad(next, "row group missing"));
+                }
+                let payload = reader
+                    .next_frame()
+                    .ok_or_else(|| bad(next, "torn row group"))?;
+                let row = decode_row::<A>(payload).ok_or_else(|| bad(next, "malformed row"))?;
+                f(next, &row);
+                next += 1;
+            }
+            match rec {
+                Some((k, v)) => {
+                    let (_, reader) =
+                        active.get_or_insert_with(|| (k.primary, shard_store::FrameReader::new()));
+                    reader.push(&v);
+                }
+                None => break,
+            }
+        }
+        if next != self.len {
+            return Err(bad(next, "row group missing"));
+        }
+        Ok(())
+    }
+
+    /// Streams the actual states `s₀, s₁, …, sₙ` through `f` in one
+    /// forward pass off the store cursor — the out-of-core counterpart
+    /// of [`Execution::fold_actual_states`], same callback contract
+    /// (`m = 0` is the initial state, `m = i + 1` the state after
+    /// row `i`), identical fold results for identical rows.
+    pub fn fold_actual_states<T>(
+        &mut self,
+        app: &A,
+        init: T,
+        mut f: impl FnMut(T, usize, &A::State) -> T,
+    ) -> std::io::Result<T> {
+        let mut state = app.initial_state();
+        let mut acc = Some(f(init, 0, &state));
+        let mut applied = 0u64;
+        self.for_each_row(|i, row| {
+            app.apply_in_place(&mut state, &row.update);
+            applied += 1;
+            acc = Some(f(acc.take().expect("accumulator in flight"), i + 1, &state));
+        })?;
+        note_in_place_applies(applied);
+        Ok(acc.expect("fold seeded above"))
+    }
+
+    /// Streams the actual states through `f` (see
+    /// [`StreamingExecution::fold_actual_states`]).
+    pub fn for_each_actual_state(
+        &mut self,
+        app: &A,
+        mut f: impl FnMut(usize, &A::State),
+    ) -> std::io::Result<()> {
+        self.fold_actual_states(app, (), |(), m, s| f(m, s))
+    }
+
+    /// The final actual state (the initial state if empty).
+    pub fn final_state(&mut self, app: &A) -> std::io::Result<A::State> {
+        let mut state = app.initial_state();
+        let mut applied = 0u64;
+        self.for_each_row(|_, row| {
+            app.apply_in_place(&mut state, &row.update);
+            applied += 1;
+        })?;
+        note_in_place_applies(applied);
+        Ok(state)
+    }
+
+    /// Runs the online §3 window checker over the stored rows —
+    /// verdicts, certificates and the final report are byte-identical
+    /// to [`check_rows`](crate::stream::check_rows) on the same rows
+    /// materialized in memory.
+    pub fn check_stream(&mut self, window: usize) -> std::io::Result<crate::stream::StreamReport> {
+        let mut checker = crate::stream::StreamChecker::new(window);
+        self.for_each_row(|i, row| {
+            checker.push(&crate::stream::StreamRow {
+                index: i,
+                time: row.time,
+                missed: row.missed.clone(),
+            });
+        })?;
+        Ok(checker.report())
+    }
+
+    /// Spills a timed in-memory execution into `store` row by row — the
+    /// bridge the equivalence tests and benches use.
+    pub fn from_timed_execution(
+        store: Box<dyn shard_store::Store + Send>,
+        pool: &shard_pool::PoolConfig,
+        te: &crate::conditions::TimedExecution<A>,
+    ) -> std::io::Result<Self> {
+        let rows = crate::stream::rows_from_execution(pool, te);
+        let mut out = Self::new(store);
+        for (rec, row) in te.execution.records().iter().zip(&rows) {
+            out.push(row.time, &row.missed, &rec.update)?;
+        }
+        Ok(out)
+    }
+}
+
+fn decode_row<A: crate::app::Application>(payload: &[u8]) -> Option<StreamedRecord<A::Update>>
+where
+    A::Update: shard_store::Codec,
+{
+    let mut r = shard_store::ByteReader::new(payload);
+    let time = r.u64()?;
+    let missed_len = r.u32()? as usize;
+    let mut missed = Vec::with_capacity(missed_len);
+    for _ in 0..missed_len {
+        missed.push(r.u32()? as TxnIndex);
+    }
+    let update = <A::Update as shard_store::Codec>::decode(&mut r)?;
+    if !r.is_done() {
+        return None;
+    }
+    Some(StreamedRecord {
+        time,
+        missed,
+        update,
+    })
 }
 
 /// The memo behind all incremental state queries.
@@ -687,6 +1207,8 @@ where
 mod tests {
     use super::*;
     use crate::app::DecisionOutcome;
+    use crate::conditions::TimedExecution;
+    use crate::execution::ExecutionBuilder;
 
     /// Toy application: state is the concatenation-as-number of applied
     /// update ids, so every distinct subsequence yields a distinct state
@@ -976,5 +1498,203 @@ mod tests {
         assert!(r.is_empty());
         assert_eq!(r.state_after_prefix(&[]), Vec::<u64>::new());
         assert_eq!(r.final_state(), Vec::<u64>::new());
+    }
+
+    impl shard_store::Codec for Tag {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.0.encode(out);
+        }
+        fn decode(r: &mut shard_store::ByteReader<'_>) -> Option<Self> {
+            Some(Tag(u64::decode(r)?))
+        }
+    }
+
+    fn spilling(hot: usize, spacing: usize, every: usize) -> SpillingCheckpoints<u64> {
+        SpillingCheckpoints::new(Box::new(shard_store::MemStore::new()), every, hot, spacing)
+    }
+
+    #[test]
+    fn spilling_with_spacing_one_matches_plain_checkpoints() {
+        let mut plain: Checkpoints<u64> = Checkpoints::new(2);
+        let mut spill = spilling(3, 1, 2);
+        for len in 1..=40usize {
+            assert_eq!(
+                plain.record(len, &(len as u64 * 10)),
+                spill.record(len, &(len as u64 * 10), 8)
+            );
+        }
+        assert!(spill.spilled_anchors() > 0, "eviction must have spilled");
+        assert!(spill.resident_bytes() <= 3 * 8, "hot tier bounded");
+        for limit in 0..=41 {
+            assert_eq!(
+                plain.floor(limit).map(|(l, s)| (l, *s)),
+                spill.floor_owned(limit),
+                "limit {limit}"
+            );
+        }
+        assert_eq!(plain.last_len(), spill.last_len());
+        assert_eq!(
+            plain.last().map(|(l, s)| (l, *s)),
+            spill.last_owned(),
+            "deepest point loads back from the cold tier too"
+        );
+    }
+
+    #[test]
+    fn spilling_truncate_then_readvance_never_collides() {
+        let mut spill = spilling(1, 1, 1);
+        for len in 1..=10usize {
+            spill.record(len, &(len as u64), 8);
+        }
+        // Undo to depth 4, then redo with *different* states at the
+        // same depths: the fresh anchors must win over the orphans.
+        spill.truncate(4);
+        assert_eq!(spill.last_len(), 4);
+        for len in 5..=12usize {
+            spill.record(len, &(len as u64 + 100), 8);
+        }
+        assert_eq!(spill.floor_owned(7), Some((7, 107)));
+        assert_eq!(spill.floor_owned(4), Some((4, 4)));
+        assert_eq!(spill.last_owned(), Some((12, 112)));
+    }
+
+    #[test]
+    fn spilling_floor_degrades_past_lost_anchors() {
+        // Spacing 3 drops two of every three evicted points entirely;
+        // floors fall back to the deepest surviving point.
+        let mut spill = spilling(2, 3, 1);
+        for len in 1..=20usize {
+            spill.record(len, &(len as u64), 8);
+        }
+        for limit in 0..=21 {
+            match spill.floor_owned(limit) {
+                Some((l, s)) => {
+                    assert!(l <= limit && s == l as u64);
+                }
+                None => assert!(limit < 3, "shallow limits may have no anchor"),
+            }
+        }
+        // Crashing the spill store to nothing degrades floors to the
+        // hot tier instead of failing.
+        spill.store_mut().crash(0).unwrap();
+        assert_eq!(spill.floor_owned(18), None, "cold anchors gone");
+        assert_eq!(spill.floor_owned(19), Some((19, 19)), "hot tier intact");
+        assert_eq!(spill.last_owned(), Some((20, 20)));
+    }
+
+    fn mixed_timed_execution(n: usize) -> TimedExecution<Trace> {
+        let app = Trace;
+        let mut b = ExecutionBuilder::new(&app);
+        for i in 0..n {
+            if i % 3 == 2 {
+                b.push_missing(Tag(i as u64), &[i - 1, i / 2]).unwrap();
+            } else {
+                b.push_complete(Tag(i as u64)).unwrap();
+            }
+        }
+        let times = (0..n as u64).map(|t| t * 7 % 400 + t).collect();
+        TimedExecution::new(b.finish(), times)
+    }
+
+    #[test]
+    fn streaming_execution_matches_in_memory_traversals() {
+        let app = Trace;
+        let pool = shard_pool::PoolConfig::sequential();
+        let te = mixed_timed_execution(60);
+        let mut se = StreamingExecution::<Trace>::from_timed_execution(
+            Box::new(shard_store::MemStore::new()),
+            &pool,
+            &te,
+        )
+        .unwrap();
+        assert_eq!(se.len(), 60);
+        let mem: Vec<(usize, Vec<u64>)> =
+            te.execution
+                .fold_actual_states(&app, Vec::new(), |mut acc, m, s| {
+                    acc.push((m, s.clone()));
+                    acc
+                });
+        let streamed = se
+            .fold_actual_states(&app, Vec::new(), |mut acc, m, s| {
+                acc.push((m, s.clone()));
+                acc
+            })
+            .unwrap();
+        assert_eq!(mem, streamed, "identical fold results");
+        assert_eq!(
+            se.final_state(&app).unwrap(),
+            te.execution.final_state(&app)
+        );
+        for window in [1, 7, 64] {
+            let rows = crate::stream::rows_from_execution(&pool, &te);
+            assert_eq!(
+                se.check_stream(window).unwrap(),
+                crate::stream::check_rows(window, &rows),
+                "window {window}"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_execution_round_trips_rows_through_disk() {
+        let dir = std::env::temp_dir().join(format!("shard_streaming_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let (store, _) =
+            shard_store::DiskStore::open(&dir, shard_store::StoreOptions::default()).unwrap();
+        let mut se = StreamingExecution::<Trace>::new(Box::new(store));
+        se.push(3, &[], &Tag(7)).unwrap();
+        se.push(9, &[0], &Tag(8)).unwrap();
+        se.sync().unwrap();
+        let (store, len) = se.into_store();
+        drop(store);
+        let (store, recovered) =
+            shard_store::DiskStore::open(&dir, shard_store::StoreOptions::default()).unwrap();
+        assert_eq!(recovered, 2);
+        let mut se = StreamingExecution::<Trace>::reopen(Box::new(store), len);
+        let mut rows = Vec::new();
+        se.for_each_row(|i, row| rows.push((i, row.clone())))
+            .unwrap();
+        assert_eq!(
+            rows,
+            vec![
+                (
+                    0,
+                    StreamedRecord {
+                        time: 3,
+                        missed: vec![],
+                        update: Tag(7)
+                    }
+                ),
+                (
+                    1,
+                    StreamedRecord {
+                        time: 9,
+                        missed: vec![0],
+                        update: Tag(8)
+                    }
+                ),
+            ]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn streaming_execution_rejects_torn_rows() {
+        let pool = shard_pool::PoolConfig::sequential();
+        let te = mixed_timed_execution(10);
+        let se = StreamingExecution::<Trace>::from_timed_execution(
+            Box::new(shard_store::MemStore::new()),
+            &pool,
+            &te,
+        )
+        .unwrap();
+        let (mut store, len) = se.into_store();
+        let keep = store.len_bytes() - 1;
+        store.crash(keep).unwrap();
+        let mut se = StreamingExecution::<Trace>::reopen(store, len);
+        let app = Trace;
+        let err = se.final_state(&app).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     }
 }

@@ -221,10 +221,18 @@ impl HistogramSnapshot {
     /// Estimates the `q`-quantile (`0.0 ..= 1.0`) from the log₂
     /// buckets: the bucket holding the target rank is located by a
     /// cumulative walk, then the value is linearly interpolated across
-    /// the bucket's value range `[lo, 2·lo − 1]` by rank position and
-    /// clamped to the recorded `min`/`max`. Exact for the one-value
-    /// buckets (0 and 1); within a factor of 2 otherwise — the same
-    /// resolution the buckets themselves offer.
+    /// the bucket's *effective* value range by rank position. The
+    /// effective range tightens `[lo, 2·lo − 1]` by the recorded
+    /// extremes — samples in the lowest occupied bucket cannot lie
+    /// below `min`, samples in the highest cannot lie above `max`.
+    /// Interpolating across the tightened range (rather than clamping
+    /// the raw estimate to `max` afterwards) keeps distinct upper
+    /// quantiles distinct when one wide bucket holds the tail: the old
+    /// clamp collapsed every rank in the top occupied bucket past the
+    /// real `max` onto `max` itself, reporting p90 == p99 == max for
+    /// single-run latency histograms. Exact for the one-value buckets
+    /// (0 and 1); within a factor of 2 otherwise — the same resolution
+    /// the buckets themselves offer.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
@@ -236,9 +244,13 @@ impl HistogramSnapshot {
                 // Largest value the bucket can hold; buckets 0 and 1
                 // hold exactly one value each.
                 let hi = lo.saturating_mul(2).saturating_sub(1).max(lo);
+                // `min` lies inside the lowest occupied bucket and
+                // `max` inside the highest, so the tightened range is
+                // never empty.
+                let lo_eff = lo.max(self.min);
+                let hi_eff = hi.min(self.max);
                 let fraction = (target - before) as f64 / c as f64;
-                let estimate = lo as f64 + fraction * (hi - lo) as f64;
-                return estimate.clamp(self.min as f64, self.max as f64);
+                return lo_eff as f64 + fraction * (hi_eff.saturating_sub(lo_eff)) as f64;
             }
             before += c;
         }
@@ -537,6 +549,25 @@ mod tests {
         let parsed = crate::json::parse(&s.to_json()).expect("valid JSON");
         assert_eq!(HistogramSnapshot::from_json(&parsed), Some(s));
         assert_eq!(HistogramSnapshot::from_json(&crate::json::Json::Null), None);
+    }
+
+    #[test]
+    fn upper_quantiles_stay_distinct_within_one_bucket() {
+        // The single-run latency shape: most samples pile into one wide
+        // top bucket whose real max sits well below the bucket's upper
+        // edge. Interpolation across the tightened range must keep
+        // p50 < p90 < p99 < max instead of clamping them all onto max.
+        let h = Histogram::default();
+        for _ in 0..100 {
+            h.record(1_100_000); // bucket [2^20, 2^21): lo 1048576
+        }
+        h.record(1_786_554); // the true max, far below the bucket edge
+        let s = h.snapshot();
+        let (p50, p90, p99) = (s.quantile(0.5), s.quantile(0.9), s.quantile(0.99));
+        assert!(p50 < p90 && p90 < p99, "p50={p50} p90={p90} p99={p99}");
+        assert!(p99 < s.max as f64, "p99={p99} must sit below max {}", s.max);
+        assert!(p50 >= s.min as f64, "interpolation stays in [min, max]");
+        assert_eq!(s.quantile(1.0), s.max as f64);
     }
 
     #[test]

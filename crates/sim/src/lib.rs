@@ -82,6 +82,7 @@ pub mod monitor;
 pub mod nemesis;
 pub mod partial;
 pub mod partition;
+pub mod streaming;
 pub mod transport;
 
 pub use clock::{LamportClock, NodeId, Timestamp};
@@ -107,4 +108,5 @@ pub use nemesis::{
 pub use partial::PartialCluster;
 pub use partial::{PartialPlacement, PartialReport, Placement};
 pub use partition::{PartitionSchedule, PartitionWindow};
+pub use streaming::StreamingMerge;
 pub use transport::{Clock, Transport, VirtualClock, WallClock};

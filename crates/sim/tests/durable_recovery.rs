@@ -5,12 +5,18 @@
 //! recovered state equals replaying exactly that prefix, and whole
 //! kernel runs under [`CrashRecoverInjector`] still satisfy the §3
 //! checkers and converge to the canonical serial replay.
+//!
+//! Plus the out-of-core tier's kill points: a merge log whose cold
+//! checkpoint anchors spill through a [`Store`](shard_store::Store)
+//! must produce byte-identical merge outcomes and states when that
+//! store is crashed at arbitrary moments mid-run — spilled anchors are
+//! a rebuildable cache, never authority.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use shard_apps::airline::{AirlineTxn, AirlineUpdate, FlyByNight};
-use shard_apps::banking::{AccountId, Bank, BankTxn, BankUpdate};
+use shard_apps::banking::{AccountId, Bank, BankUpdate};
 use shard_apps::dictionary::{DictTxn, DictUpdate, Dictionary};
 use shard_apps::inventory::{InvUpdate, ItemId, Order, OrderId, Warehouse};
 use shard_apps::nameserver::{GroupId, Name, NameServer, NsUpdate};
@@ -20,7 +26,7 @@ use shard_sim::{
     ClusterConfig, CrashRecoverInjector, DelayModel, DurabilityConfig, DurableFleet, GossipConfig,
     Invocation, LamportClock, MergeLog, NodeId, Runner, Timestamp,
 };
-use shard_store::Codec;
+use shard_store::{Codec, DiskStore, MemStore, StoreOptions};
 use std::sync::Arc;
 
 /// Drives one durable node (id 0) through a mixed own/foreign workload,
@@ -222,6 +228,137 @@ proptest! {
         );
         kill_recover_prefix(&NameServer::new(3, 1), ns_update, workload_seed, kill_seed, n);
     }
+
+    /// Spilled-checkpoint kill points: crashing the anchor store under
+    /// a live merge log — at random byte offsets, including 0 — never
+    /// changes a merge outcome or a state, for all five apps.
+    #[test]
+    fn spilled_anchor_crashes_never_change_merge_results(
+        seed in 0u64..10_000,
+        n in 10usize..90,
+    ) {
+        spilled_anchor_kill_points(&FlyByNight::new(3), airline_update, seed, n);
+        spilled_anchor_kill_points(&Bank::new(4, 100), bank_update, seed, n);
+        spilled_anchor_kill_points(&Dictionary, dict_update, seed, n);
+        spilled_anchor_kill_points(&Warehouse::new(3, 20, 1, 1), inv_update, seed, n);
+        spilled_anchor_kill_points(&NameServer::new(3, 1), ns_update, seed, n);
+    }
+}
+
+/// Drives two identical merge logs — one all-RAM, one with its cold
+/// checkpoint anchors spilled through a store — over the same
+/// adversarially shuffled delivery order, crashing the spill store at
+/// random kill points mid-run. Spilled anchors are a cache, never
+/// authority: every merge outcome and every intermediate state must
+/// stay identical to the in-memory log's, whatever the crashes
+/// destroyed; a lost anchor only deepens the next replay.
+fn spilled_anchor_kill_points<A: Application>(
+    app: &A,
+    mut gen_update: impl FnMut(&mut StdRng) -> A::Update,
+    seed: u64,
+    n: usize,
+) where
+    A::State: Codec,
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    let origin_count = 3u16;
+    let mut clocks: Vec<LamportClock> = (0..origin_count)
+        .map(|i| LamportClock::new(NodeId(i)))
+        .collect();
+    let mut pending: Vec<(Timestamp, A::Update)> = (0..n)
+        .map(|_| {
+            let origin = rng.random_range(0..origin_count) as usize;
+            (clocks[origin].tick(), gen_update(&mut rng))
+        })
+        .collect();
+    // Adversarial delivery: a full shuffle of the serial order — the
+    // undo/redo path must cope with arbitrary displacement, so the
+    // checkpoint tier sees deep truncates, not just tip appends.
+    for i in (1..pending.len()).rev() {
+        pending.swap(i, rng.random_range(0..i + 1));
+    }
+
+    let hot = rng.random_range(1usize..4);
+    let spacing = rng.random_range(1usize..4);
+    let mut plain: MergeLog<A> = MergeLog::new(app, 4);
+    let mut spilling: MergeLog<A> = MergeLog::new(app, 4);
+    spilling.enable_spilling(app, Box::new(MemStore::new()), hot, spacing);
+
+    for (k, (ts, update)) in pending.into_iter().enumerate() {
+        let update = Arc::new(update);
+        let a = plain.merge_with_outcome(app, ts, update.clone());
+        let b = spilling.merge_with_outcome(app, ts, update);
+        assert_eq!(
+            std::mem::discriminant(&a),
+            std::mem::discriminant(&b),
+            "merge outcome diverged at delivery {k} (hot {hot}, spacing {spacing})"
+        );
+        assert_eq!(
+            plain.state(),
+            spilling.state(),
+            "state diverged at delivery {k} (hot {hot}, spacing {spacing})"
+        );
+        // Kill point: crash the anchor store to a random byte prefix —
+        // 0 loses every spilled anchor at once, mid-record offsets tear
+        // the newest one.
+        if rng.random_range(0u32..5) == 0 {
+            let store = spilling.spill_store_mut().expect("spilling enabled");
+            let keep = rng.random_range(0..=store.len_bytes());
+            store.crash(keep).expect("mem store crash is infallible");
+        }
+    }
+    assert_eq!(
+        plain.entries().len(),
+        spilling.entries().len(),
+        "same log length"
+    );
+    assert_eq!(plain.state(), spilling.state(), "same final state");
+}
+
+/// The disk-backed flavor of the same kill point, on the exact store
+/// the out-of-core experiment spills through: anchors land in a
+/// [`DiskStore`], the store is crashed with a torn tail mid-run (and
+/// again, to empty, near the end), and the log still converges to the
+/// in-memory reference.
+#[test]
+fn disk_spilled_anchors_survive_torn_crashes() {
+    let dir = std::env::temp_dir().join(format!("shard-sim-spill-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let app = Bank::new(4, 100);
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut clock = LamportClock::new(NodeId(0));
+    let serial: Vec<(Timestamp, BankUpdate)> = (0..60)
+        .map(|_| (clock.tick(), bank_update(&mut rng)))
+        .collect();
+    let mut order: Vec<usize> = (0..serial.len()).collect();
+    for i in (1..order.len()).rev() {
+        order.swap(i, rng.random_range(0..i + 1));
+    }
+
+    let mut plain: MergeLog<Bank> = MergeLog::new(&app, 2);
+    let mut spilling: MergeLog<Bank> = MergeLog::new(&app, 2);
+    let (store, recovered) = DiskStore::open(&dir, StoreOptions::default()).unwrap();
+    assert_eq!(recovered, 0, "fresh directory");
+    spilling.enable_spilling(&app, Box::new(store), 1, 1);
+
+    for (k, &i) in order.iter().enumerate() {
+        let (ts, u) = serial[i].clone();
+        plain.merge(&app, ts, Arc::new(u.clone()));
+        spilling.merge(&app, ts, Arc::new(u));
+        assert_eq!(plain.state(), spilling.state(), "delivery {k}");
+        if k == serial.len() / 2 {
+            // Torn tail: keep everything but the last few bytes.
+            let store = spilling.spill_store_mut().unwrap();
+            let keep = store.len_bytes().saturating_sub(7);
+            store.crash(keep).unwrap();
+        }
+        if k == serial.len() - 3 {
+            // Total anchor loss just before the end.
+            spilling.spill_store_mut().unwrap().crash(0).unwrap();
+        }
+    }
+    assert_eq!(plain.state(), spilling.state(), "final state");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 fn airline_invocations(n: u32, nodes: u16) -> Vec<Invocation<AirlineTxn>> {

@@ -195,6 +195,7 @@ impl BTree {
         let f = pool.pin(root)?;
         init_leaf(pool.page_mut(f));
         pool.unpin(f);
+        pool.set_sticky(root, true);
         Ok(BTree {
             pool,
             root,
@@ -238,6 +239,11 @@ impl BTree {
                 init_internal(p, self.root);
                 int_insert_at(p, 0, sep, right);
                 self.pool.unpin(f);
+                // The sticky (scan-resistant) mark follows the root:
+                // every descent starts there, so it is the one page a
+                // full-order scan must never displace.
+                self.pool.set_sticky(self.root, false);
+                self.pool.set_sticky(new_root, true);
                 self.root = new_root;
                 self.entries += 1;
                 Ok(true)
@@ -381,6 +387,120 @@ impl BTree {
             leaf = next;
         }
     }
+
+    /// Streams pairs with `key >= from` in key order, stopping early
+    /// the first time `f` returns `false` — the range-scan primitive
+    /// the store cursor and chunked-record reads are built on.
+    pub fn scan_from(
+        &mut self,
+        from: StoreKey,
+        f: &mut dyn FnMut(StoreKey, &[u8]) -> bool,
+    ) -> io::Result<()> {
+        // Descend along `from` (not leftmost): the routed leaf is the
+        // only one that can hold the first qualifying key.
+        let mut page = self.root;
+        loop {
+            let fr = self.pool.pin(page)?;
+            let p = self.pool.page(fr);
+            if p.bytes()[0] == LEAF {
+                self.pool.unpin(fr);
+                break;
+            }
+            let next = int_child_at(p, int_route(p, from));
+            self.pool.unpin(fr);
+            page = next;
+        }
+        let mut leaf = page;
+        let mut first = true;
+        loop {
+            let fr = self.pool.pin(leaf)?;
+            let p = self.pool.page(fr);
+            let begin = if first {
+                first = false;
+                match leaf_search(p, from) {
+                    Ok(i) | Err(i) => i,
+                }
+            } else {
+                0
+            };
+            for i in begin..count(p) {
+                if !f(leaf_key(p, i), leaf_value(p, i)) {
+                    self.pool.unpin(fr);
+                    return Ok(());
+                }
+            }
+            let next = p.u64_at(3);
+            self.pool.unpin(fr);
+            if next == NO_LEAF {
+                return Ok(());
+            }
+            leaf = next;
+        }
+    }
+
+    /// Shape and occupancy statistics — `shard-trace store --stats`
+    /// uses these for postmortem inspection of spilled runs.
+    pub fn stats(&mut self) -> io::Result<BTreeStats> {
+        // Depth via the leftmost descent.
+        let mut depth = 1u32;
+        let mut page = self.root;
+        loop {
+            let fr = self.pool.pin(page)?;
+            let p = self.pool.page(fr);
+            if p.bytes()[0] == LEAF {
+                self.pool.unpin(fr);
+                break;
+            }
+            let next = int_child0(p);
+            self.pool.unpin(fr);
+            page = next;
+            depth += 1;
+        }
+        // Occupancy via the leaf chain; every allocated page is a tree
+        // node, so internal pages are the remainder.
+        let mut leaf = page;
+        let mut leaf_pages = 0u64;
+        let mut used = 0u64;
+        loop {
+            let fr = self.pool.pin(leaf)?;
+            let p = self.pool.page(fr);
+            leaf_pages += 1;
+            used += (PAGE_SIZE - leaf_free(p)) as u64;
+            let next = p.u64_at(3);
+            self.pool.unpin(fr);
+            if next == NO_LEAF {
+                break;
+            }
+            leaf = next;
+        }
+        let total_pages = self.pool.page_count();
+        Ok(BTreeStats {
+            entries: self.entries,
+            depth,
+            total_pages,
+            leaf_pages,
+            internal_pages: total_pages - leaf_pages,
+            leaf_fill_permille: (used * 1000 / (leaf_pages * PAGE_SIZE as u64)) as u32,
+        })
+    }
+}
+
+/// What [`BTree::stats`] reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BTreeStats {
+    /// Key/value pairs stored.
+    pub entries: usize,
+    /// Root-to-leaf page count along a descent (1 for a lone leaf) —
+    /// the pins a point lookup or scan start costs.
+    pub depth: u32,
+    /// Pages allocated in total.
+    pub total_pages: u64,
+    /// Leaf pages in the chain.
+    pub leaf_pages: u64,
+    /// Internal (router) pages.
+    pub internal_pages: u64,
+    /// Mean leaf occupancy, in permille of the page size.
+    pub leaf_fill_permille: u32,
 }
 
 #[cfg(test)]
@@ -458,6 +578,69 @@ mod tests {
         })
         .unwrap();
         assert_eq!(seen, n);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn scan_from_matches_oracle_ranges() {
+        let (mut t, path) = tree("scan-from", 16);
+        let mut oracle = BTreeMap::new();
+        let mut seed = 0x5eed_0bad_cafe_0002u64;
+        for _ in 0..4000 {
+            let k = StoreKey::new(xs(&mut seed) % 2048, (xs(&mut seed) % 5) as u16);
+            let v = xs(&mut seed).to_be_bytes().to_vec();
+            t.insert(k, &v).unwrap();
+            oracle.entry(k).or_insert(v);
+        }
+        for start in [
+            StoreKey::new(0, 0),
+            StoreKey::new(1, 3),
+            StoreKey::new(997, 0),
+            StoreKey::new(2047, 4),
+            StoreKey::new(5000, 0), // past every key
+        ] {
+            let mut got = Vec::new();
+            t.scan_from(start, &mut |k, v| {
+                got.push((k, v.to_vec()));
+                true
+            })
+            .unwrap();
+            let expect: Vec<_> = oracle
+                .range(start..)
+                .map(|(k, v)| (*k, v.clone()))
+                .collect();
+            assert_eq!(got, expect, "range from {start:?}");
+        }
+        // Early stop: the callback sees exactly as many pairs as it
+        // asked for.
+        let mut seen = 0usize;
+        t.scan_from(StoreKey::new(0, 0), &mut |_, _| {
+            seen += 1;
+            seen < 17
+        })
+        .unwrap();
+        assert_eq!(seen, 17);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn stats_reflect_tree_shape() {
+        let (mut t, path) = tree("stats", 16);
+        let s = t.stats().unwrap();
+        assert_eq!((s.depth, s.leaf_pages, s.internal_pages), (1, 1, 0));
+        for i in 0..20_000u64 {
+            t.insert(StoreKey::new(i, 0), &i.to_be_bytes()).unwrap();
+        }
+        let s = t.stats().unwrap();
+        assert_eq!(s.entries, 20_000);
+        assert!(s.depth >= 2, "split at least once: {s:?}");
+        assert_eq!(s.total_pages, s.leaf_pages + s.internal_pages);
+        assert_eq!(s.total_pages, t.pool().page_count());
+        // Ascending inserts leave every leaf but the last half full.
+        assert!(
+            (300..=1000).contains(&s.leaf_fill_permille),
+            "fill factor plausible: {s:?}"
+        );
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -50,11 +50,14 @@ pub mod pool;
 pub mod store;
 pub mod wal;
 
-pub use btree::BTree;
-pub use codec::{ByteReader, Codec, StoreKey};
+pub use btree::{BTree, BTreeStats};
+pub use codec::{write_frame, ByteReader, Codec, FrameReader, StoreKey};
 pub use page::{Page, PageId, PAGE_SIZE};
 pub use pool::BufferPool;
-pub use store::{CrashReport, DiskStore, MemStore, Store, StoreOptions};
+pub use store::{
+    append_chunked, read_chunked, CrashReport, DiskStore, KeyCursor, MemStore, Store, StoreOptions,
+    CHUNK_BYTES,
+};
 pub use wal::{Wal, WalInspection, WalOptions};
 
 use std::sync::{Arc, OnceLock};
@@ -71,6 +74,8 @@ pub(crate) struct StoreMetrics {
     pub page_reads: Arc<shard_obs::Counter>,
     /// `store.page_writes` — dirty pages written back.
     pub page_writes: Arc<shard_obs::Counter>,
+    /// `store.readaheads` — pages prefetched by sequential readahead.
+    pub readaheads: Arc<shard_obs::Counter>,
     /// `store.wal_appends` — records appended to the WAL.
     pub wal_appends: Arc<shard_obs::Counter>,
     /// `store.wal_fsyncs` — fsync barriers taken.
@@ -91,6 +96,7 @@ pub(crate) fn metrics() -> &'static StoreMetrics {
             evictions: r.counter("store.evictions"),
             page_reads: r.counter("store.page_reads"),
             page_writes: r.counter("store.page_writes"),
+            readaheads: r.counter("store.readaheads"),
             wal_appends: r.counter("store.wal_appends"),
             wal_fsyncs: r.counter("store.wal_fsyncs"),
             wal_torn_truncations: r.counter("store.wal_torn_truncations"),

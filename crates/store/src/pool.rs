@@ -18,12 +18,26 @@
 //!   construction: a dirty page cannot leave the pool except through
 //!   the write-back path.
 //!
-//! The pool feeds `store.pins`, `store.evictions`, `store.page_reads`
-//! and `store.page_writes`.
+//! Two refinements keep a full-order scan from flushing the working
+//! set (the out-of-core replay path scans the whole tree while point
+//! lookups keep landing on the root):
+//!
+//! * **sticky pages** ([`BufferPool::set_sticky`]): the clock skips a
+//!   sticky frame on its normal sweep and only claims one as a last
+//!   resort, so the B+tree root never leaves the pool under scan
+//!   pressure;
+//! * **sequential readahead**: a fault whose page id directly follows
+//!   the previous access prefetches the next few file pages in one
+//!   read. Prefetched frames start *unreferenced*, so a used-once scan
+//!   page is the clock's first victim and never displaces a referenced
+//!   working-set frame.
+//!
+//! The pool feeds `store.pins`, `store.evictions`, `store.page_reads`,
+//! `store.page_writes` and `store.readaheads`.
 
 use crate::metrics;
 use crate::page::{Page, PageId, PAGE_SIZE};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::Path;
@@ -34,6 +48,7 @@ struct Frame {
     pins: u32,
     dirty: bool,
     referenced: bool,
+    sticky: bool,
 }
 
 /// A pool of `capacity` frames over one page file.
@@ -48,6 +63,11 @@ pub struct BufferPool {
     pages: u64,
     /// Pages materially present in the file (reads past this are zero).
     file_pages: u64,
+    /// Pages marked scan-resistant (evicted only as a last resort).
+    sticky: HashSet<PageId>,
+    /// Most recently pinned page — sequential-fault detector for
+    /// readahead.
+    last_access: Option<PageId>,
 }
 
 impl BufferPool {
@@ -81,8 +101,14 @@ impl BufferPool {
             hand: 0,
             pages: 0,
             file_pages: 0,
+            sticky: HashSet::new(),
+            last_access: None,
         })
     }
+
+    /// Pages a sequential fault prefetches (bounded by a quarter of the
+    /// pool so a prefetch batch can never sweep the whole frame set).
+    const READAHEAD: u64 = 8;
 
     /// Frames the pool may hold.
     pub fn capacity(&self) -> usize {
@@ -111,8 +137,11 @@ impl BufferPool {
         if let Some(&idx) = self.map.get(&id) {
             self.frames[idx].pins += 1;
             self.frames[idx].referenced = true;
+            self.last_access = Some(id);
             return Ok(idx);
         }
+        let sequential = id > 0 && self.last_access == Some(id - 1);
+        self.last_access = Some(id);
         let idx = self.free_frame()?;
         let mut page = Page::zeroed();
         if id < self.file_pages {
@@ -126,9 +155,77 @@ impl BufferPool {
             pins: 1,
             dirty: false,
             referenced: true,
+            sticky: self.sticky.contains(&id),
         };
         self.map.insert(id, idx);
+        if sequential && id + 1 < self.file_pages {
+            // Best effort: a prefetch failure (pool momentarily full,
+            // short read) costs nothing — the page faults in normally
+            // when actually pinned.
+            let _ = self.readahead(id + 1);
+        }
         Ok(idx)
+    }
+
+    /// Marks `id` scan-resistant (or clears the mark): the clock sweep
+    /// skips a sticky frame and only evicts one once every non-sticky
+    /// candidate is pinned. The B+tree pins its root this way so a
+    /// full-order scan cannot flush the top of the tree.
+    pub fn set_sticky(&mut self, id: PageId, sticky: bool) {
+        if sticky {
+            self.sticky.insert(id);
+        } else {
+            self.sticky.remove(&id);
+        }
+        if let Some(&idx) = self.map.get(&id) {
+            self.frames[idx].sticky = sticky;
+        }
+    }
+
+    /// Prefetches up to [`Self::READAHEAD`] file pages starting at
+    /// `from` in a single read. Prefetched frames are installed
+    /// unpinned and *unreferenced*, so they are the first eviction
+    /// victims unless a pin promotes them first.
+    fn readahead(&mut self, from: PageId) -> io::Result<()> {
+        let span = Self::READAHEAD.min((self.capacity / 4).max(1) as u64);
+        let end = (from + span).min(self.file_pages);
+        if from >= end {
+            return Ok(());
+        }
+        let n = (end - from) as usize;
+        // Residency snapshot *before* the read: a resident (possibly
+        // dirty) page in the range may be evicted — and written back —
+        // by free_frame during the install loop below, at which point
+        // the prefetch buffer holds stale bytes for it. Such pages are
+        // never installed from the buffer; they refault normally.
+        let resident: Vec<bool> = (0..n)
+            .map(|j| self.map.contains_key(&(from + j as u64)))
+            .collect();
+        let mut buf = vec![0u8; n * PAGE_SIZE];
+        self.file.seek(SeekFrom::Start(from * PAGE_SIZE as u64))?;
+        self.file.read_exact(&mut buf)?;
+        for j in 0..n {
+            let id = from + j as u64;
+            if resident[j] || self.map.contains_key(&id) {
+                continue;
+            }
+            let idx = self.free_frame()?;
+            let mut page = Page::zeroed();
+            page.bytes_mut()
+                .copy_from_slice(&buf[j * PAGE_SIZE..(j + 1) * PAGE_SIZE]);
+            self.frames[idx] = Frame {
+                page,
+                id: Some(id),
+                pins: 0,
+                dirty: false,
+                referenced: false,
+                sticky: self.sticky.contains(&id),
+            };
+            self.map.insert(id, idx);
+            metrics().page_reads.inc();
+            metrics().readaheads.inc();
+        }
+        Ok(())
     }
 
     /// Releases one pin on `frame`.
@@ -192,32 +289,40 @@ impl BufferPool {
                 pins: 0,
                 dirty: false,
                 referenced: false,
+                sticky: false,
             });
             return Ok(self.frames.len() - 1);
         }
         // Second-chance sweep: at most two passes over the frames (one
-        // to clear reference bits, one to claim a victim).
-        for _ in 0..2 * self.frames.len() {
-            let idx = self.hand;
-            self.hand = (self.hand + 1) % self.frames.len();
-            let f = &mut self.frames[idx];
-            if f.pins > 0 {
-                continue;
+        // to clear reference bits, one to claim a victim). Sticky
+        // frames are skipped entirely on the first round and only
+        // become candidates once nothing else is evictable.
+        for honor_sticky in [true, false] {
+            for _ in 0..2 * self.frames.len() {
+                let idx = self.hand;
+                self.hand = (self.hand + 1) % self.frames.len();
+                let f = &mut self.frames[idx];
+                if f.pins > 0 {
+                    continue;
+                }
+                if honor_sticky && f.sticky {
+                    continue;
+                }
+                if f.referenced {
+                    f.referenced = false;
+                    continue;
+                }
+                if self.frames[idx].dirty {
+                    self.write_back(idx)?;
+                }
+                let old = self.frames[idx]
+                    .id
+                    .take()
+                    .expect("occupied frame has an id");
+                self.map.remove(&old);
+                metrics().evictions.inc();
+                return Ok(idx);
             }
-            if f.referenced {
-                f.referenced = false;
-                continue;
-            }
-            if self.frames[idx].dirty {
-                self.write_back(idx)?;
-            }
-            let old = self.frames[idx]
-                .id
-                .take()
-                .expect("occupied frame has an id");
-            self.map.remove(&old);
-            metrics().evictions.inc();
-            return Ok(idx);
         }
         Err(io::Error::other(
             "buffer pool exhausted: every frame is pinned",
@@ -367,6 +472,103 @@ mod tests {
             .counter("store.page_reads")
             .unwrap_or(0);
         assert!(reads_after > reads_before, "page faulted back from disk");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn sticky_page_survives_scan_pressure() {
+        let path = tmp("sticky");
+        let mut pool = BufferPool::create(&path, 8).unwrap();
+        let root = pool.allocate();
+        let f = pool.pin(root).unwrap();
+        stamp(&mut pool, f, root);
+        pool.unpin(f);
+        pool.set_sticky(root, true);
+        // A long scan of used-once pages: without stickiness the root
+        // would be clocked out; with it the frame must stay resident.
+        let reads_before = shard_obs::Registry::global()
+            .snapshot()
+            .counter("store.page_reads")
+            .unwrap_or(0);
+        for _ in 0..40 {
+            let id = pool.allocate();
+            let f = pool.pin(id).unwrap();
+            stamp(&mut pool, f, id);
+            pool.unpin(f);
+        }
+        let f = pool.pin(root).unwrap();
+        check(&pool, f, root);
+        pool.unpin(f);
+        let reads_after = shard_obs::Registry::global()
+            .snapshot()
+            .counter("store.page_reads")
+            .unwrap_or(0);
+        assert_eq!(reads_after, reads_before, "root never left the pool");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn sticky_page_yields_as_last_resort() {
+        let path = tmp("sticky-yield");
+        let mut pool = BufferPool::create(&path, 8).unwrap();
+        // Mark every resident page sticky, then demand a fresh frame:
+        // the pool must still make progress (desperate pass) rather
+        // than report exhaustion.
+        let ids: Vec<PageId> = (0..8).map(|_| pool.allocate()).collect();
+        for &id in &ids {
+            let f = pool.pin(id).unwrap();
+            stamp(&mut pool, f, id);
+            pool.unpin(f);
+            pool.set_sticky(id, true);
+        }
+        let extra = pool.allocate();
+        let f = pool.pin(extra).unwrap();
+        pool.unpin(f);
+        // One of the sticky pages was evicted; its content survives on
+        // disk and reads back intact.
+        for &id in &ids {
+            let f = pool.pin(id).unwrap();
+            check(&pool, f, id);
+            pool.unpin(f);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn sequential_faults_trigger_readahead() {
+        let snap = |name: &str| {
+            shard_obs::Registry::global()
+                .snapshot()
+                .counter(name)
+                .unwrap_or(0)
+        };
+        let path = tmp("readahead");
+        // A pool much smaller than the page set: the write pass evicts
+        // (and thus persists) almost everything, so the later forward
+        // walk faults pages back in sequentially from the file.
+        let mut pool = BufferPool::create(&path, 8).unwrap();
+        let n = 64u64;
+        let ids: Vec<PageId> = (0..n).map(|_| pool.allocate()).collect();
+        for &id in &ids {
+            let f = pool.pin(id).unwrap();
+            stamp(&mut pool, f, id);
+            pool.unpin(f);
+        }
+        pool.flush().unwrap();
+        let before = snap("store.readaheads");
+        let reads_before = snap("store.page_reads");
+        for &id in &ids {
+            let f = pool.pin(id).unwrap();
+            check(&pool, f, id);
+            pool.unpin(f);
+        }
+        let prefetched = snap("store.readaheads") - before;
+        let reads = snap("store.page_reads") - reads_before;
+        assert!(prefetched > 0, "sequential walk prefetched pages");
+        assert!(
+            prefetched * 2 >= reads,
+            "most pages arrived via readahead batches ({prefetched} of {reads})"
+        );
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -103,6 +103,15 @@ pub trait Store {
     /// Streams records in key (timestamp) order.
     fn scan_key_order(&mut self, f: &mut dyn FnMut(StoreKey, &[u8])) -> io::Result<()>;
 
+    /// Streams records with `key >= from` in key order, stopping early
+    /// the first time `f` returns `false` — the cursor primitive the
+    /// out-of-core replay path folds over.
+    fn scan_key_range(
+        &mut self,
+        from: StoreKey,
+        f: &mut dyn FnMut(StoreKey, &[u8]) -> bool,
+    ) -> io::Result<()>;
+
     /// Point lookup by key.
     fn get(&mut self, key: StoreKey) -> io::Result<Option<Vec<u8>>>;
 
@@ -177,6 +186,19 @@ impl Store for MemStore {
     fn scan_key_order(&mut self, f: &mut dyn FnMut(StoreKey, &[u8])) -> io::Result<()> {
         for (k, &i) in &self.index {
             f(*k, &self.records[i].1);
+        }
+        Ok(())
+    }
+
+    fn scan_key_range(
+        &mut self,
+        from: StoreKey,
+        f: &mut dyn FnMut(StoreKey, &[u8]) -> bool,
+    ) -> io::Result<()> {
+        for (k, &i) in self.index.range(from..) {
+            if !f(*k, &self.records[i].1) {
+                break;
+            }
         }
         Ok(())
     }
@@ -267,6 +289,12 @@ impl DiskStore {
     pub fn dir(&self) -> &Path {
         &self.dir
     }
+
+    /// Shape/occupancy statistics of the B+tree index
+    /// (`shard-trace store --stats`).
+    pub fn index_stats(&mut self) -> io::Result<crate::btree::BTreeStats> {
+        self.index.stats()
+    }
 }
 
 impl Store for DiskStore {
@@ -300,6 +328,14 @@ impl Store for DiskStore {
         self.index.scan(f)
     }
 
+    fn scan_key_range(
+        &mut self,
+        from: StoreKey,
+        f: &mut dyn FnMut(StoreKey, &[u8]) -> bool,
+    ) -> io::Result<()> {
+        self.index.scan_from(from, f)
+    }
+
     fn get(&mut self, key: StoreKey) -> io::Result<Option<Vec<u8>>> {
         self.index.get(key)
     }
@@ -326,6 +362,123 @@ impl Store for DiskStore {
             kept_bytes,
             torn: kept_bytes < requested_end,
         })
+    }
+}
+
+/// Chunk size for records larger than one B+tree leaf cell — exactly
+/// the tree's inline cap, so a chunk is always insertable.
+pub const CHUNK_BYTES: usize = crate::btree::MAX_VALUE;
+
+/// Writes `payload` as one logical record group under `primary`: the
+/// payload is length-framed ([`crate::codec::write_frame`]) and split
+/// into [`CHUNK_BYTES`]-sized chunks keyed `(primary, chunk_index)`, so
+/// a key-order scan from `(primary, 0)` streams the group back
+/// contiguously. Returns the chunk count. See `docs/storage.md` for
+/// the byte layout.
+///
+/// # Panics
+///
+/// Panics if the framed payload needs more than `u16::MAX + 1` chunks
+/// (64 MiB — far above any checkpoint state this system spills).
+pub fn append_chunked(store: &mut dyn Store, primary: u64, payload: &[u8]) -> io::Result<u32> {
+    let mut framed = Vec::with_capacity(4 + payload.len());
+    crate::codec::write_frame(payload, &mut framed);
+    let chunks = framed.len().div_ceil(CHUNK_BYTES);
+    assert!(
+        chunks <= u16::MAX as usize + 1,
+        "payload too large to chunk"
+    );
+    for (i, chunk) in framed.chunks(CHUNK_BYTES).enumerate() {
+        store.append(StoreKey::new(primary, i as u16), chunk)?;
+    }
+    Ok(chunks as u32)
+}
+
+/// Reads a chunked record group back. `None` when the group is absent,
+/// incomplete (e.g. truncated by a crash) or malformed — callers treat
+/// all three as "this record is not available" and fall back.
+pub fn read_chunked(store: &mut dyn Store, primary: u64) -> io::Result<Option<Vec<u8>>> {
+    let mut reader = crate::codec::FrameReader::new();
+    let mut expect = 0u32;
+    let mut contiguous = true;
+    store.scan_key_range(StoreKey::new(primary, 0), &mut |k, v| {
+        if k.primary != primary {
+            return false;
+        }
+        if u32::from(k.secondary) != expect {
+            contiguous = false;
+            return false;
+        }
+        expect += 1;
+        reader.push(v);
+        true
+    })?;
+    if !contiguous {
+        return Ok(None);
+    }
+    Ok(reader.next_frame().map(|b| b.to_vec()))
+}
+
+/// A pull-style cursor over a store's key order: batches of records are
+/// fetched through [`Store::scan_key_range`] and handed out one at a
+/// time, so a caller can interleave cursor reads with other store
+/// access (the callback API borrows the store for the whole scan; the
+/// cursor only borrows it per refill).
+#[derive(Debug)]
+pub struct KeyCursor {
+    /// Resume key for the next refill; `None` once the scan is done.
+    next_from: Option<StoreKey>,
+    batch: std::collections::VecDeque<(StoreKey, Vec<u8>)>,
+    batch_size: usize,
+}
+
+impl KeyCursor {
+    /// A cursor over the whole key range, fetching `batch_size` records
+    /// per refill.
+    pub fn new(batch_size: usize) -> Self {
+        KeyCursor::starting_at(StoreKey::new(0, 0), batch_size)
+    }
+
+    /// A cursor over `[from, ..)`.
+    pub fn starting_at(from: StoreKey, batch_size: usize) -> Self {
+        KeyCursor {
+            next_from: Some(from),
+            batch: std::collections::VecDeque::new(),
+            batch_size: batch_size.max(1),
+        }
+    }
+
+    /// The next record in key order, or `None` at the end.
+    pub fn next(&mut self, store: &mut dyn Store) -> io::Result<Option<(StoreKey, Vec<u8>)>> {
+        if self.batch.is_empty() {
+            let Some(from) = self.next_from else {
+                return Ok(None);
+            };
+            let batch = &mut self.batch;
+            let cap = self.batch_size;
+            store.scan_key_range(from, &mut |k, v| {
+                batch.push_back((k, v.to_vec()));
+                batch.len() < cap
+            })?;
+            self.next_from = if self.batch.len() < cap {
+                None // the store had no more records
+            } else {
+                self.batch.back().and_then(|(k, _)| key_successor(*k))
+            };
+        }
+        Ok(self.batch.pop_front())
+    }
+}
+
+/// The smallest key strictly greater than `k`, or `None` at the top of
+/// the key space.
+fn key_successor(k: StoreKey) -> Option<StoreKey> {
+    if k.secondary < u16::MAX {
+        Some(StoreKey::new(k.primary, k.secondary + 1))
+    } else if k.primary < u64::MAX {
+        Some(StoreKey::new(k.primary + 1, 0))
+    } else {
+        None
     }
 }
 
@@ -399,6 +552,101 @@ mod tests {
         let r = disk.crash(disk.synced_bytes()).unwrap();
         assert_eq!(r.kept_entries, 100);
         assert!(!r.torn, "cut exactly at a barrier is clean");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn key_range_scans_agree_and_stop_early() {
+        let dir = tmp("range");
+        let mut mem = MemStore::new();
+        let (mut disk, _) = DiskStore::open(&dir, StoreOptions::default()).unwrap();
+        fill(&mut mem, 300, 11);
+        fill(&mut disk, 300, 11);
+        for from in [
+            StoreKey::new(0, 0),
+            StoreKey::new(17, 1),
+            StoreKey::new(50, 2),
+            StoreKey::new(99, 2),
+            StoreKey::new(101, 0),
+        ] {
+            let range = |s: &mut dyn Store| {
+                let mut out = Vec::new();
+                s.scan_key_range(from, &mut |k, v| {
+                    out.push((k, v.to_vec()));
+                    out.len() < 20
+                })
+                .unwrap();
+                out
+            };
+            let m = range(&mut mem);
+            let d = range(&mut disk);
+            assert_eq!(m, d, "from {from:?}");
+            assert!(m.len() <= 20, "early stop honoured");
+            assert!(m.windows(2).all(|w| w[0].0 < w[1].0), "key order");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn chunked_records_round_trip_on_both_stores() {
+        let dir = tmp("chunked");
+        let mut mem = MemStore::new();
+        let (mut disk, _) = DiskStore::open(&dir, StoreOptions::default()).unwrap();
+        // Sizes straddling the chunk boundary, plus a multi-chunk blob.
+        let payloads: Vec<Vec<u8>> = [0usize, 1, CHUNK_BYTES - 4, CHUNK_BYTES, 3 * CHUNK_BYTES + 7]
+            .iter()
+            .map(|&n| (0..n).map(|i| (i % 251) as u8).collect())
+            .collect();
+        for store in [&mut mem as &mut dyn Store, &mut disk] {
+            for (g, p) in payloads.iter().enumerate() {
+                let chunks = append_chunked(store, g as u64, p).unwrap();
+                assert_eq!(chunks as usize, (p.len() + 4).div_ceil(CHUNK_BYTES));
+            }
+            for (g, p) in payloads.iter().enumerate() {
+                assert_eq!(
+                    read_chunked(store, g as u64).unwrap().as_ref(),
+                    Some(p),
+                    "group {g}"
+                );
+            }
+            assert_eq!(read_chunked(store, 999).unwrap(), None, "absent group");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_chunk_group_reads_as_absent() {
+        let mut mem = MemStore::new();
+        let blob = vec![7u8; 3 * CHUNK_BYTES];
+        append_chunked(&mut mem, 5, &blob).unwrap();
+        // Crash off the tail chunk: the group must read as None, not
+        // as a short payload.
+        let keep = mem.len_bytes() - 1;
+        mem.crash(keep).unwrap();
+        assert_eq!(read_chunked(&mut mem, 5).unwrap(), None);
+    }
+
+    #[test]
+    fn cursor_matches_full_scan() {
+        let dir = tmp("cursor");
+        let (mut disk, _) = DiskStore::open(&dir, StoreOptions::default()).unwrap();
+        fill(&mut disk, 257, 50); // not a multiple of the batch size
+        let mut expect = Vec::new();
+        disk.scan_key_order(&mut |k, v| expect.push((k, v.to_vec())))
+            .unwrap();
+        for batch_size in [1, 7, 64, 1000] {
+            let mut cur = KeyCursor::new(batch_size);
+            let mut got = Vec::new();
+            while let Some(rec) = cur.next(&mut disk).unwrap() {
+                got.push(rec);
+            }
+            assert_eq!(got, expect, "batch size {batch_size}");
+        }
+        // Interleaving appends with an open cursor: records past the
+        // resume point become visible, matching the range contract.
+        let mut cur = KeyCursor::starting_at(StoreKey::new(80, 0), 10);
+        let first = cur.next(&mut disk).unwrap().unwrap();
+        assert_eq!(first.0, StoreKey::new(80, 0));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

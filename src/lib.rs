@@ -21,7 +21,10 @@
 //!   trade-off);
 //! * [`analysis`] — cost traces, measured k-completeness, witness
 //!   accounting, fairness audits, and the theorem checkers behind
-//!   EXPERIMENTS.md.
+//!   EXPERIMENTS.md;
+//! * [`store`] — the durable storage engine (WAL + B+tree index +
+//!   buffer pool) behind crash recovery and the out-of-core replay
+//!   tier.
 //!
 //! ## Quickstart
 //!
@@ -63,3 +66,4 @@ pub use shard_apps as apps;
 pub use shard_baseline as baseline;
 pub use shard_core as core;
 pub use shard_sim as sim;
+pub use shard_store as store;

@@ -10,7 +10,18 @@
 //! alignment; pool sizes {1, 2, 7} pin thread-count invariance of the
 //! row extraction.
 //!
+//! The same executions then take the out-of-core path: rows are
+//! serialized into a [`StreamingExecution`] and folded back off the
+//! store cursor, spilled [`SpillingCheckpoints`] floors (at spill
+//! spacings {1, 16, 256}) are compared against the in-memory actual
+//! states, and `check_stream` off the store must produce *the same
+//! [`StreamReport`]* — verdicts, certificates and all — as `par_check`
+//! over the in-memory execution at pool sizes {1, 4}.
+//!
 //! [`StreamChecker`]: shard::core::StreamChecker
+//! [`StreamingExecution`]: shard::core::StreamingExecution
+//! [`SpillingCheckpoints`]: shard::core::SpillingCheckpoints
+//! [`StreamReport`]: shard::core::StreamReport
 
 use proptest::prelude::*;
 use shard::apps::airline::{AirlineTxn, FlyByNight};
@@ -21,11 +32,20 @@ use shard::apps::nameserver::{GroupId, Name, NameServer, NsTxn};
 use shard::apps::Person;
 use shard::core::conditions::{is_transitive, max_missed, transitivity_violation};
 use shard::core::stream::{par_check, rows_from_execution, CERT_SCHEMA};
-use shard::core::{Application, Certificate, ExecutionBuilder, TimedExecution, TxnIndex};
+use shard::core::{
+    Application, Certificate, ExecutionBuilder, SpillingCheckpoints, StreamingExecution,
+    TimedExecution, TxnIndex,
+};
+use shard::store::{Codec, MemStore};
 use shard_pool::PoolConfig;
 
 const WINDOWS: [usize; 3] = [1, 7, 64];
 const POOLS: [usize; 3] = [1, 2, 7];
+/// Spill spacings for the out-of-core leg: every eviction spilled,
+/// sparse anchors, and effectively never (at these sizes) spilled.
+const SPACINGS: [usize; 3] = [1, 16, 256];
+/// Pool sizes the store-backed report must match `par_check` at.
+const STREAM_POOLS: [usize; 2] = [1, 4];
 
 /// One generated transaction: a decision, a miss mask over the eight
 /// most recent predecessors, and the time gap since the previous
@@ -56,10 +76,18 @@ fn timed<A: Application>(app: &A, txns: Vec<Gen<A::Decision>>) -> TimedExecution
 }
 
 /// The property: every `(window, pool)` combination of the streaming
-/// pipeline agrees with the whole-execution fold, and every emitted
-/// certificate independently re-validates against the row trace.
-fn assert_online_matches_offline<A: Application>(app: &A, txns: Vec<Gen<A::Decision>>) {
+/// pipeline agrees with the whole-execution fold, every emitted
+/// certificate independently re-validates against the row trace, and
+/// the store-backed out-of-core path reproduces the in-memory fold,
+/// floors and reports exactly.
+fn assert_online_matches_offline<A>(app: &A, txns: Vec<Gen<A::Decision>>)
+where
+    A: Application,
+    A::State: Codec,
+    A::Update: Codec,
+{
     let te = timed(app, txns);
+    assert_streaming_matches_in_memory(app, &te);
     let offline_transitive = is_transitive(&te.execution);
     let offline_max_missed = max_missed(&te.execution);
     let offline_bound = te.min_delay_bound();
@@ -114,6 +142,89 @@ fn assert_online_matches_offline<A: Application>(app: &A, txns: Vec<Gen<A::Decis
                     "window {window}: pools {} and {pool} disagree",
                     POOLS[0]
                 ),
+            }
+        }
+    }
+}
+
+/// The out-of-core leg: serialize the execution's rows through a
+/// store, then demand the store-backed traversals are *identical* to
+/// the in-memory ones — the same actual state at every prefix length,
+/// the same floors out of spilled checkpoints at every spacing, and
+/// the same `StreamReport` (verdicts *and* certificates; the report is
+/// `Eq`) as `par_check` at every `(window, pool)`.
+fn assert_streaming_matches_in_memory<A>(app: &A, te: &TimedExecution<A>)
+where
+    A: Application,
+    A::State: Codec,
+    A::Update: Codec,
+{
+    // Ground truth: the in-memory actual state at every prefix length
+    // 0..=n, exactly as `Execution::fold_actual_states` visits them.
+    let mut expected: Vec<A::State> = Vec::with_capacity(te.execution.len() + 1);
+    te.execution
+        .for_each_actual_state(app, |_, s| expected.push(s.clone()));
+
+    let mut se = StreamingExecution::<A>::from_timed_execution(
+        Box::new(MemStore::new()),
+        &PoolConfig::sequential(),
+        te,
+    )
+    .expect("memory-backed store never fails");
+    assert_eq!(se.len(), te.execution.len(), "row count");
+
+    // Fold equality, state by state, straight off the store cursor.
+    let mut folded = Vec::with_capacity(expected.len());
+    se.fold_actual_states(app, (), |(), m, s| {
+        assert_eq!(m, folded.len(), "fold visits prefixes in order");
+        folded.push(s.clone());
+    })
+    .expect("memory-backed store never fails");
+    assert_eq!(folded, expected, "streaming fold ≠ in-memory fold");
+
+    // Checker equivalence: the single-pass report off the store equals
+    // the in-memory parallel check at every window and pool size.
+    for window in WINDOWS {
+        let streamed = se
+            .check_stream(window)
+            .expect("memory-backed store never fails");
+        for pool in STREAM_POOLS {
+            let in_memory = par_check(&PoolConfig::with_threads(pool), te, window);
+            assert_eq!(
+                streamed, in_memory,
+                "window {window} pool {pool}: store-backed report diverged"
+            );
+        }
+    }
+
+    // Spilled-checkpoint floors: record every actual state into a
+    // spilling sequence at each spacing, then ask for a floor at every
+    // depth. Whatever floor comes back — hot, or decoded from a
+    // spilled record — must be the in-memory state at that depth; with
+    // spacing 1 nothing is ever dropped, so the floor must be exact.
+    for spacing in SPACINGS {
+        let mut ckpts =
+            SpillingCheckpoints::<A::State>::new(Box::new(MemStore::new()), 1, 2, spacing);
+        for (m, s) in expected.iter().enumerate().skip(1) {
+            ckpts.record(m, s, app.state_size_hint(s));
+        }
+        for (m, want) in expected.iter().enumerate().skip(1) {
+            match ckpts.floor_owned(m) {
+                Some((depth, got)) => {
+                    assert!(
+                        depth <= m,
+                        "spacing {spacing}: floor {depth} above limit {m}"
+                    );
+                    assert_eq!(
+                        &got, &expected[depth],
+                        "spacing {spacing}: floor at {m} returned a wrong state for depth {depth}"
+                    );
+                    if spacing == 1 {
+                        assert_eq!(depth, m, "spacing 1 keeps every point");
+                        assert_eq!(&got, want, "spacing 1: exact state at {m}");
+                    }
+                }
+                None => assert_ne!(spacing, 1, "spacing 1 must always produce a floor at {m}"),
             }
         }
     }
